@@ -1,0 +1,72 @@
+// Ablation: MasPar design decision 3 — the router's scanAnd()/scanOr()
+// primitives do global combining in logarithmic time.
+//
+// We re-price one full parse's machine activity under three combining
+// networks: the MP-1 global router (log2 P per scan), the MP-1 X-Net
+// mesh (2*sqrt(P): nearest-neighbour only), and a routerless serial
+// sweep (P steps).  The kernel's scan count is identical; only the
+// per-scan cost changes — this isolates exactly what the global router
+// buys and why the paper's bound is O(k + log n) rather than
+// O(k + sqrt(n)) or O(k + n).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "maspar/cost_model.h"
+#include "parsec/maspar_parser.h"
+#include "util/table.h"
+
+namespace {
+
+double reprice(const parsec::maspar::MachineStats& s, int vpes, int ppes,
+               double hops_per_scan) {
+  const auto cm = parsec::maspar::CostModel::mp1();
+  const int vf = (vpes + ppes - 1) / ppes;
+  const double instr =
+      cm.t_instr * (static_cast<double>(vf) * s.plural_ops + s.acu_ops);
+  const double scans = static_cast<double>(s.scan_ops + s.route_ops) *
+                       (vf * cm.t_instr + hops_per_scan * cm.t_route);
+  return instr + scans;
+}
+
+}  // namespace
+
+int main() {
+  using namespace parsec;
+  auto bundle = grammars::make_english_grammar();
+  engine::MasparParser mp(bundle.grammar);
+
+  std::cout
+      << "==============================================================\n"
+      << "Ablation (design decision 3): global router scans vs X-Net\n"
+      << "mesh vs serial combining (same kernel, different per-scan cost)\n"
+      << "==============================================================\n\n";
+
+  const int P = maspar::kMp1MaxPes;
+  util::Table t({"n", "scans", "router log2(P) s", "xnet 2*sqrt(P) s",
+                 "serial P s", "router speedup vs serial"});
+  grammars::SentenceGenerator gen(bundle, bench::kSeed);
+  for (int n : {4, 7, 10, 13, 16}) {
+    std::unique_ptr<engine::MasparParse> parse;
+    auto r = mp.parse(gen.generate_sentence(n), parse);
+    const int eff = std::min(r.vpes, P);
+    const double log_hops = std::ceil(std::log2(eff + 1));
+    const double mesh_hops = 2.0 * std::sqrt(static_cast<double>(eff));
+    const double serial_hops = static_cast<double>(eff);
+    const double t_router = reprice(r.stats, r.vpes, P, log_hops);
+    const double t_mesh = reprice(r.stats, r.vpes, P, mesh_hops);
+    const double t_serial = reprice(r.stats, r.vpes, P, serial_hops);
+    t.add_row({std::to_string(n),
+               std::to_string(r.stats.scan_ops + r.stats.route_ops),
+               bench::fmt(t_router, "%.3f"), bench::fmt(t_mesh, "%.3f"),
+               bench::fmt(t_serial, "%.1f"),
+               bench::fmt(t_serial / t_router, "%.0f") + "x"});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: without the router the consistency-maintenance scans\n"
+         "dominate completely (O(k + n^2)-ish behaviour); the global\n"
+         "router's log-time scans are what make the O(k + log n) bound —\n"
+         "and the paper's design decision 3 — possible.\n";
+  return 0;
+}

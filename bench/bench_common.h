@@ -1,0 +1,49 @@
+// Shared helpers for the benchmark harness (DESIGN.md §4).
+//
+// Every bench binary prints the paper's reported value next to our
+// measured value in an aligned table and exits 0.  Headline metrics are
+// simulated machine steps / calibrated simulated seconds; host
+// wall-clock appears as a secondary column where meaningful.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdg/lexicon.h"
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+
+namespace parsec::bench {
+
+/// Fixed seed so every run prints identical tables.
+inline constexpr std::uint64_t kSeed = 19920801;  // ICPP 1992
+
+/// One deterministic English sentence per length in [lo, hi].
+inline std::vector<cdg::Sentence> sentence_sweep(
+    const grammars::CdgBundle& bundle, int lo, int hi) {
+  grammars::SentenceGenerator gen(bundle, kSeed);
+  std::vector<cdg::Sentence> out;
+  for (int n = lo; n <= hi; ++n) out.push_back(gen.generate_sentence(n));
+  return out;
+}
+
+/// Wall-clock of a callable, in seconds.
+template <typename Fn>
+double time_host(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+inline std::string fmt(double v, const char* format = "%.4g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+inline std::string fmt_ms(double seconds) { return fmt(seconds * 1e3, "%.3g"); }
+
+}  // namespace parsec::bench

@@ -1,0 +1,126 @@
+// Implementation ablation: tree-walking constraint interpreter vs the
+// compiled flat-bytecode evaluator used in every engine's inner loop.
+// (Both are semantically identical — tested in constraint_eval_test —
+// and each evaluation is O(1), the property the paper's complexity
+// analysis needs; this bench measures the constant.)
+#include <benchmark/benchmark.h>
+
+#include "cdg/constraint_eval.h"
+#include "cdg/parser.h"
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+
+namespace {
+
+using namespace parsec;
+
+struct Fixture {
+  Fixture() : bundle(grammars::make_english_grammar()) {
+    grammars::SentenceGenerator gen(bundle, 99);
+    sentence = gen.generate_sentence(12);
+    for (const auto& c : bundle.grammar.unary_constraints())
+      unary.push_back(c);
+    for (const auto& c : bundle.grammar.binary_constraints())
+      binary.push_back(c);
+    unary_cc = cdg::compile_all(unary);
+    binary_cc = cdg::compile_all(binary);
+    // A spread of bindings over the sentence.
+    for (int pos = 1; pos <= sentence.size(); ++pos)
+      for (int lab = 0; lab < bundle.grammar.num_labels(); ++lab)
+        bindings.push_back(cdg::Binding{
+            cdg::RoleValue{lab, (pos % sentence.size()) + 1 == pos
+                                    ? cdg::kNil
+                                    : (pos % sentence.size()) + 1},
+            lab % 2, pos});
+  }
+  grammars::CdgBundle bundle;
+  cdg::Sentence sentence;
+  std::vector<cdg::Constraint> unary, binary;
+  std::vector<cdg::CompiledConstraint> unary_cc, binary_cc;
+  std::vector<cdg::Binding> bindings;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_InterpretUnary(benchmark::State& state) {
+  auto& f = fixture();
+  cdg::EvalContext ctx;
+  ctx.sentence = &f.sentence;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ctx.x = f.bindings[i % f.bindings.size()];
+    for (const auto& c : f.unary)
+      benchmark::DoNotOptimize(cdg::eval_constraint(c, ctx));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * f.unary.size());
+}
+
+void BM_CompiledUnary(benchmark::State& state) {
+  auto& f = fixture();
+  cdg::EvalContext ctx;
+  ctx.sentence = &f.sentence;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ctx.x = f.bindings[i % f.bindings.size()];
+    for (const auto& c : f.unary_cc)
+      benchmark::DoNotOptimize(cdg::eval_compiled(c, ctx));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * f.unary_cc.size());
+}
+
+void BM_InterpretBinary(benchmark::State& state) {
+  auto& f = fixture();
+  cdg::EvalContext ctx;
+  ctx.sentence = &f.sentence;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ctx.x = f.bindings[i % f.bindings.size()];
+    ctx.y = f.bindings[(i + 7) % f.bindings.size()];
+    for (const auto& c : f.binary)
+      benchmark::DoNotOptimize(cdg::eval_constraint(c, ctx));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * f.binary.size());
+}
+
+void BM_CompiledBinary(benchmark::State& state) {
+  auto& f = fixture();
+  cdg::EvalContext ctx;
+  ctx.sentence = &f.sentence;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ctx.x = f.bindings[i % f.bindings.size()];
+    ctx.y = f.bindings[(i + 7) % f.bindings.size()];
+    for (const auto& c : f.binary_cc)
+      benchmark::DoNotOptimize(cdg::eval_compiled(c, ctx));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * f.binary_cc.size());
+}
+
+void BM_FullParseSequential(benchmark::State& state) {
+  auto& f = fixture();
+  cdg::SequentialParser parser(f.bundle.grammar);
+  grammars::SentenceGenerator gen(f.bundle, 5);
+  cdg::Sentence s = gen.generate_sentence(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    cdg::Network net = parser.make_network(s);
+    auto r = parser.parse(net);
+    benchmark::DoNotOptimize(r.accepted);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_InterpretUnary);
+BENCHMARK(BM_CompiledUnary);
+BENCHMARK(BM_InterpretBinary);
+BENCHMARK(BM_CompiledBinary);
+BENCHMARK(BM_FullParseSequential)->Arg(4)->Arg(8)->Arg(12);
+
+BENCHMARK_MAIN();

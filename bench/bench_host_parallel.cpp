@@ -1,0 +1,70 @@
+// Host-parallel PARSEC: OpenMP engine vs the sequential parser.
+//
+// The paper's point is that CDG parsing parallelizes well because the
+// work is embarrassingly data-parallel per arc; on a modern
+// shared-memory host the same structure maps onto threads.  This bench
+// reports wall-clock for both engines across sentence lengths and
+// thread counts.  (On a single-core host the speedup is ~1x by
+// construction — the engine is still exercised for correctness; the
+// table reports whatever the hardware gives.)
+#include <iostream>
+
+#if defined(PARSEC_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+#include "bench_common.h"
+#include "cdg/parser.h"
+#include "parsec/omp_parser.h"
+#include "util/table.h"
+
+int main() {
+  using namespace parsec;
+  auto bundle = grammars::make_english_grammar();
+  cdg::SequentialParser seq(bundle.grammar);
+
+  int max_threads = 1;
+#if defined(PARSEC_HAVE_OPENMP)
+  max_threads = omp_get_max_threads();
+#endif
+  std::cout
+      << "==============================================================\n"
+      << "Host-parallel PARSEC (OpenMP, " << max_threads
+      << " hardware thread(s) available)\n"
+      << "==============================================================\n\n";
+
+  util::Table t({"n", "sequential s", "omp 1-thread s",
+                 "omp max-threads s", "speedup", "fixpoints equal"});
+  grammars::SentenceGenerator gen(bundle, bench::kSeed);
+  for (int n : {8, 12, 16, 20}) {
+    cdg::Sentence s = gen.generate_sentence(n);
+
+    cdg::Network ref = seq.make_network(s);
+    const double t_seq = bench::time_host([&] {
+      seq.parse(ref);
+      ref.filter();
+    });
+
+    engine::OmpOptions one;
+    one.threads = 1;
+    engine::OmpParser omp1(bundle.grammar, one);
+    cdg::Network n1 = seq.make_network(s);
+    const double t_one = bench::time_host([&] { omp1.parse(n1); });
+
+    engine::OmpParser ompN(bundle.grammar);
+    cdg::Network nN = seq.make_network(s);
+    const double t_max = bench::time_host([&] { ompN.parse(nN); });
+
+    bool equal = true;
+    for (int r = 0; r < ref.num_roles(); ++r)
+      if (!(nN.domain(r) == ref.domain(r))) equal = false;
+
+    t.add_row({std::to_string(n), bench::fmt(t_seq, "%.4f"),
+               bench::fmt(t_one, "%.4f"), bench::fmt(t_max, "%.4f"),
+               bench::fmt(t_seq / t_max, "%.2f") + "x",
+               equal ? "yes" : "NO"});
+    if (!equal) return 1;
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Memory accounting vs the MP-1's 16 KB of PE-local memory (§2.2: "up
+// to 16K 4-bit processing elements (PEs), each with 16KB of local
+// memory") and the host-side network footprint's O(n^4) growth.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cdg/parser.h"
+#include "maspar/layout.h"
+#include "maspar/machine.h"
+#include "util/table.h"
+
+int main() {
+  using namespace parsec;
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, bench::kSeed);
+
+  std::cout
+      << "==============================================================\n"
+      << "Memory accounting: per-PE state vs the MP-1's 16 KB local\n"
+      << "memory, and the CN's O(n^4) arc-matrix footprint\n"
+      << "==============================================================\n\n";
+
+  util::Table t({"n", "virtual PEs", "PE-local bytes", "fits 16KB",
+                 "host CN bytes", "CN bytes / n^4"});
+  for (int n : {4, 8, 12, 16, 20, 24}) {
+    cdg::Sentence s = gen.generate_sentence(n);
+    maspar::Layout layout(bundle.grammar, s);
+    // Per-PE state: the l x l bit submatrix (packed into 8 bytes here;
+    // l^2 bits on the real machine) + segment ids, partner id and the
+    // mod/label slot registers: a handful of 32-bit words.
+    const int l = layout.labels_per_role();
+    const std::size_t pe_bytes = (static_cast<std::size_t>(l) * l + 7) / 8 +
+                                 4 * sizeof(std::int32_t);
+    // With virtualization, each physical PE holds virt_factor copies.
+    const int vf =
+        (layout.vpes() + maspar::kMp1MaxPes - 1) / maspar::kMp1MaxPes;
+    const std::size_t phys_bytes = pe_bytes * static_cast<std::size_t>(vf);
+
+    // Host-side CN: R*(R-1)/2 arc matrices of D*D bits + domains.
+    cdg::Network net(bundle.grammar, s);
+    const std::size_t R = static_cast<std::size_t>(net.num_roles());
+    const std::size_t D = static_cast<std::size_t>(net.domain_size());
+    const std::size_t words_per_row = (D + 63) / 64;
+    const std::size_t cn_bytes =
+        R * (R - 1) / 2 * D * words_per_row * 8 + R * words_per_row * 8;
+    const double n4 = static_cast<double>(n) * n * n * n;
+
+    t.add_row({std::to_string(n), std::to_string(layout.vpes()),
+               std::to_string(phys_bytes),
+               phys_bytes <= 16 * 1024 ? "yes" : "NO",
+               util::format_value(static_cast<double>(cn_bytes)),
+               bench::fmt(static_cast<double>(cn_bytes) / n4, "%.1f")});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: even heavily virtualized, PE-local state stays\n"
+         "orders of magnitude under the 16 KB budget — the paper's\n"
+         "claim that the MP-1 'has sufficient processors' extends to\n"
+         "memory.  The host CN column shows the O(n^4) matrix growth\n"
+         "(bytes/n^4 approaching a constant).\n";
+  return 0;
+}

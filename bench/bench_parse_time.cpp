@@ -1,0 +1,51 @@
+// Results §3, experiment 2: total parse time as a function of sentence
+// length — "approximately 0.15 seconds" for the example sentence,
+// "0.45 seconds" for a 10-word sentence, and overall "a discrete step
+// function which grows as n^4" driven by processor virtualization.
+#include <iostream>
+
+#include "bench_common.h"
+#include "parsec/maspar_parser.h"
+#include "util/table.h"
+
+int main() {
+  using namespace parsec;
+  auto bundle = grammars::make_english_grammar();
+  engine::MasparParser mp(bundle.grammar);
+
+  std::cout
+      << "=============================================================\n"
+      << "Results §3 (2): MasPar parse time vs sentence length\n"
+      << "Paper: ~0.15 s for the example sentence, 0.45 s at n = 10;\n"
+      << "a step function growing as n^4 (virtualization on 16K PEs)\n"
+      << "=============================================================\n\n";
+
+  util::Table t({"n", "virtual PEs", "virt factor", "sim seconds",
+                 "paper reference"});
+  grammars::SentenceGenerator gen(bundle, bench::kSeed);
+  double t3 = 0, t10 = 0;
+  for (int n = 2; n <= 16; ++n) {
+    auto r = mp.parse(gen.generate_sentence(n));
+    if (n == 3) t3 = r.simulated_seconds;
+    if (n == 10) t10 = r.simulated_seconds;
+    const char* ref = n <= 8 ? "~0.15 s (example sentence)"
+                             : (n == 10 ? "0.45 s (10-word sentence)" : "");
+    t.add_row({std::to_string(n), std::to_string(r.vpes),
+               std::to_string(r.virt_factor),
+               bench::fmt(r.simulated_seconds, "%.3f"), ref});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nshape checks:\n"
+            << "  measured t(3)  = " << bench::fmt(t3, "%.3f")
+            << " s   (paper ~0.15 s)\n"
+            << "  measured t(10) = " << bench::fmt(t10, "%.3f")
+            << " s   (paper  0.45 s)\n"
+            << "  measured ratio t(10)/t(3) = " << bench::fmt(t10 / t3, "%.2f")
+            << "   (paper 3.0: virtualization factor 3 at n = 10)\n";
+  const bool shape_ok = t10 / t3 > 2.0 && t10 / t3 < 4.5;
+  std::cout << "verdict: " << (shape_ok ? "step-function shape reproduced"
+                                        : "SHAPE MISMATCH")
+            << "\n";
+  return shape_ok ? 0 : 1;
+}

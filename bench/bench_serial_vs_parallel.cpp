@@ -1,0 +1,97 @@
+// Results §3, experiment 3: serial vs parallel.
+//
+// Paper: "The corresponding times for our serial implementation
+// (running on a Sun SparcStation I) is 15 seconds to apply a single
+// constraint and 3 minutes to parse a sentence of 7 words", vs the
+// MasPar's <10 ms/constraint and 0.15 s/parse.
+//
+// Absolute 1989-SPARC numbers are unreproducible; the claims we verify
+// are the *shapes*: the serial cost grows ~n^4 while the simulated
+// MasPar stays flat until virtualization kicks in, and the
+// serial/parallel ratio is orders of magnitude (the paper's ratio is
+// 180 s / 0.15 s = 1200x at n = 7).  Serial work is reported both as
+// host wall-clock and as machine-independent operation counts.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cdg/parser.h"
+#include "parsec/maspar_parser.h"
+#include "util/table.h"
+
+int main() {
+  using namespace parsec;
+  auto bundle = grammars::make_english_grammar();
+  cdg::SequentialParser seq(bundle.grammar);
+  engine::MasparParser mp(bundle.grammar);
+  const int k = bundle.grammar.num_constraints();
+
+  std::cout
+      << "==============================================================\n"
+      << "Results §3 (3): serial vs parallel parse cost\n"
+      << "Paper @ n=7: serial 15 s/constraint, ~180 s/parse (SPARC I);\n"
+      << "             MasPar < 10 ms/constraint, ~0.15 s/parse -> ~1200x\n"
+      << "==============================================================\n\n";
+
+  util::Table t({"n", "arc elements", "serial ops", "serial host s",
+                 "MasPar sim s", "elems ratio vs n=4", "n^4 ratio"});
+  grammars::SentenceGenerator gen(bundle, bench::kSeed);
+  double base_elems = 0;
+  double serial7 = 0, maspar7 = 0;
+  for (int n = 4; n <= 20; n += 2) {
+    cdg::Sentence s = gen.generate_sentence(n);
+    // The paper's O(n^4) object: the arc elements of the freshly
+    // constructed CN ("the time to construct the arcs and initialize
+    // the matrices is O(n^4)", §1.4) — also exactly what the MasPar
+    // allocates PEs for.  Constraint pruning then shrinks the live set
+    // (the later columns), which is why realistic serial cost grows
+    // slower than the worst case.
+    cdg::Network probe = seq.make_network(s);
+    const double elems = static_cast<double>(probe.arc_ones());
+    if (n == 4) base_elems = elems;
+
+    cdg::Network net = seq.make_network(s);
+    double host = bench::time_host([&] { seq.parse(net); });
+    const auto& c = net.counters();
+    const double ops = static_cast<double>(
+        c.unary_evals + c.binary_evals + c.support_checks + c.arc_zeroings);
+    auto r = mp.parse(s);
+    if (n == 8) {
+      serial7 = host;
+      maspar7 = r.simulated_seconds;
+    }
+    const double n4 = static_cast<double>(n) * n * n * n / (4.0 * 4 * 4 * 4);
+    t.add_row({std::to_string(n), util::format_value(elems),
+               util::format_value(ops), bench::fmt(host, "%.4f"),
+               bench::fmt(r.simulated_seconds, "%.3f"),
+               bench::fmt(elems / base_elems, "%.1f"),
+               bench::fmt(n4, "%.1f")});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: 'arc elements' — the paper's O(n^4) object — tracks\n"
+         "the 'n^4 ratio' column; total serial ops grow slower because\n"
+         "constraint pruning flattens the later passes (the realistic\n"
+         "serial cost still explodes while the MasPar column is a step\n"
+         "function).  Paper's serial-vs-parallel gap at a 7-8 word\n"
+         "sentence was ~1200x on wall-clock; our host CPU is ~10^4x\n"
+         "faster than a SPARC I, so the simulated-vs-host ratio is\n"
+         "reported for shape, not magnitude: host "
+      << bench::fmt(serial7, "%.4f") << " s vs simulated MasPar "
+      << bench::fmt(maspar7, "%.3f") << " s.\n";
+
+  // Per-constraint serial shape (paper: 15 s per constraint at n<=7).
+  std::cout << "\nserial cost per constraint (ops/k):\n";
+  util::Table t2({"n", "ops per constraint"});
+  for (int n : {4, 8, 12, 16, 20}) {
+    cdg::Sentence s = gen.generate_sentence(n);
+    cdg::Network net = seq.make_network(s);
+    seq.parse(net);
+    const auto& c = net.counters();
+    const double ops = static_cast<double>(c.unary_evals + c.binary_evals +
+                                           c.support_checks);
+    t2.add_row({std::to_string(n), util::format_value(ops / k)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Expressivity beyond context-free grammars (paper §1.5).
+//
+// "CDG can accept languages that CFGs cannot": this demo runs the CDG
+// grammar for a^n b^n c^n — the textbook non-context-free language — on
+// a set of strings, and contrasts it with a CFG (CYK) for the best
+// context-free approximation a^n b^n c^m, which inevitably accepts
+// impostors.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cdg/extract.h"
+#include "cdg/parser.h"
+#include "cfg/cyk.h"
+#include "grammars/anbncn_grammar.h"
+#include "util/table.h"
+
+int main() {
+  using namespace parsec;
+
+  grammars::CdgBundle bundle = grammars::make_anbncn_grammar();
+  cdg::SequentialParser parser(bundle.grammar);
+
+  // CFG approximation: S -> A C;  A -> a A b | a b;  C -> c C | c
+  // (language a^n b^n c^m — context-free, but cannot tie m to n).
+  cfg::Grammar approx;
+  approx.set_start(approx.add_nonterminal("S"));
+  approx.add_nonterminal("A");
+  approx.add_nonterminal("C");
+  approx.add_rule("S", {"A", "C"});
+  approx.add_rule("A", {"a", "A", "b"});
+  approx.add_rule("A", {"a", "b"});
+  approx.add_rule("C", {"c", "C"});
+  approx.add_rule("C", {"c"});
+  const cfg::CnfGrammar cnf = cfg::to_cnf(approx);
+
+  auto cdg_accepts = [&](const std::vector<std::string>& w) {
+    cdg::Network net = parser.make_network(bundle.lexicon.tag(w));
+    parser.parse(net);
+    return cdg::has_parse(net);
+  };
+  auto cfg_accepts = [&](const std::vector<std::string>& w) {
+    std::vector<int> enc;
+    for (const auto& s : w) enc.push_back(approx.terminal(s));
+    return cfg::cyk_recognize(cnf, enc);
+  };
+  auto split = [](const std::string& s) {
+    std::vector<std::string> w;
+    for (char c : s) w.push_back(std::string(1, c));
+    return w;
+  };
+
+  util::Table t({"string", "in a^n b^n c^n", "CDG", "CFG approx"});
+  const struct {
+    const char* s;
+    bool member;
+  } cases[] = {
+      {"abc", true},        {"aabbcc", true},     {"aaabbbccc", true},
+      {"aabbc", false},     {"aabbccc", false},   {"abcc", false},
+      {"aabbbcc", false},   {"acb", false},       {"abcabc", false},
+  };
+  bool cdg_perfect = true;
+  for (const auto& c : cases) {
+    const auto w = split(c.s);
+    const bool cdg_ok = cdg_accepts(w);
+    const bool cfg_ok = cfg_accepts(w);
+    if (cdg_ok != c.member) cdg_perfect = false;
+    t.add_row({c.s, c.member ? "yes" : "no", cdg_ok ? "accept" : "reject",
+               cfg_ok ? "accept" : "reject"});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe CFG approximation accepts a^n b^n c^m impostors "
+               "(counts untied);\nthe CDG grammar decides the "
+               "non-context-free language exactly.\n";
+  return cdg_perfect ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Corpus-scale evaluation driver: generate a corpus of English
+// sentences across lengths, parse every one with the sequential and
+// MasPar engines, and report acceptance, ambiguity and timing
+// statistics — the kind of batch run the paper's speech-understanding
+// motivation implies ("natural language parsing ... will not be a
+// bottleneck for real-time systems").
+//
+//   $ ./examples/corpus_stats [corpus-size] [max-length]
+#include <cstdlib>
+#include <iostream>
+
+#include "cdg/extract.h"
+#include "cdg/parser.h"
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+#include "parsec/maspar_parser.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace parsec;
+  const int corpus_size = argc > 1 ? std::atoi(argv[1]) : 60;
+  const int max_len = argc > 2 ? std::atoi(argv[2]) : 14;
+
+  auto bundle = grammars::make_english_grammar();
+  cdg::SequentialParser seq(bundle.grammar);
+  engine::MasparParser maspar(bundle.grammar);
+  grammars::SentenceGenerator gen(bundle, 20260705);
+
+  struct Bucket {
+    int count = 0;
+    int accepted = 0;
+    int ambiguous = 0;
+    util::Stats parses;
+    util::Stats sim_seconds;
+  };
+  std::vector<Bucket> buckets(static_cast<std::size_t>(max_len) + 1);
+
+  for (int i = 0; i < corpus_size; ++i) {
+    const int n = 2 + i % (max_len - 1);
+    cdg::Sentence s = gen.generate_sentence(n);
+    cdg::Network net = seq.make_network(s);
+    seq.parse(net);
+    const std::size_t count = cdg::count_parses(net, 1000);
+    auto r = maspar.parse(s);
+
+    Bucket& b = buckets[n];
+    ++b.count;
+    if (count > 0) ++b.accepted;
+    if (count > 1) ++b.ambiguous;
+    b.parses.add(static_cast<double>(count));
+    b.sim_seconds.add(r.simulated_seconds);
+  }
+
+  util::Table t({"n", "sentences", "accepted", "ambiguous", "mean parses",
+                 "mean MasPar sim s"});
+  int total = 0, accepted = 0;
+  for (int n = 2; n <= max_len; ++n) {
+    const Bucket& b = buckets[n];
+    if (b.count == 0) continue;
+    total += b.count;
+    accepted += b.accepted;
+    char mp[32], ms[32];
+    std::snprintf(mp, sizeof mp, "%.2f", b.parses.mean());
+    std::snprintf(ms, sizeof ms, "%.3f", b.sim_seconds.mean());
+    t.add_row({std::to_string(n), std::to_string(b.count),
+               std::to_string(b.accepted), std::to_string(b.ambiguous), mp,
+               ms});
+  }
+  std::cout << "corpus of " << total << " generated sentences:\n\n";
+  t.print(std::cout);
+  std::cout << "\noverall acceptance: " << accepted << "/" << total << "\n";
+  return accepted == total ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+#include "cdg/ac4.h"
+
+#include <deque>
+
+namespace parsec::cdg {
+
+Ac4Stats filter_ac4(Network& net) {
+  net.build_arcs();
+  Ac4Stats stats;
+  const int R = net.num_roles();
+  const int D = net.domain_size();
+
+  // counts[(role * D + rv) * R + other]: supporting 1-bits of `rv` on
+  // the arc to `other` (meaningless for other == role).
+  std::vector<int> counts(
+      static_cast<std::size_t>(R) * static_cast<std::size_t>(D) * R, 0);
+  auto count_at = [&](int role, int rv, int other) -> int& {
+    return counts[(static_cast<std::size_t>(role) * D + rv) * R + other];
+  };
+
+  std::deque<std::pair<int, int>> queue;  // (role, rv) to eliminate
+  std::vector<std::uint8_t> queued(
+      static_cast<std::size_t>(R) * static_cast<std::size_t>(D), 0);
+  auto enqueue = [&](int role, int rv) {
+    auto& flag = queued[static_cast<std::size_t>(role) * D + rv];
+    if (flag) return;
+    flag = 1;
+    queue.emplace_back(role, rv);
+  };
+
+  // Build the counters from the current matrices.
+  for (int a = 0; a < R; ++a) {
+    for (int b = a + 1; b < R; ++b) {
+      const util::BitMatrix& m = net.arc_matrix(a, b);
+      net.domain(a).for_each([&](std::size_t i) {
+        net.domain(b).for_each([&](std::size_t j) {
+          ++stats.initial_count_work;
+          if (!m.test(i, j)) return;
+          ++count_at(a, static_cast<int>(i), b);
+          ++count_at(b, static_cast<int>(j), a);
+        });
+      });
+    }
+  }
+  // Seed the queue with unsupported values.
+  for (int role = 0; role < R; ++role) {
+    net.domain(role).for_each([&](std::size_t rv) {
+      for (int other = 0; other < R; ++other) {
+        if (other == role) continue;
+        if (count_at(role, static_cast<int>(rv), other) == 0) {
+          enqueue(role, static_cast<int>(rv));
+          return;
+        }
+      }
+    });
+  }
+
+  // Propagate.
+  while (!queue.empty()) {
+    const auto [role, rv] = queue.front();
+    queue.pop_front();
+    if (!net.alive(role, rv)) continue;
+    // Decrement partners *before* the elimination zeroes the rows.
+    for (int other = 0; other < R; ++other) {
+      if (other == role) continue;
+      const util::BitMatrix& m =
+          role < other ? net.arc_matrix(role, other)
+                       : net.arc_matrix(other, role);
+      net.domain(other).for_each([&](std::size_t j) {
+        const bool bit = role < other
+                             ? m.test(static_cast<std::size_t>(rv), j)
+                             : m.test(j, static_cast<std::size_t>(rv));
+        if (!bit) return;
+        ++stats.counter_decrements;
+        if (--count_at(other, static_cast<int>(j), role) == 0)
+          enqueue(other, static_cast<int>(j));
+      });
+    }
+    net.eliminate(role, rv);
+    ++stats.eliminations;
+  }
+  return stats;
+}
+
+}  // namespace parsec::cdg

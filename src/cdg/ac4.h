@@ -1,0 +1,29 @@
+// Support-counting filtering (AC-4 style).
+//
+// The paper's filtering re-sweeps every role value per iteration
+// (O(n^4) per sweep, §1.4) and bounds the iteration count in practice.
+// The classic alternative — Mohr & Henderson's AC-4, contemporary with
+// Maruyama's work — maintains, for every (role value, incident arc),
+// the count of supporting 1-bits; an elimination decrements its
+// partners' counters and a counter hitting zero queues the next
+// elimination.  Total work is O(n^4) *overall* instead of per sweep,
+// at the cost of the counter memory.  The fixpoint is identical
+// (support removal is confluent); tests verify bit-equality and
+// bench_ablation_ac4 measures the trade.
+#pragma once
+
+#include "cdg/network.h"
+
+namespace parsec::cdg {
+
+struct Ac4Stats {
+  std::size_t eliminations = 0;
+  std::size_t counter_decrements = 0;
+  std::size_t initial_count_work = 0;  // bits scanned to build counters
+};
+
+/// Runs support-counting filtering to the fixpoint.  Equivalent to
+/// net.filter(-1).
+Ac4Stats filter_ac4(Network& net);
+
+}  // namespace parsec::cdg

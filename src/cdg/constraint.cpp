@@ -1,0 +1,67 @@
+#include "cdg/constraint.h"
+
+#include "cdg/grammar.h"
+
+namespace parsec::cdg {
+
+const char* to_string(ValueType t) {
+  switch (t) {
+    case ValueType::Bool: return "bool";
+    case ValueType::Label: return "label";
+    case ValueType::RoleT: return "role";
+    case ValueType::Cat: return "category";
+    case ValueType::Pos: return "position";
+    case ValueType::Word: return "word";
+  }
+  return "?";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::If: return "if";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Not: return "not";
+    case Op::Eq: return "eq";
+    case Op::Gt: return "gt";
+    case Op::Lt: return "lt";
+    case Op::Lab: return "lab";
+    case Op::Mod: return "mod";
+    case Op::RoleOf: return "role";
+    case Op::PosOf: return "pos";
+    case Op::WordAt: return "word";
+    case Op::CatOf: return "cat";
+    case Op::Var: return "var";
+    case Op::ConstSym: return "sym";
+    case Op::ConstInt: return "int";
+  }
+  return "?";
+}
+
+std::string Expr::to_string_with(const Grammar& g) const {
+  switch (op) {
+    case Op::Var:
+      return value == 0 ? "x" : "y";
+    case Op::ConstInt:
+      return value == kNil ? "nil" : std::to_string(value);
+    case Op::ConstSym:
+      switch (type) {
+        case ValueType::Label: return g.label_name(value);
+        case ValueType::RoleT: return g.role_name(value);
+        case ValueType::Cat: return g.category_name(value);
+        default: return std::to_string(value);
+      }
+    default: {
+      std::string out = "(";
+      out += to_string(op);
+      for (const Expr& a : args) {
+        out += ' ';
+        out += a.to_string_with(g);
+      }
+      out += ')';
+      return out;
+    }
+  }
+}
+
+}  // namespace parsec::cdg

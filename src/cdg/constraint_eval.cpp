@@ -1,0 +1,288 @@
+#include "cdg/constraint_eval.h"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace parsec::cdg {
+
+namespace {
+
+/// Runtime value: a tagged int plus a validity flag.  Accessing a
+/// property of the nil word (e.g. (cat (word (mod x))) when mod is nil)
+/// yields an invalid value; every comparison against it is false.
+struct Value {
+  int v = 0;
+  bool valid = true;
+  bool truth = false;  // for Bool values
+};
+
+Value make_bool(bool b) { return Value{0, true, b}; }
+Value make_int(int v) { return Value{v, true, false}; }
+Value make_invalid() { return Value{0, false, false}; }
+
+const Binding& binding_for(const EvalContext& ctx, int var) {
+  return var == 0 ? ctx.x : ctx.y;
+}
+
+Value eval_expr(const Expr& e, const EvalContext& ctx) {
+  switch (e.op) {
+    case Op::Lab:
+      return make_int(binding_for(ctx, e.args[0].value).rv.label);
+    case Op::Mod:
+      return make_int(binding_for(ctx, e.args[0].value).rv.mod);
+    case Op::RoleOf:
+      return make_int(binding_for(ctx, e.args[0].value).role);
+    case Op::PosOf:
+      return make_int(binding_for(ctx, e.args[0].value).pos);
+    case Op::WordAt: {
+      Value p = eval_expr(e.args[0], ctx);
+      if (!p.valid || p.v < 1 || p.v > ctx.sentence->size())
+        return make_invalid();
+      return make_int(p.v);
+    }
+    case Op::CatOf: {
+      Value w = eval_expr(e.args[0], ctx);
+      if (!w.valid) return make_invalid();
+      return make_int(ctx.sentence->cat_at(w.v));
+    }
+    case Op::ConstInt:
+    case Op::ConstSym:
+      return make_int(e.value);
+    case Op::Eq: {
+      Value a = eval_expr(e.args[0], ctx);
+      Value b = eval_expr(e.args[1], ctx);
+      return make_bool(a.valid && b.valid && a.v == b.v);
+    }
+    case Op::Gt: {
+      Value a = eval_expr(e.args[0], ctx);
+      Value b = eval_expr(e.args[1], ctx);
+      return make_bool(a.valid && b.valid && a.v > b.v);
+    }
+    case Op::Lt: {
+      Value a = eval_expr(e.args[0], ctx);
+      Value b = eval_expr(e.args[1], ctx);
+      return make_bool(a.valid && b.valid && a.v < b.v);
+    }
+    case Op::And: {
+      for (const Expr& a : e.args)
+        if (!eval_expr(a, ctx).truth) return make_bool(false);
+      return make_bool(true);
+    }
+    case Op::Or: {
+      for (const Expr& a : e.args)
+        if (eval_expr(a, ctx).truth) return make_bool(true);
+      return make_bool(false);
+    }
+    case Op::Not:
+      return make_bool(!eval_expr(e.args[0], ctx).truth);
+    case Op::If: {
+      // (if A C) as a value: !A || C.
+      bool a = eval_expr(e.args[0], ctx).truth;
+      if (!a) return make_bool(true);
+      return make_bool(eval_expr(e.args[1], ctx).truth);
+    }
+    case Op::Var:
+      break;  // vars only appear under access functions
+  }
+  throw std::logic_error("malformed constraint AST");
+}
+
+}  // namespace
+
+bool eval_constraint(const Constraint& c, const EvalContext& ctx) {
+  assert(c.root.op == Op::If);
+  return eval_expr(c.root, ctx).truth;
+}
+
+// ---------------------------------------------------------------------
+// Bytecode compiler / stack evaluator
+// ---------------------------------------------------------------------
+
+namespace {
+
+using BOp = CompiledConstraint::BOp;
+using Instr = CompiledConstraint::Instr;
+
+void flatten(const Expr& e, std::vector<Instr>& out) {
+  switch (e.op) {
+    case Op::Lab:
+      out.push_back({BOp::PushLab, e.args[0].value});
+      return;
+    case Op::Mod:
+      out.push_back({BOp::PushMod, e.args[0].value});
+      return;
+    case Op::RoleOf:
+      out.push_back({BOp::PushRole, e.args[0].value});
+      return;
+    case Op::PosOf:
+      out.push_back({BOp::PushPos, e.args[0].value});
+      return;
+    case Op::ConstInt:
+    case Op::ConstSym:
+      out.push_back({BOp::PushConst, e.value});
+      return;
+    case Op::WordAt:
+      flatten(e.args[0], out);
+      out.push_back({BOp::WordAt, 0});
+      return;
+    case Op::CatOf:
+      flatten(e.args[0], out);
+      out.push_back({BOp::CatOf, 0});
+      return;
+    case Op::Not:
+      flatten(e.args[0], out);
+      out.push_back({BOp::Not, 0});
+      return;
+    case Op::Eq:
+    case Op::Gt:
+    case Op::Lt:
+      flatten(e.args[0], out);
+      flatten(e.args[1], out);
+      out.push_back({e.op == Op::Eq   ? BOp::Eq
+                     : e.op == Op::Gt ? BOp::Gt
+                                      : BOp::Lt,
+                     0});
+      return;
+    case Op::And:
+    case Op::Or: {
+      // Short-circuit: after each operand but the last, branch out if
+      // it already decides the result (keeping it as the value).
+      const BOp branch =
+          e.op == Op::And ? BOp::JmpIfFalseKeep : BOp::JmpIfTrueKeep;
+      std::vector<std::size_t> patches;
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        flatten(e.args[i], out);
+        if (i + 1 < e.args.size()) {
+          patches.push_back(out.size());
+          out.push_back({branch, 0});
+        }
+      }
+      for (std::size_t p : patches)
+        out[p].arg = static_cast<std::int32_t>(out.size());
+      return;
+    }
+    case Op::If: {
+      flatten(e.args[0], out);
+      const std::size_t patch = out.size();
+      out.push_back({BOp::IfAnte, 0});
+      flatten(e.args[1], out);
+      out[patch].arg = static_cast<std::int32_t>(out.size());
+      return;
+    }
+    case Op::Var:
+      break;
+  }
+  throw std::logic_error("malformed constraint AST (compile)");
+}
+
+}  // namespace
+
+CompiledConstraint compile_constraint(const Constraint& c) {
+  CompiledConstraint cc;
+  cc.arity = c.arity;
+  cc.name = c.name;
+  flatten(c.root, cc.code);
+  return cc;
+}
+
+std::vector<CompiledConstraint> compile_all(
+    const std::vector<Constraint>& cs) {
+  std::vector<CompiledConstraint> out;
+  out.reserve(cs.size());
+  for (const Constraint& c : cs) out.push_back(compile_constraint(c));
+  return out;
+}
+
+bool eval_compiled(const CompiledConstraint& c, const EvalContext& ctx) {
+  using BOp = CompiledConstraint::BOp;
+  // Constraint trees are constant-depth (paper §1.3); 64 slots is ample.
+  std::array<Value, 64> stack;
+  std::size_t sp = 0;
+  auto push = [&](Value v) {
+    assert(sp < stack.size());
+    stack[sp++] = v;
+  };
+  auto pop = [&]() -> Value {
+    assert(sp > 0);
+    return stack[--sp];
+  };
+
+  const auto n = c.code.size();
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    const auto& in = c.code[pc];
+    switch (in.op) {
+      case BOp::PushLab:
+        push(make_int(binding_for(ctx, in.arg).rv.label));
+        break;
+      case BOp::PushMod:
+        push(make_int(binding_for(ctx, in.arg).rv.mod));
+        break;
+      case BOp::PushRole:
+        push(make_int(binding_for(ctx, in.arg).role));
+        break;
+      case BOp::PushPos:
+        push(make_int(binding_for(ctx, in.arg).pos));
+        break;
+      case BOp::PushConst:
+        push(make_int(in.arg));
+        break;
+      case BOp::WordAt: {
+        Value p = pop();
+        push((!p.valid || p.v < 1 || p.v > ctx.sentence->size())
+                 ? make_invalid()
+                 : make_int(p.v));
+        break;
+      }
+      case BOp::CatOf: {
+        Value w = pop();
+        push(w.valid ? make_int(ctx.sentence->cat_at(w.v)) : make_invalid());
+        break;
+      }
+      case BOp::Eq: {
+        Value b = pop(), a = pop();
+        push(make_bool(a.valid && b.valid && a.v == b.v));
+        break;
+      }
+      case BOp::Gt: {
+        Value b = pop(), a = pop();
+        push(make_bool(a.valid && b.valid && a.v > b.v));
+        break;
+      }
+      case BOp::Lt: {
+        Value b = pop(), a = pop();
+        push(make_bool(a.valid && b.valid && a.v < b.v));
+        break;
+      }
+      case BOp::Not:
+        push(make_bool(!pop().truth));
+        break;
+      case BOp::JmpIfFalseKeep:
+        if (!stack[sp - 1].truth) {
+          pc = static_cast<std::size_t>(in.arg) - 1;
+        } else {
+          --sp;
+        }
+        break;
+      case BOp::JmpIfTrueKeep:
+        if (stack[sp - 1].truth) {
+          pc = static_cast<std::size_t>(in.arg) - 1;
+        } else {
+          --sp;
+        }
+        break;
+      case BOp::IfAnte: {
+        const Value ante = pop();
+        if (!ante.truth) {
+          push(make_bool(true));
+          pc = static_cast<std::size_t>(in.arg) - 1;
+        }
+        break;
+      }
+    }
+  }
+  assert(sp == 1);
+  return stack[0].truth;
+}
+
+}  // namespace parsec::cdg

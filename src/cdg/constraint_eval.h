@@ -1,0 +1,92 @@
+// Constraint evaluation (paper §1.3-1.4).
+//
+// A constraint (if A C) is *violated* by a role-value binding iff the
+// antecedent evaluates TRUE and the consequent FALSE; a violating role
+// value (unary) or role-value pair (binary) is eliminated / its arc bit
+// zeroed.  Both variables of a binary constraint must be tried in both
+// assignments (x=a,y=b) and (x=b,y=a).
+//
+// Two evaluators are provided with identical semantics:
+//   * a tree-walking interpreter over the AST, and
+//   * a compiled flat-bytecode evaluator (CompiledConstraint), which the
+//     parsers use in their inner loops (ablation: bench_constraint_eval).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdg/constraint.h"
+#include "cdg/lexicon.h"
+#include "cdg/role_value.h"
+#include "cdg/types.h"
+
+namespace parsec::cdg {
+
+/// One bound role-value variable: the value itself plus the role/word
+/// it lives in (needed by (role v) and (pos v)).
+struct Binding {
+  RoleValue rv;
+  RoleId role = 0;
+  WordPos pos = 0;
+};
+
+/// Everything a constraint may consult.  `y` is ignored for unary
+/// constraints.
+struct EvalContext {
+  const Sentence* sentence = nullptr;
+  Binding x;
+  Binding y;
+};
+
+/// True iff the constraint is *satisfied* (not violated) by the binding.
+bool eval_constraint(const Constraint& c, const EvalContext& ctx);
+
+/// True iff the antecedent holds and the consequent fails.
+inline bool violates(const Constraint& c, const EvalContext& ctx) {
+  return !eval_constraint(c, ctx);
+}
+
+// ---------------------------------------------------------------------
+// Compiled form: a short-circuiting bytecode run on a tiny stack
+// machine.  Values are (int, valid) pairs; an `invalid` value models
+// access to properties of the nil word — any comparison with it is
+// false, which matches the paper's guarded usage
+// ("(not (eq (mod x) nil))").  `and`/`or`/`if` compile to conditional
+// branches so evaluation stops at the first decisive operand, like the
+// tree-walking interpreter.
+// ---------------------------------------------------------------------
+
+struct CompiledConstraint {
+  enum class BOp : std::uint8_t {
+    PushLab,       // arg = var index
+    PushMod,
+    PushRole,
+    PushPos,
+    PushConst,     // arg = constant
+    WordAt,        // pos -> word handle (invalid when out of range)
+    CatOf,         // word -> category (propagates invalid)
+    Eq, Gt, Lt,    // pop 2, push bool
+    Not,           // pop 1, push bool
+    JmpIfFalseKeep,  // top false: keep it, jump to arg; else pop, continue
+    JmpIfTrueKeep,   // top true:  keep it, jump to arg; else pop, continue
+    IfAnte,        // pop antecedent; false: push true, jump to arg
+  };
+  struct Instr {
+    BOp op;
+    std::int32_t arg;   // var index / constant / jump target (absolute pc)
+  };
+  std::vector<Instr> code;
+  int arity = 1;
+  std::string name;     // carried over from the Constraint, for traces
+};
+
+CompiledConstraint compile_constraint(const Constraint& c);
+
+/// Same result as eval_constraint on the original AST.
+bool eval_compiled(const CompiledConstraint& c, const EvalContext& ctx);
+
+/// Compiles a whole constraint set.
+std::vector<CompiledConstraint> compile_all(
+    const std::vector<Constraint>& cs);
+
+}  // namespace parsec::cdg

@@ -1,0 +1,220 @@
+#include "cdg/constraint_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+
+#include "cdg/grammar.h"
+
+namespace parsec::cdg {
+
+namespace {
+
+using util::Sexpr;
+
+[[noreturn]] void fail(const Sexpr& at, const std::string& msg) {
+  throw ConstraintParseError(msg + " at " + std::to_string(at.line) + ":" +
+                             std::to_string(at.col) + " in `" +
+                             at.to_string() + "`");
+}
+
+std::optional<int> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return std::nullopt;
+  for (; i < s.size(); ++i)
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+  return std::stoi(s);
+}
+
+class Parser {
+ public:
+  explicit Parser(const Grammar& g) : g_(g) {}
+
+  Constraint parse(const Sexpr& sx) {
+    if (!sx.is_list() || sx.size() != 3 || !sx[0].is("if"))
+      fail(sx, "constraint must be (if antecedent consequent)");
+    Constraint c;
+    c.root.op = Op::If;
+    c.root.type = ValueType::Bool;
+    c.root.args.push_back(parse_bool(sx[1]));
+    c.root.args.push_back(parse_bool(sx[2]));
+    c.arity = uses_y_ ? 2 : 1;
+    return c;
+  }
+
+ private:
+  Expr parse_bool(const Sexpr& sx) {
+    if (!sx.is_list() || sx.items.empty() || !sx[0].is_atom())
+      fail(sx, "expected a predicate");
+    const std::string& head = sx[0].atom;
+    Expr e;
+    e.type = ValueType::Bool;
+    if (head == "and" || head == "or") {
+      e.op = head == "and" ? Op::And : Op::Or;
+      if (sx.size() < 3) fail(sx, "(and ...) / (or ...) need >= 2 operands");
+      for (std::size_t i = 1; i < sx.size(); ++i)
+        e.args.push_back(parse_bool(sx[i]));
+      return e;
+    }
+    if (head == "not") {
+      e.op = Op::Not;
+      if (sx.size() != 2) fail(sx, "(not p) takes exactly one operand");
+      e.args.push_back(parse_bool(sx[1]));
+      return e;
+    }
+    if (head == "eq" || head == "gt" || head == "lt") {
+      e.op = head == "eq" ? Op::Eq : head == "gt" ? Op::Gt : Op::Lt;
+      if (sx.size() != 3) fail(sx, "comparison takes exactly two operands");
+      auto [a, b] = parse_value_pair(sx[1], sx[2], sx);
+      if (e.op != Op::Eq && a.type != ValueType::Pos)
+        fail(sx, "gt/lt compare positions/integers only (paper §1.3)");
+      e.args.push_back(std::move(a));
+      e.args.push_back(std::move(b));
+      return e;
+    }
+    fail(sx, "unknown predicate `" + head + "`");
+  }
+
+  /// Parses the two operands of a comparison, resolving bare atoms
+  /// against the type of the structurally-typed side.
+  std::pair<Expr, Expr> parse_value_pair(const Sexpr& lhs, const Sexpr& rhs,
+                                         const Sexpr& ctx) {
+    std::optional<Expr> a = try_parse_structural(lhs);
+    std::optional<Expr> b = try_parse_structural(rhs);
+    if (a && b) {
+      if (a->type != b->type)
+        fail(ctx, std::string("type mismatch: ") + to_string(a->type) +
+                      " vs " + to_string(b->type));
+      return {std::move(*a), std::move(*b)};
+    }
+    if (a && !b) return {std::move(*a), parse_atom_as(rhs, a->type)};
+    if (!a && b) return {parse_atom_as(lhs, b->type), std::move(*b)};
+    // Both bare atoms: only positions/nil are unambiguous.
+    Expr ea = parse_atom_as(lhs, ValueType::Pos);
+    Expr eb = parse_atom_as(rhs, ValueType::Pos);
+    return {std::move(ea), std::move(eb)};
+  }
+
+  /// Parses access-function applications (whose type is determined by
+  /// their head); returns nullopt for bare atoms.
+  std::optional<Expr> try_parse_structural(const Sexpr& sx) {
+    if (sx.is_atom()) return std::nullopt;
+    if (sx.items.empty() || !sx[0].is_atom())
+      fail(sx, "expected an access function");
+    const std::string& head = sx[0].atom;
+    Expr e;
+    if (head == "lab" || head == "mod" || head == "role" || head == "pos") {
+      if (sx.size() != 2) fail(sx, "(" + head + " v) takes one variable");
+      e.op = head == "lab"    ? Op::Lab
+             : head == "mod"  ? Op::Mod
+             : head == "role" ? Op::RoleOf
+                              : Op::PosOf;
+      e.type = (e.op == Op::Lab)      ? ValueType::Label
+               : (e.op == Op::RoleOf) ? ValueType::RoleT
+                                      : ValueType::Pos;
+      e.args.push_back(parse_var(sx[1]));
+      return e;
+    }
+    if (head == "word") {
+      if (sx.size() != 2) fail(sx, "(word p) takes one position expression");
+      e.op = Op::WordAt;
+      e.type = ValueType::Word;
+      e.args.push_back(parse_pos_expr(sx[1]));
+      return e;
+    }
+    if (head == "cat") {
+      if (sx.size() != 2) fail(sx, "(cat w) takes one word expression");
+      e.op = Op::CatOf;
+      e.type = ValueType::Cat;
+      auto w = try_parse_structural(sx[1]);
+      if (!w || w->type != ValueType::Word)
+        fail(sx, "(cat ...) expects a (word ...) expression");
+      e.args.push_back(std::move(*w));
+      return e;
+    }
+    fail(sx, "unknown access function `" + head + "`");
+  }
+
+  Expr parse_pos_expr(const Sexpr& sx) {
+    if (sx.is_atom()) return parse_atom_as(sx, ValueType::Pos);
+    auto e = try_parse_structural(sx);
+    if (!e || e->type != ValueType::Pos)
+      fail(sx, "expected a position expression");
+    return std::move(*e);
+  }
+
+  Expr parse_var(const Sexpr& sx) {
+    if (!sx.is_atom() || (sx.atom != "x" && sx.atom != "y"))
+      fail(sx, "expected role-value variable x or y");
+    if (sx.atom == "y") uses_y_ = true;
+    Expr e;
+    e.op = Op::Var;
+    e.type = ValueType::Bool;  // placeholder; Var is not a value by itself
+    e.value = sx.atom == "y" ? 1 : 0;
+    return e;
+  }
+
+  Expr parse_atom_as(const Sexpr& sx, ValueType want) {
+    if (!sx.is_atom())
+      fail(sx, "expected a constant of type " + std::string(to_string(want)));
+    const std::string& a = sx.atom;
+    Expr e;
+    e.type = want;
+    switch (want) {
+      case ValueType::Pos:
+        if (a == "nil") {
+          e.op = Op::ConstInt;
+          e.value = kNil;
+          return e;
+        }
+        if (auto v = parse_int(a)) {
+          e.op = Op::ConstInt;
+          e.value = *v;
+          return e;
+        }
+        fail(sx, "expected a position literal or nil, got `" + a + "`");
+      case ValueType::Label:
+        if (auto id = g_.labels().find(a)) {
+          e.op = Op::ConstSym;
+          e.value = *id;
+          return e;
+        }
+        fail(sx, "unknown label `" + a + "`");
+      case ValueType::RoleT:
+        if (auto id = g_.roles().find(a)) {
+          e.op = Op::ConstSym;
+          e.value = *id;
+          return e;
+        }
+        fail(sx, "unknown role `" + a + "`");
+      case ValueType::Cat:
+        if (auto id = g_.categories().find(a)) {
+          e.op = Op::ConstSym;
+          e.value = *id;
+          return e;
+        }
+        fail(sx, "unknown category `" + a + "`");
+      case ValueType::Word:
+      case ValueType::Bool:
+        break;
+    }
+    fail(sx, "cannot write a literal of type " +
+                 std::string(to_string(want)));
+  }
+
+  const Grammar& g_;
+  bool uses_y_ = false;
+};
+
+}  // namespace
+
+Constraint parse_constraint(const Grammar& g, const util::Sexpr& sexpr) {
+  return Parser(g).parse(sexpr);
+}
+
+Constraint parse_constraint(const Grammar& g, std::string_view text) {
+  return parse_constraint(g, util::parse_sexpr(text));
+}
+
+}  // namespace parsec::cdg

@@ -1,0 +1,37 @@
+// Parser + type checker for the constraint surface syntax (paper §1.3).
+//
+// Turns s-expression text like
+//
+//   (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+//       (and (eq (lab x) ROOT) (eq (mod x) nil)))
+//
+// into a typed Constraint AST.  Symbols are resolved against the grammar:
+// a bare atom in an (eq ...) is a label, role or category constant
+// depending on the type of the opposite operand; `nil` is position 0;
+// decimal literals are positions; `x` and `y` are the role-value
+// variables.  The constraint's arity (unary/binary) is inferred from
+// whether `y` occurs.
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "cdg/constraint.h"
+#include "util/sexpr.h"
+
+namespace parsec::cdg {
+
+class Grammar;
+
+/// Raised on syntax or type errors, with source position and context.
+struct ConstraintParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses one constraint from text.  Throws ConstraintParseError.
+Constraint parse_constraint(const Grammar& g, std::string_view text);
+
+/// Parses one constraint from an already-read s-expression.
+Constraint parse_constraint(const Grammar& g, const util::Sexpr& sexpr);
+
+}  // namespace parsec::cdg

@@ -1,0 +1,53 @@
+#include "cdg/diagnose.h"
+
+#include <vector>
+
+namespace parsec::cdg {
+
+Diagnosis diagnose(const SequentialParser& parser, const Sentence& s) {
+  Diagnosis d;
+  Network net = parser.make_network(s);
+  // Initial candidate counts, to replay the elimination stream.
+  std::vector<std::size_t> remaining;
+  for (int role = 0; role < net.num_roles(); ++role)
+    remaining.push_back(net.domain(role).count());
+
+  net.set_trace([&](const TraceEvent& e) { d.events.push_back(e); });
+  parser.parse(net);
+  net.filter();
+  d.accepted = net.all_roles_nonempty();
+  if (d.accepted) return d;
+
+  // Root cause: the role that emptied *first* in the elimination
+  // stream (later emptyings are usually cascades from it).
+  for (const TraceEvent& e : d.events) {
+    if (--remaining[e.role] > 0) continue;
+    d.empty_role = e.role;
+    d.word = net.word_of_role(e.role);
+    d.role_id = net.role_id_of(e.role);
+    d.last_removed = e.rv;
+    d.cause = e.cause;
+    d.kind = e.kind;
+    break;
+  }
+  return d;
+}
+
+std::string render_diagnosis(const Grammar& g, const Sentence& s,
+                             const Diagnosis& d) {
+  if (d.accepted) return "accepted";
+  if (d.empty_role < 0) return "rejected (no role emptied?)";
+  std::string out = "rejected: word " + std::to_string(d.word) + " \"" +
+                    s.word_at(d.word) + "\" has no candidate for its " +
+                    g.role_name(d.role_id) + " role";
+  if (!d.cause.empty()) {
+    out += "; its last candidate " + to_string(g, d.last_removed) + " was ";
+    out += d.kind == TraceEvent::Kind::UnaryElimination
+               ? ("removed by constraint '" + d.cause + "'")
+               : "removed by consistency maintenance (no compatible role "
+                 "value remained on some arc)";
+  }
+  return out;
+}
+
+}  // namespace parsec::cdg

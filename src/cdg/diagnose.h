@@ -1,0 +1,42 @@
+// Rejection diagnostics: *why* was a sentence rejected?
+//
+// CDG makes this unusually easy (paper §1.4: "syntactic ambiguity is
+// easy to spot in CDG"; the dual holds for failure): a rejected
+// sentence has a role whose candidates were all eliminated, and the
+// elimination trace attributes each removal to the unary constraint or
+// consistency sweep that caused it.  This module runs a traced parse
+// and reports the first role to empty together with its final
+// elimination.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdg/network.h"
+#include "cdg/parser.h"
+
+namespace parsec::cdg {
+
+struct Diagnosis {
+  bool accepted = false;
+  /// Dense index of the first role left without candidates (-1 when
+  /// accepted).
+  int empty_role = -1;
+  WordPos word = 0;
+  RoleId role_id = 0;
+  /// The last role value removed from that role, and what removed it.
+  RoleValue last_removed{};
+  std::string cause;
+  TraceEvent::Kind kind = TraceEvent::Kind::SupportElimination;
+  /// Complete elimination history of the parse, in order.
+  std::vector<TraceEvent> events;
+};
+
+/// Parses `s` with tracing enabled and explains the outcome.
+Diagnosis diagnose(const SequentialParser& parser, const Sentence& s);
+
+/// Human-readable one-paragraph explanation.
+std::string render_diagnosis(const Grammar& g, const Sentence& s,
+                             const Diagnosis& d);
+
+}  // namespace parsec::cdg

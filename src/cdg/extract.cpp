@@ -1,0 +1,154 @@
+#include "cdg/extract.h"
+
+#include <algorithm>
+
+namespace parsec::cdg {
+
+namespace {
+
+/// Backtracking enumerator over the CN.  Variables are roles, domains
+/// are alive role values, and binary compatibility is exactly the arc
+/// matrices.  MRV ordering: most-constrained role first.
+class Enumerator {
+ public:
+  Enumerator(Network& net, std::size_t limit) : net_(net), limit_(limit) {
+    net_.build_arcs();
+    const int R = net_.num_roles();
+    order_.reserve(R);
+    for (int r = 0; r < R; ++r) order_.push_back(r);
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      return net_.domain(a).count() < net_.domain(b).count();
+    });
+    chosen_.assign(R, -1);
+  }
+
+  /// When `collect` is false only counts solutions.
+  void run(bool collect) {
+    collect_ = collect;
+    search(0);
+  }
+
+  std::size_t count() const { return count_; }
+  std::vector<ParseSolution>& solutions() { return solutions_; }
+
+ private:
+  void search(std::size_t depth) {
+    if (count_ >= limit_) return;
+    if (depth == order_.size()) {
+      ++count_;
+      if (collect_) {
+        ParseSolution sol;
+        sol.assignment.resize(order_.size());
+        for (std::size_t i = 0; i < order_.size(); ++i)
+          sol.assignment[order_[i]] = net_.indexer().decode(chosen_[order_[i]]);
+        solutions_.push_back(std::move(sol));
+      }
+      return;
+    }
+    const int role = order_[depth];
+    bool pruned_all = true;
+    net_.domain(role).for_each([&](std::size_t rv) {
+      if (count_ >= limit_) return;
+      pruned_all = false;
+      // Check compatibility with every earlier assignment.
+      for (std::size_t i = 0; i < depth; ++i) {
+        const int other = order_[i];
+        if (!net_.arc_allows(role, static_cast<int>(rv), other,
+                             chosen_[other]))
+          return;  // this rv conflicts; try next
+      }
+      chosen_[role] = static_cast<int>(rv);
+      search(depth + 1);
+      chosen_[role] = -1;
+    });
+    (void)pruned_all;
+  }
+
+  Network& net_;
+  std::size_t limit_;
+  bool collect_ = true;
+  std::vector<int> order_;
+  std::vector<int> chosen_;
+  std::size_t count_ = 0;
+  std::vector<ParseSolution> solutions_;
+};
+
+}  // namespace
+
+std::vector<ParseSolution> extract_parses(Network& net, std::size_t limit) {
+  Enumerator e(net, limit);
+  e.run(/*collect=*/true);
+  return std::move(e.solutions());
+}
+
+std::size_t count_parses(Network& net, std::size_t limit) {
+  Enumerator e(net, limit);
+  e.run(/*collect=*/false);
+  return e.count();
+}
+
+bool has_parse(Network& net) { return count_parses(net, 1) == 1; }
+
+std::vector<PrecedenceEdge> precedence_graph(const Network& net,
+                                             const ParseSolution& sol) {
+  std::vector<PrecedenceEdge> edges;
+  edges.reserve(sol.assignment.size());
+  for (int role = 0; role < net.num_roles(); ++role) {
+    const RoleValue rv = sol.assignment[role];
+    edges.push_back(PrecedenceEdge{net.word_of_role(role),
+                                   net.role_id_of(role), rv.label, rv.mod});
+  }
+  return edges;
+}
+
+std::string render_solution(const Network& net, const ParseSolution& sol) {
+  const Grammar& g = net.grammar();
+  std::string out;
+  for (WordPos w = 1; w <= net.n(); ++w) {
+    out += "Word=" + net.sentence().word_at(w) +
+           " Position=" + std::to_string(w);
+    for (RoleId r = 0; r < g.num_roles(); ++r) {
+      const RoleValue rv = sol.assignment[net.role_index(w, r)];
+      // Abbreviate the role to its uppercase initial, as the paper does
+      // (G = governor, N = needs).
+      char initial =
+          static_cast<char>(std::toupper(g.role_name(r).front()));
+      out += ' ';
+      out += initial;
+      out += '=';
+      out += to_string(g, rv);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_dot(const Network& net, const ParseSolution& sol) {
+  const Grammar& g = net.grammar();
+  std::string out = "digraph precedence {\n  rankdir=LR;\n";
+  for (WordPos w = 1; w <= net.n(); ++w) {
+    out += "  w" + std::to_string(w) + " [label=\"" +
+           net.sentence().word_at(w) + "\\n" + std::to_string(w) + "\"";
+    // Mark the root (a governor link to nil).
+    for (RoleId r = 0; r < g.num_roles(); ++r) {
+      const RoleValue rv = sol.assignment[net.role_index(w, r)];
+      if (rv.mod == kNil && g.role_name(r) == "governor")
+        out += ", shape=doubleoctagon";
+    }
+    out += "];\n";
+  }
+  for (WordPos w = 1; w <= net.n(); ++w) {
+    for (RoleId r = 0; r < g.num_roles(); ++r) {
+      const RoleValue rv = sol.assignment[net.role_index(w, r)];
+      if (rv.mod == kNil) continue;
+      out += "  w" + std::to_string(w) + " -> w" + std::to_string(rv.mod) +
+             " [label=\"" + g.label_name(rv.label) + "\"";
+      if (g.role_name(r) != "governor") out += ", style=dashed";
+      out += "];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace parsec::cdg

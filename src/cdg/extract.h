@@ -1,0 +1,64 @@
+// Parse extraction (paper §1.4, Figs. 6-7).
+//
+// After propagation the CN compactly stores every remaining analysis.
+// A *parse* selects one role value per role such that every pair is
+// compatible under the arc matrices; the modifiees of the governor role
+// values form the edges of the precedence graph (the CDG parse tree).
+// Extraction is a backtracking search with an MRV variable order — the
+// paper's "backtracking search to enumerate the parse graphs".
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cdg/network.h"
+#include "cdg/role_value.h"
+
+namespace parsec::cdg {
+
+/// One complete, arc-consistent choice of role values.
+struct ParseSolution {
+  /// assignment[role] is the chosen role value for dense role index
+  /// `role` (see Network::role_index).
+  std::vector<RoleValue> assignment;
+};
+
+/// One edge of the precedence graph: word `from` fills function `label`
+/// for word `to` (`to == kNil` for the root).
+struct PrecedenceEdge {
+  WordPos from;
+  RoleId role;
+  LabelId label;
+  WordPos to;
+  bool operator==(const PrecedenceEdge&) const = default;
+};
+
+/// Enumerates up to `limit` parses.  Builds arcs if needed.
+std::vector<ParseSolution> extract_parses(
+    Network& net, std::size_t limit = std::numeric_limits<std::size_t>::max());
+
+/// Number of parses, counting stops at `limit`.
+std::size_t count_parses(Network& net,
+                         std::size_t limit = std::numeric_limits<std::size_t>::max());
+
+/// True iff at least one complete parse exists (exact acceptance, as
+/// opposed to the necessary nonempty-domain condition).
+bool has_parse(Network& net);
+
+/// Reads the precedence graph of a solution (all roles' edges, governor
+/// first).
+std::vector<PrecedenceEdge> precedence_graph(const Network& net,
+                                             const ParseSolution& sol);
+
+/// Renders a solution in the style of Fig. 7:
+///   Word=program Position=2 G=SUBJ-3 N=NP-1
+std::string render_solution(const Network& net, const ParseSolution& sol);
+
+/// Graphviz DOT rendering of the precedence graph: one node per word,
+/// one labelled edge per governor/needs link (nil links rendered as a
+/// ROOT marker on the node).  Pipe into `dot -Tpng` to draw Fig. 7.
+std::string render_dot(const Network& net, const ParseSolution& sol);
+
+}  // namespace parsec::cdg

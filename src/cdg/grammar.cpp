@@ -1,0 +1,94 @@
+#include "cdg/grammar.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdg/constraint_parser.h"
+
+namespace parsec::cdg {
+
+namespace {
+template <typename V>
+void grow_to(std::vector<V>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+}
+}  // namespace
+
+void Grammar::allow_label(RoleId r, LabelId l) {
+  grow_to(role_label_, static_cast<std::size_t>(r) + 1);
+  grow_to(role_label_[r], static_cast<std::size_t>(l) + 1);
+  role_label_[r][l] = true;
+}
+
+void Grammar::allow_label_for_category(RoleId r, CatId c, LabelId l) {
+  grow_to(role_cat_label_, static_cast<std::size_t>(r) + 1);
+  grow_to(role_cat_label_[r], static_cast<std::size_t>(c) + 1);
+  grow_to(role_cat_label_[r][c], static_cast<std::size_t>(l) + 1);
+  role_cat_label_[r][c][l] = true;
+  // The coarse table must still admit the label so that arc matrices
+  // (built category-blind, Fig. 9) have a slot for it.
+  allow_label(r, l);
+}
+
+void Grammar::add_constraint(Constraint c) {
+  if (c.arity == 1)
+    unary_.push_back(std::move(c));
+  else if (c.arity == 2)
+    binary_.push_back(std::move(c));
+  else
+    throw std::invalid_argument(
+        "CDG constraints must be unary or binary (paper §1.3); got arity " +
+        std::to_string(c.arity));
+}
+
+void Grammar::add_constraint_text(std::string_view name,
+                                  std::string_view text) {
+  Constraint c = parse_constraint(*this, text);
+  c.name = std::string(name);
+  add_constraint(std::move(c));
+}
+
+bool Grammar::coarse_allowed(RoleId r, LabelId l) const {
+  return static_cast<std::size_t>(r) < role_label_.size() &&
+         static_cast<std::size_t>(l) < role_label_[r].size() &&
+         role_label_[r][l];
+}
+
+bool Grammar::label_allowed_any_cat(RoleId r, LabelId l) const {
+  return coarse_allowed(r, l);
+}
+
+bool Grammar::label_allowed(RoleId r, CatId c, LabelId l) const {
+  if (!coarse_allowed(r, l)) return false;
+  // If any category refinement exists for this role, it is authoritative
+  // for the labels it mentions.
+  if (static_cast<std::size_t>(r) >= role_cat_label_.size()) return true;
+  const auto& per_cat = role_cat_label_[r];
+  // Does any category refine label l for this role?
+  bool refined = false;
+  for (const auto& labels : per_cat) {
+    if (static_cast<std::size_t>(l) < labels.size() && labels[l]) {
+      refined = true;
+      break;
+    }
+  }
+  if (!refined) return true;  // label never category-restricted
+  return static_cast<std::size_t>(c) < per_cat.size() &&
+         static_cast<std::size_t>(l) < per_cat[c].size() && per_cat[c][l];
+}
+
+std::vector<LabelId> Grammar::labels_for_role(RoleId r) const {
+  std::vector<LabelId> out;
+  for (LabelId l = 0; l < num_labels(); ++l)
+    if (coarse_allowed(r, l)) out.push_back(l);
+  return out;
+}
+
+int Grammar::max_labels_per_role() const {
+  int best = 0;
+  for (RoleId r = 0; r < num_roles(); ++r)
+    best = std::max(best, static_cast<int>(labels_for_role(r).size()));
+  return best;
+}
+
+}  // namespace parsec::cdg

@@ -1,0 +1,106 @@
+// The CDG grammar 5-tuple <Sigma, L, R, T, C> (paper §1.1).
+//
+//   Sigma — terminal symbols: lexical categories (det, noun, verb, ...)
+//   L     — labels: functions words can fill (SUBJ, ROOT, DET, NP, ...)
+//   R     — roles per word (governor, needs, ...)
+//   T     — table restricting which labels are legal for which role
+//           (optionally further restricted per lexical category, as the
+//           paper's implementation does: "we also restrict labels by
+//           using word category information", §1.1 fn. 1)
+//   C     — the unary and binary constraints
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdg/constraint.h"
+#include "cdg/symbols.h"
+#include "cdg/types.h"
+
+namespace parsec::cdg {
+
+class Grammar {
+ public:
+  // ---- construction -------------------------------------------------
+  CatId add_category(std::string_view name) { return cats_.intern(name); }
+  LabelId add_label(std::string_view name) { return labels_.intern(name); }
+  RoleId add_role(std::string_view name) { return roles_.intern(name); }
+
+  /// Table T: label `l` is legal for role `r` (for every category).
+  void allow_label(RoleId r, LabelId l);
+
+  /// Category-refined T: label `l` is legal for role `r` only when the
+  /// word's category is `c`.  Once any category-level entry exists for
+  /// (r, l), the plain allow_label grant for that pair is superseded.
+  void allow_label_for_category(RoleId r, CatId c, LabelId l);
+
+  /// Adds a parsed constraint; it is routed to the unary or binary set
+  /// by its arity.
+  void add_constraint(Constraint c);
+
+  /// Parses the constraint from the paper's s-expression syntax and adds
+  /// it.  `name` is used in diagnostics and traces.
+  void add_constraint_text(std::string_view name, std::string_view text);
+
+  // ---- symbol access -------------------------------------------------
+  const SymbolTable& categories() const { return cats_; }
+  const SymbolTable& labels() const { return labels_; }
+  const SymbolTable& roles() const { return roles_; }
+
+  int num_categories() const { return cats_.size(); }
+  int num_labels() const { return labels_.size(); }
+  int num_roles() const { return roles_.size(); }
+
+  CatId category(std::string_view name) const { return cats_.at(name); }
+  LabelId label(std::string_view name) const { return labels_.at(name); }
+  RoleId role(std::string_view name) const { return roles_.at(name); }
+
+  const std::string& category_name(CatId c) const { return cats_.name(c); }
+  const std::string& label_name(LabelId l) const { return labels_.name(l); }
+  const std::string& role_name(RoleId r) const { return roles_.name(r); }
+
+  // ---- table T queries ----------------------------------------------
+  /// True if label `l` may appear in role `r` for a word of category `c`.
+  bool label_allowed(RoleId r, CatId c, LabelId l) const;
+
+  /// True if label `l` may appear in role `r` for any category (this is
+  /// the coarse table used when building arc matrices; cf. Fig. 9, where
+  /// the matrix spans all T-allowed labels regardless of word category).
+  bool label_allowed_any_cat(RoleId r, LabelId l) const;
+
+  /// Labels allowed in role `r` under the coarse table, in label-id order.
+  std::vector<LabelId> labels_for_role(RoleId r) const;
+
+  /// Maximum over roles of labels_for_role().size(); the paper's
+  /// grammatical constant `l` used for PE virtualization (Fig. 13).
+  int max_labels_per_role() const;
+
+  // ---- constraints ----------------------------------------------------
+  const std::vector<Constraint>& unary_constraints() const { return unary_; }
+  const std::vector<Constraint>& binary_constraints() const { return binary_; }
+  /// k = k_u + k_b, the paper's grammatical constant.
+  int num_constraints() const {
+    return static_cast<int>(unary_.size() + binary_.size());
+  }
+
+ private:
+  struct TableKey {
+    RoleId role;
+    LabelId label;
+    bool operator==(const TableKey&) const = default;
+  };
+
+  bool coarse_allowed(RoleId r, LabelId l) const;
+
+  SymbolTable cats_, labels_, roles_;
+  // T as dense boolean tables, grown on demand.
+  std::vector<std::vector<bool>> role_label_;               // [role][label]
+  // Category refinements: [role][cat][label]; empty vectors mean
+  // "no refinement recorded".
+  std::vector<std::vector<std::vector<bool>>> role_cat_label_;
+  std::vector<Constraint> unary_;
+  std::vector<Constraint> binary_;
+};
+
+}  // namespace parsec::cdg

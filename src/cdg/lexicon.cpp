@@ -1,0 +1,80 @@
+#include "cdg/lexicon.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdg/grammar.h"
+
+namespace parsec::cdg {
+
+void Lexicon::add(std::string_view word, std::vector<CatId> cats) {
+  if (cats.empty())
+    throw std::invalid_argument("lexicon entry needs at least one category: " +
+                                std::string(word));
+  entries_[std::string(word)] = std::move(cats);
+}
+
+void Lexicon::add(Grammar& g, std::string_view word,
+                  std::initializer_list<std::string_view> cat_names) {
+  std::vector<CatId> cats;
+  cats.reserve(cat_names.size());
+  for (auto name : cat_names) cats.push_back(g.add_category(name));
+  add(word, std::move(cats));
+}
+
+bool Lexicon::contains(std::string_view word) const {
+  return entries_.find(std::string(word)) != entries_.end();
+}
+
+std::span<const CatId> Lexicon::categories(std::string_view word) const {
+  auto it = entries_.find(std::string(word));
+  if (it == entries_.end())
+    throw std::out_of_range("word not in lexicon: " + std::string(word));
+  return it->second;
+}
+
+std::vector<std::string> Lexicon::words() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [word, cats] : entries_) out.push_back(word);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Sentence Lexicon::tag(const std::vector<std::string>& words) const {
+  Sentence s;
+  s.words = words;
+  s.cats.reserve(words.size());
+  for (const auto& w : words) s.cats.push_back(categories(w).front());
+  return s;
+}
+
+std::vector<Sentence> Lexicon::taggings(const std::vector<std::string>& words,
+                                        std::size_t limit) const {
+  std::vector<Sentence> out;
+  Sentence cur;
+  cur.words = words;
+  cur.cats.assign(words.size(), 0);
+  // Iterative cartesian product, preferred categories first.
+  std::vector<std::span<const CatId>> choices;
+  choices.reserve(words.size());
+  for (const auto& w : words) choices.push_back(categories(w));
+  std::vector<std::size_t> idx(words.size(), 0);
+  while (out.size() < limit) {
+    for (std::size_t i = 0; i < words.size(); ++i)
+      cur.cats[i] = choices[i][idx[i]];
+    out.push_back(cur);
+    // odometer increment
+    std::size_t i = words.size();
+    while (i > 0) {
+      --i;
+      if (++idx[i] < choices[i].size()) break;
+      idx[i] = 0;
+      if (i == 0) return out;
+    }
+    if (words.empty()) return out;
+  }
+  return out;
+}
+
+}  // namespace parsec::cdg

@@ -1,0 +1,63 @@
+// Lexicon: surface word -> lexical categories, plus sentence tagging.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cdg/types.h"
+
+namespace parsec::cdg {
+
+class Grammar;
+
+/// A tagged sentence: the input to CN construction.  Positions are
+/// 1-based throughout (position 0 is the `nil` modifiee).
+struct Sentence {
+  std::vector<std::string> words;  // words[i] is word at position i+1
+  std::vector<CatId> cats;         // chosen category per word
+
+  int size() const { return static_cast<int>(words.size()); }
+  const std::string& word_at(WordPos p) const { return words.at(p - 1); }
+  CatId cat_at(WordPos p) const { return cats.at(p - 1); }
+};
+
+/// Word -> category set.  The paper's nodes store "the possible parts of
+/// speech" per word; its access function (cat w) is single-valued, so a
+/// Sentence fixes one category per word.  `tag` picks each word's first
+/// listed category; `taggings` enumerates every combination for
+/// experiments with lexically ambiguous words.
+class Lexicon {
+ public:
+  /// Registers `word` with categories `cats` (first = preferred tag).
+  void add(std::string_view word, std::vector<CatId> cats);
+
+  /// Convenience: category names resolved against `g` (interning them).
+  void add(Grammar& g, std::string_view word,
+           std::initializer_list<std::string_view> cat_names);
+
+  bool contains(std::string_view word) const;
+
+  /// All categories for `word`; throws std::out_of_range if unknown.
+  std::span<const CatId> categories(std::string_view word) const;
+
+  /// Tags each word with its preferred (first) category.
+  Sentence tag(const std::vector<std::string>& words) const;
+
+  /// Every category assignment (cartesian product), preferred-first.
+  /// Bounded by `limit` to stay safe on pathological input.
+  std::vector<Sentence> taggings(const std::vector<std::string>& words,
+                                 std::size_t limit = 64) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// All words, sorted (for deterministic serialization/inspection).
+  std::vector<std::string> words() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<CatId>> entries_;
+};
+
+}  // namespace parsec::cdg

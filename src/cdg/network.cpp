@@ -1,0 +1,262 @@
+#include "cdg/network.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace parsec::cdg {
+
+Network::Network(const Grammar& g, const Sentence& s, Options opt)
+    : grammar_(&g), sentence_(s), indexer_(s.size(), g.num_labels()) {
+  if (s.size() <= 0) throw std::invalid_argument("empty sentence");
+  const int R = num_roles();
+  const int D = domain_size();
+  domains_.assign(R, util::DynBitset(static_cast<std::size_t>(D)));
+
+  // Initial domains (paper §1.2, Fig. 1): every (label, modifiee) pair
+  // such that the label is legal for the role (table T, refined by the
+  // word's category) and the modifiee is not the word itself.
+  for (int role = 0; role < R; ++role) {
+    const WordPos w = word_of_role(role);
+    const RoleId rid = role_id_of(role);
+    const CatId cat = sentence_.cat_at(w);
+    for (LabelId l = 0; l < g.num_labels(); ++l) {
+      if (!g.label_allowed(rid, cat, l)) continue;
+      for (WordPos m = 0; m <= n(); ++m) {
+        if (m == w) continue;  // no word ever modifies itself
+        domains_[role].set(indexer_.encode(RoleValue{l, m}));
+      }
+    }
+  }
+
+  if (opt.prebuild_arcs) build_arcs();
+}
+
+std::vector<RoleValue> Network::alive_values(int role) const {
+  std::vector<RoleValue> out;
+  domains_[role].for_each(
+      [&](std::size_t rv) { out.push_back(indexer_.decode(static_cast<int>(rv))); });
+  return out;
+}
+
+std::size_t Network::pair_index(int ra, int rb) const {
+  assert(ra < rb);
+  const std::size_t R = static_cast<std::size_t>(num_roles());
+  const std::size_t a = static_cast<std::size_t>(ra);
+  const std::size_t b = static_cast<std::size_t>(rb);
+  // Row-major upper triangle (excluding the diagonal).
+  return a * R - a * (a + 1) / 2 + (b - a - 1);
+}
+
+void Network::build_arcs() {
+  if (arcs_built_) return;
+  const int R = num_roles();
+  const std::size_t D = static_cast<std::size_t>(domain_size());
+  arcs_.assign(static_cast<std::size_t>(R) * (R - 1) / 2,
+               util::BitMatrix(D, D, false));
+  for (int ra = 0; ra < R; ++ra) {
+    for (int rb = ra + 1; rb < R; ++rb) {
+      util::BitMatrix& m = arcs_[pair_index(ra, rb)];
+      domains_[ra].for_each([&](std::size_t i) {
+        domains_[rb].for_each([&](std::size_t j) { m.set(i, j); });
+      });
+    }
+  }
+  arcs_built_ = true;
+}
+
+const util::BitMatrix& Network::arc_matrix(int ra, int rb) const {
+  assert(arcs_built_);
+  return arcs_[pair_index(ra, rb)];
+}
+
+util::BitMatrix& Network::arc(int ra, int rb) {
+  return arcs_[pair_index(ra, rb)];
+}
+
+bool Network::arc_allows(int ra, int rv_a, int rb, int rv_b) const {
+  assert(arcs_built_);
+  if (ra < rb)
+    return arcs_[pair_index(ra, rb)].test(static_cast<std::size_t>(rv_a),
+                                          static_cast<std::size_t>(rv_b));
+  return arcs_[pair_index(rb, ra)].test(static_cast<std::size_t>(rv_b),
+                                        static_cast<std::size_t>(rv_a));
+}
+
+void Network::arc_forbid(int ra, int rv_a, int rb, int rv_b) {
+  assert(arcs_built_);
+  if (ra < rb)
+    arc(ra, rb).reset(static_cast<std::size_t>(rv_a),
+                      static_cast<std::size_t>(rv_b));
+  else
+    arc(rb, ra).reset(static_cast<std::size_t>(rv_b),
+                      static_cast<std::size_t>(rv_a));
+  ++counters_.arc_zeroings;
+}
+
+int Network::apply_unary(const CompiledConstraint& c) {
+  assert(c.arity == 1);
+  current_kind_ = TraceEvent::Kind::UnaryElimination;
+  current_cause_ = c.name.empty() ? "unary constraint" : c.name;
+  EvalContext ctx;
+  ctx.sentence = &sentence_;
+  int eliminated = 0;
+  const int R = num_roles();
+  for (int role = 0; role < R; ++role) {
+    // Collect first: eliminating while iterating the bitset is fine for
+    // bits we've already passed, but collecting keeps the sweep order
+    // explicit and matches the parallel semantics (all checks see the
+    // same pre-sweep state for a single constraint).
+    std::vector<int> victims;
+    domains_[role].for_each([&](std::size_t rv) {
+      ctx.x = binding(role, static_cast<int>(rv));
+      ++counters_.unary_evals;
+      if (!eval_compiled(c, ctx)) victims.push_back(static_cast<int>(rv));
+    });
+    for (int rv : victims) {
+      eliminate(role, rv);
+      ++eliminated;
+    }
+  }
+  return eliminated;
+}
+
+int Network::apply_binary(const CompiledConstraint& c) {
+  assert(c.arity == 2);
+  build_arcs();
+  EvalContext ctx;
+  ctx.sentence = &sentence_;
+  int zeroed = 0;
+  const int R = num_roles();
+
+  // Pre-decode alive bindings per role once; the pair loop is the hot
+  // path (O(n^4) evaluations per constraint, paper §1.4).
+  std::vector<std::vector<int>> alive_idx(R);
+  std::vector<std::vector<Binding>> bind(R);
+  for (int role = 0; role < R; ++role) {
+    domains_[role].for_each([&](std::size_t rv) {
+      alive_idx[role].push_back(static_cast<int>(rv));
+      bind[role].push_back(binding(role, static_cast<int>(rv)));
+    });
+  }
+
+  for (int ra = 0; ra < R; ++ra) {
+    for (int rb = ra + 1; rb < R; ++rb) {
+      util::BitMatrix& m = arc(ra, rb);
+      for (std::size_t ii = 0; ii < alive_idx[ra].size(); ++ii) {
+        const int i = alive_idx[ra][ii];
+        for (std::size_t jj = 0; jj < alive_idx[rb].size(); ++jj) {
+          const int j = alive_idx[rb][jj];
+          if (!m.test(static_cast<std::size_t>(i),
+                      static_cast<std::size_t>(j)))
+            continue;
+          // Try both variable assignments (the constraint's x/y are
+          // symmetric slots, not positional).
+          ctx.x = bind[ra][ii];
+          ctx.y = bind[rb][jj];
+          counters_.binary_evals += 2;
+          bool ok = eval_compiled(c, ctx);
+          if (ok) {
+            ctx.x = bind[rb][jj];
+            ctx.y = bind[ra][ii];
+            ok = eval_compiled(c, ctx);
+          }
+          if (!ok) {
+            m.reset(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+            ++counters_.arc_zeroings;
+            ++zeroed;
+          }
+        }
+      }
+    }
+  }
+  return zeroed;
+}
+
+void Network::eliminate(int role, int rv) {
+  if (!domains_[role].test(static_cast<std::size_t>(rv))) return;
+  domains_[role].reset(static_cast<std::size_t>(rv));
+  ++counters_.eliminations;
+  if (trace_)
+    trace_(TraceEvent{current_kind_, current_cause_, role,
+                      indexer_.decode(rv)});
+  if (!arcs_built_) return;
+  const int R = num_roles();
+  for (int other = 0; other < R; ++other) {
+    if (other == role) continue;
+    if (role < other)
+      arc(role, other).zero_row(static_cast<std::size_t>(rv));
+    else
+      arc(other, role).zero_col(static_cast<std::size_t>(rv));
+  }
+}
+
+bool Network::supported(int role, int rv) {
+  assert(arcs_built_);
+  ++counters_.support_checks;
+  const int R = num_roles();
+  for (int other = 0; other < R; ++other) {
+    if (other == role) continue;
+    const bool ok =
+        role < other
+            ? arc(role, other).row_any(static_cast<std::size_t>(rv))
+            : arc(other, role).col_any(static_cast<std::size_t>(rv));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+int Network::consistency_step() {
+  build_arcs();
+  current_kind_ = TraceEvent::Kind::SupportElimination;
+  current_cause_ = "consistency";
+  int eliminated = 0;
+  const int R = num_roles();
+  for (int role = 0; role < R; ++role) {
+    std::vector<int> victims;
+    domains_[role].for_each([&](std::size_t rv) {
+      if (!supported(role, static_cast<int>(rv)))
+        victims.push_back(static_cast<int>(rv));
+    });
+    for (int rv : victims) {
+      eliminate(role, rv);
+      ++eliminated;
+    }
+  }
+  return eliminated;
+}
+
+int Network::filter(int max_iters) {
+  int sweeps = 0;
+  while (max_iters < 0 || sweeps < max_iters) {
+    if (consistency_step() == 0) break;
+    ++sweeps;
+  }
+  return sweeps;
+}
+
+bool Network::all_roles_nonempty() const {
+  for (const auto& d : domains_)
+    if (d.none()) return false;
+  return true;
+}
+
+std::size_t Network::total_alive() const {
+  std::size_t total = 0;
+  for (const auto& d : domains_) total += d.count();
+  return total;
+}
+
+std::size_t Network::arc_ones() const {
+  std::size_t total = 0;
+  for (const auto& m : arcs_) total += m.count();
+  return total;
+}
+
+std::string to_string(const Grammar& g, RoleValue rv) {
+  std::string out = g.label_name(rv.label);
+  out += '-';
+  out += rv.mod == kNil ? "nil" : std::to_string(rv.mod);
+  return out;
+}
+
+}  // namespace parsec::cdg

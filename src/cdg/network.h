@@ -1,0 +1,190 @@
+// The constraint network (CN) of paper §1.2-1.4.
+//
+// One node per word; each node carries q roles (governor, needs, ...).
+// Each role holds a *domain*: the set of role values (label-modifiee
+// pairs) still considered possible.  Every pair of distinct roles in the
+// network is connected by an *arc matrix* recording which role-value
+// pairs may legally coexist.
+//
+// Sizes (paper §1.2): a sentence of n words has R = n*q roles, each with
+// up to D = |L|*(n+1) role values; there are O(n^2) arcs each holding an
+// O(n^2)-bit matrix, i.e. O(n^4) arc elements in total — the quantity
+// the MasPar spreads across its PEs.
+//
+// MasPar fidelity choices mirrored here (§2.2.1):
+//   * arc matrices can be built before unary propagation (design
+//     decision 1; `Options::prebuild_arcs`), or lazily after;
+//   * eliminated role values never shrink a matrix — their rows and
+//     columns are zeroed in place (design decision 4).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cdg/constraint_eval.h"
+#include "cdg/grammar.h"
+#include "cdg/lexicon.h"
+#include "cdg/role_value.h"
+#include "util/bitmatrix.h"
+#include "util/bitset.h"
+
+namespace parsec::cdg {
+
+/// Work counters for the complexity experiments (bench_pram_complexity,
+/// bench_serial_vs_parallel): the serial model's O(k n^4) shape is read
+/// off these rather than noisy wall-clock alone.
+struct NetworkCounters {
+  std::size_t unary_evals = 0;
+  std::size_t binary_evals = 0;
+  std::size_t eliminations = 0;
+  std::size_t arc_zeroings = 0;     // individual matrix bits cleared
+  std::size_t support_checks = 0;
+
+  NetworkCounters& operator+=(const NetworkCounters& o) {
+    unary_evals += o.unary_evals;
+    binary_evals += o.binary_evals;
+    eliminations += o.eliminations;
+    arc_zeroings += o.arc_zeroings;
+    support_checks += o.support_checks;
+    return *this;
+  }
+};
+
+struct NetworkOptions {
+  /// Build arc matrices at construction (MasPar design decision 1)
+  /// instead of on first binary-constraint application (the paper's
+  /// sequential formulation, Fig. 3).  Results are identical; the
+  /// ablation bench measures the work difference.
+  bool prebuild_arcs = true;
+};
+
+/// One elimination, attributed to the phase that caused it.  Consumed
+/// by diagnostics (cdg/diagnose.h) and by anyone debugging a grammar.
+struct TraceEvent {
+  enum class Kind {
+    UnaryElimination,    // a unary constraint removed the role value
+    SupportElimination,  // consistency maintenance removed it
+  };
+  Kind kind;
+  std::string cause;   // constraint name, or "consistency"
+  int role;            // dense role index
+  RoleValue rv;
+};
+
+class Network {
+ public:
+  using Options = NetworkOptions;
+  using TraceFn = std::function<void(const TraceEvent&)>;
+
+  Network(const Grammar& g, const Sentence& s, Options opt = {});
+
+  // ---- shape ----------------------------------------------------------
+  int n() const { return sentence_.size(); }
+  int roles_per_word() const { return grammar_->num_roles(); }
+  /// Total role count R = n * q.
+  int num_roles() const { return n() * roles_per_word(); }
+  /// Shared domain-axis length D = |L| * (n+1).
+  int domain_size() const { return indexer_.domain_size(); }
+
+  const Grammar& grammar() const { return *grammar_; }
+  const Sentence& sentence() const { return sentence_; }
+  const RvIndexer& indexer() const { return indexer_; }
+
+  /// Dense index of (word position, role id); words are 1-based.
+  int role_index(WordPos w, RoleId r) const {
+    return (w - 1) * roles_per_word() + r;
+  }
+  WordPos word_of_role(int role) const { return role / roles_per_word() + 1; }
+  RoleId role_id_of(int role) const { return role % roles_per_word(); }
+
+  // ---- domains ---------------------------------------------------------
+  const util::DynBitset& domain(int role) const { return domains_[role]; }
+  bool alive(int role, int rv) const { return domains_[role].test(rv); }
+  /// Alive role values of a role, in dense-index order.
+  std::vector<RoleValue> alive_values(int role) const;
+
+  // ---- arcs --------------------------------------------------------------
+  bool arcs_built() const { return arcs_built_; }
+  /// Initializes every arc matrix: bit (i,j) is 1 iff both role values
+  /// are currently alive.  Idempotent.
+  void build_arcs();
+
+  /// Arc matrix for roles ra < rb (rows = ra's values, cols = rb's).
+  const util::BitMatrix& arc_matrix(int ra, int rb) const;
+
+  /// Mutable matrix access for parallel engines that partition work by
+  /// arc (each worker owns disjoint matrices).  Counter bookkeeping is
+  /// the caller's responsibility.
+  util::BitMatrix& arc_matrix_mut(int ra, int rb) { return arc(ra, rb); }
+
+  bool arc_allows(int ra, int rv_a, int rb, int rv_b) const;
+  void arc_forbid(int ra, int rv_a, int rb, int rv_b);
+
+  // ---- parsing operations ------------------------------------------------
+  /// Propagates one unary constraint over every role value (paper §1.4);
+  /// returns the number of role values eliminated.
+  int apply_unary(const CompiledConstraint& c);
+
+  /// Propagates one binary constraint over every pair of role values on
+  /// every arc, in both variable assignments; returns bits zeroed.
+  /// Builds arcs first if they are lazy.
+  int apply_binary(const CompiledConstraint& c);
+
+  /// Removes a role value: clears its domain bit and zeroes its row or
+  /// column in every arc matrix incident to `role`.
+  void eliminate(int role, int rv);
+
+  /// True if some arc no longer supports (role, rv): an incident matrix
+  /// whose row/column for rv is all zeros (paper §1.4).
+  bool supported(int role, int rv);
+
+  /// One consistency-maintenance sweep over all role values; returns the
+  /// number eliminated.  Eliminations cascade within the sweep.
+  int consistency_step();
+
+  /// Filtering (paper §1.4): repeats consistency_step until quiescent or
+  /// `max_iters` sweeps have run (<0 = unbounded, the sequential model;
+  /// the MasPar bounds it, design decision 5).  Returns sweeps that
+  /// eliminated at least one value.
+  int filter(int max_iters = -1);
+
+  /// Necessary acceptance condition: every role still has a candidate.
+  bool all_roles_nonempty() const;
+
+  // ---- stats ------------------------------------------------------------
+  std::size_t total_alive() const;
+  std::size_t arc_ones() const;
+  NetworkCounters& counters() { return counters_; }
+  const NetworkCounters& counters() const { return counters_; }
+
+  /// Binding (rv, role-id, word-pos) for constraint evaluation.
+  Binding binding(int role, int rv) const {
+    return Binding{indexer_.decode(rv), role_id_of(role), word_of_role(role)};
+  }
+
+  /// Installs an elimination observer (empty function to clear).  The
+  /// callback fires once per role value removed, attributed to the
+  /// unary constraint or consistency sweep that killed it.
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+ private:
+  std::size_t pair_index(int ra, int rb) const;
+  util::BitMatrix& arc(int ra, int rb);
+
+  const Grammar* grammar_;
+  Sentence sentence_;
+  RvIndexer indexer_;
+  std::vector<util::DynBitset> domains_;       // [role] -> D bits
+  std::vector<util::BitMatrix> arcs_;          // pair(ra<rb) -> D x D
+  bool arcs_built_ = false;
+  NetworkCounters counters_;
+  TraceFn trace_;
+  // Attribution context for trace events during apply_unary /
+  // consistency_step.
+  TraceEvent::Kind current_kind_ = TraceEvent::Kind::SupportElimination;
+  std::string current_cause_ = "consistency";
+};
+
+}  // namespace parsec::cdg

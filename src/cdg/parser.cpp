@@ -1,0 +1,80 @@
+#include "cdg/parser.h"
+
+namespace parsec::cdg {
+
+SequentialParser::SequentialParser(const Grammar& g, ParseOptions opt)
+    : grammar_(&g),
+      opt_(opt),
+      unary_(compile_all(g.unary_constraints())),
+      binary_(compile_all(g.binary_constraints())) {}
+
+Network SequentialParser::make_network(const Sentence& s) const {
+  Network::Options nopt;
+  nopt.prebuild_arcs = opt_.prebuild_arcs;
+  return Network(*grammar_, s, nopt);
+}
+
+int SequentialParser::step_unary(Network& net, std::size_t idx) const {
+  return net.apply_unary(unary_.at(idx));
+}
+
+int SequentialParser::run_unary(Network& net) const {
+  int eliminated = 0;
+  for (const auto& c : unary_) eliminated += net.apply_unary(c);
+  return eliminated;
+}
+
+int SequentialParser::step_binary(Network& net, std::size_t idx) const {
+  return net.apply_binary(binary_.at(idx));
+}
+
+int SequentialParser::run_binary(Network& net) const {
+  int zeroed = 0;
+  for (const auto& c : binary_) {
+    zeroed += net.apply_binary(c);
+    if (opt_.consistency_after_each_binary) net.consistency_step();
+  }
+  return zeroed;
+}
+
+ParseResult SequentialParser::parse(Network& net) const {
+  run_unary(net);
+  run_binary(net);
+  ParseResult r;
+  r.filter_sweeps_used = net.filter(opt_.filter_sweeps);
+  r.accepted = net.all_roles_nonempty();
+  r.alive_role_values = net.total_alive();
+  r.ambiguous = false;
+  for (int role = 0; role < net.num_roles(); ++role)
+    if (net.domain(role).count() > 1) r.ambiguous = true;
+  r.counters = net.counters();
+  return r;
+}
+
+ParseResult SequentialParser::parse_sentence(const Sentence& s) const {
+  Network net = make_network(s);
+  return parse(net);
+}
+
+ParseResult SequentialParser::parse_any_tagging(
+    const Lexicon& lexicon, const std::vector<std::string>& words,
+    Sentence* chosen, std::size_t tagging_limit) const {
+  const auto taggings = lexicon.taggings(words, tagging_limit);
+  ParseResult first_result;
+  bool have_first = false;
+  for (const Sentence& s : taggings) {
+    ParseResult r = parse_sentence(s);
+    if (!have_first) {
+      first_result = r;
+      have_first = true;
+      if (chosen) *chosen = s;
+    }
+    if (r.accepted) {
+      if (chosen) *chosen = s;
+      return r;
+    }
+  }
+  return first_result;
+}
+
+}  // namespace parsec::cdg

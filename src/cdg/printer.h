@@ -1,0 +1,34 @@
+// Rendering of constraint networks in the style of the paper's figures.
+//
+// The golden-figure tests (tests/cdg/golden_figures_test.cpp) compare
+// these renderings against the CN states shown in Figs. 1-6; the example
+// programs print them for humans.
+#pragma once
+
+#include <string>
+
+#include "cdg/network.h"
+
+namespace parsec::cdg {
+
+/// Per-word, per-role domain listing:
+///
+///   word 1 "The" [det]
+///     governor: {DET-2, DET-3}
+///     needs:    {BLANK-nil}
+///
+/// Role values appear in dense-index order (label-major, then modifiee,
+/// nil first).
+std::string render_domains(const Network& net);
+
+/// One role's domain as "{DET-2, DET-3}".
+std::string render_role(const Network& net, int role);
+
+/// The arc matrix between two roles restricted to their alive role
+/// values, as a 0/1 grid with row/column headers (cf. Figs. 3-6, 9).
+std::string render_arc_matrix(const Network& net, int role_a, int role_b);
+
+/// Compact one-line summary: counts of alive role values and arc ones.
+std::string render_summary(const Network& net);
+
+}  // namespace parsec::cdg

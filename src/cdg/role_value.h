@@ -1,0 +1,63 @@
+// Role values and their dense per-sentence indexing.
+//
+// A role value is a (label, modifiee) pair (paper §1.1): "SUBJ-3" means
+// label SUBJ modifying word 3; "ROOT-nil" means label ROOT modifying no
+// word.  For a sentence of n words we index role values densely as
+//
+//     index = label * (n + 1) + mod,      mod in {0=nil, 1..n}
+//
+// giving a fixed domain size D = |L| * (n+1) shared by every role.  This
+// matches MasPar design decision 4 (§2.2.1): eliminated values keep their
+// slot, their rows/columns are simply zeroed.
+#pragma once
+
+#include <cassert>
+#include <string>
+
+#include "cdg/types.h"
+
+namespace parsec::cdg {
+
+struct RoleValue {
+  LabelId label = 0;
+  WordPos mod = kNil;
+
+  bool operator==(const RoleValue&) const = default;
+};
+
+/// Encodes/decodes role values for a sentence of `n` words with `L`
+/// grammar labels.
+class RvIndexer {
+ public:
+  RvIndexer(int n_words, int num_labels)
+      : n_(n_words), num_labels_(num_labels) {}
+
+  int n() const { return n_; }
+  int num_labels() const { return num_labels_; }
+
+  /// Domain size: every role's bitset and arc-matrix axis has this length.
+  int domain_size() const { return num_labels_ * (n_ + 1); }
+
+  int encode(RoleValue rv) const {
+    assert(rv.label >= 0 && rv.label < num_labels_);
+    assert(rv.mod >= 0 && rv.mod <= n_);
+    return rv.label * (n_ + 1) + rv.mod;
+  }
+
+  RoleValue decode(int index) const {
+    assert(index >= 0 && index < domain_size());
+    return RoleValue{index / (n_ + 1), index % (n_ + 1)};
+  }
+
+  LabelId label_of(int index) const { return index / (n_ + 1); }
+  WordPos mod_of(int index) const { return index % (n_ + 1); }
+
+ private:
+  int n_;
+  int num_labels_;
+};
+
+/// Renders "SUBJ-3" / "ROOT-nil" like the paper's figures.
+std::string to_string(const class Grammar& g, RoleValue rv);
+
+}  // namespace parsec::cdg

@@ -1,0 +1,27 @@
+#include "cdg/symbols.h"
+
+#include <stdexcept>
+
+namespace parsec::cdg {
+
+int SymbolTable::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<int> SymbolTable::find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+int SymbolTable::at(std::string_view name) const {
+  if (auto id = find(name)) return *id;
+  throw std::out_of_range("unknown symbol: " + std::string(name));
+}
+
+}  // namespace parsec::cdg

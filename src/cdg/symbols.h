@@ -1,0 +1,37 @@
+// String interning for grammar symbols (labels, roles, categories).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace parsec::cdg {
+
+/// Bidirectional name <-> dense-id table.  Ids are small ints assigned in
+/// insertion order; every symbol family (labels L, roles R, categories)
+/// gets its own table.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  int intern(std::string_view name);
+
+  /// Returns the id for `name` or nullopt if it was never interned.
+  std::optional<int> find(std::string_view name) const;
+
+  /// Returns the id for `name`; throws std::out_of_range if unknown.
+  int at(std::string_view name) const;
+
+  const std::string& name(int id) const { return names_.at(id); }
+  int size() const { return static_cast<int>(names_.size()); }
+  bool contains(std::string_view name) const { return find(name).has_value(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace parsec::cdg

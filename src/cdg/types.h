@@ -1,0 +1,19 @@
+// Core scalar types of the CDG formalism (paper §1.1).
+#pragma once
+
+namespace parsec::cdg {
+
+/// Dense id of a label (element of L, e.g. SUBJ, ROOT, DET, NP, S, BLANK).
+using LabelId = int;
+/// Dense id of a role (element of R, e.g. governor, needs).
+using RoleId = int;
+/// Dense id of a lexical category / terminal (element of Sigma,
+/// e.g. det, noun, verb).
+using CatId = int;
+
+/// 1-based word position within a sentence.  Position 0 is reserved for
+/// the special modifiee `nil` ("this role value modifies no word").
+using WordPos = int;
+inline constexpr WordPos kNil = 0;
+
+}  // namespace parsec::cdg

@@ -1,0 +1,93 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsec::cfg {
+
+void Grammar::add_production(int lhs, std::vector<Symbol> rhs) {
+  if (rhs.empty())
+    throw std::invalid_argument(
+        "epsilon productions are not supported (CYK pipeline)");
+  prods_.push_back(Production{lhs, std::move(rhs)});
+}
+
+void Grammar::add_rule(std::string_view lhs, std::vector<std::string> rhs) {
+  const int l = nts_.intern(lhs);
+  std::vector<Symbol> syms;
+  syms.reserve(rhs.size());
+  for (const auto& name : rhs) {
+    if (auto nt = nts_.find(name))
+      syms.push_back(Symbol{Symbol::Kind::Nonterminal, *nt});
+    else
+      syms.push_back(Symbol{Symbol::Kind::Terminal, ts_.intern(name)});
+  }
+  add_production(l, std::move(syms));
+}
+
+std::vector<int> Grammar::encode(const std::string& text) const {
+  std::istringstream is(text);
+  std::vector<int> out;
+  std::string w;
+  while (is >> w) out.push_back(ts_.at(w));
+  return out;
+}
+
+std::vector<std::vector<int>> enumerate_language(const Grammar& g,
+                                                 std::size_t max_len,
+                                                 std::size_t max_strings) {
+  // BFS over sentential forms, pruned by terminal-prefix length.
+  using Form = std::vector<Symbol>;
+  std::set<std::vector<int>> out;
+  std::deque<Form> queue;
+  queue.push_back({Symbol{Symbol::Kind::Nonterminal, g.start()}});
+  std::set<Form> seen;
+  std::size_t expansions = 0;
+  const std::size_t kMaxExpansions = 2000000;
+
+  auto terminal_count = [](const Form& f) {
+    std::size_t c = 0;
+    for (const auto& s : f)
+      if (s.kind == Symbol::Kind::Terminal) ++c;
+    return c;
+  };
+
+  while (!queue.empty() && out.size() < max_strings &&
+         expansions < kMaxExpansions) {
+    Form form = std::move(queue.front());
+    queue.pop_front();
+    // Fully terminal?
+    if (std::all_of(form.begin(), form.end(), [](const Symbol& s) {
+          return s.kind == Symbol::Kind::Terminal;
+        })) {
+      if (form.size() <= max_len) {
+        std::vector<int> word;
+        for (const auto& s : form) word.push_back(s.id);
+        out.insert(std::move(word));
+      }
+      continue;
+    }
+    // Epsilon-free grammar: forms only grow or stay, so prune on length.
+    if (form.size() > max_len || terminal_count(form) > max_len) continue;
+    // Expand the leftmost nonterminal.
+    std::size_t i = 0;
+    while (form[i].kind != Symbol::Kind::Nonterminal) ++i;
+    for (const auto& p : g.productions()) {
+      if (p.lhs != form[i].id) continue;
+      ++expansions;
+      Form next;
+      next.reserve(form.size() + p.rhs.size() - 1);
+      next.insert(next.end(), form.begin(), form.begin() + i);
+      next.insert(next.end(), p.rhs.begin(), p.rhs.end());
+      next.insert(next.end(), form.begin() + i + 1, form.end());
+      if (next.size() <= max_len + 4 && seen.insert(next).second)
+        queue.push_back(std::move(next));
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace parsec::cfg

@@ -1,0 +1,75 @@
+// Context-free grammar substrate (the CFG column of Figure 8).
+//
+// The paper compares CDG parsing against CFG parsing on several
+// architectures; this module supplies the CFG side: grammar
+// representation, CNF conversion, the sequential CYK recognizer, a
+// systolic-mesh CYK (Kosaraju's O(n) row) and a round-counted parallel
+// CYK on the P-RAM (standing in for Ruzzo's O(log^2 n) bound; see
+// DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdg/symbols.h"
+
+namespace parsec::cfg {
+
+/// A grammar symbol: terminal or nonterminal id.
+struct Symbol {
+  enum class Kind { Terminal, Nonterminal };
+  Kind kind;
+  int id;
+  auto operator<=>(const Symbol&) const = default;
+};
+
+struct Production {
+  int lhs;                   // nonterminal id
+  std::vector<Symbol> rhs;   // nonempty (no epsilon productions)
+};
+
+class Grammar {
+ public:
+  int add_nonterminal(std::string_view name) { return nts_.intern(name); }
+  int add_terminal(std::string_view name) { return ts_.intern(name); }
+
+  /// Adds lhs -> rhs.  Epsilon productions are rejected: the CYK
+  /// pipeline assumes an epsilon-free grammar.
+  void add_production(int lhs, std::vector<Symbol> rhs);
+
+  /// Convenience: "S -> NP VP" style, names resolved/interned; terminal
+  /// names are lowercase by convention here, but resolution is explicit:
+  /// names already interned as nonterminals are nonterminals, all others
+  /// terminals.
+  void add_rule(std::string_view lhs, std::vector<std::string> rhs);
+
+  void set_start(int nt) { start_ = nt; }
+  int start() const { return start_; }
+
+  int num_nonterminals() const { return nts_.size(); }
+  int num_terminals() const { return ts_.size(); }
+  const cdg::SymbolTable& nonterminals() const { return nts_; }
+  const cdg::SymbolTable& terminals() const { return ts_; }
+  const std::vector<Production>& productions() const { return prods_; }
+
+  int terminal(std::string_view name) const { return ts_.at(name); }
+  int nonterminal(std::string_view name) const { return nts_.at(name); }
+
+  /// Encodes a space-separated terminal string.
+  std::vector<int> encode(const std::string& text) const;
+
+ private:
+  cdg::SymbolTable nts_, ts_;
+  std::vector<Production> prods_;
+  int start_ = 0;
+};
+
+/// Exhaustively enumerates the language up to `max_len` by BFS over
+/// derivations (reference oracle for recognizer tests; exponential, use
+/// only on tiny grammars).
+std::vector<std::vector<int>> enumerate_language(const Grammar& g,
+                                                 std::size_t max_len,
+                                                 std::size_t max_strings = 10000);
+
+}  // namespace parsec::cfg

@@ -1,0 +1,98 @@
+#include "cfg/cnf.h"
+
+#include <map>
+#include <set>
+
+namespace parsec::cfg {
+
+void CnfGrammar::finalize() {
+  derives_terminal.assign(static_cast<std::size_t>(num_terminals),
+                          std::vector<bool>(num_nonterminals, false));
+  for (const auto& r : terminal) derives_terminal[r.terminal][r.lhs] = true;
+}
+
+CnfGrammar to_cnf(const Grammar& g) {
+  CnfGrammar out;
+  out.num_terminals = g.num_terminals();
+  out.start = g.start();
+  int next_nt = g.num_nonterminals();
+  for (int i = 0; i < g.num_nonterminals(); ++i)
+    out.nt_names.push_back(g.nonterminals().name(i));
+
+  auto fresh = [&](const std::string& hint) {
+    out.nt_names.push_back(hint + std::to_string(next_nt));
+    return next_nt++;
+  };
+
+  // Step 1+2: lift terminals inside long rules, then binarize.
+  // Unit productions (A -> B) are collected for step 3; A -> a is kept.
+  std::vector<std::pair<int, int>> unit;          // A -> B
+  std::vector<CnfGrammar::BinaryRule> binary;
+  std::vector<CnfGrammar::TerminalRule> terminal;
+  std::map<int, int> term_wrapper;  // terminal -> fresh NT deriving it
+
+  auto wrap_terminal = [&](int t) {
+    auto it = term_wrapper.find(t);
+    if (it != term_wrapper.end()) return it->second;
+    const int nt = fresh("T");
+    terminal.push_back({nt, t});
+    term_wrapper.emplace(t, nt);
+    return nt;
+  };
+
+  for (const auto& p : g.productions()) {
+    if (p.rhs.size() == 1) {
+      if (p.rhs[0].kind == Symbol::Kind::Terminal)
+        terminal.push_back({p.lhs, p.rhs[0].id});
+      else
+        unit.emplace_back(p.lhs, p.rhs[0].id);
+      continue;
+    }
+    // Lift terminals.
+    std::vector<int> nts;
+    nts.reserve(p.rhs.size());
+    for (const auto& s : p.rhs)
+      nts.push_back(s.kind == Symbol::Kind::Terminal ? wrap_terminal(s.id)
+                                                     : s.id);
+    // Binarize left-to-right: A -> B1 R1, R1 -> B2 R2, ...
+    int lhs = p.lhs;
+    for (std::size_t i = 0; i + 2 < nts.size(); ++i) {
+      const int rest = fresh("X");
+      binary.push_back({lhs, nts[i], rest});
+      lhs = rest;
+    }
+    binary.push_back({lhs, nts[nts.size() - 2], nts[nts.size() - 1]});
+  }
+
+  // Step 3: unit-production elimination via transitive closure.
+  out.num_nonterminals = next_nt;
+  std::vector<std::set<int>> reach(static_cast<std::size_t>(next_nt));
+  for (int a = 0; a < next_nt; ++a) reach[a].insert(a);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [a, b] : unit)
+      for (int c : std::set<int>(reach[b]))
+        if (reach[a].insert(c).second) changed = true;
+  }
+  std::set<std::tuple<int, int, int>> bin_seen;
+  std::set<std::pair<int, int>> term_seen;
+  for (int a = 0; a < next_nt; ++a) {
+    for (int b : reach[a]) {
+      if (a == b) continue;
+      for (const auto& r : binary)
+        if (r.lhs == b) bin_seen.insert({a, r.left, r.right});
+      for (const auto& r : terminal)
+        if (r.lhs == b) term_seen.insert({a, r.terminal});
+    }
+  }
+  for (const auto& r : binary) bin_seen.insert({r.lhs, r.left, r.right});
+  for (const auto& r : terminal) term_seen.insert({r.lhs, r.terminal});
+
+  for (auto [a, b, c] : bin_seen) out.binary.push_back({a, b, c});
+  for (auto [a, t] : term_seen) out.terminal.push_back({a, t});
+  out.finalize();
+  return out;
+}
+
+}  // namespace parsec::cfg

@@ -1,0 +1,43 @@
+// Chomsky-normal-form conversion for the CYK recognizers.
+//
+// Input grammars must be epsilon-free (enforced at construction).  The
+// transform lifts terminals out of long rules, binarizes, and
+// eliminates unit productions; language equivalence is preserved for
+// strings of length >= 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.h"
+
+namespace parsec::cfg {
+
+struct CnfGrammar {
+  int num_nonterminals = 0;
+  int num_terminals = 0;
+  int start = 0;
+
+  struct BinaryRule {
+    int lhs, left, right;
+  };
+  struct TerminalRule {
+    int lhs, terminal;
+  };
+  std::vector<BinaryRule> binary;
+  std::vector<TerminalRule> terminal;
+
+  /// Human-readable nonterminal names (originals plus fresh X<i>).
+  std::vector<std::string> nt_names;
+
+  /// Nonterminals deriving terminal `t` in one step, as a bitmask
+  /// vector: unit_terminal[t] is a vector<bool> over nonterminals.
+  std::vector<std::vector<bool>> derives_terminal;
+
+  void finalize();  // builds derives_terminal
+};
+
+/// Converts `g` to CNF.
+CnfGrammar to_cnf(const Grammar& g);
+
+}  // namespace parsec::cfg

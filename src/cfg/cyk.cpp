@@ -1,0 +1,68 @@
+#include "cfg/cyk.h"
+
+#include <algorithm>
+
+namespace parsec::cfg {
+
+CykTable cyk_table(const CnfGrammar& g, const std::vector<int>& word,
+                   CykStats* stats) {
+  const int n = static_cast<int>(word.size());
+  CykTable t(std::max(n, 1), g.num_nonterminals);
+  if (n == 0) return t;
+  for (int i = 0; i < n; ++i) t.cell(i, 1) = g.derives_terminal[word[i]];
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len <= n; ++i) {
+      auto& out = t.cell(i, len);
+      for (int k = 1; k < len; ++k) {
+        const auto& left = t.cell(i, k);
+        const auto& right = t.cell(i + k, len - k);
+        for (const auto& r : g.binary) {
+          if (stats) ++stats->rule_applications;
+          if (left[r.left] && right[r.right]) out[r.lhs] = true;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+bool cyk_recognize(const CnfGrammar& g, const std::vector<int>& word,
+                   CykStats* stats) {
+  if (word.empty()) return false;
+  const CykTable t = cyk_table(g, word, stats);
+  return t.cell(0, static_cast<int>(word.size()))[g.start];
+}
+
+std::uint64_t cyk_count_parses(const CnfGrammar& g,
+                               const std::vector<int>& word,
+                               std::uint64_t limit) {
+  const int n = static_cast<int>(word.size());
+  if (n == 0) return 0;
+  // counts[i][len][A] with saturation at `limit`.
+  std::vector<std::vector<std::vector<std::uint64_t>>> counts(
+      n, std::vector<std::vector<std::uint64_t>>(
+             n + 1, std::vector<std::uint64_t>(g.num_nonterminals, 0)));
+  auto sat_add = [&](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t s = a + b;
+    return std::min(s, limit);
+  };
+  auto sat_mul = [&](std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0) return std::uint64_t{0};
+    if (a > limit / b) return limit;
+    return a * b;
+  };
+  for (int i = 0; i < n; ++i)
+    for (const auto& r : g.terminal)
+      if (r.terminal == word[i]) counts[i][1][r.lhs] = 1;
+  for (int len = 2; len <= n; ++len)
+    for (int i = 0; i + len <= n; ++i)
+      for (int k = 1; k < len; ++k)
+        for (const auto& r : g.binary)
+          counts[i][len][r.lhs] =
+              sat_add(counts[i][len][r.lhs],
+                      sat_mul(counts[i][k][r.left],
+                              counts[i + k][len - k][r.right]));
+  return counts[0][n][g.start];
+}
+
+}  // namespace parsec::cfg

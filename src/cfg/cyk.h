@@ -1,0 +1,53 @@
+// Sequential CYK recognition: the O(n^3) (per |G|) CFG baseline of
+// Figure 8's "Sequential Machine" row.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cnf.h"
+
+namespace parsec::cfg {
+
+/// CYK table: cell(i, len) holds the nonterminal set deriving the span
+/// of `len` words starting at i (0-based), as a bool vector.
+class CykTable {
+ public:
+  CykTable(int n, int num_nts)
+      : n_(n), num_nts_(num_nts),
+        cells_(static_cast<std::size_t>(n) * n,
+               std::vector<bool>(num_nts, false)) {}
+
+  std::vector<bool>& cell(int i, int len) {
+    return cells_[static_cast<std::size_t>(i) * n_ + (len - 1)];
+  }
+  const std::vector<bool>& cell(int i, int len) const {
+    return cells_[static_cast<std::size_t>(i) * n_ + (len - 1)];
+  }
+  int n() const { return n_; }
+  int num_nts() const { return num_nts_; }
+
+ private:
+  int n_, num_nts_;
+  std::vector<std::vector<bool>> cells_;
+};
+
+struct CykStats {
+  std::uint64_t rule_applications = 0;  // (i, k, rule) combinations tried
+};
+
+/// True iff `word` (terminal ids) is in L(g).  Empty words rejected
+/// (epsilon-free pipeline).
+bool cyk_recognize(const CnfGrammar& g, const std::vector<int>& word,
+                   CykStats* stats = nullptr);
+
+/// Full table for inspection / parse counting.
+CykTable cyk_table(const CnfGrammar& g, const std::vector<int>& word,
+                   CykStats* stats = nullptr);
+
+/// Number of distinct parse trees (capped at `limit` to avoid overflow).
+std::uint64_t cyk_count_parses(const CnfGrammar& g,
+                               const std::vector<int>& word,
+                               std::uint64_t limit = 1u << 30);
+
+}  // namespace parsec::cfg

@@ -1,0 +1,35 @@
+// Systolic CYK on a 2-D cellular automaton / mesh (the Kosaraju row of
+// Figure 8: CFG recognition in O(n) steps on O(n^2) cells).
+//
+// Cells are the CYK spans arranged on a triangular grid.  The automaton
+// runs in synchronous waves: in wave t every cell of span length t+1
+// fires, combining pairs of shorter spans that are (by induction)
+// already final.  Each wave is one automaton step (all cells work in
+// parallel, each doing O(|G|) local work per split it consumes; the
+// per-step local work is bounded by |G| because a cell consumes one
+// split per wave: cell (i, len) starts firing at wave len-1 and
+// consumes split k at wave len-1+... — we follow Kosaraju's schedule in
+// which cell (i,len) receives the pair (k, len-k) streams and is final
+// by wave 2*len; total 2n waves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cnf.h"
+
+namespace parsec::cfg {
+
+struct MeshCykResult {
+  bool accepted = false;
+  std::uint64_t waves = 0;       // automaton steps (the O(n) bound)
+  std::uint64_t cells = 0;       // O(n^2)
+  std::uint64_t max_cell_work = 0;  // per-wave local rule applications
+};
+
+/// Runs the systolic schedule; the recognized language is identical to
+/// cyk_recognize (tested), the step count follows the 2n-1 wave bound.
+MeshCykResult mesh_cyk_recognize(const CnfGrammar& g,
+                                 const std::vector<int>& word);
+
+}  // namespace parsec::cfg

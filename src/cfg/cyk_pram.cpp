@@ -1,0 +1,55 @@
+#include "cfg/cyk_pram.h"
+
+#include "cfg/cyk.h"
+
+namespace parsec::cfg {
+
+PramCykResult pram_cyk_recognize(const CnfGrammar& g,
+                                 const std::vector<int>& word) {
+  PramCykResult r;
+  const int n = static_cast<int>(word.size());
+  if (n == 0) return r;
+  pram::Machine m;
+
+  CykTable t(n, g.num_nonterminals);
+  // Leaves: one parallel step over n * |terminal rules| processors.
+  m.for_all(static_cast<std::size_t>(n) * g.terminal.size(),
+            [](std::size_t) {});
+  for (int i = 0; i < n; ++i) t.cell(i, 1) = g.derives_terminal[word[i]];
+
+  // Fixpoint rounds.  Processor width: one per (i, len, k, rule).
+  std::size_t combos = 0;
+  for (int len = 2; len <= n; ++len)
+    combos += static_cast<std::size_t>(n - len + 1) * (len - 1);
+  combos *= g.binary.size();
+
+  bool changed = true;
+  while (changed) {
+    ++r.rounds;
+    changed = false;
+    m.for_all(std::max<std::size_t>(combos, 1), [](std::size_t) {});
+    // All reads see the previous round's table; concurrent OR-writes.
+    CykTable next = t;
+    for (int len = 2; len <= n; ++len) {
+      for (int i = 0; i + len <= n; ++i) {
+        for (int k = 1; k < len; ++k) {
+          const auto& left = t.cell(i, k);
+          const auto& right = t.cell(i + k, len - k);
+          auto& out = next.cell(i, len);
+          for (const auto& rule : g.binary) {
+            if (left[rule.left] && right[rule.right] && !out[rule.lhs]) {
+              out[rule.lhs] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    t = std::move(next);
+  }
+  r.accepted = t.cell(0, n)[g.start];
+  r.stats = m.stats();
+  return r;
+}
+
+}  // namespace parsec::cfg

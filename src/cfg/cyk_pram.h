@@ -1,0 +1,30 @@
+// Round-counted parallel CYK on the CRCW P-RAM (the Ruzzo row of
+// Figure 8, see DESIGN.md §5 for the honest caveat).
+//
+// Each round applies every (i, len, k, rule) combination in parallel
+// (one processor each, O(n^3 |G|) processors) and ORs the results into
+// the table concurrently; rounds repeat until the table stops changing.
+// For balanced grammars the measured round count is O(log n); for
+// left-linear grammars it degrades to O(n) — Ruzzo's O(log^2 n) bound
+// needs tree-size-bounded alternation, which we report as the analytic
+// bound next to our measured rounds in bench_fig8_architectures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cnf.h"
+#include "pram/machine.h"
+
+namespace parsec::cfg {
+
+struct PramCykResult {
+  bool accepted = false;
+  std::uint64_t rounds = 0;
+  pram::StepStats stats;
+};
+
+PramCykResult pram_cyk_recognize(const CnfGrammar& g,
+                                 const std::vector<int>& word);
+
+}  // namespace parsec::cfg

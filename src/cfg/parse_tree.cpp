@@ -1,0 +1,81 @@
+#include "cfg/parse_tree.h"
+
+namespace parsec::cfg {
+
+namespace {
+
+std::unique_ptr<ParseTree> rebuild(const CnfGrammar& g, const CykTable& t,
+                                   const std::vector<int>& word, int nt,
+                                   int start, int len) {
+  auto node = std::make_unique<ParseTree>();
+  node->nt = nt;
+  node->start = start;
+  node->len = len;
+  if (len == 1) {
+    node->terminal = word[start];
+    return node;
+  }
+  for (int k = 1; k < len; ++k) {
+    const auto& left = t.cell(start, k);
+    const auto& right = t.cell(start + k, len - k);
+    for (const auto& r : g.binary) {
+      if (r.lhs != nt || !left[r.left] || !right[r.right]) continue;
+      node->left = rebuild(g, t, word, r.left, start, k);
+      node->right = rebuild(g, t, word, r.right, start + k, len - k);
+      return node;
+    }
+  }
+  return nullptr;  // table said derivable but no witness: impossible
+}
+
+}  // namespace
+
+std::optional<ParseTree> cyk_parse(const CnfGrammar& g,
+                                   const std::vector<int>& word) {
+  if (word.empty()) return std::nullopt;
+  const CykTable t = cyk_table(g, word);
+  const int n = static_cast<int>(word.size());
+  if (!t.cell(0, n)[g.start]) return std::nullopt;
+  auto root = rebuild(g, t, word, g.start, 0, n);
+  if (!root) return std::nullopt;
+  return std::move(*root);
+}
+
+std::string bracketing(const CnfGrammar& g, const ParseTree& t,
+                       const std::vector<std::string>* words) {
+  std::string out = "(" + g.nt_names[t.nt];
+  if (t.is_leaf()) {
+    out += ' ';
+    out += words ? (*words)[t.start] : std::to_string(t.terminal);
+  } else {
+    out += ' ' + bracketing(g, *t.left, words);
+    out += ' ' + bracketing(g, *t.right, words);
+  }
+  out += ')';
+  return out;
+}
+
+bool tree_is_valid(const CnfGrammar& g, const ParseTree& t,
+                   const std::vector<int>& word) {
+  if (t.is_leaf()) {
+    if (t.len != 1 || t.start < 0 ||
+        t.start >= static_cast<int>(word.size()))
+      return false;
+    if (word[t.start] != t.terminal) return false;
+    for (const auto& r : g.terminal)
+      if (r.lhs == t.nt && r.terminal == t.terminal) return true;
+    return false;
+  }
+  if (!t.left || !t.right) return false;
+  if (t.left->start != t.start || t.right->start != t.start + t.left->len ||
+      t.left->len + t.right->len != t.len)
+    return false;
+  bool rule_ok = false;
+  for (const auto& r : g.binary)
+    if (r.lhs == t.nt && r.left == t.left->nt && r.right == t.right->nt)
+      rule_ok = true;
+  return rule_ok && tree_is_valid(g, *t.left, word) &&
+         tree_is_valid(g, *t.right, word);
+}
+
+}  // namespace parsec::cfg

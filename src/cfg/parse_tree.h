@@ -1,0 +1,46 @@
+// CYK parse-tree extraction and bracketing output.
+//
+// Recognition (cyk.h) answers membership; downstream users of the CFG
+// substrate (and the Figure-8 comparisons against CDG's precedence
+// graphs) also want the derivation itself.  Trees are extracted from a
+// filled CYK table by re-finding a witness split per cell.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cfg/cnf.h"
+#include "cfg/cyk.h"
+
+namespace parsec::cfg {
+
+/// A binary derivation tree over a CNF grammar.
+struct ParseTree {
+  int nt = 0;              // nonterminal at this node
+  int terminal = -1;       // leaf: derived terminal id (-1 for internal)
+  int start = 0;           // span [start, start+len) in the word, 0-based
+  int len = 0;
+  std::unique_ptr<ParseTree> left, right;
+
+  bool is_leaf() const { return terminal >= 0; }
+};
+
+/// Extracts one (leftmost-split, first-rule) derivation of `word`, or
+/// nullopt if the word is not in the language.
+std::optional<ParseTree> cyk_parse(const CnfGrammar& g,
+                                   const std::vector<int>& word);
+
+/// Renders "(S (T0 a) (X1 (T0 a) (T1 b)))"-style bracketing.  When
+/// `words` is given, leaves print the surface strings instead of
+/// terminal ids.
+std::string bracketing(const CnfGrammar& g, const ParseTree& t,
+                       const std::vector<std::string>* words = nullptr);
+
+/// Checks structural validity: spans partition, rules exist, leaves
+/// match the word.  Used by tests and assertable by callers.
+bool tree_is_valid(const CnfGrammar& g, const ParseTree& t,
+                   const std::vector<int>& word);
+
+}  // namespace parsec::cfg

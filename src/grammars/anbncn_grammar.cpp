@@ -1,0 +1,122 @@
+#include "grammars/anbncn_grammar.h"
+
+namespace parsec::grammars {
+
+using cdg::Grammar;
+
+CdgBundle make_anbncn_grammar() {
+  CdgBundle b;
+  Grammar& g = b.grammar;
+
+  const auto a = g.add_category("a");
+  const auto bb = g.add_category("b");
+  const auto c = g.add_category("c");
+
+  const auto GA = g.add_label("GA");  // a's link to its b
+  const auto GB = g.add_label("GB");  // b's link to its c
+  const auto GC = g.add_label("GC");  // c links nothing
+  const auto NA = g.add_label("NA");  // b's back-link to its a
+  const auto NB = g.add_label("NB");  // c's back-link to its b
+  const auto BLANK = g.add_label("BLANK");
+
+  const auto governor = g.add_role("governor");
+  const auto needs = g.add_role("needs");
+
+  g.allow_label_for_category(governor, a, GA);
+  g.allow_label_for_category(governor, bb, GB);
+  g.allow_label_for_category(governor, c, GC);
+  g.allow_label_for_category(needs, a, BLANK);
+  g.allow_label_for_category(needs, bb, NA);
+  g.allow_label_for_category(needs, c, NB);
+
+  // ---- unary: link directions and target categories -------------------
+  g.add_constraint_text("a-links-b-right", R"(
+      (if (and (eq (cat (word (pos x))) a) (eq (role x) governor))
+          (and (eq (lab x) GA)
+               (gt (mod x) (pos x))
+               (eq (cat (word (mod x))) b))))");
+  g.add_constraint_text("a-needs-nothing", R"(
+      (if (and (eq (cat (word (pos x))) a) (eq (role x) needs))
+          (and (eq (lab x) BLANK) (eq (mod x) nil))))");
+  g.add_constraint_text("b-links-c-right", R"(
+      (if (and (eq (cat (word (pos x))) b) (eq (role x) governor))
+          (and (eq (lab x) GB)
+               (gt (mod x) (pos x))
+               (eq (cat (word (mod x))) c))))");
+  g.add_constraint_text("b-needs-a-left", R"(
+      (if (and (eq (cat (word (pos x))) b) (eq (role x) needs))
+          (and (eq (lab x) NA)
+               (not (eq (mod x) nil))
+               (lt (mod x) (pos x))
+               (eq (cat (word (mod x))) a))))");
+  g.add_constraint_text("c-links-nothing", R"(
+      (if (and (eq (cat (word (pos x))) c) (eq (role x) governor))
+          (and (eq (lab x) GC) (eq (mod x) nil))))");
+  g.add_constraint_text("c-needs-b-left", R"(
+      (if (and (eq (cat (word (pos x))) c) (eq (role x) needs))
+          (and (eq (lab x) NB)
+               (not (eq (mod x) nil))
+               (lt (mod x) (pos x))
+               (eq (cat (word (mod x))) b))))");
+
+  // ---- binary: bijection + order ---------------------------------------
+  // Injectivity of the forward links.
+  for (const char* lab : {"GA", "GB"}) {
+    g.add_constraint_text(
+        std::string("unique-") + lab,
+        "(if (and (eq (lab x) " + std::string(lab) + ") (eq (lab y) " + lab +
+            ") (eq (mod x) (mod y))) (eq (pos x) (pos y)))");
+  }
+  // Mutual pointers: GA <-> NA and GB <-> NB (both directions each).
+  const struct {
+    const char* need;
+    const char* gov;
+  } pairs[] = {{"NA", "GA"}, {"NB", "GB"}};
+  for (const auto& p : pairs) {
+    g.add_constraint_text(
+        std::string("pair-") + p.need + "-fwd",
+        "(if (and (eq (lab x) " + std::string(p.need) + ") (eq (lab y) " +
+            p.gov + ") (eq (mod x) (pos y))) (eq (mod y) (pos x)))");
+    g.add_constraint_text(
+        std::string("pair-") + p.need + "-bwd",
+        "(if (and (eq (lab x) " + std::string(p.need) + ") (eq (lab y) " +
+            p.gov + ") (eq (mod y) (pos x))) (eq (mod x) (pos y)))");
+  }
+  // Order preservation makes the matching unique (and keeps the CN
+  // unambiguous for a^n b^n c^n).
+  for (const char* lab : {"GA", "GB"}) {
+    g.add_constraint_text(
+        std::string("order-") + lab,
+        "(if (and (eq (lab x) " + std::string(lab) + ") (eq (lab y) " + lab +
+            ") (lt (pos x) (pos y))) (lt (mod x) (mod y)))");
+  }
+  // Block structure: all a's precede all b's precede all c's.
+  g.add_constraint_text("a-before-b", R"(
+      (if (and (eq (cat (word (pos x))) a) (eq (cat (word (pos y))) b))
+          (lt (pos x) (pos y))))");
+  g.add_constraint_text("b-before-c", R"(
+      (if (and (eq (cat (word (pos x))) b) (eq (cat (word (pos y))) c))
+          (lt (pos x) (pos y))))");
+
+  b.lexicon.add(g, "a", {"a"});
+  b.lexicon.add(g, "b", {"b"});
+  b.lexicon.add(g, "c", {"c"});
+  (void)GA;
+  (void)GB;
+  (void)GC;
+  (void)NA;
+  (void)NB;
+  (void)BLANK;
+  return b;
+}
+
+std::string anbncn_string(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) out += "a ";
+  for (int i = 0; i < n; ++i) out += "b ";
+  for (int i = 0; i < n; ++i) out += "c ";
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace parsec::grammars

@@ -1,0 +1,26 @@
+// A CDG grammar for the non-context-free language a^n b^n c^n.
+//
+// The paper (§1.5) stresses that CDG's expressivity is strictly greater
+// than CFGs' ("CDG can accept languages that CFGs cannot").  This
+// grammar demonstrates it with the textbook non-CF language:
+//
+//   * every `a` points (governor GA) at a distinct `b` to its right,
+//     order-preserving;  every `b` needs (NA) exactly that `a` back;
+//   * every `b` points (GB) at a distinct `c`; every `c` needs (NB)
+//     that `b` back;
+//   * category-order constraints force all a's before all b's before
+//     all c's.
+// Mutual pointers + uniqueness make the matchings bijections, so the
+// counts must agree: the accepted language is exactly {a^n b^n c^n}.
+#pragma once
+
+#include "grammars/toy_grammar.h"
+
+namespace parsec::grammars {
+
+CdgBundle make_anbncn_grammar();
+
+/// "a a b b c c" for n = 2, etc.
+std::string anbncn_string(int n);
+
+}  // namespace parsec::grammars

@@ -1,0 +1,140 @@
+#include "grammars/cfg_workloads.h"
+
+namespace parsec::grammars {
+
+using cfg::Grammar;
+using cfg::Symbol;
+
+Grammar make_paren_grammar() {
+  Grammar g;
+  g.set_start(g.add_nonterminal("S"));
+  g.add_rule("S", {"S", "S"});
+  g.add_rule("S", {"(", "S", ")"});
+  g.add_rule("S", {"(", ")"});
+  return g;
+}
+
+Grammar make_expr_grammar() {
+  Grammar g;
+  g.set_start(g.add_nonterminal("E"));
+  g.add_nonterminal("T");
+  g.add_nonterminal("F");
+  g.add_rule("E", {"E", "+", "T"});
+  g.add_rule("E", {"T"});
+  g.add_rule("T", {"T", "*", "F"});
+  g.add_rule("T", {"F"});
+  g.add_rule("F", {"(", "E", ")"});
+  g.add_rule("F", {"id"});
+  return g;
+}
+
+Grammar make_palindrome_grammar() {
+  Grammar g;
+  g.set_start(g.add_nonterminal("S"));
+  g.add_rule("S", {"a", "S", "a"});
+  g.add_rule("S", {"b", "S", "b"});
+  g.add_rule("S", {"a", "a"});
+  g.add_rule("S", {"b", "b"});
+  g.add_rule("S", {"a"});
+  g.add_rule("S", {"b"});
+  return g;
+}
+
+Grammar make_english_cfg() {
+  Grammar g;
+  g.set_start(g.add_nonterminal("S"));
+  for (const char* nt : {"NP", "VP", "PP", "N1"}) g.add_nonterminal(nt);
+  g.add_rule("S", {"NP", "VP"});
+  g.add_rule("VP", {"verb"});
+  g.add_rule("VP", {"verb", "NP"});
+  g.add_rule("VP", {"VP", "PP"});
+  g.add_rule("NP", {"det", "N1"});
+  g.add_rule("NP", {"propn"});
+  g.add_rule("NP", {"pron"});
+  g.add_rule("NP", {"NP", "PP"});
+  g.add_rule("N1", {"noun"});
+  g.add_rule("N1", {"adj", "N1"});
+  g.add_rule("PP", {"prep", "NP"});
+  return g;
+}
+
+namespace {
+
+/// Shortest terminal yield per nonterminal (epsilon-free: >= 1).
+std::vector<std::size_t> min_yields(const cfg::Grammar& g) {
+  const std::size_t kInf = 1u << 20;
+  std::vector<std::size_t> min_yield(g.num_nonterminals(), kInf);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& p : g.productions()) {
+      std::size_t total = 0;
+      for (const auto& s : p.rhs)
+        total += s.kind == Symbol::Kind::Terminal ? 1 : min_yield[s.id];
+      if (total < min_yield[p.lhs]) {
+        min_yield[p.lhs] = total;
+        changed = true;
+      }
+    }
+  }
+  return min_yield;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> sample_string(const cfg::Grammar& g,
+                                              util::Rng& rng,
+                                              std::size_t max_len) {
+  // Randomized leftmost derivation; an expansion is only eligible if
+  // the form's minimum completed length stays within the budget, so the
+  // sampler never paints itself into a corner.
+  const auto min_yield = min_yields(g);
+  auto form_min_total = [&](const std::vector<Symbol>& f) {
+    std::size_t total = 0;
+    for (const auto& s : f)
+      total += s.kind == Symbol::Kind::Terminal ? 1 : min_yield[s.id];
+    return total;
+  };
+
+  std::vector<Symbol> form{Symbol{Symbol::Kind::Nonterminal, g.start()}};
+  const std::size_t kMaxSteps = 10000;
+  for (std::size_t step = 0; step < kMaxSteps; ++step) {
+    std::size_t i = 0;
+    while (i < form.size() && form[i].kind == Symbol::Kind::Terminal) ++i;
+    if (i == form.size()) {
+      if (form.size() > max_len || form.empty()) return std::nullopt;
+      std::vector<int> out;
+      for (const auto& s : form) out.push_back(s.id);
+      return out;
+    }
+    const std::size_t base = form_min_total(form) - min_yield[form[i].id];
+    std::vector<const cfg::Production*> cands;
+    for (const auto& p : g.productions()) {
+      if (p.lhs != form[i].id) continue;
+      std::size_t rhs_min = 0;
+      for (const auto& s : p.rhs)
+        rhs_min += s.kind == Symbol::Kind::Terminal ? 1 : min_yield[s.id];
+      if (base + rhs_min <= max_len) cands.push_back(&p);
+    }
+    if (cands.empty()) return std::nullopt;
+    const cfg::Production* choice = cands[rng.next_below(cands.size())];
+    std::vector<Symbol> next;
+    next.reserve(form.size() + choice->rhs.size() - 1);
+    next.insert(next.end(), form.begin(), form.begin() + i);
+    next.insert(next.end(), choice->rhs.begin(), choice->rhs.end());
+    next.insert(next.end(), form.begin() + i + 1, form.end());
+    form = std::move(next);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> sample_string_of_length(
+    const cfg::Grammar& g, util::Rng& rng, std::size_t len, int retries) {
+  for (int i = 0; i < retries; ++i) {
+    auto s = sample_string(g, rng, len);
+    if (s && s->size() == len) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace parsec::grammars

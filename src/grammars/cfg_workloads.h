@@ -1,0 +1,40 @@
+// Sample CFGs and workload strings for the Figure-8 CFG column.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "util/rng.h"
+
+namespace parsec::grammars {
+
+/// Balanced parentheses: S -> S S | ( S ) | ( ).
+cfg::Grammar make_paren_grammar();
+
+/// Arithmetic expressions: E -> E + T | T; T -> T * F | F;
+/// F -> ( E ) | id.  Left-recursive: a stress case for the parallel
+/// fixpoint CYK (rounds degrade toward O(n)).
+cfg::Grammar make_expr_grammar();
+
+/// Even/odd palindromes over {a, b}.
+cfg::Grammar make_palindrome_grammar();
+
+/// A small English-like CFG covering roughly the same sentences as the
+/// CDG English grammar (for like-for-like Figure-8 rows).
+cfg::Grammar make_english_cfg();
+
+/// Samples a string of L(g) with length <= max_len by randomized
+/// leftmost derivation (biased to short expansions); nullopt if the
+/// sampler fails to terminate within its budget.
+std::optional<std::vector<int>> sample_string(const cfg::Grammar& g,
+                                              util::Rng& rng,
+                                              std::size_t max_len);
+
+/// Samples a string of length exactly `len` (retries internally);
+/// nullopt if none found within the retry budget.
+std::optional<std::vector<int>> sample_string_of_length(
+    const cfg::Grammar& g, util::Rng& rng, std::size_t len,
+    int retries = 200);
+
+}  // namespace parsec::grammars

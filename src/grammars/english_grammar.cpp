@@ -1,0 +1,229 @@
+#include "grammars/english_grammar.h"
+
+namespace parsec::grammars {
+
+using cdg::Grammar;
+
+const char* kProjectivityConstraint = R"(
+    (if (and (eq (role x) governor)
+             (eq (role y) governor)
+             (or (and (lt (pos x) (mod x)) (lt (pos y) (mod y))
+                      (lt (pos x) (pos y)) (lt (pos y) (mod x))
+                      (gt (mod y) (mod x)))
+                 (and (lt (pos x) (mod x)) (gt (pos y) (mod y))
+                      (not (eq (mod y) nil))
+                      (lt (pos x) (mod y)) (lt (mod y) (mod x))
+                      (gt (pos y) (mod x)))
+                 (and (gt (pos x) (mod x)) (not (eq (mod x) nil))
+                      (lt (pos y) (mod y))
+                      (lt (mod x) (pos y)) (lt (pos y) (pos x))
+                      (gt (mod y) (pos x)))
+                 (and (gt (pos x) (mod x)) (not (eq (mod x) nil))
+                      (gt (pos y) (mod y)) (not (eq (mod y) nil))
+                      (lt (mod x) (mod y)) (lt (mod y) (pos x))
+                      (gt (pos y) (pos x)))))
+        (eq 1 2)))";
+
+CdgBundle make_english_grammar(EnglishOptions opt) {
+  CdgBundle b;
+  Grammar& g = b.grammar;
+
+  // Categories.
+  const auto det = g.add_category("det");
+  const auto adj = g.add_category("adj");
+  const auto noun = g.add_category("noun");
+  const auto verb = g.add_category("verb");
+  const auto prep = g.add_category("prep");
+  const auto propn = g.add_category("propn");
+  const auto pron = g.add_category("pron");
+  const auto adv = g.add_category("adv");
+
+  // Labels.  Governor: the function a word fills for its head.
+  const auto DET = g.add_label("DET");    // determiner of a noun
+  const auto MOD = g.add_label("MOD");    // attributive adjective
+  const auto SUBJ = g.add_label("SUBJ");  // subject of the verb
+  const auto OBJ = g.add_label("OBJ");    // direct object
+  const auto POBJ = g.add_label("POBJ");  // object of a preposition
+  const auto ROOT = g.add_label("ROOT");  // main verb
+  const auto PREP = g.add_label("PREP");  // preposition attaching left
+  const auto ADV = g.add_label("ADV");    // adverb modifying the verb
+  // Needs: what a word requires to be complete.
+  const auto NP = g.add_label("NP");      // noun needs its determiner
+  const auto S = g.add_label("S");        // verb needs its subject
+  const auto PN = g.add_label("PN");      // preposition needs its object
+  const auto BLANK = g.add_label("BLANK");
+
+  const auto governor = g.add_role("governor");
+  const auto needs = g.add_role("needs");
+
+  // Table T refined by category (§1.1 footnote: "we also restrict
+  // labels by using word category information").
+  g.allow_label_for_category(governor, det, DET);
+  g.allow_label_for_category(governor, adj, MOD);
+  for (auto nom : {noun, propn, pron}) {
+    g.allow_label_for_category(governor, nom, SUBJ);
+    g.allow_label_for_category(governor, nom, OBJ);
+    g.allow_label_for_category(governor, nom, POBJ);
+  }
+  g.allow_label_for_category(governor, verb, ROOT);
+  g.allow_label_for_category(governor, prep, PREP);
+  g.allow_label_for_category(governor, adv, ADV);
+  g.allow_label_for_category(needs, noun, NP);
+  g.allow_label_for_category(needs, verb, S);
+  g.allow_label_for_category(needs, prep, PN);
+  for (auto c : {det, adj, propn, pron, adv})
+    g.allow_label_for_category(needs, c, BLANK);
+
+  // ---- unary constraints ----------------------------------------------
+  // Determiners modify a noun to their right.
+  g.add_constraint_text("det-governor", R"(
+      (if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+          (and (eq (lab x) DET)
+               (gt (mod x) (pos x))
+               (eq (cat (word (mod x))) noun))))");
+  g.add_constraint_text("det-needs", R"(
+      (if (and (eq (cat (word (pos x))) det) (eq (role x) needs))
+          (and (eq (lab x) BLANK) (eq (mod x) nil))))");
+  // Adjectives modify a noun to their right.
+  g.add_constraint_text("adj-governor", R"(
+      (if (and (eq (cat (word (pos x))) adj) (eq (role x) governor))
+          (and (eq (lab x) MOD)
+               (gt (mod x) (pos x))
+               (eq (cat (word (mod x))) noun))))");
+  g.add_constraint_text("adj-needs", R"(
+      (if (and (eq (cat (word (pos x))) adj) (eq (role x) needs))
+          (and (eq (lab x) BLANK) (eq (mod x) nil))))");
+  // Nominals (nouns, proper nouns, pronouns) are subjects of a verb to
+  // their right, or objects of a verb / preposition to their left.
+  g.add_constraint_text("nominal-governor", R"(
+      (if (and (or (eq (cat (word (pos x))) noun)
+                   (eq (cat (word (pos x))) propn)
+                   (eq (cat (word (pos x))) pron))
+               (eq (role x) governor))
+          (or (and (eq (lab x) SUBJ)
+                   (gt (mod x) (pos x))
+                   (eq (cat (word (mod x))) verb))
+              (and (eq (lab x) OBJ)
+                   (not (eq (mod x) nil))
+                   (lt (mod x) (pos x))
+                   (eq (cat (word (mod x))) verb))
+              (and (eq (lab x) POBJ)
+                   (not (eq (mod x) nil))
+                   (lt (mod x) (pos x))
+                   (eq (cat (word (mod x))) prep)))))");
+  // Common nouns need a determiner to their left.
+  g.add_constraint_text("noun-needs-det", R"(
+      (if (and (eq (cat (word (pos x))) noun) (eq (role x) needs))
+          (and (eq (lab x) NP)
+               (not (eq (mod x) nil))
+               (lt (mod x) (pos x))
+               (eq (cat (word (mod x))) det))))");
+  // Proper nouns and pronouns need nothing.
+  g.add_constraint_text("propn-pron-needs", R"(
+      (if (and (or (eq (cat (word (pos x))) propn)
+                   (eq (cat (word (pos x))) pron))
+               (eq (role x) needs))
+          (and (eq (lab x) BLANK) (eq (mod x) nil))))");
+  // The main verb is the ungoverned root.
+  g.add_constraint_text("verb-governor", R"(
+      (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+          (and (eq (lab x) ROOT) (eq (mod x) nil))))");
+  // A verb needs a nominal subject to its left.
+  g.add_constraint_text("verb-needs-subj", R"(
+      (if (and (eq (cat (word (pos x))) verb) (eq (role x) needs))
+          (and (eq (lab x) S)
+               (not (eq (mod x) nil))
+               (lt (mod x) (pos x))
+               (or (eq (cat (word (mod x))) noun)
+                   (eq (cat (word (mod x))) propn)
+                   (eq (cat (word (mod x))) pron)))))");
+  // Adverbs modify a verb, on either side.
+  g.add_constraint_text("adv-governor", R"(
+      (if (and (eq (cat (word (pos x))) adv) (eq (role x) governor))
+          (and (eq (lab x) ADV)
+               (not (eq (mod x) nil))
+               (eq (cat (word (mod x))) verb))))");
+  g.add_constraint_text("adv-needs", R"(
+      (if (and (eq (cat (word (pos x))) adv) (eq (role x) needs))
+          (and (eq (lab x) BLANK) (eq (mod x) nil))))");
+  // Prepositions attach to a noun or the verb to their left...
+  g.add_constraint_text("prep-governor", R"(
+      (if (and (eq (cat (word (pos x))) prep) (eq (role x) governor))
+          (and (eq (lab x) PREP)
+               (not (eq (mod x) nil))
+               (lt (mod x) (pos x))
+               (or (eq (cat (word (mod x))) noun)
+                   (eq (cat (word (mod x))) verb)
+                   (eq (cat (word (mod x))) propn)
+                   (eq (cat (word (mod x))) pron)))))");
+  // ...and need a nominal object to their right.
+  g.add_constraint_text("prep-needs-pobj", R"(
+      (if (and (eq (cat (word (pos x))) prep) (eq (role x) needs))
+          (and (eq (lab x) PN)
+               (gt (mod x) (pos x))
+               (or (eq (cat (word (mod x))) noun)
+                   (eq (cat (word (mod x))) propn)
+                   (eq (cat (word (mod x))) pron)))))");
+
+  // ---- binary constraints ---------------------------------------------
+  // Uniqueness: two distinct words cannot fill the same function for
+  // the same head ("(eq (pos x) (pos y)) is false for role values of
+  // different words", so violating pairs are zeroed).
+  for (const char* lab : {"SUBJ", "OBJ", "DET", "POBJ"}) {
+    g.add_constraint_text(
+        std::string("unique-") + lab,
+        "(if (and (eq (lab x) " + std::string(lab) + ") (eq (lab y) " + lab +
+            ") (eq (mod x) (mod y)) (not (eq (mod x) nil)))"
+            " (eq (pos x) (pos y)))");
+  }
+  // Mutual-pointer coherence: the verb's S-need and the noun's SUBJ
+  // must agree (both directions), and likewise NP<->DET, PN<->POBJ.
+  const struct {
+    const char* need;
+    const char* gov;
+  } pairs[] = {{"S", "SUBJ"}, {"NP", "DET"}, {"PN", "POBJ"}};
+  for (const auto& p : pairs) {
+    g.add_constraint_text(
+        std::string("pair-") + p.need + "-" + p.gov + "-fwd",
+        "(if (and (eq (lab x) " + std::string(p.need) + ") (eq (lab y) " +
+            p.gov + ") (eq (mod x) (pos y))) (eq (mod y) (pos x)))");
+    g.add_constraint_text(
+        std::string("pair-") + p.need + "-" + p.gov + "-bwd",
+        "(if (and (eq (lab x) " + std::string(p.need) + ") (eq (lab y) " +
+            p.gov + ") (eq (mod y) (pos x))) (eq (mod x) (pos y)))");
+  }
+  if (opt.projectivity)
+    g.add_constraint_text("projectivity", kProjectivityConstraint);
+
+  // ---- lexicon -----------------------------------------------------------
+  auto add_all = [&](std::initializer_list<const char*> words,
+                     const char* cat) {
+    for (const char* w : words) b.lexicon.add(g, w, {cat});
+  };
+  add_all({"the", "The", "a", "A", "an", "An", "this", "that", "every",
+           "some"},
+          "det");
+  add_all({"big", "small", "fast", "slow", "old", "new", "red", "lazy",
+           "quick", "bright", "dark", "strange", "quiet"},
+          "adj");
+  add_all({"dog", "cat", "program", "compiler", "parser", "sentence",
+           "machine", "router", "processor", "grammar", "table", "park",
+           "house", "network", "word", "student", "professor", "telescope",
+           "garden", "book"},
+          "noun");
+  add_all({"runs", "halts", "crashes", "sees", "parses", "likes", "chases",
+           "builds", "reads", "finds", "watches", "compiles"},
+          "verb");
+  add_all({"in", "on", "with", "near", "under", "over", "beside"}, "prep");
+  add_all({"quickly", "slowly", "quietly", "often", "carefully"}, "adv");
+  add_all({"Randall", "Mary", "Purdue", "Kosaraju", "Maruyama"}, "propn");
+  add_all({"it", "she", "he"}, "pron");
+  // Lexically ambiguous entries (first category = preferred tag); used
+  // by SequentialParser::parse_any_tagging and its tests.
+  b.lexicon.add(g, "watch", {"verb", "noun"});
+  b.lexicon.add(g, "run", {"verb", "noun"});
+  b.lexicon.add(g, "light", {"noun", "adj"});
+  return b;
+}
+
+}  // namespace parsec::grammars

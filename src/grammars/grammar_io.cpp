@@ -1,0 +1,196 @@
+#include "grammars/grammar_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cdg/constraint_parser.h"
+#include "util/sexpr.h"
+
+namespace parsec::grammars {
+
+namespace {
+
+using util::Sexpr;
+
+[[noreturn]] void fail(const Sexpr& at, const std::string& msg) {
+  throw GrammarIoError(msg + " at " + std::to_string(at.line) + ":" +
+                       std::to_string(at.col));
+}
+
+const std::string& atom_of(const Sexpr& s, const char* what) {
+  if (!s.is_atom()) fail(s, std::string("expected ") + what);
+  return s.atom;
+}
+
+void load_grammar_form(cdg::Grammar& g, const Sexpr& form) {
+  if (form.size() < 1) fail(form, "empty grammar clause");
+  for (std::size_t ci = 1; ci < form.size(); ++ci) {
+    const Sexpr& clause = form[ci];
+    if (!clause.is_list() || clause.items.empty() || !clause[0].is_atom())
+      fail(clause, "expected a grammar clause");
+    const std::string& head = clause[0].atom;
+    if (head == "categories") {
+      for (std::size_t i = 1; i < clause.size(); ++i)
+        g.add_category(atom_of(clause[i], "category name"));
+    } else if (head == "labels") {
+      for (std::size_t i = 1; i < clause.size(); ++i)
+        g.add_label(atom_of(clause[i], "label name"));
+    } else if (head == "roles") {
+      for (std::size_t i = 1; i < clause.size(); ++i)
+        g.add_role(atom_of(clause[i], "role name"));
+    } else if (head == "table") {
+      for (std::size_t i = 1; i < clause.size(); ++i) {
+        const Sexpr& row = clause[i];
+        if (!row.is_list() || row.size() < 2)
+          fail(row, "table row needs (role label...)");
+        auto role = g.roles().find(atom_of(row[0], "role name"));
+        if (!role) fail(row[0], "unknown role in table");
+        for (std::size_t j = 1; j < row.size(); ++j) {
+          auto lab = g.labels().find(atom_of(row[j], "label name"));
+          if (!lab) fail(row[j], "unknown label in table");
+          g.allow_label(*role, *lab);
+        }
+      }
+    } else if (head == "table-for-category") {
+      for (std::size_t i = 1; i < clause.size(); ++i) {
+        const Sexpr& row = clause[i];
+        if (!row.is_list() || row.size() < 3)
+          fail(row, "refined row needs (role category label...)");
+        auto role = g.roles().find(atom_of(row[0], "role name"));
+        if (!role) fail(row[0], "unknown role in refined table");
+        auto cat = g.categories().find(atom_of(row[1], "category name"));
+        if (!cat) fail(row[1], "unknown category in refined table");
+        for (std::size_t j = 2; j < row.size(); ++j) {
+          auto lab = g.labels().find(atom_of(row[j], "label name"));
+          if (!lab) fail(row[j], "unknown label in refined table");
+          g.allow_label_for_category(*role, *cat, *lab);
+        }
+      }
+    } else if (head == "constraint") {
+      if (clause.size() != 3 || !clause[1].is_atom())
+        fail(clause, "expected (constraint name (if ...))");
+      try {
+        cdg::Constraint c = cdg::parse_constraint(g, clause[2]);
+        c.name = clause[1].atom;
+        g.add_constraint(std::move(c));
+      } catch (const cdg::ConstraintParseError& e) {
+        fail(clause, std::string("bad constraint: ") + e.what());
+      }
+    } else {
+      fail(clause, "unknown grammar clause `" + head + "`");
+    }
+  }
+}
+
+void load_lexicon_form(cdg::Grammar& g, cdg::Lexicon& lex,
+                       const Sexpr& form) {
+  for (std::size_t i = 1; i < form.size(); ++i) {
+    const Sexpr& entry = form[i];
+    if (!entry.is_list() || entry.size() < 2)
+      fail(entry, "lexicon entry needs (word category...)");
+    std::vector<cdg::CatId> cats;
+    for (std::size_t j = 1; j < entry.size(); ++j) {
+      auto cat = g.categories().find(atom_of(entry[j], "category name"));
+      if (!cat) fail(entry[j], "unknown category in lexicon");
+      cats.push_back(*cat);
+    }
+    lex.add(atom_of(entry[0], "word"), std::move(cats));
+  }
+}
+
+}  // namespace
+
+CdgBundle load_cdg_bundle(std::string_view text) {
+  std::vector<Sexpr> forms;
+  try {
+    forms = util::parse_sexprs(text);
+  } catch (const util::SexprError& e) {
+    throw GrammarIoError(e.what());
+  }
+  CdgBundle bundle;
+  bool saw_grammar = false;
+  for (const Sexpr& form : forms) {
+    if (!form.is_list() || form.items.empty() || !form[0].is_atom())
+      fail(form, "expected (grammar ...) or (lexicon ...)");
+    if (form[0].is("grammar")) {
+      load_grammar_form(bundle.grammar, form);
+      saw_grammar = true;
+    } else if (form[0].is("lexicon")) {
+      if (!saw_grammar)
+        fail(form, "(lexicon ...) must follow (grammar ...)");
+      load_lexicon_form(bundle.grammar, bundle.lexicon, form);
+    } else {
+      fail(form, "unknown top-level form `" + form[0].atom + "`");
+    }
+  }
+  if (!saw_grammar) throw GrammarIoError("no (grammar ...) form found");
+  return bundle;
+}
+
+CdgBundle load_cdg_bundle_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw GrammarIoError("cannot open grammar file: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return load_cdg_bundle(ss.str());
+}
+
+std::string save_cdg_bundle(const CdgBundle& bundle) {
+  const cdg::Grammar& g = bundle.grammar;
+  std::ostringstream os;
+  os << "(grammar\n  (categories";
+  for (const auto& name : g.categories().names()) os << ' ' << name;
+  os << ")\n  (labels";
+  for (const auto& name : g.labels().names()) os << ' ' << name;
+  os << ")\n  (roles";
+  for (const auto& name : g.roles().names()) os << ' ' << name;
+  os << ")\n  (table";
+  for (cdg::RoleId r = 0; r < g.num_roles(); ++r) {
+    os << "\n    (" << g.role_name(r);
+    for (cdg::LabelId l : g.labels_for_role(r)) os << ' ' << g.label_name(l);
+    os << ')';
+  }
+  os << ")\n";
+  // Category refinements: emit rows only where some category's allowed
+  // label set is narrower than the coarse table.
+  std::string refined;
+  for (cdg::RoleId r = 0; r < g.num_roles(); ++r) {
+    for (cdg::CatId c = 0; c < g.num_categories(); ++c) {
+      std::string labs;
+      bool narrower = false;
+      for (cdg::LabelId l : g.labels_for_role(r)) {
+        if (g.label_allowed(r, c, l))
+          labs += ' ' + g.label_name(l);
+        else
+          narrower = true;
+      }
+      if (narrower && !labs.empty())
+        refined += "\n    (" + g.role_name(r) + ' ' + g.category_name(c) +
+                   labs + ')';
+    }
+  }
+  if (!refined.empty()) os << "  (table-for-category" << refined << ")\n";
+  int unnamed = 0;
+  auto emit_constraint = [&](const cdg::Constraint& c) {
+    std::string name =
+        c.name.empty() ? "constraint-" + std::to_string(++unnamed) : c.name;
+    os << "  (constraint " << name << "\n    "
+       << c.root.to_string_with(g) << ")\n";
+  };
+  for (const auto& c : g.unary_constraints()) emit_constraint(c);
+  for (const auto& c : g.binary_constraints()) emit_constraint(c);
+  os << ")\n";
+  // Lexicon, sorted for deterministic output.
+  os << "(lexicon\n";
+  for (const auto& word : bundle.lexicon.words()) {
+    os << "  (" << word;
+    for (cdg::CatId c : bundle.lexicon.categories(word))
+      os << ' ' << g.category_name(c);
+    os << ")\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace parsec::grammars

@@ -1,0 +1,48 @@
+// Textual grammar format: load and save complete CDG grammar bundles.
+//
+// A grammar file is a sequence of s-expressions in the constraint
+// language's own syntax, so grammars can be authored, versioned and
+// shipped without recompiling:
+//
+//   (grammar
+//     (categories det noun verb)
+//     (labels SUBJ NP ROOT S DET BLANK)
+//     (roles governor needs)
+//     (table (governor SUBJ ROOT DET)
+//            (needs NP S BLANK))
+//     ;; optional category-refined entries: (role category label...)
+//     (table-for-category (governor det DET))
+//     (constraint verbs-are-roots
+//       (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+//           (and (eq (lab x) ROOT) (eq (mod x) nil)))))
+//   (lexicon
+//     (the det)
+//     (run verb noun))   ; first category is the preferred tag
+//
+// save_cdg_bundle() emits exactly this format; load(save(b)) produces a
+// behaviourally identical bundle (round-trip tested).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "grammars/toy_grammar.h"
+
+namespace parsec::grammars {
+
+struct GrammarIoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a bundle from grammar-file text.  Throws GrammarIoError with
+/// source positions on malformed input.
+CdgBundle load_cdg_bundle(std::string_view text);
+
+/// Loads from a file path.
+CdgBundle load_cdg_bundle_file(const std::string& path);
+
+/// Serializes grammar + lexicon to the textual format.
+std::string save_cdg_bundle(const CdgBundle& bundle);
+
+}  // namespace parsec::grammars

@@ -1,0 +1,128 @@
+#include "grammars/sentence_gen.h"
+
+#include <stdexcept>
+
+namespace parsec::grammars {
+
+SentenceGenerator::SentenceGenerator(const CdgBundle& bundle,
+                                     std::uint64_t seed)
+    : bundle_(&bundle), rng_(seed) {
+  const auto& g = bundle.grammar;
+  // Word pools by category (lowercase forms only, to keep tagging
+  // deterministic).
+  const auto classify = [&](const std::string& word) -> std::string {
+    return g.category_name(bundle.lexicon.categories(word).front());
+  };
+  for (const auto* w :
+       {"the", "a", "this", "that", "every", "some"})
+    if (bundle.lexicon.contains(w) && classify(w) == "det")
+      dets_.push_back(w);
+  for (const auto* w : {"big", "small", "fast", "slow", "old", "new", "red",
+                        "lazy", "quick", "bright", "dark", "strange",
+                        "quiet"})
+    if (bundle.lexicon.contains(w) && classify(w) == "adj")
+      adjs_.push_back(w);
+  for (const auto* w :
+       {"dog", "cat", "program", "compiler", "parser", "sentence", "machine",
+        "router", "processor", "grammar", "table", "park", "house",
+        "network", "word", "student", "professor", "telescope", "garden",
+        "book"})
+    if (bundle.lexicon.contains(w) && classify(w) == "noun")
+      nouns_.push_back(w);
+  for (const auto* w : {"runs", "halts", "crashes", "sees", "parses",
+                        "likes", "chases", "builds", "reads", "finds",
+                        "watches", "compiles"})
+    if (bundle.lexicon.contains(w) && classify(w) == "verb")
+      verbs_.push_back(w);
+  for (const auto* w : {"in", "on", "with", "near", "under", "over",
+                        "beside"})
+    if (bundle.lexicon.contains(w) && classify(w) == "prep")
+      preps_.push_back(w);
+  for (const auto* w : {"quickly", "slowly", "quietly", "often",
+                        "carefully"})
+    if (bundle.lexicon.contains(w) && classify(w) == "adv")
+      advs_.push_back(w);
+  for (const auto* w : {"Randall", "Mary", "Purdue", "Kosaraju", "Maruyama"})
+    if (bundle.lexicon.contains(w) && classify(w) == "propn")
+      propns_.push_back(w);
+  for (const auto* w : {"it", "she", "he"})
+    if (bundle.lexicon.contains(w) && classify(w) == "pron")
+      prons_.push_back(w);
+  if (dets_.empty() || nouns_.empty() || verbs_.empty() || preps_.empty())
+    throw std::invalid_argument(
+        "SentenceGenerator needs the English grammar bundle");
+}
+
+const std::string& SentenceGenerator::pick(
+    const std::vector<std::string>& pool) {
+  return pool[rng_.next_below(pool.size())];
+}
+
+std::vector<std::string> SentenceGenerator::generate(int n) {
+  if (n < 2)
+    throw std::invalid_argument("need at least 2 words (subject + verb)");
+  // Word budget: subject NP + verb + optional object NP + PPs; NPs are
+  // det (adj)* noun (>= 2 words) or a 1-word pronoun / proper noun.
+  // Plan in units, then stretch NPs with adjectives to hit n exactly.
+  std::vector<std::string> words;
+
+  // Minimal skeletons per n:
+  //   n == 2: propn verb
+  //   n == 3: det noun verb
+  //   n >= 4: det noun verb + remainder split into object/PPs/adjs.
+  if (n == 2) {
+    words.push_back(pick(propns_.empty() ? prons_ : propns_));
+    words.push_back(pick(verbs_));
+    return words;
+  }
+
+  int remaining = n - 3;  // efter "det noun verb"
+  int subj_adjs = 0;
+  // Decide object and PP count from the remaining budget.
+  bool object = false;
+  int pps = 0;
+  if (remaining >= 2 && rng_.next_bool(0.6)) {
+    object = true;
+    remaining -= 2;  // det noun
+  }
+  while (remaining >= 3 && rng_.next_bool(0.7)) {
+    ++pps;
+    remaining -= 3;  // prep det noun
+  }
+  // One leftover word may become a verb-modifying adverb.
+  bool adverb = false;
+  if (remaining >= 1 && !advs_.empty() && rng_.next_bool(0.4)) {
+    adverb = true;
+    --remaining;
+  }
+  // Whatever is left becomes adjectives, spread over the NPs.
+  std::vector<int> adj_slots(1 + (object ? 1 : 0) + pps, 0);
+  for (int i = 0; remaining > 0; --remaining, ++i)
+    ++adj_slots[i % adj_slots.size()];
+  std::size_t slot = 0;
+
+  auto emit_np = [&](int adjs) {
+    words.push_back(pick(dets_));
+    for (int i = 0; i < adjs; ++i) words.push_back(pick(adjs_));
+    words.push_back(pick(nouns_));
+  };
+
+  subj_adjs = adj_slots[slot++];
+  emit_np(subj_adjs);
+  words.push_back(pick(verbs_));
+  if (adverb) words.push_back(pick(advs_));
+  if (object) emit_np(adj_slots[slot++]);
+  for (int i = 0; i < pps; ++i) {
+    words.push_back(pick(preps_));
+    emit_np(adj_slots[slot++]);
+  }
+  if (static_cast<int>(words.size()) != n)
+    throw std::logic_error("sentence plan missed the target length");
+  return words;
+}
+
+cdg::Sentence SentenceGenerator::generate_sentence(int n) {
+  return bundle_->lexicon.tag(generate(n));
+}
+
+}  // namespace parsec::grammars

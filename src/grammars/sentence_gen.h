@@ -1,0 +1,39 @@
+// Workload generator: grammatical English sentences of target length.
+//
+// The paper reports timings as a function of sentence length (Results
+// §3); this generator produces deterministic, parseable inputs for
+// those sweeps:   S -> NP verb (NP)? PP*,  NP -> det adj* noun | propn
+// | pron,  PP -> prep NP, with the adjective/PP counts stretched to hit
+// the requested word count exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grammars/english_grammar.h"
+#include "util/rng.h"
+
+namespace parsec::grammars {
+
+class SentenceGenerator {
+ public:
+  /// `bundle` must be the English grammar (the generator draws words
+  /// from its lexicon's category pools).
+  SentenceGenerator(const CdgBundle& bundle, std::uint64_t seed = 42);
+
+  /// A grammatical sentence of exactly `n` words (n >= 2).
+  std::vector<std::string> generate(int n);
+
+  /// Tagged form, ready for parsing.
+  cdg::Sentence generate_sentence(int n);
+
+ private:
+  const std::string& pick(const std::vector<std::string>& pool);
+
+  const CdgBundle* bundle_;
+  util::Rng rng_;
+  std::vector<std::string> dets_, adjs_, nouns_, verbs_, preps_, propns_,
+      prons_, advs_;
+};
+
+}  // namespace parsec::grammars

@@ -1,0 +1,119 @@
+#include "grammars/toy_grammar.h"
+
+#include <sstream>
+
+namespace parsec::grammars {
+
+using cdg::Grammar;
+
+std::vector<std::string> split_words(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+cdg::Sentence CdgBundle::tag(const std::string& text) const {
+  return lexicon.tag(split_words(text));
+}
+
+CdgBundle make_toy_grammar() {
+  CdgBundle b;
+  Grammar& g = b.grammar;
+
+  // Terminals (categories).
+  g.add_category("det");
+  g.add_category("noun");
+  g.add_category("verb");
+
+  // Labels L = {SUBJ, NP, ROOT, S, DET, BLANK}.
+  g.add_label("SUBJ");
+  g.add_label("NP");
+  g.add_label("ROOT");
+  g.add_label("S");
+  g.add_label("DET");
+  g.add_label("BLANK");
+
+  // Roles R = {governor, needs}.
+  const cdg::RoleId governor = g.add_role("governor");
+  const cdg::RoleId needs = g.add_role("needs");
+
+  // Table T (§1.1): governor may hold SUBJ/ROOT/DET, needs may hold
+  // NP/S/BLANK.
+  g.allow_label(governor, g.label("SUBJ"));
+  g.allow_label(governor, g.label("ROOT"));
+  g.allow_label(governor, g.label("DET"));
+  g.allow_label(needs, g.label("NP"));
+  g.allow_label(needs, g.label("S"));
+  g.allow_label(needs, g.label("BLANK"));
+
+  // ---- unary constraints, verbatim from §1.3, in paper order ---------
+  g.add_constraint_text("verbs-are-ungoverned-roots", R"(
+      (if (and (eq (cat (word (pos x))) verb)
+               (eq (role x) governor))
+          (and (eq (lab x) ROOT)
+               (eq (mod x) nil))))");
+  g.add_constraint_text("verbs-need-s-modifying", R"(
+      (if (and (eq (cat (word (pos x))) verb)
+               (eq (role x) needs))
+          (and (eq (lab x) S)
+               (not (eq (mod x) nil)))))");
+  g.add_constraint_text("nouns-are-subjects", R"(
+      (if (and (eq (cat (word (pos x))) noun)
+               (eq (role x) governor))
+          (and (eq (lab x) SUBJ)
+               (not (eq (mod x) nil)))))");
+  g.add_constraint_text("nouns-need-np", R"(
+      (if (and (eq (cat (word (pos x))) noun)
+               (eq (role x) needs))
+          (and (eq (lab x) NP)
+               (not (eq (mod x) nil)))))");
+  g.add_constraint_text("dets-are-det-labeled", R"(
+      (if (and (eq (cat (word (pos x))) det)
+               (eq (role x) governor))
+          (and (eq (lab x) DET)
+               (not (eq (mod x) nil)))))");
+  g.add_constraint_text("dets-need-nothing", R"(
+      (if (and (eq (cat (word (pos x))) det)
+               (eq (role x) needs))
+          (and (eq (lab x) BLANK)
+               (eq (mod x) nil))))");
+
+  // ---- binary constraints, verbatim from §1.3, in paper order --------
+  g.add_constraint_text("subj-governed-by-root-to-right", R"(
+      (if (and (eq (lab x) SUBJ)
+               (eq (lab y) ROOT))
+          (and (eq (mod x) (pos y))
+               (lt (pos x) (pos y)))))");
+  g.add_constraint_text("s-needs-subj-to-left", R"(
+      (if (and (eq (lab x) S)
+               (eq (lab y) SUBJ))
+          (and (eq (mod x) (pos y))
+               (gt (pos x) (pos y)))))");
+  g.add_constraint_text("det-governed-by-noun-to-right", R"(
+      (if (and (eq (lab x) DET)
+               (eq (cat (word (pos y))) noun))
+          (and (eq (mod x) (pos y))
+               (lt (pos x) (pos y)))))");
+  g.add_constraint_text("np-needs-det-to-left", R"(
+      (if (and (eq (lab x) NP)
+               (eq (lab y) DET))
+          (and (eq (mod x) (pos y))
+               (gt (pos x) (pos y)))))");
+
+  // Lexicon for the worked example and nearby test sentences.
+  b.lexicon.add(g, "The", {"det"});
+  b.lexicon.add(g, "the", {"det"});
+  b.lexicon.add(g, "A", {"det"});
+  b.lexicon.add(g, "a", {"det"});
+  b.lexicon.add(g, "program", {"noun"});
+  b.lexicon.add(g, "dog", {"noun"});
+  b.lexicon.add(g, "compiler", {"noun"});
+  b.lexicon.add(g, "runs", {"verb"});
+  b.lexicon.add(g, "halts", {"verb"});
+  b.lexicon.add(g, "crashes", {"verb"});
+  return b;
+}
+
+}  // namespace parsec::grammars

@@ -1,0 +1,31 @@
+// The paper's worked-example grammar (§1.1-1.4).
+//
+// Accepts "The program runs": categories {det, noun, verb}, labels
+// {SUBJ, NP, ROOT, S, DET, BLANK}, roles {governor, needs}, the table T
+// of §1.1, and the six unary + four binary constraints of §1.3, added in
+// the paper's order (the golden-figure tests depend on that order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdg/grammar.h"
+#include "cdg/lexicon.h"
+
+namespace parsec::grammars {
+
+struct CdgBundle {
+  cdg::Grammar grammar;
+  cdg::Lexicon lexicon;
+
+  /// Tags a whitespace-separated sentence with preferred categories.
+  cdg::Sentence tag(const std::string& text) const;
+};
+
+/// Splits on spaces (no punctuation handling; inputs are pre-tokenized).
+std::vector<std::string> split_words(const std::string& text);
+
+/// Builds the paper's toy grammar + a small lexicon around it.
+CdgBundle make_toy_grammar();
+
+}  // namespace parsec::grammars

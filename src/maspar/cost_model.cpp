@@ -1,0 +1,31 @@
+#include "maspar/cost_model.h"
+
+#include <cmath>
+
+namespace parsec::maspar {
+
+double CostModel::seconds(const MachineStats& stats, int virtual_pes,
+                          int physical_pes) const {
+  const int vf = (virtual_pes + physical_pes - 1) / physical_pes;
+  const double log_p = std::ceil(
+      std::log2(static_cast<double>(std::min(virtual_pes, physical_pes)) + 1));
+  const double instr_time =
+      t_instr * (static_cast<double>(vf) * static_cast<double>(stats.plural_ops) +
+                 static_cast<double>(stats.acu_ops));
+  const double router_time =
+      static_cast<double>(stats.scan_ops + stats.route_ops) *
+      (static_cast<double>(vf) * t_instr + log_p * t_route);
+  return instr_time + router_time;
+}
+
+CostModel CostModel::mp1() {
+  // Calibrated so the paper's 3-word example parse with the toy grammar
+  // (10 constraints) costs ~0.15 s on a 16K-PE machine; see
+  // bench_parse_time for the resulting step function.  The MP-1's
+  // 4-bit PEs ran at 80ns/cycle with multi-cycle 32-bit macro-ops,
+  // so tens of microseconds per broadcast instruction is the right
+  // order of magnitude.
+  return CostModel{/*t_instr=*/5.5e-5, /*t_route=*/1.8e-5};
+}
+
+}  // namespace parsec::maspar

@@ -1,0 +1,43 @@
+// Simulated-time cost model for the MasPar machine (DESIGN.md §4).
+//
+// The simulator counts ACU instruction broadcasts, segmented scans and
+// router operations; this model converts the counts to seconds:
+//
+//   seconds =  t_instr * (virt_factor * plural_ops + acu_ops)
+//            + (scan_ops + route_ops) *
+//                (virt_factor * t_instr + ceil(log2(P)) * t_route)
+//
+// virt_factor = ceil(V/P) is the paper's processor-virtualization
+// multiplier (design decision 6): every broadcast is repeated once per
+// emulated virtual PE, which is what produces the step-function growth
+// of parse time in n (Results §3: 0.15 s for the example sentence,
+// 0.45 s for a 10-word sentence, "a discrete step function which grows
+// as n^4").
+//
+// Calibration: t_instr and t_route are fixed once so that the toy
+// 3-word parse with the paper's grammar lands at ~0.15 s; nothing else
+// is fitted (see bench_parse_time and EXPERIMENTS.md).
+#pragma once
+
+#include "maspar/machine.h"
+
+namespace parsec::maspar {
+
+struct CostModel {
+  double t_instr;  // seconds per ACU instruction broadcast
+  double t_route;  // seconds per router stage (one hop of a log-time scan)
+
+  /// Simulated seconds for `stats` on a machine folding `virtual_pes`
+  /// onto `physical_pes`.
+  double seconds(const MachineStats& stats, int virtual_pes,
+                 int physical_pes) const;
+
+  double seconds(const Machine& m) const {
+    return seconds(m.stats(), m.size(), m.physical());
+  }
+
+  /// The calibrated MP-1 model used by every benchmark.
+  static CostModel mp1();
+};
+
+}  // namespace parsec::maspar

@@ -1,0 +1,32 @@
+#include "maspar/layout.h"
+
+namespace parsec::maspar {
+
+Layout::Layout(const cdg::Grammar& g, const cdg::Sentence& s)
+    : n_(s.size()), q_(g.num_roles()), l_(g.max_labels_per_role()) {
+  mods_.resize(static_cast<std::size_t>(n_));
+  for (cdg::WordPos w = 1; w <= n_; ++w) {
+    auto& m = mods_[w - 1];
+    m.push_back(cdg::kNil);
+    for (cdg::WordPos p = 1; p <= n_; ++p)
+      if (p != w) m.push_back(p);
+  }
+  role_labels_.resize(static_cast<std::size_t>(q_));
+  for (cdg::RoleId r = 0; r < q_; ++r) role_labels_[r] = g.labels_for_role(r);
+}
+
+int Layout::mod_slot(cdg::WordPos w, cdg::WordPos m) const {
+  const auto& slots = mods_[w - 1];
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    if (slots[i] == m) return static_cast<int>(i);
+  return -1;
+}
+
+int Layout::label_slot(cdg::RoleId r, cdg::LabelId lab) const {
+  const auto& labs = role_labels_[r];
+  for (std::size_t i = 0; i < labs.size(); ++i)
+    if (labs[i] == lab) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace parsec::maspar

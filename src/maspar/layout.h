@@ -1,0 +1,123 @@
+// PE allocation for CDG arc elements on the MasPar (paper §2.2.2-2.2.3,
+// Figs. 11 and 13).
+//
+// Virtual PE space: for every ordered pair of roles (a, b) and every
+// pair of modifiee slots (mx for a's word, my for b's word), one PE:
+//
+//     vpe(a, mx, b, my) = ((a*M + mx) * R + b) * M + my
+//
+// where R = n*q is the number of roles and M = n the number of modifiee
+// slots per word (nil plus the n-1 other positions; a word never
+// modifies itself).  Each PE holds an l x l bit submatrix over the
+// T-allowed labels of the two roles (Fig. 13; l is the paper's
+// grammatical constant, 3 in the worked example).
+//
+// This ordering makes both scan phases of consistency maintenance run
+// over contiguous segments (Figs. 10/12):
+//   * segment (a, mx, b): the M PEs holding one arc's rows for the role
+//     values (<label>, mods[a's word][mx]) — scanOr gives the arc OR;
+//   * segment (a, mx):    the R*M PEs of one role/mod slot — scanAnd
+//     over the arc ORs gives the role value's support bit.
+// PEs with a == b represent an arc from a role to itself and are
+// disabled from the beginning of parsing (Fig. 11's "PEs 0-2").
+//
+// Every logical arc element is held twice — once as a row in a's
+// segment, once as a column in b's (the paper's Fig. 13 "column:PE120 /
+// row:PE222" annotations).  The copies are kept in sync because every
+// kernel applies symmetric updates; the column-side support bit reaches
+// a PE through the global router from its *partner* PE
+// vpe(b, my, a, mx).
+//
+// Total: R^2 * M^2 = q^2 * n^4 virtual PEs — the paper's O(n^4).  For
+// the 3-word example: (6*3)^2 = 324 PEs, 108 per word, 54 per role,
+// exactly Fig. 11.
+#pragma once
+
+#include <vector>
+
+#include "cdg/grammar.h"
+#include "cdg/lexicon.h"
+#include "cdg/types.h"
+
+namespace parsec::maspar {
+
+class Layout {
+ public:
+  Layout(const cdg::Grammar& g, const cdg::Sentence& s);
+
+  int n() const { return n_; }
+  int q() const { return q_; }
+  /// R = n*q roles, indexed like cdg::Network: (w-1)*q + role_id.
+  int num_roles() const { return n_ * q_; }
+  /// M = n modifiee slots per word (nil first, then the other positions
+  /// ascending).
+  int mods_per_word() const { return n_; }
+  /// l = max T-allowed labels per role (Fig. 13's submatrix dimension).
+  int labels_per_role() const { return l_; }
+  /// Virtual PE count R^2 * M^2 = q^2 n^4.
+  int vpes() const { return num_roles() * num_roles() * n_ * n_; }
+
+  int vpe(int a, int mx, int b, int my) const {
+    const int R = num_roles(), M = n_;
+    return ((a * M + mx) * R + b) * M + my;
+  }
+
+  struct Coord {
+    int a, mx, b, my;
+  };
+  Coord coord(int vpe) const {
+    const int R = num_roles(), M = n_;
+    Coord c;
+    c.my = vpe % M;
+    vpe /= M;
+    c.b = vpe % R;
+    vpe /= R;
+    c.mx = vpe % M;
+    c.a = vpe / M;
+    return c;
+  }
+
+  /// PE holding the same logical arc elements transposed.
+  int partner(int pe) const {
+    const Coord c = coord(pe);
+    return vpe(c.b, c.my, c.a, c.mx);
+  }
+
+  bool diagonal(int pe) const {
+    const Coord c = coord(pe);
+    return c.a == c.b;
+  }
+
+  // ---- segment ids (contiguous by construction) ------------------------
+  int seg_arc(int pe) const { return pe / n_; }           // (a, mx, b)
+  int seg_role_slot(int pe) const {                        // (a, mx)
+    return pe / (num_roles() * n_);
+  }
+
+  // ---- role / word / label decoding ------------------------------------
+  cdg::WordPos word_of_role(int role) const { return role / q_ + 1; }
+  cdg::RoleId role_id_of(int role) const { return role % q_; }
+
+  /// Modifiee slot list of word `w` (1-based): [nil, positions != w].
+  const std::vector<cdg::WordPos>& mods_of_word(cdg::WordPos w) const {
+    return mods_[w - 1];
+  }
+  /// Slot index of modifiee `m` for word `w`; -1 if m == w (invalid).
+  int mod_slot(cdg::WordPos w, cdg::WordPos m) const;
+
+  /// T-allowed labels of role-id `r`, in label-id order, padded view:
+  /// entries beyond the role's label count are absent (vector sized per
+  /// role).
+  const std::vector<cdg::LabelId>& labels_of(cdg::RoleId r) const {
+    return role_labels_[r];
+  }
+  /// Index of `lab` within labels_of(r), or -1.
+  int label_slot(cdg::RoleId r, cdg::LabelId lab) const;
+
+ private:
+  int n_, q_, l_;
+  std::vector<std::vector<cdg::WordPos>> mods_;        // per word
+  std::vector<std::vector<cdg::LabelId>> role_labels_;  // per role id
+};
+
+}  // namespace parsec::maspar

@@ -1,0 +1,76 @@
+#include "maspar/machine.h"
+
+#include <stdexcept>
+
+namespace parsec::maspar {
+
+Machine::Machine(int virtual_pes, int physical_pes)
+    : vpes_(virtual_pes), ppes_(physical_pes) {
+  if (virtual_pes <= 0) throw std::invalid_argument("need at least one PE");
+  if (physical_pes <= 0)
+    throw std::invalid_argument("need at least one physical PE");
+  enable_.assign(static_cast<std::size_t>(vpes_), 1);
+}
+
+int Machine::virt_factor() const { return (vpes_ + ppes_ - 1) / ppes_; }
+
+int Machine::grid_side() const {
+  int side = 1;
+  while (side * side < vpes_) ++side;
+  return side;
+}
+
+void Machine::push_enable(const std::vector<std::uint8_t>& mask) {
+  if (static_cast<int>(mask.size()) != vpes_)
+    throw std::invalid_argument("enable mask size mismatch");
+  enable_stack_.push_back(enable_);
+  for (int pe = 0; pe < vpes_; ++pe) enable_[pe] = enable_[pe] && mask[pe];
+  ++stats_.plural_ops;  // the mask test is itself one broadcast
+}
+
+void Machine::pop_enable() {
+  if (enable_stack_.empty()) throw std::logic_error("enable stack underflow");
+  enable_ = std::move(enable_stack_.back());
+  enable_stack_.pop_back();
+}
+
+template <typename Op>
+std::vector<std::uint8_t> Machine::seg_scan(const std::vector<std::uint8_t>& v,
+                                            const std::vector<int>& seg,
+                                            std::uint8_t identity, Op op) {
+  if (static_cast<int>(v.size()) != vpes_ ||
+      static_cast<int>(seg.size()) != vpes_)
+    throw std::invalid_argument("seg scan size mismatch");
+  ++stats_.scan_ops;
+  std::vector<std::uint8_t> out(v.size(), identity);
+  int pe = 0;
+  while (pe < vpes_) {
+    int end = pe;
+    while (end < vpes_ && seg[end] == seg[pe]) ++end;
+    std::uint8_t acc = identity;
+    for (int i = pe; i < end; ++i)
+      if (enable_[i]) acc = op(acc, v[i]);
+    for (int i = pe; i < end; ++i)
+      if (enable_[i]) out[i] = acc;
+    pe = end;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Machine::seg_or(const std::vector<std::uint8_t>& v,
+                                          const std::vector<int>& seg) {
+  return seg_scan(v, seg, 0,
+                  [](std::uint8_t a, std::uint8_t b) -> std::uint8_t {
+                    return a || b;
+                  });
+}
+
+std::vector<std::uint8_t> Machine::seg_and(const std::vector<std::uint8_t>& v,
+                                           const std::vector<int>& seg) {
+  return seg_scan(v, seg, 1,
+                  [](std::uint8_t a, std::uint8_t b) -> std::uint8_t {
+                    return a && b;
+                  });
+}
+
+}  // namespace parsec::maspar

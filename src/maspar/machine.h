@@ -1,0 +1,175 @@
+// MasPar MP-1 SIMD array simulator (paper §2.2).
+//
+// The MP-1 is a massively parallel SIMD machine: an Array Control Unit
+// (ACU) broadcasts one instruction at a time to up to 16,384 processing
+// elements, each with local memory.  PEs can be switched off by an
+// enable mask (MPL's plural `if`), and a global router provides
+// scanAnd()/scanOr() segmented-scan primitives in logarithmic time
+// [MasPar System Overview, 1990].
+//
+// This simulator executes *virtual* PE programs: kernels address V
+// virtual PEs; the cost model folds them onto P physical PEs with the
+// paper's virtualization scheme (design decision 6: each physical PE
+// emulates a constant number of virtual PEs).  Counters record
+//   * plural_ops  — ACU instruction broadcasts (weighted by the per-PE
+//                   unit cost the kernel declares),
+//   * scan_ops    — segmented scan invocations (router),
+//   * route_ops   — general router gathers,
+//   * acu_ops     — scalar ACU-side operations,
+// from which CostModel computes simulated wall-clock (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parsec::maspar {
+
+struct MachineStats {
+  std::uint64_t plural_ops = 0;
+  std::uint64_t scan_ops = 0;
+  std::uint64_t route_ops = 0;
+  std::uint64_t xnet_ops = 0;  // nearest-neighbour shifts (X-Net)
+  std::uint64_t acu_ops = 0;
+
+  MachineStats& operator+=(const MachineStats& o) {
+    plural_ops += o.plural_ops;
+    scan_ops += o.scan_ops;
+    route_ops += o.route_ops;
+    xnet_ops += o.xnet_ops;
+    acu_ops += o.acu_ops;
+    return *this;
+  }
+};
+
+/// The MP-1 shipped in configurations of 1K-16K PEs; 16K is the machine
+/// the paper used.
+inline constexpr int kMp1MaxPes = 16384;
+
+class Machine {
+ public:
+  /// `virtual_pes` is the problem-sized PE array the kernel addresses;
+  /// `physical_pes` the hardware it is folded onto.
+  explicit Machine(int virtual_pes, int physical_pes = kMp1MaxPes);
+
+  int size() const { return vpes_; }
+  int physical() const { return ppes_; }
+  /// ceil(V / P): how many virtual PEs each physical PE emulates.
+  int virt_factor() const;
+
+  // ---- enable mask (MPL plural-if semantics) --------------------------
+  /// Pushes `mask` ANDed with the current enable state.  Pair with
+  /// pop_enable(), or use EnableScope.
+  void push_enable(const std::vector<std::uint8_t>& mask);
+  void pop_enable();
+  bool is_enabled(int pe) const { return enable_[pe] != 0; }
+  const std::vector<std::uint8_t>& enable() const { return enable_; }
+
+  class EnableScope {
+   public:
+    EnableScope(Machine& m, const std::vector<std::uint8_t>& mask)
+        : m_(m) {
+      m_.push_enable(mask);
+    }
+    ~EnableScope() { m_.pop_enable(); }
+    EnableScope(const EnableScope&) = delete;
+    EnableScope& operator=(const EnableScope&) = delete;
+
+   private:
+    Machine& m_;
+  };
+
+  // ---- SIMD execution ---------------------------------------------------
+  /// Broadcasts one plural operation: `fn(pe)` runs on every enabled PE.
+  /// `unit_cost` is the number of ACU instructions the operation costs
+  /// per PE (a kernel touching an l x l submatrix declares l*l).
+  template <typename Fn>
+  void simd(int unit_cost, Fn&& fn) {
+    stats_.plural_ops += static_cast<std::uint64_t>(unit_cost);
+    for (int pe = 0; pe < vpes_; ++pe)
+      if (enable_[pe]) fn(pe);
+  }
+
+  /// Scalar work on the ACU (loop control, broadcast of a constant).
+  void acu(std::uint64_t ops = 1) { stats_.acu_ops += ops; }
+
+  // ---- global router ------------------------------------------------------
+  // Segments are runs of equal ids in `seg`; ids must be contiguous
+  // (equal ids adjacent), mirroring the MP-1 requirement that scan
+  // segments be runs of consecutive PEs.  Disabled PEs neither
+  // contribute nor receive; they are transparent to the scan.
+
+  /// Every enabled PE receives the OR over the enabled PEs of its
+  /// segment.  Cost: one scanOr (log-time on the router).
+  std::vector<std::uint8_t> seg_or(const std::vector<std::uint8_t>& v,
+                                   const std::vector<int>& seg);
+
+  /// AND analogue of seg_or.
+  std::vector<std::uint8_t> seg_and(const std::vector<std::uint8_t>& v,
+                                    const std::vector<int>& seg);
+
+  // ---- X-Net (nearest-neighbour mesh) -----------------------------------
+  // MPL exposes the PE array both as a linear array and as a 2-D grid
+  // (128 x 128 on the full MP-1); xnet moves data to a neighbour in one
+  // of the 8 compass directions in a single step.  We model the grid as
+  // the smallest square holding the virtual array, row-major.
+
+  /// Grid side length.
+  int grid_side() const;
+  /// Row/column of a PE in the X-Net grid.
+  int grid_row(int pe) const { return pe / grid_side(); }
+  int grid_col(int pe) const { return pe % grid_side(); }
+
+  /// Every enabled PE receives the value of its neighbour `dr` rows and
+  /// `dc` columns away (each in {-1, 0, +1}; one xnet step).  PEs whose
+  /// neighbour is off-grid (or beyond the virtual array) receive
+  /// `fill`.
+  template <typename T>
+  std::vector<T> xnet_shift(const std::vector<T>& v, int dr, int dc,
+                            T fill = T{}) {
+    ++stats_.xnet_ops;
+    const int side = grid_side();
+    std::vector<T> out(v.size(), fill);
+    for (int pe = 0; pe < vpes_; ++pe) {
+      if (!enable_[pe]) continue;
+      const int r = pe / side + dr;
+      const int c = pe % side + dc;
+      const int src = r * side + c;
+      if (r < 0 || c < 0 || r >= side || c >= side || src >= vpes_) {
+        out[pe] = fill;
+      } else {
+        out[pe] = v[src];
+      }
+    }
+    return out;
+  }
+
+  /// General router gather: every enabled PE pulls `v[from[pe]]`.
+  /// (Implemented on the MP-1 as a send from each source; one router
+  /// operation.)
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& v,
+                        const std::vector<int>& from) {
+    ++stats_.route_ops;
+    std::vector<T> out(v.size());
+    for (int pe = 0; pe < vpes_; ++pe)
+      if (enable_[pe]) out[pe] = v[from[pe]];
+    return out;
+  }
+
+  const MachineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MachineStats{}; }
+
+ private:
+  template <typename Op>
+  std::vector<std::uint8_t> seg_scan(const std::vector<std::uint8_t>& v,
+                                     const std::vector<int>& seg,
+                                     std::uint8_t identity, Op op);
+
+  int vpes_;
+  int ppes_;
+  std::vector<std::uint8_t> enable_;
+  std::vector<std::vector<std::uint8_t>> enable_stack_;
+  MachineStats stats_;
+};
+
+}  // namespace parsec::maspar

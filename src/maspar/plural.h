@@ -1,0 +1,197 @@
+// MPL-style "plural" variables (paper §2.2: "The language in which our
+// algorithm is implemented is MPL, an extension of C which supports the
+// SIMD parallelism of the MasPar").
+//
+// A Plural<T> holds one T per virtual PE.  Every elementwise operation
+// is one ACU instruction broadcast: it executes on the enabled PEs and
+// charges the machine's plural_ops counter, exactly like the raw
+// Machine::simd API the kernels use — this layer is the idiomatic
+// surface for writing new kernels:
+//
+//   Plural<int> id = Plural<int>::iota(m);
+//   Plural<int> twice = id + id;
+//   where(m, twice > 5, [&] { twice = Plural<int>(m, 0); });
+//
+// Disabled lanes of an expression result hold T{}; MPL leaves them
+// undefined, so portable kernels never read them (the tests pin the
+// T{} behaviour to catch accidental reads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "maspar/machine.h"
+
+namespace parsec::maspar {
+
+template <typename T>
+class Plural {
+ public:
+  /// Broadcast-initialises every lane to `init` (one instruction).
+  explicit Plural(Machine& m, T init = T{})
+      : m_(&m), v_(static_cast<std::size_t>(m.size()), T{}) {
+    m.simd(1, [&](int pe) { v_[pe] = init; });
+  }
+
+  /// Each enabled PE computes its own id (MPL's `iproc`).
+  static Plural iota(Machine& m) {
+    Plural p(m, T{});
+    m.simd(1, [&](int pe) { p.v_[pe] = static_cast<T>(pe); });
+    return p;
+  }
+
+  /// Wraps existing per-PE data without charging an instruction.
+  static Plural wrap(Machine& m, std::vector<T> data) {
+    Plural p(m, kNoInit{});
+    p.v_ = std::move(data);
+    return p;
+  }
+
+  Machine& machine() const { return *m_; }
+  const std::vector<T>& data() const { return v_; }
+  T lane(int pe) const { return v_[pe]; }
+
+  /// Masked assignment: enabled lanes take `other`'s value, disabled
+  /// lanes keep theirs (MPL plural assignment under a plural if).
+  Plural& operator=(const Plural& other) {
+    if (this == &other) return *this;
+    m_->simd(1, [&](int pe) { v_[pe] = other.v_[pe]; });
+    return *this;
+  }
+
+  Plural(const Plural&) = default;
+  Plural(Plural&&) noexcept = default;
+  /// Move-assignment must also respect the enable mask (a defaulted
+  /// move would silently overwrite disabled lanes).
+  Plural& operator=(Plural&& other) noexcept {
+    return *this = static_cast<const Plural&>(other);
+  }
+
+  // ---- elementwise arithmetic (one broadcast each) ---------------------
+  friend Plural operator+(const Plural& a, const Plural& b) {
+    return zip(a, b, [](T x, T y) { return static_cast<T>(x + y); });
+  }
+  friend Plural operator-(const Plural& a, const Plural& b) {
+    return zip(a, b, [](T x, T y) { return static_cast<T>(x - y); });
+  }
+  friend Plural operator*(const Plural& a, const Plural& b) {
+    return zip(a, b, [](T x, T y) { return static_cast<T>(x * y); });
+  }
+  friend Plural operator&(const Plural& a, const Plural& b) {
+    return zip(a, b, [](T x, T y) { return static_cast<T>(x & y); });
+  }
+  friend Plural operator|(const Plural& a, const Plural& b) {
+    return zip(a, b, [](T x, T y) { return static_cast<T>(x | y); });
+  }
+  friend Plural operator^(const Plural& a, const Plural& b) {
+    return zip(a, b, [](T x, T y) { return static_cast<T>(x ^ y); });
+  }
+
+  Plural operator+(T s) const {
+    return map([s](T x) { return static_cast<T>(x + s); });
+  }
+  Plural operator-(T s) const {
+    return map([s](T x) { return static_cast<T>(x - s); });
+  }
+  Plural operator*(T s) const {
+    return map([s](T x) { return static_cast<T>(x * s); });
+  }
+
+  // ---- comparisons (plural bool results) --------------------------------
+  friend Plural<std::uint8_t> operator==(const Plural& a, const Plural& b) {
+    return zipb(a, b, [](T x, T y) { return x == y; });
+  }
+  friend Plural<std::uint8_t> operator!=(const Plural& a, const Plural& b) {
+    return zipb(a, b, [](T x, T y) { return x != y; });
+  }
+  friend Plural<std::uint8_t> operator<(const Plural& a, const Plural& b) {
+    return zipb(a, b, [](T x, T y) { return x < y; });
+  }
+  friend Plural<std::uint8_t> operator>(const Plural& a, const Plural& b) {
+    return zipb(a, b, [](T x, T y) { return x > y; });
+  }
+  Plural<std::uint8_t> operator==(T s) const {
+    return mapb([s](T x) { return x == s; });
+  }
+  Plural<std::uint8_t> operator>(T s) const {
+    return mapb([s](T x) { return x > s; });
+  }
+  Plural<std::uint8_t> operator<(T s) const {
+    return mapb([s](T x) { return x < s; });
+  }
+
+  /// Generic elementwise transform (one broadcast).
+  template <typename Fn>
+  Plural map(Fn fn) const {
+    Plural out(*m_, kNoInit{});
+    m_->simd(1, [&](int pe) { out.v_[pe] = fn(v_[pe]); });
+    return out;
+  }
+
+  /// Router wrappers.
+  Plural<std::uint8_t> seg_or(const std::vector<int>& seg) const
+    requires std::is_same_v<T, std::uint8_t>
+  {
+    return Plural<std::uint8_t>::wrap(*m_, m_->seg_or(v_, seg));
+  }
+  Plural<std::uint8_t> seg_and(const std::vector<int>& seg) const
+    requires std::is_same_v<T, std::uint8_t>
+  {
+    return Plural<std::uint8_t>::wrap(*m_, m_->seg_and(v_, seg));
+  }
+  Plural gather(const Plural<int>& from) const {
+    return wrap(*m_, m_->gather(v_, from.data()));
+  }
+  Plural xnet(int dr, int dc, T fill = T{}) const {
+    return wrap(*m_, m_->xnet_shift(v_, dr, dc, fill));
+  }
+
+ private:
+  struct kNoInit {};
+  Plural(Machine& m, kNoInit)
+      : m_(&m), v_(static_cast<std::size_t>(m.size()), T{}) {}
+
+  template <typename Fn>
+  static Plural zip(const Plural& a, const Plural& b, Fn fn) {
+    Plural out(*a.m_, kNoInit{});
+    a.m_->simd(1, [&](int pe) { out.v_[pe] = fn(a.v_[pe], b.v_[pe]); });
+    return out;
+  }
+  template <typename Fn>
+  static Plural<std::uint8_t> zipb(const Plural& a, const Plural& b, Fn fn) {
+    auto out = Plural<std::uint8_t>::wrap(
+        *a.m_, std::vector<std::uint8_t>(a.v_.size(), 0));
+    a.m_->simd(1, [&](int pe) {
+      out.mutable_lane(pe) = fn(a.v_[pe], b.v_[pe]) ? 1 : 0;
+    });
+    return out;
+  }
+  template <typename Fn>
+  Plural<std::uint8_t> mapb(Fn fn) const {
+    auto out = Plural<std::uint8_t>::wrap(
+        *m_, std::vector<std::uint8_t>(v_.size(), 0));
+    m_->simd(1, [&](int pe) { out.mutable_lane(pe) = fn(v_[pe]) ? 1 : 0; });
+    return out;
+  }
+
+ public:
+  /// Lane access for sibling instantiations (not ACU-costed; host-side).
+  T& mutable_lane(int pe) { return v_[pe]; }
+
+ private:
+  template <typename U>
+  friend class Plural;
+
+  Machine* m_;
+  std::vector<T> v_;
+};
+
+/// MPL's plural `if`: runs `fn` with the enable mask narrowed to the
+/// lanes where `cond` is nonzero.
+template <typename Fn>
+void where(Machine& m, const Plural<std::uint8_t>& cond, Fn fn) {
+  Machine::EnableScope scope(m, cond.data());
+  fn();
+}
+
+}  // namespace parsec::maspar

@@ -1,0 +1,160 @@
+#include "parsec/mesh_parser.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/reduction.h"
+
+namespace parsec::engine {
+
+using cdg::CompiledConstraint;
+using cdg::EvalContext;
+using cdg::Network;
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::CrcwPram: return "CRCW P-RAM";
+    case Topology::Mesh2D: return "2D Mesh";
+    case Topology::CellularAutomaton2D: return "2D Cellular Automata";
+    case Topology::TreeHypercube: return "Tree and Hypercube";
+  }
+  return "?";
+}
+
+TopologyParser::TopologyParser(const cdg::Grammar& g, Topology topo,
+                               int filter_iterations)
+    : grammar_(&g),
+      topo_(topo),
+      filter_iterations_(filter_iterations),
+      unary_(compile_all(g.unary_constraints())),
+      binary_(compile_all(g.binary_constraints())) {}
+
+std::size_t TopologyParser::pes_for(int n) const {
+  const std::size_t q = static_cast<std::size_t>(grammar_->num_roles());
+  const std::size_t n4 = static_cast<std::size_t>(n) * n * n * n;
+  switch (topo_) {
+    case Topology::CrcwPram:
+      return q * q * n4;
+    case Topology::Mesh2D:
+    case Topology::CellularAutomaton2D:
+      return static_cast<std::size_t>(n) * n;
+    case Topology::TreeHypercube: {
+      const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
+      return std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(q * q * n4) / logn));
+    }
+  }
+  return 1;
+}
+
+std::uint64_t TopologyParser::elementwise_cost(std::size_t items,
+                                               std::size_t pes) const {
+  return (items + pes - 1) / pes;
+}
+
+std::uint64_t TopologyParser::reduction_cost(std::size_t pes) const {
+  switch (topo_) {
+    case Topology::CrcwPram:
+      return 1;  // concurrent-write OR/AND
+    case Topology::Mesh2D:
+    case Topology::CellularAutomaton2D:
+      return topo::mesh_reduce_steps(pes);
+    case Topology::TreeHypercube:
+      return topo::hypercube_reduce_steps(pes);
+  }
+  return 1;
+}
+
+TopoResult TopologyParser::parse(Network& net) const {
+  TopoResult r;
+  const std::size_t P = pes_for(net.n());
+  r.pes = P;
+  const std::size_t R = static_cast<std::size_t>(net.num_roles());
+  const std::size_t D = static_cast<std::size_t>(net.domain_size());
+  const std::size_t arc_elems = R * (R - 1) / 2 * D * D;
+
+  auto charge_elem = [&](std::size_t items) {
+    const std::uint64_t c = elementwise_cost(items, P);
+    r.elementwise_steps += c;
+    r.time_steps += c;
+  };
+  auto charge_reduce = [&]() {
+    const std::uint64_t c = reduction_cost(P);
+    r.reduction_steps += c;
+    r.time_steps += c;
+  };
+
+  EvalContext ctx;
+  ctx.sentence = &net.sentence();
+
+  // CN construction: one elementwise pass over role values + arcs.
+  charge_elem(R * D);
+  charge_elem(arc_elems);
+  net.build_arcs();
+
+  // Unary constraints: one elementwise pass over role values each,
+  // plus the zeroing pass for eliminated values.
+  for (const auto& c : unary_) {
+    charge_elem(R * D);
+    charge_elem(arc_elems / std::max<std::size_t>(1, D));  // zeroing rows
+    std::vector<std::pair<int, int>> victims;
+    for (int role = 0; role < net.num_roles(); ++role)
+      net.domain(role).for_each([&](std::size_t rv) {
+        ctx.x = net.binding(role, static_cast<int>(rv));
+        if (!eval_compiled(c, ctx))
+          victims.emplace_back(role, static_cast<int>(rv));
+      });
+    for (auto [role, rv] : victims) net.eliminate(role, rv);
+  }
+
+  // Binary constraints: one elementwise pass over arc elements each.
+  for (const auto& c : binary_) {
+    charge_elem(arc_elems);
+    for (int a = 0; a < net.num_roles(); ++a) {
+      for (int b = a + 1; b < net.num_roles(); ++b) {
+        net.domain(a).for_each([&](std::size_t i) {
+          net.domain(b).for_each([&](std::size_t j) {
+            if (!net.arc_allows(a, static_cast<int>(i), b,
+                                static_cast<int>(j)))
+              return;
+            ctx.x = net.binding(a, static_cast<int>(i));
+            ctx.y = net.binding(b, static_cast<int>(j));
+            bool ok = eval_compiled(c, ctx);
+            if (ok) {
+              std::swap(ctx.x, ctx.y);
+              ok = eval_compiled(c, ctx);
+            }
+            if (!ok)
+              net.arc_forbid(a, static_cast<int>(i), b, static_cast<int>(j));
+          });
+        });
+      }
+    }
+  }
+
+  // Consistency maintenance + filtering: per iteration, one reduction
+  // phase (the row ORs + role AND) and one elementwise zeroing pass.
+  int iters = 0;
+  while (filter_iterations_ < 0 || iters < filter_iterations_) {
+    ++iters;
+    charge_elem(arc_elems);
+    charge_reduce();
+    charge_elem(arc_elems);
+    // Pre-state support semantics, as on the real machines.
+    std::vector<std::pair<int, int>> dead;
+    for (int role = 0; role < net.num_roles(); ++role)
+      net.domain(role).for_each([&](std::size_t rv) {
+        if (!net.supported(role, static_cast<int>(rv)))
+          dead.emplace_back(role, static_cast<int>(rv));
+      });
+    if (dead.empty()) break;
+    for (auto [role, rv] : dead) net.eliminate(role, rv);
+  }
+  r.consistency_iterations = iters;
+  charge_reduce();  // acceptance AND over roles
+  r.accepted = net.all_roles_nonempty();
+  return r;
+}
+
+}  // namespace parsec::engine

@@ -1,0 +1,64 @@
+// CDG parsing on abstract topologies (the CDG column of Figure 8).
+//
+// The parallel algorithm is the same on every machine; what changes is
+// (a) how many PEs the machine has and (b) how many steps a reduction
+// takes.  This engine executes the data-parallel phase schedule on a
+// cdg::Network while charging per-phase time for a chosen topology:
+//
+//   topology        PEs            elementwise phase      reduction
+//   CRCW P-RAM      q^2 n^4        ceil(items / PEs)      1
+//   2-D mesh / CA   n^2            ceil(items / PEs)      2(sqrt(PEs)-1)
+//   tree/hypercube  q^2 n^4/log n  ceil(items / PEs)      log2(PEs)
+//
+// yielding the paper's O(k), O(k + n^2) and O(k + log n) rows.  The
+// final network equals the sequential fixpoint (same removals).
+#pragma once
+
+#include <cstdint>
+
+#include "cdg/network.h"
+#include "cdg/parser.h"
+
+namespace parsec::engine {
+
+enum class Topology {
+  CrcwPram,
+  Mesh2D,
+  CellularAutomaton2D,  // same costs as the mesh; kept for the Fig. 8 row
+  TreeHypercube,
+};
+
+const char* to_string(Topology t);
+
+struct TopoResult {
+  bool accepted = false;
+  int consistency_iterations = 0;
+  std::size_t pes = 0;
+  std::uint64_t time_steps = 0;
+  std::uint64_t elementwise_steps = 0;
+  std::uint64_t reduction_steps = 0;
+};
+
+class TopologyParser {
+ public:
+  TopologyParser(const cdg::Grammar& g, Topology topo,
+                 int filter_iterations = -1);
+
+  /// Number of PEs the topology provides for an n-word sentence.
+  std::size_t pes_for(int n) const;
+
+  /// Parses `net` in place, charging topology time.
+  TopoResult parse(cdg::Network& net) const;
+
+ private:
+  std::uint64_t elementwise_cost(std::size_t items, std::size_t pes) const;
+  std::uint64_t reduction_cost(std::size_t pes) const;
+
+  const cdg::Grammar* grammar_;
+  Topology topo_;
+  int filter_iterations_;
+  std::vector<cdg::CompiledConstraint> unary_;
+  std::vector<cdg::CompiledConstraint> binary_;
+};
+
+}  // namespace parsec::engine

@@ -1,0 +1,148 @@
+#include "parsec/omp_parser.h"
+
+#include <chrono>
+
+#if defined(PARSEC_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace parsec::engine {
+
+using cdg::CompiledConstraint;
+using cdg::EvalContext;
+using cdg::Network;
+
+OmpParser::OmpParser(const cdg::Grammar& g, OmpOptions opt)
+    : grammar_(&g),
+      opt_(opt),
+      unary_(compile_all(g.unary_constraints())),
+      binary_(compile_all(g.binary_constraints())) {}
+
+void OmpParser::apply_unary(Network& net,
+                            const CompiledConstraint& c) const {
+  const int R = net.num_roles();
+  std::vector<std::vector<int>> victims(static_cast<std::size_t>(R));
+#if defined(PARSEC_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+  for (int role = 0; role < R; ++role) {
+    EvalContext ctx;
+    ctx.sentence = &net.sentence();
+    net.domain(role).for_each([&](std::size_t rv) {
+      ctx.x = net.binding(role, static_cast<int>(rv));
+      if (!eval_compiled(c, ctx))
+        victims[role].push_back(static_cast<int>(rv));
+    });
+  }
+  for (int role = 0; role < R; ++role)
+    for (int rv : victims[role]) net.eliminate(role, rv);
+}
+
+void OmpParser::apply_binary(Network& net,
+                             const CompiledConstraint& c) const {
+  net.build_arcs();
+  const int R = net.num_roles();
+  std::vector<std::vector<int>> alive(R);
+  std::vector<std::vector<cdg::Binding>> bind(R);
+  for (int r = 0; r < R; ++r)
+    net.domain(r).for_each([&](std::size_t v) {
+      alive[r].push_back(static_cast<int>(v));
+      bind[r].push_back(net.binding(r, static_cast<int>(v)));
+    });
+  // Flatten the arc list: each worker owns whole matrices, so writes
+  // never race.
+  std::vector<std::pair<int, int>> arcs;
+  arcs.reserve(static_cast<std::size_t>(R) * (R - 1) / 2);
+  for (int a = 0; a < R; ++a)
+    for (int b = a + 1; b < R; ++b) arcs.emplace_back(a, b);
+
+  std::size_t zeroed_total = 0;
+#if defined(PARSEC_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic) reduction(+ : zeroed_total)
+#endif
+  for (std::size_t t = 0; t < arcs.size(); ++t) {
+    const auto [a, b] = arcs[t];
+    EvalContext ctx;
+    ctx.sentence = &net.sentence();
+    util::BitMatrix& m = net.arc_matrix_mut(a, b);
+    for (std::size_t i = 0; i < alive[a].size(); ++i) {
+      for (std::size_t j = 0; j < alive[b].size(); ++j) {
+        if (!m.test(static_cast<std::size_t>(alive[a][i]),
+                    static_cast<std::size_t>(alive[b][j])))
+          continue;
+        ctx.x = bind[a][i];
+        ctx.y = bind[b][j];
+        bool ok = eval_compiled(c, ctx);
+        if (ok) {
+          ctx.x = bind[b][j];
+          ctx.y = bind[a][i];
+          ok = eval_compiled(c, ctx);
+        }
+        if (!ok) {
+          m.reset(static_cast<std::size_t>(alive[a][i]),
+                  static_cast<std::size_t>(alive[b][j]));
+          ++zeroed_total;
+        }
+      }
+    }
+  }
+  net.counters().arc_zeroings += zeroed_total;
+}
+
+int OmpParser::consistency_sweep(Network& net) const {
+  net.build_arcs();
+  const int R = net.num_roles();
+  std::vector<std::vector<int>> dead(static_cast<std::size_t>(R));
+#if defined(PARSEC_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (int role = 0; role < R; ++role) {
+    net.domain(role).for_each([&](std::size_t rv) {
+      // Support check against the pre-sweep matrices (reads only).
+      for (int other = 0; other < R; ++other) {
+        if (other == role) continue;
+        const bool ok =
+            role < other ? net.arc_matrix(role, other).row_any(rv)
+                         : net.arc_matrix(other, role).col_any(rv);
+        if (!ok) {
+          dead[role].push_back(static_cast<int>(rv));
+          return;
+        }
+      }
+    });
+  }
+  int eliminated = 0;
+  for (int role = 0; role < R; ++role)
+    for (int rv : dead[role]) {
+      net.eliminate(role, rv);
+      ++eliminated;
+    }
+  return eliminated;
+}
+
+OmpResult OmpParser::parse(Network& net) const {
+  const auto t0 = std::chrono::steady_clock::now();
+#if defined(PARSEC_HAVE_OPENMP)
+  if (opt_.threads > 0) omp_set_num_threads(opt_.threads);
+#endif
+  net.build_arcs();
+  for (const auto& c : unary_) apply_unary(net, c);
+  for (const auto& c : binary_) apply_binary(net, c);
+  OmpResult r;
+  int iters = 0;
+  while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+    ++iters;
+    if (consistency_sweep(net) == 0) break;
+  }
+  r.consistency_iterations = iters;
+  r.accepted = net.all_roles_nonempty();
+#if defined(PARSEC_HAVE_OPENMP)
+  r.threads_used = omp_get_max_threads();
+#endif
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+}  // namespace parsec::engine

@@ -1,0 +1,53 @@
+// Host-parallel PARSEC using OpenMP.
+//
+// The paper targets a SIMD array; on a modern shared-memory host the
+// same data parallelism maps onto threads: binary constraints partition
+// by arc (each thread owns disjoint matrices), unary constraints and
+// consistency maintenance partition by role with pre-sweep semantics
+// (support flags computed before any elimination, like the P-RAM
+// engine), so the fixpoint is identical to the sequential parser's.
+// Falls back to single-threaded loops when built without OpenMP.
+#pragma once
+
+#include "cdg/network.h"
+#include "cdg/parser.h"
+
+namespace parsec::engine {
+
+struct OmpOptions {
+  /// Filtering sweep bound; <0 runs to fixpoint.
+  int filter_iterations = -1;
+  /// Thread count; 0 uses the OpenMP default.
+  int threads = 0;
+};
+
+struct OmpResult {
+  bool accepted = false;
+  int consistency_iterations = 0;
+  int threads_used = 1;
+  double seconds = 0.0;  // host wall-clock
+};
+
+class OmpParser {
+ public:
+  explicit OmpParser(const cdg::Grammar& g, OmpOptions opt = {});
+
+  /// Parses `net` in place.
+  OmpResult parse(cdg::Network& net) const;
+
+  /// One parallel consistency sweep (pre-state support flags); returns
+  /// role values eliminated.
+  int consistency_sweep(cdg::Network& net) const;
+
+ private:
+  void apply_unary(cdg::Network& net, const cdg::CompiledConstraint& c) const;
+  void apply_binary(cdg::Network& net,
+                    const cdg::CompiledConstraint& c) const;
+
+  const cdg::Grammar* grammar_;
+  OmpOptions opt_;
+  std::vector<cdg::CompiledConstraint> unary_;
+  std::vector<cdg::CompiledConstraint> binary_;
+};
+
+}  // namespace parsec::engine

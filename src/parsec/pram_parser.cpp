@@ -1,0 +1,154 @@
+#include "parsec/pram_parser.h"
+
+namespace parsec::engine {
+
+using cdg::CompiledConstraint;
+using cdg::EvalContext;
+using cdg::Network;
+
+PramParser::PramParser(const cdg::Grammar& g, PramOptions opt)
+    : grammar_(&g),
+      opt_(opt),
+      unary_(compile_all(g.unary_constraints())),
+      binary_(compile_all(g.binary_constraints())) {}
+
+namespace {
+
+/// Dense (role, rv) enumeration of currently-alive role values.
+struct AliveIndex {
+  std::vector<int> role;
+  std::vector<int> rv;
+  explicit AliveIndex(const Network& net) {
+    for (int r = 0; r < net.num_roles(); ++r)
+      net.domain(r).for_each([&](std::size_t v) {
+        role.push_back(r);
+        rv.push_back(static_cast<int>(v));
+      });
+  }
+  std::size_t size() const { return role.size(); }
+};
+
+}  // namespace
+
+void PramParser::apply_unary_parallel(Network& net, pram::Machine& m,
+                                      const CompiledConstraint& c) const {
+  AliveIndex idx(net);
+  EvalContext ctx;
+  ctx.sentence = &net.sentence();
+  // One step, one processor per role value: test the constraint.
+  std::vector<std::uint8_t> victim(idx.size(), 0);
+  m.for_all(idx.size(), [&](std::size_t i) {
+    ctx.x = net.binding(idx.role[i], idx.rv[i]);
+    if (!eval_compiled(c, ctx)) victim[i] = 1;
+  });
+  // One step, O(n^2) processors per victim: zero its rows/columns and
+  // clear the domain bit (the writes are to disjoint or identically-
+  // valued cells, so Common CRCW holds).
+  std::size_t zero_procs = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (victim[i])
+      zero_procs += static_cast<std::size_t>(net.num_roles() - 1) *
+                    static_cast<std::size_t>(net.domain_size());
+  m.for_all(std::max<std::size_t>(zero_procs, 1), [](std::size_t) {});
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (victim[i]) net.eliminate(idx.role[i], idx.rv[i]);
+}
+
+void PramParser::apply_binary_parallel(Network& net, pram::Machine& m,
+                                       const CompiledConstraint& c) const {
+  net.build_arcs();
+  EvalContext ctx;
+  ctx.sentence = &net.sentence();
+  // One parallel step, one processor per arc element (pair of alive
+  // role values on an arc): O(n^4) processors.
+  std::vector<std::vector<int>> alive(net.num_roles());
+  std::vector<std::vector<cdg::Binding>> bind(net.num_roles());
+  for (int r = 0; r < net.num_roles(); ++r)
+    net.domain(r).for_each([&](std::size_t v) {
+      alive[r].push_back(static_cast<int>(v));
+      bind[r].push_back(net.binding(r, static_cast<int>(v)));
+    });
+  std::size_t pairs = 0;
+  for (int a = 0; a < net.num_roles(); ++a)
+    for (int b = a + 1; b < net.num_roles(); ++b)
+      pairs += alive[a].size() * alive[b].size();
+
+  m.for_all(std::max<std::size_t>(pairs, 1), [](std::size_t) {});
+  // The actual evaluation (performed sequentially here, but each pair
+  // independently, exactly as the step models).
+  for (int a = 0; a < net.num_roles(); ++a) {
+    for (int b = a + 1; b < net.num_roles(); ++b) {
+      for (std::size_t i = 0; i < alive[a].size(); ++i) {
+        for (std::size_t j = 0; j < alive[b].size(); ++j) {
+          if (!net.arc_allows(a, alive[a][i], b, alive[b][j])) continue;
+          ctx.x = bind[a][i];
+          ctx.y = bind[b][j];
+          bool ok = eval_compiled(c, ctx);
+          if (ok) {
+            ctx.x = bind[b][j];
+            ctx.y = bind[a][i];
+            ok = eval_compiled(c, ctx);
+          }
+          if (!ok) net.arc_forbid(a, alive[a][i], b, alive[b][j]);
+        }
+      }
+    }
+  }
+}
+
+int PramParser::parallel_consistency_step(Network& net,
+                                          pram::Machine& m) const {
+  net.build_arcs();
+  AliveIndex idx(net);
+  // Support of every alive role value, all computed from the pre-sweep
+  // state.  On the CRCW machine this is: one step of concurrent-write
+  // ORs over each row/column (O(n^2) cells per role value), one step of
+  // ANDs — constant time with one processor per arc element.
+  const std::size_t or_procs =
+      idx.size() * static_cast<std::size_t>(net.num_roles() - 1) *
+      static_cast<std::size_t>(net.domain_size());
+  std::vector<std::uint8_t> dead(idx.size(), 0);
+  m.for_all(std::max<std::size_t>(or_procs, 1), [](std::size_t) {});
+  m.for_all(std::max<std::size_t>(idx.size(), 1), [](std::size_t) {});
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (!net.supported(idx.role[i], idx.rv[i])) dead[i] = 1;
+  // One zeroing step for all victims simultaneously.
+  m.for_all(std::max<std::size_t>(or_procs, 1), [](std::size_t) {});
+  int eliminated = 0;
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (dead[i]) {
+      net.eliminate(idx.role[i], idx.rv[i]);
+      ++eliminated;
+    }
+  return eliminated;
+}
+
+PramResult PramParser::parse(Network& net) const {
+  pram::Machine m(opt_.write_mode);
+  // Role-value generation: constant steps, O(n^2) processors (§2.1).
+  m.for_all(static_cast<std::size_t>(net.num_roles()) *
+                static_cast<std::size_t>(net.domain_size()),
+            [](std::size_t) {});
+  net.build_arcs();
+
+  for (const auto& c : unary_) apply_unary_parallel(net, m, c);
+  for (const auto& c : binary_) apply_binary_parallel(net, m, c);
+
+  PramResult r;
+  // Consistency maintenance + filtering.
+  int iters = 0;
+  while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+    ++iters;
+    if (parallel_consistency_step(net, m) == 0) break;
+  }
+  r.consistency_iterations = iters;
+  // Acceptance test: one CRCW AND over roles.
+  r.accepted = m.global_and(static_cast<std::size_t>(net.num_roles()),
+                            [&](std::size_t role) {
+                              return net.domain(static_cast<int>(role)).any();
+                            });
+  r.stats = m.stats();
+  return r;
+}
+
+}  // namespace parsec::engine

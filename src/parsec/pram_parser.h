@@ -1,0 +1,63 @@
+// PARSEC on the CRCW P-RAM (paper §2.1).
+//
+// The parallel algorithm, phase by phase, with the paper's costs:
+//   * role-value generation        — O(1) steps, O(n^2) processors
+//   * unary constraint propagation — O(1) steps/constraint, O(n^2) procs
+//   * binary constraint propagation— O(1) steps/constraint, O(n^4) procs
+//   * consistency maintenance      — O(1) steps, O(n^4) processors
+//     (row/column ORs and the per-role-value AND are constant-time on a
+//     CRCW machine; all eliminations zero their rows/columns at once)
+//   * filtering                    — bounded iterations of the above
+//
+// Every phase is routed through pram::Machine so the O(k) time and
+// O(n^4) processor claims are measured (bench_pram_complexity).  The
+// network transformation is semantically identical to the sequential
+// parser's, except that a consistency sweep computes all support flags
+// from the pre-sweep state (true parallel semantics: no cascading
+// within a sweep).  Both reach the same fixpoint under full filtering
+// (support removal is confluent).
+#pragma once
+
+#include "cdg/network.h"
+#include "cdg/parser.h"
+#include "pram/machine.h"
+
+namespace parsec::engine {
+
+struct PramOptions {
+  /// Filtering iteration bound; <0 runs to fixpoint.  The paper argues
+  /// a small constant suffices in practice ("typically fewer than 10").
+  int filter_iterations = -1;
+  pram::WriteMode write_mode = pram::WriteMode::Common;
+};
+
+struct PramResult {
+  bool accepted = false;
+  int consistency_iterations = 0;  // total parallel sweeps executed
+  pram::StepStats stats;
+};
+
+class PramParser {
+ public:
+  explicit PramParser(const cdg::Grammar& g, PramOptions opt = {});
+
+  /// Parses `net` in place (the network must use this grammar).
+  PramResult parse(cdg::Network& net) const;
+
+  /// One parallel consistency sweep (pre-state semantics).  Returns the
+  /// number of role values eliminated.
+  int parallel_consistency_step(cdg::Network& net, pram::Machine& m) const;
+
+ private:
+  void apply_unary_parallel(cdg::Network& net, pram::Machine& m,
+                            const cdg::CompiledConstraint& c) const;
+  void apply_binary_parallel(cdg::Network& net, pram::Machine& m,
+                             const cdg::CompiledConstraint& c) const;
+
+  const cdg::Grammar* grammar_;
+  PramOptions opt_;
+  std::vector<cdg::CompiledConstraint> unary_;
+  std::vector<cdg::CompiledConstraint> binary_;
+};
+
+}  // namespace parsec::engine

@@ -1,0 +1,3 @@
+// The P-RAM machine is header-only (templates); this TU anchors the
+// library target.
+#include "pram/machine.h"

@@ -1,0 +1,138 @@
+// Step-counted CRCW P-RAM simulator (paper §2.1).
+//
+// The paper derives PARSEC's O(k) bound on a Common-CRCW P-RAM: any
+// number of processors may read or write a cell in one step; if several
+// write the same cell, one (arbitrary) succeeds — which suffices to OR
+// or AND any number of bits in constant time [Gibbons & Rytter].
+//
+// Programs are sequences of *parallel steps*: for_all(m, fn) executes
+// fn(0..m-1) conceptually in parallel and charges one time step, m
+// processors.  The simulator tracks time steps, peak processor count and
+// total work so the complexity claims (O(k) steps, O(n^4) processors)
+// are measured rather than asserted.  Writes within a step go through
+// write-buffer helpers that detect Common-rule violations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace parsec::pram {
+
+/// Concurrent-write resolution discipline.
+enum class WriteMode {
+  Common,    // all writers of a cell must agree; violation throws
+  Arbitrary, // a pseudo-random writer wins (seeded, deterministic)
+};
+
+struct StepStats {
+  std::uint64_t time_steps = 0;
+  std::uint64_t max_processors = 0;
+  std::uint64_t total_work = 0;  // sum over steps of processors used
+  std::uint64_t write_conflicts = 0;  // cells with >1 writer (any mode)
+};
+
+class Machine {
+ public:
+  explicit Machine(WriteMode mode = WriteMode::Common,
+                   std::uint64_t seed = 1)
+      : mode_(mode), rng_(seed) {}
+
+  WriteMode mode() const { return mode_; }
+  const StepStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = StepStats{}; }
+
+  /// One parallel step with `m` processors.  `fn(i)` must only perform
+  /// O(1) work per processor (this is a modelling contract, not
+  /// enforced).  Reads see the pre-step state only if the caller uses
+  /// the write-buffer helpers; direct writes are allowed when the
+  /// algorithm is race-free by construction.
+  template <typename Fn>
+  void for_all(std::size_t m, Fn&& fn) {
+    begin_step(m);
+    for (std::size_t i = 0; i < m; ++i) fn(i);
+  }
+
+  /// CRCW global OR: true iff pred(i) for some i < m.  One step, m
+  /// processors (every processor with pred true writes 1 to a common
+  /// cell; Common-rule safe since all agree).
+  template <typename Pred>
+  bool global_or(std::size_t m, Pred&& pred) {
+    begin_step(m);
+    bool flag = false;
+    for (std::size_t i = 0; i < m; ++i)
+      if (pred(i)) flag = true;
+    return flag;
+  }
+
+  /// CRCW global AND via De Morgan: one step, m processors.
+  template <typename Pred>
+  bool global_and(std::size_t m, Pred&& pred) {
+    begin_step(m);
+    bool flag = true;
+    for (std::size_t i = 0; i < m; ++i)
+      if (!pred(i)) flag = false;
+    return flag;
+  }
+
+  /// One parallel step in which processors may write into `cells`
+  /// concurrently: `writer(i)` returns an index to write `value(i)` to,
+  /// or SIZE_MAX to stay silent.  Conflicts are resolved per `mode()`.
+  template <typename T, typename WriterFn, typename ValueFn>
+  void concurrent_write(std::span<T> cells, std::size_t m, WriterFn&& writer,
+                        ValueFn&& value) {
+    begin_step(m);
+    // Track the first write per cell to detect conflicts.
+    std::vector<std::uint8_t> written(cells.size(), 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t at = writer(i);
+      if (at == static_cast<std::size_t>(-1)) continue;
+      if (at >= cells.size())
+        throw std::out_of_range("concurrent_write: bad cell index");
+      const T v = value(i);
+      if (!written[at]) {
+        written[at] = 1;
+        cells[at] = v;
+        continue;
+      }
+      ++stats_.write_conflicts;
+      switch (mode_) {
+        case WriteMode::Common:
+          if (!(cells[at] == v))
+            throw std::logic_error(
+                "Common CRCW violation: conflicting values written");
+          break;
+        case WriteMode::Arbitrary:
+          // "A single random processor will succeed" (paper §2.1).
+          if (rng_.next_bool()) cells[at] = v;
+          break;
+      }
+    }
+  }
+
+  /// Accounts `extra` sequential (single-processor) steps, e.g. the
+  /// ACU-side constant bookkeeping between parallel phases.
+  void sequential_steps(std::uint64_t extra) {
+    stats_.time_steps += extra;
+    stats_.total_work += extra;
+    if (stats_.max_processors == 0) stats_.max_processors = 1;
+  }
+
+ private:
+  void begin_step(std::size_t m) {
+    ++stats_.time_steps;
+    stats_.total_work += m;
+    if (m > stats_.max_processors) stats_.max_processors = m;
+  }
+
+  WriteMode mode_;
+  util::Rng rng_;
+  StepStats stats_;
+};
+
+}  // namespace parsec::pram

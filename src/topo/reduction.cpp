@@ -1,0 +1,70 @@
+#include "topo/reduction.h"
+
+#include <cmath>
+
+namespace parsec::topo {
+
+std::uint64_t tree_reduce_steps(std::size_t width) {
+  std::uint64_t steps = 0;
+  while (width > 1) {
+    width = (width + 1) / 2;
+    ++steps;
+  }
+  return steps;
+}
+
+std::size_t mesh_side(std::size_t pes) {
+  std::size_t side = static_cast<std::size_t>(std::sqrt(static_cast<double>(pes)));
+  while (side * side < pes) ++side;
+  return side;
+}
+
+std::uint64_t mesh_reduce_steps(std::size_t pes) {
+  const std::size_t side = mesh_side(pes);
+  return side > 0 ? 2 * (side - 1) : 0;
+}
+
+std::uint64_t hypercube_reduce_steps(std::size_t pes) {
+  return tree_reduce_steps(pes);  // ceil(log2 P) dimensions
+}
+
+namespace {
+template <typename Op>
+TreeReduction tree_reduce(std::span<const std::uint8_t> bits, Op op,
+                          bool identity) {
+  TreeReduction r;
+  std::vector<std::uint8_t> level(bits.begin(), bits.end());
+  if (level.empty()) {
+    r.result = identity;
+    return r;
+  }
+  while (level.size() > 1) {
+    ++r.rounds;
+    std::vector<std::uint8_t> next((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const std::uint8_t a = level[2 * i];
+      const std::uint8_t b =
+          (2 * i + 1 < level.size()) ? level[2 * i + 1]
+                                     : static_cast<std::uint8_t>(identity);
+      next[i] = op(a, b);
+    }
+    level = std::move(next);
+  }
+  r.result = level[0] != 0;
+  return r;
+}
+}  // namespace
+
+TreeReduction tree_reduce_or(std::span<const std::uint8_t> bits) {
+  return tree_reduce(
+      bits, [](std::uint8_t a, std::uint8_t b) -> std::uint8_t { return a || b; },
+      false);
+}
+
+TreeReduction tree_reduce_and(std::span<const std::uint8_t> bits) {
+  return tree_reduce(
+      bits, [](std::uint8_t a, std::uint8_t b) -> std::uint8_t { return a && b; },
+      true);
+}
+
+}  // namespace parsec::topo

@@ -1,0 +1,46 @@
+// Reduction-network models for the Figure-8 architecture comparison.
+//
+// The paper's table contrasts CDG parsing across architectures whose
+// only relevant difference is how fast they combine O(n^2)-wide ORs and
+// ANDs and how many PEs they have:
+//   * CRCW P-RAM:        O(1) reductions, O(n^4) PEs
+//   * 2-D mesh / CA:     diameter-bound reductions, O(n^2) PEs
+//   * tree / hypercube:  O(log P) reductions, O(n^4 / log n) PEs
+//
+// This module provides the closed-form step costs plus a tiny functional
+// tree reducer whose measured round count is tested against the
+// closed form.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace parsec::topo {
+
+/// ceil(log2(width)) combining rounds; 0 for width <= 1.
+std::uint64_t tree_reduce_steps(std::size_t width);
+
+/// Steps to reduce over a square mesh of `pes` processors: data flows
+/// along rows then a column, 2*(side-1) hops.
+std::uint64_t mesh_reduce_steps(std::size_t pes);
+
+/// Hypercube all-reduce: one hop per dimension.
+std::uint64_t hypercube_reduce_steps(std::size_t pes);
+
+/// Side length of the smallest square mesh holding `pes` PEs.
+std::size_t mesh_side(std::size_t pes);
+
+/// Functional binary-tree OR reduction that counts the rounds it
+/// actually performs (tests compare against tree_reduce_steps).
+struct TreeReduction {
+  bool result = false;
+  std::uint64_t rounds = 0;
+};
+TreeReduction tree_reduce_or(std::span<const std::uint8_t> bits);
+
+/// AND analogue.
+TreeReduction tree_reduce_and(std::span<const std::uint8_t> bits);
+
+}  // namespace parsec::topo

@@ -1,0 +1,134 @@
+// Dense square bit matrix used for CDG arc matrices.
+//
+// An arc matrix records, for a pair of roles, which pairs of role values
+// may legally coexist (paper §1.4).  Rows index the first role's values,
+// columns the second role's.  The MasPar implementation never shrinks a
+// matrix; eliminated role values have their row/column zeroed (design
+// decision 4, §2.2.1), and this type mirrors that.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitset.h"
+
+namespace parsec::util {
+
+class BitMatrix {
+ public:
+  using Word = DynBitset::Word;
+  static constexpr std::size_t kWordBits = DynBitset::kWordBits;
+
+  BitMatrix() = default;
+
+  /// `rows` x `cols` matrix with every bit initialised to `value`.
+  BitMatrix(std::size_t rows, std::size_t cols, bool value = false)
+      : rows_(rows),
+        cols_(cols),
+        words_per_row_((cols + kWordBits - 1) / kWordBits),
+        data_(rows * words_per_row_, value ? ~Word{0} : Word{0}) {
+    if (value) trim_rows();
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool test(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return (row_words(r)[c / kWordBits] >> (c % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    row_words(r)[c / kWordBits] |= Word{1} << (c % kWordBits);
+  }
+
+  void reset(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    row_words(r)[c / kWordBits] &= ~(Word{1} << (c % kWordBits));
+  }
+
+  void assign(std::size_t r, std::size_t c, bool v) {
+    v ? set(r, c) : reset(r, c);
+  }
+
+  void zero_row(std::size_t r) {
+    Word* w = row_words(r);
+    for (std::size_t i = 0; i < words_per_row_; ++i) w[i] = 0;
+  }
+
+  void zero_col(std::size_t c) {
+    const std::size_t wi = c / kWordBits;
+    const Word mask = ~(Word{1} << (c % kWordBits));
+    for (std::size_t r = 0; r < rows_; ++r) row_words(r)[wi] &= mask;
+  }
+
+  /// True if row `r` has at least one set bit.
+  bool row_any(std::size_t r) const {
+    const Word* w = row_words(r);
+    for (std::size_t i = 0; i < words_per_row_; ++i)
+      if (w[i]) return true;
+    return false;
+  }
+
+  /// True if row `r` has at least one set bit in a column allowed by `mask`.
+  bool row_intersects(std::size_t r, const DynBitset& mask) const {
+    assert(mask.size() == cols_);
+    const Word* w = row_words(r);
+    for (std::size_t i = 0; i < words_per_row_; ++i)
+      if (w[i] & mask.word_at(i)) return true;
+    return false;
+  }
+
+  /// True if column `c` has at least one set bit.
+  bool col_any(std::size_t c) const {
+    const std::size_t wi = c / kWordBits;
+    const Word mask = Word{1} << (c % kWordBits);
+    for (std::size_t r = 0; r < rows_; ++r)
+      if (row_words(r)[wi] & mask) return true;
+    return false;
+  }
+
+  /// True if column `c` has a set bit in a row allowed by `mask`.
+  bool col_intersects(std::size_t c, const DynBitset& mask) const {
+    assert(mask.size() == rows_);
+    const std::size_t wi = c / kWordBits;
+    const Word bit = Word{1} << (c % kWordBits);
+    for (std::size_t r = 0; r < rows_; ++r)
+      if ((row_words(r)[wi] & bit) && mask.test(r)) return true;
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (Word w : data_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool operator==(const BitMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  Word* row_words(std::size_t r) { return data_.data() + r * words_per_row_; }
+  const Word* row_words(std::size_t r) const {
+    return data_.data() + r * words_per_row_;
+  }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+ private:
+  void trim_rows() {
+    if (cols_ % kWordBits == 0 || words_per_row_ == 0) return;
+    const Word mask = (Word{1} << (cols_ % kWordBits)) - 1;
+    for (std::size_t r = 0; r < rows_; ++r)
+      row_words(r)[words_per_row_ - 1] &= mask;
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<Word> data_;
+};
+
+}  // namespace parsec::util

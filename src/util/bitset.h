@@ -1,0 +1,151 @@
+// Dynamic bitset tuned for the constraint-network inner loops.
+//
+// The CDG parser (src/cdg) spends most of its time testing and clearing
+// bits in role-value domains and arc-matrix rows, so this type exposes
+// word-level access (words(), word_at()) in addition to the usual
+// bit-level API.  It is deliberately simpler than std::vector<bool>:
+// fixed size after construction, contiguous uint64_t storage, no
+// proxy-reference tricks.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parsec::util {
+
+class DynBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynBitset() = default;
+
+  /// Constructs a bitset with `nbits` bits, all initialised to `value`.
+  explicit DynBitset(std::size_t nbits, bool value = false)
+      : nbits_(nbits),
+        words_((nbits + kWordBits - 1) / kWordBits,
+               value ? ~Word{0} : Word{0}) {
+    trim();
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const {
+    assert(i < nbits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < nbits_);
+    words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+  }
+
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  void set_all() {
+    for (auto& w : words_) w = ~Word{0};
+    trim();
+  }
+
+  void reset_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (Word w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool any() const {
+    for (Word w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// True if this bitset and `other` share at least one set bit.
+  bool intersects(const DynBitset& other) const {
+    assert(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  DynBitset& operator&=(const DynBitset& other) {
+    assert(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  DynBitset& operator|=(const DynBitset& other) {
+    assert(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  bool operator==(const DynBitset& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const { return find_next_from(0); }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t find_next_from(std::size_t from) const {
+    if (from >= nbits_) return nbits_;
+    std::size_t wi = from / kWordBits;
+    Word w = words_[wi] & (~Word{0} << (from % kWordBits));
+    while (true) {
+      if (w) {
+        std::size_t bit =
+            wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+        return bit < nbits_ ? bit : nbits_;
+      }
+      if (++wi == words_.size()) return nbits_;
+      w = words_[wi];
+    }
+  }
+
+  /// Calls `fn(i)` for each set bit i in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      Word w = words_[wi];
+      while (w) {
+        std::size_t bit = wi * kWordBits +
+                          static_cast<std::size_t>(std::countr_zero(w));
+        fn(bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  std::size_t word_count() const { return words_.size(); }
+  Word word_at(std::size_t wi) const { return words_[wi]; }
+  Word* words() { return words_.data(); }
+  const Word* words() const { return words_.data(); }
+
+ private:
+  // Clears the unused high bits of the last word so count()/any() stay exact.
+  void trim() {
+    if (nbits_ % kWordBits != 0 && !words_.empty())
+      words_.back() &= (Word{1} << (nbits_ % kWordBits)) - 1;
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace parsec::util

@@ -1,0 +1,60 @@
+// Deterministic, seedable RNG for workload generation.
+//
+// Benchmarks and property tests must be reproducible across runs and
+// hosts, so everything random in this repository flows through this
+// splitmix64-based generator rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+#include <cstddef>
+
+namespace parsec::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Multiply-shift (Lemire); bias is negligible for our bounds.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Picks a uniformly random element of a non-empty container.
+  template <typename C>
+  const auto& pick(const C& c) {
+    assert(!c.empty());
+    return c[next_below(c.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parsec::util

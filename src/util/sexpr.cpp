@@ -1,0 +1,147 @@
+#include "util/sexpr.h"
+
+#include <cctype>
+
+namespace parsec::util {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  struct Token {
+    enum class Kind { LParen, RParen, Atom, End };
+    Kind kind;
+    std::string value;
+    int line;
+    int col;
+  };
+
+  Token next() {
+    skip_ws_and_comments();
+    const int line = line_, col = col_;
+    if (pos_ >= text_.size()) return {Token::Kind::End, "", line, col};
+    char c = text_[pos_];
+    if (c == '(') {
+      advance();
+      return {Token::Kind::LParen, "(", line, col};
+    }
+    if (c == ')') {
+      advance();
+      return {Token::Kind::RParen, ")", line, col};
+    }
+    std::string atom;
+    while (pos_ < text_.size()) {
+      c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+          c == ')' || c == ';')
+        break;
+      atom.push_back(c);
+      advance();
+    }
+    return {Token::Kind::Atom, atom, line, col};
+  }
+
+ private:
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+Sexpr parse_one(Lexer& lex, const Lexer::Token& tok) {
+  using K = Lexer::Token::Kind;
+  switch (tok.kind) {
+    case K::Atom: {
+      Sexpr s;
+      s.kind = Sexpr::Kind::Atom;
+      s.atom = tok.value;
+      s.line = tok.line;
+      s.col = tok.col;
+      return s;
+    }
+    case K::LParen: {
+      Sexpr s;
+      s.kind = Sexpr::Kind::List;
+      s.line = tok.line;
+      s.col = tok.col;
+      while (true) {
+        Lexer::Token t = lex.next();
+        if (t.kind == K::RParen) return s;
+        if (t.kind == K::End)
+          throw SexprError("unterminated list", tok.line, tok.col);
+        s.items.push_back(parse_one(lex, t));
+      }
+    }
+    case K::RParen:
+      throw SexprError("unexpected ')'", tok.line, tok.col);
+    case K::End:
+      throw SexprError("unexpected end of input", tok.line, tok.col);
+  }
+  throw SexprError("unreachable", tok.line, tok.col);
+}
+
+}  // namespace
+
+SexprError::SexprError(const std::string& msg, int line_in, int col_in)
+    : std::runtime_error(msg + " at " + std::to_string(line_in) + ":" +
+                         std::to_string(col_in)),
+      line(line_in),
+      col(col_in) {}
+
+std::string Sexpr::to_string() const {
+  if (is_atom()) return atom;
+  std::string out = "(";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ' ';
+    out += items[i].to_string();
+  }
+  out += ')';
+  return out;
+}
+
+Sexpr parse_sexpr(std::string_view text) {
+  Lexer lex(text);
+  Lexer::Token t = lex.next();
+  Sexpr s = parse_one(lex, t);
+  Lexer::Token rest = lex.next();
+  if (rest.kind != Lexer::Token::Kind::End)
+    throw SexprError("trailing input after s-expression", rest.line, rest.col);
+  return s;
+}
+
+std::vector<Sexpr> parse_sexprs(std::string_view text) {
+  Lexer lex(text);
+  std::vector<Sexpr> out;
+  while (true) {
+    Lexer::Token t = lex.next();
+    if (t.kind == Lexer::Token::Kind::End) return out;
+    out.push_back(parse_one(lex, t));
+  }
+}
+
+}  // namespace parsec::util

@@ -1,0 +1,57 @@
+// Minimal s-expression reader.
+//
+// CDG constraints are written in the paper's Lisp-ish surface syntax:
+//
+//   (if (and (eq (cat (word (pos x))) verb)
+//            (eq (role x) governor))
+//       (and (eq (lab x) ROOT) (eq (mod x) nil)))
+//
+// This reader turns such text into a tree of Sexpr nodes (atoms and
+// lists).  Semantics live in cdg/constraint_parser; this layer only
+// handles lexing/nesting and reports positions for error messages.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parsec::util {
+
+struct Sexpr {
+  enum class Kind { Atom, List };
+
+  Kind kind = Kind::Atom;
+  std::string atom;            // valid when kind == Atom
+  std::vector<Sexpr> items;    // valid when kind == List
+  int line = 0;                // 1-based source line of the first token
+  int col = 0;                 // 1-based source column
+
+  bool is_atom() const { return kind == Kind::Atom; }
+  bool is_list() const { return kind == Kind::List; }
+  std::size_t size() const { return items.size(); }
+  const Sexpr& operator[](std::size_t i) const { return items[i]; }
+
+  /// True if this is an atom equal to `s` (case-sensitive).
+  bool is(std::string_view s) const { return is_atom() && atom == s; }
+
+  /// Renders back to text (single line); handy in error messages and tests.
+  std::string to_string() const;
+};
+
+/// Error thrown on malformed input, with 1-based line/col.
+struct SexprError : std::runtime_error {
+  SexprError(const std::string& msg, int line, int col);
+  int line;
+  int col;
+};
+
+/// Parses exactly one s-expression; trailing input is an error.
+Sexpr parse_sexpr(std::string_view text);
+
+/// Parses a whole file worth of s-expressions.  Comments run from ';' to
+/// end of line.
+std::vector<Sexpr> parse_sexprs(std::string_view text);
+
+}  // namespace parsec::util

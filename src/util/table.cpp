@@ -1,0 +1,96 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace parsec::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "-";
+  if (v == static_cast<long long>(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[48];
+  if (std::fabs(v) >= 1e6 || (v != 0 && std::fabs(v) < 1e-4)) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+std::string Table::format_number(double v) { return format_value(v); }
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && row[c] != "-" && !looks_numeric(row[c]))
+        numeric[c] = false;
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) os << "  ";
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (numeric[c]) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace parsec::util

@@ -1,0 +1,49 @@
+// Aligned ASCII table printer for the benchmark harness.
+//
+// Every bench binary prints the paper's reported values next to our
+// measured values in one of these tables (DESIGN.md §4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parsec::util {
+
+class Table {
+ public:
+  /// `headers` defines the column count; every row must match it.
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  /// Renders with a header rule and column alignment (numbers right,
+  /// text left — detected per column from the data).
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return format_number(static_cast<double>(v));
+  }
+  static std::string format_number(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with engineering-style precision: integers exactly,
+/// small reals with 3 significant decimals.
+std::string format_value(double v);
+
+}  // namespace parsec::util

@@ -1,0 +1,176 @@
+#include "cdg/constraint_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/constraint_parser.h"
+#include "cdg/grammar.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace parsec::cdg;
+
+class ConstraintEvalTest : public ::testing::Test {
+ protected:
+  ConstraintEvalTest() {
+    det = g.add_category("det");
+    noun = g.add_category("noun");
+    verb = g.add_category("verb");
+    SUBJ = g.add_label("SUBJ");
+    ROOT = g.add_label("ROOT");
+    DET = g.add_label("DET");
+    governor = g.add_role("governor");
+    needs = g.add_role("needs");
+    // "The program runs"
+    s.words = {"The", "program", "runs"};
+    s.cats = {det, noun, verb};
+  }
+
+  EvalContext ctx_for(RoleValue xrv, RoleId xrole, WordPos xpos) {
+    EvalContext ctx;
+    ctx.sentence = &s;
+    ctx.x = Binding{xrv, xrole, xpos};
+    return ctx;
+  }
+
+  Grammar g;
+  Sentence s;
+  CatId det, noun, verb;
+  LabelId SUBJ, ROOT, DET;
+  RoleId governor, needs;
+};
+
+TEST_F(ConstraintEvalTest, PaperFirstUnaryConstraintSemantics) {
+  Constraint c = parse_constraint(g, R"(
+      (if (and (eq (cat (word (pos x))) verb)
+               (eq (role x) governor))
+          (and (eq (lab x) ROOT)
+               (eq (mod x) nil))))");
+  // runs.governor = ROOT-nil: satisfied.
+  EXPECT_TRUE(eval_constraint(c, ctx_for({ROOT, kNil}, governor, 3)));
+  // runs.governor = SUBJ-1: antecedent true, consequent false: violated.
+  EXPECT_FALSE(eval_constraint(c, ctx_for({SUBJ, 1}, governor, 3)));
+  // runs.governor = ROOT-1 (non-nil modifiee): violated.
+  EXPECT_FALSE(eval_constraint(c, ctx_for({ROOT, 1}, governor, 3)));
+  // program.governor = SUBJ-3: antecedent false (noun): satisfied.
+  EXPECT_TRUE(eval_constraint(c, ctx_for({SUBJ, 3}, governor, 2)));
+  // runs.needs: antecedent false (role mismatch): satisfied.
+  EXPECT_TRUE(eval_constraint(c, ctx_for({SUBJ, 1}, needs, 3)));
+}
+
+TEST_F(ConstraintEvalTest, BinaryConstraintBothVariables) {
+  Constraint c = parse_constraint(g, R"(
+      (if (and (eq (lab x) SUBJ) (eq (lab y) ROOT))
+          (and (eq (mod x) (pos y)) (lt (pos x) (pos y)))))");
+  EvalContext ctx;
+  ctx.sentence = &s;
+  // x = SUBJ-3 at word 2, y = ROOT-nil at word 3: satisfied.
+  ctx.x = Binding{{SUBJ, 3}, governor, 2};
+  ctx.y = Binding{{ROOT, kNil}, governor, 3};
+  EXPECT_TRUE(eval_constraint(c, ctx));
+  // x = SUBJ-1 at word 2: mod (1) != pos y (3): violated.
+  ctx.x = Binding{{SUBJ, 1}, governor, 2};
+  EXPECT_FALSE(eval_constraint(c, ctx));
+  // Swapped: x = ROOT, y = SUBJ: antecedent false: satisfied.
+  ctx.x = Binding{{ROOT, kNil}, governor, 3};
+  ctx.y = Binding{{SUBJ, 1}, governor, 2};
+  EXPECT_TRUE(eval_constraint(c, ctx));
+}
+
+TEST_F(ConstraintEvalTest, CatOfNilWordIsInvalidNotCrash) {
+  // (cat (word (mod x))) with mod = nil: the access is invalid and every
+  // comparison with it is false, so the antecedent can't fire.
+  Constraint c = parse_constraint(g, R"(
+      (if (eq (cat (word (mod x))) noun)
+          (eq (lab x) DET)))");
+  // mod = nil: antecedent false -> satisfied regardless of label.
+  EXPECT_TRUE(eval_constraint(c, ctx_for({ROOT, kNil}, governor, 3)));
+  // mod = 2 (noun), label != DET: violated.
+  EXPECT_FALSE(eval_constraint(c, ctx_for({ROOT, 2}, governor, 3)));
+  // mod = 3 (verb): antecedent false -> satisfied.
+  EXPECT_TRUE(eval_constraint(c, ctx_for({ROOT, 3}, governor, 1)));
+}
+
+TEST_F(ConstraintEvalTest, OutOfRangePositionIsInvalid) {
+  Constraint c = parse_constraint(g, R"(
+      (if (eq (cat (word 9)) noun) (eq (lab x) DET)))");
+  // word 9 does not exist: antecedent false.
+  EXPECT_TRUE(eval_constraint(c, ctx_for({ROOT, kNil}, governor, 1)));
+}
+
+TEST_F(ConstraintEvalTest, NotAndOrSemantics) {
+  Constraint c = parse_constraint(g, R"(
+      (if (not (eq (mod x) nil))
+          (or (eq (lab x) SUBJ) (eq (lab x) DET))))");
+  EXPECT_TRUE(eval_constraint(c, ctx_for({SUBJ, 1}, governor, 2)));
+  EXPECT_TRUE(eval_constraint(c, ctx_for({DET, 2}, governor, 1)));
+  EXPECT_FALSE(eval_constraint(c, ctx_for({ROOT, 1}, governor, 2)));
+  EXPECT_TRUE(eval_constraint(c, ctx_for({ROOT, kNil}, governor, 2)));
+}
+
+TEST_F(ConstraintEvalTest, GtLtOnPositions) {
+  Constraint c = parse_constraint(g, R"(
+      (if (gt (pos x) 1) (lt (pos x) 3)))");
+  EXPECT_TRUE(eval_constraint(c, ctx_for({SUBJ, 1}, governor, 1)));
+  EXPECT_TRUE(eval_constraint(c, ctx_for({SUBJ, 1}, governor, 2)));
+  EXPECT_FALSE(eval_constraint(c, ctx_for({SUBJ, 1}, governor, 3)));
+}
+
+// ---------------------------------------------------------------------
+// Property: the compiled bytecode evaluator agrees with the tree-walking
+// interpreter on every constraint in a pool, over a sweep of bindings.
+// ---------------------------------------------------------------------
+class CompiledVsInterpreted
+    : public ConstraintEvalTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(CompiledVsInterpreted, Agree) {
+  Constraint c = parse_constraint(g, GetParam());
+  CompiledConstraint cc = compile_constraint(c);
+  EXPECT_EQ(cc.arity, c.arity);
+  EvalContext ctx;
+  ctx.sentence = &s;
+  for (LabelId lx : {SUBJ, ROOT, DET}) {
+    for (WordPos mx = 0; mx <= 3; ++mx) {
+      for (RoleId rx : {governor, needs}) {
+        for (WordPos px = 1; px <= 3; ++px) {
+          ctx.x = Binding{{lx, mx}, rx, px};
+          for (LabelId ly : {SUBJ, ROOT, DET}) {
+            for (WordPos my = 0; my <= 3; ++my) {
+              ctx.y = Binding{{ly, my}, governor, (px % 3) + 1};
+              EXPECT_EQ(eval_constraint(c, ctx), eval_compiled(cc, ctx))
+                  << c.root.to_string_with(g);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pool, CompiledVsInterpreted,
+    ::testing::Values(
+        "(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor)) "
+        "(and (eq (lab x) ROOT) (eq (mod x) nil)))",
+        "(if (and (eq (lab x) SUBJ) (eq (lab y) ROOT)) "
+        "(and (eq (mod x) (pos y)) (lt (pos x) (pos y))))",
+        "(if (and (eq (lab x) DET) (eq (cat (word (pos y))) noun)) "
+        "(and (eq (mod x) (pos y)) (lt (pos x) (pos y))))",
+        "(if (not (eq (mod x) nil)) (or (eq (lab x) SUBJ) (gt (pos x) 1)))",
+        "(if (eq (cat (word (mod x))) noun) (eq (lab x) DET))",
+        "(if (or (eq (lab x) SUBJ) (eq (lab y) SUBJ) (eq (lab x) DET)) "
+        "(and (not (eq (mod x) (mod y))) (lt (mod x) 4)))",
+        "(if (gt (mod x) (mod y)) (gt (pos x) (pos y)))"));
+
+TEST_F(ConstraintEvalTest, CompileAllMatchesSizes) {
+  Constraint a = parse_constraint(g, "(if (eq (lab x) SUBJ) (gt (pos x) 1))");
+  Constraint b = parse_constraint(
+      g, "(if (eq (lab x) SUBJ) (eq (mod x) (pos y)))");
+  auto compiled = compile_all({a, b});
+  ASSERT_EQ(compiled.size(), 2u);
+  EXPECT_EQ(compiled[0].arity, 1);
+  EXPECT_EQ(compiled[1].arity, 2);
+}
+
+}  // namespace

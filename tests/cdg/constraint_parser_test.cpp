@@ -1,0 +1,139 @@
+#include "cdg/constraint_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/grammar.h"
+
+namespace {
+
+using namespace parsec::cdg;
+
+class ConstraintParserTest : public ::testing::Test {
+ protected:
+  ConstraintParserTest() {
+    g.add_category("det");
+    g.add_category("noun");
+    g.add_category("verb");
+    g.add_label("SUBJ");
+    g.add_label("ROOT");
+    g.add_role("governor");
+    g.add_role("needs");
+  }
+  Grammar g;
+};
+
+TEST_F(ConstraintParserTest, ParsesPaperUnaryConstraint) {
+  Constraint c = parse_constraint(g, R"(
+      (if (and (eq (cat (word (pos x))) verb)
+               (eq (role x) governor))
+          (and (eq (lab x) ROOT)
+               (eq (mod x) nil))))");
+  EXPECT_EQ(c.arity, 1);
+  EXPECT_EQ(c.root.op, Op::If);
+  ASSERT_EQ(c.root.args.size(), 2u);
+  EXPECT_EQ(c.antecedent().op, Op::And);
+  EXPECT_EQ(c.consequent().op, Op::And);
+}
+
+TEST_F(ConstraintParserTest, ParsesPaperBinaryConstraint) {
+  Constraint c = parse_constraint(g, R"(
+      (if (and (eq (lab x) SUBJ) (eq (lab y) ROOT))
+          (and (eq (mod x) (pos y)) (lt (pos x) (pos y)))))");
+  EXPECT_EQ(c.arity, 2);
+}
+
+TEST_F(ConstraintParserTest, ResolvesSymbolsByOppositeSideType) {
+  // `governor` must resolve as a role here, ROOT as a label.
+  Constraint c = parse_constraint(
+      g, "(if (eq (role x) governor) (eq (lab x) ROOT))");
+  const Expr& ante = c.antecedent();
+  EXPECT_EQ(ante.op, Op::Eq);
+  EXPECT_EQ(ante.args[1].op, Op::ConstSym);
+  EXPECT_EQ(ante.args[1].type, ValueType::RoleT);
+  EXPECT_EQ(ante.args[1].value, g.role("governor"));
+  const Expr& cons = c.consequent();
+  EXPECT_EQ(cons.args[1].type, ValueType::Label);
+  EXPECT_EQ(cons.args[1].value, g.label("ROOT"));
+}
+
+TEST_F(ConstraintParserTest, NilIsPositionZero) {
+  Constraint c = parse_constraint(g, "(if (eq (mod x) nil) (eq (pos x) 1))");
+  EXPECT_EQ(c.antecedent().args[1].op, Op::ConstInt);
+  EXPECT_EQ(c.antecedent().args[1].value, kNil);
+  EXPECT_EQ(c.consequent().args[1].value, 1);
+}
+
+TEST_F(ConstraintParserTest, NaryAndOrAccepted) {
+  Constraint c = parse_constraint(g, R"(
+      (if (and (eq (lab x) SUBJ)
+               (eq (role x) governor)
+               (not (eq (mod x) nil)))
+          (or (lt (pos x) 3) (gt (pos x) 5) (eq (pos x) 4))))");
+  EXPECT_EQ(c.antecedent().args.size(), 3u);
+  EXPECT_EQ(c.consequent().args.size(), 3u);
+}
+
+TEST_F(ConstraintParserTest, RejectsMalformedTopLevel) {
+  EXPECT_THROW(parse_constraint(g, "(eq (lab x) SUBJ)"),
+               ConstraintParseError);
+  EXPECT_THROW(parse_constraint(g, "(if (eq (lab x) SUBJ))"),
+               ConstraintParseError);
+}
+
+TEST_F(ConstraintParserTest, RejectsUnknownSymbols) {
+  EXPECT_THROW(
+      parse_constraint(g, "(if (eq (lab x) NOPE) (eq (mod x) nil))"),
+      ConstraintParseError);
+  EXPECT_THROW(
+      parse_constraint(g, "(if (eq (role x) nurble) (eq (mod x) nil))"),
+      ConstraintParseError);
+  EXPECT_THROW(
+      parse_constraint(
+          g, "(if (eq (cat (word (pos x))) blorb) (eq (mod x) nil))"),
+      ConstraintParseError);
+}
+
+TEST_F(ConstraintParserTest, RejectsTypeMismatches) {
+  // label vs role
+  EXPECT_THROW(
+      parse_constraint(g, "(if (eq (lab x) (role x)) (eq (mod x) nil))"),
+      ConstraintParseError);
+  // gt on labels
+  EXPECT_THROW(
+      parse_constraint(g, "(if (gt (lab x) (lab y)) (eq (mod x) nil))"),
+      ConstraintParseError);
+}
+
+TEST_F(ConstraintParserTest, RejectsBadVariables) {
+  EXPECT_THROW(parse_constraint(g, "(if (eq (lab z) SUBJ) (eq (mod x) nil))"),
+               ConstraintParseError);
+  EXPECT_THROW(parse_constraint(g, "(if (eq (lab 3) SUBJ) (eq (mod x) nil))"),
+               ConstraintParseError);
+}
+
+TEST_F(ConstraintParserTest, RejectsUnknownFunctions) {
+  EXPECT_THROW(
+      parse_constraint(g, "(if (eq (labb x) SUBJ) (eq (mod x) nil))"),
+      ConstraintParseError);
+  EXPECT_THROW(parse_constraint(g, "(if (xor (eq (lab x) SUBJ) (eq (lab x) "
+                                   "ROOT)) (eq (mod x) nil))"),
+               ConstraintParseError);
+}
+
+TEST_F(ConstraintParserTest, ModComparesAgainstPos) {
+  // (eq (mod x) (pos y)) — both positions; legal and common.
+  Constraint c = parse_constraint(
+      g, "(if (eq (mod x) (pos y)) (lt (pos x) (pos y)))");
+  EXPECT_EQ(c.arity, 2);
+  EXPECT_EQ(c.antecedent().args[0].type, ValueType::Pos);
+  EXPECT_EQ(c.antecedent().args[1].type, ValueType::Pos);
+}
+
+TEST_F(ConstraintParserTest, RendersBackToSurfaceSyntax) {
+  Constraint c = parse_constraint(
+      g, "(if (eq (lab x) SUBJ) (and (eq (mod x) nil) (lt (pos x) 2)))");
+  EXPECT_EQ(c.root.to_string_with(g),
+            "(if (eq (lab x) SUBJ) (and (eq (mod x) nil) (lt (pos x) 2)))");
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+#include "cdg/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/parser.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+using cdg::Network;
+using cdg::SequentialParser;
+
+class ExtractTest : public ::testing::Test {
+ protected:
+  ExtractTest() : bundle_(grammars::make_toy_grammar()), p_(bundle_.grammar) {}
+
+  Network parsed(const std::string& text) {
+    Network net = p_.make_network(bundle_.tag(text));
+    p_.parse(net);
+    return net;
+  }
+
+  grammars::CdgBundle bundle_;
+  SequentialParser p_;
+};
+
+TEST_F(ExtractTest, UniqueParseExtracted) {
+  Network net = parsed("The program runs");
+  auto parses = cdg::extract_parses(net);
+  ASSERT_EQ(parses.size(), 1u);
+  EXPECT_EQ(cdg::count_parses(net), 1u);
+  EXPECT_TRUE(cdg::has_parse(net));
+  // The assignment respects every arc matrix.
+  const auto& sol = parses[0];
+  const auto& idx = net.indexer();
+  for (int a = 0; a < net.num_roles(); ++a)
+    for (int b = a + 1; b < net.num_roles(); ++b)
+      EXPECT_TRUE(net.arc_allows(a, idx.encode(sol.assignment[a]), b,
+                                 idx.encode(sol.assignment[b])));
+}
+
+TEST_F(ExtractTest, RejectedSentenceHasNoParse) {
+  Network net = parsed("program The runs");
+  EXPECT_EQ(cdg::count_parses(net), 0u);
+  EXPECT_FALSE(cdg::has_parse(net));
+  EXPECT_TRUE(cdg::extract_parses(net).empty());
+}
+
+TEST_F(ExtractTest, AmbiguousNetworkYieldsMultipleParses) {
+  // The paper's §1.4: a CN "compactly stores multiple parses".  After
+  // unary propagation only (Fig. 3), "The program runs" still has
+  // 2*1*2*2*1*2 = 16 consistent assignments; the binary constraints
+  // then cut them to 1.
+  Network net = p_.make_network(bundle_.tag("The program runs"));
+  p_.run_unary(net);
+  auto parses = cdg::extract_parses(net);
+  EXPECT_EQ(parses.size(), 16u);
+  // All parses distinct.
+  for (std::size_t i = 0; i < parses.size(); ++i)
+    for (std::size_t j = i + 1; j < parses.size(); ++j) {
+      bool same = true;
+      for (std::size_t r = 0; r < parses[i].assignment.size(); ++r)
+        if (!(parses[i].assignment[r] == parses[j].assignment[r]))
+          same = false;
+      EXPECT_FALSE(same) << i << "," << j;
+    }
+  // Applying the binary constraints refines the analysis to one parse.
+  p_.run_binary(net);
+  net.filter();
+  EXPECT_EQ(cdg::count_parses(net), 1u);
+}
+
+TEST_F(ExtractTest, LimitShortCircuits) {
+  Network net = p_.make_network(bundle_.tag("The program runs"));
+  p_.run_unary(net);
+  EXPECT_EQ(cdg::count_parses(net, 3), 3u);
+  EXPECT_EQ(cdg::extract_parses(net, 3).size(), 3u);
+}
+
+TEST_F(ExtractTest, CountWithoutPropagationStillConsistent) {
+  // Extraction on a fresh (unpropagated) network enumerates all
+  // assignments consistent with the all-ones arc matrices; on the
+  // propagated network it is a subset.
+  Network fresh = p_.make_network(bundle_.tag("The program runs"));
+  Network done = parsed("The program runs");
+  const std::size_t fresh_count = cdg::count_parses(fresh, 100000);
+  EXPECT_GE(fresh_count, cdg::count_parses(done, 100000));
+  EXPECT_GT(fresh_count, 1u);
+}
+
+TEST_F(ExtractTest, PrecedenceGraphEdgesCoverEveryRole) {
+  Network net = parsed("The dog halts");
+  auto parses = cdg::extract_parses(net);
+  ASSERT_FALSE(parses.empty());
+  auto edges = cdg::precedence_graph(net, parses[0]);
+  EXPECT_EQ(edges.size(), static_cast<std::size_t>(net.num_roles()));
+  // Every governor edge points inside the sentence or to nil.
+  for (const auto& e : edges) {
+    EXPECT_GE(e.to, 0);
+    EXPECT_LE(e.to, net.n());
+    EXPECT_GE(e.from, 1);
+    EXPECT_LE(e.from, net.n());
+  }
+}
+
+TEST_F(ExtractTest, RenderDotEmitsPrecedenceGraph) {
+  Network net = parsed("The program runs");
+  auto parses = cdg::extract_parses(net);
+  ASSERT_EQ(parses.size(), 1u);
+  const std::string dot = cdg::render_dot(net, parses[0]);
+  EXPECT_NE(dot.find("digraph precedence"), std::string::npos);
+  // Governor edges of Fig. 7.
+  EXPECT_NE(dot.find("w1 -> w2 [label=\"DET\"]"), std::string::npos);
+  EXPECT_NE(dot.find("w2 -> w3 [label=\"SUBJ\"]"), std::string::npos);
+  // runs is the root (no outgoing governor edge; marked).
+  EXPECT_EQ(dot.find("w3 -> "), dot.find("w3 -> w2 [label=\"S\""));
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);
+  // Needs links are dashed.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST_F(ExtractTest, RenderSolutionMatchesFigure7Style) {
+  Network net = parsed("The program runs");
+  auto parses = cdg::extract_parses(net);
+  ASSERT_EQ(parses.size(), 1u);
+  const std::string s = cdg::render_solution(net, parses[0]);
+  EXPECT_NE(s.find("Word=The Position=1 G=DET-2 N=BLANK-nil"),
+            std::string::npos);
+  EXPECT_NE(s.find("Word=runs Position=3 G=ROOT-nil N=S-2"),
+            std::string::npos);
+}
+
+}  // namespace

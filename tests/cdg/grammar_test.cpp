@@ -1,0 +1,79 @@
+#include "cdg/grammar.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace parsec::cdg;
+
+TEST(Grammar, TableTAllowsPerRole) {
+  Grammar g;
+  auto gov = g.add_role("governor");
+  auto needs = g.add_role("needs");
+  auto subj = g.add_label("SUBJ");
+  auto np = g.add_label("NP");
+  g.allow_label(gov, subj);
+  g.allow_label(needs, np);
+  auto any_cat = g.add_category("noun");
+  EXPECT_TRUE(g.label_allowed(gov, any_cat, subj));
+  EXPECT_FALSE(g.label_allowed(gov, any_cat, np));
+  EXPECT_TRUE(g.label_allowed(needs, any_cat, np));
+  EXPECT_FALSE(g.label_allowed(needs, any_cat, subj));
+}
+
+TEST(Grammar, CategoryRefinementSupersedesCoarseGrant) {
+  Grammar g;
+  auto gov = g.add_role("governor");
+  auto det = g.add_category("det");
+  auto noun = g.add_category("noun");
+  auto detl = g.add_label("DET");
+  auto subj = g.add_label("SUBJ");
+  g.allow_label_for_category(gov, det, detl);  // DET only for determiners
+  g.allow_label(gov, subj);                    // SUBJ for everyone
+  EXPECT_TRUE(g.label_allowed(gov, det, detl));
+  EXPECT_FALSE(g.label_allowed(gov, noun, detl));
+  EXPECT_TRUE(g.label_allowed(gov, noun, subj));
+  EXPECT_TRUE(g.label_allowed(gov, det, subj));
+  // The coarse table still admits DET (arc matrices are category-blind).
+  EXPECT_TRUE(g.label_allowed_any_cat(gov, detl));
+}
+
+TEST(Grammar, LabelsForRoleSortedAndMax) {
+  Grammar g;
+  auto gov = g.add_role("governor");
+  auto needs = g.add_role("needs");
+  auto a = g.add_label("A");
+  auto b = g.add_label("B");
+  auto c = g.add_label("C");
+  g.allow_label(gov, c);
+  g.allow_label(gov, a);
+  g.allow_label(needs, b);
+  EXPECT_EQ(g.labels_for_role(gov), (std::vector<LabelId>{a, c}));
+  EXPECT_EQ(g.labels_for_role(needs), (std::vector<LabelId>{b}));
+  EXPECT_EQ(g.max_labels_per_role(), 2);
+}
+
+TEST(Grammar, ConstraintsSplitByArity) {
+  Grammar g;
+  g.add_role("governor");
+  g.add_label("ROOT");
+  g.add_category("verb");
+  g.add_constraint_text("u", "(if (eq (role x) governor) (eq (lab x) ROOT))");
+  g.add_constraint_text("b", "(if (eq (lab x) ROOT) (lt (pos y) (pos x)))");
+  EXPECT_EQ(g.unary_constraints().size(), 1u);
+  EXPECT_EQ(g.binary_constraints().size(), 1u);
+  EXPECT_EQ(g.num_constraints(), 2);
+  EXPECT_EQ(g.unary_constraints()[0].name, "u");
+  EXPECT_EQ(g.binary_constraints()[0].name, "b");
+}
+
+TEST(Grammar, SymbolAccessorsThrowOnUnknown) {
+  Grammar g;
+  g.add_label("SUBJ");
+  EXPECT_EQ(g.label("SUBJ"), 0);
+  EXPECT_THROW(g.label("NOPE"), std::out_of_range);
+  EXPECT_THROW(g.role("governor"), std::out_of_range);
+  EXPECT_THROW(g.category("verb"), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#include "cdg/lexicon.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/grammar.h"
+
+namespace {
+
+using namespace parsec::cdg;
+
+TEST(Lexicon, TagUsesPreferredCategory) {
+  Grammar g;
+  Lexicon lex;
+  lex.add(g, "run", {"verb", "noun"});
+  lex.add(g, "the", {"det"});
+  Sentence s = lex.tag({"the", "run"});
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s.cat_at(1), g.category("det"));
+  EXPECT_EQ(s.cat_at(2), g.category("verb"));
+  EXPECT_EQ(s.word_at(2), "run");
+}
+
+TEST(Lexicon, UnknownWordThrows) {
+  Lexicon lex;
+  EXPECT_THROW(lex.tag({"xyzzy"}), std::out_of_range);
+  EXPECT_FALSE(lex.contains("xyzzy"));
+}
+
+TEST(Lexicon, EmptyCategoryListRejected) {
+  Lexicon lex;
+  EXPECT_THROW(lex.add("w", {}), std::invalid_argument);
+}
+
+TEST(Lexicon, TaggingsEnumerateCartesianProduct) {
+  Grammar g;
+  Lexicon lex;
+  lex.add(g, "run", {"verb", "noun"});
+  lex.add(g, "watch", {"verb", "noun"});
+  auto all = lex.taggings({"run", "watch"});
+  ASSERT_EQ(all.size(), 4u);
+  // Preferred-first: first tagging is all-preferred.
+  EXPECT_EQ(all[0].cat_at(1), g.category("verb"));
+  EXPECT_EQ(all[0].cat_at(2), g.category("verb"));
+  // All combinations distinct.
+  for (std::size_t i = 0; i < all.size(); ++i)
+    for (std::size_t j = i + 1; j < all.size(); ++j)
+      EXPECT_FALSE(all[i].cats == all[j].cats) << i << "," << j;
+}
+
+TEST(Lexicon, TaggingsHonorsLimit) {
+  Grammar g;
+  Lexicon lex;
+  lex.add(g, "a", {"verb", "noun", "det"});
+  lex.add(g, "b", {"verb", "noun", "det"});
+  lex.add(g, "c", {"verb", "noun", "det"});
+  auto all = lex.taggings({"a", "b", "c"}, 10);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(Sentence, PositionsAreOneBased) {
+  Grammar g;
+  Lexicon lex;
+  lex.add(g, "dogs", {"noun"});
+  lex.add(g, "bark", {"verb"});
+  Sentence s = lex.tag({"dogs", "bark"});
+  EXPECT_EQ(s.word_at(1), "dogs");
+  EXPECT_EQ(s.word_at(2), "bark");
+  EXPECT_THROW(s.word_at(0), std::out_of_range);
+  EXPECT_THROW(s.word_at(3), std::out_of_range);
+}
+
+}  // namespace

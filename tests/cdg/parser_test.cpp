@@ -1,0 +1,142 @@
+#include "cdg/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/extract.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+using cdg::Network;
+using cdg::ParseOptions;
+using cdg::ParseResult;
+using cdg::SequentialParser;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : bundle_(grammars::make_toy_grammar()) {}
+  grammars::CdgBundle bundle_;
+};
+
+TEST_F(ParserTest, AcceptsTheWorkedExample) {
+  SequentialParser p(bundle_.grammar);
+  ParseResult r = p.parse_sentence(bundle_.tag("The program runs"));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_FALSE(r.ambiguous);
+  // Fully disambiguated: exactly one role value per role.
+  EXPECT_EQ(r.alive_role_values, 6u);
+}
+
+TEST_F(ParserTest, CompilesConstraintSetsOnce) {
+  SequentialParser p(bundle_.grammar);
+  EXPECT_EQ(p.compiled_unary().size(), 6u);
+  EXPECT_EQ(p.compiled_binary().size(), 4u);
+}
+
+TEST_F(ParserTest, DeferredConsistencyGivesSameFixpoint) {
+  // Running consistency only at the end (via filtering) must reach the
+  // same fixpoint as interleaved maintenance: both compute the largest
+  // locally-consistent subnetwork after all constraints.
+  SequentialParser interleaved(bundle_.grammar,
+                               {.consistency_after_each_binary = true});
+  ParseOptions deferred_opt;
+  deferred_opt.consistency_after_each_binary = false;
+  SequentialParser deferred(bundle_.grammar, deferred_opt);
+  for (const char* text :
+       {"The program runs", "The dog halts", "A compiler crashes",
+        "The program", "dog runs", "The The dog runs"}) {
+    Network a = interleaved.make_network(bundle_.tag(text));
+    Network b = deferred.make_network(bundle_.tag(text));
+    ParseResult ra = interleaved.parse(a);
+    ParseResult rb = deferred.parse(b);
+    EXPECT_EQ(ra.accepted, rb.accepted) << text;
+    for (int r = 0; r < a.num_roles(); ++r)
+      EXPECT_EQ(a.domain(r), b.domain(r)) << text << " role " << r;
+  }
+}
+
+TEST_F(ParserTest, BoundedFilteringIsPrefixOfFullFiltering) {
+  // MasPar design decision 5: a constant filtering bound.  With bound 0
+  // no filtering sweep runs; with a large bound results equal the
+  // fixpoint.
+  ParseOptions none;
+  none.filter_sweeps = 0;
+  ParseOptions full;
+  full.filter_sweeps = -1;
+  SequentialParser p_none(bundle_.grammar, none);
+  SequentialParser p_full(bundle_.grammar, full);
+  Network a = p_none.make_network(bundle_.tag("The program runs"));
+  Network b = p_full.make_network(bundle_.tag("The program runs"));
+  ParseResult ra = p_none.parse(a);
+  ParseResult rb = p_full.parse(b);
+  // Every value alive in the fixpoint is alive under bounded filtering
+  // (filtering only removes).
+  for (int r = 0; r < a.num_roles(); ++r) {
+    b.domain(r).for_each([&](std::size_t rv) {
+      EXPECT_TRUE(a.domain(r).test(rv)) << "role " << r << " rv " << rv;
+    });
+  }
+  EXPECT_GE(ra.alive_role_values, rb.alive_role_values);
+}
+
+TEST_F(ParserTest, StepwiseEqualsBatch) {
+  SequentialParser p(bundle_.grammar);
+  Network a = p.make_network(bundle_.tag("The dog runs"));
+  Network b = p.make_network(bundle_.tag("The dog runs"));
+  // a: stepwise unary then binary; b: batch helpers.
+  for (std::size_t i = 0; i < p.compiled_unary().size(); ++i)
+    p.step_unary(a, i);
+  p.run_unary(b);
+  for (int r = 0; r < a.num_roles(); ++r) EXPECT_EQ(a.domain(r), b.domain(r));
+  for (std::size_t i = 0; i < p.compiled_binary().size(); ++i) {
+    p.step_binary(a, i);
+    a.consistency_step();
+  }
+  p.run_binary(b);
+  for (int r = 0; r < a.num_roles(); ++r) EXPECT_EQ(a.domain(r), b.domain(r));
+}
+
+TEST_F(ParserTest, AmbiguousSentenceReported) {
+  // "The dog runs" is unambiguous under the toy grammar; build a small
+  // ambiguity instead: two determiners before a noun leave the parse
+  // ambiguous in... actually "The The dog runs" both DETs must modify
+  // the noun, which is fine for each independently; check ambiguity
+  // detection directly on a half-propagated network.
+  SequentialParser p(bundle_.grammar);
+  Network net = p.make_network(bundle_.tag("The program runs"));
+  p.run_unary(net);
+  // Before binary constraints, several roles are still ambiguous.
+  bool any_multi = false;
+  for (int r = 0; r < net.num_roles(); ++r)
+    if (net.domain(r).count() > 1) any_multi = true;
+  EXPECT_TRUE(any_multi);
+}
+
+TEST_F(ParserTest, RejectionLeavesEmptyRole) {
+  SequentialParser p(bundle_.grammar);
+  Network net = p.make_network(bundle_.tag("program The runs"));
+  ParseResult r = p.parse(net);
+  EXPECT_FALSE(r.accepted);
+  bool any_empty = false;
+  for (int role = 0; role < net.num_roles(); ++role)
+    if (net.domain(role).none()) any_empty = true;
+  EXPECT_TRUE(any_empty);
+}
+
+TEST_F(ParserTest, AcceptanceAgreesWithExtraction) {
+  // Necessary-condition acceptance (nonempty domains after full
+  // filtering) must agree with exact extraction on the toy grammar's
+  // tiny sentences.
+  SequentialParser p(bundle_.grammar);
+  for (const char* text :
+       {"The program runs", "The dog halts", "dog runs", "The program",
+        "program The runs", "The program runs halts", "A A dog runs"}) {
+    Network net = p.make_network(bundle_.tag(text));
+    ParseResult r = p.parse(net);
+    const bool exact = cdg::has_parse(net);
+    EXPECT_EQ(r.accepted, exact) << text;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "cdg/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/parser.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  PrinterTest()
+      : bundle_(grammars::make_toy_grammar()),
+        parser_(bundle_.grammar),
+        net_(parser_.make_network(bundle_.tag("The program runs"))) {}
+
+  grammars::CdgBundle bundle_;
+  cdg::SequentialParser parser_;
+  cdg::Network net_;
+};
+
+TEST_F(PrinterTest, RenderRoleListsDenseOrder) {
+  parser_.run_unary(net_);
+  // The governor role of "The": dense order is label-major (DET has the
+  // highest label id among survivors here, but within one label mods
+  // ascend).
+  const int role = net_.role_index(1, bundle_.grammar.role("governor"));
+  EXPECT_EQ(cdg::render_role(net_, role), "{DET-2, DET-3}");
+  const int needs = net_.role_index(1, bundle_.grammar.role("needs"));
+  EXPECT_EQ(cdg::render_role(net_, needs), "{BLANK-nil}");
+}
+
+TEST_F(PrinterTest, RenderDomainsFullGolden) {
+  parser_.parse(net_);
+  net_.filter();
+  EXPECT_EQ(cdg::render_domains(net_),
+            "word 1 \"The\" [det]\n"
+            "  governor: {DET-2}\n"
+            "  needs: {BLANK-nil}\n"
+            "word 2 \"program\" [noun]\n"
+            "  governor: {SUBJ-3}\n"
+            "  needs: {NP-1}\n"
+            "word 3 \"runs\" [verb]\n"
+            "  governor: {ROOT-nil}\n"
+            "  needs: {S-2}\n");
+}
+
+TEST_F(PrinterTest, RenderArcMatrixShowsBits) {
+  parser_.run_unary(net_);
+  parser_.step_binary(net_, 0);  // zeroes (SUBJ-1, ROOT-nil)
+  const int pg = net_.role_index(2, bundle_.grammar.role("governor"));
+  const int rg = net_.role_index(3, bundle_.grammar.role("governor"));
+  const std::string s = cdg::render_arc_matrix(net_, pg, rg);
+  // Header names both roles and words.
+  EXPECT_NE(s.find("governor(word 2)"), std::string::npos);
+  EXPECT_NE(s.find("governor(word 3)"), std::string::npos);
+  // Fig. 4: SUBJ-1 row holds 0, SUBJ-3 row holds 1.
+  EXPECT_NE(s.find("SUBJ-1"), std::string::npos);
+  EXPECT_NE(s.find('0'), std::string::npos);
+  EXPECT_NE(s.find('1'), std::string::npos);
+  // Order of rendering doesn't depend on argument order.
+  EXPECT_EQ(s, cdg::render_arc_matrix(net_, rg, pg));
+}
+
+TEST_F(PrinterTest, RenderSummaryCounts) {
+  const std::string s = cdg::render_summary(net_);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("roles=6"), std::string::npos);
+  EXPECT_NE(s.find("D=24"), std::string::npos);
+  EXPECT_NE(s.find("alive=54"), std::string::npos);
+  EXPECT_NE(s.find("arc_ones="), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "cdg/role_value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cdg/network.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec::cdg;
+
+TEST(RvIndexer, EncodeDecodeRoundTrip) {
+  for (int n : {1, 3, 10}) {
+    for (int L : {1, 6, 11}) {
+      RvIndexer idx(n, L);
+      EXPECT_EQ(idx.domain_size(), L * (n + 1));
+      std::set<int> seen;
+      for (LabelId l = 0; l < L; ++l) {
+        for (WordPos m = 0; m <= n; ++m) {
+          const int code = idx.encode(RoleValue{l, m});
+          EXPECT_TRUE(seen.insert(code).second) << "collision";
+          EXPECT_GE(code, 0);
+          EXPECT_LT(code, idx.domain_size());
+          const RoleValue rv = idx.decode(code);
+          EXPECT_EQ(rv.label, l);
+          EXPECT_EQ(rv.mod, m);
+          EXPECT_EQ(idx.label_of(code), l);
+          EXPECT_EQ(idx.mod_of(code), m);
+        }
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(idx.domain_size()));
+    }
+  }
+}
+
+TEST(RvIndexer, DenseOrderIsLabelMajor) {
+  RvIndexer idx(3, 2);
+  // label 0 mods 0..3, then label 1 mods 0..3.
+  EXPECT_EQ(idx.encode({0, 0}), 0);
+  EXPECT_EQ(idx.encode({0, 3}), 3);
+  EXPECT_EQ(idx.encode({1, 0}), 4);
+  EXPECT_EQ(idx.encode({1, 3}), 7);
+}
+
+TEST(RoleValueToString, PaperNotation) {
+  auto bundle = parsec::grammars::make_toy_grammar();
+  const auto& g = bundle.grammar;
+  EXPECT_EQ(to_string(g, RoleValue{g.label("SUBJ"), 3}), "SUBJ-3");
+  EXPECT_EQ(to_string(g, RoleValue{g.label("ROOT"), kNil}), "ROOT-nil");
+  EXPECT_EQ(to_string(g, RoleValue{g.label("BLANK"), 1}), "BLANK-1");
+}
+
+TEST(RoleValueEquality, ComparesBothFields) {
+  EXPECT_EQ((RoleValue{1, 2}), (RoleValue{1, 2}));
+  EXPECT_FALSE((RoleValue{1, 2}) == (RoleValue{1, 3}));
+  EXPECT_FALSE((RoleValue{0, 2}) == (RoleValue{1, 2}));
+}
+
+}  // namespace

@@ -1,0 +1,41 @@
+#include "cdg/symbols.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using parsec::cdg::SymbolTable;
+
+TEST(SymbolTable, InternAssignsDenseIds) {
+  SymbolTable t;
+  EXPECT_EQ(t.intern("SUBJ"), 0);
+  EXPECT_EQ(t.intern("ROOT"), 1);
+  EXPECT_EQ(t.intern("SUBJ"), 0);  // idempotent
+  EXPECT_EQ(t.size(), 2);
+}
+
+TEST(SymbolTable, NameRoundTrip) {
+  SymbolTable t;
+  int id = t.intern("governor");
+  EXPECT_EQ(t.name(id), "governor");
+}
+
+TEST(SymbolTable, FindAndAt) {
+  SymbolTable t;
+  t.intern("det");
+  EXPECT_TRUE(t.find("det").has_value());
+  EXPECT_FALSE(t.find("noun").has_value());
+  EXPECT_EQ(t.at("det"), 0);
+  EXPECT_THROW(t.at("noun"), std::out_of_range);
+  EXPECT_TRUE(t.contains("det"));
+  EXPECT_FALSE(t.contains("verb"));
+}
+
+TEST(SymbolTable, CaseSensitive) {
+  SymbolTable t;
+  int a = t.intern("subj");
+  int b = t.intern("SUBJ");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace

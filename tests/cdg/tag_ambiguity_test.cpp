@@ -1,0 +1,73 @@
+// Lexical-category ambiguity (DESIGN.md §5, deviation 2): the paper's
+// nodes store several possible parts of speech; we resolve by trying
+// taggings preferred-first.
+#include <gtest/gtest.h>
+
+#include "cdg/parser.h"
+#include "grammars/english_grammar.h"
+
+namespace {
+
+using namespace parsec;
+
+class TagAmbiguityTest : public ::testing::Test {
+ protected:
+  TagAmbiguityTest()
+      : bundle_(grammars::make_english_grammar()), parser_(bundle_.grammar) {}
+  grammars::CdgBundle bundle_;
+  cdg::SequentialParser parser_;
+};
+
+TEST_F(TagAmbiguityTest, PreferredTaggingWinsWhenGrammatical) {
+  // "she watch ..." is wrong English but the grammar only checks
+  // structure: watch-as-verb (preferred) parses directly.
+  cdg::Sentence chosen;
+  auto r = parser_.parse_any_tagging(
+      bundle_.lexicon, {"she", "watch", "the", "dog"}, &chosen);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(chosen.cat_at(2), bundle_.grammar.category("verb"));
+}
+
+TEST_F(TagAmbiguityTest, FallsBackToSecondaryCategory) {
+  // "the watch runs": watch-as-verb fails (a det cannot modify a verb);
+  // watch-as-noun parses.
+  cdg::Sentence chosen;
+  auto r = parser_.parse_any_tagging(bundle_.lexicon,
+                                     {"the", "watch", "runs"}, &chosen);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(chosen.cat_at(2), bundle_.grammar.category("noun"));
+  // The single-tagging parse with the preferred category indeed fails.
+  EXPECT_FALSE(
+      parser_.parse_sentence(bundle_.tag("the watch runs")).accepted);
+}
+
+TEST_F(TagAmbiguityTest, MultipleAmbiguousWords) {
+  // "the light watch runs": light-as-adj + watch-as-noun is the only
+  // combination that parses (2 x 2 taggings tried).
+  cdg::Sentence chosen;
+  auto r = parser_.parse_any_tagging(
+      bundle_.lexicon, {"the", "light", "watch", "runs"}, &chosen);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(chosen.cat_at(2), bundle_.grammar.category("adj"));
+  EXPECT_EQ(chosen.cat_at(3), bundle_.grammar.category("noun"));
+}
+
+TEST_F(TagAmbiguityTest, TotalFailureReturnsPreferredResult) {
+  cdg::Sentence chosen;
+  auto r = parser_.parse_any_tagging(bundle_.lexicon,
+                                     {"watch", "watch"}, &chosen);
+  EXPECT_FALSE(r.accepted);
+  // `chosen` reports the preferred tagging that was tried first.
+  EXPECT_EQ(chosen.cat_at(1), bundle_.grammar.category("verb"));
+}
+
+TEST_F(TagAmbiguityTest, UnambiguousSentenceUnaffected) {
+  auto direct = parser_.parse_sentence(bundle_.tag("the dog runs"));
+  cdg::Sentence chosen;
+  auto via = parser_.parse_any_tagging(bundle_.lexicon,
+                                       {"the", "dog", "runs"}, &chosen);
+  EXPECT_EQ(direct.accepted, via.accepted);
+  EXPECT_EQ(direct.alive_role_values, via.alive_role_values);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include "cfg/cnf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cfg/cyk.h"
+#include "grammars/cfg_workloads.h"
+
+namespace {
+
+using namespace parsec;
+using cfg::CnfGrammar;
+using cfg::to_cnf;
+
+TEST(Cnf, ProducesOnlyBinaryAndTerminalRules) {
+  for (auto make :
+       {grammars::make_paren_grammar, grammars::make_expr_grammar,
+        grammars::make_palindrome_grammar, grammars::make_english_cfg}) {
+    CnfGrammar cnf = to_cnf(make());
+    EXPECT_FALSE(cnf.binary.empty());
+    EXPECT_FALSE(cnf.terminal.empty());
+    for (const auto& r : cnf.binary) {
+      EXPECT_LT(r.lhs, cnf.num_nonterminals);
+      EXPECT_LT(r.left, cnf.num_nonterminals);
+      EXPECT_LT(r.right, cnf.num_nonterminals);
+    }
+    for (const auto& r : cnf.terminal) {
+      EXPECT_LT(r.lhs, cnf.num_nonterminals);
+      EXPECT_LT(r.terminal, cnf.num_terminals);
+    }
+    EXPECT_EQ(cnf.nt_names.size(),
+              static_cast<std::size_t>(cnf.num_nonterminals));
+  }
+}
+
+TEST(Cnf, LanguagePreservedOnEnumeratedStrings) {
+  // For each sample grammar: the CNF recognizer accepts exactly the
+  // strings the original grammar derives (up to a length bound).
+  for (auto make : {grammars::make_paren_grammar, grammars::make_expr_grammar,
+                    grammars::make_palindrome_grammar}) {
+    cfg::Grammar g = make();
+    CnfGrammar cnf = to_cnf(g);
+    const std::size_t max_len = 7;
+    auto lang = cfg::enumerate_language(g, max_len);
+    std::set<std::vector<int>> in_lang(lang.begin(), lang.end());
+    ASSERT_FALSE(lang.empty());
+    for (const auto& w : lang) EXPECT_TRUE(cfg::cyk_recognize(cnf, w));
+    // Exhaustive complement check over small alphabets/lengths.
+    if (g.num_terminals() <= 2) {
+      for (std::size_t len = 1; len <= 6; ++len) {
+        for (int mask = 0; mask < (1 << (2 * len)); ++mask) {
+          std::vector<int> w;
+          int m = mask;
+          bool valid = true;
+          for (std::size_t i = 0; i < len; ++i, m >>= 2) {
+            const int t = m & 3;
+            if (t >= g.num_terminals()) {
+              valid = false;
+              break;
+            }
+            w.push_back(t);
+          }
+          if (!valid) continue;
+          EXPECT_EQ(cfg::cyk_recognize(cnf, w), in_lang.count(w) > 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Cnf, UnitChainsEliminated) {
+  // E -> T -> F -> id must yield a direct terminal rule E -> id.
+  cfg::Grammar g = grammars::make_expr_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  const int E = g.nonterminal("E");
+  const int id = g.terminal("id");
+  bool found = false;
+  for (const auto& r : cnf.terminal)
+    if (r.lhs == E && r.terminal == id) found = true;
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(cfg::cyk_recognize(cnf, {id}));
+}
+
+TEST(Cnf, EpsilonRejectedAtConstruction) {
+  cfg::Grammar g;
+  const int s = g.add_nonterminal("S");
+  EXPECT_THROW(g.add_production(s, {}), std::invalid_argument);
+}
+
+TEST(Cnf, DerivesTerminalTable) {
+  cfg::Grammar g = grammars::make_paren_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  const int open = g.terminal("(");
+  bool any = false;
+  for (int nt = 0; nt < cnf.num_nonterminals; ++nt)
+    if (cnf.derives_terminal[open][nt]) any = true;
+  EXPECT_TRUE(any);
+}
+
+}  // namespace

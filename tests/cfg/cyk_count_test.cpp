@@ -1,0 +1,77 @@
+// Parse-counting checks with known combinatorics.
+#include <gtest/gtest.h>
+
+#include "cfg/cyk.h"
+#include "grammars/cfg_workloads.h"
+
+namespace {
+
+using namespace parsec;
+
+TEST(CykCount, FlatParenSequencesCountCatalan) {
+  // "()" repeated m times under S -> S S | ( S ) | ( ): the top-level
+  // bracketings of m units are counted by Catalan(m-1): 1, 1, 2, 5, 14.
+  cfg::Grammar g = grammars::make_paren_grammar();
+  const cfg::CnfGrammar cnf = cfg::to_cnf(g);
+  const std::uint64_t catalan[] = {1, 1, 2, 5, 14, 42};
+  for (int m = 1; m <= 6; ++m) {
+    std::vector<int> w;
+    for (int i = 0; i < m; ++i) {
+      w.push_back(g.terminal("("));
+      w.push_back(g.terminal(")"));
+    }
+    EXPECT_EQ(cfg::cyk_count_parses(cnf, w), catalan[m - 1]) << m;
+  }
+}
+
+TEST(CykCount, NestedParensUnambiguous) {
+  cfg::Grammar g = grammars::make_paren_grammar();
+  const cfg::CnfGrammar cnf = cfg::to_cnf(g);
+  // "((((...))))" has exactly one parse at any depth.
+  for (int depth = 1; depth <= 8; ++depth) {
+    std::vector<int> w;
+    for (int i = 0; i < depth; ++i) w.push_back(g.terminal("("));
+    for (int i = 0; i < depth; ++i) w.push_back(g.terminal(")"));
+    EXPECT_EQ(cfg::cyk_count_parses(cnf, w), 1u) << depth;
+  }
+}
+
+TEST(CykCount, ExpressionChainUnambiguousUnderPrecedence) {
+  // id + id * id has exactly one parse in the stratified E/T/F grammar.
+  cfg::Grammar g = grammars::make_expr_grammar();
+  const cfg::CnfGrammar cnf = cfg::to_cnf(g);
+  EXPECT_EQ(cfg::cyk_count_parses(cnf, g.encode("id + id * id")), 1u);
+  EXPECT_EQ(cfg::cyk_count_parses(cnf, g.encode("id + id + id")), 1u);
+  EXPECT_EQ(cfg::cyk_count_parses(cnf, g.encode("( id + id ) * id")), 1u);
+}
+
+TEST(CykCount, EnglishPpAttachmentAmbiguity) {
+  // "det noun verb det noun prep det noun": the PP attaches to the
+  // object NP or the VP: 2 parses — the same ambiguity the CDG English
+  // grammar stores (tests/grammars/english_grammar_test.cpp).
+  cfg::Grammar g = grammars::make_english_cfg();
+  const cfg::CnfGrammar cnf = cfg::to_cnf(g);
+  EXPECT_EQ(cfg::cyk_count_parses(
+                cnf, g.encode("det noun verb det noun prep det noun")),
+            2u);
+  // Two PPs: 2 attachment points each with nesting: 5 parses
+  // (Catalan-style growth).
+  EXPECT_EQ(cfg::cyk_count_parses(
+                cnf, g.encode(
+                         "det noun verb det noun prep det noun prep det noun")),
+            5u);
+}
+
+TEST(CykCount, SaturatesAtLimit) {
+  cfg::Grammar g = grammars::make_paren_grammar();
+  const cfg::CnfGrammar cnf = cfg::to_cnf(g);
+  std::vector<int> w;
+  for (int i = 0; i < 12; ++i) {
+    w.push_back(g.terminal("("));
+    w.push_back(g.terminal(")"));
+  }
+  // Catalan(11) = 58786 > limit 100: count clamps at the limit.
+  EXPECT_EQ(cfg::cyk_count_parses(cnf, w, 100), 100u);
+}
+
+}  // namespace

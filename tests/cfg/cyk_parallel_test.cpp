@@ -1,0 +1,105 @@
+// Mesh (cellular automaton) and P-RAM CYK: agreement with sequential
+// CYK plus the step-count shapes of Figure 8's CFG column.
+#include <gtest/gtest.h>
+
+#include "cfg/cyk.h"
+#include "cfg/cyk_mesh.h"
+#include "cfg/cyk_pram.h"
+#include "grammars/cfg_workloads.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace parsec;
+using cfg::CnfGrammar;
+using cfg::to_cnf;
+
+class ParallelCyk : public ::testing::Test {
+ protected:
+  void agree_on_samples(const cfg::Grammar& g, int samples) {
+    CnfGrammar cnf = to_cnf(g);
+    util::Rng rng(5);
+    int done = 0;
+    for (int i = 0; i < samples * 4 && done < samples; ++i) {
+      auto w = grammars::sample_string(g, rng, 12);
+      if (!w) continue;
+      ++done;
+      const bool ref = cfg::cyk_recognize(cnf, *w);
+      EXPECT_EQ(cfg::mesh_cyk_recognize(cnf, *w).accepted, ref);
+      EXPECT_EQ(cfg::pram_cyk_recognize(cnf, *w).accepted, ref);
+      // Mutate one terminal; all three must still agree.
+      std::vector<int> bad = *w;
+      bad[rng.next_below(bad.size())] =
+          static_cast<int>(rng.next_below(g.num_terminals()));
+      const bool ref_bad = cfg::cyk_recognize(cnf, bad);
+      EXPECT_EQ(cfg::mesh_cyk_recognize(cnf, bad).accepted, ref_bad);
+      EXPECT_EQ(cfg::pram_cyk_recognize(cnf, bad).accepted, ref_bad);
+    }
+    EXPECT_GE(done, samples / 2);
+  }
+};
+
+TEST_F(ParallelCyk, AgreeOnParens) {
+  agree_on_samples(grammars::make_paren_grammar(), 30);
+}
+
+TEST_F(ParallelCyk, AgreeOnExpressions) {
+  agree_on_samples(grammars::make_expr_grammar(), 30);
+}
+
+TEST_F(ParallelCyk, AgreeOnEnglishCfg) {
+  agree_on_samples(grammars::make_english_cfg(), 30);
+}
+
+TEST_F(ParallelCyk, MeshWavesAreLinear) {
+  // Kosaraju's bound: O(n) automaton steps on O(n^2) cells; our
+  // schedule runs exactly 2n - 1 waves.
+  cfg::Grammar g = grammars::make_paren_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  for (int pairs : {2, 4, 8}) {
+    std::vector<int> w;
+    for (int i = 0; i < pairs; ++i) {
+      w.push_back(g.terminal("("));
+      w.push_back(g.terminal(")"));
+    }
+    const auto r = cfg::mesh_cyk_recognize(cnf, w);
+    const int n = 2 * pairs;
+    EXPECT_TRUE(r.accepted);
+    EXPECT_EQ(r.waves, static_cast<std::uint64_t>(2 * n - 1));
+    EXPECT_EQ(r.cells, static_cast<std::uint64_t>(n) * n);
+  }
+}
+
+TEST_F(ParallelCyk, PramRoundsLogOnBalancedLinearOnLeftRecursive) {
+  // Balanced parentheses nest like a tree: rounds grow ~log n.
+  cfg::Grammar paren = grammars::make_paren_grammar();
+  CnfGrammar paren_cnf = to_cnf(paren);
+  std::vector<int> flat;
+  for (int i = 0; i < 16; ++i) {
+    flat.push_back(paren.terminal("("));
+    flat.push_back(paren.terminal(")"));
+  }
+  const auto balanced = cfg::pram_cyk_recognize(paren_cnf, flat);
+  EXPECT_TRUE(balanced.accepted);
+  EXPECT_LE(balanced.rounds, 8u);  // ~log2(32) + constant
+
+  // Left-recursive chains force one new span length per round.
+  cfg::Grammar expr = grammars::make_expr_grammar();
+  CnfGrammar expr_cnf = to_cnf(expr);
+  std::vector<int> chain{expr.terminal("id")};
+  for (int i = 0; i < 12; ++i) {
+    chain.push_back(expr.terminal("+"));
+    chain.push_back(expr.terminal("id"));
+  }
+  const auto linear = cfg::pram_cyk_recognize(expr_cnf, chain);
+  EXPECT_TRUE(linear.accepted);
+  EXPECT_GT(linear.rounds, 10u);
+}
+
+TEST_F(ParallelCyk, EmptyWord) {
+  CnfGrammar cnf = to_cnf(grammars::make_paren_grammar());
+  EXPECT_FALSE(cfg::mesh_cyk_recognize(cnf, {}).accepted);
+  EXPECT_FALSE(cfg::pram_cyk_recognize(cnf, {}).accepted);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "cfg/cyk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "grammars/cfg_workloads.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace parsec;
+using cfg::CnfGrammar;
+using cfg::cyk_count_parses;
+using cfg::cyk_recognize;
+using cfg::to_cnf;
+
+bool balanced(const std::vector<int>& w, int open, int close) {
+  int depth = 0;
+  for (int t : w) {
+    depth += (t == open) ? 1 : (t == close ? -1 : 0);
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !w.empty();
+}
+
+TEST(Cyk, BalancedParensAgainstReference) {
+  cfg::Grammar g = grammars::make_paren_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  const int open = g.terminal("(");
+  const int close = g.terminal(")");
+  // Every word over {(, )} of length <= 10.
+  for (int len = 1; len <= 10; ++len) {
+    for (int mask = 0; mask < (1 << len); ++mask) {
+      std::vector<int> w;
+      for (int i = 0; i < len; ++i)
+        w.push_back((mask >> i) & 1 ? open : close);
+      EXPECT_EQ(cyk_recognize(cnf, w), balanced(w, open, close))
+          << "len=" << len << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Cyk, PalindromesAgainstReference) {
+  cfg::Grammar g = grammars::make_palindrome_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  const int a = g.terminal("a");
+  const int b = g.terminal("b");
+  for (int len = 1; len <= 12; ++len) {
+    for (int mask = 0; mask < (1 << len); ++mask) {
+      std::vector<int> w;
+      for (int i = 0; i < len; ++i) w.push_back((mask >> i) & 1 ? a : b);
+      std::vector<int> rev(w.rbegin(), w.rend());
+      EXPECT_EQ(cyk_recognize(cnf, w), w == rev) << len << ":" << mask;
+    }
+  }
+}
+
+TEST(Cyk, ExpressionsAgainstEnumeratedLanguage) {
+  cfg::Grammar g = grammars::make_expr_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  const auto lang = cfg::enumerate_language(g, 7);
+  ASSERT_FALSE(lang.empty());
+  std::set<std::vector<int>> in_lang(lang.begin(), lang.end());
+  for (const auto& w : lang) EXPECT_TRUE(cyk_recognize(cnf, w));
+  // Random perturbations that fall outside the enumerated set of the
+  // same length must be rejected.
+  util::Rng rng(3);
+  int checked = 0;
+  for (const auto& w : lang) {
+    if (w.size() < 2 || checked > 200) continue;
+    std::vector<int> bad = w;
+    bad[rng.next_below(bad.size())] =
+        static_cast<int>(rng.next_below(g.num_terminals()));
+    if (in_lang.count(bad)) continue;
+    EXPECT_FALSE(cyk_recognize(cnf, bad));
+    ++checked;
+  }
+  EXPECT_GT(checked, 30);
+}
+
+TEST(Cyk, EmptyWordRejected) {
+  CnfGrammar cnf = to_cnf(grammars::make_paren_grammar());
+  EXPECT_FALSE(cyk_recognize(cnf, {}));
+}
+
+TEST(Cyk, CountParsesAmbiguity) {
+  // "( ) ( ) ( )" has two S -> S S bracketings: (AB)C and A(BC).
+  cfg::Grammar g = grammars::make_paren_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  const auto w = g.encode("( ) ( ) ( )");
+  EXPECT_TRUE(cyk_recognize(cnf, w));
+  EXPECT_EQ(cyk_count_parses(cnf, w), 2u);
+  // "( )" is unambiguous.
+  EXPECT_EQ(cyk_count_parses(cnf, g.encode("( )")), 1u);
+  // Rejected strings have zero parses.
+  EXPECT_EQ(cyk_count_parses(cnf, g.encode(") (")), 0u);
+}
+
+TEST(Cyk, SamplerProducesMembers) {
+  util::Rng rng(17);
+  for (auto make : {grammars::make_paren_grammar, grammars::make_expr_grammar,
+                    grammars::make_english_cfg}) {
+    cfg::Grammar g = make();
+    CnfGrammar cnf = to_cnf(g);
+    int produced = 0;
+    for (int i = 0; i < 50; ++i) {
+      auto w = grammars::sample_string(g, rng, 14);
+      if (!w) continue;
+      ++produced;
+      EXPECT_TRUE(cyk_recognize(cnf, *w)) << i;
+    }
+    EXPECT_GT(produced, 10);
+  }
+}
+
+TEST(Cyk, SampleStringOfExactLength) {
+  util::Rng rng(29);
+  cfg::Grammar g = grammars::make_english_cfg();
+  CnfGrammar cnf = to_cnf(g);
+  for (std::size_t len : {3u, 5u, 8u, 12u}) {
+    auto w = grammars::sample_string_of_length(g, rng, len, /*retries=*/3000);
+    ASSERT_TRUE(w.has_value()) << len;
+    EXPECT_EQ(w->size(), len);
+    EXPECT_TRUE(cyk_recognize(cnf, *w));
+  }
+}
+
+TEST(Cyk, StatsCountRuleApplications) {
+  cfg::Grammar g = grammars::make_paren_grammar();
+  CnfGrammar cnf = to_cnf(g);
+  cfg::CykStats s4, s8;
+  cyk_recognize(cnf, g.encode("( ) ( )"), &s4);
+  cyk_recognize(cnf, g.encode("( ) ( ) ( ) ( )"), &s8);
+  // O(n^3): doubling n multiplies work by ~8.
+  EXPECT_GT(s8.rule_applications, 5 * s4.rule_applications);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Beyond-CFG expressivity (paper §1.5): the CDG grammar for a^n b^n c^n
+// accepts exactly that non-context-free language.
+#include "grammars/anbncn_grammar.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/extract.h"
+#include "cdg/parser.h"
+
+namespace {
+
+using namespace parsec;
+
+class AnbncnTest : public ::testing::Test {
+ protected:
+  AnbncnTest()
+      : bundle_(grammars::make_anbncn_grammar()), parser_(bundle_.grammar) {}
+
+  bool accepts(const std::vector<std::string>& words) {
+    cdg::Network net = parser_.make_network(bundle_.lexicon.tag(words));
+    parser_.parse(net);
+    // Exact acceptance: a complete consistent assignment must exist
+    // (nonempty domains alone are only a necessary condition).
+    return cdg::has_parse(net);
+  }
+
+  static bool is_anbncn(const std::vector<std::string>& w) {
+    const std::size_t n = w.size();
+    if (n % 3 != 0 || n == 0) return false;
+    const std::size_t k = n / 3;
+    for (std::size_t i = 0; i < n; ++i) {
+      const char* want = i < k ? "a" : (i < 2 * k ? "b" : "c");
+      if (w[i] != want) return false;
+    }
+    return true;
+  }
+
+  grammars::CdgBundle bundle_;
+  cdg::SequentialParser parser_;
+};
+
+TEST_F(AnbncnTest, AcceptsTheLanguage) {
+  for (int n = 1; n <= 5; ++n) {
+    std::vector<std::string> w;
+    for (int i = 0; i < n; ++i) w.push_back("a");
+    for (int i = 0; i < n; ++i) w.push_back("b");
+    for (int i = 0; i < n; ++i) w.push_back("c");
+    EXPECT_TRUE(accepts(w)) << "n=" << n;
+  }
+}
+
+TEST_F(AnbncnTest, ExhaustiveUpToLength6) {
+  // Every string over {a,b,c} of length 1..6: acceptance iff a^k b^k c^k.
+  for (int len = 1; len <= 6; ++len) {
+    int count = 1;
+    for (int i = 0; i < len; ++i) count *= 3;
+    for (int code = 0; code < count; ++code) {
+      std::vector<std::string> w;
+      int c = code;
+      for (int i = 0; i < len; ++i, c /= 3)
+        w.push_back(c % 3 == 0 ? "a" : (c % 3 == 1 ? "b" : "c"));
+      EXPECT_EQ(accepts(w), is_anbncn(w))
+          << "len=" << len << " code=" << code;
+    }
+  }
+}
+
+TEST_F(AnbncnTest, TargetedLongerCases) {
+  auto split = [](const std::string& s) {
+    std::vector<std::string> w;
+    for (char c : s)
+      if (c != ' ') w.push_back(std::string(1, c));
+    return w;
+  };
+  EXPECT_TRUE(accepts(split("aaaabbbbcccc")));
+  EXPECT_FALSE(accepts(split("aaaabbbcccc")));   // 4-3-4
+  EXPECT_FALSE(accepts(split("aaabbbbccc")));    // 3-4-3
+  EXPECT_FALSE(accepts(split("abcabcabc")));     // interleaved
+  EXPECT_FALSE(accepts(split("cccbbbaaa")));     // reversed blocks
+  EXPECT_FALSE(accepts(split("aaabbbccca")));    // trailing a
+}
+
+TEST_F(AnbncnTest, ParseIsUniqueAndOrderPreserving) {
+  // Order constraints pin the matching: a_i -> b_i -> c_i.
+  cdg::Network net = parser_.make_network(
+      bundle_.lexicon.tag({"a", "a", "a", "b", "b", "b", "c", "c", "c"}));
+  parser_.parse(net);
+  net.filter();
+  auto parses = cdg::extract_parses(net, 10);
+  ASSERT_EQ(parses.size(), 1u);
+  const auto& g = bundle_.grammar;
+  const auto& p = parses[0];
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(p.assignment[net.role_index(i, g.role("governor"))].mod,
+              i + 3);  // a_i -> b_i
+    EXPECT_EQ(p.assignment[net.role_index(i + 3, g.role("governor"))].mod,
+              i + 6);  // b_i -> c_i
+  }
+}
+
+}  // namespace

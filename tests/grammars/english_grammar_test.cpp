@@ -1,0 +1,162 @@
+#include "grammars/english_grammar.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cdg/extract.h"
+#include "cdg/parser.h"
+#include "grammars/sentence_gen.h"
+
+namespace {
+
+using namespace parsec;
+
+class EnglishGrammarTest : public ::testing::Test {
+ protected:
+  EnglishGrammarTest()
+      : bundle_(grammars::make_english_grammar()), parser_(bundle_.grammar) {}
+
+  bool accepts(const std::string& text) {
+    cdg::Network net = parser_.make_network(bundle_.tag(text));
+    parser_.parse(net);
+    return cdg::has_parse(net);
+  }
+
+  grammars::CdgBundle bundle_;
+  cdg::SequentialParser parser_;
+};
+
+TEST_F(EnglishGrammarTest, AcceptsCoreSentences) {
+  EXPECT_TRUE(accepts("the dog runs"));
+  EXPECT_TRUE(accepts("it runs"));
+  EXPECT_TRUE(accepts("Randall parses"));
+  EXPECT_TRUE(accepts("the big dog chases the small cat"));
+  EXPECT_TRUE(accepts("the dog runs in the park"));
+  EXPECT_TRUE(accepts("the student sees the professor with the telescope"));
+  EXPECT_TRUE(accepts("every quick compiler builds a new program"));
+  EXPECT_TRUE(accepts("she likes the quiet garden near the old house"));
+  EXPECT_TRUE(accepts("the dog quickly chases the cat"));
+  EXPECT_TRUE(accepts("the dog runs quickly"));
+  EXPECT_TRUE(accepts("often she reads"));
+}
+
+TEST_F(EnglishGrammarTest, RejectsUngrammaticalSentences) {
+  EXPECT_FALSE(accepts("dog the runs"));       // det after its noun
+  EXPECT_FALSE(accepts("the dog"));            // no verb
+  EXPECT_FALSE(accepts("runs the dog"));       // subject must precede verb
+  EXPECT_FALSE(accepts("the runs dog"));       // no noun for the det... and
+                                               // no subject left of verb
+  EXPECT_FALSE(accepts("dog runs"));           // common noun needs a det
+  EXPECT_FALSE(accepts("the dog the cat"));    // two NPs, no verb
+  EXPECT_FALSE(accepts("in the park"));        // prep needs left attachment
+  EXPECT_FALSE(accepts("the dog runs the"));   // dangling det
+  EXPECT_FALSE(accepts("the big runs"));       // adj needs a noun
+  EXPECT_FALSE(accepts("quickly the dog"));    // adverb with no verb
+}
+
+TEST_F(EnglishGrammarTest, PpAttachmentIsAmbiguous) {
+  // The classic: "the student sees the professor with the telescope" —
+  // the PP attaches to the verb (instrument) or to the object noun.
+  cdg::Network net = parser_.make_network(
+      bundle_.tag("the student sees the professor with the telescope"));
+  parser_.parse(net);
+  auto parses = cdg::extract_parses(net, 10);
+  EXPECT_GE(parses.size(), 2u);
+  // The attachments differ in the PREP role value of "with" (word 6).
+  const auto& g = bundle_.grammar;
+  const int with_gov = net.role_index(6, g.role("governor"));
+  std::set<cdg::WordPos> attachments;
+  for (const auto& p : parses) attachments.insert(p.assignment[with_gov].mod);
+  EXPECT_TRUE(attachments.count(3));  // sees (verb)
+  EXPECT_TRUE(attachments.count(5));  // professor (noun)
+}
+
+TEST_F(EnglishGrammarTest, GeneratedSentencesParse) {
+  grammars::SentenceGenerator gen(bundle_, 7);
+  for (int n = 2; n <= 20; ++n) {
+    cdg::Sentence s = gen.generate_sentence(n);
+    ASSERT_EQ(s.size(), n);
+    cdg::Network net = parser_.make_network(s);
+    parser_.parse(net);
+    std::string text;
+    for (const auto& w : s.words) text += w + " ";
+    EXPECT_TRUE(cdg::has_parse(net)) << "n=" << n << ": " << text;
+  }
+}
+
+TEST_F(EnglishGrammarTest, ProjectivityVariantStillAcceptsGenerated) {
+  grammars::EnglishOptions opt;
+  opt.projectivity = true;
+  auto proj = grammars::make_english_grammar(opt);
+  cdg::SequentialParser pparser(proj.grammar);
+  grammars::SentenceGenerator gen(proj, 11);
+  for (int n : {3, 6, 9, 12, 15}) {
+    cdg::Sentence s = gen.generate_sentence(n);
+    cdg::Network net = pparser.make_network(s);
+    pparser.parse(net);
+    EXPECT_TRUE(cdg::has_parse(net)) << n;
+  }
+  EXPECT_EQ(proj.grammar.num_constraints(),
+            bundle_.grammar.num_constraints() + 1);
+}
+
+TEST_F(EnglishGrammarTest, ProjectivityPrunesCrossingParses) {
+  // Every parse surviving the projectivity constraint must have no
+  // crossing governor links.
+  grammars::EnglishOptions opt;
+  opt.projectivity = true;
+  auto proj = grammars::make_english_grammar(opt);
+  cdg::SequentialParser pparser(proj.grammar);
+  const auto& g = proj.grammar;
+  cdg::Network net = pparser.make_network(
+      proj.tag("the student sees the professor with the telescope"));
+  pparser.parse(net);
+  auto parses = cdg::extract_parses(net, 50);
+  ASSERT_FALSE(parses.empty());
+  for (const auto& p : parses) {
+    std::vector<std::pair<int, int>> spans;
+    for (int w = 1; w <= net.n(); ++w) {
+      const auto rv = p.assignment[net.role_index(w, g.role("governor"))];
+      if (rv.mod == cdg::kNil) continue;
+      spans.emplace_back(std::min<int>(w, rv.mod), std::max<int>(w, rv.mod));
+    }
+    for (std::size_t i = 0; i < spans.size(); ++i)
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const auto [l1, r1] = spans[i];
+        const auto [l2, r2] = spans[j];
+        const bool crossing =
+            (l1 < l2 && l2 < r1 && r1 < r2) || (l2 < l1 && l1 < r2 && r2 < r1);
+        EXPECT_FALSE(crossing) << l1 << "-" << r1 << " x " << l2 << "-" << r2;
+      }
+  }
+}
+
+TEST_F(EnglishGrammarTest, SubjectUniqueness) {
+  // Two candidate subjects for one verb cannot both be SUBJ.
+  EXPECT_FALSE(accepts("the dog the cat runs"));
+}
+
+TEST_F(EnglishGrammarTest, ScalesToLongSentences) {
+  // A 28-word sentence: R = 56 roles, D = 12*29 = 348, ~10^5 arc-matrix
+  // bits per arc pair.  The sequential parser must stay well under a
+  // couple of seconds and still find a parse.
+  grammars::SentenceGenerator gen(bundle_, 3);
+  cdg::Sentence s = gen.generate_sentence(28);
+  cdg::Network net = parser_.make_network(s);
+  auto r = parser_.parse(net);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(cdg::has_parse(net));
+  EXPECT_EQ(net.num_roles(), 56);
+}
+
+TEST_F(EnglishGrammarTest, GrammarShape) {
+  const auto& g = bundle_.grammar;
+  EXPECT_EQ(g.num_roles(), 2);
+  // Coarse T: governor holds 8 labels, needs 4: l = 8, exactly the
+  // MasPar PE word bound (8x8 bits per PE submatrix).
+  EXPECT_EQ(g.max_labels_per_role(), 8);
+  EXPECT_GE(g.num_constraints(), 20);
+}
+
+}  // namespace

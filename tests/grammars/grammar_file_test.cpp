@@ -1,0 +1,50 @@
+// Tests against the shipped grammar file (grammars/toy.cdg): the file
+// must stay loadable and behaviourally identical to the built-in toy
+// grammar.
+#include <gtest/gtest.h>
+
+#include "cdg/parser.h"
+#include "grammars/grammar_io.h"
+#include "grammars/toy_grammar.h"
+
+#ifndef PARSEC_SOURCE_DIR
+#define PARSEC_SOURCE_DIR "."
+#endif
+
+namespace {
+
+using namespace parsec;
+
+TEST(GrammarFile, ShippedToyGrammarLoads) {
+  auto bundle = grammars::load_cdg_bundle_file(
+      std::string(PARSEC_SOURCE_DIR) + "/grammars/toy.cdg");
+  EXPECT_EQ(bundle.grammar.num_labels(), 6);
+  EXPECT_EQ(bundle.grammar.num_roles(), 2);
+  EXPECT_EQ(bundle.grammar.num_constraints(), 10);
+  EXPECT_TRUE(bundle.lexicon.contains("program"));
+}
+
+TEST(GrammarFile, MatchesBuiltinToyGrammarBehaviour) {
+  auto file = grammars::load_cdg_bundle_file(
+      std::string(PARSEC_SOURCE_DIR) + "/grammars/toy.cdg");
+  auto builtin = grammars::make_toy_grammar();
+  cdg::SequentialParser pf(file.grammar), pb(builtin.grammar);
+  for (const char* text :
+       {"The program runs", "A dog halts", "program The runs",
+        "The program", "runs", "The dog crashes"}) {
+    // Words present in both lexicons only.
+    bool known = true;
+    for (const auto& w : grammars::split_words(text))
+      if (!file.lexicon.contains(w) || !builtin.lexicon.contains(w))
+        known = false;
+    if (!known) continue;
+    cdg::Network nf = pf.make_network(file.tag(text));
+    cdg::Network nb = pb.make_network(builtin.tag(text));
+    auto rf = pf.parse(nf);
+    auto rb = pb.parse(nb);
+    EXPECT_EQ(rf.accepted, rb.accepted) << text;
+    EXPECT_EQ(rf.alive_role_values, rb.alive_role_values) << text;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include "grammars/grammar_io.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/extract.h"
+#include "cdg/parser.h"
+#include "grammars/anbncn_grammar.h"
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+
+namespace {
+
+using namespace parsec;
+using grammars::CdgBundle;
+using grammars::GrammarIoError;
+using grammars::load_cdg_bundle;
+using grammars::save_cdg_bundle;
+
+const char* kToyFile = R"((grammar
+  (categories det noun verb)
+  (labels SUBJ NP ROOT S DET BLANK)
+  (roles governor needs)
+  (table (governor SUBJ ROOT DET)
+         (needs NP S BLANK))
+  (constraint verbs-are-roots
+    (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+        (and (eq (lab x) ROOT) (eq (mod x) nil))))
+  (constraint subj-left-of-root
+    (if (and (eq (lab x) SUBJ) (eq (lab y) ROOT))
+        (and (eq (mod x) (pos y)) (lt (pos x) (pos y))))))
+(lexicon
+  (the det)
+  (dog noun)
+  (runs verb)
+  (run verb noun))
+)";
+
+TEST(GrammarIo, LoadsHandWrittenFile) {
+  CdgBundle b = load_cdg_bundle(kToyFile);
+  const auto& g = b.grammar;
+  EXPECT_EQ(g.num_categories(), 3);
+  EXPECT_EQ(g.num_labels(), 6);
+  EXPECT_EQ(g.num_roles(), 2);
+  EXPECT_EQ(g.unary_constraints().size(), 1u);
+  EXPECT_EQ(g.binary_constraints().size(), 1u);
+  EXPECT_EQ(g.unary_constraints()[0].name, "verbs-are-roots");
+  EXPECT_TRUE(g.label_allowed_any_cat(g.role("governor"), g.label("SUBJ")));
+  EXPECT_FALSE(g.label_allowed_any_cat(g.role("governor"), g.label("NP")));
+  EXPECT_TRUE(b.lexicon.contains("dog"));
+  // Multi-category entry keeps preferred order.
+  EXPECT_EQ(b.lexicon.categories("run")[0], g.category("verb"));
+  EXPECT_EQ(b.lexicon.categories("run")[1], g.category("noun"));
+}
+
+TEST(GrammarIo, LoadedGrammarParses) {
+  CdgBundle b = load_cdg_bundle(kToyFile);
+  cdg::SequentialParser p(b.grammar);
+  cdg::Network net = p.make_network(b.tag("the dog runs"));
+  EXPECT_TRUE(p.parse(net).accepted);
+}
+
+class GrammarIoRoundTrip
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GrammarIoRoundTrip, SaveLoadPreservesBehaviour) {
+  const std::string which = GetParam();
+  CdgBundle original = which == "toy"       ? grammars::make_toy_grammar()
+                       : which == "english" ? grammars::make_english_grammar()
+                                            : grammars::make_anbncn_grammar();
+  const std::string text = save_cdg_bundle(original);
+  CdgBundle loaded = load_cdg_bundle(text);
+
+  // Structural identity.
+  EXPECT_EQ(loaded.grammar.num_categories(),
+            original.grammar.num_categories());
+  EXPECT_EQ(loaded.grammar.num_labels(), original.grammar.num_labels());
+  EXPECT_EQ(loaded.grammar.num_roles(), original.grammar.num_roles());
+  EXPECT_EQ(loaded.grammar.num_constraints(),
+            original.grammar.num_constraints());
+  EXPECT_EQ(loaded.lexicon.size(), original.lexicon.size());
+  for (cdg::RoleId r = 0; r < original.grammar.num_roles(); ++r)
+    EXPECT_EQ(loaded.grammar.labels_for_role(r),
+              original.grammar.labels_for_role(r));
+
+  // Saving the loaded bundle is a fixpoint.
+  EXPECT_EQ(save_cdg_bundle(loaded), text);
+
+  // Behavioural identity on a sentence pool.
+  std::vector<std::vector<std::string>> pool;
+  if (which == "toy") {
+    pool = {{"The", "program", "runs"}, {"program", "The", "runs"},
+            {"A", "dog", "halts"}};
+  } else if (which == "english") {
+    grammars::SentenceGenerator gen(original, 17);
+    for (int n : {3, 6, 9}) pool.push_back(gen.generate(n));
+    pool.push_back({"dog", "the", "runs"});
+  } else {
+    pool = {{"a", "b", "c"}, {"a", "a", "b", "b", "c", "c"},
+            {"a", "b", "b", "c"}};
+  }
+  cdg::SequentialParser po(original.grammar), pl(loaded.grammar);
+  for (const auto& words : pool) {
+    cdg::Network no = po.make_network(original.lexicon.tag(words));
+    cdg::Network nl = pl.make_network(loaded.lexicon.tag(words));
+    auto ro = po.parse(no);
+    auto rl = pl.parse(nl);
+    EXPECT_EQ(ro.accepted, rl.accepted);
+    EXPECT_EQ(ro.alive_role_values, rl.alive_role_values);
+    for (int r = 0; r < no.num_roles(); ++r)
+      EXPECT_EQ(no.domain(r), nl.domain(r)) << "role " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bundles, GrammarIoRoundTrip,
+                         ::testing::Values("toy", "english", "anbncn"));
+
+TEST(GrammarIo, RejectsMalformedInput) {
+  EXPECT_THROW(load_cdg_bundle("(nonsense)"), GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle("(lexicon (a b))"), GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle("(grammar (bogus-clause 1))"),
+               GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle("(grammar (table (nosuchrole X)))"),
+               GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle(
+                   "(grammar (roles governor) (labels A) "
+                   "(constraint c (if (eq (lab x) NOPE) (eq (mod x) nil))))"),
+               GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle("(grammar (categories c)) (lexicon (w d))"),
+               GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle("((("), GrammarIoError);
+  EXPECT_THROW(load_cdg_bundle(""), GrammarIoError);
+}
+
+TEST(GrammarIo, FileNotFound) {
+  EXPECT_THROW(grammars::load_cdg_bundle_file("/nonexistent/grammar.cdg"),
+               GrammarIoError);
+}
+
+TEST(GrammarIo, CommentsAllowed) {
+  CdgBundle b = load_cdg_bundle(
+      "; a CDG grammar\n(grammar (categories c) (labels L) (roles r)\n"
+      "  (table (r L)))\n(lexicon (w c)) ; entry\n");
+  EXPECT_EQ(b.grammar.num_categories(), 1);
+  EXPECT_TRUE(b.lexicon.contains("w"));
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#include "grammars/sentence_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace parsec;
+
+class SentenceGenTest : public ::testing::Test {
+ protected:
+  SentenceGenTest() : bundle_(grammars::make_english_grammar()) {}
+  grammars::CdgBundle bundle_;
+};
+
+TEST_F(SentenceGenTest, HitsExactTargetLength) {
+  grammars::SentenceGenerator gen(bundle_, 1);
+  for (int n = 2; n <= 30; ++n) {
+    for (int trial = 0; trial < 5; ++trial)
+      EXPECT_EQ(static_cast<int>(gen.generate(n).size()), n) << n;
+  }
+}
+
+TEST_F(SentenceGenTest, AllWordsInLexicon) {
+  grammars::SentenceGenerator gen(bundle_, 2);
+  for (int n : {2, 5, 9, 14, 21}) {
+    for (const auto& w : gen.generate(n))
+      EXPECT_TRUE(bundle_.lexicon.contains(w)) << w;
+  }
+}
+
+TEST_F(SentenceGenTest, DeterministicPerSeed) {
+  grammars::SentenceGenerator a(bundle_, 99), b(bundle_, 99), c(bundle_, 100);
+  bool any_diff = false;
+  for (int n : {4, 8, 12}) {
+    const auto wa = a.generate(n);
+    EXPECT_EQ(wa, b.generate(n));
+    if (wa != c.generate(n)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(SentenceGenTest, RejectsTinyTargets) {
+  grammars::SentenceGenerator gen(bundle_, 3);
+  EXPECT_THROW(gen.generate(1), std::invalid_argument);
+  EXPECT_THROW(gen.generate(0), std::invalid_argument);
+}
+
+TEST_F(SentenceGenTest, RequiresEnglishBundle) {
+  auto toy = grammars::make_toy_grammar();
+  EXPECT_THROW(grammars::SentenceGenerator gen(toy), std::invalid_argument);
+}
+
+TEST_F(SentenceGenTest, TaggedFormMatchesWords) {
+  grammars::SentenceGenerator gen(bundle_, 4);
+  cdg::Sentence s = gen.generate_sentence(10);
+  EXPECT_EQ(s.size(), 10);
+  for (int p = 1; p <= 10; ++p)
+    EXPECT_EQ(s.cat_at(p),
+              bundle_.lexicon.categories(s.word_at(p)).front());
+}
+
+}  // namespace

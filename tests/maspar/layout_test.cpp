@@ -1,0 +1,160 @@
+// PE-allocation golden tests against Figures 11 and 13.
+#include "maspar/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+using maspar::Layout;
+
+class LayoutFig11 : public ::testing::Test {
+ protected:
+  LayoutFig11()
+      : bundle_(grammars::make_toy_grammar()),
+        sentence_(bundle_.tag("The program runs")),
+        layout_(bundle_.grammar, sentence_) {}
+
+  grammars::CdgBundle bundle_;
+  cdg::Sentence sentence_;
+  Layout layout_;
+};
+
+TEST_F(LayoutFig11, TotalIs324Pes) {
+  // "324 PEs total" for the 3-word example (Fig. 11).
+  EXPECT_EQ(layout_.vpes(), 324);
+  EXPECT_EQ(layout_.num_roles(), 6);
+  EXPECT_EQ(layout_.mods_per_word(), 3);
+  EXPECT_EQ(layout_.labels_per_role(), 3);
+}
+
+TEST_F(LayoutFig11, WordAndRolePartitions) {
+  // "The: PEs 0 thru 107, program: 108 thru 215, runs: 216 thru 323",
+  // each word's block split in half per role (54 PEs per role).
+  // Word of role a: roles 0,1 belong to "The", etc.; each role owns
+  // M * R * M = 3*6*3 = 54 contiguous PEs.
+  for (int a = 0; a < 6; ++a) {
+    const int lo = layout_.vpe(a, 0, 0, 0);
+    const int hi = layout_.vpe(a, 2, 5, 2);
+    EXPECT_EQ(lo, a * 54);
+    EXPECT_EQ(hi, a * 54 + 53);
+  }
+}
+
+TEST_F(LayoutFig11, Pe9To11HoldTheGovernorNilVsProgramNeeds) {
+  // Paper: "Consider processor number 9 ... The column role values for
+  // processor 9 belong to the word the, the role for the column role
+  // values is governor, and their modifiee value is nil.  The row role
+  // values' word is program and their role is needs."
+  // In our orientation role a owns the segment, so PE 9's *segment*
+  // side is The/governor/nil and its partner side is program/needs.
+  for (int pe = 9; pe <= 11; ++pe) {
+    const auto c = layout_.coord(pe);
+    EXPECT_EQ(c.a, 0) << pe;                             // The, governor
+    EXPECT_EQ(layout_.word_of_role(c.a), 1) << pe;
+    EXPECT_EQ(bundle_.grammar.role_name(layout_.role_id_of(c.a)),
+              "governor");
+    EXPECT_EQ(c.mx, 0) << pe;                            // modifiee nil
+    EXPECT_EQ(layout_.mods_of_word(1)[c.mx], cdg::kNil);
+    EXPECT_EQ(layout_.word_of_role(c.b), 2) << pe;       // program
+    EXPECT_EQ(bundle_.grammar.role_name(layout_.role_id_of(c.b)), "needs");
+  }
+}
+
+TEST_F(LayoutFig11, DiagonalPesDisabledFromStart) {
+  // "processors 0, 1, and 2 are disabled... they represent an arc from
+  // a role to itself."
+  EXPECT_TRUE(layout_.diagonal(0));
+  EXPECT_TRUE(layout_.diagonal(1));
+  EXPECT_TRUE(layout_.diagonal(2));
+  EXPECT_FALSE(layout_.diagonal(3));
+  int disabled = 0;
+  for (int pe = 0; pe < layout_.vpes(); ++pe)
+    if (layout_.diagonal(pe)) ++disabled;
+  // R blocks of M*M diagonal PEs: 6 * 9 = 54.
+  EXPECT_EQ(disabled, 54);
+}
+
+TEST_F(LayoutFig11, VpeCoordRoundTrip) {
+  for (int pe = 0; pe < layout_.vpes(); ++pe) {
+    const auto c = layout_.coord(pe);
+    EXPECT_EQ(layout_.vpe(c.a, c.mx, c.b, c.my), pe);
+  }
+}
+
+TEST_F(LayoutFig11, PartnerIsInvolutionAcrossBlocks) {
+  for (int pe = 0; pe < layout_.vpes(); ++pe) {
+    const int p = layout_.partner(pe);
+    EXPECT_EQ(layout_.partner(p), pe);
+    const auto c = layout_.coord(pe);
+    const auto cp = layout_.coord(p);
+    EXPECT_EQ(c.a, cp.b);
+    EXPECT_EQ(c.mx, cp.my);
+    EXPECT_EQ(c.b, cp.a);
+    EXPECT_EQ(c.my, cp.mx);
+  }
+}
+
+TEST_F(LayoutFig11, SegmentsAreContiguous) {
+  // Both scan segments must be runs of consecutive PEs.
+  int prev_arc = -1, prev_slot = -1;
+  std::set<int> seen_arc, seen_slot;
+  for (int pe = 0; pe < layout_.vpes(); ++pe) {
+    const int sa = layout_.seg_arc(pe);
+    const int ss = layout_.seg_role_slot(pe);
+    if (sa != prev_arc) {
+      EXPECT_TRUE(seen_arc.insert(sa).second) << "arc segment split";
+      prev_arc = sa;
+    }
+    if (ss != prev_slot) {
+      EXPECT_TRUE(seen_slot.insert(ss).second) << "slot segment split";
+      prev_slot = ss;
+    }
+  }
+  // R*M*R arc segments of length M; R*M slot segments of length R*M.
+  EXPECT_EQ(seen_arc.size(), 6u * 3u * 6u);
+  EXPECT_EQ(seen_slot.size(), 6u * 3u);
+}
+
+TEST_F(LayoutFig11, ModSlotsNilFirstThenAscending) {
+  EXPECT_EQ(layout_.mods_of_word(1),
+            (std::vector<cdg::WordPos>{cdg::kNil, 2, 3}));
+  EXPECT_EQ(layout_.mods_of_word(2),
+            (std::vector<cdg::WordPos>{cdg::kNil, 1, 3}));
+  EXPECT_EQ(layout_.mods_of_word(3),
+            (std::vector<cdg::WordPos>{cdg::kNil, 1, 2}));
+  EXPECT_EQ(layout_.mod_slot(2, 3), 2);
+  EXPECT_EQ(layout_.mod_slot(2, 2), -1);  // self-modification
+}
+
+TEST_F(LayoutFig11, LabelSlots) {
+  const auto& g = bundle_.grammar;
+  const auto gov = g.role("governor");
+  // Governor's T-allowed labels in label-id order: SUBJ, ROOT, DET.
+  EXPECT_EQ(layout_.labels_of(gov).size(), 3u);
+  EXPECT_EQ(layout_.label_slot(gov, g.label("SUBJ")), 0);
+  EXPECT_EQ(layout_.label_slot(gov, g.label("ROOT")), 1);
+  EXPECT_EQ(layout_.label_slot(gov, g.label("DET")), 2);
+  EXPECT_EQ(layout_.label_slot(gov, g.label("NP")), -1);
+}
+
+TEST(LayoutScaling, PeCountIsQsqNto4) {
+  // O(n^4) PEs: for q = 2 roles, exactly 4 n^4.
+  auto bundle = grammars::make_toy_grammar();
+  for (int n : {1, 2, 4, 7, 10}) {
+    std::vector<std::string> words;
+    for (int i = 0; i < n; ++i)
+      words.push_back(i % 3 == 0 ? "The" : (i % 3 == 1 ? "dog" : "runs"));
+    cdg::Sentence s = bundle.lexicon.tag(words);
+    Layout layout(bundle.grammar, s);
+    EXPECT_EQ(layout.vpes(), 4 * n * n * n * n) << n;
+  }
+  // The paper: 16K PEs suffice for a typical 10-word sentence (40,000
+  // virtual PEs at virtualization factor 3).
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+#include "maspar/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "maspar/cost_model.h"
+
+namespace {
+
+using namespace parsec::maspar;
+
+TEST(MasparMachine, SimdRunsOnEnabledPes) {
+  Machine m(8, 8);
+  std::vector<int> v(8, 0);
+  m.simd(1, [&](int pe) { v[pe] = pe; });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(m.stats().plural_ops, 1u);
+}
+
+TEST(MasparMachine, EnableMaskNests) {
+  Machine m(6, 6);
+  std::vector<std::uint8_t> even{1, 0, 1, 0, 1, 0};
+  std::vector<std::uint8_t> low{1, 1, 1, 0, 0, 0};
+  std::vector<int> hits(6, 0);
+  {
+    Machine::EnableScope a(m, even);
+    {
+      Machine::EnableScope b(m, low);  // even AND low = {0, 2}
+      m.simd(1, [&](int pe) { ++hits[pe]; });
+    }
+    m.simd(1, [&](int pe) { ++hits[pe]; });  // evens again
+  }
+  m.simd(1, [&](int pe) { ++hits[pe]; });  // all
+  EXPECT_EQ(hits, (std::vector<int>{3, 1, 3, 1, 2, 1}));
+}
+
+TEST(MasparMachine, EnableUnderflowThrows) {
+  Machine m(2, 2);
+  EXPECT_THROW(m.pop_enable(), std::logic_error);
+  EXPECT_THROW(m.push_enable({1}), std::invalid_argument);
+}
+
+TEST(MasparMachine, SegOrBroadcastsSegmentResult) {
+  Machine m(8, 8);
+  std::vector<std::uint8_t> v{0, 1, 0, 0, 0, 0, 1, 0};
+  std::vector<int> seg{0, 0, 0, 1, 1, 2, 2, 2};
+  auto out = m.seg_or(v, seg);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 1, 1, 0, 0, 1, 1, 1}));
+  EXPECT_EQ(m.stats().scan_ops, 1u);
+}
+
+TEST(MasparMachine, SegAndRespectsIdentity) {
+  Machine m(6, 6);
+  std::vector<std::uint8_t> v{1, 1, 0, 1, 1, 1};
+  std::vector<int> seg{0, 0, 0, 1, 1, 1};
+  auto out = m.seg_and(v, seg);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(MasparMachine, DisabledPesAreTransparentToScans) {
+  Machine m(4, 4);
+  std::vector<std::uint8_t> mask{1, 0, 1, 1};
+  Machine::EnableScope s(m, mask);
+  std::vector<std::uint8_t> v{0, 1, 0, 1};  // PE1's 1 must not count
+  std::vector<int> seg{0, 0, 0, 0};
+  auto out = m.seg_or(v, seg);
+  EXPECT_EQ(out[0], 1);  // PE3 contributes
+  EXPECT_EQ(out[1], 0);  // disabled PEs receive nothing
+  std::vector<std::uint8_t> v2{1, 0, 1, 1};
+  auto out2 = m.seg_and(v2, seg);
+  EXPECT_EQ(out2[0], 1);  // PE1's 0 must not break the AND
+}
+
+TEST(MasparMachine, GatherPullsBySourceIndex) {
+  Machine m(4, 4);
+  std::vector<int> v{10, 11, 12, 13};
+  std::vector<int> from{3, 2, 1, 0};
+  auto out = m.gather(v, from);
+  EXPECT_EQ(out, (std::vector<int>{13, 12, 11, 10}));
+  EXPECT_EQ(m.stats().route_ops, 1u);
+}
+
+TEST(MasparMachine, VirtualizationFactor) {
+  EXPECT_EQ(Machine(100, 100).virt_factor(), 1);
+  EXPECT_EQ(Machine(101, 100).virt_factor(), 2);
+  EXPECT_EQ(Machine(324, 16384).virt_factor(), 1);
+  // Paper Results §3: a 10-word sentence with q=2 needs 40,000 virtual
+  // PEs on 16K physical ones: factor 3, hence 0.45 s vs 0.15 s.
+  EXPECT_EQ(Machine(40000, 16384).virt_factor(), 3);
+}
+
+TEST(MasparMachine, CostModelScalesWithVirtualization) {
+  const CostModel cm = CostModel::mp1();
+  MachineStats s;
+  s.plural_ops = 1000;
+  s.scan_ops = 10;
+  const double t1 = cm.seconds(s, 16384, 16384);
+  const double t3 = cm.seconds(s, 40000, 16384);
+  EXPECT_GT(t3, 2.5 * t1 * 0.8);
+  EXPECT_LT(t1, t3);
+}
+
+TEST(MasparMachine, XnetShiftMovesByCompassDirection) {
+  // 3x3 grid of 9 PEs holding their own ids.
+  Machine m(9, 9);
+  EXPECT_EQ(m.grid_side(), 3);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  // Pull from the west neighbour (dr=0, dc=-1).
+  auto west = m.xnet_shift(v, 0, -1, -1);
+  EXPECT_EQ(west, (std::vector<int>{-1, 0, 1, -1, 3, 4, -1, 6, 7}));
+  // Pull from the north neighbour (dr=-1).
+  auto north = m.xnet_shift(v, -1, 0, -1);
+  EXPECT_EQ(north, (std::vector<int>{-1, -1, -1, 0, 1, 2, 3, 4, 5}));
+  // Diagonal NE.
+  auto ne = m.xnet_shift(v, -1, 1, -1);
+  EXPECT_EQ(ne[3], 1);
+  EXPECT_EQ(ne[5], -1);  // off-grid to the east
+  EXPECT_EQ(m.stats().xnet_ops, 3u);
+}
+
+TEST(MasparMachine, XnetRespectsEnableMaskAndRaggedEdge) {
+  // 7 virtual PEs on a 3x3 grid: PEs 7, 8 do not exist.
+  Machine m(7, 16);
+  EXPECT_EQ(m.grid_side(), 3);
+  std::vector<int> v{10, 11, 12, 13, 14, 15, 16};
+  std::vector<std::uint8_t> mask{1, 0, 1, 1, 1, 1, 1};
+  Machine::EnableScope scope(m, mask);
+  auto east = m.xnet_shift(v, 0, 1, -1);
+  EXPECT_EQ(east[0], 11);
+  EXPECT_EQ(east[1], -1);  // disabled PE receives nothing (fill)
+  EXPECT_EQ(east[6], -1);  // neighbour would be PE 7: beyond the array
+}
+
+TEST(MasparMachine, XnetMeshReductionTakesDiameterSteps) {
+  // Row-then-column OR reduction via xnet shifts: 2*(side-1) steps —
+  // the cost the Fig. 8 mesh row and the scan ablation charge.
+  const int side = 8;
+  Machine m(side * side, side * side);
+  std::vector<std::uint8_t> v(side * side, 0);
+  v[37] = 1;
+  int steps = 0;
+  // Shift-left accumulate: after side-1 steps column 0 holds row ORs.
+  for (int i = 0; i < side - 1; ++i) {
+    auto shifted = m.xnet_shift(v, 0, 1, std::uint8_t{0});
+    for (std::size_t j = 0; j < v.size(); ++j) v[j] |= shifted[j];
+    ++steps;
+  }
+  // Shift-up accumulate on column 0.
+  for (int i = 0; i < side - 1; ++i) {
+    auto shifted = m.xnet_shift(v, 1, 0, std::uint8_t{0});
+    for (std::size_t j = 0; j < v.size(); ++j) v[j] |= shifted[j];
+    ++steps;
+  }
+  EXPECT_EQ(v[0], 1);  // the bit reached the corner
+  EXPECT_EQ(steps, 2 * (side - 1));
+  EXPECT_EQ(m.stats().xnet_ops, static_cast<std::uint64_t>(steps));
+}
+
+TEST(MasparMachine, RejectsNonPositiveSizes) {
+  EXPECT_THROW(Machine(0), std::invalid_argument);
+  EXPECT_THROW(Machine(4, 0), std::invalid_argument);
+}
+
+}  // namespace

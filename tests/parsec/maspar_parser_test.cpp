@@ -1,0 +1,191 @@
+// MasPar-engine tests: Figures 9, 10 and 12 plus network equivalence
+// with the sequential parser.
+#include "parsec/maspar_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cdg/parser.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+using cdg::RoleValue;
+using engine::MasparOptions;
+using engine::MasparParse;
+using engine::MasparParser;
+
+class MasparParserTest : public ::testing::Test {
+ protected:
+  MasparParserTest()
+      : bundle_(grammars::make_toy_grammar()),
+        sentence_(bundle_.tag("The program runs")) {}
+
+  RoleValue rv(const char* lab, cdg::WordPos mod) const {
+    return RoleValue{bundle_.grammar.label(lab), mod};
+  }
+  int role(int word, const char* name) const {
+    return (word - 1) * 2 + bundle_.grammar.role(name);
+  }
+
+  grammars::CdgBundle bundle_;
+  cdg::Sentence sentence_;
+};
+
+// Figure 9: before any constraint, the arc between the governor roles of
+// "The" and "program" holds all 9x9 ones (design decision 1: matrices
+// exist before unary propagation).
+TEST_F(MasparParserTest, Figure9_InitialMatrixAllOnes) {
+  MasparParse p(bundle_.grammar, sentence_);
+  int ones = 0;
+  for (const char* la : {"SUBJ", "ROOT", "DET"})
+    for (cdg::WordPos ma : {0, 2, 3})
+      for (const char* lb : {"SUBJ", "ROOT", "DET"})
+        for (cdg::WordPos mb : {0, 1, 3})
+          if (p.arc_entry(role(1, "governor"), rv(la, ma),
+                          role(2, "governor"), rv(lb, mb)))
+            ++ones;
+  EXPECT_EQ(ones, 81);
+  // Needs-side labels are absent from governor roles.
+  EXPECT_FALSE(p.arc_entry(role(1, "governor"), rv("NP", 2),
+                           role(2, "governor"), rv("SUBJ", 3)));
+}
+
+// Figures 10 and 12: after unary propagation and the first binary
+// constraint, the consistency-maintenance kernel (scanOr per arc,
+// scanAnd per role, router for the column side) eliminates SUBJ-1.
+TEST_F(MasparParserTest, Figure12_ScanKernelEliminatesSubj1) {
+  MasparParser parser(bundle_.grammar);
+  MasparParse p(bundle_.grammar, sentence_);
+  for (const auto& c : parser.compiled_unary()) p.apply_unary(c);
+  EXPECT_TRUE(p.supported(role(2, "governor"), rv("SUBJ", 1)));
+  p.apply_binary(parser.compiled_binary()[0]);
+  // The matrix bit of Fig. 4 is zeroed...
+  EXPECT_FALSE(p.arc_entry(role(2, "governor"), rv("SUBJ", 1),
+                           role(3, "governor"), rv("ROOT", cdg::kNil)));
+  EXPECT_TRUE(p.arc_entry(role(2, "governor"), rv("SUBJ", 3),
+                          role(3, "governor"), rv("ROOT", cdg::kNil)));
+  // ...and one scan-based consistency iteration kills SUBJ-1 (Fig. 12).
+  const auto scans_before = p.machine().stats().scan_ops;
+  const auto routes_before = p.machine().stats().route_ops;
+  EXPECT_TRUE(p.consistency_iteration());
+  EXPECT_FALSE(p.supported(role(2, "governor"), rv("SUBJ", 1)));
+  EXPECT_TRUE(p.supported(role(2, "governor"), rv("SUBJ", 3)));
+  // The kernel used the router: 2 scans + 1 gather per label slot,
+  // plus the global change-detection scan.
+  EXPECT_EQ(p.machine().stats().scan_ops - scans_before, 2u * 3u + 1u);
+  EXPECT_EQ(p.machine().stats().route_ops - routes_before, 3u);
+}
+
+// End-to-end: the MasPar engine reaches exactly the sequential
+// fixpoint on the worked example (Figs. 6-7).
+TEST_F(MasparParserTest, WorkedExampleMatchesSequential) {
+  MasparOptions opt;
+  opt.filter_iterations = -1;  // fixpoint for exact comparison
+  MasparParser parser(bundle_.grammar, opt);
+  std::unique_ptr<MasparParse> p;
+  auto result = parser.parse(sentence_, p);
+  EXPECT_TRUE(result.accepted);
+  EXPECT_EQ(result.vpes, 324);
+  EXPECT_EQ(result.virt_factor, 1);
+
+  cdg::SequentialParser seq(bundle_.grammar);
+  cdg::Network net = seq.make_network(sentence_);
+  seq.parse(net);
+  net.filter();
+
+  const auto domains = p->domains();
+  ASSERT_EQ(static_cast<int>(domains.size()), net.num_roles());
+  for (int r = 0; r < net.num_roles(); ++r)
+    EXPECT_EQ(domains[r], net.domain(r)) << "role " << r;
+}
+
+// The arc matrices themselves (not just the domains) must match the
+// sequential network at the fixpoint, on every arc.
+TEST_F(MasparParserTest, ArcMatricesMatchSequentialAtFixpoint) {
+  MasparOptions opt;
+  opt.filter_iterations = -1;
+  MasparParser parser(bundle_.grammar, opt);
+  std::unique_ptr<MasparParse> p;
+  parser.parse(sentence_, p);
+
+  cdg::SequentialParser seq(bundle_.grammar);
+  cdg::Network net = seq.make_network(sentence_);
+  seq.parse(net);
+  net.filter();
+
+  const auto& idx = net.indexer();
+  for (int a = 0; a < net.num_roles(); ++a) {
+    for (int b = a + 1; b < net.num_roles(); ++b) {
+      for (int i = 0; i < net.domain_size(); ++i) {
+        for (int j = 0; j < net.domain_size(); ++j) {
+          const RoleValue ra = idx.decode(i), rb = idx.decode(j);
+          const bool seq_bit =
+              net.arc_allows(a, i, b, j) && net.alive(a, i) &&
+              net.alive(b, j);
+          const bool mp_bit = p->arc_entry(a, ra, b, rb) &&
+                              p->supported(a, ra) && p->supported(b, rb);
+          EXPECT_EQ(mp_bit, seq_bit)
+              << "arc " << a << "-" << b << " rv " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(MasparParserTest, RejectsUngrammaticalSentence) {
+  MasparOptions opt;
+  opt.filter_iterations = -1;
+  MasparParser parser(bundle_.grammar, opt);
+  EXPECT_FALSE(parser.parse(bundle_.tag("program The runs")).accepted);
+  EXPECT_FALSE(parser.parse(bundle_.tag("runs")).accepted);
+  EXPECT_TRUE(parser.parse(bundle_.tag("A dog halts")).accepted);
+}
+
+TEST_F(MasparParserTest, BoundedFilteringStillAcceptsExample) {
+  // Design decision 5: the paper's constant iteration bound (typically
+  // fewer than 10 sweeps needed).
+  MasparOptions opt;
+  opt.filter_iterations = 10;
+  MasparParser parser(bundle_.grammar, opt);
+  auto r = parser.parse(sentence_);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_LE(r.consistency_iterations, 10);
+}
+
+TEST_F(MasparParserTest, SimulatedTimeIsPositiveAndCalibrated) {
+  MasparParser parser(bundle_.grammar);
+  auto r = parser.parse(sentence_);
+  // Results §3: the example sentence parses in ~0.15 s.  Calibration
+  // tolerance is generous; the *shape* benches pin the ratios.
+  EXPECT_GT(r.simulated_seconds, 0.01);
+  EXPECT_LT(r.simulated_seconds, 1.0);
+}
+
+TEST_F(MasparParserTest, VirtualizationKicksInAtTenWords) {
+  // 10 words -> 40,000 virtual PEs -> factor 3 on 16K (Results §3).
+  std::vector<std::string> words;
+  for (int i = 0; i < 10; ++i)
+    words.push_back(i % 3 == 0 ? "The" : (i % 3 == 1 ? "dog" : "runs"));
+  MasparParser parser(bundle_.grammar);
+  auto r = parser.parse(bundle_.lexicon.tag(words));
+  EXPECT_EQ(r.vpes, 40000);
+  EXPECT_EQ(r.virt_factor, 3);
+}
+
+TEST_F(MasparParserTest, TooManyLabelsPerRoleRejected) {
+  cdg::Grammar g;
+  auto role = g.add_role("r0");
+  g.add_role("r1");
+  for (int i = 0; i < 9; ++i)
+    g.allow_label(role, g.add_label("L" + std::to_string(i)));
+  g.add_category("c");
+  cdg::Sentence s;
+  s.words = {"w"};
+  s.cats = {0};
+  EXPECT_THROW(MasparParse(g, s), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// CRCW P-RAM engine: complexity-claim measurements (paper §2.1).
+#include "parsec/pram_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cdg/parser.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+
+class PramParserTest : public ::testing::Test {
+ protected:
+  PramParserTest() : bundle_(grammars::make_toy_grammar()) {}
+
+  cdg::Sentence repeat_sentence(int n) const {
+    std::vector<std::string> words;
+    for (int i = 0; i < n; ++i)
+      words.push_back(i % 3 == 0 ? "The" : (i % 3 == 1 ? "dog" : "runs"));
+    return bundle_.lexicon.tag(words);
+  }
+
+  grammars::CdgBundle bundle_;
+};
+
+TEST_F(PramParserTest, AcceptsWorkedExample) {
+  engine::PramParser p(bundle_.grammar);
+  cdg::SequentialParser seq(bundle_.grammar);
+  cdg::Network net = seq.make_network(bundle_.tag("The program runs"));
+  auto r = p.parse(net);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_GT(r.stats.time_steps, 0u);
+}
+
+TEST_F(PramParserTest, ProcessorsScaleAsNto4) {
+  // O(n^4) processors: the peak parallel width is the number of arc
+  // elements, Theta(q^2 n^4 p^2) with grammatical constants fixed.
+  engine::PramParser p(bundle_.grammar);
+  cdg::SequentialParser seq(bundle_.grammar);
+  std::vector<double> peaks;
+  std::vector<int> sizes{4, 8, 16};
+  for (int n : sizes) {
+    cdg::Network net = seq.make_network(repeat_sentence(n));
+    auto r = p.parse(net);
+    peaks.push_back(static_cast<double>(r.stats.max_processors));
+  }
+  // Doubling n should multiply the peak width by ~2^4 = 16 (within a
+  // factor of 2: alive-set sizes vary with propagation).
+  const double g1 = peaks[1] / peaks[0];
+  const double g2 = peaks[2] / peaks[1];
+  EXPECT_GT(g1, 8.0);
+  EXPECT_LT(g1, 32.0);
+  EXPECT_GT(g2, 8.0);
+  EXPECT_LT(g2, 32.0);
+}
+
+TEST_F(PramParserTest, TimeStepsIndependentOfSentenceLength) {
+  // O(k) time: steps depend on the constraint count and the filtering
+  // iterations, not on n.
+  engine::PramParser p(bundle_.grammar);
+  cdg::SequentialParser seq(bundle_.grammar);
+  std::vector<std::uint64_t> steps;
+  for (int n : {3, 6, 9, 12}) {
+    cdg::Network net = seq.make_network(repeat_sentence(n));
+    auto r = p.parse(net);
+    // Normalize by consistency iterations (the data-dependent part).
+    steps.push_back(r.stats.time_steps -
+                    3 * static_cast<std::uint64_t>(r.consistency_iterations));
+  }
+  for (std::size_t i = 1; i < steps.size(); ++i)
+    EXPECT_EQ(steps[i], steps[0]) << "n index " << i;
+}
+
+TEST_F(PramParserTest, MatchesSequentialOnPool) {
+  engine::PramParser p(bundle_.grammar);
+  cdg::SequentialParser seq(bundle_.grammar);
+  for (int n : {1, 2, 3, 5, 8}) {
+    cdg::Network a = seq.make_network(repeat_sentence(n));
+    cdg::Network b = seq.make_network(repeat_sentence(n));
+    auto ra = p.parse(a);
+    seq.parse(b);
+    b.filter();
+    EXPECT_EQ(ra.accepted, b.all_roles_nonempty()) << n;
+    for (int r = 0; r < a.num_roles(); ++r)
+      EXPECT_EQ(a.domain(r), b.domain(r)) << n << " role " << r;
+  }
+}
+
+TEST_F(PramParserTest, BoundedFilteringOption) {
+  engine::PramOptions opt;
+  opt.filter_iterations = 1;
+  engine::PramParser p(bundle_.grammar, opt);
+  cdg::SequentialParser seq(bundle_.grammar);
+  cdg::Network net = seq.make_network(bundle_.tag("The program runs"));
+  auto r = p.parse(net);
+  EXPECT_EQ(r.consistency_iterations, 1);
+}
+
+}  // namespace

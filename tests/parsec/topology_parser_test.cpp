@@ -1,0 +1,97 @@
+// Topology-model engine: the shapes behind the CDG column of Figure 8.
+#include "parsec/mesh_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cdg/parser.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+using engine::Topology;
+using engine::TopologyParser;
+
+class TopologyParserTest : public ::testing::Test {
+ protected:
+  TopologyParserTest() : bundle_(grammars::make_toy_grammar()) {}
+
+  cdg::Sentence repeat_sentence(int n) const {
+    std::vector<std::string> words;
+    for (int i = 0; i < n; ++i)
+      words.push_back(i % 3 == 0 ? "The" : (i % 3 == 1 ? "dog" : "runs"));
+    return bundle_.lexicon.tag(words);
+  }
+
+  std::uint64_t steps(Topology t, int n) {
+    TopologyParser p(bundle_.grammar, t);
+    cdg::SequentialParser seq(bundle_.grammar);
+    cdg::Network net = seq.make_network(repeat_sentence(n));
+    return p.parse(net).time_steps;
+  }
+
+  grammars::CdgBundle bundle_;
+};
+
+TEST_F(TopologyParserTest, PeCountsMatchFigure8) {
+  TopologyParser pram(bundle_.grammar, Topology::CrcwPram);
+  TopologyParser mesh(bundle_.grammar, Topology::Mesh2D);
+  TopologyParser tree(bundle_.grammar, Topology::TreeHypercube);
+  // q = 2 roles: PRAM has 4 n^4, mesh n^2, tree ~ 4 n^4 / log2 n.
+  EXPECT_EQ(pram.pes_for(10), 40000u);
+  EXPECT_EQ(mesh.pes_for(10), 100u);
+  const double expected_tree = 4 * 1e4 / std::log2(10.0);
+  EXPECT_NEAR(static_cast<double>(tree.pes_for(10)), expected_tree,
+              expected_tree * 0.01);
+}
+
+TEST_F(TopologyParserTest, PramStepsFlatInN) {
+  // O(k): with enough processors, steps do not grow with n (up to the
+  // data-dependent filtering iterations, identical for these repeated
+  // sentences... compare within a tolerance of a few sweeps).
+  const auto s3 = steps(Topology::CrcwPram, 3);
+  const auto s12 = steps(Topology::CrcwPram, 12);
+  EXPECT_LT(s12, s3 + 30);
+}
+
+TEST_F(TopologyParserTest, MeshStepsGrowQuadratically) {
+  // O(k + n^2): elementwise phases dominate, n^4 work on n^2 PEs.
+  const auto s4 = steps(Topology::Mesh2D, 4);
+  const auto s8 = steps(Topology::Mesh2D, 8);
+  const auto s16 = steps(Topology::Mesh2D, 16);
+  // Doubling n should roughly quadruple... the dominant term is
+  // n^4/n^2 = n^2 per constraint pass.
+  EXPECT_GT(static_cast<double>(s8) / s4, 2.5);
+  EXPECT_GT(static_cast<double>(s16) / s8, 3.0);
+  EXPECT_LT(static_cast<double>(s16) / s8, 6.0);
+}
+
+TEST_F(TopologyParserTest, TreeStepsGrowLogarithmically) {
+  // O(k + log n): far flatter than the mesh.
+  const auto s4 = steps(Topology::TreeHypercube, 4);
+  const auto s16 = steps(Topology::TreeHypercube, 16);
+  EXPECT_LT(static_cast<double>(s16) / s4, 3.0);
+  // And the mesh at n=16 is much slower than the tree at n=16.
+  EXPECT_GT(steps(Topology::Mesh2D, 16), 10 * s16);
+}
+
+TEST_F(TopologyParserTest, CellularAutomatonEqualsMeshCosts) {
+  EXPECT_EQ(steps(Topology::CellularAutomaton2D, 6),
+            steps(Topology::Mesh2D, 6));
+}
+
+TEST_F(TopologyParserTest, NetworkTransformationUnaffectedByTopology) {
+  cdg::SequentialParser seq(bundle_.grammar);
+  for (auto t : {Topology::CrcwPram, Topology::Mesh2D,
+                 Topology::TreeHypercube}) {
+    TopologyParser p(bundle_.grammar, t);
+    cdg::Network net = seq.make_network(bundle_.tag("The program runs"));
+    auto r = p.parse(net);
+    EXPECT_TRUE(r.accepted) << engine::to_string(t);
+    EXPECT_EQ(net.total_alive(), 6u) << engine::to_string(t);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "pram/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace parsec::pram;
+
+TEST(PramMachine, ForAllCountsOneStep) {
+  Machine m;
+  int hits = 0;
+  m.for_all(100, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits, 100);
+  EXPECT_EQ(m.stats().time_steps, 1u);
+  EXPECT_EQ(m.stats().max_processors, 100u);
+  EXPECT_EQ(m.stats().total_work, 100u);
+}
+
+TEST(PramMachine, PeakProcessorsIsMax) {
+  Machine m;
+  m.for_all(10, [](std::size_t) {});
+  m.for_all(1000, [](std::size_t) {});
+  m.for_all(50, [](std::size_t) {});
+  EXPECT_EQ(m.stats().time_steps, 3u);
+  EXPECT_EQ(m.stats().max_processors, 1000u);
+  EXPECT_EQ(m.stats().total_work, 1060u);
+}
+
+TEST(PramMachine, GlobalOrAndAreSingleSteps) {
+  Machine m;
+  EXPECT_TRUE(m.global_or(64, [](std::size_t i) { return i == 63; }));
+  EXPECT_FALSE(m.global_or(64, [](std::size_t) { return false; }));
+  EXPECT_TRUE(m.global_and(64, [](std::size_t) { return true; }));
+  EXPECT_FALSE(m.global_and(64, [](std::size_t i) { return i != 10; }));
+  EXPECT_EQ(m.stats().time_steps, 4u);
+}
+
+TEST(PramMachine, CommonWriteAgreementOk) {
+  Machine m(WriteMode::Common);
+  std::vector<int> cells(4, 0);
+  // All processors write the same value to cell 2: legal Common CRCW.
+  m.concurrent_write<int>(cells, 8, [](std::size_t) { return std::size_t{2}; },
+                          [](std::size_t) { return 7; });
+  EXPECT_EQ(cells[2], 7);
+  EXPECT_EQ(m.stats().write_conflicts, 7u);
+}
+
+TEST(PramMachine, CommonWriteViolationThrows) {
+  Machine m(WriteMode::Common);
+  std::vector<int> cells(4, 0);
+  EXPECT_THROW(m.concurrent_write<int>(
+                   cells, 2, [](std::size_t) { return std::size_t{0}; },
+                   [](std::size_t i) { return static_cast<int>(i); }),
+               std::logic_error);
+}
+
+TEST(PramMachine, ArbitraryWritePicksOneWriter) {
+  Machine m(WriteMode::Arbitrary, /*seed=*/3);
+  std::vector<int> cells(1, -1);
+  m.concurrent_write<int>(cells, 16, [](std::size_t) { return std::size_t{0}; },
+                          [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_GE(cells[0], 0);
+  EXPECT_LT(cells[0], 16);
+}
+
+TEST(PramMachine, SilentProcessorsWriteNothing) {
+  Machine m;
+  std::vector<int> cells(3, 9);
+  m.concurrent_write<int>(
+      cells, 5,
+      [](std::size_t i) {
+        return i == 4 ? std::size_t{1} : static_cast<std::size_t>(-1);
+      },
+      [](std::size_t) { return 42; });
+  EXPECT_EQ(cells[0], 9);
+  EXPECT_EQ(cells[1], 42);
+  EXPECT_EQ(cells[2], 9);
+  EXPECT_EQ(m.stats().write_conflicts, 0u);
+}
+
+TEST(PramMachine, OutOfRangeWriteThrows) {
+  Machine m;
+  std::vector<int> cells(2, 0);
+  EXPECT_THROW(m.concurrent_write<int>(
+                   cells, 1, [](std::size_t) { return std::size_t{5}; },
+                   [](std::size_t) { return 1; }),
+               std::out_of_range);
+}
+
+TEST(PramMachine, SequentialStepsAccumulate) {
+  Machine m;
+  m.sequential_steps(5);
+  EXPECT_EQ(m.stats().time_steps, 5u);
+  EXPECT_EQ(m.stats().max_processors, 1u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().time_steps, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include "topo/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace {
+
+using namespace parsec::topo;
+
+TEST(TreeReduceSteps, ClosedForm) {
+  EXPECT_EQ(tree_reduce_steps(0), 0u);
+  EXPECT_EQ(tree_reduce_steps(1), 0u);
+  EXPECT_EQ(tree_reduce_steps(2), 1u);
+  EXPECT_EQ(tree_reduce_steps(3), 2u);
+  EXPECT_EQ(tree_reduce_steps(8), 3u);
+  EXPECT_EQ(tree_reduce_steps(9), 4u);
+  EXPECT_EQ(tree_reduce_steps(16384), 14u);
+}
+
+TEST(MeshReduceSteps, DiameterBound) {
+  EXPECT_EQ(mesh_side(16), 4u);
+  EXPECT_EQ(mesh_side(17), 5u);
+  EXPECT_EQ(mesh_reduce_steps(16), 6u);    // 2*(4-1)
+  EXPECT_EQ(mesh_reduce_steps(100), 18u);  // 2*(10-1)
+  EXPECT_EQ(mesh_reduce_steps(1), 0u);
+}
+
+TEST(HypercubeReduceSteps, LogDimensions) {
+  EXPECT_EQ(hypercube_reduce_steps(1024), 10u);
+  EXPECT_EQ(hypercube_reduce_steps(16384), 14u);
+}
+
+TEST(TreeReduction, OrMatchesReferenceAndRoundCount) {
+  parsec::util::Rng rng(11);
+  for (std::size_t n : {1u, 2u, 5u, 64u, 100u, 1000u}) {
+    std::vector<std::uint8_t> bits(n);
+    bool ref = false;
+    for (auto& b : bits) {
+      b = rng.next_bool(0.05) ? 1 : 0;
+      ref = ref || b;
+    }
+    auto r = tree_reduce_or(bits);
+    EXPECT_EQ(r.result, ref) << n;
+    EXPECT_EQ(r.rounds, tree_reduce_steps(n)) << n;
+  }
+}
+
+TEST(TreeReduction, AndMatchesReference) {
+  parsec::util::Rng rng(13);
+  for (std::size_t n : {1u, 3u, 7u, 128u, 999u}) {
+    std::vector<std::uint8_t> bits(n);
+    bool ref = true;
+    for (auto& b : bits) {
+      b = rng.next_bool(0.95) ? 1 : 0;
+      ref = ref && b;
+    }
+    auto r = tree_reduce_and(bits);
+    EXPECT_EQ(r.result, ref) << n;
+    EXPECT_EQ(r.rounds, tree_reduce_steps(n)) << n;
+  }
+}
+
+TEST(TreeReduction, EmptyInput) {
+  EXPECT_FALSE(tree_reduce_or({}).result);
+  EXPECT_TRUE(tree_reduce_and({}).result);
+  EXPECT_EQ(tree_reduce_or({}).rounds, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include "util/bitmatrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace {
+
+using parsec::util::BitMatrix;
+using parsec::util::DynBitset;
+
+TEST(BitMatrix, ConstructAllOnes) {
+  BitMatrix m(9, 9, true);
+  EXPECT_EQ(m.count(), 81u);
+  EXPECT_TRUE(m.test(0, 0));
+  EXPECT_TRUE(m.test(8, 8));
+}
+
+TEST(BitMatrix, SetResetRoundtrip) {
+  BitMatrix m(70, 130);
+  m.set(0, 0);
+  m.set(69, 129);
+  m.set(13, 64);
+  EXPECT_TRUE(m.test(0, 0));
+  EXPECT_TRUE(m.test(69, 129));
+  EXPECT_TRUE(m.test(13, 64));
+  EXPECT_EQ(m.count(), 3u);
+  m.reset(13, 64);
+  EXPECT_FALSE(m.test(13, 64));
+}
+
+TEST(BitMatrix, ZeroRow) {
+  BitMatrix m(4, 100, true);
+  m.zero_row(2);
+  for (std::size_t c = 0; c < 100; ++c) EXPECT_FALSE(m.test(2, c));
+  EXPECT_EQ(m.count(), 300u);
+  EXPECT_FALSE(m.row_any(2));
+  EXPECT_TRUE(m.row_any(1));
+}
+
+TEST(BitMatrix, ZeroCol) {
+  BitMatrix m(10, 70, true);
+  m.zero_col(64);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_FALSE(m.test(r, 64));
+  EXPECT_EQ(m.count(), 10u * 69u);
+  EXPECT_FALSE(m.col_any(64));
+  EXPECT_TRUE(m.col_any(63));
+}
+
+TEST(BitMatrix, RowColAnyOnEmpty) {
+  BitMatrix m(5, 5);
+  EXPECT_FALSE(m.row_any(0));
+  EXPECT_FALSE(m.col_any(4));
+  m.set(3, 2);
+  EXPECT_TRUE(m.row_any(3));
+  EXPECT_TRUE(m.col_any(2));
+  EXPECT_FALSE(m.row_any(2));
+  EXPECT_FALSE(m.col_any(3));
+}
+
+TEST(BitMatrix, RowIntersects) {
+  BitMatrix m(3, 128);
+  m.set(1, 100);
+  DynBitset mask(128);
+  EXPECT_FALSE(m.row_intersects(1, mask));
+  mask.set(100);
+  EXPECT_TRUE(m.row_intersects(1, mask));
+  EXPECT_FALSE(m.row_intersects(0, mask));
+}
+
+TEST(BitMatrix, ColIntersects) {
+  BitMatrix m(90, 4);
+  m.set(88, 2);
+  DynBitset mask(90);
+  EXPECT_FALSE(m.col_intersects(2, mask));
+  mask.set(88);
+  EXPECT_TRUE(m.col_intersects(2, mask));
+  EXPECT_FALSE(m.col_intersects(1, mask));
+}
+
+TEST(BitMatrix, AllOnesTailTrimmed) {
+  // Non-multiple-of-64 columns: tail bits must not pollute count.
+  BitMatrix m(3, 65, true);
+  EXPECT_EQ(m.count(), 3u * 65u);
+  m.zero_row(0);
+  m.zero_row(1);
+  m.zero_row(2);
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, RandomizedAgainstReference) {
+  parsec::util::Rng rng(7);
+  const std::size_t R = 37, C = 81;
+  BitMatrix m(R, C);
+  std::vector<std::vector<bool>> ref(R, std::vector<bool>(C, false));
+  for (int step = 0; step < 4000; ++step) {
+    std::size_t r = rng.next_below(R), c = rng.next_below(C);
+    switch (rng.next_below(4)) {
+      case 0:
+        m.set(r, c);
+        ref[r][c] = true;
+        break;
+      case 1:
+        m.reset(r, c);
+        ref[r][c] = false;
+        break;
+      case 2:
+        m.zero_row(r);
+        for (std::size_t j = 0; j < C; ++j) ref[r][j] = false;
+        break;
+      case 3:
+        m.zero_col(c);
+        for (std::size_t i = 0; i < R; ++i) ref[i][c] = false;
+        break;
+    }
+  }
+  std::size_t want = 0;
+  for (std::size_t r = 0; r < R; ++r)
+    for (std::size_t c = 0; c < C; ++c) {
+      EXPECT_EQ(m.test(r, c), ref[r][c]) << r << "," << c;
+      want += ref[r][c];
+    }
+  EXPECT_EQ(m.count(), want);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace {
+
+using parsec::util::DynBitset;
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynBitset, SetResetTest) {
+  DynBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynBitset, SetAllRespectsSize) {
+  // The tail bits beyond size() must not leak into count().
+  for (std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    DynBitset b(n, true);
+    EXPECT_EQ(b.count(), n) << n;
+    b.reset_all();
+    EXPECT_EQ(b.count(), 0u);
+    b.set_all();
+    EXPECT_EQ(b.count(), n) << n;
+  }
+}
+
+TEST(DynBitset, FindFirstAndNext) {
+  DynBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(5);
+  b.set(77);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 5u);
+  EXPECT_EQ(b.find_next_from(6), 77u);
+  EXPECT_EQ(b.find_next_from(77), 77u);
+  EXPECT_EQ(b.find_next_from(78), 199u);
+  EXPECT_EQ(b.find_next_from(200), 200u);
+}
+
+TEST(DynBitset, ForEachVisitsAscending) {
+  DynBitset b(150);
+  std::vector<std::size_t> want = {0, 1, 63, 64, 65, 100, 149};
+  for (auto i : want) b.set(i);
+  std::vector<std::size_t> got;
+  b.for_each([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(DynBitset, AndOrIntersects) {
+  DynBitset a(80), b(80);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(10);
+  EXPECT_TRUE(a.intersects(b));
+  DynBitset c = a;
+  c &= b;
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_TRUE(c.test(70));
+  DynBitset d = a;
+  d |= b;
+  EXPECT_EQ(d.count(), 3u);
+  b.reset(70);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DynBitset, EqualityAndCopy) {
+  DynBitset a(66), b(66);
+  EXPECT_EQ(a, b);
+  a.set(65);
+  EXPECT_FALSE(a == b);
+  b.set(65);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DynBitset, RandomizedAgainstReference) {
+  parsec::util::Rng rng(42);
+  const std::size_t n = 257;
+  DynBitset b(n);
+  std::vector<bool> ref(n, false);
+  for (int step = 0; step < 2000; ++step) {
+    std::size_t i = rng.next_below(n);
+    if (rng.next_bool()) {
+      b.set(i);
+      ref[i] = true;
+    } else {
+      b.reset(i);
+      ref[i] = false;
+    }
+  }
+  std::size_t want_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(b.test(i), ref[i]) << i;
+    want_count += ref[i];
+  }
+  EXPECT_EQ(b.count(), want_count);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using parsec::util::Rng;
+using parsec::util::Stats;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c;
+  }
+  Rng d(124);
+  EXPECT_NE(Rng(123).next_u64(), d.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+    auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[rng.next_below(5)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(77);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, MeanMinMax) {
+  Stats s;
+  for (double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  Stats s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 5.0);
+}
+
+}  // namespace

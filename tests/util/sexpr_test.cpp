@@ -1,0 +1,84 @@
+#include "util/sexpr.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using parsec::util::parse_sexpr;
+using parsec::util::parse_sexprs;
+using parsec::util::Sexpr;
+using parsec::util::SexprError;
+
+TEST(Sexpr, ParsesAtom) {
+  Sexpr s = parse_sexpr("SUBJ");
+  EXPECT_TRUE(s.is_atom());
+  EXPECT_EQ(s.atom, "SUBJ");
+}
+
+TEST(Sexpr, ParsesFlatList) {
+  Sexpr s = parse_sexpr("(eq x y)");
+  ASSERT_TRUE(s.is_list());
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s[0].is("eq"));
+  EXPECT_TRUE(s[1].is("x"));
+  EXPECT_TRUE(s[2].is("y"));
+}
+
+TEST(Sexpr, ParsesNestedConstraint) {
+  Sexpr s = parse_sexpr(R"(
+      (if (and (eq (cat (word (pos x))) verb)
+               (eq (role x) governor))
+          (and (eq (lab x) ROOT)
+               (eq (mod x) nil))))");
+  ASSERT_TRUE(s.is_list());
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s[0].is("if"));
+  EXPECT_TRUE(s[1].is_list());
+  EXPECT_EQ(s[1][0].atom, "and");
+  // Deep access: (cat (word (pos x)))
+  const Sexpr& cat = s[1][1][1];
+  EXPECT_EQ(cat[0].atom, "cat");
+  EXPECT_EQ(cat[1][0].atom, "word");
+  EXPECT_EQ(cat[1][1][0].atom, "pos");
+  EXPECT_EQ(cat[1][1][1].atom, "x");
+}
+
+TEST(Sexpr, CommentsIgnored) {
+  auto all = parse_sexprs("; header comment\n(a b) ; trailing\n(c)\n");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].size(), 2u);
+  EXPECT_EQ(all[1].size(), 1u);
+}
+
+TEST(Sexpr, RoundTripsToString) {
+  const std::string text = "(if (and (eq (lab x) SUBJ) (eq (lab y) ROOT)) "
+                           "(and (eq (mod x) (pos y)) (lt (pos x) (pos y))))";
+  EXPECT_EQ(parse_sexpr(text).to_string(), text);
+}
+
+TEST(Sexpr, ErrorsCarryPositions) {
+  try {
+    parse_sexpr("(a (b c)");
+    FAIL() << "expected SexprError";
+  } catch (const SexprError& e) {
+    EXPECT_EQ(e.line, 1);
+    EXPECT_EQ(e.col, 1);
+  }
+  EXPECT_THROW(parse_sexpr(")"), SexprError);
+  EXPECT_THROW(parse_sexpr(""), SexprError);
+  EXPECT_THROW(parse_sexpr("(a) (b)"), SexprError);  // trailing form
+}
+
+TEST(Sexpr, EmptyListAllowed) {
+  Sexpr s = parse_sexpr("()");
+  EXPECT_TRUE(s.is_list());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Sexpr, TracksLineNumbers) {
+  Sexpr s = parse_sexpr("\n\n  (a\n     b)");
+  EXPECT_EQ(s.line, 3);
+  EXPECT_EQ(s[1].line, 4);
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using parsec::util::format_value;
+using parsec::util::Table;
+
+TEST(Table, AlignsColumns) {
+  Table t({"arch", "PEs", "time"});
+  t.add("Sequential", 1, 15.25);
+  t.add("MasPar MP-1", 16384, 0.15);
+  const std::string s = t.to_string();
+  // Header present, rule present, rows present.
+  EXPECT_NE(s.find("arch"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("MasPar MP-1"), std::string::npos);
+  EXPECT_NE(s.find("16384"), std::string::npos);
+  // Numeric column is right-aligned: "1" ends where "16384" ends.
+  auto line_of = [&](const std::string& needle) {
+    auto pos = s.find(needle);
+    auto start = s.rfind('\n', pos);
+    auto end = s.find('\n', pos);
+    return s.substr(start + 1, end - start - 1);
+  };
+  std::string seq = line_of("Sequential");
+  std::string mp = line_of("MasPar");
+  EXPECT_EQ(seq.size(), mp.size());
+}
+
+TEST(Table, FormatValueIntegersExact) {
+  EXPECT_EQ(format_value(0), "0");
+  EXPECT_EQ(format_value(16384), "16384");
+  EXPECT_EQ(format_value(-7), "-7");
+}
+
+TEST(Table, FormatValueReals) {
+  EXPECT_EQ(format_value(0.15), "0.15");
+  EXPECT_EQ(format_value(std::nan("")), "-");
+  // Very large/small non-integral values switch to scientific.
+  EXPECT_NE(format_value(1234567.89).find('e'), std::string::npos);
+  EXPECT_NE(format_value(1.2e-6).find('e'), std::string::npos);
+}
+
+}  // namespace
