@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_zeroing.dir/bench_ablation_zeroing.cpp.o"
+  "CMakeFiles/bench_ablation_zeroing.dir/bench_ablation_zeroing.cpp.o.d"
+  "bench_ablation_zeroing"
+  "bench_ablation_zeroing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_zeroing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

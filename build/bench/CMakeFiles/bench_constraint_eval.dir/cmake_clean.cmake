@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constraint_eval.dir/bench_constraint_eval.cpp.o"
+  "CMakeFiles/bench_constraint_eval.dir/bench_constraint_eval.cpp.o.d"
+  "bench_constraint_eval"
+  "bench_constraint_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constraint_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

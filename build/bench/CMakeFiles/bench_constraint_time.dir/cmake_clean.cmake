@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constraint_time.dir/bench_constraint_time.cpp.o"
+  "CMakeFiles/bench_constraint_time.dir/bench_constraint_time.cpp.o.d"
+  "bench_constraint_time"
+  "bench_constraint_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constraint_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_parallel.dir/bench_host_parallel.cpp.o"
+  "CMakeFiles/bench_host_parallel.dir/bench_host_parallel.cpp.o.d"
+  "bench_host_parallel"
+  "bench_host_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parse_time.dir/bench_parse_time.cpp.o"
+  "CMakeFiles/bench_parse_time.dir/bench_parse_time.cpp.o.d"
+  "bench_parse_time"
+  "bench_parse_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parse_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pram_complexity.dir/bench_pram_complexity.cpp.o"
+  "CMakeFiles/bench_pram_complexity.dir/bench_pram_complexity.cpp.o.d"
+  "bench_pram_complexity"
+  "bench_pram_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pram_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

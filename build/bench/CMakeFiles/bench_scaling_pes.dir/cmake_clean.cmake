@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_pes.dir/bench_scaling_pes.cpp.o"
+  "CMakeFiles/bench_scaling_pes.dir/bench_scaling_pes.cpp.o.d"
+  "bench_scaling_pes"
+  "bench_scaling_pes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_pes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

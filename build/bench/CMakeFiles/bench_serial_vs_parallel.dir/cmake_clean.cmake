@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serial_vs_parallel.dir/bench_serial_vs_parallel.cpp.o"
+  "CMakeFiles/bench_serial_vs_parallel.dir/bench_serial_vs_parallel.cpp.o.d"
+  "bench_serial_vs_parallel"
+  "bench_serial_vs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serial_vs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

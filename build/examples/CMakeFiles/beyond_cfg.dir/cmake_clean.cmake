@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beyond_cfg.dir/beyond_cfg.cpp.o"
+  "CMakeFiles/beyond_cfg.dir/beyond_cfg.cpp.o.d"
+  "beyond_cfg"
+  "beyond_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beyond_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

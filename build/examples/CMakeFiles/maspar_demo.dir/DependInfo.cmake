@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/maspar_demo.cpp" "examples/CMakeFiles/maspar_demo.dir/maspar_demo.cpp.o" "gcc" "examples/CMakeFiles/maspar_demo.dir/maspar_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_grammars.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_maspar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

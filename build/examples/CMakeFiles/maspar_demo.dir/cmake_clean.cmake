@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maspar_demo.dir/maspar_demo.cpp.o"
+  "CMakeFiles/maspar_demo.dir/maspar_demo.cpp.o.d"
+  "maspar_demo"
+  "maspar_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maspar_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

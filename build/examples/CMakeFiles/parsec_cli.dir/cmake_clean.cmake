@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_cli.dir/parsec_cli.cpp.o"
+  "CMakeFiles/parsec_cli.dir/parsec_cli.cpp.o.d"
+  "parsec_cli"
+  "parsec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

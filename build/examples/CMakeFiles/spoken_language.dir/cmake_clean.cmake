@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoken_language.dir/spoken_language.cpp.o"
+  "CMakeFiles/spoken_language.dir/spoken_language.cpp.o.d"
+  "spoken_language"
+  "spoken_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoken_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

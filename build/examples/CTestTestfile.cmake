@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ambiguity "/root/repo/build/examples/ambiguity")
+set_tests_properties(example_ambiguity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_maspar_demo "/root/repo/build/examples/maspar_demo")
+set_tests_properties(example_maspar_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_beyond_cfg "/root/repo/build/examples/beyond_cfg")
+set_tests_properties(example_beyond_cfg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spoken_language "/root/repo/build/examples/spoken_language")
+set_tests_properties(example_spoken_language PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_accept "/root/repo/build/examples/parsec_cli" "--builtin" "english" "the" "dog" "runs")
+set_tests_properties(example_cli_accept PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_maspar "/root/repo/build/examples/parsec_cli" "--builtin" "toy" "--engine" "maspar" "The" "program" "runs")
+set_tests_properties(example_cli_maspar PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_reject "/root/repo/build/examples/parsec_cli" "--builtin" "english" "dog" "the" "runs")
+set_tests_properties(example_cli_reject PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_grammar_file "/root/repo/build/examples/parsec_cli" "--grammar" "/root/repo/grammars/toy.cdg" "The" "program" "runs")
+set_tests_properties(example_cli_grammar_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_corpus_stats "/root/repo/build/examples/corpus_stats" "40" "12")
+set_tests_properties(example_corpus_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_dot "/root/repo/build/examples/parsec_cli" "--builtin" "toy" "--dot" "The" "program" "runs")
+set_tests_properties(example_cli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdg/ac4.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/ac4.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/ac4.cpp.o.d"
+  "/root/repo/src/cdg/constraint.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/constraint.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/constraint.cpp.o.d"
+  "/root/repo/src/cdg/constraint_eval.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/constraint_eval.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/constraint_eval.cpp.o.d"
+  "/root/repo/src/cdg/constraint_parser.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/constraint_parser.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/constraint_parser.cpp.o.d"
+  "/root/repo/src/cdg/diagnose.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/diagnose.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/diagnose.cpp.o.d"
+  "/root/repo/src/cdg/extract.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/extract.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/extract.cpp.o.d"
+  "/root/repo/src/cdg/grammar.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/grammar.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/grammar.cpp.o.d"
+  "/root/repo/src/cdg/lexicon.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/lexicon.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/lexicon.cpp.o.d"
+  "/root/repo/src/cdg/network.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/network.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/network.cpp.o.d"
+  "/root/repo/src/cdg/parser.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/parser.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/parser.cpp.o.d"
+  "/root/repo/src/cdg/printer.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/printer.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/printer.cpp.o.d"
+  "/root/repo/src/cdg/symbols.cpp" "src/CMakeFiles/parsec_cdg.dir/cdg/symbols.cpp.o" "gcc" "src/CMakeFiles/parsec_cdg.dir/cdg/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_cdg.dir/cdg/ac4.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/ac4.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/constraint.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/constraint.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/constraint_eval.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/constraint_eval.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/constraint_parser.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/constraint_parser.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/diagnose.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/diagnose.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/extract.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/extract.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/grammar.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/grammar.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/lexicon.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/lexicon.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/network.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/network.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/parser.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/parser.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/printer.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/printer.cpp.o.d"
+  "CMakeFiles/parsec_cdg.dir/cdg/symbols.cpp.o"
+  "CMakeFiles/parsec_cdg.dir/cdg/symbols.cpp.o.d"
+  "libparsec_cdg.a"
+  "libparsec_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/cfg.cpp" "src/CMakeFiles/parsec_cfg.dir/cfg/cfg.cpp.o" "gcc" "src/CMakeFiles/parsec_cfg.dir/cfg/cfg.cpp.o.d"
+  "/root/repo/src/cfg/cnf.cpp" "src/CMakeFiles/parsec_cfg.dir/cfg/cnf.cpp.o" "gcc" "src/CMakeFiles/parsec_cfg.dir/cfg/cnf.cpp.o.d"
+  "/root/repo/src/cfg/cyk.cpp" "src/CMakeFiles/parsec_cfg.dir/cfg/cyk.cpp.o" "gcc" "src/CMakeFiles/parsec_cfg.dir/cfg/cyk.cpp.o.d"
+  "/root/repo/src/cfg/cyk_mesh.cpp" "src/CMakeFiles/parsec_cfg.dir/cfg/cyk_mesh.cpp.o" "gcc" "src/CMakeFiles/parsec_cfg.dir/cfg/cyk_mesh.cpp.o.d"
+  "/root/repo/src/cfg/cyk_pram.cpp" "src/CMakeFiles/parsec_cfg.dir/cfg/cyk_pram.cpp.o" "gcc" "src/CMakeFiles/parsec_cfg.dir/cfg/cyk_pram.cpp.o.d"
+  "/root/repo/src/cfg/parse_tree.cpp" "src/CMakeFiles/parsec_cfg.dir/cfg/parse_tree.cpp.o" "gcc" "src/CMakeFiles/parsec_cfg.dir/cfg/parse_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_cfg.dir/cfg/cfg.cpp.o"
+  "CMakeFiles/parsec_cfg.dir/cfg/cfg.cpp.o.d"
+  "CMakeFiles/parsec_cfg.dir/cfg/cnf.cpp.o"
+  "CMakeFiles/parsec_cfg.dir/cfg/cnf.cpp.o.d"
+  "CMakeFiles/parsec_cfg.dir/cfg/cyk.cpp.o"
+  "CMakeFiles/parsec_cfg.dir/cfg/cyk.cpp.o.d"
+  "CMakeFiles/parsec_cfg.dir/cfg/cyk_mesh.cpp.o"
+  "CMakeFiles/parsec_cfg.dir/cfg/cyk_mesh.cpp.o.d"
+  "CMakeFiles/parsec_cfg.dir/cfg/cyk_pram.cpp.o"
+  "CMakeFiles/parsec_cfg.dir/cfg/cyk_pram.cpp.o.d"
+  "CMakeFiles/parsec_cfg.dir/cfg/parse_tree.cpp.o"
+  "CMakeFiles/parsec_cfg.dir/cfg/parse_tree.cpp.o.d"
+  "libparsec_cfg.a"
+  "libparsec_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_engine.dir/parsec/maspar_parser.cpp.o"
+  "CMakeFiles/parsec_engine.dir/parsec/maspar_parser.cpp.o.d"
+  "CMakeFiles/parsec_engine.dir/parsec/mesh_parser.cpp.o"
+  "CMakeFiles/parsec_engine.dir/parsec/mesh_parser.cpp.o.d"
+  "CMakeFiles/parsec_engine.dir/parsec/omp_parser.cpp.o"
+  "CMakeFiles/parsec_engine.dir/parsec/omp_parser.cpp.o.d"
+  "CMakeFiles/parsec_engine.dir/parsec/pram_parser.cpp.o"
+  "CMakeFiles/parsec_engine.dir/parsec/pram_parser.cpp.o.d"
+  "libparsec_engine.a"
+  "libparsec_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparsec_engine.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammars/anbncn_grammar.cpp" "src/CMakeFiles/parsec_grammars.dir/grammars/anbncn_grammar.cpp.o" "gcc" "src/CMakeFiles/parsec_grammars.dir/grammars/anbncn_grammar.cpp.o.d"
+  "/root/repo/src/grammars/cfg_workloads.cpp" "src/CMakeFiles/parsec_grammars.dir/grammars/cfg_workloads.cpp.o" "gcc" "src/CMakeFiles/parsec_grammars.dir/grammars/cfg_workloads.cpp.o.d"
+  "/root/repo/src/grammars/english_grammar.cpp" "src/CMakeFiles/parsec_grammars.dir/grammars/english_grammar.cpp.o" "gcc" "src/CMakeFiles/parsec_grammars.dir/grammars/english_grammar.cpp.o.d"
+  "/root/repo/src/grammars/grammar_io.cpp" "src/CMakeFiles/parsec_grammars.dir/grammars/grammar_io.cpp.o" "gcc" "src/CMakeFiles/parsec_grammars.dir/grammars/grammar_io.cpp.o.d"
+  "/root/repo/src/grammars/sentence_gen.cpp" "src/CMakeFiles/parsec_grammars.dir/grammars/sentence_gen.cpp.o" "gcc" "src/CMakeFiles/parsec_grammars.dir/grammars/sentence_gen.cpp.o.d"
+  "/root/repo/src/grammars/toy_grammar.cpp" "src/CMakeFiles/parsec_grammars.dir/grammars/toy_grammar.cpp.o" "gcc" "src/CMakeFiles/parsec_grammars.dir/grammars/toy_grammar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_grammars.dir/grammars/anbncn_grammar.cpp.o"
+  "CMakeFiles/parsec_grammars.dir/grammars/anbncn_grammar.cpp.o.d"
+  "CMakeFiles/parsec_grammars.dir/grammars/cfg_workloads.cpp.o"
+  "CMakeFiles/parsec_grammars.dir/grammars/cfg_workloads.cpp.o.d"
+  "CMakeFiles/parsec_grammars.dir/grammars/english_grammar.cpp.o"
+  "CMakeFiles/parsec_grammars.dir/grammars/english_grammar.cpp.o.d"
+  "CMakeFiles/parsec_grammars.dir/grammars/grammar_io.cpp.o"
+  "CMakeFiles/parsec_grammars.dir/grammars/grammar_io.cpp.o.d"
+  "CMakeFiles/parsec_grammars.dir/grammars/sentence_gen.cpp.o"
+  "CMakeFiles/parsec_grammars.dir/grammars/sentence_gen.cpp.o.d"
+  "CMakeFiles/parsec_grammars.dir/grammars/toy_grammar.cpp.o"
+  "CMakeFiles/parsec_grammars.dir/grammars/toy_grammar.cpp.o.d"
+  "libparsec_grammars.a"
+  "libparsec_grammars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_grammars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maspar/cost_model.cpp" "src/CMakeFiles/parsec_maspar.dir/maspar/cost_model.cpp.o" "gcc" "src/CMakeFiles/parsec_maspar.dir/maspar/cost_model.cpp.o.d"
+  "/root/repo/src/maspar/layout.cpp" "src/CMakeFiles/parsec_maspar.dir/maspar/layout.cpp.o" "gcc" "src/CMakeFiles/parsec_maspar.dir/maspar/layout.cpp.o.d"
+  "/root/repo/src/maspar/machine.cpp" "src/CMakeFiles/parsec_maspar.dir/maspar/machine.cpp.o" "gcc" "src/CMakeFiles/parsec_maspar.dir/maspar/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_maspar.dir/maspar/cost_model.cpp.o"
+  "CMakeFiles/parsec_maspar.dir/maspar/cost_model.cpp.o.d"
+  "CMakeFiles/parsec_maspar.dir/maspar/layout.cpp.o"
+  "CMakeFiles/parsec_maspar.dir/maspar/layout.cpp.o.d"
+  "CMakeFiles/parsec_maspar.dir/maspar/machine.cpp.o"
+  "CMakeFiles/parsec_maspar.dir/maspar/machine.cpp.o.d"
+  "libparsec_maspar.a"
+  "libparsec_maspar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for parsec_maspar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_pram.dir/pram/machine.cpp.o"
+  "CMakeFiles/parsec_pram.dir/pram/machine.cpp.o.d"
+  "libparsec_pram.a"
+  "libparsec_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_topo.dir/topo/reduction.cpp.o"
+  "CMakeFiles/parsec_topo.dir/topo/reduction.cpp.o.d"
+  "libparsec_topo.a"
+  "libparsec_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

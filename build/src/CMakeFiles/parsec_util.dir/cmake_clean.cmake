@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_util.dir/util/sexpr.cpp.o"
+  "CMakeFiles/parsec_util.dir/util/sexpr.cpp.o.d"
+  "CMakeFiles/parsec_util.dir/util/table.cpp.o"
+  "CMakeFiles/parsec_util.dir/util/table.cpp.o.d"
+  "libparsec_util.a"
+  "libparsec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cdg/ac4_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/ac4_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/ac4_test.cpp.o.d"
+  "/root/repo/tests/cdg/constraint_eval_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/constraint_eval_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/constraint_eval_test.cpp.o.d"
+  "/root/repo/tests/cdg/constraint_fuzz_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/constraint_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/constraint_fuzz_test.cpp.o.d"
+  "/root/repo/tests/cdg/constraint_parser_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/constraint_parser_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/constraint_parser_test.cpp.o.d"
+  "/root/repo/tests/cdg/diagnose_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/diagnose_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/diagnose_test.cpp.o.d"
+  "/root/repo/tests/cdg/extract_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/extract_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/extract_test.cpp.o.d"
+  "/root/repo/tests/cdg/grammar_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/grammar_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/grammar_test.cpp.o.d"
+  "/root/repo/tests/cdg/lexicon_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/lexicon_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/lexicon_test.cpp.o.d"
+  "/root/repo/tests/cdg/network_invariants_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/network_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/network_invariants_test.cpp.o.d"
+  "/root/repo/tests/cdg/network_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/network_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/network_test.cpp.o.d"
+  "/root/repo/tests/cdg/parser_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/parser_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/parser_test.cpp.o.d"
+  "/root/repo/tests/cdg/printer_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/printer_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/printer_test.cpp.o.d"
+  "/root/repo/tests/cdg/role_value_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/role_value_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/role_value_test.cpp.o.d"
+  "/root/repo/tests/cdg/symbols_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/symbols_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/symbols_test.cpp.o.d"
+  "/root/repo/tests/cdg/tag_ambiguity_test.cpp" "tests/CMakeFiles/cdg_test.dir/cdg/tag_ambiguity_test.cpp.o" "gcc" "tests/CMakeFiles/cdg_test.dir/cdg/tag_ambiguity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_grammars.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_maspar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfg/cnf_test.cpp" "tests/CMakeFiles/cfg_test.dir/cfg/cnf_test.cpp.o" "gcc" "tests/CMakeFiles/cfg_test.dir/cfg/cnf_test.cpp.o.d"
+  "/root/repo/tests/cfg/cyk_count_test.cpp" "tests/CMakeFiles/cfg_test.dir/cfg/cyk_count_test.cpp.o" "gcc" "tests/CMakeFiles/cfg_test.dir/cfg/cyk_count_test.cpp.o.d"
+  "/root/repo/tests/cfg/cyk_parallel_test.cpp" "tests/CMakeFiles/cfg_test.dir/cfg/cyk_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/cfg_test.dir/cfg/cyk_parallel_test.cpp.o.d"
+  "/root/repo/tests/cfg/cyk_test.cpp" "tests/CMakeFiles/cfg_test.dir/cfg/cyk_test.cpp.o" "gcc" "tests/CMakeFiles/cfg_test.dir/cfg/cyk_test.cpp.o.d"
+  "/root/repo/tests/cfg/parse_tree_test.cpp" "tests/CMakeFiles/cfg_test.dir/cfg/parse_tree_test.cpp.o" "gcc" "tests/CMakeFiles/cfg_test.dir/cfg/parse_tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_grammars.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_maspar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_test.dir/cfg/cnf_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/cnf_test.cpp.o.d"
+  "CMakeFiles/cfg_test.dir/cfg/cyk_count_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/cyk_count_test.cpp.o.d"
+  "CMakeFiles/cfg_test.dir/cfg/cyk_parallel_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/cyk_parallel_test.cpp.o.d"
+  "CMakeFiles/cfg_test.dir/cfg/cyk_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/cyk_test.cpp.o.d"
+  "CMakeFiles/cfg_test.dir/cfg/parse_tree_test.cpp.o"
+  "CMakeFiles/cfg_test.dir/cfg/parse_tree_test.cpp.o.d"
+  "cfg_test"
+  "cfg_test.pdb"
+  "cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

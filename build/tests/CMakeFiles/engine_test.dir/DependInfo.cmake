@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parsec/determinism_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/determinism_test.cpp.o.d"
+  "/root/repo/tests/parsec/engines_equivalence_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/engines_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/engines_equivalence_test.cpp.o.d"
+  "/root/repo/tests/parsec/english_engines_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/english_engines_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/english_engines_test.cpp.o.d"
+  "/root/repo/tests/parsec/maspar_parser_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/maspar_parser_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/maspar_parser_test.cpp.o.d"
+  "/root/repo/tests/parsec/pram_parser_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/pram_parser_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/pram_parser_test.cpp.o.d"
+  "/root/repo/tests/parsec/random_sentences_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/random_sentences_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/random_sentences_test.cpp.o.d"
+  "/root/repo/tests/parsec/topology_parser_test.cpp" "tests/CMakeFiles/engine_test.dir/parsec/topology_parser_test.cpp.o" "gcc" "tests/CMakeFiles/engine_test.dir/parsec/topology_parser_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_grammars.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_maspar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

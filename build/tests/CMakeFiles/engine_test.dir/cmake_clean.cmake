@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/parsec/determinism_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/determinism_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/parsec/engines_equivalence_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/engines_equivalence_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/parsec/english_engines_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/english_engines_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/parsec/maspar_parser_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/maspar_parser_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/parsec/pram_parser_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/pram_parser_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/parsec/random_sentences_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/random_sentences_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/parsec/topology_parser_test.cpp.o"
+  "CMakeFiles/engine_test.dir/parsec/topology_parser_test.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

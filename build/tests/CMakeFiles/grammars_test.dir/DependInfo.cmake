@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grammars/anbncn_test.cpp" "tests/CMakeFiles/grammars_test.dir/grammars/anbncn_test.cpp.o" "gcc" "tests/CMakeFiles/grammars_test.dir/grammars/anbncn_test.cpp.o.d"
+  "/root/repo/tests/grammars/english_grammar_test.cpp" "tests/CMakeFiles/grammars_test.dir/grammars/english_grammar_test.cpp.o" "gcc" "tests/CMakeFiles/grammars_test.dir/grammars/english_grammar_test.cpp.o.d"
+  "/root/repo/tests/grammars/grammar_file_test.cpp" "tests/CMakeFiles/grammars_test.dir/grammars/grammar_file_test.cpp.o" "gcc" "tests/CMakeFiles/grammars_test.dir/grammars/grammar_file_test.cpp.o.d"
+  "/root/repo/tests/grammars/grammar_io_test.cpp" "tests/CMakeFiles/grammars_test.dir/grammars/grammar_io_test.cpp.o" "gcc" "tests/CMakeFiles/grammars_test.dir/grammars/grammar_io_test.cpp.o.d"
+  "/root/repo/tests/grammars/sentence_gen_test.cpp" "tests/CMakeFiles/grammars_test.dir/grammars/sentence_gen_test.cpp.o" "gcc" "tests/CMakeFiles/grammars_test.dir/grammars/sentence_gen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parsec_grammars.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_maspar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/parsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

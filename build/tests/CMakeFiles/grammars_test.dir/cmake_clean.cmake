@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammars_test.dir/grammars/anbncn_test.cpp.o"
+  "CMakeFiles/grammars_test.dir/grammars/anbncn_test.cpp.o.d"
+  "CMakeFiles/grammars_test.dir/grammars/english_grammar_test.cpp.o"
+  "CMakeFiles/grammars_test.dir/grammars/english_grammar_test.cpp.o.d"
+  "CMakeFiles/grammars_test.dir/grammars/grammar_file_test.cpp.o"
+  "CMakeFiles/grammars_test.dir/grammars/grammar_file_test.cpp.o.d"
+  "CMakeFiles/grammars_test.dir/grammars/grammar_io_test.cpp.o"
+  "CMakeFiles/grammars_test.dir/grammars/grammar_io_test.cpp.o.d"
+  "CMakeFiles/grammars_test.dir/grammars/sentence_gen_test.cpp.o"
+  "CMakeFiles/grammars_test.dir/grammars/sentence_gen_test.cpp.o.d"
+  "grammars_test"
+  "grammars_test.pdb"
+  "grammars_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammars_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maspar_test.dir/maspar/layout_test.cpp.o"
+  "CMakeFiles/maspar_test.dir/maspar/layout_test.cpp.o.d"
+  "CMakeFiles/maspar_test.dir/maspar/machine_property_test.cpp.o"
+  "CMakeFiles/maspar_test.dir/maspar/machine_property_test.cpp.o.d"
+  "CMakeFiles/maspar_test.dir/maspar/machine_test.cpp.o"
+  "CMakeFiles/maspar_test.dir/maspar/machine_test.cpp.o.d"
+  "CMakeFiles/maspar_test.dir/maspar/plural_test.cpp.o"
+  "CMakeFiles/maspar_test.dir/maspar/plural_test.cpp.o.d"
+  "maspar_test"
+  "maspar_test.pdb"
+  "maspar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maspar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

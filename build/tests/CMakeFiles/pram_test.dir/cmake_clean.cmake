@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_test.dir/pram/machine_test.cpp.o"
+  "CMakeFiles/pram_test.dir/pram/machine_test.cpp.o.d"
+  "pram_test"
+  "pram_test.pdb"
+  "pram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/cdg_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_figures_test[1]_include.cmake")
+include("/root/repo/build/tests/pram_test[1]_include.cmake")
+include("/root/repo/build/tests/maspar_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/grammars_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
