@@ -1,0 +1,202 @@
+// Served-traffic throughput: sentences/second through the batched
+// ParseService as worker threads scale.
+//
+// The paper parallelizes one sentence (O(k + log n) steps); a serving
+// deployment also scales across sentences.  This harness replays a
+// deterministic English workload from grammars::SentenceGenerator at
+// configurable thread counts and batch sizes, verifies every batched
+// result is bit-identical to a single-threaded serial parse (the
+// service's correctness contract), and writes a BENCH_throughput.json
+// report for CI and future perf PRs to diff.
+//
+//   bench_throughput [--sentences N] [--lo LEN] [--hi LEN]
+//                    [--threads T1,T2,...] [--batch B]
+//                    [--backend serial|omp|pram|maspar] [--json PATH]
+//
+// Exits nonzero only on a correctness (bit-identity) failure; speedup
+// is reported, not asserted, so low-core CI boxes stay green.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "parsec/backend.h"
+#include "serve/parse_service.h"
+#include "serve/report.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace parsec;
+
+struct Config {
+  int sentences = 120;
+  int lo = 4, hi = 10;
+  std::vector<int> threads = {1, 2, 4, 8};
+  std::size_t batch = 32;
+  engine::Backend backend = engine::Backend::Serial;
+  std::string json_path = "BENCH_throughput.json";
+};
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) out.push_back(std::stoi(tok));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  try {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "--sentences")
+      cfg.sentences = std::stoi(next());
+    else if (arg == "--lo")
+      cfg.lo = std::stoi(next());
+    else if (arg == "--hi")
+      cfg.hi = std::stoi(next());
+    else if (arg == "--threads")
+      cfg.threads = parse_int_list(next());
+    else if (arg == "--batch")
+      cfg.batch = static_cast<std::size_t>(std::stoul(next()));
+    else if (arg == "--backend") {
+      auto b = engine::backend_from_name(next());
+      if (!b) {
+        std::cerr << "unknown backend\n";
+        return 2;
+      }
+      cfg.backend = *b;
+    } else if (arg == "--json")
+      cfg.json_path = next();
+    else {
+      std::cerr << "usage: bench_throughput [--sentences N] [--lo L] [--hi H]"
+                   " [--threads T1,T2,...] [--batch B] [--backend NAME]"
+                   " [--json PATH]\n";
+      return 2;
+    }
+  }
+  } catch (const std::exception&) {  // non-numeric value for a numeric flag
+    std::cerr << "bench_throughput: bad numeric argument\n";
+    return 2;
+  }
+
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, bench::kSeed);
+  std::vector<cdg::Sentence> workload;
+  workload.reserve(static_cast<std::size_t>(cfg.sentences));
+  for (int i = 0; i < cfg.sentences; ++i)
+    workload.push_back(
+        gen.generate_sentence(cfg.lo + i % (cfg.hi - cfg.lo + 1)));
+
+  // Single-threaded serial reference fingerprints (the bit-identity
+  // contract every batched configuration must reproduce).
+  cdg::SequentialParser seq(bundle.grammar);
+  std::vector<std::uint64_t> reference;
+  reference.reserve(workload.size());
+  const double serial_secs = bench::time_host([&] {
+    for (const auto& s : workload) {
+      cdg::Network net = seq.make_network(s);
+      seq.parse(net);
+      std::vector<util::DynBitset> domains;
+      for (int r = 0; r < net.num_roles(); ++r)
+        domains.push_back(net.domain(r));
+      reference.push_back(engine::hash_domains(domains));
+    }
+  });
+
+  std::cout
+      << "=============================================================\n"
+      << "Throughput: batched ParseService vs single-thread, backend "
+      << engine::to_string(cfg.backend) << "\n"
+      << cfg.sentences << " English sentences, lengths " << cfg.lo << ".."
+      << cfg.hi << ", batch size " << cfg.batch << "\n"
+      << "=============================================================\n\n";
+
+  util::Table table({"threads", "wall s", "sent/s", "speedup", "p50 ms",
+                     "p95 ms", "p99 ms", "bit-identical"});
+  std::vector<serve::ThroughputRow> rows;
+  bool all_identical = true;
+  double single_thread_sps = 0.0;
+
+  for (int threads : cfg.threads) {
+    serve::ParseService::Options opt;
+    opt.threads = threads;
+    opt.queue_capacity = std::max<std::size_t>(cfg.batch * 2, 64);
+    serve::ParseService service(bundle.grammar, opt);
+
+    std::vector<std::uint64_t> hashes(workload.size(), 0);
+    const double wall = bench::time_host([&] {
+      for (std::size_t base = 0; base < workload.size(); base += cfg.batch) {
+        const std::size_t end =
+            std::min(base + cfg.batch, workload.size());
+        std::vector<serve::ParseRequest> batch;
+        batch.reserve(end - base);
+        for (std::size_t i = base; i < end; ++i) {
+          serve::ParseRequest r;
+          r.sentence = workload[i];
+          r.backend = cfg.backend;
+          batch.push_back(std::move(r));
+        }
+        auto responses = service.parse_batch(std::move(batch));
+        for (std::size_t i = base; i < end; ++i)
+          hashes[i] = responses[i - base].domains_hash;
+      }
+    });
+
+    // All backends (maspar included) run filtering to the fixpoint
+    // under the service defaults, so every hash must match serial.
+    bool identical = true;
+    for (std::size_t i = 0; i < workload.size(); ++i)
+      if (hashes[i] != reference[i]) identical = false;
+    all_identical = all_identical && identical;
+
+    serve::ThroughputRow row;
+    row.threads = threads;
+    row.batch_size = cfg.batch;
+    row.backend = engine::to_string(cfg.backend);
+    row.sentences = workload.size();
+    row.wall_seconds = wall;
+    row.throughput_sps = static_cast<double>(workload.size()) / wall;
+    if (threads == 1) single_thread_sps = row.throughput_sps;
+    row.speedup = single_thread_sps > 0
+                      ? row.throughput_sps / single_thread_sps
+                      : 0.0;
+    row.stats = service.stats();
+    rows.push_back(row);
+
+    table.add_row({std::to_string(threads), bench::fmt(wall, "%.3f"),
+                   bench::fmt(row.throughput_sps, "%.1f"),
+                   bench::fmt(row.speedup, "%.2f"),
+                   bench::fmt(row.stats.latency_p50_ms, "%.2f"),
+                   bench::fmt(row.stats.latency_p95_ms, "%.2f"),
+                   bench::fmt(row.stats.latency_p99_ms, "%.2f"),
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nplain single-thread loop (no service): "
+            << bench::fmt(static_cast<double>(workload.size()) / serial_secs,
+                          "%.1f")
+            << " sent/s\n";
+
+  std::ostringstream workload_desc;
+  workload_desc << "english n=" << cfg.lo << ".." << cfg.hi << " x"
+                << cfg.sentences << " batch=" << cfg.batch;
+  std::ofstream json(cfg.json_path);
+  serve::write_throughput_report(json, workload_desc.str(), rows);
+  std::cout << "report: " << cfg.json_path << "\n";
+
+  if (!all_identical) {
+    std::cout << "verdict: BIT-IDENTITY FAILURE\n";
+    return 1;
+  }
+  std::cout << "verdict: batched results bit-identical to serial\n";
+  return 0;
+}

@@ -4,23 +4,28 @@
 
 namespace parsec::cdg {
 
-Ac4Stats filter_ac4(Network& net) {
+Ac4Stats filter_ac4(Network& net, Ac4Scratch* scratch) {
   net.build_arcs();
   Ac4Stats stats;
   const int R = net.num_roles();
   const int D = net.domain_size();
 
+  Ac4Scratch local;
+  Ac4Scratch& s = scratch ? *scratch : local;
+
   // counts[(role * D + rv) * R + other]: supporting 1-bits of `rv` on
   // the arc to `other` (meaningless for other == role).
-  std::vector<int> counts(
+  s.counts.assign(
       static_cast<std::size_t>(R) * static_cast<std::size_t>(D) * R, 0);
+  std::vector<int>& counts = s.counts;
   auto count_at = [&](int role, int rv, int other) -> int& {
     return counts[(static_cast<std::size_t>(role) * D + rv) * R + other];
   };
 
-  std::deque<std::pair<int, int>> queue;  // (role, rv) to eliminate
-  std::vector<std::uint8_t> queued(
-      static_cast<std::size_t>(R) * static_cast<std::size_t>(D), 0);
+  s.queue.clear();
+  std::deque<std::pair<int, int>>& queue = s.queue;  // (role, rv) to eliminate
+  s.queued.assign(static_cast<std::size_t>(R) * static_cast<std::size_t>(D), 0);
+  std::vector<std::uint8_t>& queued = s.queued;
   auto enqueue = [&](int role, int rv) {
     auto& flag = queued[static_cast<std::size_t>(role) * D + rv];
     if (flag) return;

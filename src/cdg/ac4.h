@@ -12,6 +12,10 @@
 // bench_ablation_ac4 measures the trade.
 #pragma once
 
+#include <deque>
+#include <utility>
+#include <vector>
+
 #include "cdg/network.h"
 
 namespace parsec::cdg {
@@ -22,8 +26,19 @@ struct Ac4Stats {
   std::size_t initial_count_work = 0;  // bits scanned to build counters
 };
 
+/// Reusable AC-4 working memory: the support counters dominate the
+/// allocation cost (R·D·R ints), so long-lived callers (the parse
+/// service's per-worker scratch) keep one of these and amortize the
+/// allocation across same-shaped networks.
+struct Ac4Scratch {
+  std::vector<int> counts;
+  std::vector<std::uint8_t> queued;
+  std::deque<std::pair<int, int>> queue;
+};
+
 /// Runs support-counting filtering to the fixpoint.  Equivalent to
-/// net.filter(-1).
-Ac4Stats filter_ac4(Network& net);
+/// net.filter(-1).  `scratch` (if non-null) provides reusable counter
+/// storage; it is resized and zeroed as needed.
+Ac4Stats filter_ac4(Network& net, Ac4Scratch* scratch = nullptr);
 
 }  // namespace parsec::cdg

@@ -11,11 +11,18 @@ Network::Network(const Grammar& g, const Sentence& s, Options opt)
   const int R = num_roles();
   const int D = domain_size();
   domains_.assign(R, util::DynBitset(static_cast<std::size_t>(D)));
+  init_domains();
+  if (opt.prebuild_arcs) build_arcs();
+}
 
+void Network::init_domains() {
+  const Grammar& g = *grammar_;
+  const int R = num_roles();
   // Initial domains (paper §1.2, Fig. 1): every (label, modifiee) pair
   // such that the label is legal for the role (table T, refined by the
   // word's category) and the modifiee is not the word itself.
   for (int role = 0; role < R; ++role) {
+    domains_[role].reset_all();
     const WordPos w = word_of_role(role);
     const RoleId rid = role_id_of(role);
     const CatId cat = sentence_.cat_at(w);
@@ -27,8 +34,18 @@ Network::Network(const Grammar& g, const Sentence& s, Options opt)
       }
     }
   }
+}
 
-  if (opt.prebuild_arcs) build_arcs();
+bool Network::reinit(const Sentence& s) {
+  if (s.size() != n()) return false;
+  sentence_ = s;
+  counters_ = NetworkCounters{};
+  trace_ = nullptr;
+  current_kind_ = TraceEvent::Kind::SupportElimination;
+  current_cause_ = "consistency";
+  init_domains();
+  if (arcs_built_) fill_arcs();
+  return true;
 }
 
 std::vector<RoleValue> Network::alive_values(int role) const {
@@ -51,17 +68,24 @@ void Network::build_arcs() {
   if (arcs_built_) return;
   const int R = num_roles();
   const std::size_t D = static_cast<std::size_t>(domain_size());
-  arcs_.assign(static_cast<std::size_t>(R) * (R - 1) / 2,
-               util::BitMatrix(D, D, false));
+  if (arcs_.empty())
+    arcs_.assign(static_cast<std::size_t>(R) * (R - 1) / 2,
+                 util::BitMatrix(D, D, false));
+  fill_arcs();
+  arcs_built_ = true;
+}
+
+void Network::fill_arcs() {
+  const int R = num_roles();
   for (int ra = 0; ra < R; ++ra) {
     for (int rb = ra + 1; rb < R; ++rb) {
       util::BitMatrix& m = arcs_[pair_index(ra, rb)];
+      m.reset_all();
       domains_[ra].for_each([&](std::size_t i) {
         domains_[rb].for_each([&](std::size_t j) { m.set(i, j); });
       });
     }
   }
-  arcs_built_ = true;
 }
 
 const util::BitMatrix& Network::arc_matrix(int ra, int rb) const {

@@ -80,6 +80,14 @@ class Network {
 
   Network(const Grammar& g, const Sentence& s, Options opt = {});
 
+  /// Rebinds this network to a new sentence of the *same length* under
+  /// the *same grammar*, reusing the domain bitsets and arc matrices
+  /// in place (no allocation; the serve hot path relies on this).
+  /// Counters and the trace hook are reset; if the arcs were built they
+  /// are refilled from the fresh domains.  Returns false (and leaves
+  /// the network untouched) when the sentence length differs.
+  bool reinit(const Sentence& s);
+
   // ---- shape ----------------------------------------------------------
   int n() const { return sentence_.size(); }
   int roles_per_word() const { return grammar_->num_roles(); }
@@ -172,6 +180,8 @@ class Network {
  private:
   std::size_t pair_index(int ra, int rb) const;
   util::BitMatrix& arc(int ra, int rb);
+  void init_domains();
+  void fill_arcs();
 
   const Grammar* grammar_;
   Sentence sentence_;

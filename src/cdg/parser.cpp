@@ -37,11 +37,33 @@ int SequentialParser::run_binary(Network& net) const {
   return zeroed;
 }
 
-ParseResult SequentialParser::parse(Network& net) const {
-  run_unary(net);
-  run_binary(net);
+ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const {
+  const bool cancellable = static_cast<bool>(cancel);
+  auto cancelled = [&](ParseResult& r) {
+    r.cancelled = true;
+    r.accepted = false;
+    r.alive_role_values = net.total_alive();
+    r.counters = net.counters();
+    return r;
+  };
   ParseResult r;
-  r.filter_sweeps_used = net.filter(opt_.filter_sweeps);
+  for (const auto& c : unary_) {
+    if (cancellable && cancel()) return cancelled(r);
+    net.apply_unary(c);
+  }
+  for (const auto& c : binary_) {
+    if (cancellable && cancel()) return cancelled(r);
+    net.apply_binary(c);
+    if (opt_.consistency_after_each_binary) net.consistency_step();
+  }
+  // net.filter() with a cancellation poll per sweep.
+  int sweeps = 0;
+  while (opt_.filter_sweeps < 0 || sweeps < opt_.filter_sweeps) {
+    if (cancellable && cancel()) return cancelled(r);
+    if (net.consistency_step() == 0) break;
+    ++sweeps;
+  }
+  r.filter_sweeps_used = sweeps;
   r.accepted = net.all_roles_nonempty();
   r.alive_role_values = net.total_alive();
   r.ambiguous = false;

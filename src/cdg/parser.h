@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "cdg/constraint_eval.h"
@@ -15,6 +16,11 @@
 #include "cdg/network.h"
 
 namespace parsec::cdg {
+
+/// Cooperative cancellation hook: polled between constraint
+/// applications and filtering sweeps; returning true aborts the parse
+/// (serve uses this for per-request deadlines).
+using CancelFn = std::function<bool()>;
 
 struct ParseOptions {
   /// Build arc matrices before unary propagation (MasPar design
@@ -31,6 +37,7 @@ struct ParseOptions {
 
 struct ParseResult {
   bool accepted = false;        // every role nonempty after propagation
+  bool cancelled = false;       // the CancelFn fired mid-parse
   int filter_sweeps_used = 0;   // sweeps that eliminated something
   std::size_t alive_role_values = 0;
   bool ambiguous = false;       // some role retains > 1 role value
@@ -48,8 +55,10 @@ class SequentialParser {
   Network make_network(const Sentence& s) const;
 
   /// Runs the full pipeline on `net` (which must belong to this
-  /// grammar).
-  ParseResult parse(Network& net) const;
+  /// grammar).  `cancel` (if non-empty) is polled between constraints
+  /// and sweeps; when it fires the result has `cancelled = true`,
+  /// `accepted = false`, and the network is left mid-propagation.
+  ParseResult parse(Network& net, const CancelFn& cancel = {}) const;
 
   /// Convenience: network construction + parse.
   ParseResult parse_sentence(const Sentence& s) const;

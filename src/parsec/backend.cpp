@@ -1,0 +1,201 @@
+#include "parsec/backend.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace parsec::engine {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Serial:
+      return "serial";
+    case Backend::Omp:
+      return "omp";
+    case Backend::Pram:
+      return "pram";
+    case Backend::Maspar:
+      return "maspar";
+  }
+  return "?";
+}
+
+std::optional<Backend> backend_from_name(std::string_view name) {
+  if (name == "serial" || name == "seq") return Backend::Serial;
+  if (name == "omp") return Backend::Omp;
+  if (name == "pram") return Backend::Pram;
+  if (name == "maspar") return Backend::Maspar;
+  return std::nullopt;
+}
+
+BackendStats& BackendStats::operator+=(const BackendStats& o) {
+  requests += o.requests;
+  accepted += o.accepted;
+  cancelled += o.cancelled;
+  network += o.network;
+  consistency_iterations += o.consistency_iterations;
+  pram.time_steps += o.pram.time_steps;
+  pram.max_processors = std::max(pram.max_processors, o.pram.max_processors);
+  pram.total_work += o.pram.total_work;
+  pram.write_conflicts += o.pram.write_conflicts;
+  maspar += o.maspar;
+  maspar_simulated_seconds += o.maspar_simulated_seconds;
+  return *this;
+}
+
+cdg::Network& NetworkScratch::acquire(const cdg::Grammar& g,
+                                      const cdg::Sentence& s,
+                                      cdg::NetworkOptions opt) {
+  auto it = by_length_.find(s.size());
+  if (it != by_length_.end() && &it->second.grammar() == &g &&
+      it->second.reinit(s)) {
+    ++reuses_;
+    return it->second;
+  }
+  if (it != by_length_.end()) by_length_.erase(it);
+  auto [pos, inserted] = by_length_.emplace(s.size(), cdg::Network(g, s, opt));
+  (void)inserted;
+  return pos->second;
+}
+
+EngineSet::EngineSet(const cdg::Grammar& g, EngineSetOptions opt)
+    : grammar_(&g),
+      opt_(opt),
+      serial_(g, opt.serial),
+      omp_(g, opt.omp),
+      pram_(g, opt.pram),
+      maspar_(g, opt.maspar) {}
+
+std::uint64_t hash_domains(const std::vector<util::DynBitset>& domains) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  mix(domains.size());
+  for (const auto& d : domains) {
+    mix(d.size());
+    for (std::size_t wi = 0; wi < d.word_count(); ++wi) mix(d.word_at(wi));
+  }
+  return h;
+}
+
+namespace {
+
+std::vector<util::DynBitset> net_domains(const cdg::Network& net) {
+  std::vector<util::DynBitset> out;
+  out.reserve(static_cast<std::size_t>(net.num_roles()));
+  for (int r = 0; r < net.num_roles(); ++r) out.push_back(net.domain(r));
+  return out;
+}
+
+void finish_from_network(BackendRun& run, const cdg::Network& net,
+                         bool capture) {
+  run.alive_role_values = net.total_alive();
+  auto domains = net_domains(net);
+  run.domains_hash = hash_domains(domains);
+  if (capture) run.domains = std::move(domains);
+  run.stats.network += net.counters();
+}
+
+}  // namespace
+
+BackendRun run_backend(const EngineSet& engines, Backend b,
+                       const cdg::Sentence& s, NetworkScratch* scratch,
+                       const cdg::CancelFn& cancel, bool capture_domains,
+                       cdg::Ac4Scratch* ac4) {
+  BackendRun run;
+  run.stats.requests = 1;
+
+  // Non-serial backends have no mid-parse poll; refuse up front rather
+  // than blow a deadline that has already passed.
+  if (cancel && b != Backend::Serial && cancel()) {
+    run.cancelled = true;
+    run.stats.cancelled = 1;
+    return run;
+  }
+
+  if (b == Backend::Maspar) {
+    // The MasPar engine owns its PE-resident state; no host network.
+    std::unique_ptr<MasparParse> parse;
+    MasparResult r = engines.maspar().parse(s, parse);
+    run.accepted = r.accepted;
+    run.stats.consistency_iterations +=
+        static_cast<std::uint64_t>(r.consistency_iterations);
+    run.stats.maspar += r.stats;
+    run.stats.maspar_simulated_seconds += r.simulated_seconds;
+    auto domains = parse->domains();
+    run.alive_role_values = 0;
+    for (const auto& d : domains) run.alive_role_values += d.count();
+    run.domains_hash = hash_domains(domains);
+    if (capture_domains) run.domains = std::move(domains);
+    run.stats.accepted = run.accepted ? 1 : 0;
+    return run;
+  }
+
+  cdg::NetworkOptions nopt;
+  nopt.prebuild_arcs = engines.options().serial.prebuild_arcs;
+  NetworkScratch local;
+  cdg::Network& net = (scratch ? *scratch : local)
+                          .acquire(engines.grammar(), s, nopt);
+
+  switch (b) {
+    case Backend::Serial: {
+      if (engines.options().serial_ac4) {
+        // Propagate with cancel polls, then AC-4 filtering to the
+        // fixpoint (same fixpoint as sweep filtering; confluent).
+        const auto& p = engines.serial();
+        bool aborted = false;
+        for (std::size_t i = 0; i < p.compiled_unary().size(); ++i) {
+          if (cancel && cancel()) {
+            aborted = true;
+            break;
+          }
+          p.step_unary(net, i);
+        }
+        for (std::size_t i = 0; !aborted && i < p.compiled_binary().size();
+             ++i) {
+          if (cancel && cancel()) {
+            aborted = true;
+            break;
+          }
+          p.step_binary(net, i);
+        }
+        if (!aborted) cdg::filter_ac4(net, ac4);
+        run.cancelled = aborted;
+        run.accepted = !aborted && net.all_roles_nonempty();
+      } else {
+        cdg::ParseResult r = engines.serial().parse(net, cancel);
+        run.cancelled = r.cancelled;
+        run.accepted = r.accepted;
+        run.stats.consistency_iterations +=
+            static_cast<std::uint64_t>(r.filter_sweeps_used);
+      }
+      break;
+    }
+    case Backend::Omp: {
+      OmpResult r = engines.omp().parse(net);
+      run.accepted = r.accepted;
+      run.stats.consistency_iterations +=
+          static_cast<std::uint64_t>(r.consistency_iterations);
+      break;
+    }
+    case Backend::Pram: {
+      PramResult r = engines.pram().parse(net);
+      run.accepted = r.accepted;
+      run.stats.consistency_iterations +=
+          static_cast<std::uint64_t>(r.consistency_iterations);
+      run.stats.pram = r.stats;
+      break;
+    }
+    case Backend::Maspar:
+      break;  // handled above
+  }
+
+  finish_from_network(run, net, capture_domains);
+  run.stats.accepted = run.accepted ? 1 : 0;
+  run.stats.cancelled = run.cancelled ? 1 : 0;
+  return run;
+}
+
+}  // namespace parsec::engine

@@ -1,0 +1,144 @@
+// Uniform backend selection over the PARSEC engines.
+//
+// The engines (sequential CDG, OpenMP host-parallel, CRCW P-RAM,
+// simulated MasPar) expose different option/result types; callers that
+// pick an engine per request — the CLI, the parse service, the
+// throughput bench — want one enum, one compiled-parser bundle, and one
+// outcome shape.  All engines reach the same fixpoint under unbounded
+// filtering (support removal is confluent; the equivalence tests verify
+// bit-equality), so `BackendRun::domains_hash` is backend-independent
+// for a given sentence and is the service's bit-identity check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cdg/ac4.h"
+#include "cdg/network.h"
+#include "cdg/parser.h"
+#include "parsec/maspar_parser.h"
+#include "parsec/omp_parser.h"
+#include "parsec/pram_parser.h"
+
+namespace parsec::engine {
+
+enum class Backend { Serial, Omp, Pram, Maspar };
+
+inline constexpr Backend kAllBackends[] = {Backend::Serial, Backend::Omp,
+                                           Backend::Pram, Backend::Maspar};
+inline constexpr std::size_t kNumBackends = 4;
+
+const char* to_string(Backend b);
+std::optional<Backend> backend_from_name(std::string_view name);
+
+/// Per-backend work counters rolled up across requests (serve's
+/// ServiceStats aggregates one of these per backend).
+struct BackendStats {
+  std::uint64_t requests = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t cancelled = 0;
+  /// Host network work (serial / omp / pram run on a cdg::Network).
+  cdg::NetworkCounters network;
+  std::uint64_t consistency_iterations = 0;
+  /// P-RAM step model (pram backend only).
+  pram::StepStats pram;
+  /// MasPar machine activity + calibrated time (maspar backend only).
+  maspar::MachineStats maspar;
+  double maspar_simulated_seconds = 0.0;
+
+  BackendStats& operator+=(const BackendStats& o);
+};
+
+/// Pool of constraint networks keyed by sentence length: `acquire`
+/// reuses (via Network::reinit) the network built for the last
+/// same-length sentence, so steady-state parsing of a workload with
+/// repeating lengths allocates nothing.
+class NetworkScratch {
+ public:
+  cdg::Network& acquire(const cdg::Grammar& g, const cdg::Sentence& s,
+                        cdg::NetworkOptions opt = {});
+
+  std::size_t pooled_shapes() const { return by_length_.size(); }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::unordered_map<int, cdg::Network> by_length_;
+  std::uint64_t reuses_ = 0;
+};
+
+/// One compiled parser per backend for a grammar.  Construction compiles
+/// every constraint set once; the set is immutable afterwards and safe
+/// to share across threads (each parse mutates only its own network).
+struct EngineSetOptions {
+  EngineSetOptions() {
+    // Inside a thread-pool worker one request = one thread: the OpenMP
+    // engine must not spawn a nested team, and the MasPar engine runs
+    // filtering to the fixpoint so its result is bit-identical to the
+    // serial parser's.
+    omp.threads = 1;
+    maspar.filter_iterations = -1;
+  }
+  cdg::ParseOptions serial;
+  /// Serial backend filters with AC-4 support counters instead of
+  /// sweep-to-fixpoint (same fixpoint; O(n^4) total instead of per
+  /// sweep, reusing the caller's Ac4Scratch).
+  bool serial_ac4 = false;
+  OmpOptions omp;
+  PramOptions pram;
+  MasparOptions maspar;
+};
+
+class EngineSet {
+ public:
+  explicit EngineSet(const cdg::Grammar& g, EngineSetOptions opt = {});
+
+  const cdg::Grammar& grammar() const { return *grammar_; }
+  const cdg::SequentialParser& serial() const { return serial_; }
+  const OmpParser& omp() const { return omp_; }
+  const PramParser& pram() const { return pram_; }
+  const MasparParser& maspar() const { return maspar_; }
+  const EngineSetOptions& options() const { return opt_; }
+
+ private:
+  const cdg::Grammar* grammar_;
+  EngineSetOptions opt_;
+  cdg::SequentialParser serial_;
+  OmpParser omp_;
+  PramParser pram_;
+  MasparParser maspar_;
+};
+
+/// Outcome of one sentence on one backend.
+struct BackendRun {
+  bool cancelled = false;  // CancelFn fired (serial polls mid-parse;
+                           // the others only before starting)
+  bool accepted = false;
+  std::size_t alive_role_values = 0;
+  /// FNV-1a over the final domain bitsets; equal across backends at the
+  /// fixpoint, equal across runs (bit-determinism).
+  std::uint64_t domains_hash = 0;
+  /// Final domains, captured only on request (they are O(n^2) bits).
+  std::vector<util::DynBitset> domains;
+  BackendStats stats;  // this run's contribution
+};
+
+/// FNV-1a over domain sizes and words.
+std::uint64_t hash_domains(const std::vector<util::DynBitset>& domains);
+
+/// Parses `s` on backend `b`.  `scratch` (if non-null) supplies the
+/// reusable network pool; `cancel` (if non-empty) aborts — the serial
+/// backend polls it between constraints, the others check it once
+/// before starting.  `capture_domains` copies the final domains into
+/// the result.  `ac4` is the reusable counter storage for the
+/// serial-AC4 path (EngineSetOptions::serial_ac4).
+BackendRun run_backend(const EngineSet& engines, Backend b,
+                       const cdg::Sentence& s,
+                       NetworkScratch* scratch = nullptr,
+                       const cdg::CancelFn& cancel = {},
+                       bool capture_domains = false,
+                       cdg::Ac4Scratch* ac4 = nullptr);
+
+}  // namespace parsec::engine

@@ -1,0 +1,183 @@
+#include "serve/parse_service.h"
+
+#include <utility>
+
+namespace parsec::serve {
+
+using clock = std::chrono::steady_clock;
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::Ok:
+      return "ok";
+    case RequestStatus::Timeout:
+      return "timeout";
+    case RequestStatus::ShuttingDown:
+      return "shutting-down";
+  }
+  return "?";
+}
+
+ParseService::ParseService(const cdg::Grammar& grammar)
+    : ParseService(grammar, Options()) {}
+
+ParseService::ParseService(const cdg::Grammar& grammar, Options opt)
+    : engines_(grammar, opt.engines), opt_(opt), start_(clock::now()) {
+  pool_ = std::make_unique<ThreadPool>(opt.threads, opt.queue_capacity);
+  scratch_.resize(static_cast<std::size_t>(pool_->num_threads()));
+}
+
+ParseService::~ParseService() { shutdown(); }
+
+void ParseService::shutdown() { pool_->shutdown(); }
+
+std::future<ParseResponse> ParseService::submit(ParseRequest req) {
+  auto promise = std::make_shared<std::promise<ParseResponse>>();
+  std::future<ParseResponse> future = promise->get_future();
+  const auto submitted = clock::now();
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++submitted_;
+  }
+  bool posted =
+      pool_->post([this, req = std::move(req), submitted, promise](
+                      int worker) mutable {
+        run_request(worker, std::move(req), submitted, std::move(*promise),
+                    nullptr);
+      });
+  if (!posted) {
+    // Shutdown raced the submission; the lambda was dropped, but we
+    // still hold the promise — satisfy the future inline.
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++rejected_at_submit_;
+    }
+    ParseResponse resp;
+    resp.status = RequestStatus::ShuttingDown;
+    promise->set_value(std::move(resp));
+  }
+  return future;
+}
+
+void ParseService::submit(ParseRequest req, Callback cb) {
+  const auto submitted = clock::now();
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++submitted_;
+  }
+  bool posted = pool_->post([this, req = std::move(req), submitted,
+                             cb = std::move(cb)](int worker) mutable {
+    run_request(worker, std::move(req), submitted,
+                std::promise<ParseResponse>{}, std::move(cb));
+  });
+  if (!posted) {
+    ParseResponse resp;
+    resp.status = RequestStatus::ShuttingDown;
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++rejected_at_submit_;
+    }
+    if (cb) cb(std::move(resp));
+  }
+}
+
+std::vector<std::future<ParseResponse>> ParseService::submit_batch(
+    std::vector<ParseRequest> reqs) {
+  std::vector<std::future<ParseResponse>> futures;
+  futures.reserve(reqs.size());
+  for (auto& r : reqs) futures.push_back(submit(std::move(r)));
+  return futures;
+}
+
+std::vector<ParseResponse> ParseService::parse_batch(
+    std::vector<ParseRequest> reqs) {
+  auto futures = submit_batch(std::move(reqs));
+  std::vector<ParseResponse> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void ParseService::run_request(int worker, ParseRequest req,
+                               clock::time_point submitted,
+                               std::promise<ParseResponse> promise,
+                               Callback cb) {
+  const auto dequeued = clock::now();
+  ParseResponse resp;
+  resp.worker = worker;
+  resp.queue_seconds = std::chrono::duration<double>(dequeued - submitted).count();
+
+  const bool has_deadline = req.deadline.count() > 0;
+  const auto deadline_at = submitted + req.deadline;
+  engine::BackendStats delta;
+
+  if (has_deadline && dequeued >= deadline_at) {
+    // Expired while queued: answer without parsing.
+    resp.status = RequestStatus::Timeout;
+    delta.requests = 1;
+    delta.cancelled = 1;
+  } else {
+    cdg::CancelFn cancel;
+    if (has_deadline)
+      cancel = [deadline_at] { return clock::now() >= deadline_at; };
+    WorkerScratch& scratch = scratch_[static_cast<std::size_t>(worker)];
+    engine::BackendRun run = engine::run_backend(
+        engines_, req.backend, req.sentence, &scratch.networks, cancel,
+        req.capture_domains, &scratch.ac4);
+    resp.status = run.cancelled ? RequestStatus::Timeout : RequestStatus::Ok;
+    resp.accepted = run.accepted;
+    resp.alive_role_values = run.alive_role_values;
+    resp.domains_hash = run.domains_hash;
+    resp.domains = std::move(run.domains);
+    delta = run.stats;
+  }
+  resp.parse_seconds =
+      std::chrono::duration<double>(clock::now() - dequeued).count();
+
+  record(req, resp, delta);
+  if (cb)
+    cb(std::move(resp));
+  else
+    promise.set_value(std::move(resp));
+}
+
+void ParseService::record(const ParseRequest& req, const ParseResponse& resp,
+                          const engine::BackendStats& delta) {
+  const double total_seconds = resp.queue_seconds + resp.parse_seconds;
+  std::lock_guard lock(stats_mutex_);
+  ++completed_;
+  if (resp.accepted) ++accepted_;
+  if (resp.status == RequestStatus::Timeout) ++timeouts_;
+  latency_.add(total_seconds);
+  quantiles_.add(total_seconds);
+  backend_stats_[static_cast<std::size_t>(req.backend)] += delta;
+}
+
+ServiceStats ParseService::stats() const {
+  ServiceStats s;
+  s.elapsed_seconds =
+      std::chrono::duration<double>(clock::now() - start_).count();
+  s.queue_depth = pool_->queue_depth();
+  s.threads = pool_->num_threads();
+  s.workers = pool_->worker_stats();
+  std::lock_guard lock(stats_mutex_);
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.accepted = accepted_;
+  s.timeouts = timeouts_;
+  s.rejected_at_submit = rejected_at_submit_;
+  s.throughput_sps =
+      s.elapsed_seconds > 0
+          ? static_cast<double>(completed_) / s.elapsed_seconds
+          : 0.0;
+  s.latency_mean_ms = latency_.mean() * 1e3;
+  s.latency_max_ms = latency_.max() * 1e3;
+  s.latency_p50_ms = quantiles_.p50() * 1e3;
+  s.latency_p95_ms = quantiles_.p95() * 1e3;
+  s.latency_p99_ms = quantiles_.p99() * 1e3;
+  for (std::size_t i = 0; i < engine::kNumBackends; ++i)
+    s.backends[i] = backend_stats_[i];
+  return s;
+}
+
+}  // namespace parsec::serve

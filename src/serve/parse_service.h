@@ -1,0 +1,171 @@
+// Batched multi-sentence parse service.
+//
+// The paper parallelizes *within* one sentence (O(k + log n) steps on
+// the MasPar); a parsing service also scales *across* sentences — the
+// dimension real traffic arrives on.  ParseService drives a stream of
+// independent parse requests through the existing engines on a
+// fixed-size thread pool:
+//
+//   * per-request backend selection (serial / omp / pram / maspar);
+//   * per-worker reusable scratch (constraint-network pools via
+//     Network::reinit, AC-4 counter storage) so steady-state parsing
+//     of repeating sentence shapes is allocation-free on the hot path;
+//   * per-request deadlines — an expired request returns a Timeout
+//     response instead of stalling the queue (the serial backend even
+//     aborts mid-parse via cdg::CancelFn);
+//   * batched submission returning futures (or invoking callbacks) in
+//     input order, so batch results are trivially ordered;
+//   * aggregate ServiceStats: throughput, p50/p95/p99 latency, queue
+//     depth, per-worker utilization, and per-backend work counters
+//     rolled up from NetworkCounters / StepStats / MachineStats.
+//
+// Every parse is single-threaded and deterministic, so batched results
+// are bit-identical to a single-threaded run of the same requests
+// (ParseResponse::domains_hash; tests/serve verifies byte equality).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "parsec/backend.h"
+#include "serve/thread_pool.h"
+#include "util/stats.h"
+
+namespace parsec::serve {
+
+enum class RequestStatus {
+  Ok,            // parsed (accepted or rejected — see `accepted`)
+  Timeout,       // deadline expired while queued or mid-parse
+  ShuttingDown,  // submitted after shutdown began
+};
+
+const char* to_string(RequestStatus s);
+
+struct ParseRequest {
+  cdg::Sentence sentence;
+  engine::Backend backend = engine::Backend::Serial;
+  /// Relative deadline measured from submission; zero = none.
+  std::chrono::steady_clock::duration deadline{};
+  /// Copy the final domain bitsets into the response (costly; for
+  /// equivalence checks and debugging).
+  bool capture_domains = false;
+};
+
+struct ParseResponse {
+  RequestStatus status = RequestStatus::Ok;
+  bool accepted = false;
+  std::size_t alive_role_values = 0;
+  /// Backend-independent fingerprint of the final domains (identical
+  /// to a single-threaded parse of the same sentence).
+  std::uint64_t domains_hash = 0;
+  std::vector<util::DynBitset> domains;  // iff capture_domains
+  int worker = -1;
+  double queue_seconds = 0.0;  // submission -> dequeue
+  double parse_seconds = 0.0;  // dequeue -> done
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t rejected_at_submit = 0;  // after shutdown began
+  double elapsed_seconds = 0.0;          // since service construction
+  double throughput_sps = 0.0;           // completed / elapsed
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  std::size_t queue_depth = 0;
+  int threads = 0;
+  std::vector<WorkerStats> workers;
+  /// Indexed by static_cast<size_t>(engine::Backend).
+  engine::BackendStats backends[engine::kNumBackends];
+};
+
+class ParseService {
+ public:
+  struct Options {
+    /// Worker threads; <= 0 uses hardware_concurrency.
+    int threads = 0;
+    /// Bounded queue capacity (back-pressure on submitters).
+    std::size_t queue_capacity = 256;
+    /// Engine configuration shared by all workers.  Defaults keep the
+    /// OpenMP engine at one thread per request (no nested teams) and
+    /// the MasPar engine at fixpoint filtering (bit-identical results).
+    engine::EngineSetOptions engines;
+  };
+
+  using Callback = std::function<void(ParseResponse)>;
+
+  explicit ParseService(const cdg::Grammar& grammar);
+  ParseService(const cdg::Grammar& grammar, Options opt);
+
+  /// Drains outstanding requests, then joins the pool.
+  ~ParseService();
+
+  ParseService(const ParseService&) = delete;
+  ParseService& operator=(const ParseService&) = delete;
+
+  /// Enqueues one request; blocks while the queue is full.  The future
+  /// is always satisfied — with status ShuttingDown if the service is
+  /// stopping.
+  std::future<ParseResponse> submit(ParseRequest req);
+
+  /// Callback flavour: `cb` runs on the worker thread that parsed the
+  /// request (or inline on the submitter when shutting down).
+  void submit(ParseRequest req, Callback cb);
+
+  /// Enqueues a whole batch; futures are in input order.
+  std::vector<std::future<ParseResponse>> submit_batch(
+      std::vector<ParseRequest> reqs);
+
+  /// Convenience: submit a batch and wait; responses in input order.
+  std::vector<ParseResponse> parse_batch(std::vector<ParseRequest> reqs);
+
+  /// Initiates drain-then-join shutdown (idempotent; the destructor
+  /// calls it too).
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  const cdg::Grammar& grammar() const { return engines_.grammar(); }
+  int threads() const { return pool_->num_threads(); }
+
+ private:
+  /// Per-worker mutable state; only worker i touches scratch_[i].
+  struct WorkerScratch {
+    engine::NetworkScratch networks;
+    cdg::Ac4Scratch ac4;
+  };
+
+  void run_request(int worker, ParseRequest req,
+                   std::chrono::steady_clock::time_point submitted,
+                   std::promise<ParseResponse> promise, Callback cb);
+  void record(const ParseRequest& req, const ParseResponse& resp,
+              const engine::BackendStats& delta);
+
+  engine::EngineSet engines_;
+  Options opt_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<WorkerScratch> scratch_;
+  std::unique_ptr<ThreadPool> pool_;  // last member: dies first
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t rejected_at_submit_ = 0;
+  util::Stats latency_;        // seconds, submission -> completion
+  util::Quantiles quantiles_;  // same samples, percentile view
+  engine::BackendStats backend_stats_[engine::kNumBackends];
+};
+
+}  // namespace parsec::serve

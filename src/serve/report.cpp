@@ -1,0 +1,81 @@
+#include "serve/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace parsec::serve {
+
+namespace {
+
+void json_backend(std::ostream& os, const engine::BackendStats& b) {
+  os << "{\"requests\": " << b.requests << ", \"accepted\": " << b.accepted
+     << ", \"cancelled\": " << b.cancelled
+     << ", \"consistency_iterations\": " << b.consistency_iterations
+     << ", \"unary_evals\": " << b.network.unary_evals
+     << ", \"binary_evals\": " << b.network.binary_evals
+     << ", \"eliminations\": " << b.network.eliminations
+     << ", \"arc_zeroings\": " << b.network.arc_zeroings
+     << ", \"support_checks\": " << b.network.support_checks
+     << ", \"pram_time_steps\": " << b.pram.time_steps
+     << ", \"pram_max_processors\": " << b.pram.max_processors
+     << ", \"maspar_scan_ops\": " << b.maspar.scan_ops
+     << ", \"maspar_route_ops\": " << b.maspar.route_ops
+     << ", \"maspar_simulated_seconds\": " << b.maspar_simulated_seconds
+     << "}";
+}
+
+}  // namespace
+
+void write_throughput_report(std::ostream& os, const std::string& workload,
+                             const std::vector<ThroughputRow>& rows) {
+  os << "{\n  \"workload\": \"" << workload << "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    const ServiceStats& s = r.stats;
+    os << "    {\"threads\": " << r.threads
+       << ", \"batch_size\": " << r.batch_size << ", \"backend\": \""
+       << r.backend << "\", \"sentences\": " << r.sentences
+       << ", \"wall_seconds\": " << r.wall_seconds
+       << ", \"throughput_sps\": " << r.throughput_sps
+       << ", \"speedup\": " << r.speedup
+       << ", \"latency_ms\": {\"mean\": " << s.latency_mean_ms
+       << ", \"p50\": " << s.latency_p50_ms << ", \"p95\": " << s.latency_p95_ms
+       << ", \"p99\": " << s.latency_p99_ms << ", \"max\": " << s.latency_max_ms
+       << "}, \"completed\": " << s.completed << ", \"timeouts\": "
+       << s.timeouts << ", \"backend_stats\": ";
+    json_backend(os, s.backends[static_cast<std::size_t>(
+                     *engine::backend_from_name(r.backend))]);
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+std::string render_service_stats(const ServiceStats& s) {
+  std::ostringstream os;
+  os << "requests: " << s.completed << "/" << s.submitted << " completed, "
+     << s.accepted << " accepted, " << s.timeouts << " timeouts";
+  if (s.rejected_at_submit) os << ", " << s.rejected_at_submit << " rejected";
+  os << "\nthroughput: " << s.throughput_sps << " sentences/s over "
+     << s.elapsed_seconds << " s on " << s.threads << " threads\n"
+     << "latency ms: mean " << s.latency_mean_ms << ", p50 "
+     << s.latency_p50_ms << ", p95 " << s.latency_p95_ms << ", p99 "
+     << s.latency_p99_ms << ", max " << s.latency_max_ms << "\n"
+     << "queue depth: " << s.queue_depth << "\n";
+  for (std::size_t i = 0; i < s.workers.size(); ++i)
+    os << "worker " << i << ": " << s.workers[i].jobs << " jobs, "
+       << s.workers[i].busy_seconds << " s busy\n";
+  for (engine::Backend b : engine::kAllBackends) {
+    const auto& bs = s.backends[static_cast<std::size_t>(b)];
+    if (!bs.requests) continue;
+    os << "backend " << engine::to_string(b) << ": " << bs.requests
+       << " requests, " << bs.consistency_iterations
+       << " consistency iterations, " << bs.network.eliminations
+       << " eliminations";
+    if (bs.maspar_simulated_seconds > 0)
+      os << ", " << bs.maspar_simulated_seconds << " simulated s";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace parsec::serve

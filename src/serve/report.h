@@ -1,0 +1,36 @@
+// Machine-readable throughput reports (BENCH_throughput.json).
+//
+// Tiny purpose-built JSON emitter — the repo takes no dependencies —
+// shared by bench_throughput and parse_server_demo so every perf PR can
+// diff a served-traffic metric.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/parse_service.h"
+
+namespace parsec::serve {
+
+/// One measured service configuration.
+struct ThroughputRow {
+  int threads = 0;
+  std::size_t batch_size = 0;
+  std::string backend;
+  std::uint64_t sentences = 0;
+  double wall_seconds = 0.0;
+  double throughput_sps = 0.0;  // sentences / wall second
+  double speedup = 0.0;         // vs the single-thread row
+  ServiceStats stats;
+};
+
+/// Writes `{"workload": ..., "rows": [...]}` to `os`.
+void write_throughput_report(std::ostream& os, const std::string& workload,
+                             const std::vector<ThroughputRow>& rows);
+
+/// Convenience: render ServiceStats as a human-readable multi-line
+/// summary (demo CLI and smoke logs).
+std::string render_service_stats(const ServiceStats& s);
+
+}  // namespace parsec::serve

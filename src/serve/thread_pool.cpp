@@ -1,0 +1,57 @@
+#include "serve/thread_pool.h"
+
+#include <chrono>
+
+namespace parsec::serve {
+
+ThreadPool::ThreadPool(int threads, std::size_t queue_capacity)
+    : queue_(queue_capacity) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw ? static_cast<int>(hw) : 1;
+  }
+  counters_ = std::make_unique<Counters[]>(static_cast<std::size_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::post(Job job) { return queue_.push(std::move(job)); }
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  std::lock_guard lock(join_mutex_);
+  if (joined_.exchange(true)) return;
+  for (auto& t : workers_)
+    if (t.joinable()) t.join();
+}
+
+std::vector<WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    out[i].jobs = counters_[i].jobs.load(std::memory_order_relaxed);
+    out[i].busy_seconds =
+        counters_[i].busy_seconds.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ThreadPool::worker_loop(int index) {
+  Counters& c = counters_[static_cast<std::size_t>(index)];
+  while (auto job = queue_.pop()) {
+    // Count on pickup, not completion: a job may publish its own result
+    // (e.g. satisfy a promise) before returning, and observers of that
+    // result must not see a job total that excludes it.
+    c.jobs.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    (*job)(index);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    c.busy_seconds.fetch_add(secs, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace parsec::serve

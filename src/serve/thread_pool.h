@@ -1,0 +1,72 @@
+// Fixed-size thread pool over a BoundedQueue.
+//
+// Workers are numbered 0..threads-1 and every job receives its worker
+// index, so callers can keep per-worker mutable scratch (the parse
+// service's network pools) without any locking on the hot path.
+// Shutdown is drain-then-join: queued jobs still run, then workers
+// exit.  Per-worker counters are plain atomics so stats snapshots never
+// contend with job execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/work_queue.h"
+
+namespace parsec::serve {
+
+struct WorkerStats {
+  std::uint64_t jobs = 0;
+  double busy_seconds = 0.0;
+};
+
+class ThreadPool {
+ public:
+  /// A job sees the index of the worker running it.
+  using Job = std::function<void(int worker)>;
+
+  /// `threads` <= 0 uses hardware_concurrency.
+  explicit ThreadPool(int threads, std::size_t queue_capacity = 256);
+
+  /// Drains and joins (idempotent with shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; blocks while the queue is full (back-pressure).
+  /// Returns false once shutdown has begun.
+  bool post(Job job);
+
+  /// Closes the queue, lets workers drain every queued job, joins.
+  /// Safe to call while jobs are running or queued, and more than once.
+  void shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool shutting_down() const { return queue_.closed(); }
+
+  /// Snapshot of per-worker counters (relaxed reads; totals may lag a
+  /// running job by one update).
+  std::vector<WorkerStats> worker_stats() const;
+
+ private:
+  struct alignas(64) Counters {  // one cache line per worker
+    std::atomic<std::uint64_t> jobs{0};
+    std::atomic<double> busy_seconds{0.0};
+  };
+
+  void worker_loop(int index);
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<Counters[]> counters_;
+  std::atomic<bool> joined_{false};
+  std::mutex join_mutex_;
+};
+
+}  // namespace parsec::serve

@@ -53,6 +53,11 @@ class BitMatrix {
     v ? set(r, c) : reset(r, c);
   }
 
+  /// Clears every bit (shape unchanged, no reallocation).
+  void reset_all() {
+    for (Word& w : data_) w = 0;
+  }
+
   void zero_row(std::size_t r) {
     Word* w = row_words(r);
     for (std::size_t i = 0; i < words_per_row_; ++i) w[i] = 0;

@@ -1,10 +1,12 @@
-// Small online-statistics accumulator used by the benchmark harness.
+// Small statistics accumulators used by the benchmark harness and the
+// parse service.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace parsec::util {
 
@@ -35,6 +37,44 @@ class Stats {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample-storing quantile estimator (serve::ServiceStats latency
+/// percentiles).  Stores every sample; quantiles sort lazily on read.
+/// Not thread-safe — callers serialize access.
+class Quantiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// Quantile `q` in [0, 1] by linear interpolation between order
+  /// statistics; 0 when empty.
+  double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  // quantile() is logically const; sorting is a cache refresh.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace parsec::util

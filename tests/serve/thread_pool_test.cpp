@@ -1,0 +1,99 @@
+// ThreadPool: job execution, worker indices, per-worker stats,
+// shutdown-while-busy draining, and post-after-shutdown rejection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "serve/thread_pool.h"
+
+namespace {
+
+using parsec::serve::ThreadPool;
+
+TEST(ThreadPool, RunsEveryPostedJob) {
+  ThreadPool pool(4, 32);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(pool.post([&](int) { ++ran; }));
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndicesAreInRange) {
+  ThreadPool pool(3, 32);
+  std::mutex m;
+  std::set<int> seen;
+  for (int i = 0; i < 60; ++i)
+    ASSERT_TRUE(pool.post([&](int w) {
+      std::lock_guard lock(m);
+      seen.insert(w);
+    }));
+  pool.shutdown();
+  ASSERT_FALSE(seen.empty());
+  EXPECT_GE(*seen.begin(), 0);
+  EXPECT_LT(*seen.rbegin(), 3);
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsBacklog) {
+  // One worker, slow jobs: shutdown() must let the queued backlog run
+  // to completion before joining.
+  ThreadPool pool(1, 16);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(pool.post([&](int) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++ran;
+    }));
+  pool.shutdown();  // called while the first jobs are still running
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, PostAfterShutdownFails) {
+  ThreadPool pool(2, 8);
+  pool.shutdown();
+  EXPECT_TRUE(pool.shutting_down());
+  EXPECT_FALSE(pool.post([](int) {}));
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2, 8);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.post([&](int) { ++ran; }));
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorJoinsWithoutShutdownCall) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, 8);
+    for (int i = 0; i < 10; ++i)
+      ASSERT_TRUE(pool.post([&](int) { ++ran; }));
+  }  // ~ThreadPool drains + joins
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, WorkerStatsCountJobs) {
+  ThreadPool pool(2, 32);
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(pool.post([](int) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }));
+  pool.shutdown();
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t total = 0;
+  double busy = 0;
+  for (const auto& w : stats) {
+    total += w.jobs;
+    busy += w.busy_seconds;
+  }
+  EXPECT_EQ(total, 20u);
+  EXPECT_GT(busy, 0.0);
+}
+
+}  // namespace

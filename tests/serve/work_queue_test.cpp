@@ -1,0 +1,106 @@
+// BoundedQueue: FIFO order, capacity back-pressure, close semantics,
+// and a multi-producer/multi-consumer stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "serve/work_queue.h"
+
+namespace {
+
+using parsec::serve::BoundedQueue;
+
+TEST(WorkQueue, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(WorkQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(WorkQueue, PushBlocksUntilRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+    second_pushed = true;
+  });
+  // The producer cannot finish while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(WorkQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));      // no new work
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);  // but the backlog drains
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // closed + drained
+}
+
+TEST(WorkQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(WorkQueue, MpmcStressDeliversEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(16);  // small capacity to force contention
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+}  // namespace
