@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
       seq.parse(net);
       std::vector<util::DynBitset> domains;
       for (int r = 0; r < net.num_roles(); ++r)
-        domains.push_back(net.domain(r));
+        domains.emplace_back(net.domain(r));
       reference.push_back(engine::hash_domains(domains));
     }
   });

@@ -1,52 +1,43 @@
 #include "cdg/ac4.h"
 
-#include <deque>
+#include <algorithm>
+
+#include "cdg/kernels.h"
 
 namespace parsec::cdg {
 
-Ac4Stats filter_ac4(Network& net, Ac4Scratch* scratch) {
+Ac4Stats filter_ac4(Network& net) {
   net.build_arcs();
   Ac4Stats stats;
+  NetworkArena& arena = net.arena();
   const int R = net.num_roles();
   const int D = net.domain_size();
 
-  Ac4Scratch local;
-  Ac4Scratch& s = scratch ? *scratch : local;
-
   // counts[(role * D + rv) * R + other]: supporting 1-bits of `rv` on
-  // the arc to `other` (meaningless for other == role).
-  s.counts.assign(
-      static_cast<std::size_t>(R) * static_cast<std::size_t>(D) * R, 0);
-  std::vector<int>& counts = s.counts;
-  auto count_at = [&](int role, int rv, int other) -> int& {
+  // the arc to `other` (meaningless for other == role).  Built word-
+  // granularly by the shared kernel.
+  auto counts = arena.support_counts();
+  auto count_at = [&](int role, int rv, int other) -> std::int32_t& {
     return counts[(static_cast<std::size_t>(role) * D + rv) * R + other];
   };
+  stats.initial_count_work = kernels::count_supports(arena);
 
-  s.queue.clear();
-  std::deque<std::pair<int, int>>& queue = s.queue;  // (role, rv) to eliminate
-  s.queued.assign(static_cast<std::size_t>(R) * static_cast<std::size_t>(D), 0);
-  std::vector<std::uint8_t>& queued = s.queued;
+  // FIFO elimination queue in arena storage.  Each (role, rv) is
+  // enqueued at most once (the flag is never cleared), so the R*D pair
+  // capacity needs no wrap-around.
+  auto queued = arena.rv_flags();
+  std::fill(queued.begin(), queued.end(), std::uint8_t{0});
+  auto ring = arena.queue_storage();
+  std::size_t head = 0, tail = 0;
   auto enqueue = [&](int role, int rv) {
     auto& flag = queued[static_cast<std::size_t>(role) * D + rv];
     if (flag) return;
     flag = 1;
-    queue.emplace_back(role, rv);
+    ring[2 * tail] = role;
+    ring[2 * tail + 1] = rv;
+    ++tail;
   };
 
-  // Build the counters from the current matrices.
-  for (int a = 0; a < R; ++a) {
-    for (int b = a + 1; b < R; ++b) {
-      const util::BitMatrix& m = net.arc_matrix(a, b);
-      net.domain(a).for_each([&](std::size_t i) {
-        net.domain(b).for_each([&](std::size_t j) {
-          ++stats.initial_count_work;
-          if (!m.test(i, j)) return;
-          ++count_at(a, static_cast<int>(i), b);
-          ++count_at(b, static_cast<int>(j), a);
-        });
-      });
-    }
-  }
   // Seed the queue with unsupported values.
   for (int role = 0; role < R; ++role) {
     net.domain(role).for_each([&](std::size_t rv) {
@@ -61,29 +52,41 @@ Ac4Stats filter_ac4(Network& net, Ac4Scratch* scratch) {
   }
 
   // Propagate.
-  while (!queue.empty()) {
-    const auto [role, rv] = queue.front();
-    queue.pop_front();
+  while (head != tail) {
+    const int role = ring[2 * head];
+    const int rv = ring[2 * head + 1];
+    ++head;
     if (!net.alive(role, rv)) continue;
     // Decrement partners *before* the elimination zeroes the rows.
     for (int other = 0; other < R; ++other) {
       if (other == role) continue;
-      const util::BitMatrix& m =
-          role < other ? net.arc_matrix(role, other)
-                       : net.arc_matrix(other, role);
-      net.domain(other).for_each([&](std::size_t j) {
-        const bool bit = role < other
-                             ? m.test(static_cast<std::size_t>(rv), j)
-                             : m.test(j, static_cast<std::size_t>(rv));
-        if (!bit) return;
-        ++stats.counter_decrements;
-        if (--count_at(other, static_cast<int>(j), role) == 0)
-          enqueue(other, static_cast<int>(j));
-      });
+      if (role < other) {
+        // Row side: the surviving bits of rv's row *are* the supported
+        // alive partners (arc bits only exist at alive×alive), so walk
+        // them directly instead of probing per alive value.
+        const auto m = arena.arc(role, other);
+        m.row_span(static_cast<std::size_t>(rv)).for_each([&](std::size_t j) {
+          ++stats.counter_decrements;
+          if (--count_at(other, static_cast<int>(j), role) == 0)
+            enqueue(other, static_cast<int>(j));
+        });
+      } else {
+        // Column side: probe rv's column at each alive partner.
+        const auto m = arena.arc(other, role);
+        net.domain(other).for_each([&](std::size_t j) {
+          if (!m.test(j, static_cast<std::size_t>(rv))) return;
+          ++stats.counter_decrements;
+          if (--count_at(other, static_cast<int>(j), role) == 0)
+            enqueue(other, static_cast<int>(j));
+        });
+      }
     }
     net.eliminate(role, rv);
     ++stats.eliminations;
   }
+  // The counters now reflect the fixpoint matrices for every alive
+  // value; let the invariant checker verify them.
+  arena.set_counts_valid(true);
   return stats;
 }
 

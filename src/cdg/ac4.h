@@ -10,11 +10,11 @@
 // at the cost of the counter memory.  The fixpoint is identical
 // (support removal is confluent); tests verify bit-equality and
 // bench_ablation_ac4 measures the trade.
+//
+// All working memory — the R·D·R counters, the queued flags, and the
+// FIFO elimination queue — lives in the network's arena (cdg/arena.h),
+// so repeated filtering over pooled networks allocates nothing.
 #pragma once
-
-#include <deque>
-#include <utility>
-#include <vector>
 
 #include "cdg/network.h"
 
@@ -23,22 +23,13 @@ namespace parsec::cdg {
 struct Ac4Stats {
   std::size_t eliminations = 0;
   std::size_t counter_decrements = 0;
-  std::size_t initial_count_work = 0;  // bits scanned to build counters
-};
-
-/// Reusable AC-4 working memory: the support counters dominate the
-/// allocation cost (R·D·R ints), so long-lived callers (the parse
-/// service's per-worker scratch) keep one of these and amortize the
-/// allocation across same-shaped networks.
-struct Ac4Scratch {
-  std::vector<int> counts;
-  std::vector<std::uint8_t> queued;
-  std::deque<std::pair<int, int>> queue;
+  std::size_t initial_count_work = 0;  // row words scanned to build counters
 };
 
 /// Runs support-counting filtering to the fixpoint.  Equivalent to
-/// net.filter(-1).  `scratch` (if non-null) provides reusable counter
-/// storage; it is resized and zeroed as needed.
-Ac4Stats filter_ac4(Network& net, Ac4Scratch* scratch = nullptr);
+/// net.filter(-1).  Counters and queue storage come from the network's
+/// arena; on return the arena's support counters are valid for the
+/// fixpoint state (Network::check_invariants verifies them).
+Ac4Stats filter_ac4(Network& net);
 
 }  // namespace parsec::cdg

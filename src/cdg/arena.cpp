@@ -1,0 +1,54 @@
+#include "cdg/arena.h"
+
+namespace parsec::cdg {
+
+namespace {
+
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+void NetworkArena::reshape(int roles, int domain_size) {
+  assert(roles >= 0 && domain_size >= 0);
+  R_ = roles;
+  D_ = domain_size;
+  const std::size_t R = static_cast<std::size_t>(R_);
+  const std::size_t D = static_cast<std::size_t>(D_);
+  stride_ = ceil_div(D, kWordBits);
+
+  // Region sizes in words.  The int32/uint8 regions are carved out of
+  // the same uint64 buffer; word alignment of each region start keeps
+  // the reinterpret_casts valid.
+  const std::size_t domains_w = R * stride_;
+  const std::size_t arcs_w = num_arcs() * D * stride_;
+  const std::size_t counts_w = ceil_div(R * D * R * sizeof(std::int32_t),
+                                        sizeof(Word));
+  const std::size_t flags_w = ceil_div(R * D * sizeof(std::uint8_t),
+                                       sizeof(Word));
+  const std::size_t queue_w = ceil_div(2 * R * D * sizeof(std::int32_t),
+                                       sizeof(Word));
+
+  domains_off_ = 0;
+  arcs_off_ = domains_off_ + domains_w;
+  counts_off_ = arcs_off_ + arcs_w;
+  flags_off_ = counts_off_ + counts_w;
+  queue_off_ = flags_off_ + flags_w;
+  const std::size_t total = queue_off_ + queue_w;
+
+  if (total > buf_.capacity()) {
+    buf_.reserve(total);
+    ++allocations_;
+  }
+  buf_.assign(total, Word{0});
+
+  arc_pairs_.clear();
+  arc_pairs_.reserve(num_arcs());
+  for (int a = 0; a < R_; ++a)
+    for (int b = a + 1; b < R_; ++b) arc_pairs_.emplace_back(a, b);
+
+  counts_valid_ = false;
+}
+
+}  // namespace parsec::cdg

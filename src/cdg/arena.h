@@ -1,0 +1,196 @@
+// Arena storage for a constraint network (the PE-array layout, hosted).
+//
+// The paper lays the whole CN out across the MasPar's PE array: every
+// arc submatrix at a fixed offset computable from ids alone (§2.2.1,
+// design decision 2).  NetworkArena is the host-side mirror of that
+// discipline: ONE contiguous allocation holds, in structure-of-arrays
+// form,
+//
+//   [ domains | arc matrices | AC-4 support counters | rv flags | queue ]
+//
+//   * domains        — R rows of S words (S = ceil(D / 64));
+//   * arc matrices   — R*(R-1)/2 upper-triangle matrices, each D rows
+//                      of S words (word-aligned rows, fixed stride);
+//   * AC-4 counters  — R*D*R int32 support counts;
+//   * rv flags       — R*D bytes, shared staging for AC-4 queued flags
+//                      and the engines' parallel victim marks (uses are
+//                      temporally disjoint; each user zeroes first);
+//   * queue          — R*D (role, rv) int32 pairs of FIFO ring storage
+//                      for the elimination queue.
+//
+// Offsets are pure functions of the shape (R, D), so every consumer —
+// serial sweeps, OpenMP arc partitions, the P-RAM and MasPar step
+// models, AC-4 — addresses the same flat words through cdg/kernels.h
+// spans.  reinit() is O(1): same-shape reuse keeps the allocation and
+// only bumps bookkeeping (callers rewrite the regions they use, exactly
+// as the PE array is re-filled per sentence).  The serve layer pools
+// whole arenas via Network::reinit, making steady-state parsing
+// allocation-free per request.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/bitmatrix.h"
+#include "util/bitset.h"
+
+namespace parsec::cdg {
+
+class NetworkArena {
+ public:
+  using Word = util::DynBitset::Word;
+  static constexpr std::size_t kWordBits = util::DynBitset::kWordBits;
+
+  NetworkArena() = default;
+  NetworkArena(int roles, int domain_size) { reshape(roles, domain_size); }
+
+  /// (Re)computes the layout for shape (R, D).  Reuses the existing
+  /// allocation when it is big enough; otherwise reallocates once.
+  void reshape(int roles, int domain_size);
+
+  bool same_shape(int roles, int domain_size) const {
+    return roles == R_ && domain_size == D_;
+  }
+
+  /// Same-shape reuse: O(1) bookkeeping, no allocation, contents left
+  /// for the caller to rewrite (Network::reinit refills domains and,
+  /// when built, arcs).
+  void reinit() {
+    assert(R_ > 0);
+    counts_valid_ = false;
+    ++reinits_;
+  }
+
+  // ---- shape ----------------------------------------------------------
+  int roles() const { return R_; }
+  int domain_size() const { return D_; }
+  /// Words per domain / arc-matrix row (fixed stride).
+  std::size_t row_words() const { return stride_; }
+  std::size_t num_arcs() const {
+    const std::size_t R = static_cast<std::size_t>(R_);
+    return R * (R - 1) / 2;
+  }
+
+  /// Row-major upper-triangle index of the arc between ra < rb.
+  std::size_t arc_index(int ra, int rb) const {
+    assert(0 <= ra && ra < rb && rb < R_);
+    const std::size_t R = static_cast<std::size_t>(R_);
+    const std::size_t a = static_cast<std::size_t>(ra);
+    const std::size_t b = static_cast<std::size_t>(rb);
+    return a * R - a * (a + 1) / 2 + (b - a - 1);
+  }
+
+  /// Inverse of arc_index (shape metadata, precomputed once).
+  std::pair<int, int> arc_pair(std::size_t idx) const {
+    return arc_pairs_[idx];
+  }
+
+  // ---- domains --------------------------------------------------------
+  util::BitSpan domain(int role) {
+    return util::BitSpan(buf_.data() + domain_off(role),
+                         static_cast<std::size_t>(D_));
+  }
+  util::ConstBitSpan domain(int role) const {
+    return util::ConstBitSpan(buf_.data() + domain_off(role),
+                              static_cast<std::size_t>(D_));
+  }
+
+  // ---- arc matrices ---------------------------------------------------
+  util::BitMatrixView arc(std::size_t idx) {
+    return util::BitMatrixView(buf_.data() + arc_off(idx),
+                               static_cast<std::size_t>(D_),
+                               static_cast<std::size_t>(D_), stride_);
+  }
+  util::ConstBitMatrixView arc(std::size_t idx) const {
+    return util::ConstBitMatrixView(buf_.data() + arc_off(idx),
+                                    static_cast<std::size_t>(D_),
+                                    static_cast<std::size_t>(D_), stride_);
+  }
+  util::BitMatrixView arc(int ra, int rb) { return arc(arc_index(ra, rb)); }
+  util::ConstBitMatrixView arc(int ra, int rb) const {
+    return arc(arc_index(ra, rb));
+  }
+
+  // ---- AC-4 support counters -----------------------------------------
+  /// counts[(role * D + rv) * R + other]: supporting 1-bits of (role,
+  /// rv) on the arc to `other` (meaningless for other == role).
+  std::span<std::int32_t> support_counts() {
+    return {reinterpret_cast<std::int32_t*>(buf_.data() + counts_off_),
+            static_cast<std::size_t>(R_) * D_ * R_};
+  }
+  std::span<const std::int32_t> support_counts() const {
+    return {reinterpret_cast<const std::int32_t*>(buf_.data() + counts_off_),
+            static_cast<std::size_t>(R_) * D_ * R_};
+  }
+  std::int32_t& support_count(int role, int rv, int other) {
+    return support_counts()[(static_cast<std::size_t>(role) * D_ + rv) * R_ +
+                            other];
+  }
+
+  /// True between a completed filter_ac4 and the next mutation; the
+  /// invariant checker compares counters against matrices only then.
+  bool counts_valid() const { return counts_valid_; }
+  void set_counts_valid(bool v) { counts_valid_ = v; }
+
+  // ---- elimination staging -------------------------------------------
+  /// One byte per (role, rv): AC-4 "already queued" flags, or parallel
+  /// engines' victim marks.  Zero before use.
+  std::span<std::uint8_t> rv_flags() {
+    return {reinterpret_cast<std::uint8_t*>(buf_.data() + flags_off_),
+            static_cast<std::size_t>(R_) * D_};
+  }
+
+  /// FIFO ring storage for (role, rv) elimination pairs; capacity R*D
+  /// entries (each value is enqueued at most once).
+  std::span<std::int32_t> queue_storage() {
+    return {reinterpret_cast<std::int32_t*>(buf_.data() + queue_off_),
+            2 * static_cast<std::size_t>(R_) * D_};
+  }
+
+  // ---- accounting -----------------------------------------------------
+  /// Bytes of the single backing allocation.
+  std::size_t bytes() const { return buf_.capacity() * sizeof(Word); }
+  /// Times the backing buffer actually (re)allocated.
+  std::uint64_t allocations() const { return allocations_; }
+  /// Times a same-shape reinit reused the allocation.
+  std::uint64_t reinits() const { return reinits_; }
+
+  std::size_t domains_bytes() const {
+    return static_cast<std::size_t>(R_) * stride_ * sizeof(Word);
+  }
+  std::size_t arcs_bytes() const {
+    return num_arcs() * static_cast<std::size_t>(D_) * stride_ * sizeof(Word);
+  }
+  std::size_t counts_bytes() const {
+    return static_cast<std::size_t>(R_) * D_ * R_ * sizeof(std::int32_t);
+  }
+
+ private:
+  std::size_t domain_off(int role) const {
+    return domains_off_ + static_cast<std::size_t>(role) * stride_;
+  }
+  std::size_t arc_off(std::size_t idx) const {
+    return arcs_off_ + idx * static_cast<std::size_t>(D_) * stride_;
+  }
+
+  int R_ = 0;
+  int D_ = 0;
+  std::size_t stride_ = 0;  // words per row
+  // Region offsets, in words from buf_.data().
+  std::size_t domains_off_ = 0;
+  std::size_t arcs_off_ = 0;
+  std::size_t counts_off_ = 0;
+  std::size_t flags_off_ = 0;
+  std::size_t queue_off_ = 0;
+  std::vector<Word> buf_;
+  std::vector<std::pair<int, int>> arc_pairs_;  // shape metadata
+  bool counts_valid_ = false;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t reinits_ = 0;
+};
+
+}  // namespace parsec::cdg

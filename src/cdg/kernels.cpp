@@ -1,0 +1,116 @@
+#include "cdg/kernels.h"
+
+#include <algorithm>
+
+namespace parsec::cdg::kernels {
+
+void zero_row_col(NetworkArena& a, int role, int rv) {
+  const int R = a.roles();
+  for (int other = 0; other < R; ++other) {
+    if (other == role) continue;
+    if (role < other)
+      a.arc(role, other).zero_row(static_cast<std::size_t>(rv));
+    else
+      a.arc(other, role).zero_col(static_cast<std::size_t>(rv));
+  }
+}
+
+bool supported(const NetworkArena& a, int role, int rv) {
+  const int R = a.roles();
+  for (int other = 0; other < R; ++other) {
+    if (other == role) continue;
+    const bool ok =
+        role < other
+            ? a.arc(role, other).row_any(static_cast<std::size_t>(rv))
+            : a.arc(other, role).col_any(static_cast<std::size_t>(rv));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::size_t count_supports(NetworkArena& a) {
+  auto counts = a.support_counts();
+  std::fill(counts.begin(), counts.end(), 0);
+  const int R = a.roles();
+  const std::size_t D = static_cast<std::size_t>(a.domain_size());
+  std::size_t words_scanned = 0;
+  for (int ra = 0; ra < R; ++ra) {
+    for (int rb = ra + 1; rb < R; ++rb) {
+      const auto m = static_cast<const NetworkArena&>(a).arc(ra, rb);
+      a.domain(ra).for_each([&](std::size_t i) {
+        const auto row = m.row_span(i);
+        words_scanned += row.word_count();
+        // Row side: one popcount per alive value.  Arc bits exist only
+        // at alive×alive positions, so the whole-row count equals the
+        // count over the partner's alive values.
+        counts[(static_cast<std::size_t>(ra) * D + i) * R + rb] =
+            static_cast<std::int32_t>(row.count());
+        // Column side: scatter the row's set bits onto the partners.
+        row.for_each([&](std::size_t j) {
+          ++counts[(static_cast<std::size_t>(rb) * D + j) * R + ra];
+        });
+      });
+    }
+  }
+  return words_scanned;
+}
+
+void propagate_unary(const CompiledConstraint& c, const Sentence& sent,
+                     const RvIndexer& ix, RoleId rid, WordPos w,
+                     util::ConstBitSpan domain, std::vector<int>& victims,
+                     std::size_t* evals) {
+  EvalContext ctx;
+  ctx.sentence = &sent;
+  domain.for_each([&](std::size_t rv) {
+    ctx.x = Binding{ix.decode(static_cast<int>(rv)), rid, w};
+    if (evals) ++*evals;
+    if (!eval_compiled(c, ctx)) victims.push_back(static_cast<int>(rv));
+  });
+}
+
+void propagate_unary(const CompiledConstraint& c, const Sentence& sent,
+                     const RvIndexer& ix, RoleId rid, WordPos w,
+                     util::ConstBitSpan domain, std::span<std::uint8_t> flags,
+                     std::size_t* evals) {
+  EvalContext ctx;
+  ctx.sentence = &sent;
+  domain.for_each([&](std::size_t rv) {
+    ctx.x = Binding{ix.decode(static_cast<int>(rv)), rid, w};
+    if (evals) ++*evals;
+    if (!eval_compiled(c, ctx)) flags[rv] = 1;
+  });
+}
+
+int sweep_binary(const CompiledConstraint& c, const Sentence& sent,
+                 util::BitMatrixView m, std::span<const int> alive_a,
+                 std::span<const Binding> bind_a, std::span<const int> alive_b,
+                 std::span<const Binding> bind_b, std::size_t* evals) {
+  EvalContext ctx;
+  ctx.sentence = &sent;
+  int zeroed = 0;
+  for (std::size_t ii = 0; ii < alive_a.size(); ++ii) {
+    const std::size_t i = static_cast<std::size_t>(alive_a[ii]);
+    for (std::size_t jj = 0; jj < alive_b.size(); ++jj) {
+      const std::size_t j = static_cast<std::size_t>(alive_b[jj]);
+      if (!m.test(i, j)) continue;
+      // Both variable assignments (the constraint's x/y are symmetric
+      // slots, not positional); both are charged up front.
+      if (evals) *evals += 2;
+      ctx.x = bind_a[ii];
+      ctx.y = bind_b[jj];
+      bool ok = eval_compiled(c, ctx);
+      if (ok) {
+        ctx.x = bind_b[jj];
+        ctx.y = bind_a[ii];
+        ok = eval_compiled(c, ctx);
+      }
+      if (!ok) {
+        m.reset(i, j);
+        ++zeroed;
+      }
+    }
+  }
+  return zeroed;
+}
+
+}  // namespace parsec::cdg::kernels

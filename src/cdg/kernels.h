@@ -1,0 +1,115 @@
+// Engine-agnostic filtering kernels over arena spans.
+//
+// Every backend — the sequential parser, the OpenMP engine, the CRCW
+// P-RAM step model, the topology models, and (for its packed l×l PE
+// words) the MasPar simulation — performs the same four bit-level
+// operations: zero an eliminated role value's rows/columns, test
+// support, evaluate a unary constraint over a domain, and sweep a
+// binary constraint over an arc matrix.  These used to live as bespoke
+// inner loops in each engine; they are defined once here, expressed
+// over NetworkArena spans, so a layout change (or a future SIMD word
+// kernel) lands in exactly one place.
+//
+// Semantics contracts (the equivalence tests depend on them):
+//   * iteration order is role-major, rv-ascending, and set-bit
+//     ascending within rows — matching the sequential formulation;
+//   * counter hooks (`evals`) replicate the historical increments
+//     exactly: one per unary test, two per binary pair tested (whether
+//     or not the second assignment runs);
+//   * sweep_binary clears bits in place and returns how many.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cdg/arena.h"
+#include "cdg/constraint_eval.h"
+#include "cdg/role_value.h"
+#include "util/bitmatrix.h"
+#include "util/bitset.h"
+
+namespace parsec::cdg::kernels {
+
+/// Zeroes (role, rv)'s row (in arcs where `role` is the row side) and
+/// column (where it is the column side) across every incident arc
+/// matrix.  The matrix never shrinks (paper §2.2.1, design decision 4).
+void zero_row_col(NetworkArena& a, int role, int rv);
+
+/// True iff every arc incident to `role` still has a supporting 1-bit
+/// for rv (the AND of row/column ORs, paper §1.4).
+bool supported(const NetworkArena& a, int role, int rv);
+
+/// Rebuilds the AC-4 support counters in `a.support_counts()` from the
+/// current domains and arc matrices.  Word-granular: row counts are
+/// popcounts over row words, column counts come from iterating each
+/// row's set bits — no per-bit matrix probes.  Returns the number of
+/// row words scanned (the initial counting work).
+std::size_t count_supports(NetworkArena& a);
+
+/// Evaluates one unary constraint over the set bits of `domain`
+/// (ascending), appending failing dense rv indices to `victims`.
+/// Bindings are derived from (ix, rid, w).  If `evals` is non-null it
+/// is incremented once per value tested.
+void propagate_unary(const CompiledConstraint& c, const Sentence& sent,
+                     const RvIndexer& ix, RoleId rid, WordPos w,
+                     util::ConstBitSpan domain, std::vector<int>& victims,
+                     std::size_t* evals = nullptr);
+
+/// As above, but marks victims by setting flags[rv] = 1.  Parallel
+/// engines stage eliminations in per-role slices of the arena's
+/// rv_flags region (disjoint writes, race-free), then eliminate in
+/// role-major, rv-ascending order.
+void propagate_unary(const CompiledConstraint& c, const Sentence& sent,
+                     const RvIndexer& ix, RoleId rid, WordPos w,
+                     util::ConstBitSpan domain, std::span<std::uint8_t> flags,
+                     std::size_t* evals = nullptr);
+
+/// Sweeps one binary constraint over the surviving bits of one arc
+/// matrix: for every (alive_a[i], alive_b[j]) pair whose bit is set,
+/// evaluates both variable assignments and clears the bit on failure.
+/// If `evals` is non-null it is incremented by 2 per pair tested
+/// (both assignments are charged even when the first already fails).
+/// Returns the number of bits cleared.
+int sweep_binary(const CompiledConstraint& c, const Sentence& sent,
+                 util::BitMatrixView m, std::span<const int> alive_a,
+                 std::span<const Binding> bind_a, std::span<const int> alive_b,
+                 std::span<const Binding> bind_b,
+                 std::size_t* evals = nullptr);
+
+// ---------------------------------------------------------------------
+// Packed l×l submatrix kernels (MasPar PE words, paper Fig. 13).
+//
+// Each MasPar PE holds an l×l label submatrix packed into one 64-bit
+// word: bit (i*l + j) is row-label-slot i, column-label-slot j.  The
+// row/column masking that the engine's SIMD phases perform is the
+// packed counterpart of zero_row / zero_col above.
+// ---------------------------------------------------------------------
+
+/// Mask of row `lab` in an l×l packed submatrix.
+constexpr std::uint64_t packed_row_mask(int lab, int l) {
+  return ((std::uint64_t{1} << l) - 1) << (lab * l);
+}
+
+/// Mask of column `lab` in an l×l packed submatrix.
+constexpr std::uint64_t packed_col_mask(int lab, int l) {
+  std::uint64_t m = 0;
+  for (int i = 0; i < l; ++i) m |= std::uint64_t{1} << (i * l + lab);
+  return m;
+}
+
+constexpr std::uint64_t zero_packed_row(std::uint64_t w, int lab, int l) {
+  return w & ~packed_row_mask(lab, l);
+}
+
+constexpr std::uint64_t zero_packed_col(std::uint64_t w, int lab, int l) {
+  return w & ~packed_col_mask(lab, l);
+}
+
+/// Bit (i, j) of an l×l packed submatrix.
+constexpr bool packed_test(std::uint64_t w, int i, int j, int l) {
+  return (w >> (i * l + j)) & 1u;
+}
+
+}  // namespace parsec::cdg::kernels

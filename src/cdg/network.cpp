@@ -3,14 +3,14 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "cdg/kernels.h"
+
 namespace parsec::cdg {
 
 Network::Network(const Grammar& g, const Sentence& s, Options opt)
     : grammar_(&g), sentence_(s), indexer_(s.size(), g.num_labels()) {
   if (s.size() <= 0) throw std::invalid_argument("empty sentence");
-  const int R = num_roles();
-  const int D = domain_size();
-  domains_.assign(R, util::DynBitset(static_cast<std::size_t>(D)));
+  arena_.reshape(num_roles(), domain_size());
   init_domains();
   if (opt.prebuild_arcs) build_arcs();
 }
@@ -22,7 +22,8 @@ void Network::init_domains() {
   // such that the label is legal for the role (table T, refined by the
   // word's category) and the modifiee is not the word itself.
   for (int role = 0; role < R; ++role) {
-    domains_[role].reset_all();
+    util::BitSpan d = arena_.domain(role);
+    d.reset_all();
     const WordPos w = word_of_role(role);
     const RoleId rid = role_id_of(role);
     const CatId cat = sentence_.cat_at(w);
@@ -30,7 +31,7 @@ void Network::init_domains() {
       if (!g.label_allowed(rid, cat, l)) continue;
       for (WordPos m = 0; m <= n(); ++m) {
         if (m == w) continue;  // no word ever modifies itself
-        domains_[role].set(indexer_.encode(RoleValue{l, m}));
+        d.set(static_cast<std::size_t>(indexer_.encode(RoleValue{l, m})));
       }
     }
   }
@@ -43,6 +44,7 @@ bool Network::reinit(const Sentence& s) {
   trace_ = nullptr;
   current_kind_ = TraceEvent::Kind::SupportElimination;
   current_cause_ = "consistency";
+  arena_.reinit();
   init_domains();
   if (arcs_built_) fill_arcs();
   return true;
@@ -50,27 +52,13 @@ bool Network::reinit(const Sentence& s) {
 
 std::vector<RoleValue> Network::alive_values(int role) const {
   std::vector<RoleValue> out;
-  domains_[role].for_each(
+  domain(role).for_each(
       [&](std::size_t rv) { out.push_back(indexer_.decode(static_cast<int>(rv))); });
   return out;
 }
 
-std::size_t Network::pair_index(int ra, int rb) const {
-  assert(ra < rb);
-  const std::size_t R = static_cast<std::size_t>(num_roles());
-  const std::size_t a = static_cast<std::size_t>(ra);
-  const std::size_t b = static_cast<std::size_t>(rb);
-  // Row-major upper triangle (excluding the diagonal).
-  return a * R - a * (a + 1) / 2 + (b - a - 1);
-}
-
 void Network::build_arcs() {
   if (arcs_built_) return;
-  const int R = num_roles();
-  const std::size_t D = static_cast<std::size_t>(domain_size());
-  if (arcs_.empty())
-    arcs_.assign(static_cast<std::size_t>(R) * (R - 1) / 2,
-                 util::BitMatrix(D, D, false));
   fill_arcs();
   arcs_built_ = true;
 }
@@ -79,50 +67,68 @@ void Network::fill_arcs() {
   const int R = num_roles();
   for (int ra = 0; ra < R; ++ra) {
     for (int rb = ra + 1; rb < R; ++rb) {
-      util::BitMatrix& m = arcs_[pair_index(ra, rb)];
+      util::BitMatrixView m = arena_.arc(ra, rb);
       m.reset_all();
-      domains_[ra].for_each([&](std::size_t i) {
-        domains_[rb].for_each([&](std::size_t j) { m.set(i, j); });
-      });
+      // Alive rows get a word-for-word copy of the partner's domain:
+      // bit (i, j) is set iff both role values are alive.
+      const util::ConstBitSpan db = domain(rb);
+      domain(ra).for_each(
+          [&](std::size_t i) { m.row_span(i).copy_from(db); });
     }
   }
+  arena_.set_counts_valid(false);
 }
 
-const util::BitMatrix& Network::arc_matrix(int ra, int rb) const {
+util::ConstBitMatrixView Network::arc_matrix(int ra, int rb) const {
   assert(arcs_built_);
-  return arcs_[pair_index(ra, rb)];
-}
-
-util::BitMatrix& Network::arc(int ra, int rb) {
-  return arcs_[pair_index(ra, rb)];
+  return arena_.arc(ra, rb);
 }
 
 bool Network::arc_allows(int ra, int rv_a, int rb, int rv_b) const {
   assert(arcs_built_);
   if (ra < rb)
-    return arcs_[pair_index(ra, rb)].test(static_cast<std::size_t>(rv_a),
-                                          static_cast<std::size_t>(rv_b));
-  return arcs_[pair_index(rb, ra)].test(static_cast<std::size_t>(rv_b),
-                                        static_cast<std::size_t>(rv_a));
+    return arena_.arc(ra, rb).test(static_cast<std::size_t>(rv_a),
+                                   static_cast<std::size_t>(rv_b));
+  return arena_.arc(rb, ra).test(static_cast<std::size_t>(rv_b),
+                                 static_cast<std::size_t>(rv_a));
 }
 
 void Network::arc_forbid(int ra, int rv_a, int rb, int rv_b) {
   assert(arcs_built_);
   if (ra < rb)
-    arc(ra, rb).reset(static_cast<std::size_t>(rv_a),
-                      static_cast<std::size_t>(rv_b));
+    arena_.arc(ra, rb).reset(static_cast<std::size_t>(rv_a),
+                             static_cast<std::size_t>(rv_b));
   else
-    arc(rb, ra).reset(static_cast<std::size_t>(rv_b),
-                      static_cast<std::size_t>(rv_a));
+    arena_.arc(rb, ra).reset(static_cast<std::size_t>(rv_b),
+                             static_cast<std::size_t>(rv_a));
   ++counters_.arc_zeroings;
+  arena_.set_counts_valid(false);
+}
+
+void Network::refresh_alive_cache() {
+  const int R = num_roles();
+  alive_off_.resize(static_cast<std::size_t>(R) + 1);
+  alive_flat_.clear();
+  bind_flat_.clear();
+  for (int role = 0; role < R; ++role) {
+    alive_off_[role] = alive_flat_.size();
+    domain(role).for_each([&](std::size_t rv) {
+      alive_flat_.push_back(static_cast<int>(rv));
+      bind_flat_.push_back(binding(role, static_cast<int>(rv)));
+    });
+  }
+  alive_off_[R] = alive_flat_.size();
 }
 
 int Network::apply_unary(const CompiledConstraint& c) {
   assert(c.arity == 1);
   current_kind_ = TraceEvent::Kind::UnaryElimination;
-  current_cause_ = c.name.empty() ? "unary constraint" : c.name;
-  EvalContext ctx;
-  ctx.sentence = &sentence_;
+  // Assign in place (a conditional expression would materialize a
+  // temporary string and put an allocation on the steady-state path).
+  if (c.name.empty())
+    current_cause_ = "unary constraint";
+  else
+    current_cause_.assign(c.name);
   int eliminated = 0;
   const int R = num_roles();
   for (int role = 0; role < R; ++role) {
@@ -130,13 +136,11 @@ int Network::apply_unary(const CompiledConstraint& c) {
     // bits we've already passed, but collecting keeps the sweep order
     // explicit and matches the parallel semantics (all checks see the
     // same pre-sweep state for a single constraint).
-    std::vector<int> victims;
-    domains_[role].for_each([&](std::size_t rv) {
-      ctx.x = binding(role, static_cast<int>(rv));
-      ++counters_.unary_evals;
-      if (!eval_compiled(c, ctx)) victims.push_back(static_cast<int>(rv));
-    });
-    for (int rv : victims) {
+    victims_.clear();
+    kernels::propagate_unary(c, sentence_, indexer_, role_id_of(role),
+                             word_of_role(role), domain(role), victims_,
+                             &counters_.unary_evals);
+    for (int rv : victims_) {
       eliminate(role, rv);
       ++eliminated;
     }
@@ -147,86 +151,42 @@ int Network::apply_unary(const CompiledConstraint& c) {
 int Network::apply_binary(const CompiledConstraint& c) {
   assert(c.arity == 2);
   build_arcs();
-  EvalContext ctx;
-  ctx.sentence = &sentence_;
   int zeroed = 0;
   const int R = num_roles();
 
   // Pre-decode alive bindings per role once; the pair loop is the hot
   // path (O(n^4) evaluations per constraint, paper §1.4).
-  std::vector<std::vector<int>> alive_idx(R);
-  std::vector<std::vector<Binding>> bind(R);
-  for (int role = 0; role < R; ++role) {
-    domains_[role].for_each([&](std::size_t rv) {
-      alive_idx[role].push_back(static_cast<int>(rv));
-      bind[role].push_back(binding(role, static_cast<int>(rv)));
-    });
-  }
+  refresh_alive_cache();
 
   for (int ra = 0; ra < R; ++ra) {
     for (int rb = ra + 1; rb < R; ++rb) {
-      util::BitMatrix& m = arc(ra, rb);
-      for (std::size_t ii = 0; ii < alive_idx[ra].size(); ++ii) {
-        const int i = alive_idx[ra][ii];
-        for (std::size_t jj = 0; jj < alive_idx[rb].size(); ++jj) {
-          const int j = alive_idx[rb][jj];
-          if (!m.test(static_cast<std::size_t>(i),
-                      static_cast<std::size_t>(j)))
-            continue;
-          // Try both variable assignments (the constraint's x/y are
-          // symmetric slots, not positional).
-          ctx.x = bind[ra][ii];
-          ctx.y = bind[rb][jj];
-          counters_.binary_evals += 2;
-          bool ok = eval_compiled(c, ctx);
-          if (ok) {
-            ctx.x = bind[rb][jj];
-            ctx.y = bind[ra][ii];
-            ok = eval_compiled(c, ctx);
-          }
-          if (!ok) {
-            m.reset(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
-            ++counters_.arc_zeroings;
-            ++zeroed;
-          }
-        }
-      }
+      zeroed += kernels::sweep_binary(
+          c, sentence_, arena_.arc(ra, rb), alive_list(ra), binding_list(ra),
+          alive_list(rb), binding_list(rb), &counters_.binary_evals);
     }
   }
+  counters_.arc_zeroings += static_cast<std::size_t>(zeroed);
+  if (zeroed) arena_.set_counts_valid(false);
   return zeroed;
 }
 
 void Network::eliminate(int role, int rv) {
-  if (!domains_[role].test(static_cast<std::size_t>(rv))) return;
-  domains_[role].reset(static_cast<std::size_t>(rv));
+  util::BitSpan d = arena_.domain(role);
+  if (!d.test(static_cast<std::size_t>(rv))) return;
+  d.reset(static_cast<std::size_t>(rv));
   ++counters_.eliminations;
   if (trace_)
     trace_(TraceEvent{current_kind_, current_cause_, role,
                       indexer_.decode(rv)});
+  arena_.set_counts_valid(false);
   if (!arcs_built_) return;
-  const int R = num_roles();
-  for (int other = 0; other < R; ++other) {
-    if (other == role) continue;
-    if (role < other)
-      arc(role, other).zero_row(static_cast<std::size_t>(rv));
-    else
-      arc(other, role).zero_col(static_cast<std::size_t>(rv));
-  }
+  kernels::zero_row_col(arena_, role, rv);
 }
 
 bool Network::supported(int role, int rv) {
   assert(arcs_built_);
   ++counters_.support_checks;
-  const int R = num_roles();
-  for (int other = 0; other < R; ++other) {
-    if (other == role) continue;
-    const bool ok =
-        role < other
-            ? arc(role, other).row_any(static_cast<std::size_t>(rv))
-            : arc(other, role).col_any(static_cast<std::size_t>(rv));
-    if (!ok) return false;
-  }
-  return true;
+  return kernels::supported(arena_, role, rv);
 }
 
 int Network::consistency_step() {
@@ -236,12 +196,12 @@ int Network::consistency_step() {
   int eliminated = 0;
   const int R = num_roles();
   for (int role = 0; role < R; ++role) {
-    std::vector<int> victims;
-    domains_[role].for_each([&](std::size_t rv) {
+    victims_.clear();
+    domain(role).for_each([&](std::size_t rv) {
       if (!supported(role, static_cast<int>(rv)))
-        victims.push_back(static_cast<int>(rv));
+        victims_.push_back(static_cast<int>(rv));
     });
-    for (int rv : victims) {
+    for (int rv : victims_) {
       eliminate(role, rv);
       ++eliminated;
     }
@@ -259,20 +219,73 @@ int Network::filter(int max_iters) {
 }
 
 bool Network::all_roles_nonempty() const {
-  for (const auto& d : domains_)
-    if (d.none()) return false;
+  const int R = num_roles();
+  for (int role = 0; role < R; ++role)
+    if (domain(role).none()) return false;
+  return true;
+}
+
+bool Network::check_invariants() const {
+  const int R = num_roles();
+  const std::size_t D = static_cast<std::size_t>(domain_size());
+  if (!arcs_built_) return true;
+  for (int ra = 0; ra < R; ++ra) {
+    const util::ConstBitSpan da = domain(ra);
+    for (int rb = ra + 1; rb < R; ++rb) {
+      const util::ConstBitSpan db = domain(rb);
+      const util::ConstBitMatrixView m = arena_.arc(ra, rb);
+      for (std::size_t i = 0; i < D; ++i) {
+        // Arc bits may only exist at alive×alive positions; in
+        // particular an eliminated value's row/column must be zero.
+        if (!da.test(i)) {
+          if (m.row_any(i)) return false;
+          continue;
+        }
+        bool bad = false;
+        m.row_span(i).for_each([&](std::size_t j) {
+          if (!db.test(j)) bad = true;
+        });
+        if (bad) return false;
+      }
+    }
+  }
+  if (arena_.counts_valid()) {
+    // AC-4 counters must equal the live support counts.
+    const auto counts = arena_.support_counts();
+    for (int ra = 0; ra < R; ++ra) {
+      for (int rb = ra + 1; rb < R; ++rb) {
+        const util::ConstBitMatrixView m = arena_.arc(ra, rb);
+        for (std::size_t i = 0; i < D; ++i) {
+          if (!domain(ra).test(i)) continue;
+          if (counts[(static_cast<std::size_t>(ra) * D + i) * R + rb] !=
+              static_cast<std::int32_t>(m.row_count(i)))
+            return false;
+        }
+        for (std::size_t j = 0; j < D; ++j) {
+          if (!domain(rb).test(j)) continue;
+          std::int32_t col = 0;
+          for (std::size_t i = 0; i < D; ++i)
+            if (m.test(i, j)) ++col;
+          if (counts[(static_cast<std::size_t>(rb) * D + j) * R + ra] != col)
+            return false;
+        }
+      }
+    }
+  }
   return true;
 }
 
 std::size_t Network::total_alive() const {
   std::size_t total = 0;
-  for (const auto& d : domains_) total += d.count();
+  const int R = num_roles();
+  for (int role = 0; role < R; ++role) total += domain(role).count();
   return total;
 }
 
 std::size_t Network::arc_ones() const {
   std::size_t total = 0;
-  for (const auto& m : arcs_) total += m.count();
+  const std::size_t A = arena_.num_arcs();
+  for (std::size_t t = 0; t < A; ++t) total += arena_.arc(t).count();
   return total;
 }
 

@@ -11,6 +11,13 @@
 // O(n^2)-bit matrix, i.e. O(n^4) arc elements in total — the quantity
 // the MasPar spreads across its PEs.
 //
+// Storage: every bit of network state (domains, arc matrices, AC-4
+// counters, elimination staging) lives in ONE contiguous NetworkArena
+// allocation (cdg/arena.h), mirroring the paper's flat PE-array layout
+// (§2.2.1).  Accessors hand out spans/views into that arena, and the
+// propagation operations route through the shared cdg/kernels.h layer
+// used by every engine.
+//
 // MasPar fidelity choices mirrored here (§2.2.1):
 //   * arc matrices can be built before unary propagation (design
 //     decision 1; `Options::prebuild_arcs`), or lazily after;
@@ -20,9 +27,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "cdg/arena.h"
 #include "cdg/constraint_eval.h"
 #include "cdg/grammar.h"
 #include "cdg/lexicon.h"
@@ -81,11 +90,11 @@ class Network {
   Network(const Grammar& g, const Sentence& s, Options opt = {});
 
   /// Rebinds this network to a new sentence of the *same length* under
-  /// the *same grammar*, reusing the domain bitsets and arc matrices
-  /// in place (no allocation; the serve hot path relies on this).
-  /// Counters and the trace hook are reset; if the arcs were built they
-  /// are refilled from the fresh domains.  Returns false (and leaves
-  /// the network untouched) when the sentence length differs.
+  /// the *same grammar*, reusing the whole arena in place (no
+  /// allocation; the serve hot path relies on this).  Counters and the
+  /// trace hook are reset; if the arcs were built they are refilled
+  /// from the fresh domains.  Returns false (and leaves the network
+  /// untouched) when the sentence length differs.
   bool reinit(const Sentence& s);
 
   // ---- shape ----------------------------------------------------------
@@ -100,6 +109,10 @@ class Network {
   const Sentence& sentence() const { return sentence_; }
   const RvIndexer& indexer() const { return indexer_; }
 
+  /// The single allocation backing all network state.
+  NetworkArena& arena() { return arena_; }
+  const NetworkArena& arena() const { return arena_; }
+
   /// Dense index of (word position, role id); words are 1-based.
   int role_index(WordPos w, RoleId r) const {
     return (w - 1) * roles_per_word() + r;
@@ -108,8 +121,10 @@ class Network {
   RoleId role_id_of(int role) const { return role % roles_per_word(); }
 
   // ---- domains ---------------------------------------------------------
-  const util::DynBitset& domain(int role) const { return domains_[role]; }
-  bool alive(int role, int rv) const { return domains_[role].test(rv); }
+  util::ConstBitSpan domain(int role) const { return arena_.domain(role); }
+  bool alive(int role, int rv) const {
+    return arena_.domain(role).test(static_cast<std::size_t>(rv));
+  }
   /// Alive role values of a role, in dense-index order.
   std::vector<RoleValue> alive_values(int role) const;
 
@@ -120,15 +135,34 @@ class Network {
   void build_arcs();
 
   /// Arc matrix for roles ra < rb (rows = ra's values, cols = rb's).
-  const util::BitMatrix& arc_matrix(int ra, int rb) const;
+  util::ConstBitMatrixView arc_matrix(int ra, int rb) const;
 
   /// Mutable matrix access for parallel engines that partition work by
   /// arc (each worker owns disjoint matrices).  Counter bookkeeping is
   /// the caller's responsibility.
-  util::BitMatrix& arc_matrix_mut(int ra, int rb) { return arc(ra, rb); }
+  util::BitMatrixView arc_matrix_mut(int ra, int rb) {
+    return arena_.arc(ra, rb);
+  }
 
   bool arc_allows(int ra, int rv_a, int rb, int rv_b) const;
   void arc_forbid(int ra, int rv_a, int rb, int rv_b);
+
+  // ---- alive cache -------------------------------------------------------
+  /// Rebuilds the per-role alive-value and binding lists from the
+  /// current domains into persistent scratch (no steady-state
+  /// allocation).  The spans below stay valid until the next refresh;
+  /// eliminations do not invalidate the memory, only the contents.
+  void refresh_alive_cache();
+  std::span<const int> alive_list(int role) const {
+    return {alive_flat_.data() + alive_off_[role],
+            alive_off_[role + 1] - alive_off_[role]};
+  }
+  std::span<const Binding> binding_list(int role) const {
+    return {bind_flat_.data() + alive_off_[role],
+            alive_off_[role + 1] - alive_off_[role]};
+  }
+  /// Total alive values across all roles, per the last refresh.
+  std::size_t alive_cache_total() const { return alive_flat_.size(); }
 
   // ---- parsing operations ------------------------------------------------
   /// Propagates one unary constraint over every role value (paper §1.4);
@@ -161,6 +195,14 @@ class Network {
   /// Necessary acceptance condition: every role still has a candidate.
   bool all_roles_nonempty() const;
 
+  /// Structural self-check for tests: every eliminated role value must
+  /// have fully zeroed rows/columns in its incident arcs (equivalently,
+  /// arc bits exist only at alive×alive positions), and — when the
+  /// arena's AC-4 counters are valid — every counter must equal the
+  /// corresponding row/column support count.  Returns true when all
+  /// invariants hold.
+  bool check_invariants() const;
+
   // ---- stats ------------------------------------------------------------
   std::size_t total_alive() const;
   std::size_t arc_ones() const;
@@ -178,16 +220,13 @@ class Network {
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
  private:
-  std::size_t pair_index(int ra, int rb) const;
-  util::BitMatrix& arc(int ra, int rb);
   void init_domains();
   void fill_arcs();
 
   const Grammar* grammar_;
   Sentence sentence_;
   RvIndexer indexer_;
-  std::vector<util::DynBitset> domains_;       // [role] -> D bits
-  std::vector<util::BitMatrix> arcs_;          // pair(ra<rb) -> D x D
+  NetworkArena arena_;  // domains + arcs + counters + staging
   bool arcs_built_ = false;
   NetworkCounters counters_;
   TraceFn trace_;
@@ -195,6 +234,12 @@ class Network {
   // consistency_step.
   TraceEvent::Kind current_kind_ = TraceEvent::Kind::SupportElimination;
   std::string current_cause_ = "consistency";
+  // Persistent scratch (capacity retained across reinit; the serve hot
+  // path must not allocate per request).
+  std::vector<int> victims_;             // per-role elimination staging
+  std::vector<int> alive_flat_;          // alive rvs, role-major
+  std::vector<Binding> bind_flat_;       // bindings, same indexing
+  std::vector<std::size_t> alive_off_;   // [R + 1] offsets into the above
 };
 
 }  // namespace parsec::cdg

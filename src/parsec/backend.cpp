@@ -58,6 +58,24 @@ cdg::Network& NetworkScratch::acquire(const cdg::Grammar& g,
   return pos->second;
 }
 
+std::size_t NetworkScratch::arena_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [len, net] : by_length_) total += net.arena().bytes();
+  return total;
+}
+
+std::uint64_t NetworkScratch::arena_allocations() const {
+  std::uint64_t total = 0;
+  for (const auto& [len, net] : by_length_) total += net.arena().allocations();
+  return total;
+}
+
+std::uint64_t NetworkScratch::arena_reinits() const {
+  std::uint64_t total = 0;
+  for (const auto& [len, net] : by_length_) total += net.arena().reinits();
+  return total;
+}
+
 EngineSet::EngineSet(const cdg::Grammar& g, EngineSetOptions opt)
     : grammar_(&g),
       opt_(opt),
@@ -80,21 +98,38 @@ std::uint64_t hash_domains(const std::vector<util::DynBitset>& domains) {
   return h;
 }
 
+std::uint64_t hash_domains(const cdg::Network& net) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  const int R = net.num_roles();
+  mix(static_cast<std::uint64_t>(R));
+  for (int r = 0; r < R; ++r) {
+    const util::ConstBitSpan d = net.domain(r);
+    mix(d.size());
+    for (std::size_t wi = 0; wi < d.word_count(); ++wi) mix(d.word_at(wi));
+  }
+  return h;
+}
+
 namespace {
 
 std::vector<util::DynBitset> net_domains(const cdg::Network& net) {
   std::vector<util::DynBitset> out;
   out.reserve(static_cast<std::size_t>(net.num_roles()));
-  for (int r = 0; r < net.num_roles(); ++r) out.push_back(net.domain(r));
+  for (int r = 0; r < net.num_roles(); ++r) out.emplace_back(net.domain(r));
   return out;
 }
 
 void finish_from_network(BackendRun& run, const cdg::Network& net,
                          bool capture) {
   run.alive_role_values = net.total_alive();
-  auto domains = net_domains(net);
-  run.domains_hash = hash_domains(domains);
-  if (capture) run.domains = std::move(domains);
+  // Hash straight off the arena spans; domains are materialized only on
+  // request (keeping the steady-state request path allocation-free).
+  run.domains_hash = hash_domains(net);
+  if (capture) run.domains = net_domains(net);
   run.stats.network += net.counters();
 }
 
@@ -102,8 +137,7 @@ void finish_from_network(BackendRun& run, const cdg::Network& net,
 
 BackendRun run_backend(const EngineSet& engines, Backend b,
                        const cdg::Sentence& s, NetworkScratch* scratch,
-                       const cdg::CancelFn& cancel, bool capture_domains,
-                       cdg::Ac4Scratch* ac4) {
+                       const cdg::CancelFn& cancel, bool capture_domains) {
   BackendRun run;
   run.stats.requests = 1;
 
@@ -161,7 +195,7 @@ BackendRun run_backend(const EngineSet& engines, Backend b,
           }
           p.step_binary(net, i);
         }
-        if (!aborted) cdg::filter_ac4(net, ac4);
+        if (!aborted) cdg::filter_ac4(net);
         run.cancelled = aborted;
         run.accepted = !aborted && net.all_roles_nonempty();
       } else {

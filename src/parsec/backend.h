@@ -53,9 +53,10 @@ struct BackendStats {
 };
 
 /// Pool of constraint networks keyed by sentence length: `acquire`
-/// reuses (via Network::reinit) the network built for the last
-/// same-length sentence, so steady-state parsing of a workload with
-/// repeating lengths allocates nothing.
+/// reuses (via Network::reinit) the network — and with it the whole
+/// backing arena — built for the last same-length sentence, so
+/// steady-state parsing of a workload with repeating lengths allocates
+/// nothing.
 class NetworkScratch {
  public:
   cdg::Network& acquire(const cdg::Grammar& g, const cdg::Sentence& s,
@@ -63,6 +64,14 @@ class NetworkScratch {
 
   std::size_t pooled_shapes() const { return by_length_.size(); }
   std::uint64_t reuses() const { return reuses_; }
+
+  /// Total bytes of the pooled arena allocations (bench_memory reports
+  /// these against the paper's PE-memory table).
+  std::size_t arena_bytes() const;
+  /// Backing-buffer (re)allocations across all pooled arenas.
+  std::uint64_t arena_allocations() const;
+  /// Same-shape arena reuses across all pooled arenas.
+  std::uint64_t arena_reinits() const;
 
  private:
   std::unordered_map<int, cdg::Network> by_length_;
@@ -84,7 +93,7 @@ struct EngineSetOptions {
   cdg::ParseOptions serial;
   /// Serial backend filters with AC-4 support counters instead of
   /// sweep-to-fixpoint (same fixpoint; O(n^4) total instead of per
-  /// sweep, reusing the caller's Ac4Scratch).
+  /// sweep; the counters live in the network's arena).
   bool serial_ac4 = false;
   OmpOptions omp;
   PramOptions pram;
@@ -128,17 +137,19 @@ struct BackendRun {
 /// FNV-1a over domain sizes and words.
 std::uint64_t hash_domains(const std::vector<util::DynBitset>& domains);
 
+/// Same hash computed directly over a network's arena-backed domain
+/// spans — no per-request domain copies on the serve hot path.
+std::uint64_t hash_domains(const cdg::Network& net);
+
 /// Parses `s` on backend `b`.  `scratch` (if non-null) supplies the
-/// reusable network pool; `cancel` (if non-empty) aborts — the serial
-/// backend polls it between constraints, the others check it once
-/// before starting.  `capture_domains` copies the final domains into
-/// the result.  `ac4` is the reusable counter storage for the
-/// serial-AC4 path (EngineSetOptions::serial_ac4).
+/// reusable network pool (networks + arenas + AC-4 counter storage);
+/// `cancel` (if non-empty) aborts — the serial backend polls it
+/// between constraints, the others check it once before starting.
+/// `capture_domains` copies the final domains into the result.
 BackendRun run_backend(const EngineSet& engines, Backend b,
                        const cdg::Sentence& s,
                        NetworkScratch* scratch = nullptr,
                        const cdg::CancelFn& cancel = {},
-                       bool capture_domains = false,
-                       cdg::Ac4Scratch* ac4 = nullptr);
+                       bool capture_domains = false);
 
 }  // namespace parsec::engine

@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "cdg/kernels.h"
+
 namespace parsec::engine {
 
 using cdg::Binding;
@@ -102,18 +104,13 @@ void MasparParse::apply_unary(const CompiledConstraint& c) {
     std::uint64_t w = bits_[pe];
     for (std::size_t i = 0; i < row_bind.size(); ++i) {
       ctx.x = row_bind[i];
-      if (!eval_compiled(c, ctx)) {
-        // zero row i
-        for (int j = 0; j < l_; ++j)
-          w &= ~(std::uint64_t{1} << (static_cast<int>(i) * l_ + j));
-      }
+      if (!eval_compiled(c, ctx))
+        w = cdg::kernels::zero_packed_row(w, static_cast<int>(i), l_);
     }
     for (std::size_t j = 0; j < col_bind.size(); ++j) {
       ctx.x = col_bind[j];
-      if (!eval_compiled(c, ctx)) {
-        for (int i = 0; i < l_; ++i)
-          w &= ~(std::uint64_t{1} << (i * l_ + static_cast<int>(j)));
-      }
+      if (!eval_compiled(c, ctx))
+        w = cdg::kernels::zero_packed_col(w, static_cast<int>(j), l_);
     }
     bits_[pe] = w;
   });
@@ -136,7 +133,9 @@ void MasparParse::apply_binary(const CompiledConstraint& c) {
     for (std::size_t i = 0; i < row_bind.size(); ++i) {
       for (std::size_t j = 0; j < col_bind.size(); ++j) {
         const int bit_idx = static_cast<int>(i) * l_ + static_cast<int>(j);
-        if (!((w >> bit_idx) & 1u)) continue;
+        if (!cdg::kernels::packed_test(w, static_cast<int>(i),
+                                       static_cast<int>(j), l_))
+          continue;
         ctx.x = row_bind[i];
         ctx.y = col_bind[j];
         bool ok = eval_compiled(c, ctx);
@@ -166,9 +165,8 @@ bool MasparParse::consistency_iteration() {
     // Local OR of submatrix row `lab` (l bit tests).
     std::vector<std::uint8_t> row_or(static_cast<std::size_t>(V), 0);
     machine_.simd(l_, [&](int pe) {
-      const std::uint64_t mask = ((std::uint64_t{1} << l_) - 1)
-                                 << (lab * l_);
-      row_or[pe] = (bits_[pe] & mask) ? 1 : 0;
+      row_or[pe] =
+          (bits_[pe] & cdg::kernels::packed_row_mask(lab, l_)) ? 1 : 0;
     });
     // Arc OR via scanOr over the (a, mx, b) segment (Fig. 12 upper).
     std::vector<std::uint8_t> arc_or = machine_.seg_or(row_or, seg_arc_);
@@ -186,15 +184,8 @@ bool MasparParse::consistency_iteration() {
     std::uint64_t w = bits_[pe];
     const std::uint64_t before = w;
     for (int lab = 0; lab < l_; ++lab) {
-      if (!support[lab][pe]) {
-        const std::uint64_t mask = ((std::uint64_t{1} << l_) - 1)
-                                   << (lab * l_);
-        w &= ~mask;
-      }
-      if (!col_support[lab][pe]) {
-        for (int i = 0; i < l_; ++i)
-          w &= ~(std::uint64_t{1} << (i * l_ + lab));
-      }
+      if (!support[lab][pe]) w = cdg::kernels::zero_packed_row(w, lab, l_);
+      if (!col_support[lab][pe]) w = cdg::kernels::zero_packed_col(w, lab, l_);
     }
     bits_[pe] = w;
     changed[pe] = (w != before) ? 1 : 0;
@@ -239,8 +230,7 @@ bool MasparParse::supported(int role, RoleValue rv) const {
     for (int my = 0; my < layout_.mods_per_word() && !arc_ok; ++my) {
       const std::uint64_t w =
           bits_[static_cast<std::size_t>(layout_.vpe(role, ms, b, my))];
-      const std::uint64_t mask = ((std::uint64_t{1} << l_) - 1) << (ls * l_);
-      if (w & mask) arc_ok = true;
+      if (w & cdg::kernels::packed_row_mask(ls, l_)) arc_ok = true;
     }
     if (!arc_ok) all = false;
   }
@@ -276,7 +266,7 @@ bool MasparParse::arc_entry(int role_a, RoleValue a, int role_b,
   if (ms < 0 || my < 0 || li < 0 || lj < 0 || role_a == role_b) return false;
   const std::uint64_t w =
       bits_[static_cast<std::size_t>(layout_.vpe(role_a, ms, role_b, my))];
-  return bit(w, li, lj, l_);
+  return cdg::kernels::packed_test(w, li, lj, l_);
 }
 
 bool MasparParse::accepted() const {

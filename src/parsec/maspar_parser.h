@@ -91,11 +91,6 @@ class MasparParse {
   bool supported(int role, cdg::RoleValue rv) const;
 
  private:
-  /// Submatrix bit (i,j) of PE `pe` (i = row label slot, j = column).
-  static bool bit(std::uint64_t w, int i, int j, int l) {
-    return (w >> (i * l + j)) & 1u;
-  }
-
   const cdg::Grammar* grammar_;
   cdg::Sentence sentence_;
   maspar::Layout layout_;

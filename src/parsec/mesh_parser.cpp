@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cdg/kernels.h"
 #include "topo/reduction.h"
 
 namespace parsec::engine {
@@ -85,52 +86,45 @@ TopoResult TopologyParser::parse(Network& net) const {
     r.time_steps += c;
   };
 
-  EvalContext ctx;
-  ctx.sentence = &net.sentence();
-
   // CN construction: one elementwise pass over role values + arcs.
   charge_elem(R * D);
   charge_elem(arc_elems);
   net.build_arcs();
+
+  const int Di = net.domain_size();
+  auto flags = net.arena().rv_flags();
 
   // Unary constraints: one elementwise pass over role values each,
   // plus the zeroing pass for eliminated values.
   for (const auto& c : unary_) {
     charge_elem(R * D);
     charge_elem(arc_elems / std::max<std::size_t>(1, D));  // zeroing rows
-    std::vector<std::pair<int, int>> victims;
+    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
     for (int role = 0; role < net.num_roles(); ++role)
-      net.domain(role).for_each([&](std::size_t rv) {
-        ctx.x = net.binding(role, static_cast<int>(rv));
-        if (!eval_compiled(c, ctx))
-          victims.emplace_back(role, static_cast<int>(rv));
-      });
-    for (auto [role, rv] : victims) net.eliminate(role, rv);
+      cdg::kernels::propagate_unary(
+          c, net.sentence(), net.indexer(), net.role_id_of(role),
+          net.word_of_role(role), net.domain(role),
+          flags.subspan(static_cast<std::size_t>(role) * Di, Di));
+    for (int role = 0; role < net.num_roles(); ++role)
+      for (int rv = 0; rv < Di; ++rv)
+        if (flags[static_cast<std::size_t>(role) * Di + rv])
+          net.eliminate(role, rv);
   }
 
   // Binary constraints: one elementwise pass over arc elements each.
   for (const auto& c : binary_) {
     charge_elem(arc_elems);
+    net.refresh_alive_cache();
+    std::size_t zeroed = 0;
     for (int a = 0; a < net.num_roles(); ++a) {
       for (int b = a + 1; b < net.num_roles(); ++b) {
-        net.domain(a).for_each([&](std::size_t i) {
-          net.domain(b).for_each([&](std::size_t j) {
-            if (!net.arc_allows(a, static_cast<int>(i), b,
-                                static_cast<int>(j)))
-              return;
-            ctx.x = net.binding(a, static_cast<int>(i));
-            ctx.y = net.binding(b, static_cast<int>(j));
-            bool ok = eval_compiled(c, ctx);
-            if (ok) {
-              std::swap(ctx.x, ctx.y);
-              ok = eval_compiled(c, ctx);
-            }
-            if (!ok)
-              net.arc_forbid(a, static_cast<int>(i), b, static_cast<int>(j));
-          });
-        });
+        zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary(
+            c, net.sentence(), net.arena().arc(a, b), net.alive_list(a),
+            net.binding_list(a), net.alive_list(b), net.binding_list(b)));
       }
     }
+    net.counters().arc_zeroings += zeroed;
+    if (zeroed) net.arena().set_counts_valid(false);
   }
 
   // Consistency maintenance + filtering: per iteration, one reduction
@@ -142,14 +136,20 @@ TopoResult TopologyParser::parse(Network& net) const {
     charge_reduce();
     charge_elem(arc_elems);
     // Pre-state support semantics, as on the real machines.
-    std::vector<std::pair<int, int>> dead;
+    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
+    bool any_dead = false;
     for (int role = 0; role < net.num_roles(); ++role)
       net.domain(role).for_each([&](std::size_t rv) {
-        if (!net.supported(role, static_cast<int>(rv)))
-          dead.emplace_back(role, static_cast<int>(rv));
+        if (!net.supported(role, static_cast<int>(rv))) {
+          flags[static_cast<std::size_t>(role) * Di + rv] = 1;
+          any_dead = true;
+        }
       });
-    if (dead.empty()) break;
-    for (auto [role, rv] : dead) net.eliminate(role, rv);
+    if (!any_dead) break;
+    for (int role = 0; role < net.num_roles(); ++role)
+      for (int rv = 0; rv < Di; ++rv)
+        if (flags[static_cast<std::size_t>(role) * Di + rv])
+          net.eliminate(role, rv);
   }
   r.consistency_iterations = iters;
   charge_reduce();  // acceptance AND over roles

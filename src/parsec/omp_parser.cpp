@@ -1,6 +1,9 @@
 #include "parsec/omp_parser.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "cdg/kernels.h"
 
 #if defined(PARSEC_HAVE_OPENMP)
 #include <omp.h>
@@ -9,116 +12,84 @@
 namespace parsec::engine {
 
 using cdg::CompiledConstraint;
-using cdg::EvalContext;
 using cdg::Network;
-
-OmpParser::OmpParser(const cdg::Grammar& g, OmpOptions opt)
-    : grammar_(&g),
-      opt_(opt),
-      unary_(compile_all(g.unary_constraints())),
-      binary_(compile_all(g.binary_constraints())) {}
 
 void OmpParser::apply_unary(Network& net,
                             const CompiledConstraint& c) const {
   const int R = net.num_roles();
-  std::vector<std::vector<int>> victims(static_cast<std::size_t>(R));
+  const int D = net.domain_size();
+  // Victim staging in the arena's rv_flags region: each worker writes
+  // only its own roles' slices, so the marks are race-free.
+  auto flags = net.arena().rv_flags();
+  std::fill(flags.begin(), flags.end(), std::uint8_t{0});
 #if defined(PARSEC_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
 #endif
   for (int role = 0; role < R; ++role) {
-    EvalContext ctx;
-    ctx.sentence = &net.sentence();
-    net.domain(role).for_each([&](std::size_t rv) {
-      ctx.x = net.binding(role, static_cast<int>(rv));
-      if (!eval_compiled(c, ctx))
-        victims[role].push_back(static_cast<int>(rv));
-    });
+    cdg::kernels::propagate_unary(
+        c, net.sentence(), net.indexer(), net.role_id_of(role),
+        net.word_of_role(role), net.domain(role),
+        flags.subspan(static_cast<std::size_t>(role) * D, D));
   }
   for (int role = 0; role < R; ++role)
-    for (int rv : victims[role]) net.eliminate(role, rv);
+    for (int rv = 0; rv < D; ++rv)
+      if (flags[static_cast<std::size_t>(role) * D + rv])
+        net.eliminate(role, rv);
 }
 
 void OmpParser::apply_binary(Network& net,
                              const CompiledConstraint& c) const {
   net.build_arcs();
-  const int R = net.num_roles();
-  std::vector<std::vector<int>> alive(R);
-  std::vector<std::vector<cdg::Binding>> bind(R);
-  for (int r = 0; r < R; ++r)
-    net.domain(r).for_each([&](std::size_t v) {
-      alive[r].push_back(static_cast<int>(v));
-      bind[r].push_back(net.binding(r, static_cast<int>(v)));
-    });
-  // Flatten the arc list: each worker owns whole matrices, so writes
-  // never race.
-  std::vector<std::pair<int, int>> arcs;
-  arcs.reserve(static_cast<std::size_t>(R) * (R - 1) / 2);
-  for (int a = 0; a < R; ++a)
-    for (int b = a + 1; b < R; ++b) arcs.emplace_back(a, b);
-
+  net.refresh_alive_cache();
+  cdg::NetworkArena& arena = net.arena();
+  // Partition by arc: each worker owns whole matrices, so writes never
+  // race.
+  const std::size_t A = arena.num_arcs();
   std::size_t zeroed_total = 0;
 #if defined(PARSEC_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic) reduction(+ : zeroed_total)
 #endif
-  for (std::size_t t = 0; t < arcs.size(); ++t) {
-    const auto [a, b] = arcs[t];
-    EvalContext ctx;
-    ctx.sentence = &net.sentence();
-    util::BitMatrix& m = net.arc_matrix_mut(a, b);
-    for (std::size_t i = 0; i < alive[a].size(); ++i) {
-      for (std::size_t j = 0; j < alive[b].size(); ++j) {
-        if (!m.test(static_cast<std::size_t>(alive[a][i]),
-                    static_cast<std::size_t>(alive[b][j])))
-          continue;
-        ctx.x = bind[a][i];
-        ctx.y = bind[b][j];
-        bool ok = eval_compiled(c, ctx);
-        if (ok) {
-          ctx.x = bind[b][j];
-          ctx.y = bind[a][i];
-          ok = eval_compiled(c, ctx);
-        }
-        if (!ok) {
-          m.reset(static_cast<std::size_t>(alive[a][i]),
-                  static_cast<std::size_t>(alive[b][j]));
-          ++zeroed_total;
-        }
-      }
-    }
+  for (std::size_t t = 0; t < A; ++t) {
+    const auto [a, b] = arena.arc_pair(t);
+    zeroed_total += static_cast<std::size_t>(cdg::kernels::sweep_binary(
+        c, net.sentence(), arena.arc(t), net.alive_list(a),
+        net.binding_list(a), net.alive_list(b), net.binding_list(b)));
   }
   net.counters().arc_zeroings += zeroed_total;
+  if (zeroed_total) arena.set_counts_valid(false);
 }
 
 int OmpParser::consistency_sweep(Network& net) const {
   net.build_arcs();
   const int R = net.num_roles();
-  std::vector<std::vector<int>> dead(static_cast<std::size_t>(R));
+  const int D = net.domain_size();
+  auto flags = net.arena().rv_flags();
+  std::fill(flags.begin(), flags.end(), std::uint8_t{0});
 #if defined(PARSEC_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic)
 #endif
   for (int role = 0; role < R; ++role) {
     net.domain(role).for_each([&](std::size_t rv) {
       // Support check against the pre-sweep matrices (reads only).
-      for (int other = 0; other < R; ++other) {
-        if (other == role) continue;
-        const bool ok =
-            role < other ? net.arc_matrix(role, other).row_any(rv)
-                         : net.arc_matrix(other, role).col_any(rv);
-        if (!ok) {
-          dead[role].push_back(static_cast<int>(rv));
-          return;
-        }
-      }
+      if (!cdg::kernels::supported(net.arena(), role, static_cast<int>(rv)))
+        flags[static_cast<std::size_t>(role) * D + rv] = 1;
     });
   }
   int eliminated = 0;
   for (int role = 0; role < R; ++role)
-    for (int rv : dead[role]) {
-      net.eliminate(role, rv);
-      ++eliminated;
-    }
+    for (int rv = 0; rv < D; ++rv)
+      if (flags[static_cast<std::size_t>(role) * D + rv]) {
+        net.eliminate(role, rv);
+        ++eliminated;
+      }
   return eliminated;
 }
+
+OmpParser::OmpParser(const cdg::Grammar& g, OmpOptions opt)
+    : grammar_(&g),
+      opt_(opt),
+      unary_(compile_all(g.unary_constraints())),
+      binary_(compile_all(g.binary_constraints())) {}
 
 OmpResult OmpParser::parse(Network& net) const {
   const auto t0 = std::chrono::steady_clock::now();

@@ -1,9 +1,12 @@
 #include "parsec/pram_parser.h"
 
+#include <algorithm>
+
+#include "cdg/kernels.h"
+
 namespace parsec::engine {
 
 using cdg::CompiledConstraint;
-using cdg::EvalContext;
 using cdg::Network;
 
 PramParser::PramParser(const cdg::Grammar& g, PramOptions opt)
@@ -12,114 +15,98 @@ PramParser::PramParser(const cdg::Grammar& g, PramOptions opt)
       unary_(compile_all(g.unary_constraints())),
       binary_(compile_all(g.binary_constraints())) {}
 
-namespace {
-
-/// Dense (role, rv) enumeration of currently-alive role values.
-struct AliveIndex {
-  std::vector<int> role;
-  std::vector<int> rv;
-  explicit AliveIndex(const Network& net) {
-    for (int r = 0; r < net.num_roles(); ++r)
-      net.domain(r).for_each([&](std::size_t v) {
-        role.push_back(r);
-        rv.push_back(static_cast<int>(v));
-      });
-  }
-  std::size_t size() const { return role.size(); }
-};
-
-}  // namespace
-
 void PramParser::apply_unary_parallel(Network& net, pram::Machine& m,
                                       const CompiledConstraint& c) const {
-  AliveIndex idx(net);
-  EvalContext ctx;
-  ctx.sentence = &net.sentence();
-  // One step, one processor per role value: test the constraint.
-  std::vector<std::uint8_t> victim(idx.size(), 0);
-  m.for_all(idx.size(), [&](std::size_t i) {
-    ctx.x = net.binding(idx.role[i], idx.rv[i]);
-    if (!eval_compiled(c, ctx)) victim[i] = 1;
-  });
+  const int R = net.num_roles();
+  const int D = net.domain_size();
+  net.refresh_alive_cache();
+  // One step, one processor per alive role value: test the constraint.
+  // The evaluation itself runs host-side through the shared unary
+  // kernel; the step model only needs the processor count.
+  auto victim = net.arena().rv_flags();
+  std::fill(victim.begin(), victim.end(), std::uint8_t{0});
+  m.for_all(net.alive_cache_total(), [](std::size_t) {});
+  for (int role = 0; role < R; ++role) {
+    cdg::kernels::propagate_unary(
+        c, net.sentence(), net.indexer(), net.role_id_of(role),
+        net.word_of_role(role), net.domain(role),
+        victim.subspan(static_cast<std::size_t>(role) * D, D));
+  }
   // One step, O(n^2) processors per victim: zero its rows/columns and
   // clear the domain bit (the writes are to disjoint or identically-
   // valued cells, so Common CRCW holds).
   std::size_t zero_procs = 0;
-  for (std::size_t i = 0; i < idx.size(); ++i)
+  for (std::size_t i = 0; i < victim.size(); ++i)
     if (victim[i])
-      zero_procs += static_cast<std::size_t>(net.num_roles() - 1) *
-                    static_cast<std::size_t>(net.domain_size());
+      zero_procs += static_cast<std::size_t>(R - 1) *
+                    static_cast<std::size_t>(D);
   m.for_all(std::max<std::size_t>(zero_procs, 1), [](std::size_t) {});
-  for (std::size_t i = 0; i < idx.size(); ++i)
-    if (victim[i]) net.eliminate(idx.role[i], idx.rv[i]);
+  for (int role = 0; role < R; ++role)
+    for (int rv = 0; rv < D; ++rv)
+      if (victim[static_cast<std::size_t>(role) * D + rv])
+        net.eliminate(role, rv);
 }
 
 void PramParser::apply_binary_parallel(Network& net, pram::Machine& m,
                                        const CompiledConstraint& c) const {
   net.build_arcs();
-  EvalContext ctx;
-  ctx.sentence = &net.sentence();
   // One parallel step, one processor per arc element (pair of alive
   // role values on an arc): O(n^4) processors.
-  std::vector<std::vector<int>> alive(net.num_roles());
-  std::vector<std::vector<cdg::Binding>> bind(net.num_roles());
-  for (int r = 0; r < net.num_roles(); ++r)
-    net.domain(r).for_each([&](std::size_t v) {
-      alive[r].push_back(static_cast<int>(v));
-      bind[r].push_back(net.binding(r, static_cast<int>(v)));
-    });
+  net.refresh_alive_cache();
+  const int R = net.num_roles();
   std::size_t pairs = 0;
-  for (int a = 0; a < net.num_roles(); ++a)
-    for (int b = a + 1; b < net.num_roles(); ++b)
-      pairs += alive[a].size() * alive[b].size();
+  for (int a = 0; a < R; ++a)
+    for (int b = a + 1; b < R; ++b)
+      pairs += net.alive_list(a).size() * net.alive_list(b).size();
 
   m.for_all(std::max<std::size_t>(pairs, 1), [](std::size_t) {});
   // The actual evaluation (performed sequentially here, but each pair
   // independently, exactly as the step models).
-  for (int a = 0; a < net.num_roles(); ++a) {
-    for (int b = a + 1; b < net.num_roles(); ++b) {
-      for (std::size_t i = 0; i < alive[a].size(); ++i) {
-        for (std::size_t j = 0; j < alive[b].size(); ++j) {
-          if (!net.arc_allows(a, alive[a][i], b, alive[b][j])) continue;
-          ctx.x = bind[a][i];
-          ctx.y = bind[b][j];
-          bool ok = eval_compiled(c, ctx);
-          if (ok) {
-            ctx.x = bind[b][j];
-            ctx.y = bind[a][i];
-            ok = eval_compiled(c, ctx);
-          }
-          if (!ok) net.arc_forbid(a, alive[a][i], b, alive[b][j]);
-        }
-      }
+  cdg::NetworkArena& arena = net.arena();
+  std::size_t zeroed = 0;
+  for (int a = 0; a < R; ++a) {
+    for (int b = a + 1; b < R; ++b) {
+      zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary(
+          c, net.sentence(), arena.arc(a, b), net.alive_list(a),
+          net.binding_list(a), net.alive_list(b), net.binding_list(b)));
     }
   }
+  net.counters().arc_zeroings += zeroed;
+  if (zeroed) arena.set_counts_valid(false);
 }
 
 int PramParser::parallel_consistency_step(Network& net,
                                           pram::Machine& m) const {
   net.build_arcs();
-  AliveIndex idx(net);
+  const int R = net.num_roles();
+  const int D = net.domain_size();
+  net.refresh_alive_cache();
   // Support of every alive role value, all computed from the pre-sweep
   // state.  On the CRCW machine this is: one step of concurrent-write
   // ORs over each row/column (O(n^2) cells per role value), one step of
   // ANDs — constant time with one processor per arc element.
   const std::size_t or_procs =
-      idx.size() * static_cast<std::size_t>(net.num_roles() - 1) *
-      static_cast<std::size_t>(net.domain_size());
-  std::vector<std::uint8_t> dead(idx.size(), 0);
+      net.alive_cache_total() * static_cast<std::size_t>(R - 1) *
+      static_cast<std::size_t>(D);
+  auto dead = net.arena().rv_flags();
+  std::fill(dead.begin(), dead.end(), std::uint8_t{0});
   m.for_all(std::max<std::size_t>(or_procs, 1), [](std::size_t) {});
-  m.for_all(std::max<std::size_t>(idx.size(), 1), [](std::size_t) {});
-  for (std::size_t i = 0; i < idx.size(); ++i)
-    if (!net.supported(idx.role[i], idx.rv[i])) dead[i] = 1;
+  m.for_all(std::max<std::size_t>(net.alive_cache_total(), 1),
+            [](std::size_t) {});
+  for (int role = 0; role < R; ++role)
+    net.domain(role).for_each([&](std::size_t rv) {
+      if (!net.supported(role, static_cast<int>(rv)))
+        dead[static_cast<std::size_t>(role) * D + rv] = 1;
+    });
   // One zeroing step for all victims simultaneously.
   m.for_all(std::max<std::size_t>(or_procs, 1), [](std::size_t) {});
   int eliminated = 0;
-  for (std::size_t i = 0; i < idx.size(); ++i)
-    if (dead[i]) {
-      net.eliminate(idx.role[i], idx.rv[i]);
-      ++eliminated;
-    }
+  for (int role = 0; role < R; ++role)
+    for (int rv = 0; rv < D; ++rv)
+      if (dead[static_cast<std::size_t>(role) * D + rv]) {
+        net.eliminate(role, rv);
+        ++eliminated;
+      }
   return eliminated;
 }
 

@@ -123,7 +123,7 @@ void ParseService::run_request(int worker, ParseRequest req,
     WorkerScratch& scratch = scratch_[static_cast<std::size_t>(worker)];
     engine::BackendRun run = engine::run_backend(
         engines_, req.backend, req.sentence, &scratch.networks, cancel,
-        req.capture_domains, &scratch.ac4);
+        req.capture_domains);
     resp.status = run.cancelled ? RequestStatus::Timeout : RequestStatus::Ok;
     resp.accepted = run.accepted;
     resp.alive_role_values = run.alive_role_values;

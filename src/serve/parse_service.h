@@ -7,9 +7,11 @@
 // fixed-size thread pool:
 //
 //   * per-request backend selection (serial / omp / pram / maspar);
-//   * per-worker reusable scratch (constraint-network pools via
-//     Network::reinit, AC-4 counter storage) so steady-state parsing
-//     of repeating sentence shapes is allocation-free on the hot path;
+//   * per-worker reusable scratch (arena-backed constraint-network
+//     pools via Network::reinit; the arena carries domains, arcs, AC-4
+//     counters and elimination staging in one allocation) so
+//     steady-state parsing of repeating sentence shapes is
+//     allocation-free on the hot path;
 //   * per-request deadlines — an expired request returns a Timeout
 //     response instead of stalling the queue (the serial backend even
 //     aborts mid-parse via cdg::CancelFn);
@@ -139,10 +141,12 @@ class ParseService {
   int threads() const { return pool_->num_threads(); }
 
  private:
-  /// Per-worker mutable state; only worker i touches scratch_[i].
+  /// Per-worker mutable state; only worker i touches scratch_[i].  The
+  /// pooled networks carry their whole arenas (domains, arc matrices,
+  /// AC-4 counters, elimination staging) — one allocation per shape,
+  /// reused across requests.
   struct WorkerScratch {
     engine::NetworkScratch networks;
-    cdg::Ac4Scratch ac4;
   };
 
   void run_request(int worker, ParseRequest req,

@@ -111,6 +111,16 @@ class BitMatrix {
     return c;
   }
 
+  /// Set bits in row `r` (word-granular popcount; no per-bit probing).
+  std::size_t row_count(std::size_t r) const {
+    const Word* w = row_words(r);
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < words_per_row_; ++i)
+      c += static_cast<std::size_t>(std::popcount(w[i]));
+    return c;
+  }
+
+  /// Word-wise equality (shape + every storage word).
   bool operator==(const BitMatrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&
            data_ == other.data_;
@@ -121,6 +131,13 @@ class BitMatrix {
     return data_.data() + r * words_per_row_;
   }
   std::size_t words_per_row() const { return words_per_row_; }
+
+  /// Row `r` as a bit span (word-granular access to one role value's
+  /// support bits).
+  BitSpan row_span(std::size_t r) { return BitSpan(row_words(r), cols_); }
+  ConstBitSpan row_span(std::size_t r) const {
+    return ConstBitSpan(row_words(r), cols_);
+  }
 
  private:
   void trim_rows() {
@@ -134,6 +151,150 @@ class BitMatrix {
   std::size_t cols_ = 0;
   std::size_t words_per_row_ = 0;
   std::vector<Word> data_;
+};
+
+// ---------------------------------------------------------------------
+// Non-owning matrix views over word-aligned rows with a fixed stride.
+//
+// The arc matrices of a constraint network live back-to-back in one
+// arena allocation (cdg::NetworkArena); a view binds (base, rows, cols,
+// stride) to that storage and exposes the BitMatrix API.  All bit
+// kernels (cdg/kernels.h) are written against these views, so the same
+// inner loops serve every engine regardless of who owns the words.
+// ---------------------------------------------------------------------
+
+class ConstBitMatrixView {
+ public:
+  using Word = DynBitset::Word;
+  static constexpr std::size_t kWordBits = DynBitset::kWordBits;
+
+  ConstBitMatrixView() = default;
+  ConstBitMatrixView(const Word* data, std::size_t rows, std::size_t cols,
+                     std::size_t stride_words)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride_words) {}
+  /// Implicit: a BitMatrix is viewable wherever a view is expected.
+  ConstBitMatrixView(const BitMatrix& m)
+      : data_(m.rows() ? m.row_words(0) : nullptr),
+        rows_(m.rows()),
+        cols_(m.cols()),
+        stride_(m.words_per_row()) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t words_per_row() const { return stride_; }
+
+  bool test(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return (row_words(r)[c / kWordBits] >> (c % kWordBits)) & 1u;
+  }
+
+  bool row_any(std::size_t r) const {
+    const Word* w = row_words(r);
+    const std::size_t W = row_word_count();
+    for (std::size_t i = 0; i < W; ++i)
+      if (w[i]) return true;
+    return false;
+  }
+
+  bool col_any(std::size_t c) const {
+    const std::size_t wi = c / kWordBits;
+    const Word mask = Word{1} << (c % kWordBits);
+    for (std::size_t r = 0; r < rows_; ++r)
+      if (row_words(r)[wi] & mask) return true;
+    return false;
+  }
+
+  std::size_t row_count(std::size_t r) const {
+    const Word* w = row_words(r);
+    std::size_t c = 0;
+    const std::size_t W = row_word_count();
+    for (std::size_t i = 0; i < W; ++i)
+      c += static_cast<std::size_t>(std::popcount(w[i]));
+    return c;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::size_t r = 0; r < rows_; ++r) c += row_count(r);
+    return c;
+  }
+
+  const Word* row_words(std::size_t r) const { return data_ + r * stride_; }
+  ConstBitSpan row_span(std::size_t r) const {
+    return ConstBitSpan(row_words(r), cols_);
+  }
+
+  /// Words that carry payload bits in a row (the stride may be larger).
+  std::size_t row_word_count() const {
+    return (cols_ + kWordBits - 1) / kWordBits;
+  }
+
+ protected:
+  const Word* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Word-wise equality over the payload words of two equally-shaped
+/// matrices (strides may differ).
+inline bool operator==(const ConstBitMatrixView& a,
+                       const ConstBitMatrixView& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const std::size_t W = a.row_word_count();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const ConstBitMatrixView::Word* wa = a.row_words(r);
+    const ConstBitMatrixView::Word* wb = b.row_words(r);
+    for (std::size_t i = 0; i < W; ++i)
+      if (wa[i] != wb[i]) return false;
+  }
+  return true;
+}
+
+class BitMatrixView : public ConstBitMatrixView {
+ public:
+  BitMatrixView() = default;
+  BitMatrixView(Word* data, std::size_t rows, std::size_t cols,
+                std::size_t stride_words)
+      : ConstBitMatrixView(data, rows, cols, stride_words), mut_(data) {}
+
+  void set(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    row_words(r)[c / kWordBits] |= Word{1} << (c % kWordBits);
+  }
+
+  void reset(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    row_words(r)[c / kWordBits] &= ~(Word{1} << (c % kWordBits));
+  }
+
+  void assign(std::size_t r, std::size_t c, bool v) {
+    v ? set(r, c) : reset(r, c);
+  }
+
+  void reset_all() {
+    for (std::size_t r = 0; r < rows_; ++r) zero_row(r);
+  }
+
+  void zero_row(std::size_t r) {
+    Word* w = row_words(r);
+    const std::size_t W = row_word_count();
+    for (std::size_t i = 0; i < W; ++i) w[i] = 0;
+  }
+
+  void zero_col(std::size_t c) {
+    const std::size_t wi = c / kWordBits;
+    const Word mask = ~(Word{1} << (c % kWordBits));
+    for (std::size_t r = 0; r < rows_; ++r) row_words(r)[wi] &= mask;
+  }
+
+  using ConstBitMatrixView::row_span;
+  using ConstBitMatrixView::row_words;
+  Word* row_words(std::size_t r) { return mut_ + r * stride_; }
+  BitSpan row_span(std::size_t r) { return BitSpan(row_words(r), cols_); }
+
+ private:
+  Word* mut_ = nullptr;
 };
 
 }  // namespace parsec::util

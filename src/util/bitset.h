@@ -16,6 +16,8 @@
 
 namespace parsec::util {
 
+class ConstBitSpan;
+
 class DynBitset {
  public:
   using Word = std::uint64_t;
@@ -137,6 +139,10 @@ class DynBitset {
   Word* words() { return words_.data(); }
   const Word* words() const { return words_.data(); }
 
+  /// Materializes a view (defined after ConstBitSpan below).
+  explicit DynBitset(ConstBitSpan s);
+  DynBitset& operator=(ConstBitSpan s);
+
  private:
   // Clears the unused high bits of the last word so count()/any() stay exact.
   void trim() {
@@ -147,5 +153,169 @@ class DynBitset {
   std::size_t nbits_ = 0;
   std::vector<Word> words_;
 };
+
+// ---------------------------------------------------------------------
+// Non-owning bit spans.
+//
+// The constraint network's bit state lives in one arena allocation
+// (cdg::NetworkArena); these views give that storage the DynBitset API
+// without copying.  A span covers ceil(nbits/64) words; like DynBitset,
+// the unused high bits of the last word must be kept zero (reset_all /
+// copy_from maintain this) so count()/operator== stay word-granular.
+// ---------------------------------------------------------------------
+
+class ConstBitSpan {
+ public:
+  using Word = DynBitset::Word;
+  static constexpr std::size_t kWordBits = DynBitset::kWordBits;
+
+  ConstBitSpan() = default;
+  ConstBitSpan(const Word* words, std::size_t nbits)
+      : words_(words), nbits_(nbits) {}
+  /// Implicit: a DynBitset is viewable wherever a span is expected.
+  ConstBitSpan(const DynBitset& b) : words_(b.words()), nbits_(b.size()) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool test(std::size_t i) const {
+    assert(i < nbits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi)
+      c += static_cast<std::size_t>(std::popcount(words_[wi]));
+    return c;
+  }
+
+  bool any() const {
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi)
+      if (words_[wi]) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  bool intersects(ConstBitSpan other) const {
+    assert(nbits_ == other.nbits_);
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi)
+      if (words_[wi] & other.words_[wi]) return true;
+    return false;
+  }
+
+  std::size_t find_first() const { return find_next_from(0); }
+
+  std::size_t find_next_from(std::size_t from) const {
+    if (from >= nbits_) return nbits_;
+    std::size_t wi = from / kWordBits;
+    Word w = words_[wi] & (~Word{0} << (from % kWordBits));
+    const std::size_t W = word_count();
+    while (true) {
+      if (w) {
+        std::size_t bit =
+            wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+        return bit < nbits_ ? bit : nbits_;
+      }
+      if (++wi == W) return nbits_;
+      w = words_[wi];
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi) {
+      Word w = words_[wi];
+      while (w) {
+        std::size_t bit =
+            wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+        fn(bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  std::size_t word_count() const {
+    return (nbits_ + kWordBits - 1) / kWordBits;
+  }
+  Word word_at(std::size_t wi) const { return words_[wi]; }
+  const Word* words() const { return words_; }
+
+ protected:
+  const Word* words_ = nullptr;
+  std::size_t nbits_ = 0;
+};
+
+inline bool operator==(ConstBitSpan a, ConstBitSpan b) {
+  if (a.size() != b.size()) return false;
+  const std::size_t W = a.word_count();
+  for (std::size_t wi = 0; wi < W; ++wi)
+    if (a.word_at(wi) != b.word_at(wi)) return false;
+  return true;
+}
+
+class BitSpan : public ConstBitSpan {
+ public:
+  BitSpan() = default;
+  BitSpan(Word* words, std::size_t nbits)
+      : ConstBitSpan(words, nbits), mut_(words) {}
+
+  void set(std::size_t i) {
+    assert(i < nbits_);
+    mut_[i / kWordBits] |= Word{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) {
+    assert(i < nbits_);
+    mut_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+  }
+
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  void set_all() {
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi) mut_[wi] = ~Word{0};
+    trim();
+  }
+
+  void reset_all() {
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi) mut_[wi] = 0;
+  }
+
+  /// Word-wise copy from an equal-sized source.
+  void copy_from(ConstBitSpan src) {
+    assert(src.size() == nbits_);
+    const std::size_t W = word_count();
+    for (std::size_t wi = 0; wi < W; ++wi) mut_[wi] = src.word_at(wi);
+  }
+
+  using ConstBitSpan::words;
+  Word* words() { return mut_; }
+
+ private:
+  void trim() {
+    if (nbits_ % kWordBits != 0 && word_count() != 0)
+      mut_[word_count() - 1] &= (Word{1} << (nbits_ % kWordBits)) - 1;
+  }
+
+  Word* mut_ = nullptr;
+};
+
+inline DynBitset::DynBitset(ConstBitSpan s) : DynBitset(s.size()) {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) words_[wi] = s.word_at(wi);
+}
+
+inline DynBitset& DynBitset::operator=(ConstBitSpan s) {
+  nbits_ = s.size();
+  words_.resize(s.word_count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) words_[wi] = s.word_at(wi);
+  return *this;
+}
 
 }  // namespace parsec::util

@@ -1,0 +1,158 @@
+// NetworkArena layout and reuse: one allocation, offsets that are pure
+// functions of the shape, O(1) same-shape reinit (paper §2.2.1's
+// fixed-offset PE-array layout, hosted).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "cdg/arena.h"
+#include "cdg/network.h"
+#include "cdg/parser.h"
+#include "grammars/toy_grammar.h"
+
+namespace {
+
+using namespace parsec;
+using cdg::NetworkArena;
+
+TEST(NetworkArena, ShapeAndRegionSizes) {
+  NetworkArena a(6, 70);  // D > 64 exercises the two-word stride
+  EXPECT_EQ(a.roles(), 6);
+  EXPECT_EQ(a.domain_size(), 70);
+  EXPECT_EQ(a.row_words(), 2u);
+  EXPECT_EQ(a.num_arcs(), 15u);  // 6*5/2
+  EXPECT_EQ(a.domains_bytes(), 6u * 2 * sizeof(NetworkArena::Word));
+  EXPECT_EQ(a.arcs_bytes(), 15u * 70 * 2 * sizeof(NetworkArena::Word));
+  EXPECT_EQ(a.counts_bytes(), 6u * 70 * 6 * sizeof(std::int32_t));
+  EXPECT_GE(a.bytes(), a.domains_bytes() + a.arcs_bytes() + a.counts_bytes());
+  EXPECT_EQ(a.allocations(), 1u);
+  EXPECT_EQ(a.reinits(), 0u);
+}
+
+TEST(NetworkArena, ArcIndexIsRowMajorUpperTriangleBijection) {
+  NetworkArena a(5, 8);
+  std::set<std::size_t> seen;
+  std::size_t expect = 0;
+  for (int ra = 0; ra < 5; ++ra)
+    for (int rb = ra + 1; rb < 5; ++rb) {
+      const std::size_t idx = a.arc_index(ra, rb);
+      EXPECT_EQ(idx, expect++);  // row-major order
+      EXPECT_TRUE(seen.insert(idx).second) << ra << "," << rb;
+      const auto [pa, pb] = a.arc_pair(idx);  // inverse
+      EXPECT_EQ(pa, ra);
+      EXPECT_EQ(pb, rb);
+    }
+  EXPECT_EQ(seen.size(), a.num_arcs());
+}
+
+TEST(NetworkArena, SpansAndViewsAddressDisjointStorage) {
+  NetworkArena a(4, 10);
+  // Write a distinct pattern through every accessor, then read it all
+  // back: no region may alias another.
+  for (int r = 0; r < 4; ++r) {
+    auto d = a.domain(r);
+    d.reset_all();
+    d.set(static_cast<std::size_t>(r));
+  }
+  for (std::size_t t = 0; t < a.num_arcs(); ++t) {
+    auto m = a.arc(t);
+    m.reset_all();
+    m.set(t % 10, (t + 1) % 10);
+  }
+  for (auto& c : a.support_counts()) c = 7;
+  for (auto& f : a.rv_flags()) f = 3;
+  for (auto& q : a.queue_storage()) q = -2;
+
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.domain(r).count(), 1u);
+    EXPECT_TRUE(a.domain(r).test(static_cast<std::size_t>(r)));
+  }
+  for (std::size_t t = 0; t < a.num_arcs(); ++t) {
+    EXPECT_EQ(a.arc(t).count(), 1u) << "arc " << t;
+    EXPECT_TRUE(a.arc(t).test(t % 10, (t + 1) % 10));
+  }
+  for (auto c : a.support_counts()) EXPECT_EQ(c, 7);
+  for (auto f : a.rv_flags()) EXPECT_EQ(f, 3);
+  for (auto q : a.queue_storage()) EXPECT_EQ(q, -2);
+  EXPECT_EQ(a.support_count(2, 5, 1), 7);
+}
+
+TEST(NetworkArena, ReinitKeepsAllocationAndPointers) {
+  NetworkArena a(4, 9);
+  ASSERT_EQ(a.allocations(), 1u);
+  const NetworkArena::Word* dom0 = a.domain(0).words();
+  const std::size_t bytes = a.bytes();
+  a.reinit();
+  a.reinit();
+  EXPECT_EQ(a.reinits(), 2u);
+  EXPECT_EQ(a.allocations(), 1u);  // no realloc
+  EXPECT_EQ(a.bytes(), bytes);
+  EXPECT_EQ(a.domain(0).words(), dom0);  // storage stable
+  EXPECT_FALSE(a.counts_valid());        // counters invalidated
+}
+
+TEST(NetworkArena, SameShapeReshapeDoesNotReallocate) {
+  NetworkArena a(5, 12);
+  const std::size_t bytes = a.bytes();
+  a.reshape(5, 12);
+  EXPECT_EQ(a.allocations(), 1u);
+  EXPECT_EQ(a.bytes(), bytes);
+  // Shrinking fits in the existing capacity too.
+  a.reshape(3, 8);
+  EXPECT_EQ(a.allocations(), 1u);
+  EXPECT_TRUE(a.same_shape(3, 8));
+  // Growing past capacity reallocates exactly once.
+  a.reshape(8, 20);
+  EXPECT_EQ(a.allocations(), 2u);
+}
+
+TEST(NetworkArena, CountsValidFlagGatesOnMutation) {
+  NetworkArena a(3, 6);
+  EXPECT_FALSE(a.counts_valid());
+  a.set_counts_valid(true);
+  EXPECT_TRUE(a.counts_valid());
+  a.reinit();
+  EXPECT_FALSE(a.counts_valid());
+}
+
+// ---------------------------------------------------------------------
+// Arena reuse through Network::reinit — mirrors the existing Network
+// reinit tests, but asserts on the arena's accounting.
+// ---------------------------------------------------------------------
+TEST(NetworkArenaReuse, NetworkReinitIsAllocationFreeAndBitIdentical) {
+  auto bundle = grammars::make_toy_grammar();
+  cdg::SequentialParser parser(bundle.grammar);
+  cdg::Sentence s1 = bundle.tag("The program runs");
+  cdg::Sentence s2 = bundle.tag("a compiler halts");
+
+  cdg::Network net = parser.make_network(s1);
+  const std::uint64_t allocs = net.arena().allocations();
+  parser.parse(net);
+  net.filter();
+  EXPECT_TRUE(net.check_invariants());
+
+  // Fresh-network reference for the second sentence.
+  cdg::Network ref = parser.make_network(s2);
+  parser.parse(ref);
+  ref.filter();
+
+  // Same-length reinit: arena reused, fixpoint bit-identical.
+  ASSERT_TRUE(net.reinit(s2));
+  EXPECT_EQ(net.arena().allocations(), allocs);
+  EXPECT_GE(net.arena().reinits(), 1u);
+  parser.parse(net);
+  net.filter();
+  EXPECT_TRUE(net.check_invariants());
+  for (int r = 0; r < net.num_roles(); ++r)
+    EXPECT_EQ(ref.domain(r), net.domain(r)) << "role " << r;
+  for (int a = 0; a < net.num_roles(); ++a)
+    for (int b = a + 1; b < net.num_roles(); ++b)
+      EXPECT_TRUE(ref.arc_matrix(a, b) == net.arc_matrix(a, b))
+          << "arc " << a << "," << b;
+
+  // Different length: reinit must refuse (shape change).
+  EXPECT_FALSE(net.reinit(bundle.tag("The dog")));
+}
+
+}  // namespace

@@ -30,7 +30,7 @@ class NetworkInvariants : public ::testing::TestWithParam<int> {
 TEST_P(NetworkInvariants, PropagationOnlyRemoves) {
   Network net = parser_.make_network(sentence());
   std::vector<util::DynBitset> prev;
-  for (int r = 0; r < net.num_roles(); ++r) prev.push_back(net.domain(r));
+  for (int r = 0; r < net.num_roles(); ++r) prev.emplace_back(net.domain(r));
   auto check_shrunk = [&]() {
     for (int r = 0; r < net.num_roles(); ++r) {
       net.domain(r).for_each([&](std::size_t rv) {
@@ -51,6 +51,10 @@ TEST_P(NetworkInvariants, ArcBitsNeverPointAtDeadValues) {
   Network net = parser_.make_network(sentence());
   parser_.parse(net);
   net.filter();
+  // The structural self-check covers the same property (plus counter
+  // consistency when AC-4 counters are valid); keep the explicit loop
+  // below as an independent witness.
+  EXPECT_TRUE(net.check_invariants());
   for (int a = 0; a < net.num_roles(); ++a) {
     for (int b = a + 1; b < net.num_roles(); ++b) {
       const auto& m = net.arc_matrix(a, b);
@@ -78,6 +82,7 @@ TEST_P(NetworkInvariants, FixpointIsStable) {
   EXPECT_EQ(net.filter(), 0);
   EXPECT_EQ(net.total_alive(), alive);
   EXPECT_EQ(net.arc_ones(), ones);
+  EXPECT_TRUE(net.check_invariants());
 }
 
 TEST_P(NetworkInvariants, EverySurvivorIsSupported) {

@@ -1,0 +1,144 @@
+// Randomized cross-backend fuzz over the unified run_backend entry:
+// every backend (serial sweep, serial AC-4, OpenMP, P-RAM, MasPar) must
+// produce the identical domains_hash fingerprint for the same sentence,
+// and pooled-arena reuse (NetworkScratch) must not change a single bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+#include "grammars/toy_grammar.h"
+#include "parsec/backend.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace parsec;
+
+std::vector<std::string> random_words(util::Rng& rng, int n) {
+  static const std::vector<std::string> pool{
+      "The", "a", "program", "dog", "compiler", "runs", "halts", "crashes"};
+  std::vector<std::string> words;
+  for (int i = 0; i < n; ++i) words.push_back(rng.pick(pool));
+  return words;
+}
+
+class BackendFuzz : public ::testing::TestWithParam<int> {};
+
+// 5 seeds x 10 sentences = 50 random word strings (grammatical or not).
+TEST_P(BackendFuzz, AllBackendsHashIdenticalOnToySentences) {
+  auto bundle = grammars::make_toy_grammar();
+  engine::EngineSet engines(bundle.grammar);
+  engine::EngineSetOptions ac4_opt;
+  ac4_opt.serial_ac4 = true;
+  engine::EngineSet ac4_engines(bundle.grammar, ac4_opt);
+  engine::NetworkScratch scratch;  // shared pool: exercises arena reuse
+
+  util::Rng rng(910 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(7));
+    cdg::Sentence s = bundle.lexicon.tag(random_words(rng, n));
+    std::string label;
+    for (const auto& w : s.words) label += w + " ";
+
+    const engine::BackendRun ref =
+        engine::run_backend(engines, engine::Backend::Serial, s);
+    for (auto b : engine::kAllBackends) {
+      engine::BackendRun run = engine::run_backend(engines, b, s, &scratch);
+      EXPECT_EQ(run.domains_hash, ref.domains_hash)
+          << label << "backend " << engine::to_string(b);
+      EXPECT_EQ(run.accepted, ref.accepted)
+          << label << "backend " << engine::to_string(b);
+      EXPECT_EQ(run.alive_role_values, ref.alive_role_values)
+          << label << "backend " << engine::to_string(b);
+    }
+    // AC-4 filtering reaches the same fixpoint (confluence).
+    const engine::BackendRun ac4 = engine::run_backend(
+        ac4_engines, engine::Backend::Serial, s, &scratch);
+    EXPECT_EQ(ac4.domains_hash, ref.domains_hash) << label << "serial_ac4";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzz, ::testing::Range(0, 5));
+
+TEST(BackendFuzz, EnglishSentencesHashIdenticalAcrossBackends) {
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, 20260806);
+  engine::EngineSet engines(bundle.grammar);
+  engine::NetworkScratch scratch;
+  for (int n : {3, 5, 7, 9, 11}) {
+    cdg::Sentence s = gen.generate_sentence(n);
+    const engine::BackendRun ref =
+        engine::run_backend(engines, engine::Backend::Serial, s);
+    for (auto b : engine::kAllBackends)
+      EXPECT_EQ(engine::run_backend(engines, b, s, &scratch).domains_hash,
+                ref.domains_hash)
+          << "n=" << n << " backend " << engine::to_string(b);
+  }
+}
+
+// Pooled arenas: parsing the same sentence through a warm pool must be
+// bit-identical to a cold parse, steady state must not reallocate, and
+// the reused network must still satisfy every structural invariant.
+TEST(BackendFuzz, PooledArenaReuseIsBitIdenticalAndAllocationFree) {
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, 424242);
+  engine::EngineSet engines(bundle.grammar);
+  engine::NetworkScratch scratch;
+
+  std::vector<cdg::Sentence> ws;
+  std::vector<std::uint64_t> cold;
+  for (int i = 0; i < 8; ++i) {
+    ws.push_back(gen.generate_sentence(4 + i % 3));  // repeating lengths
+    cold.push_back(
+        engine::run_backend(engines, engine::Backend::Serial, ws.back())
+            .domains_hash);
+  }
+
+  // Warm the pool, then go around it twice more.
+  for (int round = 0; round < 3; ++round)
+    for (std::size_t i = 0; i < ws.size(); ++i)
+      EXPECT_EQ(engine::run_backend(engines, engine::Backend::Serial, ws[i],
+                                    &scratch)
+                    .domains_hash,
+                cold[i])
+          << "round " << round << " sentence " << i;
+
+  // 3 distinct lengths -> 3 pooled shapes, one allocation each; every
+  // later request reused an arena.
+  EXPECT_EQ(scratch.pooled_shapes(), 3u);
+  EXPECT_EQ(scratch.arena_allocations(), 3u);
+  EXPECT_EQ(scratch.reuses(), 3 * ws.size() - 3);
+  EXPECT_EQ(scratch.arena_reinits(), scratch.reuses());
+  EXPECT_GT(scratch.arena_bytes(), 0u);
+
+  // The pooled networks end each request at a structurally consistent
+  // fixpoint: run one more request and inspect the network directly.
+  cdg::NetworkOptions nopt;
+  cdg::Network& net = scratch.acquire(bundle.grammar, ws[0], nopt);
+  engines.serial().parse(net);
+  net.filter();
+  EXPECT_TRUE(net.check_invariants());
+}
+
+// AC-4 leaves its support counters valid at the fixpoint; the invariant
+// checker cross-checks them against the arc matrices only in that state.
+TEST(BackendFuzz, Ac4CountersMatchMatricesAtFixpoint) {
+  auto bundle = grammars::make_toy_grammar();
+  cdg::SequentialParser parser(bundle.grammar);
+  for (const char* text : {"The program runs", "a dog halts",
+                           "The compiler crashes", "dog runs The"}) {
+    cdg::Sentence s = bundle.tag(text);
+    cdg::Network net = parser.make_network(s);
+    parser.run_unary(net);
+    parser.run_binary(net);
+    cdg::filter_ac4(net);
+    EXPECT_TRUE(net.arena().counts_valid()) << text;
+    EXPECT_TRUE(net.check_invariants()) << text;
+  }
+}
+
+}  // namespace

@@ -80,7 +80,7 @@ TEST(ParseService, BatchedParsesByteMatchSingleThreadedOnEveryBackend) {
     cdg::Network net = seq.make_network(bundle.tag(text));
     ref_accepted.push_back(seq.parse(net).accepted);
     std::vector<util::DynBitset> domains;
-    for (int r = 0; r < net.num_roles(); ++r) domains.push_back(net.domain(r));
+    for (int r = 0; r < net.num_roles(); ++r) domains.emplace_back(net.domain(r));
     reference.push_back(std::move(domains));
   }
 
@@ -114,7 +114,7 @@ TEST(ParseService, SerialAc4PathReachesTheSameFixpoint) {
   cdg::Network net = seq.make_network(bundle.tag("The program runs"));
   seq.parse(net);
   std::vector<util::DynBitset> reference;
-  for (int r = 0; r < net.num_roles(); ++r) reference.push_back(net.domain(r));
+  for (int r = 0; r < net.num_roles(); ++r) reference.emplace_back(net.domain(r));
 
   ParseService::Options opt = small_service(2);
   opt.engines.serial_ac4 = true;
@@ -249,7 +249,7 @@ TEST(NetworkScratch, ReusesSameShapeNetworks) {
   cdg::Network fresh = seq.make_network(bundle.tag("A dog halts"));
   seq.parse(fresh);
   std::vector<util::DynBitset> domains;
-  for (int r = 0; r < fresh.num_roles(); ++r) domains.push_back(fresh.domain(r));
+  for (int r = 0; r < fresh.num_roles(); ++r) domains.emplace_back(fresh.domain(r));
   EXPECT_EQ(r2.domains_hash, engine::hash_domains(domains));
 }
 
