@@ -1,9 +1,21 @@
 // Implementation ablation: tree-walking constraint interpreter vs the
-// compiled flat-bytecode evaluator used in every engine's inner loop.
-// (Both are semantically identical — tested in constraint_eval_test —
-// and each evaluation is O(1), the property the paper's complexity
-// analysis needs; this bench measures the constant.)
+// compiled flat-bytecode evaluator vs the vectorized (mask + residual
+// VM) path used in every engine's inner loop.  (All are semantically
+// identical — tested in constraint_eval_test / maskcache_test — and
+// each evaluation is O(1), the property the paper's complexity
+// analysis needs; this bench measures the constant.)  After the
+// Google-Benchmark tables it writes BENCH_constraint_eval.json with a
+// compact self-timed summary of the same comparisons.
+//
+// Usage: bench_constraint_eval [--json PATH] [benchmark flags...]
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "cdg/constraint_eval.h"
 #include "cdg/parser.h"
@@ -115,6 +127,97 @@ void BM_FullParseSequential(benchmark::State& state) {
   }
 }
 
+void BM_FullParseSequentialPlain(benchmark::State& state) {
+  auto& f = fixture();
+  cdg::ParseOptions opt;
+  opt.use_masks = false;  // one VM dispatch per pair, no truth masks
+  cdg::SequentialParser parser(f.bundle.grammar, opt);
+  grammars::SentenceGenerator gen(f.bundle, 5);
+  cdg::Sentence s = gen.generate_sentence(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    cdg::Network net = parser.make_network(s);
+    auto r = parser.parse(net);
+    benchmark::DoNotOptimize(r.accepted);
+  }
+}
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Self-timed summary for BENCH_constraint_eval.json (the Google
+/// Benchmark tables above are for humans; this compact block is what
+/// CI archives and perf PRs diff).
+void write_json(const std::string& path) {
+  auto& f = fixture();
+  cdg::EvalContext ctx;
+  ctx.sentence = &f.sentence;
+
+  constexpr int kReps = 4000;
+  std::size_t sink = 0;
+  const double interp_secs = seconds_of([&] {
+    for (int i = 0; i < kReps; ++i) {
+      ctx.x = f.bindings[static_cast<std::size_t>(i) % f.bindings.size()];
+      ctx.y = f.bindings[static_cast<std::size_t>(i + 7) % f.bindings.size()];
+      for (const auto& c : f.binary) sink += cdg::eval_constraint(c, ctx);
+    }
+  });
+  const double compiled_secs = seconds_of([&] {
+    for (int i = 0; i < kReps; ++i) {
+      ctx.x = f.bindings[static_cast<std::size_t>(i) % f.bindings.size()];
+      ctx.y = f.bindings[static_cast<std::size_t>(i + 7) % f.bindings.size()];
+      for (const auto& c : f.binary_cc) sink += cdg::eval_compiled(c, ctx);
+    }
+  });
+  const double per_eval = 1e9 / (kReps * static_cast<double>(f.binary.size()));
+
+  // Full-parse comparison, masked vs plain, with the decided-pair
+  // fraction from the counter contract (kernels.h).
+  grammars::SentenceGenerator gen(f.bundle, 5);
+  std::vector<cdg::Sentence> ss;
+  for (int i = 0; i < 8; ++i) ss.push_back(gen.generate_sentence(12));
+  auto run_all = [&](bool masks, cdg::NetworkCounters& total) {
+    cdg::ParseOptions opt;
+    opt.use_masks = masks;
+    cdg::SequentialParser parser(f.bundle.grammar, opt);
+    for (const auto& s : ss) {
+      auto r = parser.parse_sentence(s);
+      total += r.counters;
+    }
+  };
+  cdg::NetworkCounters cm, cp;
+  run_all(true, cm);   // warm
+  run_all(false, cp);  // warm
+  cm = {};
+  cp = {};
+  const double masked_secs = seconds_of([&] { run_all(true, cm); });
+  const double plain_secs = seconds_of([&] { run_all(false, cp); });
+  const double decided =
+      static_cast<double>(cm.masked_binary_pairs) /
+      static_cast<double>(cm.masked_binary_pairs + cm.binary_evals / 2);
+
+  std::ofstream json(path);
+  json << "{\n  \"workload\": \"english n=12, " << f.binary.size()
+       << " binary constraints\",\n";
+  json << "  \"per_eval_ns\": {\"interpreter\": "
+       << interp_secs * per_eval << ", \"compiled_vm\": "
+       << compiled_secs * per_eval << ", \"vm_speedup\": "
+       << interp_secs / compiled_secs << "},\n";
+  json << "  \"full_parse\": {\"sentences\": " << ss.size()
+       << ", \"masked_ms\": " << masked_secs * 1e3
+       << ", \"plain_ms\": " << plain_secs * 1e3
+       << ", \"masked_speedup\": " << plain_secs / masked_secs
+       << ", \"decided_without_vm\": " << decided
+       << ", \"effective_binary_evals_masked\": "
+       << cm.effective_binary_evals()
+       << ", \"binary_evals_plain\": " << cp.binary_evals << "}\n}\n";
+  benchmark::DoNotOptimize(sink);
+  std::cout << "report: " << path << "\n";
+}
+
 }  // namespace
 
 BENCHMARK(BM_InterpretUnary);
@@ -122,5 +225,24 @@ BENCHMARK(BM_CompiledUnary);
 BENCHMARK(BM_InterpretBinary);
 BENCHMARK(BM_CompiledBinary);
 BENCHMARK(BM_FullParseSequential)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_FullParseSequentialPlain)->Arg(4)->Arg(8)->Arg(12);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_constraint_eval.json";
+  // Peel off --json before Google Benchmark sees the flags.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc)
+      json_path = argv[++i];
+    else
+      rest.push_back(argv[i]);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_json(json_path);
+  return 0;
+}

@@ -68,8 +68,11 @@ CdgRow measure_cdg(const grammars::CdgBundle& bundle, const cdg::Sentence& s) {
   {
     cdg::Network net = seq.make_network(s);
     auto res = seq.parse(net);
-    r.seq_work = static_cast<double>(res.counters.unary_evals +
-                                     res.counters.binary_evals +
+    // Effective counts (kernels.h counter contract): plain-sweep
+    // units whichever evaluation path ran, so the figure is stable
+    // across the vectorized and per-pair evaluators.
+    r.seq_work = static_cast<double>(res.counters.effective_unary_evals() +
+                                     res.counters.effective_binary_evals() +
                                      res.counters.support_checks);
   }
   {

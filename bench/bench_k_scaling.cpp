@@ -77,8 +77,11 @@ int main() {
     cdg::SequentialParser seq(bundle.grammar);
     cdg::Network net = seq.make_network(s);
     seq.parse(net);
-    const double evals = static_cast<double>(net.counters().unary_evals +
-                                             net.counters().binary_evals);
+    // Effective counts: plain-sweep units regardless of whether the
+    // masked or the per-pair evaluator ran (kernels.h contract).
+    const double evals =
+        static_cast<double>(net.counters().effective_unary_evals() +
+                            net.counters().effective_binary_evals());
     engine::MasparParser mp(bundle.grammar);
     auto r = mp.parse(s);
     const int k = ku + kb;

@@ -62,10 +62,11 @@ int main(int argc, char** argv) {
     int vpes;
     std::size_t pe_bytes;
     std::size_t arena_bytes, domains_bytes, arcs_bytes, counts_bytes;
+    std::size_t masks_bytes;
   };
   std::vector<Row> rows;
   util::Table t({"n", "virtual PEs", "PE-local bytes", "fits 16KB",
-                 "arena bytes", "arcs", "counts", "arena / n^4"});
+                 "arena bytes", "arcs", "counts", "masks", "arena / n^4"});
   for (int n : {4, 8, 12, 16, 20, 24}) {
     cdg::Sentence s = gen.generate_sentence(n);
     maspar::Layout layout(bundle.grammar, s);
@@ -87,13 +88,15 @@ int main(int argc, char** argv) {
     const cdg::NetworkArena& a = net.arena();
     const double n4 = static_cast<double>(n) * n * n * n;
     rows.push_back({n, layout.vpes(), phys_bytes, a.bytes(),
-                    a.domains_bytes(), a.arcs_bytes(), a.counts_bytes()});
+                    a.domains_bytes(), a.arcs_bytes(), a.counts_bytes(),
+                    a.masks_bytes()});
     t.add_row({std::to_string(n), std::to_string(layout.vpes()),
                std::to_string(phys_bytes),
                phys_bytes <= 16 * 1024 ? "yes" : "NO",
                util::format_value(static_cast<double>(a.bytes())),
                util::format_value(static_cast<double>(a.arcs_bytes())),
                util::format_value(static_cast<double>(a.counts_bytes())),
+               util::format_value(static_cast<double>(a.masks_bytes())),
                bench::fmt(static_cast<double>(a.bytes()) / n4, "%.1f")});
   }
   t.print(std::cout);
@@ -181,7 +184,8 @@ int main(int argc, char** argv) {
          << ", \"arena_bytes\": " << r.arena_bytes
          << ", \"domains_bytes\": " << r.domains_bytes
          << ", \"arcs_bytes\": " << r.arcs_bytes
-         << ", \"counts_bytes\": " << r.counts_bytes << "}"
+         << ", \"counts_bytes\": " << r.counts_bytes
+         << ", \"masks_bytes\": " << r.masks_bytes << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ],\n";

@@ -2,14 +2,53 @@
 // length — "approximately 0.15 seconds" for the example sentence,
 // "0.45 seconds" for a 10-word sentence, and overall "a discrete step
 // function which grows as n^4" driven by processor virtualization.
+//
+// A second section measures the HOST fixpoint phase (serial backend,
+// pooled scratch) against per-length baselines captured on the
+// pre-mask-kernel revision, and writes BENCH_parse_time.json with both
+// tables so perf PRs can diff the numbers.
+//
+// Usage: bench_parse_time [--json PATH]
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
+#include "parsec/backend.h"
 #include "parsec/maspar_parser.h"
 #include "util/table.h"
 
-int main() {
+namespace {
+
+/// Host fixpoint ms/sentence on the pre-vectorization revision
+/// (commit "arena-backed constraint network", measured 2026-08-06 on
+/// the same workload: 8 sentences per length, seed kSeed + n).
+struct HostBaseline {
+  int n;
+  double ms;
+};
+constexpr HostBaseline kHostBaseline[] = {
+    {4, 0.059}, {6, 0.180},  {8, 0.386},  {10, 0.726},
+    {12, 1.218}, {14, 1.827}, {16, 3.896},
+};
+constexpr double kHostBaselineGeomeanMs = 0.592;
+
+struct HostRow {
+  int n;
+  double ms;
+  double baseline_ms;
+  std::uint64_t hash;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace parsec;
+  std::string json_path = "BENCH_parse_time.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json" && i + 1 < argc)
+      json_path = argv[++i];
   auto bundle = grammars::make_english_grammar();
   engine::MasparParser mp(bundle.grammar);
 
@@ -24,10 +63,18 @@ int main() {
                  "paper reference"});
   grammars::SentenceGenerator gen(bundle, bench::kSeed);
   double t3 = 0, t10 = 0;
+  struct MasparRow {
+    int n;
+    int vpes;
+    int virt_factor;
+    double sim_seconds;
+  };
+  std::vector<MasparRow> maspar_rows;
   for (int n = 2; n <= 16; ++n) {
     auto r = mp.parse(gen.generate_sentence(n));
     if (n == 3) t3 = r.simulated_seconds;
     if (n == 10) t10 = r.simulated_seconds;
+    maspar_rows.push_back({n, r.vpes, r.virt_factor, r.simulated_seconds});
     const char* ref = n <= 8 ? "~0.15 s (example sentence)"
                              : (n == 10 ? "0.45 s (10-word sentence)" : "");
     t.add_row({std::to_string(n), std::to_string(r.vpes),
@@ -47,5 +94,92 @@ int main() {
   std::cout << "verdict: " << (shape_ok ? "step-function shape reproduced"
                                         : "SHAPE MISMATCH")
             << "\n";
+
+  // ---- host fixpoint phase vs pre-vectorization baseline --------------
+  std::cout
+      << "\n=============================================================\n"
+      << "Host fixpoint phase: serial backend, pooled scratch, vs the\n"
+      << "pre-mask-kernel baseline (same workload, same machine class)\n"
+      << "=============================================================\n\n";
+
+  engine::EngineSet engines(bundle.grammar);
+  engine::NetworkScratch scratch;
+  constexpr int kSentencesPerN = 8;
+  std::vector<HostRow> host_rows;
+  util::Table th({"n", "ms/sentence", "baseline ms", "speedup"});
+  double geo = 0.0, geo_base = 0.0;
+  for (const HostBaseline& base : kHostBaseline) {
+    const int n = base.n;
+    grammars::SentenceGenerator hgen(bundle,
+                                     bench::kSeed + static_cast<std::uint64_t>(n));
+    std::vector<cdg::Sentence> ss;
+    for (int i = 0; i < kSentencesPerN; ++i)
+      ss.push_back(hgen.generate_sentence(n));
+    // Warm the pool so timing excludes the arena cold allocation.
+    for (const auto& s : ss)
+      engine::run_backend(engines, engine::Backend::Serial, s, &scratch);
+    const int reps = n <= 8 ? 40 : (n <= 12 ? 12 : 4);
+    std::uint64_t h = 0;
+    const double secs = bench::time_host([&] {
+      for (int r = 0; r < reps; ++r)
+        for (const auto& s : ss)
+          h ^= engine::run_backend(engines, engine::Backend::Serial, s,
+                                   &scratch)
+                   .domains_hash;
+    });
+    const double ms = secs * 1e3 / (reps * kSentencesPerN);
+    host_rows.push_back({n, ms, base.ms, h});
+    geo += std::log(ms);
+    geo_base += std::log(base.ms);
+    th.add_row({std::to_string(n), bench::fmt(ms, "%.4f"),
+                bench::fmt(base.ms, "%.3f"),
+                bench::fmt(base.ms / ms, "%.2f") + "x"});
+  }
+  const double geomean_ms = std::exp(geo / static_cast<double>(host_rows.size()));
+  const double geomean_base =
+      std::exp(geo_base / static_cast<double>(host_rows.size()));
+  th.print(std::cout);
+  std::cout << "\ngeomean " << bench::fmt(geomean_ms, "%.4f") << " ms vs "
+            << bench::fmt(geomean_base, "%.3f")
+            << " ms baseline: " << bench::fmt(geomean_base / geomean_ms, "%.2f")
+            << "x\n";
+
+  // ---- BENCH_parse_time.json -----------------------------------------
+  std::ofstream json(json_path);
+  json << "{\n  \"workload\": \"english, maspar n=2..16 + host fixpoint"
+          " n=4..16 x8\",\n";
+  json << "  \"maspar\": [\n";
+  for (std::size_t i = 0; i < maspar_rows.size(); ++i) {
+    const auto& r = maspar_rows[i];
+    json << "    {\"n\": " << r.n << ", \"vpes\": " << r.vpes
+         << ", \"virt_factor\": " << r.virt_factor
+         << ", \"simulated_seconds\": " << bench::fmt(r.sim_seconds, "%.4f")
+         << "}" << (i + 1 < maspar_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"maspar_shape\": {\"t3\": " << bench::fmt(t3, "%.4f")
+       << ", \"t10\": " << bench::fmt(t10, "%.4f")
+       << ", \"ratio\": " << bench::fmt(t10 / t3, "%.3f")
+       << ", \"shape_ok\": " << (shape_ok ? "true" : "false") << "},\n";
+  json << "  \"host_fixpoint\": {\n"
+       << "    \"baseline\": {\"captured\": \"2026-08-06\", \"commit\": "
+          "\"pre-mask-kernels main\"},\n"
+       << "    \"rows\": [\n";
+  for (std::size_t i = 0; i < host_rows.size(); ++i) {
+    const HostRow& r = host_rows[i];
+    json << "      {\"n\": " << r.n << ", \"ms_per_sentence\": "
+         << bench::fmt(r.ms, "%.4f")
+         << ", \"baseline_ms\": " << bench::fmt(r.baseline_ms, "%.3f")
+         << ", \"speedup\": " << bench::fmt(r.baseline_ms / r.ms, "%.3f")
+         << "}" << (i + 1 < host_rows.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"geomean_ms\": " << bench::fmt(geomean_ms, "%.4f")
+       << ",\n    \"baseline_geomean_ms\": "
+       << bench::fmt(kHostBaselineGeomeanMs, "%.3f")
+       << ",\n    \"geomean_speedup\": "
+       << bench::fmt(geomean_base / geomean_ms, "%.3f") << "\n  }\n}\n";
+  std::cout << "report: " << json_path << "\n";
+
   return shape_ok ? 0 : 1;
 }

@@ -53,7 +53,8 @@ int main() {
     double host = bench::time_host([&] { seq.parse(net); });
     const auto& c = net.counters();
     const double ops = static_cast<double>(
-        c.unary_evals + c.binary_evals + c.support_checks + c.arc_zeroings);
+        c.effective_unary_evals() + c.effective_binary_evals() +
+        c.support_checks + c.arc_zeroings);
     auto r = mp.parse(s);
     if (n == 8) {
       serial7 = host;
@@ -88,8 +89,9 @@ int main() {
     cdg::Network net = seq.make_network(s);
     seq.parse(net);
     const auto& c = net.counters();
-    const double ops = static_cast<double>(c.unary_evals + c.binary_evals +
-                                           c.support_checks);
+    const double ops =
+        static_cast<double>(c.effective_unary_evals() +
+                            c.effective_binary_evals() + c.support_checks);
     t2.add_row({std::to_string(n), util::format_value(ops / k)});
   }
   t2.print(std::cout);

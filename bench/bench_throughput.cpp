@@ -189,8 +189,19 @@ int main(int argc, char** argv) {
   std::ostringstream workload_desc;
   workload_desc << "english n=" << cfg.lo << ".." << cfg.hi << " x"
                 << cfg.sentences << " batch=" << cfg.batch;
+  // Pre-vectorization reference for the default workload (serial
+  // backend, 1 thread, 120 sentences n=4..10): lets a single report
+  // carry its own before/after comparison.
+  serve::ThroughputBaseline baseline;
+  baseline.captured = "2026-08-06";
+  baseline.commit = "pre-mask-kernels main";
+  baseline.single_thread_sps = 2983.9;
+  const bool default_workload = cfg.sentences == 120 && cfg.lo == 4 &&
+                                cfg.hi == 10 &&
+                                cfg.backend == engine::Backend::Serial;
   std::ofstream json(cfg.json_path);
-  serve::write_throughput_report(json, workload_desc.str(), rows);
+  serve::write_throughput_report(json, workload_desc.str(), rows,
+                                 default_workload ? &baseline : nullptr);
   std::cout << "report: " << cfg.json_path << "\n";
 
   if (!all_identical) {

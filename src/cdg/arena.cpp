@@ -10,10 +10,12 @@ constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
 
 }  // namespace
 
-void NetworkArena::reshape(int roles, int domain_size) {
+void NetworkArena::reshape(int roles, int domain_size,
+                           std::size_t mask_slots) {
   assert(roles >= 0 && domain_size >= 0);
   R_ = roles;
   D_ = domain_size;
+  mask_slots_ = mask_slots;
   const std::size_t R = static_cast<std::size_t>(R_);
   const std::size_t D = static_cast<std::size_t>(D_);
   stride_ = ceil_div(D, kWordBits);
@@ -29,13 +31,17 @@ void NetworkArena::reshape(int roles, int domain_size) {
                                        sizeof(Word));
   const std::size_t queue_w = ceil_div(2 * R * D * sizeof(std::int32_t),
                                        sizeof(Word));
+  const std::size_t masks_w = mask_slots_ * R * stride_;
+  const std::size_t support_w = R * stride_;
 
   domains_off_ = 0;
   arcs_off_ = domains_off_ + domains_w;
   counts_off_ = arcs_off_ + arcs_w;
   flags_off_ = counts_off_ + counts_w;
   queue_off_ = flags_off_ + flags_w;
-  const std::size_t total = queue_off_ + queue_w;
+  masks_off_ = queue_off_ + queue_w;
+  support_off_ = masks_off_ + masks_w;
+  const std::size_t total = support_off_ + support_w;
 
   if (total > buf_.capacity()) {
     buf_.reserve(total);

@@ -6,7 +6,8 @@
 // discipline: ONE contiguous allocation holds, in structure-of-arrays
 // form,
 //
-//   [ domains | arc matrices | AC-4 support counters | rv flags | queue ]
+//   [ domains | arc matrices | AC-4 support counters | rv flags | queue
+//     | constraint masks | support scratch ]
 //
 //   * domains        — R rows of S words (S = ceil(D / 64));
 //   * arc matrices   — R*(R-1)/2 upper-triangle matrices, each D rows
@@ -16,7 +17,14 @@
 //                      and the engines' parallel victim marks (uses are
 //                      temporally disjoint; each user zeroes first);
 //   * queue          — R*D (role, rv) int32 pairs of FIFO ring storage
-//                      for the elimination queue.
+//                      for the elimination queue;
+//   * masks          — `mask_slots` rows of R×S words: per-(constraint
+//                      part, role) truth bitmasks for the vectorized
+//                      evaluation layer (kernels::MaskCache); sized by
+//                      the grammar (4 slots per binary constraint);
+//   * support scratch— R rows of S words: per-role support bitmasks for
+//                      the word-parallel consistency sweep (disjoint
+//                      per-role writes, so parallel engines share it).
 //
 // Offsets are pure functions of the shape (R, D), so every consumer —
 // serial sweeps, OpenMP arc partitions, the P-RAM and MasPar step
@@ -46,11 +54,14 @@ class NetworkArena {
   static constexpr std::size_t kWordBits = util::DynBitset::kWordBits;
 
   NetworkArena() = default;
-  NetworkArena(int roles, int domain_size) { reshape(roles, domain_size); }
+  NetworkArena(int roles, int domain_size, std::size_t mask_slots = 0) {
+    reshape(roles, domain_size, mask_slots);
+  }
 
-  /// (Re)computes the layout for shape (R, D).  Reuses the existing
-  /// allocation when it is big enough; otherwise reallocates once.
-  void reshape(int roles, int domain_size);
+  /// (Re)computes the layout for shape (R, D) with `mask_slots` rows of
+  /// per-role constraint masks.  Reuses the existing allocation when it
+  /// is big enough; otherwise reallocates once.
+  void reshape(int roles, int domain_size, std::size_t mask_slots = 0);
 
   bool same_shape(int roles, int domain_size) const {
     return roles == R_ && domain_size == D_;
@@ -151,6 +162,36 @@ class NetworkArena {
             2 * static_cast<std::size_t>(R_) * D_};
   }
 
+  // ---- constraint masks ----------------------------------------------
+  /// Rows of per-role truth bitmasks for the vectorized evaluation
+  /// layer: mask(slot, role) holds one bit per role value.  Contents
+  /// are managed by kernels::MaskCache (generation-checked against
+  /// reinits(); reinit invalidates without touching the words).
+  std::size_t mask_slots() const { return mask_slots_; }
+  util::BitSpan mask(std::size_t slot, int role) {
+    return util::BitSpan(buf_.data() + mask_off(slot, role),
+                         static_cast<std::size_t>(D_));
+  }
+  util::ConstBitSpan mask(std::size_t slot, int role) const {
+    return util::ConstBitSpan(buf_.data() + mask_off(slot, role),
+                              static_cast<std::size_t>(D_));
+  }
+
+  // ---- support scratch ------------------------------------------------
+  /// Per-role scratch bitmask for the word-parallel consistency sweep
+  /// (kernels::support_mask).  Roles write disjoint rows, so parallel
+  /// engines can fill them concurrently.
+  util::BitSpan support_scratch(int role) {
+    return util::BitSpan(
+        buf_.data() + support_off_ + static_cast<std::size_t>(role) * stride_,
+        static_cast<std::size_t>(D_));
+  }
+  util::ConstBitSpan support_scratch(int role) const {
+    return util::ConstBitSpan(
+        buf_.data() + support_off_ + static_cast<std::size_t>(role) * stride_,
+        static_cast<std::size_t>(D_));
+  }
+
   // ---- accounting -----------------------------------------------------
   /// Bytes of the single backing allocation.
   std::size_t bytes() const { return buf_.capacity() * sizeof(Word); }
@@ -168,6 +209,9 @@ class NetworkArena {
   std::size_t counts_bytes() const {
     return static_cast<std::size_t>(R_) * D_ * R_ * sizeof(std::int32_t);
   }
+  std::size_t masks_bytes() const {
+    return mask_slots_ * static_cast<std::size_t>(R_) * stride_ * sizeof(Word);
+  }
 
  private:
   std::size_t domain_off(int role) const {
@@ -176,16 +220,26 @@ class NetworkArena {
   std::size_t arc_off(std::size_t idx) const {
     return arcs_off_ + idx * static_cast<std::size_t>(D_) * stride_;
   }
+  std::size_t mask_off(std::size_t slot, int role) const {
+    assert(slot < mask_slots_ && 0 <= role && role < R_);
+    return masks_off_ +
+           (slot * static_cast<std::size_t>(R_) +
+            static_cast<std::size_t>(role)) *
+               stride_;
+  }
 
   int R_ = 0;
   int D_ = 0;
   std::size_t stride_ = 0;  // words per row
+  std::size_t mask_slots_ = 0;
   // Region offsets, in words from buf_.data().
   std::size_t domains_off_ = 0;
   std::size_t arcs_off_ = 0;
   std::size_t counts_off_ = 0;
   std::size_t flags_off_ = 0;
   std::size_t queue_off_ = 0;
+  std::size_t masks_off_ = 0;
+  std::size_t support_off_ = 0;
   std::vector<Word> buf_;
   std::vector<std::pair<int, int>> arc_pairs_;  // shape metadata
   bool counts_valid_ = false;

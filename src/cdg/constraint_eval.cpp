@@ -194,6 +194,179 @@ std::vector<CompiledConstraint> compile_all(
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Factoring pass (predicate hoisting)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Which variables a subtree consults, split by the access kind: the
+/// label / modifiee halves of the role value, and the role/position
+/// "site" slots.  The mask builder picks an evaluation granularity per
+/// hoisted conjunct from these (see HoistedTerm).
+struct VarUse {
+  bool uses[2] = {false, false};
+  bool lab_dep[2] = {false, false};   // (lab v) appears
+  bool mod_dep[2] = {false, false};   // (mod v) appears
+  bool site_dep[2] = {false, false};  // (role v) / (pos v) appears
+
+  bool rv_dep(int v) const { return lab_dep[v] || mod_dep[v]; }
+};
+
+void scan_vars(const Expr& e, VarUse& u) {
+  switch (e.op) {
+    case Op::Lab:
+      u.uses[e.args[0].value] = true;
+      u.lab_dep[e.args[0].value] = true;
+      return;
+    case Op::Mod:
+      u.uses[e.args[0].value] = true;
+      u.mod_dep[e.args[0].value] = true;
+      return;
+    case Op::RoleOf:
+    case Op::PosOf:
+      u.uses[e.args[0].value] = true;
+      u.site_dep[e.args[0].value] = true;
+      return;
+    default:
+      for (const Expr& a : e.args) scan_vars(a, u);
+      return;
+  }
+}
+
+/// Top-level conjuncts of a Bool expression (the expression itself when
+/// it is not an And).
+std::vector<const Expr*> conjuncts_of(const Expr& e) {
+  std::vector<const Expr*> out;
+  if (e.op == Op::And)
+    for (const Expr& a : e.args) out.push_back(&a);
+  else
+    out.push_back(&e);
+  return out;
+}
+
+/// Compiles a conjunction of `parts` into a standalone program; empty
+/// input yields an empty program (constant true for eval_hoisted).
+CompiledConstraint compile_conjunction(const std::vector<const Expr*>& parts,
+                                       int arity, const std::string& name) {
+  CompiledConstraint cc;
+  cc.arity = arity;
+  cc.name = name;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    flatten(*parts[i], cc.code);
+    if (i + 1 < parts.size())
+      cc.code.push_back({BOp::JmpIfFalseKeep, 0});
+  }
+  // Patch every inter-conjunct branch to the end of the program.
+  for (auto& in : cc.code)
+    if (in.op == BOp::JmpIfFalseKeep && in.arg == 0)
+      in.arg = static_cast<std::int32_t>(cc.code.size());
+  return cc;
+}
+
+}  // namespace
+
+FactoredConstraint factor_constraint(const Constraint& c) {
+  FactoredConstraint f;
+  f.full = compile_constraint(c);
+  f.arity = c.arity;
+  f.name = c.name;
+
+  const auto term_of = [&c](const Expr* e, const VarUse& u, int var) {
+    HoistedTerm t;
+    t.prog = compile_conjunction({e}, c.arity, c.name);
+    t.uses_lab = u.lab_dep[var];
+    t.uses_mod = u.mod_dep[var];
+    t.uses_site = u.site_dep[var];
+    return t;
+  };
+
+  const auto classify = [&](const std::vector<const Expr*>& cs,
+                            std::vector<const Expr*>& x_only,
+                            std::vector<const Expr*>& y_only,
+                            std::vector<HoistedTerm>& x_terms,
+                            std::vector<HoistedTerm>& y_terms) {
+    bool residual = false;
+    for (const Expr* e : cs) {
+      VarUse u;
+      scan_vars(*e, u);
+      if (u.uses[0] && u.uses[1]) {
+        residual = true;  // genuinely pairwise
+      } else if (u.uses[1]) {
+        y_only.push_back(e);
+        y_terms.push_back(term_of(e, u, 1));
+      } else {
+        x_only.push_back(e);  // x-only and constant conjuncts
+        x_terms.push_back(term_of(e, u, 0));
+      }
+    }
+    return residual;
+  };
+
+  if (c.arity == 2) {
+    std::vector<const Expr*> ax, ay, cx, cy;
+    f.ante_residual = classify(conjuncts_of(c.antecedent()), ax, ay,
+                               f.ante_x_terms, f.ante_y_terms);
+    f.cons_residual = classify(conjuncts_of(c.consequent()), cx, cy,
+                               f.cons_x_terms, f.cons_y_terms);
+    f.ante_x = compile_conjunction(ax, 2, c.name);
+    f.ante_y = compile_conjunction(ay, 2, c.name);
+    f.cons_x = compile_conjunction(cx, 2, c.name);
+    f.cons_y = compile_conjunction(cy, 2, c.name);
+    return f;
+  }
+
+  // Unary: split the antecedent into role-value-independent guard
+  // conjuncts and the rest.
+  std::vector<const Expr*> guard, rest;
+  for (const Expr* e : conjuncts_of(c.antecedent())) {
+    VarUse u;
+    scan_vars(*e, u);
+    (u.rv_dep(0) ? rest : guard).push_back(e);
+  }
+  f.unary_guard = compile_conjunction(guard, 1, c.name);
+  // unary_rest == full with the guard conjuncts removed: when every
+  // guard conjunct is true, If(And(guard, rest), C) == If(And(rest), C).
+  f.unary_rest.arity = 1;
+  f.unary_rest.name = c.name;
+  if (rest.empty()) {
+    // If(true, C) == C.
+    flatten(c.consequent(), f.unary_rest.code);
+  } else {
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      flatten(*rest[i], f.unary_rest.code);
+      if (i + 1 < rest.size())
+        f.unary_rest.code.push_back({BOp::JmpIfFalseKeep, 0});
+    }
+    for (auto& in : f.unary_rest.code)
+      if (in.op == BOp::JmpIfFalseKeep && in.arg == 0)
+        in.arg = static_cast<std::int32_t>(f.unary_rest.code.size());
+    const std::size_t patch = f.unary_rest.code.size();
+    f.unary_rest.code.push_back({BOp::IfAnte, 0});
+    flatten(c.consequent(), f.unary_rest.code);
+    f.unary_rest.code[patch].arg =
+        static_cast<std::int32_t>(f.unary_rest.code.size());
+  }
+  return f;
+}
+
+std::vector<FactoredConstraint> factor_all(const std::vector<Constraint>& cs) {
+  std::vector<FactoredConstraint> out;
+  out.reserve(cs.size());
+  for (const Constraint& c : cs) out.push_back(factor_constraint(c));
+  return out;
+}
+
+bool eval_hoisted(const CompiledConstraint& part, const Sentence& sent,
+                  const Binding& b) {
+  if (part.code.empty()) return true;  // empty conjunction
+  EvalContext ctx;
+  ctx.sentence = &sent;
+  ctx.x = b;
+  ctx.y = b;  // either variable slot resolves to the same binding
+  return eval_compiled(part, ctx);
+}
+
 bool eval_compiled(const CompiledConstraint& c, const EvalContext& ctx) {
   using BOp = CompiledConstraint::BOp;
   // Constraint trees are constant-depth (paper §1.3); 64 slots is ample.

@@ -89,4 +89,91 @@ bool eval_compiled(const CompiledConstraint& c, const EvalContext& ctx);
 std::vector<CompiledConstraint> compile_all(
     const std::vector<Constraint>& cs);
 
+// ---------------------------------------------------------------------
+// Factored form: compile-time predicate hoisting (the vectorized
+// evaluation layer).
+//
+// Both the antecedent and the consequent of a constraint are (treated
+// as) conjunctions.  Each top-level conjunct either mentions only x,
+// only y, or genuinely couples the two variables.  The single-variable
+// conjuncts are hoisted into standalone programs (`ante_x`, `ante_y`,
+// `cons_x`, `cons_y`) that can be evaluated once per (role, role value)
+// and materialized as packed truth bitmasks (kernels::MaskCache);
+// coupling conjuncts stay behind as a *residual*, flagged per side.
+//
+// Soundness of the three-valued decision a sweep makes per pair, for
+// one variable assignment (x bound to value a, y to value b):
+//   * A is known false  iff  !ante_x(a) || !ante_y(b)      (any hoisted
+//     conjunct false falsifies the conjunction)     => satisfied;
+//   * A is known true   iff  ante_x(a) && ante_y(b) && !ante_residual;
+//   * C is known true   iff  cons_x(a) && cons_y(b) && !cons_residual
+//                                                    => satisfied;
+//   * C is known false  iff  !cons_x(a) || !cons_y(b);
+//   * violated iff A known true and C known false; anything else that
+//     is not "satisfied" above is undecided and falls back to the full
+//     bytecode program (`full`).
+//
+// Unary constraints get a different split: antecedent conjuncts that do
+// not consult the role value itself (no (lab x) / (mod x) access — only
+// (role x), (pos x), (cat (word ...)) and constants) are hoisted into
+// `unary_guard`, a program that is constant across the role's whole
+// domain.  When the guard is false the constraint is vacuously
+// satisfied for every role value and the per-value sweep is skipped
+// entirely; otherwise `unary_rest` — the constraint minus the guard
+// conjuncts — is evaluated per value, with a result identical to
+// `full`.
+// ---------------------------------------------------------------------
+
+/// One hoisted conjunct, compiled standalone, with the facts a mask
+/// builder needs to evaluate it at the cheapest granularity: a conjunct
+/// that never reads (mod v) has the same truth value for the whole
+/// label run [l*(n+1), (l+1)*(n+1)) of the dense rv axis, one that
+/// never reads (lab v) is constant across labels for a fixed modifiee,
+/// and one that reads neither is constant across the entire domain.
+/// `uses_site` marks access to (role v) / (pos v): a site-independent
+/// term additionally has the same truth pattern for every role.
+struct HoistedTerm {
+  CompiledConstraint prog;
+  bool uses_lab = false;   // reads (lab v)
+  bool uses_mod = false;   // reads (mod v)
+  bool uses_site = false;  // reads (role v) or (pos v)
+};
+
+struct FactoredConstraint {
+  CompiledConstraint full;  // the whole constraint (residual/VM fallback)
+
+  // Binary factoring: hoisted single-variable conjunctions.  An empty
+  // program is an empty conjunction, i.e. constant true.
+  CompiledConstraint ante_x, ante_y;
+  CompiledConstraint cons_x, cons_y;
+  bool ante_residual = false;  // antecedent keeps a pairwise conjunct
+  bool cons_residual = false;  // consequent keeps one
+
+  // The same four hoisted conjunctions, term by term, for the mask
+  // builder (conjunction of a part's term patterns == the part).
+  std::vector<HoistedTerm> ante_x_terms, ante_y_terms;
+  std::vector<HoistedTerm> cons_x_terms, cons_y_terms;
+
+  // Unary hoisting: role-value-independent antecedent guard plus the
+  // remainder of the constraint (equal to `full` whenever the guard
+  // holds).  Unused for binary constraints.
+  CompiledConstraint unary_guard;
+  CompiledConstraint unary_rest;
+
+  int arity = 1;
+  std::string name;  // carried over, for traces and reports
+};
+
+/// Hoisting pass over one constraint (compile + factor).
+FactoredConstraint factor_constraint(const Constraint& c);
+
+/// Factors a whole constraint set (engine construction time).
+std::vector<FactoredConstraint> factor_all(const std::vector<Constraint>& cs);
+
+/// Evaluates a hoisted part against a single binding.  The binding is
+/// installed in BOTH variable slots, so a part hoisted from either the
+/// x or the y side resolves correctly.  Empty code is constant true.
+bool eval_hoisted(const CompiledConstraint& part, const Sentence& sent,
+                  const Binding& b);
+
 }  // namespace parsec::cdg

@@ -17,6 +17,21 @@
 //     exactly: one per unary test, two per binary pair tested (whether
 //     or not the second assignment runs);
 //   * sweep_binary clears bits in place and returns how many.
+//
+// Counter-hook contract for the masked (vectorized) kernels:
+//   * `evals` still counts ACTUAL bytecode-VM dispatches — one per
+//     unary value tested, two per binary pair dispatched — so it is a
+//     faithful cost measure of the residual path;
+//   * pairs/values the mask pass batch-decides without a dispatch are
+//     counted separately (`masked_pairs` / `masked_decided`), each
+//     representing the same work the plain kernel would have charged:
+//     2 evals per masked binary pair, 1 per masked unary value;
+//   * therefore  evals_plain ==  evals_masked + 2 * masked_pairs
+//     (binary) and  evals_plain == evals_masked + masked_decided
+//     (unary) for any identical network state — the *effective* counts
+//     NetworkCounters::effective_{unary,binary}_evals() report, which
+//     is what the paper-figure benches consume (tested in
+//     tests/cdg/maskcache_test.cpp).
 #pragma once
 
 #include <cstddef>
@@ -30,12 +45,36 @@
 #include "util/bitmatrix.h"
 #include "util/bitset.h"
 
+// Portable inner-loop vectorization hint: the word loops below are
+// plain 64-bit AND/ANDN/OR chains with no loop-carried dependence, so
+// `omp simd` (compiled with any OpenMP-capable compiler, no runtime
+// needed) lets the auto-vectorizer commit to SIMD code without a
+// legality analysis.  Compiles to nothing when OpenMP is off (e.g. the
+// TSan CI leg).
+#if defined(_OPENMP)
+#define PARSEC_SIMD _Pragma("omp simd")
+#else
+#define PARSEC_SIMD
+#endif
+
 namespace parsec::cdg::kernels {
 
 /// Zeroes (role, rv)'s row (in arcs where `role` is the row side) and
 /// column (where it is the column side) across every incident arc
 /// matrix.  The matrix never shrinks (paper §2.2.1, design decision 4).
+/// Column clears walk only the partner's alive rows, relying on the
+/// arc invariant (bits only at alive×alive positions) that every
+/// engine maintains.
 void zero_row_col(NetworkArena& a, int role, int rv);
+
+/// Batched zero_row_col for several victims of ONE role: rows are
+/// zeroed per victim, but each column-side arc is cleared in a single
+/// ANDN pass over the partner's alive rows using a victim bitmask
+/// built in `scratch` (D bits, clobbered — the arena's support
+/// scratch row for `role` is a natural fit).  End state is identical
+/// to calling zero_row_col once per victim.
+void zero_rows_cols(NetworkArena& a, int role, std::span<const int> rvs,
+                    util::BitSpan scratch);
 
 /// True iff every arc incident to `role` still has a supporting 1-bit
 /// for rv (the AND of row/column ORs, paper §1.4).
@@ -77,6 +116,131 @@ int sweep_binary(const CompiledConstraint& c, const Sentence& sent,
                  std::span<const Binding> bind_a, std::span<const int> alive_b,
                  std::span<const Binding> bind_b,
                  std::size_t* evals = nullptr);
+
+// ---------------------------------------------------------------------
+// Vectorized evaluation layer: per-(part, role) truth masks + word
+// kernels (the host-side counterpart of the paper's per-PE constraint
+// broadcast — one predicate applied to every role value at once).
+// ---------------------------------------------------------------------
+
+/// The four hoisted-part truth masks of one binary constraint for one
+/// role, one bit per role value (dense rv index): "does this role's
+/// value rv satisfy the x-side / y-side hoisted conjunction?".
+struct FactoredMasks {
+  util::ConstBitSpan ante_x, ante_y;
+  util::ConstBitSpan cons_x, cons_y;
+};
+
+/// Per-sentence cache of hoisted-part truth masks, resident in the
+/// arena's mask region (4 slots per binary constraint, see
+/// NetworkArena::mask).  Each mask bit is a pure function of (sentence,
+/// role, role value) — independent of the domain state — and is
+/// materialized only for values alive at build time; since domains only
+/// shrink and the sweep consults mask bits solely at alive positions,
+/// eliminations never invalidate a mask.  Only re-binding the arena to
+/// a new sentence does: staleness is generation-checked against
+/// arena.reinits(), so Network::reinit invalidates every mask in O(1).
+class MaskCache {
+ public:
+  static constexpr std::size_t kSlotsPerConstraint = 4;
+
+  /// Sizes the generation table for `num_binary` constraints (the
+  /// arena's mask region must hold 4 * num_binary slots).
+  void configure(std::size_t num_binary) {
+    if (gen_.size() != num_binary) gen_.assign(num_binary, 0);
+  }
+
+  /// True when constraint k's masks are valid for the arena's current
+  /// sentence binding.
+  bool built(const NetworkArena& a, std::size_t k) const {
+    return k < gen_.size() && gen_[k] == a.reinits() + 1;
+  }
+
+  /// Materializes (if stale) the four mask rows of binary constraint
+  /// `k` for every role.  Each hoisted term is evaluated at the
+  /// cheapest granularity its dependences allow — once per label
+  /// (mod-independent terms fill whole label runs of the label-major rv
+  /// axis), once per modifiee, once per alive value only when the term
+  /// reads both halves, and shared across roles when it reads neither
+  /// (role v) nor (pos v) — so a build typically costs O(|L| + n)
+  /// evaluations per term, not O(R*D).  `roles_per_word` maps dense
+  /// role indices to (role id, word).  Returns hoisted evaluations
+  /// performed (0 on a cache hit); the caller charges them to its
+  /// mask-build counter.
+  std::size_t ensure(NetworkArena& a, const FactoredConstraint& c,
+                     std::size_t k, const Sentence& sent, const RvIndexer& ix,
+                     int roles_per_word);
+
+  /// Mask spans of constraint k for `role` (must be built).
+  FactoredMasks masks(const NetworkArena& a, std::size_t k, int role) const {
+    assert(built(a, k));
+    const std::size_t base = k * kSlotsPerConstraint;
+    return FactoredMasks{a.mask(base + 0, role), a.mask(base + 1, role),
+                         a.mask(base + 2, role), a.mask(base + 3, role)};
+  }
+
+  /// Total mask (re)builds across the cache's lifetime.
+  std::uint64_t builds() const { return builds_; }
+
+ private:
+  std::vector<std::uint64_t> gen_;  // arena.reinits()+1 when current
+  std::uint64_t builds_ = 0;
+};
+
+/// Counter sink for the masked kernels (see the counter-hook contract
+/// in the header comment).  Null members are simply not charged.
+struct MaskedCounters {
+  std::size_t* vm_evals = nullptr;       // actual bytecode dispatches
+  std::size_t* masked = nullptr;         // pairs/values decided mask-only
+  std::size_t* build_evals = nullptr;    // hoisted evals spent on masks
+};
+
+/// Masked sweep of one binary constraint over one arc matrix: the
+/// separable part of the constraint is applied as bitwise AND/ANDN over
+/// each surviving row, deciding most pairs without a VM dispatch; only
+/// pairs the masks leave undecided fall back to the full bytecode
+/// program (both variable assignments, exactly like sweep_binary).
+/// `dom_a` enumerates the row side's alive values; (rid, w) pairs give
+/// the roles' binding coordinates for the fallback.  When
+/// `apply_residual` is false undecided pairs are left untouched (the
+/// mask-only ablation mode; results then UNDER-approximate the plain
+/// sweep).  Returns bits cleared.  Bit-identical to sweep_binary by
+/// construction when `apply_residual` is true.
+int sweep_binary_masked(const FactoredConstraint& c, const Sentence& sent,
+                        util::BitMatrixView m, util::ConstBitSpan dom_a,
+                        const FactoredMasks& ma, RoleId rid_a, WordPos wa,
+                        const FactoredMasks& mb, RoleId rid_b, WordPos wb,
+                        const RvIndexer& ix, const MaskedCounters& counters,
+                        bool apply_residual = true);
+
+/// Hoisted-guard unary propagation: evaluates the constraint's
+/// role-value-independent guard once for the role; when it fails the
+/// whole domain is vacuously satisfied (domain.count() charged to
+/// `counters.masked`) and no per-value work runs.  Otherwise the
+/// residual program runs per alive value exactly like propagate_unary.
+/// Victims are appended in ascending order.
+void propagate_unary_masked(const FactoredConstraint& c, const Sentence& sent,
+                            const RvIndexer& ix, RoleId rid, WordPos w,
+                            util::ConstBitSpan domain,
+                            std::vector<int>& victims,
+                            const MaskedCounters& counters);
+
+/// As above, but marks victims by setting flags[rv] = 1 (parallel
+/// engines' staging; see the flags overload of propagate_unary).
+void propagate_unary_masked(const FactoredConstraint& c, const Sentence& sent,
+                            const RvIndexer& ix, RoleId rid, WordPos w,
+                            util::ConstBitSpan domain,
+                            std::span<std::uint8_t> flags,
+                            const MaskedCounters& counters);
+
+/// Word-parallel support sweep for one role: writes, into `out` (D
+/// bits), the AND over every incident arc of "role value has at least
+/// one supporting 1-bit on this arc".  Row-side arcs contribute one
+/// row_any bit per value; column-side arcs contribute an OR-fold of
+/// the partner's rows (one sequential pass instead of D strided
+/// column probes).  out.test(rv) == supported(a, role, rv) for every
+/// rv; dead values simply read 0.
+void support_mask(const NetworkArena& a, int role, util::BitSpan out);
 
 // ---------------------------------------------------------------------
 // Packed l×l submatrix kernels (MasPar PE words, paper Fig. 13).

@@ -10,7 +10,10 @@ namespace parsec::cdg {
 Network::Network(const Grammar& g, const Sentence& s, Options opt)
     : grammar_(&g), sentence_(s), indexer_(s.size(), g.num_labels()) {
   if (s.size() <= 0) throw std::invalid_argument("empty sentence");
-  arena_.reshape(num_roles(), domain_size());
+  const std::size_t num_binary = g.binary_constraints().size();
+  arena_.reshape(num_roles(), domain_size(),
+                 kernels::MaskCache::kSlotsPerConstraint * num_binary);
+  mask_cache_.configure(num_binary);
   init_domains();
   if (opt.prebuild_arcs) build_arcs();
 }
@@ -44,6 +47,7 @@ bool Network::reinit(const Sentence& s) {
   trace_ = nullptr;
   current_kind_ = TraceEvent::Kind::SupportElimination;
   current_cause_ = "consistency";
+  clean_sweep_at_ = kNoCleanSweep;
   arena_.reinit();
   init_domains();
   if (arcs_built_) fill_arcs();
@@ -140,10 +144,7 @@ int Network::apply_unary(const CompiledConstraint& c) {
     kernels::propagate_unary(c, sentence_, indexer_, role_id_of(role),
                              word_of_role(role), domain(role), victims_,
                              &counters_.unary_evals);
-    for (int rv : victims_) {
-      eliminate(role, rv);
-      ++eliminated;
-    }
+    eliminated += eliminate_batch(role, victims_);
   }
   return eliminated;
 }
@@ -170,6 +171,58 @@ int Network::apply_binary(const CompiledConstraint& c) {
   return zeroed;
 }
 
+int Network::apply_unary(const FactoredConstraint& c) {
+  assert(c.arity == 1);
+  current_kind_ = TraceEvent::Kind::UnaryElimination;
+  if (c.name.empty())
+    current_cause_ = "unary constraint";
+  else
+    current_cause_.assign(c.name);
+  kernels::MaskedCounters mc;
+  mc.vm_evals = &counters_.unary_evals;
+  mc.masked = &counters_.masked_unary_decided;
+  mc.build_evals = &counters_.mask_build_evals;
+  int eliminated = 0;
+  const int R = num_roles();
+  for (int role = 0; role < R; ++role) {
+    victims_.clear();
+    kernels::propagate_unary_masked(c, sentence_, indexer_, role_id_of(role),
+                                    word_of_role(role), domain(role), victims_,
+                                    mc);
+    eliminated += eliminate_batch(role, victims_);
+  }
+  return eliminated;
+}
+
+void Network::ensure_masks(const FactoredConstraint& c, std::size_t slot) {
+  counters_.mask_build_evals += mask_cache_.ensure(
+      arena_, c, slot, sentence_, indexer_, roles_per_word());
+}
+
+int Network::apply_binary(const FactoredConstraint& c, std::size_t slot,
+                          bool apply_residual) {
+  assert(c.arity == 2);
+  build_arcs();
+  ensure_masks(c, slot);
+  kernels::MaskedCounters mc;
+  mc.vm_evals = &counters_.binary_evals;
+  mc.masked = &counters_.masked_binary_pairs;
+  int zeroed = 0;
+  const int R = num_roles();
+  for (int ra = 0; ra < R; ++ra) {
+    const kernels::FactoredMasks ma = masks(slot, ra);
+    for (int rb = ra + 1; rb < R; ++rb) {
+      zeroed += kernels::sweep_binary_masked(
+          c, sentence_, arena_.arc(ra, rb), domain(ra), ma, role_id_of(ra),
+          word_of_role(ra), masks(slot, rb), role_id_of(rb), word_of_role(rb),
+          indexer_, mc, apply_residual);
+    }
+  }
+  counters_.arc_zeroings += static_cast<std::size_t>(zeroed);
+  if (zeroed) arena_.set_counts_valid(false);
+  return zeroed;
+}
+
 void Network::eliminate(int role, int rv) {
   util::BitSpan d = arena_.domain(role);
   if (!d.test(static_cast<std::size_t>(rv))) return;
@@ -183,29 +236,72 @@ void Network::eliminate(int role, int rv) {
   kernels::zero_row_col(arena_, role, rv);
 }
 
+int Network::eliminate_batch(int role, std::span<const int> rvs) {
+  if (rvs.empty()) return 0;
+  util::BitSpan d = arena_.domain(role);
+  int killed = 0;
+  for (int rv : rvs) {
+    if (!d.test(static_cast<std::size_t>(rv))) continue;
+    d.reset(static_cast<std::size_t>(rv));
+    ++counters_.eliminations;
+    ++killed;
+    if (trace_)
+      trace_(TraceEvent{current_kind_, current_cause_, role,
+                        indexer_.decode(rv)});
+  }
+  if (!killed) return 0;
+  arena_.set_counts_valid(false);
+  if (!arcs_built_) return killed;
+  // Small batches: the fused column pass costs one word-row ANDN per
+  // alive partner value regardless of batch size, so it only wins once
+  // the batch exceeds the row width in words.
+  if (rvs.size() <= d.word_count()) {
+    for (int rv : rvs) kernels::zero_row_col(arena_, role, rv);
+  } else {
+    kernels::zero_rows_cols(arena_, role, rvs, arena_.support_scratch(role));
+  }
+  return killed;
+}
+
 bool Network::supported(int role, int rv) {
   assert(arcs_built_);
   ++counters_.support_checks;
   return kernels::supported(arena_, role, rv);
 }
 
+util::ConstBitSpan Network::support_mask(int role) {
+  assert(arcs_built_);
+  counters_.support_checks += domain(role).count();
+  kernels::support_mask(arena_, role, arena_.support_scratch(role));
+  return arena_.support_scratch(role);
+}
+
 int Network::consistency_step() {
   build_arcs();
+  // Support can only be lost through eliminations or arc zeroings; if
+  // neither counter moved since the last sweep that found nothing, this
+  // sweep is provably a no-op.
+  const std::uint64_t muts = counters_.eliminations + counters_.arc_zeroings;
+  if (muts == clean_sweep_at_) return 0;
   current_kind_ = TraceEvent::Kind::SupportElimination;
   current_cause_ = "consistency";
   int eliminated = 0;
   const int R = num_roles();
   for (int role = 0; role < R; ++role) {
+    // Word-parallel sweep: one support bitmask per role instead of one
+    // row/column probe per value.  Victims (alive & ~supported) come out
+    // in the same ascending order as the per-value formulation, and the
+    // mask sees every elimination made for earlier roles, so cascading
+    // behaviour within the sweep is unchanged.  (eliminate_batch reuses
+    // the support scratch row — after the victims are extracted.)
     victims_.clear();
+    const util::ConstBitSpan sup = support_mask(role);
     domain(role).for_each([&](std::size_t rv) {
-      if (!supported(role, static_cast<int>(rv)))
-        victims_.push_back(static_cast<int>(rv));
+      if (!sup.test(rv)) victims_.push_back(static_cast<int>(rv));
     });
-    for (int rv : victims_) {
-      eliminate(role, rv);
-      ++eliminated;
-    }
+    eliminated += eliminate_batch(role, victims_);
   }
+  if (eliminated == 0) clean_sweep_at_ = muts;
   return eliminated;
 }
 

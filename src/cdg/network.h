@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <string>
@@ -34,6 +35,7 @@
 #include "cdg/arena.h"
 #include "cdg/constraint_eval.h"
 #include "cdg/grammar.h"
+#include "cdg/kernels.h"
 #include "cdg/lexicon.h"
 #include "cdg/role_value.h"
 #include "util/bitmatrix.h"
@@ -45,11 +47,30 @@ namespace parsec::cdg {
 /// bench_serial_vs_parallel): the serial model's O(k n^4) shape is read
 /// off these rather than noisy wall-clock alone.
 struct NetworkCounters {
-  std::size_t unary_evals = 0;
-  std::size_t binary_evals = 0;
+  std::size_t unary_evals = 0;      // actual bytecode-VM dispatches
+  std::size_t binary_evals = 0;     // actual bytecode-VM dispatches
   std::size_t eliminations = 0;
   std::size_t arc_zeroings = 0;     // individual matrix bits cleared
   std::size_t support_checks = 0;
+  // Vectorized-path bookkeeping (kernels.h counter-hook contract):
+  // pairs/values the truth masks decided without a VM dispatch, and the
+  // hoisted evaluations spent building masks / testing unary guards.
+  std::size_t masked_binary_pairs = 0;
+  std::size_t masked_unary_decided = 0;
+  std::size_t mask_build_evals = 0;
+
+  /// Constraint tests performed, in plain-sweep units: what unary_evals
+  /// would read had every value been dispatched individually.  Equal to
+  /// the plain path's unary_evals for the same network state (the
+  /// paper-figure benches consume these, so counts stay reproducible
+  /// whichever evaluation path ran).
+  std::size_t effective_unary_evals() const {
+    return unary_evals + masked_unary_decided;
+  }
+  /// Same, binary: the plain sweep charges 2 evals per surviving pair.
+  std::size_t effective_binary_evals() const {
+    return binary_evals + 2 * masked_binary_pairs;
+  }
 
   NetworkCounters& operator+=(const NetworkCounters& o) {
     unary_evals += o.unary_evals;
@@ -57,6 +78,9 @@ struct NetworkCounters {
     eliminations += o.eliminations;
     arc_zeroings += o.arc_zeroings;
     support_checks += o.support_checks;
+    masked_binary_pairs += o.masked_binary_pairs;
+    masked_unary_decided += o.masked_unary_decided;
+    mask_build_evals += o.mask_build_evals;
     return *this;
   }
 };
@@ -174,13 +198,58 @@ class Network {
   /// Builds arcs first if they are lazy.
   int apply_binary(const CompiledConstraint& c);
 
+  // ---- vectorized (masked) parsing operations ---------------------------
+  /// Hoisted-guard unary propagation: identical eliminations to
+  /// apply_unary(c.full), but roles whose guard fails skip the per-value
+  /// sweep entirely (charged to counters().masked_unary_decided).
+  int apply_unary(const FactoredConstraint& c);
+
+  /// Masked binary sweep: identical bits zeroed to apply_binary(c.full),
+  /// with most pairs decided by bitwise row kernels over the constraint's
+  /// truth masks (stored in arena mask slot group `slot`, one group per
+  /// binary constraint) and only mask-undecided pairs dispatched to the
+  /// bytecode VM.  With `apply_residual` false, undecided pairs are left
+  /// untouched instead (bench_ablation_masks' mask-only mode; the result
+  /// then under-approximates the plain sweep).
+  int apply_binary(const FactoredConstraint& c, std::size_t slot,
+                   bool apply_residual = true);
+
+  /// Builds (if stale) constraint `c`'s truth masks in slot group `slot`;
+  /// hoisted evaluations are charged to counters().mask_build_evals.
+  /// Parallel engines call this up front, then read masks() per arc.
+  void ensure_masks(const FactoredConstraint& c, std::size_t slot);
+
+  /// Mask spans of slot group `slot` for `role` (ensure_masks first).
+  kernels::FactoredMasks masks(std::size_t slot, int role) const {
+    return mask_cache_.masks(arena_, slot, role);
+  }
+
+  /// The mask cache itself (staleness inspection in tests).
+  const kernels::MaskCache& mask_cache() const { return mask_cache_; }
+
   /// Removes a role value: clears its domain bit and zeroes its row or
   /// column in every arc matrix incident to `role`.
   void eliminate(int role, int rv);
 
+  /// Removes several role values of ONE role: identical bookkeeping and
+  /// end state to calling eliminate(role, rv) for each element in
+  /// order, but large batches clear their arc columns in one fused
+  /// ANDN pass per incident arc (kernels::zero_rows_cols) instead of
+  /// one strided pass per victim.  Clobbers the role's support-scratch
+  /// row.  Returns the number of values actually eliminated.
+  int eliminate_batch(int role, std::span<const int> rvs);
+
   /// True if some arc no longer supports (role, rv): an incident matrix
   /// whose row/column for rv is all zeros (paper §1.4).
   bool supported(int role, int rv);
+
+  /// Word-parallel support sweep: fills the role's arena support-scratch
+  /// row with the per-value support bits (kernels::support_mask) and
+  /// returns a view of it.  out.test(rv) == supported(role, rv) for
+  /// every rv; support_checks is charged one per alive value, exactly
+  /// like the per-value path.  The span stays valid until the next
+  /// support_mask call for the same role.
+  util::ConstBitSpan support_mask(int role);
 
   /// One consistency-maintenance sweep over all role values; returns the
   /// number eliminated.  Eliminations cascade within the sweep.
@@ -226,7 +295,8 @@ class Network {
   const Grammar* grammar_;
   Sentence sentence_;
   RvIndexer indexer_;
-  NetworkArena arena_;  // domains + arcs + counters + staging
+  NetworkArena arena_;  // domains + arcs + counters + staging + masks
+  kernels::MaskCache mask_cache_;
   bool arcs_built_ = false;
   NetworkCounters counters_;
   TraceFn trace_;
@@ -234,6 +304,16 @@ class Network {
   // consistency_step.
   TraceEvent::Kind current_kind_ = TraceEvent::Kind::SupportElimination;
   std::string current_cause_ = "consistency";
+  // Quiescence memo: the (eliminations + arc_zeroings) total observed at
+  // the start of the last consistency sweep that eliminated nothing.
+  // While that total is unchanged the network cannot have lost support,
+  // so a repeat sweep is provably a no-op and is skipped (the common
+  // case: the fixpoint-confirming final filter sweep, and sweeps after
+  // binary constraints that zeroed nothing).  Any mutation path —
+  // eliminate, arc_forbid, the binary sweeps — bumps those counters and
+  // re-arms the sweep.
+  static constexpr std::uint64_t kNoCleanSweep = ~std::uint64_t{0};
+  std::uint64_t clean_sweep_at_ = kNoCleanSweep;
   // Persistent scratch (capacity retained across reinit; the serve hot
   // path must not allocate per request).
   std::vector<int> victims_;             // per-role elimination staging

@@ -5,8 +5,8 @@ namespace parsec::cdg {
 SequentialParser::SequentialParser(const Grammar& g, ParseOptions opt)
     : grammar_(&g),
       opt_(opt),
-      unary_(compile_all(g.unary_constraints())),
-      binary_(compile_all(g.binary_constraints())) {}
+      unary_(factor_all(g.unary_constraints())),
+      binary_(factor_all(g.binary_constraints())) {}
 
 Network SequentialParser::make_network(const Sentence& s) const {
   Network::Options nopt;
@@ -15,23 +15,26 @@ Network SequentialParser::make_network(const Sentence& s) const {
 }
 
 int SequentialParser::step_unary(Network& net, std::size_t idx) const {
-  return net.apply_unary(unary_.at(idx));
+  const FactoredConstraint& c = unary_.at(idx);
+  return opt_.use_masks ? net.apply_unary(c) : net.apply_unary(c.full);
 }
 
 int SequentialParser::run_unary(Network& net) const {
   int eliminated = 0;
-  for (const auto& c : unary_) eliminated += net.apply_unary(c);
+  for (std::size_t i = 0; i < unary_.size(); ++i)
+    eliminated += step_unary(net, i);
   return eliminated;
 }
 
 int SequentialParser::step_binary(Network& net, std::size_t idx) const {
-  return net.apply_binary(binary_.at(idx));
+  const FactoredConstraint& c = binary_.at(idx);
+  return opt_.use_masks ? net.apply_binary(c, idx) : net.apply_binary(c.full);
 }
 
 int SequentialParser::run_binary(Network& net) const {
   int zeroed = 0;
-  for (const auto& c : binary_) {
-    zeroed += net.apply_binary(c);
+  for (std::size_t i = 0; i < binary_.size(); ++i) {
+    zeroed += step_binary(net, i);
     if (opt_.consistency_after_each_binary) net.consistency_step();
   }
   return zeroed;
@@ -47,13 +50,13 @@ ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const 
     return r;
   };
   ParseResult r;
-  for (const auto& c : unary_) {
+  for (std::size_t i = 0; i < unary_.size(); ++i) {
     if (cancellable && cancel()) return cancelled(r);
-    net.apply_unary(c);
+    step_unary(net, i);
   }
-  for (const auto& c : binary_) {
+  for (std::size_t i = 0; i < binary_.size(); ++i) {
     if (cancellable && cancel()) return cancelled(r);
-    net.apply_binary(c);
+    step_binary(net, i);
     if (opt_.consistency_after_each_binary) net.consistency_step();
   }
   // net.filter() with a cancellation poll per sweep.

@@ -33,6 +33,12 @@ struct ParseOptions {
   /// the MasPar uses a small constant (design decision 5; "typically
   /// fewer than 10 filtering steps", §2.1).
   int filter_sweeps = -1;
+  /// Evaluate constraints through the vectorized path (hoisted-predicate
+  /// truth masks + bitwise row kernels, with bytecode-VM fallback for
+  /// mask-undecided pairs).  Results are bit-identical to the plain
+  /// per-pair path; turning this off restores one-VM-dispatch-per-pair
+  /// evaluation (differential tests, bench_ablation_masks).
+  bool use_masks = true;
 };
 
 struct ParseResult {
@@ -85,18 +91,21 @@ class SequentialParser {
   /// sweeps when enabled.
   int run_binary(Network& net) const;
 
-  const std::vector<CompiledConstraint>& compiled_unary() const {
+  // Factored (hoisted) forms; each element's `.full` member is the
+  // plain compiled program, so existing per-constraint callers keep
+  // working unchanged.
+  const std::vector<FactoredConstraint>& compiled_unary() const {
     return unary_;
   }
-  const std::vector<CompiledConstraint>& compiled_binary() const {
+  const std::vector<FactoredConstraint>& compiled_binary() const {
     return binary_;
   }
 
  private:
   const Grammar* grammar_;
   ParseOptions opt_;
-  std::vector<CompiledConstraint> unary_;
-  std::vector<CompiledConstraint> binary_;
+  std::vector<FactoredConstraint> unary_;
+  std::vector<FactoredConstraint> binary_;
 };
 
 }  // namespace parsec::cdg

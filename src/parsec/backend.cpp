@@ -16,6 +16,8 @@ const char* to_string(Backend b) {
       return "pram";
     case Backend::Maspar:
       return "maspar";
+    case Backend::Mesh:
+      return "mesh";
   }
   return "?";
 }
@@ -25,6 +27,7 @@ std::optional<Backend> backend_from_name(std::string_view name) {
   if (name == "omp") return Backend::Omp;
   if (name == "pram") return Backend::Pram;
   if (name == "maspar") return Backend::Maspar;
+  if (name == "mesh") return Backend::Mesh;
   return std::nullopt;
 }
 
@@ -40,6 +43,9 @@ BackendStats& BackendStats::operator+=(const BackendStats& o) {
   pram.write_conflicts += o.pram.write_conflicts;
   maspar += o.maspar;
   maspar_simulated_seconds += o.maspar_simulated_seconds;
+  topo_time_steps += o.topo_time_steps;
+  topo_elementwise_steps += o.topo_elementwise_steps;
+  topo_reduction_steps += o.topo_reduction_steps;
   return *this;
 }
 
@@ -82,7 +88,8 @@ EngineSet::EngineSet(const cdg::Grammar& g, EngineSetOptions opt)
       serial_(g, opt.serial),
       omp_(g, opt.omp),
       pram_(g, opt.pram),
-      maspar_(g, opt.maspar) {}
+      maspar_(g, opt.maspar),
+      mesh_(g, Topology::Mesh2D, opt.mesh_filter_iterations) {}
 
 std::uint64_t hash_domains(const std::vector<util::DynBitset>& domains) {
   std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
@@ -220,6 +227,16 @@ BackendRun run_backend(const EngineSet& engines, Backend b,
       run.stats.consistency_iterations +=
           static_cast<std::uint64_t>(r.consistency_iterations);
       run.stats.pram = r.stats;
+      break;
+    }
+    case Backend::Mesh: {
+      TopoResult r = engines.mesh().parse(net);
+      run.accepted = r.accepted;
+      run.stats.consistency_iterations +=
+          static_cast<std::uint64_t>(r.consistency_iterations);
+      run.stats.topo_time_steps += r.time_steps;
+      run.stats.topo_elementwise_steps += r.elementwise_steps;
+      run.stats.topo_reduction_steps += r.reduction_steps;
       break;
     }
     case Backend::Maspar:

@@ -20,16 +20,18 @@
 #include "cdg/network.h"
 #include "cdg/parser.h"
 #include "parsec/maspar_parser.h"
+#include "parsec/mesh_parser.h"
 #include "parsec/omp_parser.h"
 #include "parsec/pram_parser.h"
 
 namespace parsec::engine {
 
-enum class Backend { Serial, Omp, Pram, Maspar };
+enum class Backend { Serial, Omp, Pram, Maspar, Mesh };
 
 inline constexpr Backend kAllBackends[] = {Backend::Serial, Backend::Omp,
-                                           Backend::Pram, Backend::Maspar};
-inline constexpr std::size_t kNumBackends = 4;
+                                           Backend::Pram, Backend::Maspar,
+                                           Backend::Mesh};
+inline constexpr std::size_t kNumBackends = 5;
 
 const char* to_string(Backend b);
 std::optional<Backend> backend_from_name(std::string_view name);
@@ -48,6 +50,10 @@ struct BackendStats {
   /// MasPar machine activity + calibrated time (maspar backend only).
   maspar::MachineStats maspar;
   double maspar_simulated_seconds = 0.0;
+  /// Topology step model (mesh backend only).
+  std::uint64_t topo_time_steps = 0;
+  std::uint64_t topo_elementwise_steps = 0;
+  std::uint64_t topo_reduction_steps = 0;
 
   BackendStats& operator+=(const BackendStats& o);
 };
@@ -98,6 +104,9 @@ struct EngineSetOptions {
   OmpOptions omp;
   PramOptions pram;
   MasparOptions maspar;
+  /// Mesh backend: the 2-D mesh topology model (Fig. 8 column), run to
+  /// the fixpoint so its result is bit-identical to the other engines.
+  int mesh_filter_iterations = -1;
 };
 
 class EngineSet {
@@ -109,6 +118,7 @@ class EngineSet {
   const OmpParser& omp() const { return omp_; }
   const PramParser& pram() const { return pram_; }
   const MasparParser& maspar() const { return maspar_; }
+  const TopologyParser& mesh() const { return mesh_; }
   const EngineSetOptions& options() const { return opt_; }
 
  private:
@@ -118,6 +128,7 @@ class EngineSet {
   OmpParser omp_;
   PramParser pram_;
   MasparParser maspar_;
+  TopologyParser mesh_;
 };
 
 /// Outcome of one sentence on one backend.

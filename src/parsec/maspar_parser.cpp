@@ -1,7 +1,9 @@
 #include "parsec/maspar_parser.h"
 
+#include <bit>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "cdg/kernels.h"
 
@@ -10,6 +12,7 @@ namespace parsec::engine {
 using cdg::Binding;
 using cdg::CompiledConstraint;
 using cdg::EvalContext;
+using cdg::FactoredConstraint;
 using cdg::RoleValue;
 
 MasparParse::MasparParse(const cdg::Grammar& g, const cdg::Sentence& s,
@@ -151,6 +154,129 @@ void MasparParse::apply_binary(const CompiledConstraint& c) {
   });
 }
 
+void MasparParse::apply_unary(const FactoredConstraint& c) {
+  // Vectorized form: the guard reads only (role v)/(pos v), so one host
+  // evaluation per role stands in for the lockstep test every PE of the
+  // role's slots would make; failing roles are vacuously satisfied and
+  // skip the per-value residual entirely.  SIMD op charges are those of
+  // the plain kernel — the PE array performs the same phase either way.
+  const int R = layout_.num_roles();
+  const int M = layout_.mods_per_word();
+  std::vector<std::uint8_t> guard_pass(static_cast<std::size_t>(R), 1);
+  if (!c.unary_guard.code.empty()) {
+    for (int a = 0; a < R; ++a) {
+      const Binding b{RoleValue{}, layout_.role_id_of(a),
+                      layout_.word_of_role(a)};
+      guard_pass[static_cast<std::size_t>(a)] =
+          eval_hoisted(c.unary_guard, sentence_, b) ? 1 : 0;
+    }
+  }
+  EvalContext ctx;
+  ctx.sentence = &sentence_;
+  machine_.acu(1);  // broadcast the constraint
+  machine_.simd(2 * l_ + l_ * l_, [&](int pe) {
+    const auto& co = coords_[pe];
+    std::uint64_t w = bits_[pe];
+    if (guard_pass[static_cast<std::size_t>(co.a)]) {
+      const auto& row_bind =
+          slot_bindings_[static_cast<std::size_t>(co.a) * M + co.mx];
+      for (std::size_t i = 0; i < row_bind.size(); ++i) {
+        ctx.x = row_bind[i];
+        if (!eval_compiled(c.unary_rest, ctx))
+          w = cdg::kernels::zero_packed_row(w, static_cast<int>(i), l_);
+      }
+    }
+    if (guard_pass[static_cast<std::size_t>(co.b)]) {
+      const auto& col_bind =
+          slot_bindings_[static_cast<std::size_t>(co.b) * M + co.my];
+      for (std::size_t j = 0; j < col_bind.size(); ++j) {
+        ctx.x = col_bind[j];
+        if (!eval_compiled(c.unary_rest, ctx))
+          w = cdg::kernels::zero_packed_col(w, static_cast<int>(j), l_);
+      }
+    }
+    bits_[pe] = w;
+  });
+}
+
+void MasparParse::apply_binary(const FactoredConstraint& c) {
+  EvalContext ctx;
+  ctx.sentence = &sentence_;
+  machine_.acu(1);  // broadcast the constraint
+  const int R = layout_.num_roles();
+  const int M = layout_.mods_per_word();
+  const std::size_t S = static_cast<std::size_t>(R) * M;
+  // Hoisted-part truth bits per (role, mod slot, label slot), expanded
+  // into packed l*l row masks (value as the row side) and column masks
+  // (value as the column side): the MasPar counterpart of the word-
+  // level MaskCache.
+  const CompiledConstraint* parts[4] = {&c.ante_x, &c.ante_y, &c.cons_x,
+                                        &c.cons_y};
+  std::vector<std::uint64_t> rowm[4], colm[4];
+  for (auto& v : rowm) v.assign(S, 0);
+  for (auto& v : colm) v.assign(S, 0);
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto& bind = slot_bindings_[s];
+    for (std::size_t i = 0; i < bind.size(); ++i) {
+      for (int p = 0; p < 4; ++p) {
+        if (eval_hoisted(*parts[p], sentence_, bind[i])) {
+          rowm[p][s] |= cdg::kernels::packed_row_mask(static_cast<int>(i), l_);
+          colm[p][s] |= cdg::kernels::packed_col_mask(static_cast<int>(i), l_);
+        }
+      }
+    }
+  }
+  const std::uint64_t full_bits =
+      l_ * l_ >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << (l_ * l_)) - 1;
+  // 2*l*l evaluations per PE (both variable assignments per element) —
+  // the abstract machine's charge, independent of how many elements the
+  // masks decide host-side.
+  machine_.simd(2 * l_ * l_, [&](int pe) {
+    std::uint64_t w = bits_[pe];
+    if (!w) return;
+    const auto& co = coords_[pe];
+    const std::size_t sr = static_cast<std::size_t>(co.a) * M + co.mx;
+    const std::size_t sc = static_cast<std::size_t>(co.b) * M + co.my;
+    const std::uint64_t AXR = rowm[0][sr], AYR = rowm[1][sr];
+    const std::uint64_t CXR = rowm[2][sr], CYR = rowm[3][sr];
+    const std::uint64_t AXC = colm[0][sc], AYC = colm[1][sc];
+    const std::uint64_t CXC = colm[2][sc], CYC = colm[3][sc];
+    // Same three-valued decision as kernels::sweep_binary_masked, per
+    // packed element (i, j).  Direction 1 binds x to the row value.
+    const std::uint64_t keep1 =
+        ~AXR | ~AYC | (c.cons_residual ? 0 : (CXR & CYC));
+    const std::uint64_t kill1 =
+        c.ante_residual ? 0 : (AXR & AYC & (~CXR | ~CYC));
+    // Direction 2 binds x to the column value.
+    const std::uint64_t keep2 =
+        ~AXC | ~AYR | (c.cons_residual ? 0 : (CXC & CYR));
+    const std::uint64_t kill2 =
+        c.ante_residual ? 0 : (AXC & AYR & (~CXC | ~CYR));
+    const std::uint64_t kill = (kill1 | kill2) & full_bits;
+    const std::uint64_t keep = keep1 & keep2;
+    std::uint64_t undecided = w & ~kill & ~keep;
+    w &= ~kill;
+    const auto& row_bind = slot_bindings_[sr];
+    const auto& col_bind = slot_bindings_[sc];
+    while (undecided) {
+      const int bit = std::countr_zero(undecided);
+      undecided &= undecided - 1;
+      const std::size_t i = static_cast<std::size_t>(bit / l_);
+      const std::size_t j = static_cast<std::size_t>(bit % l_);
+      ctx.x = row_bind[i];
+      ctx.y = col_bind[j];
+      bool ok = eval_compiled(c.full, ctx);
+      if (ok) {
+        std::swap(ctx.x, ctx.y);
+        ok = eval_compiled(c.full, ctx);
+      }
+      if (!ok) w &= ~(std::uint64_t{1} << bit);
+    }
+    bits_[pe] = w;
+  });
+}
+
 bool MasparParse::consistency_iteration() {
   const int V = layout_.vpes();
   // Support bits per label slot, gathered across the l scan passes
@@ -198,11 +324,7 @@ bool MasparParse::consistency_iteration() {
   return false;
 }
 
-MasparResult MasparParse::run(
-    const std::vector<CompiledConstraint>& unary,
-    const std::vector<CompiledConstraint>& binary) {
-  for (const auto& c : unary) apply_unary(c);
-  for (const auto& c : binary) apply_binary(c);
+MasparResult MasparParse::filter_and_finish() {
   MasparResult r;
   int iters = 0;
   while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
@@ -216,6 +338,22 @@ MasparResult MasparParse::run(
   r.stats = machine_.stats();
   r.simulated_seconds = maspar::CostModel::mp1().seconds(machine_);
   return r;
+}
+
+MasparResult MasparParse::run(
+    const std::vector<CompiledConstraint>& unary,
+    const std::vector<CompiledConstraint>& binary) {
+  for (const auto& c : unary) apply_unary(c);
+  for (const auto& c : binary) apply_binary(c);
+  return filter_and_finish();
+}
+
+MasparResult MasparParse::run(
+    const std::vector<FactoredConstraint>& unary,
+    const std::vector<FactoredConstraint>& binary) {
+  for (const auto& c : unary) apply_unary(c);
+  for (const auto& c : binary) apply_binary(c);
+  return filter_and_finish();
 }
 
 bool MasparParse::supported(int role, RoleValue rv) const {
@@ -292,8 +430,8 @@ bool MasparParse::accepted() const {
 MasparParser::MasparParser(const cdg::Grammar& g, MasparOptions opt)
     : grammar_(&g),
       opt_(opt),
-      unary_(compile_all(g.unary_constraints())),
-      binary_(compile_all(g.binary_constraints())) {}
+      unary_(factor_all(g.unary_constraints())),
+      binary_(factor_all(g.binary_constraints())) {}
 
 MasparResult MasparParser::parse(const cdg::Sentence& s) const {
   std::unique_ptr<MasparParse> scratch;

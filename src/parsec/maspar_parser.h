@@ -63,9 +63,21 @@ class MasparParse {
   /// Applies one unary constraint to every role value (rows and columns
   /// zeroed in place; design decision 1 lets this run any time).
   void apply_unary(const cdg::CompiledConstraint& c);
+  /// Vectorized form: the role-value-independent guard is evaluated
+  /// once per role slot (host side — the ACU would broadcast it), and
+  /// guarded slots run only the residual program.  Identical zeroings;
+  /// identical SIMD op charges (the PE array performs the same lockstep
+  /// phase either way).
+  void apply_unary(const cdg::FactoredConstraint& c);
   /// Applies one binary constraint to every arc element, both variable
   /// assignments.
   void apply_binary(const cdg::CompiledConstraint& c);
+  /// Vectorized form: hoisted-part truth masks are evaluated once per
+  /// (role, mod-slot, label-slot) and expanded into packed l*l row and
+  /// column masks; each PE then decides most elements with a handful of
+  /// word ops, dispatching only mask-undecided elements to the bytecode
+  /// VM.  Identical zeroings and SIMD op charges to the plain form.
+  void apply_binary(const cdg::FactoredConstraint& c);
   /// One consistency-maintenance iteration (Figs. 10/12).  Returns true
   /// if any role value's support changed to dead (read by the ACU via a
   /// global scanOr).
@@ -73,6 +85,9 @@ class MasparParse {
   /// Runs the full pipeline: all unary, all binary, then filtering.
   MasparResult run(const std::vector<cdg::CompiledConstraint>& unary,
                    const std::vector<cdg::CompiledConstraint>& binary);
+  /// Same pipeline through the vectorized kernels.
+  MasparResult run(const std::vector<cdg::FactoredConstraint>& unary,
+                   const std::vector<cdg::FactoredConstraint>& binary);
 
   // ---- read-back (host-side measurement; not costed) ------------------
   /// Domains in cdg::Network indexing: alive iff the role value is
@@ -91,6 +106,9 @@ class MasparParse {
   bool supported(int role, cdg::RoleValue rv) const;
 
  private:
+  /// Shared tail of run(): filtering iterations + result assembly.
+  MasparResult filter_and_finish();
+
   const cdg::Grammar* grammar_;
   cdg::Sentence sentence_;
   maspar::Layout layout_;
@@ -124,18 +142,20 @@ class MasparParser {
   MasparResult parse(const cdg::Sentence& s,
                      std::unique_ptr<MasparParse>& out) const;
 
-  const std::vector<cdg::CompiledConstraint>& compiled_unary() const {
+  // Factored (hoisted) forms; each element's `.full` member is the
+  // plain compiled program.
+  const std::vector<cdg::FactoredConstraint>& compiled_unary() const {
     return unary_;
   }
-  const std::vector<cdg::CompiledConstraint>& compiled_binary() const {
+  const std::vector<cdg::FactoredConstraint>& compiled_binary() const {
     return binary_;
   }
 
  private:
   const cdg::Grammar* grammar_;
   MasparOptions opt_;
-  std::vector<cdg::CompiledConstraint> unary_;
-  std::vector<cdg::CompiledConstraint> binary_;
+  std::vector<cdg::FactoredConstraint> unary_;
+  std::vector<cdg::FactoredConstraint> binary_;
 };
 
 }  // namespace parsec::engine

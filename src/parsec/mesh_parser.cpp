@@ -8,8 +8,8 @@
 
 namespace parsec::engine {
 
-using cdg::CompiledConstraint;
 using cdg::EvalContext;
+using cdg::FactoredConstraint;
 using cdg::Network;
 
 const char* to_string(Topology t) {
@@ -27,8 +27,8 @@ TopologyParser::TopologyParser(const cdg::Grammar& g, Topology topo,
     : grammar_(&g),
       topo_(topo),
       filter_iterations_(filter_iterations),
-      unary_(compile_all(g.unary_constraints())),
-      binary_(compile_all(g.binary_constraints())) {}
+      unary_(factor_all(g.unary_constraints())),
+      binary_(factor_all(g.binary_constraints())) {}
 
 std::size_t TopologyParser::pes_for(int n) const {
   const std::size_t q = static_cast<std::size_t>(grammar_->num_roles());
@@ -95,32 +95,43 @@ TopoResult TopologyParser::parse(Network& net) const {
   auto flags = net.arena().rv_flags();
 
   // Unary constraints: one elementwise pass over role values each,
-  // plus the zeroing pass for eliminated values.
+  // plus the zeroing pass for eliminated values.  Evaluation runs
+  // host-side through the masked unary kernel; the charges model the
+  // abstract machine, not the host shortcut.
+  std::vector<int> victims;
   for (const auto& c : unary_) {
     charge_elem(R * D);
     charge_elem(arc_elems / std::max<std::size_t>(1, D));  // zeroing rows
     std::fill(flags.begin(), flags.end(), std::uint8_t{0});
     for (int role = 0; role < net.num_roles(); ++role)
-      cdg::kernels::propagate_unary(
+      cdg::kernels::propagate_unary_masked(
           c, net.sentence(), net.indexer(), net.role_id_of(role),
           net.word_of_role(role), net.domain(role),
-          flags.subspan(static_cast<std::size_t>(role) * Di, Di));
-    for (int role = 0; role < net.num_roles(); ++role)
+          flags.subspan(static_cast<std::size_t>(role) * Di, Di),
+          cdg::kernels::MaskedCounters{});
+    for (int role = 0; role < net.num_roles(); ++role) {
+      victims.clear();
       for (int rv = 0; rv < Di; ++rv)
         if (flags[static_cast<std::size_t>(role) * Di + rv])
-          net.eliminate(role, rv);
+          victims.push_back(rv);
+      net.eliminate_batch(role, victims);
+    }
   }
 
   // Binary constraints: one elementwise pass over arc elements each.
-  for (const auto& c : binary_) {
+  for (std::size_t ci = 0; ci < binary_.size(); ++ci) {
+    const auto& c = binary_[ci];
     charge_elem(arc_elems);
-    net.refresh_alive_cache();
+    net.ensure_masks(c, ci);
     std::size_t zeroed = 0;
     for (int a = 0; a < net.num_roles(); ++a) {
+      const cdg::kernels::FactoredMasks ma = net.masks(ci, a);
       for (int b = a + 1; b < net.num_roles(); ++b) {
-        zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary(
-            c, net.sentence(), net.arena().arc(a, b), net.alive_list(a),
-            net.binding_list(a), net.alive_list(b), net.binding_list(b)));
+        zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
+            c, net.sentence(), net.arena().arc(a, b), net.domain(a), ma,
+            net.role_id_of(a), net.word_of_role(a), net.masks(ci, b),
+            net.role_id_of(b), net.word_of_role(b), net.indexer(),
+            cdg::kernels::MaskedCounters{}));
       }
     }
     net.counters().arc_zeroings += zeroed;
@@ -135,21 +146,21 @@ TopoResult TopologyParser::parse(Network& net) const {
     charge_elem(arc_elems);
     charge_reduce();
     charge_elem(arc_elems);
-    // Pre-state support semantics, as on the real machines.
-    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
-    bool any_dead = false;
-    for (int role = 0; role < net.num_roles(); ++role)
+    // Pre-state support semantics, as on the real machines: all roles'
+    // support masks are filled before any elimination.
+    for (int role = 0; role < net.num_roles(); ++role) net.support_mask(role);
+    int swept = 0;
+    for (int role = 0; role < net.num_roles(); ++role) {
+      victims.clear();
+      const util::ConstBitSpan sup =
+          static_cast<const cdg::NetworkArena&>(net.arena())
+              .support_scratch(role);
       net.domain(role).for_each([&](std::size_t rv) {
-        if (!net.supported(role, static_cast<int>(rv))) {
-          flags[static_cast<std::size_t>(role) * Di + rv] = 1;
-          any_dead = true;
-        }
+        if (!sup.test(rv)) victims.push_back(static_cast<int>(rv));
       });
-    if (!any_dead) break;
-    for (int role = 0; role < net.num_roles(); ++role)
-      for (int rv = 0; rv < Di; ++rv)
-        if (flags[static_cast<std::size_t>(role) * Di + rv])
-          net.eliminate(role, rv);
+      swept += net.eliminate_batch(role, victims);
+    }
+    if (swept == 0) break;
   }
   r.consistency_iterations = iters;
   charge_reduce();  // acceptance AND over roles

@@ -57,8 +57,8 @@ class TopologyParser {
   const cdg::Grammar* grammar_;
   Topology topo_;
   int filter_iterations_;
-  std::vector<cdg::CompiledConstraint> unary_;
-  std::vector<cdg::CompiledConstraint> binary_;
+  std::vector<cdg::FactoredConstraint> unary_;
+  std::vector<cdg::FactoredConstraint> binary_;
 };
 
 }  // namespace parsec::engine

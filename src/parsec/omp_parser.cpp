@@ -11,36 +11,44 @@
 
 namespace parsec::engine {
 
-using cdg::CompiledConstraint;
+using cdg::FactoredConstraint;
 using cdg::Network;
 
-void OmpParser::apply_unary(Network& net,
-                            const CompiledConstraint& c) const {
+void OmpParser::apply_unary(Network& net, const FactoredConstraint& c) const {
   const int R = net.num_roles();
   const int D = net.domain_size();
   // Victim staging in the arena's rv_flags region: each worker writes
-  // only its own roles' slices, so the marks are race-free.
+  // only its own roles' slices, so the marks are race-free.  Counters
+  // are not charged inside the parallel region (this engine reports
+  // work through wall-clock, not eval counts).
   auto flags = net.arena().rv_flags();
   std::fill(flags.begin(), flags.end(), std::uint8_t{0});
 #if defined(PARSEC_HAVE_OPENMP)
 #pragma omp parallel for schedule(static)
 #endif
   for (int role = 0; role < R; ++role) {
-    cdg::kernels::propagate_unary(
+    cdg::kernels::propagate_unary_masked(
         c, net.sentence(), net.indexer(), net.role_id_of(role),
         net.word_of_role(role), net.domain(role),
-        flags.subspan(static_cast<std::size_t>(role) * D, D));
+        flags.subspan(static_cast<std::size_t>(role) * D, D),
+        cdg::kernels::MaskedCounters{});
   }
-  for (int role = 0; role < R; ++role)
+  std::vector<int> victims;
+  for (int role = 0; role < R; ++role) {
+    victims.clear();
     for (int rv = 0; rv < D; ++rv)
       if (flags[static_cast<std::size_t>(role) * D + rv])
-        net.eliminate(role, rv);
+        victims.push_back(rv);
+    net.eliminate_batch(role, victims);
+  }
 }
 
-void OmpParser::apply_binary(Network& net,
-                             const CompiledConstraint& c) const {
+void OmpParser::apply_binary(Network& net, const FactoredConstraint& c,
+                             std::size_t slot) const {
   net.build_arcs();
-  net.refresh_alive_cache();
+  // Mask build is serial (it writes the shared mask region once);
+  // the sweeps that consume the masks are read-only on them.
+  net.ensure_masks(c, slot);
   cdg::NetworkArena& arena = net.arena();
   // Partition by arc: each worker owns whole matrices, so writes never
   // race.
@@ -51,9 +59,11 @@ void OmpParser::apply_binary(Network& net,
 #endif
   for (std::size_t t = 0; t < A; ++t) {
     const auto [a, b] = arena.arc_pair(t);
-    zeroed_total += static_cast<std::size_t>(cdg::kernels::sweep_binary(
-        c, net.sentence(), arena.arc(t), net.alive_list(a),
-        net.binding_list(a), net.alive_list(b), net.binding_list(b)));
+    zeroed_total += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
+        c, net.sentence(), arena.arc(t), net.domain(a), net.masks(slot, a),
+        net.role_id_of(a), net.word_of_role(a), net.masks(slot, b),
+        net.role_id_of(b), net.word_of_role(b), net.indexer(),
+        cdg::kernels::MaskedCounters{}));
   }
   net.counters().arc_zeroings += zeroed_total;
   if (zeroed_total) arena.set_counts_valid(false);
@@ -62,34 +72,38 @@ void OmpParser::apply_binary(Network& net,
 int OmpParser::consistency_sweep(Network& net) const {
   net.build_arcs();
   const int R = net.num_roles();
-  const int D = net.domain_size();
-  auto flags = net.arena().rv_flags();
-  std::fill(flags.begin(), flags.end(), std::uint8_t{0});
+  // Pre-state support masks, one per role, in parallel: every mask is
+  // computed against the pre-sweep matrices (reads only; the arena's
+  // support-scratch rows are disjoint per role).
 #if defined(PARSEC_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic)
 #endif
   for (int role = 0; role < R; ++role) {
-    net.domain(role).for_each([&](std::size_t rv) {
-      // Support check against the pre-sweep matrices (reads only).
-      if (!cdg::kernels::supported(net.arena(), role, static_cast<int>(rv)))
-        flags[static_cast<std::size_t>(role) * D + rv] = 1;
-    });
+    cdg::kernels::support_mask(net.arena(), role,
+                               net.arena().support_scratch(role));
   }
   int eliminated = 0;
-  for (int role = 0; role < R; ++role)
-    for (int rv = 0; rv < D; ++rv)
-      if (flags[static_cast<std::size_t>(role) * D + rv]) {
-        net.eliminate(role, rv);
-        ++eliminated;
-      }
+  std::vector<int> victims;
+  for (int role = 0; role < R; ++role) {
+    // Extract this role's victims before eliminate_batch clobbers the
+    // scratch row; later roles' rows are untouched until their turn.
+    victims.clear();
+    const util::ConstBitSpan sup =
+        static_cast<const cdg::NetworkArena&>(net.arena())
+            .support_scratch(role);
+    net.domain(role).for_each([&](std::size_t rv) {
+      if (!sup.test(rv)) victims.push_back(static_cast<int>(rv));
+    });
+    eliminated += net.eliminate_batch(role, victims);
+  }
   return eliminated;
 }
 
 OmpParser::OmpParser(const cdg::Grammar& g, OmpOptions opt)
     : grammar_(&g),
       opt_(opt),
-      unary_(compile_all(g.unary_constraints())),
-      binary_(compile_all(g.binary_constraints())) {}
+      unary_(factor_all(g.unary_constraints())),
+      binary_(factor_all(g.binary_constraints())) {}
 
 OmpResult OmpParser::parse(Network& net) const {
   const auto t0 = std::chrono::steady_clock::now();
@@ -98,7 +112,8 @@ OmpResult OmpParser::parse(Network& net) const {
 #endif
   net.build_arcs();
   for (const auto& c : unary_) apply_unary(net, c);
-  for (const auto& c : binary_) apply_binary(net, c);
+  for (std::size_t i = 0; i < binary_.size(); ++i)
+    apply_binary(net, binary_[i], i);
   OmpResult r;
   int iters = 0;
   while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {

@@ -6,7 +6,10 @@
 // consistency maintenance partition by role with pre-sweep semantics
 // (support flags computed before any elimination, like the P-RAM
 // engine), so the fixpoint is identical to the sequential parser's.
-// Falls back to single-threaded loops when built without OpenMP.
+// Constraints are evaluated through the vectorized path (hoisted-
+// predicate truth masks + bitwise row kernels) — masks are built once,
+// serially, before each parallel sweep.  Falls back to single-threaded
+// loops when built without OpenMP.
 #pragma once
 
 #include "cdg/network.h"
@@ -40,14 +43,14 @@ class OmpParser {
   int consistency_sweep(cdg::Network& net) const;
 
  private:
-  void apply_unary(cdg::Network& net, const cdg::CompiledConstraint& c) const;
-  void apply_binary(cdg::Network& net,
-                    const cdg::CompiledConstraint& c) const;
+  void apply_unary(cdg::Network& net, const cdg::FactoredConstraint& c) const;
+  void apply_binary(cdg::Network& net, const cdg::FactoredConstraint& c,
+                    std::size_t slot) const;
 
   const cdg::Grammar* grammar_;
   OmpOptions opt_;
-  std::vector<cdg::CompiledConstraint> unary_;
-  std::vector<cdg::CompiledConstraint> binary_;
+  std::vector<cdg::FactoredConstraint> unary_;
+  std::vector<cdg::FactoredConstraint> binary_;
 };
 
 }  // namespace parsec::engine

@@ -6,31 +6,33 @@
 
 namespace parsec::engine {
 
-using cdg::CompiledConstraint;
+using cdg::FactoredConstraint;
 using cdg::Network;
 
 PramParser::PramParser(const cdg::Grammar& g, PramOptions opt)
     : grammar_(&g),
       opt_(opt),
-      unary_(compile_all(g.unary_constraints())),
-      binary_(compile_all(g.binary_constraints())) {}
+      unary_(factor_all(g.unary_constraints())),
+      binary_(factor_all(g.binary_constraints())) {}
 
 void PramParser::apply_unary_parallel(Network& net, pram::Machine& m,
-                                      const CompiledConstraint& c) const {
+                                      const FactoredConstraint& c) const {
   const int R = net.num_roles();
   const int D = net.domain_size();
   net.refresh_alive_cache();
   // One step, one processor per alive role value: test the constraint.
-  // The evaluation itself runs host-side through the shared unary
-  // kernel; the step model only needs the processor count.
+  // The evaluation itself runs host-side through the shared masked
+  // unary kernel; the step model only needs the processor count (which
+  // reflects the abstract machine, not the host-side shortcut).
   auto victim = net.arena().rv_flags();
   std::fill(victim.begin(), victim.end(), std::uint8_t{0});
   m.for_all(net.alive_cache_total(), [](std::size_t) {});
   for (int role = 0; role < R; ++role) {
-    cdg::kernels::propagate_unary(
+    cdg::kernels::propagate_unary_masked(
         c, net.sentence(), net.indexer(), net.role_id_of(role),
         net.word_of_role(role), net.domain(role),
-        victim.subspan(static_cast<std::size_t>(role) * D, D));
+        victim.subspan(static_cast<std::size_t>(role) * D, D),
+        cdg::kernels::MaskedCounters{});
   }
   // One step, O(n^2) processors per victim: zero its rows/columns and
   // clear the domain bit (the writes are to disjoint or identically-
@@ -41,14 +43,19 @@ void PramParser::apply_unary_parallel(Network& net, pram::Machine& m,
       zero_procs += static_cast<std::size_t>(R - 1) *
                     static_cast<std::size_t>(D);
   m.for_all(std::max<std::size_t>(zero_procs, 1), [](std::size_t) {});
-  for (int role = 0; role < R; ++role)
+  std::vector<int> victims;
+  for (int role = 0; role < R; ++role) {
+    victims.clear();
     for (int rv = 0; rv < D; ++rv)
       if (victim[static_cast<std::size_t>(role) * D + rv])
-        net.eliminate(role, rv);
+        victims.push_back(rv);
+    net.eliminate_batch(role, victims);
+  }
 }
 
 void PramParser::apply_binary_parallel(Network& net, pram::Machine& m,
-                                       const CompiledConstraint& c) const {
+                                       const FactoredConstraint& c,
+                                       std::size_t slot) const {
   net.build_arcs();
   // One parallel step, one processor per arc element (pair of alive
   // role values on an arc): O(n^4) processors.
@@ -60,15 +67,20 @@ void PramParser::apply_binary_parallel(Network& net, pram::Machine& m,
       pairs += net.alive_list(a).size() * net.alive_list(b).size();
 
   m.for_all(std::max<std::size_t>(pairs, 1), [](std::size_t) {});
-  // The actual evaluation (performed sequentially here, but each pair
-  // independently, exactly as the step models).
+  // The actual evaluation (performed host-side through the masked
+  // sweep, but each pair decided independently, exactly as the step
+  // models).
+  net.ensure_masks(c, slot);
   cdg::NetworkArena& arena = net.arena();
   std::size_t zeroed = 0;
   for (int a = 0; a < R; ++a) {
+    const cdg::kernels::FactoredMasks ma = net.masks(slot, a);
     for (int b = a + 1; b < R; ++b) {
-      zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary(
-          c, net.sentence(), arena.arc(a, b), net.alive_list(a),
-          net.binding_list(a), net.alive_list(b), net.binding_list(b)));
+      zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
+          c, net.sentence(), arena.arc(a, b), net.domain(a), ma,
+          net.role_id_of(a), net.word_of_role(a), net.masks(slot, b),
+          net.role_id_of(b), net.word_of_role(b), net.indexer(),
+          cdg::kernels::MaskedCounters{}));
     }
   }
   net.counters().arc_zeroings += zeroed;
@@ -79,34 +91,36 @@ int PramParser::parallel_consistency_step(Network& net,
                                           pram::Machine& m) const {
   net.build_arcs();
   const int R = net.num_roles();
-  const int D = net.domain_size();
   net.refresh_alive_cache();
   // Support of every alive role value, all computed from the pre-sweep
   // state.  On the CRCW machine this is: one step of concurrent-write
   // ORs over each row/column (O(n^2) cells per role value), one step of
-  // ANDs — constant time with one processor per arc element.
+  // ANDs — constant time with one processor per arc element.  Host-side
+  // the same bits come from the word-parallel support masks (one
+  // arena-scratch row per role, all filled before any elimination).
   const std::size_t or_procs =
       net.alive_cache_total() * static_cast<std::size_t>(R - 1) *
-      static_cast<std::size_t>(D);
-  auto dead = net.arena().rv_flags();
-  std::fill(dead.begin(), dead.end(), std::uint8_t{0});
+      static_cast<std::size_t>(net.domain_size());
   m.for_all(std::max<std::size_t>(or_procs, 1), [](std::size_t) {});
   m.for_all(std::max<std::size_t>(net.alive_cache_total(), 1),
             [](std::size_t) {});
-  for (int role = 0; role < R; ++role)
-    net.domain(role).for_each([&](std::size_t rv) {
-      if (!net.supported(role, static_cast<int>(rv)))
-        dead[static_cast<std::size_t>(role) * D + rv] = 1;
-    });
+  for (int role = 0; role < R; ++role) net.support_mask(role);
   // One zeroing step for all victims simultaneously.
   m.for_all(std::max<std::size_t>(or_procs, 1), [](std::size_t) {});
   int eliminated = 0;
-  for (int role = 0; role < R; ++role)
-    for (int rv = 0; rv < D; ++rv)
-      if (dead[static_cast<std::size_t>(role) * D + rv]) {
-        net.eliminate(role, rv);
-        ++eliminated;
-      }
+  std::vector<int> victims;
+  for (int role = 0; role < R; ++role) {
+    // Extract victims from the pre-state mask before eliminate_batch
+    // clobbers this role's scratch row.
+    victims.clear();
+    const util::ConstBitSpan sup =
+        static_cast<const cdg::NetworkArena&>(net.arena())
+            .support_scratch(role);
+    net.domain(role).for_each([&](std::size_t rv) {
+      if (!sup.test(rv)) victims.push_back(static_cast<int>(rv));
+    });
+    eliminated += net.eliminate_batch(role, victims);
+  }
   return eliminated;
 }
 
@@ -119,7 +133,8 @@ PramResult PramParser::parse(Network& net) const {
   net.build_arcs();
 
   for (const auto& c : unary_) apply_unary_parallel(net, m, c);
-  for (const auto& c : binary_) apply_binary_parallel(net, m, c);
+  for (std::size_t i = 0; i < binary_.size(); ++i)
+    apply_binary_parallel(net, m, binary_[i], i);
 
   PramResult r;
   // Consistency maintenance + filtering.

@@ -50,14 +50,15 @@ class PramParser {
 
  private:
   void apply_unary_parallel(cdg::Network& net, pram::Machine& m,
-                            const cdg::CompiledConstraint& c) const;
+                            const cdg::FactoredConstraint& c) const;
   void apply_binary_parallel(cdg::Network& net, pram::Machine& m,
-                             const cdg::CompiledConstraint& c) const;
+                             const cdg::FactoredConstraint& c,
+                             std::size_t slot) const;
 
   const cdg::Grammar* grammar_;
   PramOptions opt_;
-  std::vector<cdg::CompiledConstraint> unary_;
-  std::vector<cdg::CompiledConstraint> binary_;
+  std::vector<cdg::FactoredConstraint> unary_;
+  std::vector<cdg::FactoredConstraint> binary_;
 };
 
 }  // namespace parsec::engine

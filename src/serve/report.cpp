@@ -13,6 +13,11 @@ void json_backend(std::ostream& os, const engine::BackendStats& b) {
      << ", \"consistency_iterations\": " << b.consistency_iterations
      << ", \"unary_evals\": " << b.network.unary_evals
      << ", \"binary_evals\": " << b.network.binary_evals
+     << ", \"masked_binary_pairs\": " << b.network.masked_binary_pairs
+     << ", \"masked_unary_decided\": " << b.network.masked_unary_decided
+     << ", \"mask_build_evals\": " << b.network.mask_build_evals
+     << ", \"effective_unary_evals\": " << b.network.effective_unary_evals()
+     << ", \"effective_binary_evals\": " << b.network.effective_binary_evals()
      << ", \"eliminations\": " << b.network.eliminations
      << ", \"arc_zeroings\": " << b.network.arc_zeroings
      << ", \"support_checks\": " << b.network.support_checks
@@ -21,14 +26,24 @@ void json_backend(std::ostream& os, const engine::BackendStats& b) {
      << ", \"maspar_scan_ops\": " << b.maspar.scan_ops
      << ", \"maspar_route_ops\": " << b.maspar.route_ops
      << ", \"maspar_simulated_seconds\": " << b.maspar_simulated_seconds
+     << ", \"topo_time_steps\": " << b.topo_time_steps
+     << ", \"topo_reduction_steps\": " << b.topo_reduction_steps
      << "}";
 }
 
 }  // namespace
 
 void write_throughput_report(std::ostream& os, const std::string& workload,
-                             const std::vector<ThroughputRow>& rows) {
-  os << "{\n  \"workload\": \"" << workload << "\",\n  \"rows\": [\n";
+                             const std::vector<ThroughputRow>& rows,
+                             const ThroughputBaseline* baseline) {
+  os << "{\n  \"workload\": \"" << workload << "\",\n";
+  if (baseline) {
+    os << "  \"baseline\": {\"captured\": \"" << baseline->captured
+       << "\", \"commit\": \"" << baseline->commit
+       << "\", \"single_thread_sps\": " << baseline->single_thread_sps
+       << "},\n";
+  }
+  os << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ThroughputRow& r = rows[i];
     const ServiceStats& s = r.stats;
@@ -37,8 +52,11 @@ void write_throughput_report(std::ostream& os, const std::string& workload,
        << r.backend << "\", \"sentences\": " << r.sentences
        << ", \"wall_seconds\": " << r.wall_seconds
        << ", \"throughput_sps\": " << r.throughput_sps
-       << ", \"speedup\": " << r.speedup
-       << ", \"latency_ms\": {\"mean\": " << s.latency_mean_ms
+       << ", \"speedup\": " << r.speedup;
+    if (baseline && r.threads == 1 && baseline->single_thread_sps > 0)
+      os << ", \"vs_baseline\": "
+         << r.throughput_sps / baseline->single_thread_sps;
+    os << ", \"latency_ms\": {\"mean\": " << s.latency_mean_ms
        << ", \"p50\": " << s.latency_p50_ms << ", \"p95\": " << s.latency_p95_ms
        << ", \"p99\": " << s.latency_p99_ms << ", \"max\": " << s.latency_max_ms
        << "}, \"completed\": " << s.completed << ", \"timeouts\": "

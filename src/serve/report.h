@@ -25,9 +25,21 @@ struct ThroughputRow {
   ServiceStats stats;
 };
 
-/// Writes `{"workload": ..., "rows": [...]}` to `os`.
+/// Reference numbers captured on a past commit, embedded in the report
+/// so a single BENCH_throughput.json carries its own before/after
+/// comparison (the perf-smoke CI job diffs against these).
+struct ThroughputBaseline {
+  std::string captured;  // ISO date of the baseline run
+  std::string commit;    // short description of the baseline revision
+  double single_thread_sps = 0.0;
+};
+
+/// Writes `{"workload": ..., "baseline": ..., "rows": [...]}` to `os`.
+/// `baseline` (if non-null) embeds the pre-change reference throughput;
+/// each row then also reports `vs_baseline` for the matching config.
 void write_throughput_report(std::ostream& os, const std::string& workload,
-                             const std::vector<ThroughputRow>& rows);
+                             const std::vector<ThroughputRow>& rows,
+                             const ThroughputBaseline* baseline = nullptr);
 
 /// Convenience: render ServiceStats as a human-readable multi-line
 /// summary (demo CLI and smoke logs).

@@ -202,4 +202,76 @@ TEST_P(ConstraintFuzz, PrintParseEvalRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConstraintFuzz, ::testing::Range(0, 6));
 
+// Differential check of the predicate-hoisting pass (constraint_eval.h
+// "Factored form"): on random well-typed constraints, the three-valued
+// decision the masked sweep derives from the hoisted parts must be
+// sound against the full program, and each hoisted part must equal the
+// conjunction of its per-term programs (what the mask builder
+// evaluates).
+TEST_P(ConstraintFuzz, FactoredDecisionsAreSoundAgainstFullProgram) {
+  auto bundle = grammars::make_toy_grammar();
+  const Grammar& g = bundle.grammar;
+  Rng rng(17000 + GetParam());
+  cdg::Sentence s = bundle.tag("The program runs");
+
+  auto conj_of_terms = [&](const std::vector<HoistedTerm>& terms,
+                           const Binding& b) {
+    for (const HoistedTerm& t : terms)
+      if (!eval_hoisted(t.prog, s, b)) return false;
+    return true;
+  };
+  auto random_binding = [&]() {
+    return Binding{RoleValue{static_cast<int>(rng.next_below(6)),
+                             static_cast<int>(rng.next_below(4))},
+                   static_cast<int>(rng.next_below(2)),
+                   1 + static_cast<int>(rng.next_below(3))};
+  };
+
+  for (int iter = 0; iter < 40; ++iter) {
+    AstFuzzer fuzz(g, rng);
+    Constraint original = fuzz.constraint();
+    const FactoredConstraint f = factor_constraint(original);
+    const std::string text = original.root.to_string_with(g);
+    EXPECT_EQ(f.arity, original.arity) << text;
+
+    EvalContext ctx;
+    ctx.sentence = &s;
+    for (int trial = 0; trial < 60; ++trial) {
+      ctx.x = random_binding();
+      ctx.y = random_binding();
+      const bool sat = eval_compiled(f.full, ctx);
+      EXPECT_EQ(eval_constraint(original, ctx), sat) << text;
+
+      if (f.arity == 1) {
+        // Unary split: guard false => vacuously satisfied; guard true
+        // => the rest decides, identically to the full program.
+        const bool guard = eval_hoisted(f.unary_guard, s, ctx.x);
+        if (!guard)
+          EXPECT_TRUE(sat) << text;
+        else
+          EXPECT_EQ(eval_compiled(f.unary_rest, ctx), sat) << text;
+        continue;
+      }
+
+      // Part == conjunction of its terms (one variable assignment; the
+      // hoisted programs read whichever slot holds the binding).
+      const bool ax = eval_hoisted(f.ante_x, s, ctx.x);
+      const bool ay = eval_hoisted(f.ante_y, s, ctx.y);
+      const bool cx = eval_hoisted(f.cons_x, s, ctx.x);
+      const bool cy = eval_hoisted(f.cons_y, s, ctx.y);
+      EXPECT_EQ(ax, conj_of_terms(f.ante_x_terms, ctx.x)) << text;
+      EXPECT_EQ(ay, conj_of_terms(f.ante_y_terms, ctx.y)) << text;
+      EXPECT_EQ(cx, conj_of_terms(f.cons_x_terms, ctx.x)) << text;
+      EXPECT_EQ(cy, conj_of_terms(f.cons_y_terms, ctx.y)) << text;
+
+      // The sweep's three-valued decision (constraint_eval.h):
+      if (!ax || !ay) EXPECT_TRUE(sat) << text << " (A known false)";
+      if (cx && cy && !f.cons_residual)
+        EXPECT_TRUE(sat) << text << " (C known true)";
+      if (ax && ay && !f.ante_residual && (!cx || !cy))
+        EXPECT_FALSE(sat) << text << " (A true, C false)";
+    }
+  }
+}
+
 }  // namespace

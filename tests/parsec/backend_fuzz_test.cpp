@@ -124,6 +124,52 @@ TEST(BackendFuzz, PooledArenaReuseIsBitIdenticalAndAllocationFree) {
   EXPECT_TRUE(net.check_invariants());
 }
 
+// Masked vs plain evaluation differential over a 60-sentence fuzz
+// corpus: the vectorized path (truth masks + residual VM, the default)
+// and the per-pair VM path (use_masks = false) must reach bit-identical
+// fixpoints on every sentence — the CI perf-smoke gate asserts the same
+// property via bench_ablation_masks.
+TEST(BackendFuzz, MaskedAndPlainSerialBitIdenticalOnFuzzCorpus) {
+  auto toy = grammars::make_toy_grammar();
+  auto english = grammars::make_english_grammar();
+  engine::EngineSetOptions plain_opt;
+  plain_opt.serial.use_masks = false;
+
+  struct Case {
+    const grammars::CdgBundle* bundle;
+    cdg::Sentence s;
+  };
+  std::vector<Case> corpus;
+  util::Rng rng(20260806);
+  for (int i = 0; i < 30; ++i) {
+    const int n = 1 + static_cast<int>(rng.next_below(7));
+    corpus.push_back({&toy, toy.lexicon.tag(random_words(rng, n))});
+  }
+  grammars::SentenceGenerator gen(english, 31337);
+  for (int i = 0; i < 30; ++i)
+    corpus.push_back({&english, gen.generate_sentence(3 + i % 9)});
+
+  engine::EngineSet toy_masked(toy.grammar);
+  engine::EngineSet toy_plain(toy.grammar, plain_opt);
+  engine::EngineSet eng_masked(english.grammar);
+  engine::EngineSet eng_plain(english.grammar, plain_opt);
+  engine::NetworkScratch scratch;
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const bool is_toy = corpus[i].bundle == &toy;
+    const engine::BackendRun masked =
+        engine::run_backend(is_toy ? toy_masked : eng_masked,
+                            engine::Backend::Serial, corpus[i].s, &scratch);
+    const engine::BackendRun plain =
+        engine::run_backend(is_toy ? toy_plain : eng_plain,
+                            engine::Backend::Serial, corpus[i].s, &scratch);
+    EXPECT_EQ(masked.domains_hash, plain.domains_hash) << "sentence " << i;
+    EXPECT_EQ(masked.accepted, plain.accepted) << "sentence " << i;
+    EXPECT_EQ(masked.alive_role_values, plain.alive_role_values)
+        << "sentence " << i;
+  }
+}
+
 // AC-4 leaves its support counters valid at the fixpoint; the invariant
 // checker cross-checks them against the arc matrices only in that state.
 TEST(BackendFuzz, Ac4CountersMatchMatricesAtFixpoint) {
