@@ -8,13 +8,18 @@
 // pre-mask-kernel revision, and writes BENCH_parse_time.json with both
 // tables so perf PRs can diff the numbers.
 //
-// Usage: bench_parse_time [--json PATH]
+// Usage: bench_parse_time [--json PATH] [--metrics-out PATH]
+//
+// --metrics-out writes a Prometheus scrape of the run's cost counters
+// (ACU broadcasts, router scans, effective evals; see
+// docs/OBSERVABILITY.md) into an isolated registry.
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "parsec/backend.h"
 #include "parsec/maspar_parser.h"
 #include "util/table.h"
@@ -46,11 +51,18 @@ struct HostRow {
 int main(int argc, char** argv) {
   using namespace parsec;
   std::string json_path = "BENCH_parse_time.json";
-  for (int i = 1; i < argc; ++i)
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc)
       json_path = argv[++i];
+    else if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc)
+      metrics_path = argv[++i];
+  }
   auto bundle = grammars::make_english_grammar();
   engine::MasparParser mp(bundle.grammar);
+  // Isolated registry: the scrape reflects exactly this run.
+  obs::Registry registry;
+  engine::StatsPublisher publisher(&registry);
 
   std::cout
       << "=============================================================\n"
@@ -72,6 +84,14 @@ int main(int argc, char** argv) {
   std::vector<MasparRow> maspar_rows;
   for (int n = 2; n <= 16; ++n) {
     auto r = mp.parse(gen.generate_sentence(n));
+    engine::BackendStats d;
+    d.requests = 1;
+    d.accepted = r.accepted ? 1 : 0;
+    d.consistency_iterations =
+        static_cast<std::uint64_t>(r.consistency_iterations);
+    d.maspar = r.stats;
+    d.maspar_simulated_seconds = r.simulated_seconds;
+    publisher.publish(engine::Backend::Maspar, d);
     if (n == 3) t3 = r.simulated_seconds;
     if (n == 10) t10 = r.simulated_seconds;
     maspar_rows.push_back({n, r.vpes, r.virt_factor, r.simulated_seconds});
@@ -115,9 +135,14 @@ int main(int argc, char** argv) {
     std::vector<cdg::Sentence> ss;
     for (int i = 0; i < kSentencesPerN; ++i)
       ss.push_back(hgen.generate_sentence(n));
-    // Warm the pool so timing excludes the arena cold allocation.
-    for (const auto& s : ss)
-      engine::run_backend(engines, engine::Backend::Serial, s, &scratch);
+    // Warm the pool so timing excludes the arena cold allocation; the
+    // warm pass also feeds the metrics scrape (identical counter
+    // profile per repetition, so one pass per sentence suffices).
+    for (const auto& s : ss) {
+      auto run =
+          engine::run_backend(engines, engine::Backend::Serial, s, &scratch);
+      publisher.publish(engine::Backend::Serial, run.stats);
+    }
     const int reps = n <= 8 ? 40 : (n <= 12 ? 12 : 4);
     std::uint64_t h = 0;
     const double secs = bench::time_host([&] {
@@ -180,6 +205,12 @@ int main(int argc, char** argv) {
        << ",\n    \"geomean_speedup\": "
        << bench::fmt(geomean_base / geomean_ms, "%.3f") << "\n  }\n}\n";
   std::cout << "report: " << json_path << "\n";
+
+  if (!metrics_path.empty()) {
+    std::ofstream m(metrics_path);
+    m << registry.scrape();
+    std::cout << "metrics: " << metrics_path << "\n";
+  }
 
   return shape_ok ? 0 : 1;
 }

@@ -12,6 +12,12 @@
 //   bench_throughput [--sentences N] [--lo LEN] [--hi LEN]
 //                    [--threads T1,T2,...] [--batch B]
 //                    [--backend serial|omp|pram|maspar] [--json PATH]
+//                    [--metrics-out PATH] [--trace-out PATH]
+//
+// --metrics-out writes a Prometheus text scrape of everything the
+// services published; --trace-out records one fully traced parse
+// (factoring, mask build, AC-4 fixpoint, extraction) as Chrome
+// trace-event JSON, openable in Perfetto / chrome://tracing.
 //
 // Exits nonzero only on a correctness (bit-identity) failure; speedup
 // is reported, not asserted, so low-core CI boxes stay green.
@@ -20,6 +26,9 @@
 #include <sstream>
 
 #include "bench_common.h"
+#include "cdg/extract.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parsec/backend.h"
 #include "serve/parse_service.h"
 #include "serve/report.h"
@@ -36,6 +45,8 @@ struct Config {
   std::size_t batch = 32;
   engine::Backend backend = engine::Backend::Serial;
   std::string json_path = "BENCH_throughput.json";
+  std::string metrics_path;  // empty = no scrape
+  std::string trace_path;    // empty = no trace
 };
 
 std::vector<int> parse_int_list(const std::string& s) {
@@ -75,10 +86,14 @@ int main(int argc, char** argv) {
       cfg.backend = *b;
     } else if (arg == "--json")
       cfg.json_path = next();
+    else if (arg == "--metrics-out")
+      cfg.metrics_path = next();
+    else if (arg == "--trace-out")
+      cfg.trace_path = next();
     else {
       std::cerr << "usage: bench_throughput [--sentences N] [--lo L] [--hi H]"
                    " [--threads T1,T2,...] [--batch B] [--backend NAME]"
-                   " [--json PATH]\n";
+                   " [--json PATH] [--metrics-out PATH] [--trace-out PATH]\n";
       return 2;
     }
   }
@@ -203,6 +218,33 @@ int main(int argc, char** argv) {
   serve::write_throughput_report(json, workload_desc.str(), rows,
                                  default_workload ? &baseline : nullptr);
   std::cout << "report: " << cfg.json_path << "\n";
+
+  // Every service above published into the global registry; one scrape
+  // carries all of them (the doc reference is docs/OBSERVABILITY.md).
+  if (!cfg.metrics_path.empty()) {
+    std::ofstream m(cfg.metrics_path);
+    m << obs::Registry::global().scrape();
+    std::cout << "metrics: " << cfg.metrics_path << "\n";
+  }
+
+  // One fully traced parse, end to end: factoring (EngineSet
+  // construction), propagation + mask builds + AC-4 fixpoint
+  // (run_backend with the AC-4 serial path), and parse extraction —
+  // the span taxonomy of docs/OBSERVABILITY.md in a single timeline.
+  if (!cfg.trace_path.empty()) {
+    obs::TraceSession session;
+    engine::EngineSetOptions eopt;
+    eopt.serial_ac4 = true;
+    engine::EngineSet traced(bundle.grammar, eopt);
+    engine::run_backend(traced, cfg.backend, workload.front());
+    cdg::Network net = seq.make_network(workload.front());
+    seq.parse(net);
+    cdg::extract_parses(net, /*limit=*/8);
+    std::ofstream t(cfg.trace_path);
+    session.write_chrome_trace(t);
+    std::cout << "trace: " << cfg.trace_path << " (" << session.span_count()
+              << " spans)\n";
+  }
 
   if (!all_identical) {
     std::cout << "verdict: BIT-IDENTITY FAILURE\n";

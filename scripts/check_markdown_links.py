@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Check intra-repo links in the project's Markdown files.
+
+Stdlib only; no network.  Verifies that
+
+  * inline links/images  [text](target)  whose target is a relative
+    path resolve to an existing file or directory (anchors and
+    `scheme://` URLs are skipped, the latter only syntax-checked);
+  * bare path mentions of docs (`docs/FOO.md`, `EXPERIMENTS.md`, ...)
+    inside prose or code spans resolve, so renaming a doc without
+    fixing references fails CI even where no []( ) link was used.
+
+Usage: scripts/check_markdown_links.py [root]          (default: repo root)
+Exit status: 0 when every reference resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+# Doc-file mentions outside of []( ) links: `docs/TUTORIAL.md`, DESIGN.md §1 ...
+DOC_MENTION = re.compile(r"\b((?:docs/)?[A-Z][A-Za-z0-9_]*\.md)\b")
+SCHEME = re.compile(r"^[a-z][a-z0-9+.-]*:")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    files += sorted((root / ".github").rglob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def strip_code_fences(text: str) -> str:
+    # Drop fenced code blocks: command examples legitimately mention
+    # paths that only exist after a build (trace.json, build/bench/...).
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        out.append("" if fenced else line)
+    return "\n".join(out)
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    text = md.read_text(encoding="utf-8")
+    prose = strip_code_fences(text)
+
+    for lineno, line in enumerate(prose.splitlines(), start=1):
+        for m in INLINE_LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith("#"):
+                continue  # same-file anchor
+            if SCHEME.match(target):
+                continue  # external URL; presence of a scheme is enough
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(root)}:{lineno}: "
+                              f"broken link target '{target}'")
+        for m in DOC_MENTION.finditer(line):
+            mention = m.group(1)
+            # Try relative to the mentioning file, then the repo root
+            # (prose conventionally uses root-relative doc paths).
+            if ((md.parent / mention).exists()
+                    or (root / mention).exists()):
+                continue
+            errors.append(f"{md.relative_to(root)}:{lineno}: "
+                          f"doc mention '{mention}' does not exist")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 \
+        else Path(__file__).resolve().parent.parent
+    files = markdown_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for md in files:
+        errors += check_file(md, root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken reference(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

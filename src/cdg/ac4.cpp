@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "cdg/kernels.h"
+#include "obs/trace.h"
 
 namespace parsec::cdg {
 
 Ac4Stats filter_ac4(Network& net) {
+  obs::Span span("cdg.ac4_fixpoint");
   net.build_arcs();
   Ac4Stats stats;
   NetworkArena& arena = net.arena();
@@ -87,6 +89,9 @@ Ac4Stats filter_ac4(Network& net) {
   // The counters now reflect the fixpoint matrices for every alive
   // value; let the invariant checker verify them.
   arena.set_counts_valid(true);
+  span.arg("eliminations", stats.eliminations);
+  span.arg("counter_decrements", stats.counter_decrements);
+  span.arg("initial_count_work", stats.initial_count_work);
   return stats;
 }
 

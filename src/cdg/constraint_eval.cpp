@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace parsec::cdg {
 
 namespace {
@@ -351,9 +353,11 @@ FactoredConstraint factor_constraint(const Constraint& c) {
 }
 
 std::vector<FactoredConstraint> factor_all(const std::vector<Constraint>& cs) {
+  obs::Span span("cdg.factoring", "compile");
   std::vector<FactoredConstraint> out;
   out.reserve(cs.size());
   for (const Constraint& c : cs) out.push_back(factor_constraint(c));
+  span.arg("constraints", static_cast<std::int64_t>(out.size()));
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace parsec::cdg {
 
 namespace {
@@ -76,14 +78,18 @@ class Enumerator {
 }  // namespace
 
 std::vector<ParseSolution> extract_parses(Network& net, std::size_t limit) {
+  obs::Span span("cdg.extract");
   Enumerator e(net, limit);
   e.run(/*collect=*/true);
+  span.arg("parses", e.count());
   return std::move(e.solutions());
 }
 
 std::size_t count_parses(Network& net, std::size_t limit) {
+  obs::Span span("cdg.extract");
   Enumerator e(net, limit);
   e.run(/*collect=*/false);
+  span.arg("parses", e.count());
   return e.count();
 }
 

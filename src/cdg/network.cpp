@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cdg/kernels.h"
+#include "obs/trace.h"
 
 namespace parsec::cdg {
 
@@ -195,8 +196,13 @@ int Network::apply_unary(const FactoredConstraint& c) {
 }
 
 void Network::ensure_masks(const FactoredConstraint& c, std::size_t slot) {
-  counters_.mask_build_evals += mask_cache_.ensure(
-      arena_, c, slot, sentence_, indexer_, roles_per_word());
+  if (mask_cache_.built(arena_, slot)) return;  // hit: no span, no work
+  obs::Span span("cdg.mask_build");
+  const std::size_t evals = mask_cache_.ensure(arena_, c, slot, sentence_,
+                                               indexer_, roles_per_word());
+  counters_.mask_build_evals += evals;
+  span.arg("slot", static_cast<std::int64_t>(slot));
+  span.arg("build_evals", evals);
 }
 
 int Network::apply_binary(const FactoredConstraint& c, std::size_t slot,

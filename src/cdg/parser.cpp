@@ -1,6 +1,26 @@
 #include "cdg/parser.h"
 
+#include "obs/trace.h"
+
 namespace parsec::cdg {
+
+namespace {
+
+/// Attaches the phase's counter deltas (effective-eval units, see
+/// NetworkCounters) to a span.  No work when the span is inactive.
+void attach_counter_delta(obs::Span& span, const NetworkCounters& before,
+                          const NetworkCounters& after) {
+  if (!span.active()) return;
+  span.arg("effective_unary_evals",
+           after.effective_unary_evals() - before.effective_unary_evals());
+  span.arg("effective_binary_evals",
+           after.effective_binary_evals() - before.effective_binary_evals());
+  span.arg("eliminations", after.eliminations - before.eliminations);
+  span.arg("arc_zeroings", after.arc_zeroings - before.arc_zeroings);
+  span.arg("support_checks", after.support_checks - before.support_checks);
+}
+
+}  // namespace
 
 SequentialParser::SequentialParser(const Grammar& g, ParseOptions opt)
     : grammar_(&g),
@@ -50,21 +70,37 @@ ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const 
     return r;
   };
   ParseResult r;
-  for (std::size_t i = 0; i < unary_.size(); ++i) {
-    if (cancellable && cancel()) return cancelled(r);
-    step_unary(net, i);
+  {
+    obs::Span span("serial.unary");
+    const NetworkCounters before = net.counters();
+    for (std::size_t i = 0; i < unary_.size(); ++i) {
+      if (cancellable && cancel()) return cancelled(r);
+      step_unary(net, i);
+    }
+    attach_counter_delta(span, before, net.counters());
   }
-  for (std::size_t i = 0; i < binary_.size(); ++i) {
-    if (cancellable && cancel()) return cancelled(r);
-    step_binary(net, i);
-    if (opt_.consistency_after_each_binary) net.consistency_step();
+  {
+    obs::Span span("serial.binary");
+    const NetworkCounters before = net.counters();
+    for (std::size_t i = 0; i < binary_.size(); ++i) {
+      if (cancellable && cancel()) return cancelled(r);
+      step_binary(net, i);
+      if (opt_.consistency_after_each_binary) net.consistency_step();
+    }
+    attach_counter_delta(span, before, net.counters());
   }
   // net.filter() with a cancellation poll per sweep.
   int sweeps = 0;
-  while (opt_.filter_sweeps < 0 || sweeps < opt_.filter_sweeps) {
-    if (cancellable && cancel()) return cancelled(r);
-    if (net.consistency_step() == 0) break;
-    ++sweeps;
+  {
+    obs::Span span("serial.filter");
+    const NetworkCounters before = net.counters();
+    while (opt_.filter_sweeps < 0 || sweeps < opt_.filter_sweeps) {
+      if (cancellable && cancel()) return cancelled(r);
+      if (net.consistency_step() == 0) break;
+      ++sweeps;
+    }
+    span.arg("sweeps", sweeps);
+    attach_counter_delta(span, before, net.counters());
   }
   r.filter_sweeps_used = sweeps;
   r.accepted = net.all_roles_nonempty();

@@ -17,6 +17,12 @@
 // Calibration: t_instr and t_route are fixed once so that the toy
 // 3-word parse with the paper's grammar lands at ~0.15 s; nothing else
 // is fitted (see bench_parse_time and EXPERIMENTS.md).
+//
+// Both constants are exported as gauges
+// (`parsec_maspar_cost_t_instr_seconds`, `..._t_route_seconds`) so a
+// metrics scrape is self-describing: simulated seconds can be
+// recomputed from the raw op counters and these two values
+// (docs/OBSERVABILITY.md works the formula through an example).
 #pragma once
 
 #include "maspar/machine.h"

@@ -17,6 +17,10 @@
 //   * route_ops   — general router gathers,
 //   * acu_ops     — scalar ACU-side operations,
 // from which CostModel computes simulated wall-clock (DESIGN.md §4).
+// These counters are also the MasPar backend's observability surface:
+// run_backend attaches them to its `backend.maspar` trace span and
+// StatsPublisher exports them as `parsec_maspar_*_total` metrics (see
+// docs/OBSERVABILITY.md for the cost-counter glossary).
 #pragma once
 
 #include <cstdint>

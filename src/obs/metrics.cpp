@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parsec::obs {
+
+std::size_t this_thread_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), shards_(kStripes) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (Shard& s : shards_)
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  Shard& s = shards_[this_thread_stripe()];
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  s.buckets[i].fetch_add(1, std::memory_order_relaxed);
+  double cur = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(cur, cur + v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.buckets.assign(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < s.buckets.size(); ++i)
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t b : out.buckets) out.count += b;
+  return out;
+}
+
+std::vector<double> default_latency_buckets_seconds() {
+  return {1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2,
+          5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0};
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // never destroyed; see header
+  return *reg;
+}
+
+Registry::Instrument& Registry::instrument(const std::string& name,
+                                           const std::string& help, Type type,
+                                           Labels labels) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.help = help;
+    fam.type = type;
+  } else if (fam.type != type) {
+    throw std::logic_error("metric '" + name +
+                           "' re-registered with a different type");
+  }
+  for (Instrument& ins : fam.instruments)
+    if (ins.labels == labels) return ins;
+  fam.instruments.emplace_back();
+  Instrument& ins = fam.instruments.back();
+  ins.labels = std::move(labels);
+  return ins;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  std::lock_guard lock(mu_);
+  Instrument& ins = instrument(name, help, Type::Counter, std::move(labels));
+  if (!ins.counter) ins.counter = std::make_unique<Counter>();
+  return *ins.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  std::lock_guard lock(mu_);
+  Instrument& ins = instrument(name, help, Type::Gauge, std::move(labels));
+  if (!ins.gauge) ins.gauge = std::make_unique<Gauge>();
+  return *ins.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds, Labels labels) {
+  std::lock_guard lock(mu_);
+  Instrument& ins = instrument(name, help, Type::Histogram, std::move(labels));
+  if (!ins.histogram)
+    ins.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *ins.histogram;
+}
+
+void Registry::gauge_fn(const std::string& name, const std::string& help,
+                        std::function<double()> fn, Labels labels) {
+  std::lock_guard lock(mu_);
+  Instrument& ins = instrument(name, help, Type::GaugeFn, std::move(labels));
+  ins.fn = std::move(fn);
+}
+
+namespace {
+
+void write_label_value(std::ostream& os, const std::string& v) {
+  for (char c : v) {
+    if (c == '\\' || c == '"')
+      os << '\\' << c;
+    else if (c == '\n')
+      os << "\\n";
+    else
+      os << c;
+  }
+}
+
+/// Renders {a="x",b="y"} (with `extra` appended) or nothing when empty.
+void write_labels(std::ostream& os, const Labels& labels,
+                  const std::string& extra_key = {},
+                  const std::string& extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"";
+    write_label_value(os, v);
+    os << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << "=\"" << extra_val << '"';
+  }
+  os << '}';
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, fam] : families_) {
+    os << "# HELP " << name << ' ' << fam.help << '\n';
+    os << "# TYPE " << name << ' ';
+    switch (fam.type) {
+      case Type::Counter:
+        os << "counter";
+        break;
+      case Type::Histogram:
+        os << "histogram";
+        break;
+      case Type::Gauge:
+      case Type::GaugeFn:
+        os << "gauge";
+        break;
+    }
+    os << '\n';
+    for (const Instrument& ins : fam.instruments) {
+      switch (fam.type) {
+        case Type::Counter:
+          os << name;
+          write_labels(os, ins.labels);
+          os << ' ' << ins.counter->value() << '\n';
+          break;
+        case Type::Gauge:
+          os << name;
+          write_labels(os, ins.labels);
+          os << ' ' << fmt_double(ins.gauge->value()) << '\n';
+          break;
+        case Type::GaugeFn:
+          os << name;
+          write_labels(os, ins.labels);
+          os << ' ' << fmt_double(ins.fn ? ins.fn() : 0.0) << '\n';
+          break;
+        case Type::Histogram: {
+          const Histogram::Snapshot snap = ins.histogram->snapshot();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cum += snap.buckets[i];
+            os << name << "_bucket";
+            write_labels(os, ins.labels, "le", fmt_double(snap.bounds[i]));
+            os << ' ' << cum << '\n';
+          }
+          os << name << "_bucket";
+          write_labels(os, ins.labels, "le", "+Inf");
+          os << ' ' << snap.count << '\n';
+          os << name << "_sum";
+          write_labels(os, ins.labels);
+          os << ' ' << fmt_double(snap.sum) << '\n';
+          os << name << "_count";
+          write_labels(os, ins.labels);
+          os << ' ' << snap.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string Registry::scrape() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+}  // namespace parsec::obs

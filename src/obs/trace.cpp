@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace parsec::obs {
+
+namespace {
+
+std::atomic<TraceSession*> g_active{nullptr};
+
+// Per-thread buffer cache: valid while `session` matches the active
+// session, so a thread resolves its buffer with one pointer compare
+// after the first span of a session.
+struct ThreadCache {
+  const TraceSession* session = nullptr;
+  void* buffer = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {
+  TraceSession* expected = nullptr;
+  const bool installed =
+      g_active.compare_exchange_strong(expected, this, std::memory_order_acq_rel);
+  assert(installed && "only one TraceSession may be active at a time");
+  (void)installed;  // a second session is inert in release builds
+}
+
+TraceSession::~TraceSession() {
+  TraceSession* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel);
+}
+
+TraceSession* TraceSession::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
+  if (t_cache.session == this) {
+    return static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  std::lock_guard lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buf = buffers_.back().get();
+  buf->tid = static_cast<std::uint32_t>(buffers_.size());
+  t_cache.session = this;
+  t_cache.buffer = buf;
+  return buf;
+}
+
+std::size_t TraceSession::span_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& b : buffers_) total += b->events.size();
+  return total;
+}
+
+std::vector<SpanEvent> TraceSession::events() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanEvent> out;
+  for (const auto& b : buffers_)
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  return out;
+}
+
+void TraceSession::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const auto& b : buffers_) {
+    for (const SpanEvent& e : b->events) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"";
+      write_escaped(os, e.name ? e.name : "?");
+      os << "\",\"cat\":\"";
+      write_escaped(os, e.cat ? e.cat : "parse");
+      // Chrome's ts/dur are microseconds; keep nanosecond precision as
+      // fractional microseconds.
+      std::snprintf(num, sizeof num,
+                    "\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                    "\"dur\":%.3f",
+                    e.tid, static_cast<double>(e.start_ns) / 1e3,
+                    static_cast<double>(e.dur_ns) / 1e3);
+      os << num;
+      if (e.num_args > 0) {
+        os << ",\"args\":{";
+        for (std::uint8_t i = 0; i < e.num_args; ++i) {
+          if (i) os << ",";
+          os << "\"";
+          write_escaped(os, e.args[i].key);
+          os << "\":";
+          if (e.args[i].kind == SpanArg::Kind::Int) {
+            std::snprintf(num, sizeof num, "%" PRId64, e.args[i].i);
+          } else {
+            std::snprintf(num, sizeof num, "%.6g", e.args[i].f);
+          }
+          os << num;
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace parsec::obs

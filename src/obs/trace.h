@@ -1,0 +1,198 @@
+// Scoped phase tracer (Chrome trace_event JSON).
+//
+// The paper's whole argument is a step-count claim — O(k + log n) ACU
+// broadcasts and router scans — so the repo needs to SEE where a parse
+// spends its phases, not just total them per bench run.  This tracer
+// records one span per pipeline phase (unary propagation, mask build,
+// binary sweeps, filtering, AC-4 fixpoint, extraction, one envelope
+// span per run_backend call) with the relevant cost counters attached
+// as span args, and serializes them in the Chrome `trace_event` format
+// so a parse can be opened directly in chrome://tracing or Perfetto.
+//
+// Granularity contract: spans are PHASE-grained — a bounded number per
+// parse (tens, never per role value or per arc element).  That is the
+// overhead guarantee; tests/obs/trace_test.cpp asserts the bound.
+//
+// Build modes:
+//   * PARSEC_TRACING=ON (default): `Span` costs one relaxed atomic
+//     load when no TraceSession is active, and two steady_clock reads
+//     plus one vector append into a per-thread buffer when one is.
+//   * PARSEC_TRACING=OFF (-DPARSEC_TRACING=OFF at configure time):
+//     `Span` is an empty type with inline no-op members — call sites
+//     compile unchanged and the optimizer erases them, so OFF builds
+//     carry zero tracer code in hot paths.  TraceSession itself stays
+//     compiled (tools keep linking); it just never records anything.
+//
+// Thread-safety / lifetime contracts:
+//   * At most ONE TraceSession may be active at a time (enforced with
+//     an assert; the second construction is inert in release builds).
+//   * Span recording is thread-safe: each thread appends to its own
+//     buffer, registered with the session under a mutex on first use.
+//   * Every Span recorded against a session must be destroyed before
+//     the session is (join or drain worker threads first).  The
+//     session's writer (`write_chrome_trace`) may only run once
+//     recording threads have quiesced; it is NOT safe to scrape a
+//     session concurrently with active spans.
+//   * Span `name`/`cat`/arg keys must be string literals (or otherwise
+//     outlive the session) — the tracer stores pointers, not copies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace parsec::obs {
+
+#if defined(PARSEC_TRACING_ENABLED) && PARSEC_TRACING_ENABLED
+inline constexpr bool kTracingCompiled = true;
+#else
+inline constexpr bool kTracingCompiled = false;
+#endif
+
+/// One key/value attachment on a span (rendered into the trace event's
+/// "args" object).  Keys must outlive the session (string literals).
+struct SpanArg {
+  const char* key = nullptr;
+  enum class Kind : std::uint8_t { Int, Float } kind = Kind::Int;
+  union {
+    std::int64_t i;
+    double f;
+  };
+};
+
+/// A completed span, as stored in a thread buffer.
+struct SpanEvent {
+  static constexpr std::size_t kMaxArgs = 12;
+  const char* name = nullptr;  // literal; becomes the event "name"
+  const char* cat = nullptr;   // literal; becomes the event "cat"
+  std::int64_t start_ns = 0;   // relative to the session epoch
+  std::int64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::uint8_t num_args = 0;
+  SpanArg args[kMaxArgs];
+};
+
+/// Collector for one tracing run.  Construct before the work you want
+/// traced, destroy (or call write_chrome_trace) after it.  See the
+/// header comment for the lifetime rules.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The currently active session (nullptr when none).
+  static TraceSession* active();
+
+  /// Serializes every recorded span as Chrome trace_event JSON
+  /// ({"traceEvents":[...complete events...]}).  Call only after all
+  /// recording threads have finished their spans.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Total spans recorded so far (all threads).  Same quiescence rule
+  /// as write_chrome_trace.
+  std::size_t span_count() const;
+
+  /// All events, merged (test hook; same quiescence rule).
+  std::vector<SpanEvent> events() const;
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  /// Registers (or retrieves) the calling thread's buffer.
+  ThreadBuffer* buffer_for_this_thread();
+  std::int64_t since_epoch_ns(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_)
+        .count();
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  // guards buffers_ (registration + readout)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+#if defined(PARSEC_TRACING_ENABLED) && PARSEC_TRACING_ENABLED
+
+/// RAII phase span.  Records [construction, destruction) against the
+/// active TraceSession; a no-op (one relaxed atomic load) when no
+/// session is active.  Args attached after the phase completes ride in
+/// the event's "args" object; at most SpanEvent::kMaxArgs stick.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "parse")
+      : session_(TraceSession::active()) {
+    if (!session_) return;
+    event_.name = name;
+    event_.cat = cat;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~Span() {
+    if (!session_) return;
+    const auto end = std::chrono::steady_clock::now();
+    event_.start_ns = session_->since_epoch_ns(start_);
+    event_.dur_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count();
+    TraceSession::ThreadBuffer* buf = session_->buffer_for_this_thread();
+    event_.tid = buf->tid;
+    buf->events.push_back(event_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span is actually recording (lets callers skip
+  /// arg computation entirely when tracing is inactive).
+  bool active() const { return session_ != nullptr; }
+
+  void arg(const char* key, std::int64_t v) {
+    if (!session_ || event_.num_args >= SpanEvent::kMaxArgs) return;
+    SpanArg& a = event_.args[event_.num_args++];
+    a.key = key;
+    a.kind = SpanArg::Kind::Int;
+    a.i = v;
+  }
+  void arg(const char* key, std::uint64_t v) {
+    arg(key, static_cast<std::int64_t>(v));
+  }
+  void arg(const char* key, int v) { arg(key, static_cast<std::int64_t>(v)); }
+  void arg(const char* key, double v) {
+    if (!session_ || event_.num_args >= SpanEvent::kMaxArgs) return;
+    SpanArg& a = event_.args[event_.num_args++];
+    a.key = key;
+    a.kind = SpanArg::Kind::Float;
+    a.f = v;
+  }
+
+ private:
+  TraceSession* session_;
+  std::chrono::steady_clock::time_point start_{};
+  SpanEvent event_{};
+};
+
+#else  // tracing compiled out: Span is an empty no-op type
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = "parse") {}
+  bool active() const { return false; }
+  void arg(const char*, std::int64_t) {}
+  void arg(const char*, std::uint64_t) {}
+  void arg(const char*, int) {}
+  void arg(const char*, double) {}
+};
+
+#endif
+
+}  // namespace parsec::obs

@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "maspar/cost_model.h"
+#include "obs/trace.h"
+
 namespace parsec::engine {
 
 const char* to_string(Backend b) {
@@ -140,11 +143,62 @@ void finish_from_network(BackendRun& run, const cdg::Network& net,
   run.stats.network += net.counters();
 }
 
+// Envelope-span names must be string literals (the tracer stores the
+// pointer), so one per backend rather than a formatted string.
+const char* backend_span_name(Backend b) {
+  switch (b) {
+    case Backend::Serial: return "backend.serial";
+    case Backend::Omp: return "backend.omp";
+    case Backend::Pram: return "backend.pram";
+    case Backend::Maspar: return "backend.maspar";
+    case Backend::Mesh: return "backend.mesh";
+  }
+  return "backend.?";
+}
+
+BackendRun run_backend_impl(const EngineSet& engines, Backend b,
+                            const cdg::Sentence& s, NetworkScratch* scratch,
+                            const cdg::CancelFn& cancel,
+                            bool capture_domains);
+
 }  // namespace
 
 BackendRun run_backend(const EngineSet& engines, Backend b,
                        const cdg::Sentence& s, NetworkScratch* scratch,
                        const cdg::CancelFn& cancel, bool capture_domains) {
+  obs::Span span(backend_span_name(b), "parse");
+  BackendRun run =
+      run_backend_impl(engines, b, s, scratch, cancel, capture_domains);
+  if (span.active()) {
+    span.arg("n", static_cast<std::int64_t>(s.size()));
+    span.arg("accepted", static_cast<std::int64_t>(run.accepted ? 1 : 0));
+    span.arg("effective_unary_evals",
+             run.stats.network.effective_unary_evals());
+    span.arg("effective_binary_evals",
+             run.stats.network.effective_binary_evals());
+    span.arg("eliminations", run.stats.network.eliminations);
+    span.arg("consistency_iterations", run.stats.consistency_iterations);
+    if (b == Backend::Maspar) {
+      span.arg("plural_ops", run.stats.maspar.plural_ops);
+      span.arg("scan_ops", run.stats.maspar.scan_ops);
+      span.arg("route_ops", run.stats.maspar.route_ops);
+      span.arg("simulated_seconds", run.stats.maspar_simulated_seconds);
+    }
+    if (b == Backend::Pram) span.arg("time_steps", run.stats.pram.time_steps);
+    if (b == Backend::Mesh) {
+      span.arg("time_steps", run.stats.topo_time_steps);
+      span.arg("reduction_steps", run.stats.topo_reduction_steps);
+    }
+  }
+  return run;
+}
+
+namespace {
+
+BackendRun run_backend_impl(const EngineSet& engines, Backend b,
+                            const cdg::Sentence& s, NetworkScratch* scratch,
+                            const cdg::CancelFn& cancel,
+                            bool capture_domains) {
   BackendRun run;
   run.stats.requests = 1;
 
@@ -247,6 +301,116 @@ BackendRun run_backend(const EngineSet& engines, Backend b,
   run.stats.accepted = run.accepted ? 1 : 0;
   run.stats.cancelled = run.cancelled ? 1 : 0;
   return run;
+}
+
+}  // namespace
+
+StatsPublisher::StatsPublisher(obs::Registry* registry) {
+  obs::Registry& reg = *registry;
+  for (std::size_t i = 0; i < kNumBackends; ++i) {
+    const std::string be = to_string(kAllBackends[i]);
+    PerBackend& p = per_backend_[i];
+    p.requests = &reg.counter("parsec_requests_total",
+                              "Parse requests completed, by outcome.",
+                              {{"backend", be}, {"status", "ok"}});
+    p.accepted = &reg.counter("parsec_requests_total",
+                              "Parse requests completed, by outcome.",
+                              {{"backend", be}, {"status", "accepted"}});
+    p.cancelled = &reg.counter("parsec_requests_total",
+                               "Parse requests completed, by outcome.",
+                               {{"backend", be}, {"status", "cancelled"}});
+    p.effective_unary_evals = &reg.counter(
+        "parsec_effective_unary_evals_total",
+        "Unary constraint tests in plain-sweep units (masked decisions "
+        "counted as if dispatched).",
+        {{"backend", be}});
+    p.effective_binary_evals = &reg.counter(
+        "parsec_effective_binary_evals_total",
+        "Binary constraint tests in plain-sweep units (2 per masked pair).",
+        {{"backend", be}});
+    p.masked_binary_pairs = &reg.counter(
+        "parsec_masked_binary_pairs_total",
+        "Arc pairs decided by truth masks without a VM dispatch.",
+        {{"backend", be}});
+    p.mask_build_evals = &reg.counter(
+        "parsec_mask_build_evals_total",
+        "Hoisted constraint evaluations spent building truth masks.",
+        {{"backend", be}});
+    p.eliminations =
+        &reg.counter("parsec_eliminations_total",
+                     "Role values removed from domains.", {{"backend", be}});
+    p.arc_zeroings =
+        &reg.counter("parsec_arc_zeroings_total",
+                     "Arc-matrix bits cleared.", {{"backend", be}});
+    p.support_checks =
+        &reg.counter("parsec_support_checks_total",
+                     "Support probes during consistency maintenance.",
+                     {{"backend", be}});
+    p.consistency_iterations = &reg.counter(
+        "parsec_consistency_iterations_total",
+        "Filtering sweeps/iterations run to the fixpoint.",
+        {{"backend", be}});
+    p.latency = &reg.histogram("parsec_parse_duration_seconds",
+                               "Wall-clock latency of one parse request.",
+                               obs::default_latency_buckets_seconds(),
+                               {{"backend", be}});
+  }
+  maspar_plural_ops_ = &reg.counter(
+      "parsec_maspar_plural_ops_total",
+      "ACU instruction broadcasts (weighted by per-PE unit cost).");
+  maspar_scan_ops_ =
+      &reg.counter("parsec_maspar_scan_ops_total",
+                   "Segmented router scan invocations (scanOr/scanAnd).");
+  maspar_route_ops_ = &reg.counter("parsec_maspar_route_ops_total",
+                                   "General router gathers.");
+  maspar_simulated_seconds_ = &reg.gauge(
+      "parsec_maspar_simulated_seconds",
+      "Calibrated MP-1 time accumulated by the cost model (seconds).");
+  pram_time_steps_ = &reg.counter("parsec_pram_time_steps_total",
+                                  "CRCW P-RAM parallel time steps.");
+  topo_time_steps_ = &reg.counter("parsec_topo_time_steps_total",
+                                  "Mesh topology-model time steps.");
+  topo_reduction_steps_ =
+      &reg.counter("parsec_topo_reduction_steps_total",
+                   "Mesh topology-model reduction (communication) steps.");
+  // The calibrated cost-model constants, exposed so a scrape is
+  // self-describing: simulated_seconds can be recomputed from the raw
+  // op counters and these two values (see docs/OBSERVABILITY.md).
+  const maspar::CostModel cm = maspar::CostModel::mp1();
+  reg.gauge("parsec_maspar_cost_t_instr_seconds",
+            "Calibrated seconds per ACU instruction broadcast (MP-1).")
+      .set(cm.t_instr);
+  reg.gauge("parsec_maspar_cost_t_route_seconds",
+            "Calibrated seconds per router stage of a log-time scan (MP-1).")
+      .set(cm.t_route);
+}
+
+void StatsPublisher::publish(Backend b, const BackendStats& delta,
+                             double seconds) {
+  PerBackend& p = per_backend_[static_cast<std::size_t>(b)];
+  p.requests->inc(delta.requests);
+  p.accepted->inc(delta.accepted);
+  p.cancelled->inc(delta.cancelled);
+  p.effective_unary_evals->inc(delta.network.effective_unary_evals());
+  p.effective_binary_evals->inc(delta.network.effective_binary_evals());
+  p.masked_binary_pairs->inc(delta.network.masked_binary_pairs);
+  p.mask_build_evals->inc(delta.network.mask_build_evals);
+  p.eliminations->inc(delta.network.eliminations);
+  p.arc_zeroings->inc(delta.network.arc_zeroings);
+  p.support_checks->inc(delta.network.support_checks);
+  p.consistency_iterations->inc(delta.consistency_iterations);
+  if (seconds >= 0.0) p.latency->observe(seconds);
+  if (b == Backend::Maspar) {
+    maspar_plural_ops_->inc(delta.maspar.plural_ops);
+    maspar_scan_ops_->inc(delta.maspar.scan_ops);
+    maspar_route_ops_->inc(delta.maspar.route_ops);
+    maspar_simulated_seconds_->add(delta.maspar_simulated_seconds);
+  }
+  if (b == Backend::Pram) pram_time_steps_->inc(delta.pram.time_steps);
+  if (b == Backend::Mesh) {
+    topo_time_steps_->inc(delta.topo_time_steps);
+    topo_reduction_steps_->inc(delta.topo_reduction_steps);
+  }
 }
 
 }  // namespace parsec::engine

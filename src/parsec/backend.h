@@ -19,6 +19,7 @@
 #include "cdg/ac4.h"
 #include "cdg/network.h"
 #include "cdg/parser.h"
+#include "obs/metrics.h"
 #include "parsec/maspar_parser.h"
 #include "parsec/mesh_parser.h"
 #include "parsec/omp_parser.h"
@@ -157,10 +158,65 @@ std::uint64_t hash_domains(const cdg::Network& net);
 /// `cancel` (if non-empty) aborts — the serial backend polls it
 /// between constraints, the others check it once before starting.
 /// `capture_domains` copies the final domains into the result.
+///
+/// Thread-safety: `engines` is read-only here and may be shared across
+/// concurrent callers; `scratch` is mutated and must NOT be shared —
+/// one NetworkScratch per worker thread (the serve layer keeps one per
+/// pool thread).  Under an active obs::TraceSession the whole call is
+/// wrapped in a `backend.<name>` span carrying the run's cost counters
+/// (effective unary/binary evals; router scans and ACU broadcasts on
+/// the MasPar backend) as span args.
 BackendRun run_backend(const EngineSet& engines, Backend b,
                        const cdg::Sentence& s,
                        NetworkScratch* scratch = nullptr,
                        const cdg::CancelFn& cancel = {},
                        bool capture_domains = false);
+
+/// Publishes per-run BackendStats deltas into an obs::Registry as the
+/// Prometheus metrics documented in docs/OBSERVABILITY.md
+/// (`parsec_requests_total{backend,status}`, the cost-counter
+/// families, and the `parsec_parse_duration_seconds` histogram).
+///
+/// Handles are resolved once, in the constructor, under the registry
+/// mutex; `publish()` is lock-free and safe to call concurrently from
+/// any number of threads.  The registry must outlive the publisher
+/// (the default, `obs::Registry::global()`, lives for the process).
+/// ParseService owns one; the benches construct their own when
+/// `--metrics-out` is given.
+class StatsPublisher {
+ public:
+  explicit StatsPublisher(obs::Registry* registry = &obs::Registry::global());
+
+  /// Adds one run's contribution under its backend's labels.
+  /// `delta` must be a single-run delta (as in BackendRun::stats), not
+  /// a running total.  `seconds` (when >= 0) is observed in the
+  /// per-backend latency histogram.
+  void publish(Backend b, const BackendStats& delta, double seconds = -1.0);
+
+ private:
+  struct PerBackend {
+    obs::Counter* requests;
+    obs::Counter* accepted;
+    obs::Counter* cancelled;
+    obs::Counter* effective_unary_evals;
+    obs::Counter* effective_binary_evals;
+    obs::Counter* masked_binary_pairs;
+    obs::Counter* mask_build_evals;
+    obs::Counter* eliminations;
+    obs::Counter* arc_zeroings;
+    obs::Counter* support_checks;
+    obs::Counter* consistency_iterations;
+    obs::Histogram* latency;
+  };
+  PerBackend per_backend_[kNumBackends];
+  // Backend-specific machine counters.
+  obs::Counter* maspar_plural_ops_;
+  obs::Counter* maspar_scan_ops_;
+  obs::Counter* maspar_route_ops_;
+  obs::Gauge* maspar_simulated_seconds_;
+  obs::Counter* pram_time_steps_;
+  obs::Counter* topo_time_steps_;
+  obs::Counter* topo_reduction_steps_;
+};
 
 }  // namespace parsec::engine

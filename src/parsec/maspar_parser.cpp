@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "cdg/kernels.h"
+#include "obs/trace.h"
 
 namespace parsec::engine {
 
@@ -327,9 +328,20 @@ bool MasparParse::consistency_iteration() {
 MasparResult MasparParse::filter_and_finish() {
   MasparResult r;
   int iters = 0;
-  while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
-    ++iters;
-    if (!consistency_iteration()) break;
+  {
+    obs::Span span("maspar.filter");
+    const maspar::MachineStats before = machine_.stats();
+    while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+      ++iters;
+      if (!consistency_iteration()) break;
+    }
+    if (span.active()) {
+      const maspar::MachineStats after = machine_.stats();
+      span.arg("iterations", iters);
+      span.arg("plural_ops", after.plural_ops - before.plural_ops);
+      span.arg("scan_ops", after.scan_ops - before.scan_ops);
+      span.arg("route_ops", after.route_ops - before.route_ops);
+    }
   }
   r.consistency_iterations = iters;
   r.accepted = accepted();
@@ -343,16 +355,34 @@ MasparResult MasparParse::filter_and_finish() {
 MasparResult MasparParse::run(
     const std::vector<CompiledConstraint>& unary,
     const std::vector<CompiledConstraint>& binary) {
-  for (const auto& c : unary) apply_unary(c);
-  for (const auto& c : binary) apply_binary(c);
+  {
+    obs::Span span("maspar.unary");
+    for (const auto& c : unary) apply_unary(c);
+  }
+  {
+    obs::Span span("maspar.binary");
+    for (const auto& c : binary) apply_binary(c);
+  }
   return filter_and_finish();
 }
 
 MasparResult MasparParse::run(
     const std::vector<FactoredConstraint>& unary,
     const std::vector<FactoredConstraint>& binary) {
-  for (const auto& c : unary) apply_unary(c);
-  for (const auto& c : binary) apply_binary(c);
+  {
+    obs::Span span("maspar.unary");
+    const maspar::MachineStats before = machine_.stats();
+    for (const auto& c : unary) apply_unary(c);
+    if (span.active())
+      span.arg("plural_ops", machine_.stats().plural_ops - before.plural_ops);
+  }
+  {
+    obs::Span span("maspar.binary");
+    const maspar::MachineStats before = machine_.stats();
+    for (const auto& c : binary) apply_binary(c);
+    if (span.active())
+      span.arg("plural_ops", machine_.stats().plural_ops - before.plural_ops);
+  }
   return filter_and_finish();
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cdg/kernels.h"
+#include "obs/trace.h"
 #include "topo/reduction.h"
 
 namespace parsec::engine {
@@ -99,68 +100,85 @@ TopoResult TopologyParser::parse(Network& net) const {
   // host-side through the masked unary kernel; the charges model the
   // abstract machine, not the host shortcut.
   std::vector<int> victims;
-  for (const auto& c : unary_) {
-    charge_elem(R * D);
-    charge_elem(arc_elems / std::max<std::size_t>(1, D));  // zeroing rows
-    std::fill(flags.begin(), flags.end(), std::uint8_t{0});
-    for (int role = 0; role < net.num_roles(); ++role)
-      cdg::kernels::propagate_unary_masked(
-          c, net.sentence(), net.indexer(), net.role_id_of(role),
-          net.word_of_role(role), net.domain(role),
-          flags.subspan(static_cast<std::size_t>(role) * Di, Di),
-          cdg::kernels::MaskedCounters{});
-    for (int role = 0; role < net.num_roles(); ++role) {
-      victims.clear();
-      for (int rv = 0; rv < Di; ++rv)
-        if (flags[static_cast<std::size_t>(role) * Di + rv])
-          victims.push_back(rv);
-      net.eliminate_batch(role, victims);
+  {
+    obs::Span span("mesh.unary");
+    const std::uint64_t steps_before = r.time_steps;
+    for (const auto& c : unary_) {
+      charge_elem(R * D);
+      charge_elem(arc_elems / std::max<std::size_t>(1, D));  // zeroing rows
+      std::fill(flags.begin(), flags.end(), std::uint8_t{0});
+      for (int role = 0; role < net.num_roles(); ++role)
+        cdg::kernels::propagate_unary_masked(
+            c, net.sentence(), net.indexer(), net.role_id_of(role),
+            net.word_of_role(role), net.domain(role),
+            flags.subspan(static_cast<std::size_t>(role) * Di, Di),
+            cdg::kernels::MaskedCounters{});
+      for (int role = 0; role < net.num_roles(); ++role) {
+        victims.clear();
+        for (int rv = 0; rv < Di; ++rv)
+          if (flags[static_cast<std::size_t>(role) * Di + rv])
+            victims.push_back(rv);
+        net.eliminate_batch(role, victims);
+      }
     }
+    span.arg("time_steps", r.time_steps - steps_before);
   }
 
   // Binary constraints: one elementwise pass over arc elements each.
-  for (std::size_t ci = 0; ci < binary_.size(); ++ci) {
-    const auto& c = binary_[ci];
-    charge_elem(arc_elems);
-    net.ensure_masks(c, ci);
-    std::size_t zeroed = 0;
-    for (int a = 0; a < net.num_roles(); ++a) {
-      const cdg::kernels::FactoredMasks ma = net.masks(ci, a);
-      for (int b = a + 1; b < net.num_roles(); ++b) {
-        zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
-            c, net.sentence(), net.arena().arc(a, b), net.domain(a), ma,
-            net.role_id_of(a), net.word_of_role(a), net.masks(ci, b),
-            net.role_id_of(b), net.word_of_role(b), net.indexer(),
-            cdg::kernels::MaskedCounters{}));
+  {
+    obs::Span span("mesh.binary");
+    const std::uint64_t steps_before = r.time_steps;
+    for (std::size_t ci = 0; ci < binary_.size(); ++ci) {
+      const auto& c = binary_[ci];
+      charge_elem(arc_elems);
+      net.ensure_masks(c, ci);
+      std::size_t zeroed = 0;
+      for (int a = 0; a < net.num_roles(); ++a) {
+        const cdg::kernels::FactoredMasks ma = net.masks(ci, a);
+        for (int b = a + 1; b < net.num_roles(); ++b) {
+          zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
+              c, net.sentence(), net.arena().arc(a, b), net.domain(a), ma,
+              net.role_id_of(a), net.word_of_role(a), net.masks(ci, b),
+              net.role_id_of(b), net.word_of_role(b), net.indexer(),
+              cdg::kernels::MaskedCounters{}));
+        }
       }
+      net.counters().arc_zeroings += zeroed;
+      if (zeroed) net.arena().set_counts_valid(false);
     }
-    net.counters().arc_zeroings += zeroed;
-    if (zeroed) net.arena().set_counts_valid(false);
+    span.arg("time_steps", r.time_steps - steps_before);
   }
 
   // Consistency maintenance + filtering: per iteration, one reduction
   // phase (the row ORs + role AND) and one elementwise zeroing pass.
   int iters = 0;
-  while (filter_iterations_ < 0 || iters < filter_iterations_) {
-    ++iters;
-    charge_elem(arc_elems);
-    charge_reduce();
-    charge_elem(arc_elems);
-    // Pre-state support semantics, as on the real machines: all roles'
-    // support masks are filled before any elimination.
-    for (int role = 0; role < net.num_roles(); ++role) net.support_mask(role);
-    int swept = 0;
-    for (int role = 0; role < net.num_roles(); ++role) {
-      victims.clear();
-      const util::ConstBitSpan sup =
-          static_cast<const cdg::NetworkArena&>(net.arena())
-              .support_scratch(role);
-      net.domain(role).for_each([&](std::size_t rv) {
-        if (!sup.test(rv)) victims.push_back(static_cast<int>(rv));
-      });
-      swept += net.eliminate_batch(role, victims);
+  {
+    obs::Span span("mesh.filter");
+    const std::uint64_t steps_before = r.time_steps;
+    while (filter_iterations_ < 0 || iters < filter_iterations_) {
+      ++iters;
+      charge_elem(arc_elems);
+      charge_reduce();
+      charge_elem(arc_elems);
+      // Pre-state support semantics, as on the real machines: all roles'
+      // support masks are filled before any elimination.
+      for (int role = 0; role < net.num_roles(); ++role) net.support_mask(role);
+      int swept = 0;
+      for (int role = 0; role < net.num_roles(); ++role) {
+        victims.clear();
+        const util::ConstBitSpan sup =
+            static_cast<const cdg::NetworkArena&>(net.arena())
+                .support_scratch(role);
+        net.domain(role).for_each([&](std::size_t rv) {
+          if (!sup.test(rv)) victims.push_back(static_cast<int>(rv));
+        });
+        swept += net.eliminate_batch(role, victims);
+      }
+      if (swept == 0) break;
     }
-    if (swept == 0) break;
+    span.arg("iterations", iters);
+    span.arg("time_steps", r.time_steps - steps_before);
+    span.arg("reduction_steps", r.reduction_steps);
   }
   r.consistency_iterations = iters;
   charge_reduce();  // acceptance AND over roles

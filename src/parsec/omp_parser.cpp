@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "cdg/kernels.h"
+#include "obs/trace.h"
 
 #if defined(PARSEC_HAVE_OPENMP)
 #include <omp.h>
@@ -111,14 +112,24 @@ OmpResult OmpParser::parse(Network& net) const {
   if (opt_.threads > 0) omp_set_num_threads(opt_.threads);
 #endif
   net.build_arcs();
-  for (const auto& c : unary_) apply_unary(net, c);
-  for (std::size_t i = 0; i < binary_.size(); ++i)
-    apply_binary(net, binary_[i], i);
+  {
+    obs::Span span("omp.unary");
+    for (const auto& c : unary_) apply_unary(net, c);
+  }
+  {
+    obs::Span span("omp.binary");
+    for (std::size_t i = 0; i < binary_.size(); ++i)
+      apply_binary(net, binary_[i], i);
+  }
   OmpResult r;
   int iters = 0;
-  while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
-    ++iters;
-    if (consistency_sweep(net) == 0) break;
+  {
+    obs::Span span("omp.filter");
+    while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+      ++iters;
+      if (consistency_sweep(net) == 0) break;
+    }
+    span.arg("iterations", iters);
   }
   r.consistency_iterations = iters;
   r.accepted = net.all_roles_nonempty();

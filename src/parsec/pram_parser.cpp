@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cdg/kernels.h"
+#include "obs/trace.h"
 
 namespace parsec::engine {
 
@@ -132,16 +133,27 @@ PramResult PramParser::parse(Network& net) const {
             [](std::size_t) {});
   net.build_arcs();
 
-  for (const auto& c : unary_) apply_unary_parallel(net, m, c);
-  for (std::size_t i = 0; i < binary_.size(); ++i)
-    apply_binary_parallel(net, m, binary_[i], i);
+  {
+    obs::Span span("pram.unary");
+    for (const auto& c : unary_) apply_unary_parallel(net, m, c);
+  }
+  {
+    obs::Span span("pram.binary");
+    for (std::size_t i = 0; i < binary_.size(); ++i)
+      apply_binary_parallel(net, m, binary_[i], i);
+  }
 
   PramResult r;
   // Consistency maintenance + filtering.
   int iters = 0;
-  while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
-    ++iters;
-    if (parallel_consistency_step(net, m) == 0) break;
+  {
+    obs::Span span("pram.filter");
+    while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+      ++iters;
+      if (parallel_consistency_step(net, m) == 0) break;
+    }
+    span.arg("iterations", iters);
+    span.arg("time_steps", m.stats().time_steps);
   }
   r.consistency_iterations = iters;
   // Acceptance test: one CRCW AND over roles.

@@ -22,7 +22,23 @@ ParseService::ParseService(const cdg::Grammar& grammar)
     : ParseService(grammar, Options()) {}
 
 ParseService::ParseService(const cdg::Grammar& grammar, Options opt)
-    : engines_(grammar, opt.engines), opt_(opt), start_(clock::now()) {
+    : engines_(grammar, opt.engines),
+      opt_(opt),
+      publisher_(opt.metrics),
+      timeouts_total_(&opt.metrics->counter(
+          "parsec_serve_timeouts_total",
+          "Requests answered Timeout (expired queued or mid-parse).")),
+      rejected_at_submit_total_(&opt.metrics->counter(
+          "parsec_serve_rejected_at_submit_total",
+          "Requests refused because shutdown had begun.")),
+      queue_wait_seconds_(&opt.metrics->histogram(
+          "parsec_serve_queue_wait_seconds",
+          "Time a request spent queued before a worker dequeued it.",
+          obs::default_latency_buckets_seconds())),
+      queue_depth_gauge_(&opt.metrics->gauge(
+          "parsec_serve_queue_depth",
+          "Requests waiting in the pool queue (sampled at record/stats).")),
+      start_(clock::now()) {
   pool_ = std::make_unique<ThreadPool>(opt.threads, opt.queue_capacity);
   scratch_.resize(static_cast<std::size_t>(pool_->num_threads()));
 }
@@ -48,6 +64,7 @@ std::future<ParseResponse> ParseService::submit(ParseRequest req) {
   if (!posted) {
     // Shutdown raced the submission; the lambda was dropped, but we
     // still hold the promise — satisfy the future inline.
+    rejected_at_submit_total_->inc();
     {
       std::lock_guard lock(stats_mutex_);
       ++rejected_at_submit_;
@@ -73,6 +90,7 @@ void ParseService::submit(ParseRequest req, Callback cb) {
   if (!posted) {
     ParseResponse resp;
     resp.status = RequestStatus::ShuttingDown;
+    rejected_at_submit_total_->inc();
     {
       std::lock_guard lock(stats_mutex_);
       ++rejected_at_submit_;
@@ -144,6 +162,11 @@ void ParseService::run_request(int worker, ParseRequest req,
 void ParseService::record(const ParseRequest& req, const ParseResponse& resp,
                           const engine::BackendStats& delta) {
   const double total_seconds = resp.queue_seconds + resp.parse_seconds;
+  // Registry updates first: lock-free, outside the stats mutex.
+  publisher_.publish(req.backend, delta, total_seconds);
+  if (resp.status == RequestStatus::Timeout) timeouts_total_->inc();
+  queue_wait_seconds_->observe(resp.queue_seconds);
+  queue_depth_gauge_->set(static_cast<double>(pool_->queue_depth()));
   std::lock_guard lock(stats_mutex_);
   ++completed_;
   if (resp.accepted) ++accepted_;
@@ -151,6 +174,11 @@ void ParseService::record(const ParseRequest& req, const ParseResponse& resp,
   latency_.add(total_seconds);
   quantiles_.add(total_seconds);
   backend_stats_[static_cast<std::size_t>(req.backend)] += delta;
+}
+
+std::string ParseService::metrics_text() const {
+  queue_depth_gauge_->set(static_cast<double>(pool_->queue_depth()));
+  return opt_.metrics->scrape();
 }
 
 ServiceStats ParseService::stats() const {

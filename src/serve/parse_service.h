@@ -34,6 +34,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "parsec/backend.h"
 #include "serve/thread_pool.h"
 #include "util/stats.h"
@@ -102,6 +103,12 @@ class ParseService {
     /// OpenMP engine at one thread per request (no nested teams) and
     /// the MasPar engine at fixpoint filtering (bit-identical results).
     engine::EngineSetOptions engines;
+    /// Metrics registry the service publishes into (request counters,
+    /// latency histograms, per-backend cost counters — the name/label
+    /// reference is docs/OBSERVABILITY.md).  Defaults to the
+    /// process-wide registry; tests inject their own for isolation.
+    /// Must outlive the service.
+    obs::Registry* metrics = &obs::Registry::global();
   };
 
   using Callback = std::function<void(ParseResponse)>;
@@ -137,6 +144,13 @@ class ParseService {
 
   ServiceStats stats() const;
 
+  /// Prometheus text exposition of the service's registry (the one
+  /// Options::metrics pointed at): everything `stats()` reports as a
+  /// struct, in scrapeable form.  Thread-safe; may run concurrently
+  /// with in-flight requests (counter/sum skew of the in-flight
+  /// observations is possible, torn values are not).
+  std::string metrics_text() const;
+
   const cdg::Grammar& grammar() const { return engines_.grammar(); }
   int threads() const { return pool_->num_threads(); }
 
@@ -157,6 +171,16 @@ class ParseService {
 
   engine::EngineSet engines_;
   Options opt_;
+  /// Handles into opt_.metrics, resolved once at construction; updates
+  /// in record() are lock-free (see obs/metrics.h).  The queue-depth
+  /// gauge is refreshed on record()/stats() rather than registered as a
+  /// scrape-time callback so the registry never holds a callback into a
+  /// destroyed service.
+  engine::StatsPublisher publisher_;
+  obs::Counter* timeouts_total_;
+  obs::Counter* rejected_at_submit_total_;
+  obs::Histogram* queue_wait_seconds_;
+  obs::Gauge* queue_depth_gauge_;
   std::chrono::steady_clock::time_point start_;
   std::vector<WorkerScratch> scratch_;
   std::unique_ptr<ThreadPool> pool_;  // last member: dies first

@@ -1,0 +1,207 @@
+// Registry merge/scrape correctness, histogram bucketing, Prometheus
+// text-format checks, and the StatsPublisher metric families.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "parsec/backend.h"
+
+namespace parsec::obs {
+namespace {
+
+TEST(Counter, MergesStripesAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncsPerThread; ++i) c.inc();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+}
+
+TEST(Counter, IncByAmount) {
+  Counter c;
+  c.inc(5);
+  c.inc(7);
+  EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Histogram, BucketBoundariesAreLeInclusive) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);  // bucket le=1
+  h.observe(1.0);  // bucket le=1 (inclusive upper bound)
+  h.observe(1.5);  // bucket le=2
+  h.observe(10.0); // +Inf bucket
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);  // 3 bounds + the implicit +Inf
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 0u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 10.0);
+}
+
+TEST(Histogram, MergesObservationsAcrossThreads) {
+  Histogram h({1.0});
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObsPerThread; ++i) h.observe(0.5);
+    });
+  for (auto& t : threads) t.join();
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kObsPerThread);
+  EXPECT_EQ(s.buckets[0], s.count);
+  EXPECT_NEAR(s.sum, 0.5 * static_cast<double>(s.count), 1e-6);
+}
+
+TEST(Registry, SameNameAndLabelsReturnsSameHandle) {
+  Registry reg;
+  Counter& a = reg.counter("x_total", "help", {{"k", "v"}});
+  Counter& b = reg.counter("x_total", "help", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.counter("x_total", "help", {{"k", "other"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(Registry, TypeConflictThrows) {
+  Registry reg;
+  reg.counter("x_total", "help");
+  EXPECT_THROW(reg.gauge("x_total", "help"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x_total", "help", {1.0}), std::logic_error);
+}
+
+TEST(Registry, PrometheusExpositionFormat) {
+  Registry reg;
+  reg.counter("requests_total", "Requests.", {{"backend", "serial"}}).inc(3);
+  reg.gauge("depth", "Queue depth.").set(2.0);
+  Histogram& h =
+      reg.histogram("latency_seconds", "Latency.", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+  const std::string text = reg.scrape();
+
+  EXPECT_NE(text.find("# HELP requests_total Requests.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{backend=\"serial\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: le="1" includes the le="0.1" observation.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum"), std::string::npos);
+}
+
+TEST(Registry, LabelValuesAreEscaped) {
+  Registry reg;
+  reg.counter("esc_total", "Escapes.", {{"k", "a\"b\\c\nd"}}).inc();
+  const std::string text = reg.scrape();
+  EXPECT_NE(text.find("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Registry, GaugeFnEvaluatedAtScrape) {
+  Registry reg;
+  double depth = 1.0;
+  reg.gauge_fn("live_depth", "Scrape-time gauge.", [&depth] { return depth; });
+  EXPECT_NE(reg.scrape().find("live_depth 1\n"), std::string::npos);
+  depth = 7.0;
+  EXPECT_NE(reg.scrape().find("live_depth 7\n"), std::string::npos);
+}
+
+TEST(Registry, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(StatsPublisher, PublishesPerBackendFamilies) {
+  Registry reg;
+  engine::StatsPublisher pub(&reg);
+  engine::BackendStats d;
+  d.requests = 1;
+  d.accepted = 1;
+  d.network.unary_evals = 10;
+  d.network.masked_unary_decided = 5;
+  d.network.binary_evals = 4;
+  d.network.masked_binary_pairs = 3;
+  d.network.eliminations = 2;
+  d.consistency_iterations = 6;
+  pub.publish(engine::Backend::Serial, d, 0.01);
+  const std::string text = reg.scrape();
+  EXPECT_NE(
+      text.find(
+          "parsec_requests_total{backend=\"serial\",status=\"ok\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("parsec_effective_unary_evals_total{backend="
+                      "\"serial\"} 15\n"),
+            std::string::npos);
+  // effective binary = binary_evals + 2 * masked_binary_pairs = 10.
+  EXPECT_NE(text.find("parsec_effective_binary_evals_total{backend="
+                      "\"serial\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsec_eliminations_total{backend=\"serial\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("parsec_consistency_iterations_total{backend=\"serial\"} 6\n"),
+      std::string::npos);
+  // Latency histogram observed once for the serial backend.
+  EXPECT_NE(text.find("parsec_parse_duration_seconds_count{backend="
+                      "\"serial\"} 1\n"),
+            std::string::npos);
+  // The calibrated MasPar cost-model constants ride along in every
+  // publisher's registry (scrapes are self-describing).
+  EXPECT_NE(text.find("parsec_maspar_cost_t_instr_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsec_maspar_cost_t_route_seconds"),
+            std::string::npos);
+}
+
+TEST(StatsPublisher, MasparMachineCountersOnlyForMaspar) {
+  Registry reg;
+  engine::StatsPublisher pub(&reg);
+  engine::BackendStats d;
+  d.requests = 1;
+  d.maspar.plural_ops = 100;
+  d.maspar.scan_ops = 20;
+  d.maspar.route_ops = 8;
+  pub.publish(engine::Backend::Serial, d);  // wrong backend: not counted
+  std::string text = reg.scrape();
+  EXPECT_NE(text.find("parsec_maspar_plural_ops_total 0\n"),
+            std::string::npos);
+  pub.publish(engine::Backend::Maspar, d);
+  text = reg.scrape();
+  EXPECT_NE(text.find("parsec_maspar_plural_ops_total 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsec_maspar_scan_ops_total 20\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsec_maspar_route_ops_total 8\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace parsec::obs

@@ -9,8 +9,12 @@
 #include <condition_variable>
 #include <mutex>
 
+#include <string>
+#include <vector>
+
 #include "cdg/parser.h"
 #include "grammars/english_grammar.h"
+#include "obs/metrics.h"
 #include "grammars/sentence_gen.h"
 #include "grammars/toy_grammar.h"
 #include "parsec/backend.h"
@@ -228,6 +232,57 @@ TEST(ParseService, StatsRollUp) {
   std::uint64_t jobs = 0;
   for (const auto& w : s.workers) jobs += w.jobs;
   EXPECT_EQ(jobs, 10u);
+}
+
+TEST(ParseService, MetricsTextExposesRequestAndCostCounters) {
+  auto bundle = grammars::make_toy_grammar();
+  // Isolated registry so counts are exactly this test's traffic.
+  obs::Registry registry;
+  ParseService::Options opt = small_service(2);
+  opt.metrics = &registry;
+  ParseService service(bundle.grammar, opt);
+
+  std::vector<ParseRequest> reqs;
+  for (int i = 0; i < 4; ++i) {
+    ParseRequest r;
+    r.sentence = bundle.tag("The program runs");
+    r.backend = i < 3 ? engine::Backend::Serial : engine::Backend::Maspar;
+    reqs.push_back(std::move(r));
+  }
+  for (auto& resp : service.parse_batch(std::move(reqs)))
+    EXPECT_TRUE(resp.accepted);
+
+  const std::string text = service.metrics_text();
+  EXPECT_NE(
+      text.find(
+          "parsec_requests_total{backend=\"serial\",status=\"ok\"} 3\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find(
+          "parsec_requests_total{backend=\"maspar\",status=\"ok\"} 1\n"),
+      std::string::npos);
+  // The same cost counters stats() reports as a struct, scrapeable:
+  // serial did real constraint evaluation and the MasPar run charged
+  // router scans and ACU broadcasts.
+  const serve::ServiceStats s = service.stats();
+  const auto& serial =
+      s.backends[static_cast<std::size_t>(engine::Backend::Serial)];
+  EXPECT_NE(text.find("parsec_effective_binary_evals_total{backend="
+                      "\"serial\"} " +
+                      std::to_string(serial.network.effective_binary_evals()) +
+                      "\n"),
+            std::string::npos);
+  const auto& maspar =
+      s.backends[static_cast<std::size_t>(engine::Backend::Maspar)];
+  EXPECT_GT(maspar.maspar.scan_ops, 0u);
+  EXPECT_NE(text.find("parsec_maspar_scan_ops_total " +
+                      std::to_string(maspar.maspar.scan_ops) + "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsec_parse_duration_seconds_count{backend="
+                      "\"serial\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("parsec_serve_queue_depth"), std::string::npos);
 }
 
 TEST(NetworkScratch, ReusesSameShapeNetworks) {
