@@ -153,10 +153,56 @@ std::string fmt_double(double v) {
 }  // namespace
 
 void Registry::write_prometheus(std::ostream& os) const {
-  std::lock_guard lock(mu_);
-  for (const auto& [name, fam] : families_) {
-    os << "# HELP " << name << ' ' << fam.help << '\n';
-    os << "# TYPE " << name << ' ';
+  // Snapshot every instrument under the mutex, then render — and
+  // invoke gauge_fn callbacks — after releasing it, so a callback may
+  // touch this registry (register a metric, read another value)
+  // without deadlocking on the non-recursive mu_.
+  struct CellSnap {
+    Labels labels;
+    std::uint64_t count = 0;              // Counter
+    double value = 0.0;                   // Gauge
+    std::function<double()> fn;           // GaugeFn (invoked post-unlock)
+    Histogram::Snapshot hist;             // Histogram
+  };
+  struct FamSnap {
+    std::string name;
+    std::string help;
+    Type type;
+    std::vector<CellSnap> cells;
+  };
+  std::vector<FamSnap> snap;
+  {
+    std::lock_guard lock(mu_);
+    snap.reserve(families_.size());
+    for (const auto& [name, fam] : families_) {
+      FamSnap& f = snap.emplace_back();
+      f.name = name;
+      f.help = fam.help;
+      f.type = fam.type;
+      f.cells.reserve(fam.instruments.size());
+      for (const Instrument& ins : fam.instruments) {
+        CellSnap& c = f.cells.emplace_back();
+        c.labels = ins.labels;
+        switch (fam.type) {
+          case Type::Counter:
+            c.count = ins.counter->value();
+            break;
+          case Type::Gauge:
+            c.value = ins.gauge->value();
+            break;
+          case Type::GaugeFn:
+            c.fn = ins.fn;
+            break;
+          case Type::Histogram:
+            c.hist = ins.histogram->snapshot();
+            break;
+        }
+      }
+    }
+  }
+  for (const FamSnap& fam : snap) {
+    os << "# HELP " << fam.name << ' ' << fam.help << '\n';
+    os << "# TYPE " << fam.name << ' ';
     switch (fam.type) {
       case Type::Counter:
         os << "counter";
@@ -170,41 +216,40 @@ void Registry::write_prometheus(std::ostream& os) const {
         break;
     }
     os << '\n';
-    for (const Instrument& ins : fam.instruments) {
+    for (const CellSnap& c : fam.cells) {
       switch (fam.type) {
         case Type::Counter:
-          os << name;
-          write_labels(os, ins.labels);
-          os << ' ' << ins.counter->value() << '\n';
+          os << fam.name;
+          write_labels(os, c.labels);
+          os << ' ' << c.count << '\n';
           break;
         case Type::Gauge:
-          os << name;
-          write_labels(os, ins.labels);
-          os << ' ' << fmt_double(ins.gauge->value()) << '\n';
+          os << fam.name;
+          write_labels(os, c.labels);
+          os << ' ' << fmt_double(c.value) << '\n';
           break;
         case Type::GaugeFn:
-          os << name;
-          write_labels(os, ins.labels);
-          os << ' ' << fmt_double(ins.fn ? ins.fn() : 0.0) << '\n';
+          os << fam.name;
+          write_labels(os, c.labels);
+          os << ' ' << fmt_double(c.fn ? c.fn() : 0.0) << '\n';
           break;
         case Type::Histogram: {
-          const Histogram::Snapshot snap = ins.histogram->snapshot();
           std::uint64_t cum = 0;
-          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
-            cum += snap.buckets[i];
-            os << name << "_bucket";
-            write_labels(os, ins.labels, "le", fmt_double(snap.bounds[i]));
+          for (std::size_t i = 0; i < c.hist.bounds.size(); ++i) {
+            cum += c.hist.buckets[i];
+            os << fam.name << "_bucket";
+            write_labels(os, c.labels, "le", fmt_double(c.hist.bounds[i]));
             os << ' ' << cum << '\n';
           }
-          os << name << "_bucket";
-          write_labels(os, ins.labels, "le", "+Inf");
-          os << ' ' << snap.count << '\n';
-          os << name << "_sum";
-          write_labels(os, ins.labels);
-          os << ' ' << fmt_double(snap.sum) << '\n';
-          os << name << "_count";
-          write_labels(os, ins.labels);
-          os << ' ' << snap.count << '\n';
+          os << fam.name << "_bucket";
+          write_labels(os, c.labels, "le", "+Inf");
+          os << ' ' << c.hist.count << '\n';
+          os << fam.name << "_sum";
+          write_labels(os, c.labels);
+          os << ' ' << fmt_double(c.hist.sum) << '\n';
+          os << fam.name << "_count";
+          write_labels(os, c.labels);
+          os << ' ' << c.hist.count << '\n';
           break;
         }
       }

@@ -155,6 +155,11 @@ class Registry {
 
   /// Gauge computed at scrape time (queue depth, pool utilization).
   /// Re-registering the same (name, labels) replaces the callback.
+  /// Callbacks run OUTSIDE the registry mutex (scrape copies them
+  /// first), so a callback may safely register metrics or scrape this
+  /// registry; it must tolerate being invoked concurrently from
+  /// multiple scrapers and may outlive-copy: a racing re-registration
+  /// can leave one scrape still running the old callback.
   void gauge_fn(const std::string& name, const std::string& help,
                 std::function<double()> fn, Labels labels = {});
 

@@ -12,11 +12,20 @@ namespace {
 
 std::atomic<TraceSession*> g_active{nullptr};
 
-// Per-thread buffer cache: valid while `session` matches the active
-// session, so a thread resolves its buffer with one pointer compare
+// Generation stamp handed to each TraceSession at construction.  The
+// per-thread buffer cache is keyed on it rather than on the session's
+// address: addresses recycle (a stack session in a loop lands at the
+// same spot every iteration), so a pointer-keyed cache could falsely
+// hit and push events into a destroyed session's freed buffer.
+// Generations never repeat, so a cached entry can only match the
+// session that created it.
+std::atomic<std::uint64_t> g_next_gen{1};
+
+// Per-thread buffer cache: valid while `gen` matches the session's
+// generation, so a thread resolves its buffer with one integer compare
 // after the first span of a session.
 struct ThreadCache {
-  const TraceSession* session = nullptr;
+  std::uint64_t gen = 0;  // 0 never matches a real session
   void* buffer = nullptr;
 };
 thread_local ThreadCache t_cache;
@@ -51,7 +60,9 @@ void write_escaped(std::ostream& os, const char* s) {
 
 }  // namespace
 
-TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {
+TraceSession::TraceSession()
+    : epoch_(std::chrono::steady_clock::now()),
+      gen_(g_next_gen.fetch_add(1, std::memory_order_relaxed)) {
   TraceSession* expected = nullptr;
   const bool installed =
       g_active.compare_exchange_strong(expected, this, std::memory_order_acq_rel);
@@ -70,14 +81,14 @@ TraceSession* TraceSession::active() {
 }
 
 TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
-  if (t_cache.session == this) {
+  if (t_cache.gen == gen_) {
     return static_cast<ThreadBuffer*>(t_cache.buffer);
   }
   std::lock_guard lock(mu_);
   buffers_.push_back(std::make_unique<ThreadBuffer>());
   ThreadBuffer* buf = buffers_.back().get();
   buf->tid = static_cast<std::uint32_t>(buffers_.size());
-  t_cache.session = this;
+  t_cache.gen = gen_;
   t_cache.buffer = buf;
   return buf;
 }

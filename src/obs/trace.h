@@ -117,6 +117,10 @@ class TraceSession {
   }
 
   std::chrono::steady_clock::time_point epoch_;
+  // Unique, never-reused stamp keying the per-thread buffer caches, so
+  // a later session constructed at a recycled address cannot inherit a
+  // cache entry pointing into this session's freed buffers.
+  std::uint64_t gen_;
   mutable std::mutex mu_;  // guards buffers_ (registration + readout)
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };

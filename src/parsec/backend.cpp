@@ -310,12 +310,14 @@ StatsPublisher::StatsPublisher(obs::Registry* registry) {
   for (std::size_t i = 0; i < kNumBackends; ++i) {
     const std::string be = to_string(kAllBackends[i]);
     PerBackend& p = per_backend_[i];
-    p.requests = &reg.counter("parsec_requests_total",
-                              "Parse requests completed, by outcome.",
-                              {{"backend", be}, {"status", "ok"}});
+    // `status` values are disjoint — every completed request lands in
+    // exactly one — so sum(parsec_requests_total) aggregates correctly.
     p.accepted = &reg.counter("parsec_requests_total",
                               "Parse requests completed, by outcome.",
                               {{"backend", be}, {"status", "accepted"}});
+    p.rejected = &reg.counter("parsec_requests_total",
+                              "Parse requests completed, by outcome.",
+                              {{"backend", be}, {"status", "rejected"}});
     p.cancelled = &reg.counter("parsec_requests_total",
                                "Parse requests completed, by outcome.",
                                {{"backend", be}, {"status", "cancelled"}});
@@ -388,9 +390,12 @@ StatsPublisher::StatsPublisher(obs::Registry* registry) {
 void StatsPublisher::publish(Backend b, const BackendStats& delta,
                              double seconds) {
   PerBackend& p = per_backend_[static_cast<std::size_t>(b)];
-  p.requests->inc(delta.requests);
+  // accepted and cancelled are mutually exclusive (a cancelled run
+  // never reports accepted); whatever remains was parsed to rejection.
+  const std::uint64_t resolved = delta.accepted + delta.cancelled;
   p.accepted->inc(delta.accepted);
   p.cancelled->inc(delta.cancelled);
+  p.rejected->inc(delta.requests > resolved ? delta.requests - resolved : 0);
   p.effective_unary_evals->inc(delta.network.effective_unary_evals());
   p.effective_binary_evals->inc(delta.network.effective_binary_evals());
   p.masked_binary_pairs->inc(delta.network.masked_binary_pairs);

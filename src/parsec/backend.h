@@ -195,8 +195,10 @@ class StatsPublisher {
 
  private:
   struct PerBackend {
-    obs::Counter* requests;
+    // Disjoint outcomes of parsec_requests_total{status=...}: every
+    // completed request increments exactly one.
     obs::Counter* accepted;
+    obs::Counter* rejected;
     obs::Counter* cancelled;
     obs::Counter* effective_unary_evals;
     obs::Counter* effective_binary_evals;

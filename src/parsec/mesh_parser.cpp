@@ -155,6 +155,7 @@ TopoResult TopologyParser::parse(Network& net) const {
   {
     obs::Span span("mesh.filter");
     const std::uint64_t steps_before = r.time_steps;
+    const std::uint64_t reductions_before = r.reduction_steps;
     while (filter_iterations_ < 0 || iters < filter_iterations_) {
       ++iters;
       charge_elem(arc_elems);
@@ -178,7 +179,7 @@ TopoResult TopologyParser::parse(Network& net) const {
     }
     span.arg("iterations", iters);
     span.arg("time_steps", r.time_steps - steps_before);
-    span.arg("reduction_steps", r.reduction_steps);
+    span.arg("reduction_steps", r.reduction_steps - reductions_before);
   }
   r.consistency_iterations = iters;
   charge_reduce();  // acceptance AND over roles

@@ -135,6 +135,25 @@ TEST(Registry, GaugeFnEvaluatedAtScrape) {
   EXPECT_NE(reg.scrape().find("live_depth 7\n"), std::string::npos);
 }
 
+// Scrape copies gauge_fn callbacks and runs them after releasing the
+// registry mutex, so a callback may itself use the registry (register
+// a metric, read another value) without deadlocking.
+TEST(Registry, GaugeFnMayTouchRegistryDuringScrape) {
+  Registry reg;
+  Counter& seen = reg.counter("scrapes_seen_total", "Scrapes observed.");
+  reg.gauge_fn("reentrant_depth", "Callback that touches the registry.",
+               [&reg, &seen] {
+                 seen.inc();
+                 reg.counter("registered_from_callback_total",
+                             "Registered mid-scrape.");
+                 return static_cast<double>(seen.value());
+               });
+  const std::string text = reg.scrape();
+  EXPECT_NE(text.find("reentrant_depth 1\n"), std::string::npos) << text;
+  EXPECT_NE(reg.scrape().find("registered_from_callback_total 0\n"),
+            std::string::npos);
+}
+
 TEST(Registry, GlobalIsSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }
@@ -155,7 +174,7 @@ TEST(StatsPublisher, PublishesPerBackendFamilies) {
   const std::string text = reg.scrape();
   EXPECT_NE(
       text.find(
-          "parsec_requests_total{backend=\"serial\",status=\"ok\"} 1\n"),
+          "parsec_requests_total{backend=\"serial\",status=\"accepted\"} 1\n"),
       std::string::npos);
   EXPECT_NE(text.find("parsec_effective_unary_evals_total{backend="
                       "\"serial\"} 15\n"),

@@ -198,6 +198,21 @@ TEST(Trace, ActiveFollowsSessionLifetime) {
   EXPECT_FALSE(after.active());
 }
 
+// Regression: the per-thread buffer cache must not survive a session's
+// destruction.  Sequential stack sessions typically land at the same
+// address, so an address-keyed cache would falsely hit and push spans
+// into the destroyed session's freed buffers (use-after-free) while
+// the live session recorded nothing.  Generation keying makes every
+// session a cache miss on its first span.
+TEST(Trace, SequentialSessionsAtSameAddressRecordIndependently) {
+  if constexpr (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
+  for (int i = 0; i < 3; ++i) {
+    TraceSession session;
+    { Span s("reuse.span"); }
+    EXPECT_EQ(session.span_count(), 1u) << "iteration " << i;
+  }
+}
+
 TEST(Trace, ThreadsRecordIntoSeparateBuffers) {
   if constexpr (!kTracingCompiled) GTEST_SKIP() << "tracing compiled out";
   TraceSession session;

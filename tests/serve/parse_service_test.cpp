@@ -255,12 +255,12 @@ TEST(ParseService, MetricsTextExposesRequestAndCostCounters) {
   const std::string text = service.metrics_text();
   EXPECT_NE(
       text.find(
-          "parsec_requests_total{backend=\"serial\",status=\"ok\"} 3\n"),
+          "parsec_requests_total{backend=\"serial\",status=\"accepted\"} 3\n"),
       std::string::npos)
       << text;
   EXPECT_NE(
       text.find(
-          "parsec_requests_total{backend=\"maspar\",status=\"ok\"} 1\n"),
+          "parsec_requests_total{backend=\"maspar\",status=\"accepted\"} 1\n"),
       std::string::npos);
   // The same cost counters stats() reports as a struct, scrapeable:
   // serial did real constraint evaluation and the MasPar run charged
