@@ -13,11 +13,21 @@
 //                    [--threads T1,T2,...] [--batch B]
 //                    [--backend serial|omp|pram|maspar] [--json PATH]
 //                    [--metrics-out PATH] [--trace-out PATH]
+//                    [--fault-plan PATH] [--shed-load]
+//                    [--resilience-out PATH]
 //
 // --metrics-out writes a Prometheus text scrape of everything the
 // services published; --trace-out records one fully traced parse
 // (factoring, mask build, AC-4 fixpoint, extraction) as Chrome
 // trace-event JSON, openable in Perfetto / chrome://tracing.
+//
+// --fault-plan installs a resil::FaultPlan (docs/ROBUSTNESS.md text
+// format) for the whole run: the chaos-smoke CI job replays a seeded
+// plan and asserts zero crashes, structured statuses, and Ok-response
+// bit-identity.  --shed-load turns on ParseService admission control
+// (queue overflow answers Overloaded instead of blocking).
+// --resilience-out sweeps injected fault rates (0%, 1%, 5%) across a
+// mixed-backend workload and writes goodput/p99 per rate.
 //
 // Exits nonzero only on a correctness (bit-identity) failure; speedup
 // is reported, not asserted, so low-core CI boxes stay green.
@@ -25,11 +35,15 @@
 #include <iostream>
 #include <sstream>
 
+#include <memory>
+#include <optional>
+
 #include "bench_common.h"
 #include "cdg/extract.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parsec/backend.h"
+#include "resil/fault_plan.h"
 #include "serve/parse_service.h"
 #include "serve/report.h"
 #include "util/table.h"
@@ -45,8 +59,11 @@ struct Config {
   std::size_t batch = 32;
   engine::Backend backend = engine::Backend::Serial;
   std::string json_path = "BENCH_throughput.json";
-  std::string metrics_path;  // empty = no scrape
-  std::string trace_path;    // empty = no trace
+  std::string metrics_path;     // empty = no scrape
+  std::string trace_path;       // empty = no trace
+  std::string fault_plan_path;  // empty = no injected faults
+  bool shed_load = false;
+  std::string resilience_path;  // empty = no fault-rate sweep
 };
 
 std::vector<int> parse_int_list(const std::string& s) {
@@ -90,10 +107,18 @@ int main(int argc, char** argv) {
       cfg.metrics_path = next();
     else if (arg == "--trace-out")
       cfg.trace_path = next();
+    else if (arg == "--fault-plan")
+      cfg.fault_plan_path = next();
+    else if (arg == "--shed-load")
+      cfg.shed_load = true;
+    else if (arg == "--resilience-out")
+      cfg.resilience_path = next();
     else {
       std::cerr << "usage: bench_throughput [--sentences N] [--lo L] [--hi H]"
                    " [--threads T1,T2,...] [--batch B] [--backend NAME]"
-                   " [--json PATH] [--metrics-out PATH] [--trace-out PATH]\n";
+                   " [--json PATH] [--metrics-out PATH] [--trace-out PATH]"
+                   " [--fault-plan PATH] [--shed-load]"
+                   " [--resilience-out PATH]\n";
       return 2;
     }
   }
@@ -126,27 +151,51 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Seeded chaos mode: install the plan for the whole sweep.  The
+  // service degrades injected faults to structured statuses; the
+  // bit-identity contract then applies to every Ok response.
+  std::optional<resil::FaultPlan> fault_plan;
+  std::unique_ptr<resil::ScopedFaultPlan> fault_scope;
+  if (!cfg.fault_plan_path.empty()) {
+    try {
+      fault_plan = resil::FaultPlan::load(cfg.fault_plan_path);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bench_throughput: " << e.what() << "\n";
+      return 2;
+    }
+    fault_scope = std::make_unique<resil::ScopedFaultPlan>(*fault_plan);
+  }
+
   std::cout
       << "=============================================================\n"
       << "Throughput: batched ParseService vs single-thread, backend "
       << engine::to_string(cfg.backend) << "\n"
       << cfg.sentences << " English sentences, lengths " << cfg.lo << ".."
-      << cfg.hi << ", batch size " << cfg.batch << "\n"
+      << cfg.hi << ", batch size " << cfg.batch << "\n";
+  if (fault_plan)
+    std::cout << "fault plan: " << cfg.fault_plan_path << " (seed "
+              << fault_plan->seed() << ")"
+              << (cfg.shed_load ? ", shedding load" : "") << "\n";
+  std::cout
       << "=============================================================\n\n";
 
-  util::Table table({"threads", "wall s", "sent/s", "speedup", "p50 ms",
-                     "p95 ms", "p99 ms", "bit-identical"});
+  util::Table table({"threads", "wall s", "sent/s", "ok/s", "speedup",
+                     "p50 ms", "p95 ms", "p99 ms", "bit-identical"});
   std::vector<serve::ThroughputRow> rows;
   bool all_identical = true;
+  bool all_structured = true;
   double single_thread_sps = 0.0;
 
   for (int threads : cfg.threads) {
     serve::ParseService::Options opt;
     opt.threads = threads;
     opt.queue_capacity = std::max<std::size_t>(cfg.batch * 2, 64);
+    opt.shed_load = cfg.shed_load;
     serve::ParseService service(bundle.grammar, opt);
 
     std::vector<std::uint64_t> hashes(workload.size(), 0);
+    std::vector<serve::RequestStatus> statuses(workload.size(),
+                                               serve::RequestStatus::Ok);
     const double wall = bench::time_host([&] {
       for (std::size_t base = 0; base < workload.size(); base += cfg.batch) {
         const std::size_t end =
@@ -160,17 +209,33 @@ int main(int argc, char** argv) {
           batch.push_back(std::move(r));
         }
         auto responses = service.parse_batch(std::move(batch));
-        for (std::size_t i = base; i < end; ++i)
+        for (std::size_t i = base; i < end; ++i) {
           hashes[i] = responses[i - base].domains_hash;
+          statuses[i] = responses[i - base].status;
+        }
       }
     });
 
     // All backends (maspar included) run filtering to the fixpoint
-    // under the service defaults, so every hash must match serial.
+    // under the service defaults, so every Ok hash must match serial.
+    // Under an installed fault plan some requests degrade to Faulted /
+    // Overloaded — structured statuses, never corrupted results.
     bool identical = true;
-    for (std::size_t i = 0; i < workload.size(); ++i)
-      if (hashes[i] != reference[i]) identical = false;
+    std::uint64_t ok_count = 0;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      if (statuses[i] == serve::RequestStatus::Ok) {
+        ++ok_count;
+        if (hashes[i] != reference[i]) identical = false;
+      } else if (statuses[i] != serve::RequestStatus::Faulted &&
+                 statuses[i] != serve::RequestStatus::Overloaded &&
+                 statuses[i] != serve::RequestStatus::Timeout) {
+        all_structured = false;
+      }
+    }
+    if (!fault_plan && !cfg.shed_load && ok_count != workload.size())
+      identical = false;  // fault-free runs must answer everything Ok
     all_identical = all_identical && identical;
+    const double goodput = static_cast<double>(ok_count) / wall;
 
     serve::ThroughputRow row;
     row.threads = threads;
@@ -188,6 +253,7 @@ int main(int argc, char** argv) {
 
     table.add_row({std::to_string(threads), bench::fmt(wall, "%.3f"),
                    bench::fmt(row.throughput_sps, "%.1f"),
+                   bench::fmt(goodput, "%.1f"),
                    bench::fmt(row.speedup, "%.2f"),
                    bench::fmt(row.stats.latency_p50_ms, "%.2f"),
                    bench::fmt(row.stats.latency_p95_ms, "%.2f"),
@@ -246,8 +312,102 @@ int main(int argc, char** argv) {
               << " spans)\n";
   }
 
-  if (!all_identical) {
-    std::cout << "verdict: BIT-IDENTITY FAILURE\n";
+  if (fault_plan) {
+    std::cout << "\nfault plan fired " << fault_plan->total_fires()
+              << " time(s):\n";
+    for (const auto& site : fault_plan->sites())
+      std::cout << "  " << site << ": " << fault_plan->fires(site) << "/"
+                << fault_plan->queries(site) << " queries\n";
+  }
+
+  // Fault-rate sweep: goodput and p99 under 0%, 1%, 5% injected fault
+  // rates on a mixed-backend workload (every request exercises the
+  // site its backend owns; faulted requests fall back on Serial).
+  if (!cfg.resilience_path.empty()) {
+    // The sweep installs its own plans; release the CLI-provided one.
+    fault_scope.reset();
+    std::cout << "\nresilience sweep (mixed backends, " << cfg.sentences
+              << " sentences):\n";
+    util::Table rtable({"fault rate", "wall s", "sent/s", "ok/s", "faulted",
+                        "fallbacks", "p99 ms"});
+    std::ofstream rjson(cfg.resilience_path);
+    rjson << "{\n  \"workload\": \"" << workload_desc.str()
+          << " mixed-backends\",\n  \"rates\": [\n";
+    const double kRates[] = {0.0, 0.01, 0.05};
+    bool sweep_identical = true;
+    for (std::size_t ri = 0; ri < std::size(kRates); ++ri) {
+      const double rate = kRates[ri];
+      resil::FaultPlan plan(bench::kSeed);
+      if (rate > 0.0) {
+        resil::FaultSpec fault;
+        fault.probability = rate;
+        plan.arm("arena.alloc", fault);
+        plan.arm("maspar.router", fault);
+        resil::FaultSpec latency;
+        latency.probability = rate;
+        latency.param = 0.0002;  // 200us per hit
+        plan.arm("engine.latency", latency);
+      }
+      resil::ScopedFaultPlan scope(plan);
+      serve::ParseService::Options opt;
+      opt.threads = cfg.threads.back();
+      opt.queue_capacity = std::max<std::size_t>(cfg.batch * 2, 64);
+      serve::ParseService service(bundle.grammar, opt);
+      std::uint64_t ok_count = 0;
+      const double wall = bench::time_host([&] {
+        for (std::size_t base = 0; base < workload.size();
+             base += cfg.batch) {
+          const std::size_t end =
+              std::min(base + cfg.batch, workload.size());
+          std::vector<serve::ParseRequest> batch;
+          for (std::size_t i = base; i < end; ++i) {
+            serve::ParseRequest r;
+            r.sentence = workload[i];
+            r.backend = engine::kAllBackends[i % engine::kNumBackends];
+            batch.push_back(std::move(r));
+          }
+          auto responses = service.parse_batch(std::move(batch));
+          for (std::size_t i = base; i < end; ++i) {
+            if (responses[i - base].status == serve::RequestStatus::Ok) {
+              ++ok_count;
+              if (responses[i - base].domains_hash != reference[i])
+                sweep_identical = false;
+            }
+          }
+        }
+      });
+      const serve::ServiceStats s = service.stats();
+      const double goodput = static_cast<double>(ok_count) / wall;
+      rtable.add_row({bench::fmt(rate * 100.0, "%.0f%%"),
+                      bench::fmt(wall, "%.3f"),
+                      bench::fmt(static_cast<double>(workload.size()) / wall,
+                                 "%.1f"),
+                      bench::fmt(goodput, "%.1f"),
+                      std::to_string(s.faulted),
+                      std::to_string(s.fallback_retries),
+                      bench::fmt(s.latency_p99_ms, "%.2f")});
+      rjson << "    {\"fault_rate\": " << rate
+            << ", \"wall_seconds\": " << wall
+            << ", \"throughput_sps\": "
+            << static_cast<double>(workload.size()) / wall
+            << ", \"goodput_sps\": " << goodput
+            << ", \"ok\": " << ok_count << ", \"faulted\": " << s.faulted
+            << ", \"fallback_retries\": " << s.fallback_retries
+            << ", \"fallback_ok\": " << s.fallback_ok
+            << ", \"breaker_trips\": " << s.breaker_trips
+            << ", \"latency_p99_ms\": " << s.latency_p99_ms
+            << ", \"injected_fires\": " << plan.total_fires() << "}"
+            << (ri + 1 < std::size(kRates) ? "," : "") << "\n";
+    }
+    rjson << "  ]\n}\n";
+    rtable.print(std::cout);
+    std::cout << "resilience report: " << cfg.resilience_path << "\n";
+    all_identical = all_identical && sweep_identical;
+  }
+
+  if (!all_identical || !all_structured) {
+    std::cout << (all_identical ? "verdict: UNSTRUCTURED STATUS\n"
+                                : "verdict: BIT-IDENTITY FAILURE\n");
     return 1;
   }
   std::cout << "verdict: batched results bit-identical to serial\n";

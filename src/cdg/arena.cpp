@@ -1,5 +1,7 @@
 #include "cdg/arena.h"
 
+#include "resil/fault_plan.h"
+
 namespace parsec::cdg {
 
 namespace {
@@ -44,6 +46,12 @@ void NetworkArena::reshape(int roles, int domain_size,
   const std::size_t total = support_off_ + support_w;
 
   if (total > buf_.capacity()) {
+    // `arena.alloc` fault site: models the backing allocation failing
+    // (the serve layer degrades it to RequestStatus::Faulted).  Only
+    // genuine growth consults the site — same-shape reinits never
+    // allocate and so can never fault here.
+    if (resil::should_fire("arena.alloc"))
+      throw resil::InjectedFault("arena: injected allocation failure");
     buf_.reserve(total);
     ++allocations_;
   }

@@ -1,6 +1,7 @@
 #include "cdg/parser.h"
 
 #include "obs/trace.h"
+#include "resil/fault_plan.h"
 
 namespace parsec::cdg {
 
@@ -61,7 +62,9 @@ int SequentialParser::run_binary(Network& net) const {
 }
 
 ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const {
-  const bool cancellable = static_cast<bool>(cancel);
+  // resil::checkpoint both polls `cancel` and hosts the engine
+  // latency/hang fault sites, so the serial backend degrades the same
+  // way the parallel ones do.
   auto cancelled = [&](ParseResult& r) {
     r.cancelled = true;
     r.accepted = false;
@@ -74,7 +77,7 @@ ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const 
     obs::Span span("serial.unary");
     const NetworkCounters before = net.counters();
     for (std::size_t i = 0; i < unary_.size(); ++i) {
-      if (cancellable && cancel()) return cancelled(r);
+      if (resil::checkpoint(cancel)) return cancelled(r);
       step_unary(net, i);
     }
     attach_counter_delta(span, before, net.counters());
@@ -83,7 +86,7 @@ ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const 
     obs::Span span("serial.binary");
     const NetworkCounters before = net.counters();
     for (std::size_t i = 0; i < binary_.size(); ++i) {
-      if (cancellable && cancel()) return cancelled(r);
+      if (resil::checkpoint(cancel)) return cancelled(r);
       step_binary(net, i);
       if (opt_.consistency_after_each_binary) net.consistency_step();
     }
@@ -95,7 +98,7 @@ ParseResult SequentialParser::parse(Network& net, const CancelFn& cancel) const 
     obs::Span span("serial.filter");
     const NetworkCounters before = net.counters();
     while (opt_.filter_sweeps < 0 || sweeps < opt_.filter_sweeps) {
-      if (cancellable && cancel()) return cancelled(r);
+      if (resil::checkpoint(cancel)) return cancelled(r);
       if (net.consistency_step() == 0) break;
       ++sweeps;
     }

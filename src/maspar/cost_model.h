@@ -38,8 +38,11 @@ struct CostModel {
   double seconds(const MachineStats& stats, int virtual_pes,
                  int physical_pes) const;
 
+  /// Dead PEs (injected hardware faults) shrink the folding target, so
+  /// a degraded array costs more simulated time for the same op counts
+  /// — the MP-1's remap-around-faults behaviour made observable.
   double seconds(const Machine& m) const {
-    return seconds(m.stats(), m.size(), m.physical());
+    return seconds(m.stats(), m.size(), m.alive_physical());
   }
 
   /// The calibrated MP-1 model used by every benchmark.

@@ -1,18 +1,53 @@
 #include "maspar/machine.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "resil/fault_plan.h"
 
 namespace parsec::maspar {
 
 Machine::Machine(int virtual_pes, int physical_pes)
-    : vpes_(virtual_pes), ppes_(physical_pes) {
+    : vpes_(virtual_pes), ppes_(physical_pes), alive_ppes_(physical_pes) {
   if (virtual_pes <= 0) throw std::invalid_argument("need at least one PE");
   if (physical_pes <= 0)
     throw std::invalid_argument("need at least one physical PE");
+  // `maspar.dead_pe` fault site: each physical PE is queried once; a
+  // fire marks it dead and its virtual load folds onto the survivors
+  // (MP-1 hardware fault tolerance — disable and remap).  An array with
+  // no survivors cannot run at all.
+  if (resil::installed_plan() != nullptr) {
+    int dead = 0;
+    for (int pe = 0; pe < ppes_; ++pe)
+      if (resil::should_fire("maspar.dead_pe")) ++dead;
+    alive_ppes_ = ppes_ - dead;
+    stats_.dead_pes = static_cast<std::uint64_t>(dead);
+    if (alive_ppes_ <= 0)
+      throw resil::InjectedFault("maspar: all " + std::to_string(ppes_) +
+                                 " physical PEs dead");
+  }
   enable_.assign(static_cast<std::size_t>(vpes_), 1);
 }
 
-int Machine::virt_factor() const { return (vpes_ + ppes_ - 1) / ppes_; }
+int Machine::virt_factor() const {
+  return (vpes_ + alive_ppes_ - 1) / alive_ppes_;
+}
+
+void Machine::charge_scan() {
+  ++stats_.scan_ops;
+  while (resil::should_fire("maspar.router")) {
+    ++stats_.scan_ops;  // detected fault: the scan is repeated
+    ++stats_.router_retries;
+  }
+}
+
+void Machine::charge_route() {
+  ++stats_.route_ops;
+  while (resil::should_fire("maspar.router")) {
+    ++stats_.route_ops;  // detected fault: the gather is repeated
+    ++stats_.router_retries;
+  }
+}
 
 int Machine::grid_side() const {
   int side = 1;
@@ -41,7 +76,7 @@ std::vector<std::uint8_t> Machine::seg_scan(const std::vector<std::uint8_t>& v,
   if (static_cast<int>(v.size()) != vpes_ ||
       static_cast<int>(seg.size()) != vpes_)
     throw std::invalid_argument("seg scan size mismatch");
-  ++stats_.scan_ops;
+  charge_scan();
   std::vector<std::uint8_t> out(v.size(), identity);
   int pe = 0;
   while (pe < vpes_) {

@@ -34,6 +34,12 @@ struct MachineStats {
   std::uint64_t route_ops = 0;
   std::uint64_t xnet_ops = 0;  // nearest-neighbour shifts (X-Net)
   std::uint64_t acu_ops = 0;
+  /// Physical PEs disabled at construction (`maspar.dead_pe` fault
+  /// site); surviving PEs absorb their virtual load via virt_factor.
+  std::uint64_t dead_pes = 0;
+  /// Detected-and-retried router transmissions (`maspar.router` fault
+  /// site); each retry re-charges the scan or gather it repeats.
+  std::uint64_t router_retries = 0;
 
   MachineStats& operator+=(const MachineStats& o) {
     plural_ops += o.plural_ops;
@@ -41,6 +47,8 @@ struct MachineStats {
     route_ops += o.route_ops;
     xnet_ops += o.xnet_ops;
     acu_ops += o.acu_ops;
+    dead_pes += o.dead_pes;
+    router_retries += o.router_retries;
     return *this;
   }
 };
@@ -57,7 +65,15 @@ class Machine {
 
   int size() const { return vpes_; }
   int physical() const { return ppes_; }
-  /// ceil(V / P): how many virtual PEs each physical PE emulates.
+  /// Physical PEs that survived construction.  The `maspar.dead_pe`
+  /// fault site disables PEs the way MP-1 hardware fault tolerance did
+  /// [MasPar System Overview, 1990]: the array keeps running, the dead
+  /// PEs' virtual load folds onto the survivors (higher virt_factor,
+  /// identical results).  Construction throws resil::InjectedFault if
+  /// no PE survives.
+  int alive_physical() const { return alive_ppes_; }
+  /// ceil(V / alive P): how many virtual PEs each surviving physical PE
+  /// emulates.  Equals ceil(V/P) when no PEs are dead.
   int virt_factor() const;
 
   // ---- enable mask (MPL plural-if semantics) --------------------------
@@ -153,7 +169,7 @@ class Machine {
   template <typename T>
   std::vector<T> gather(const std::vector<T>& v,
                         const std::vector<int>& from) {
-    ++stats_.route_ops;
+    charge_route();
     std::vector<T> out(v.size());
     for (int pe = 0; pe < vpes_; ++pe)
       if (enable_[pe]) out[pe] = v[from[pe]];
@@ -161,7 +177,10 @@ class Machine {
   }
 
   const MachineStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MachineStats{}; }
+  void reset_stats() {
+    stats_ = MachineStats{};
+    stats_.dead_pes = static_cast<std::uint64_t>(ppes_ - alive_ppes_);
+  }
 
  private:
   template <typename Op>
@@ -169,8 +188,16 @@ class Machine {
                                      const std::vector<int>& seg,
                                      std::uint8_t identity, Op op);
 
+  // Charge one scan/gather, consulting the `maspar.router` fault site:
+  // a fault is detected and the transmission retried, so the op is
+  // charged again and router_retries incremented — results unchanged.
+  // Out-of-line so the resil dependency stays out of this header.
+  void charge_scan();
+  void charge_route();
+
   int vpes_;
   int ppes_;
+  int alive_ppes_;
   std::vector<std::uint8_t> enable_;
   std::vector<std::vector<std::uint8_t>> enable_stack_;
   MachineStats stats_;

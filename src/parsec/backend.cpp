@@ -38,6 +38,7 @@ BackendStats& BackendStats::operator+=(const BackendStats& o) {
   requests += o.requests;
   accepted += o.accepted;
   cancelled += o.cancelled;
+  faulted += o.faulted;
   network += o.network;
   consistency_iterations += o.consistency_iterations;
   pram.time_steps += o.pram.time_steps;
@@ -202,9 +203,8 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
   BackendRun run;
   run.stats.requests = 1;
 
-  // Non-serial backends have no mid-parse poll; refuse up front rather
-  // than blow a deadline that has already passed.
-  if (cancel && b != Backend::Serial && cancel()) {
+  // A deadline that has already passed: refuse before any engine work.
+  if (cancel && cancel()) {
     run.cancelled = true;
     run.stats.cancelled = 1;
     return run;
@@ -213,7 +213,8 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
   if (b == Backend::Maspar) {
     // The MasPar engine owns its PE-resident state; no host network.
     std::unique_ptr<MasparParse> parse;
-    MasparResult r = engines.maspar().parse(s, parse);
+    MasparResult r = engines.maspar().parse(s, parse, cancel);
+    run.cancelled = r.cancelled;
     run.accepted = r.accepted;
     run.stats.consistency_iterations +=
         static_cast<std::uint64_t>(r.consistency_iterations);
@@ -225,6 +226,7 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
     run.domains_hash = hash_domains(domains);
     if (capture_domains) run.domains = std::move(domains);
     run.stats.accepted = run.accepted ? 1 : 0;
+    run.stats.cancelled = run.cancelled ? 1 : 0;
     return run;
   }
 
@@ -269,14 +271,16 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
       break;
     }
     case Backend::Omp: {
-      OmpResult r = engines.omp().parse(net);
+      OmpResult r = engines.omp().parse(net, cancel);
+      run.cancelled = r.cancelled;
       run.accepted = r.accepted;
       run.stats.consistency_iterations +=
           static_cast<std::uint64_t>(r.consistency_iterations);
       break;
     }
     case Backend::Pram: {
-      PramResult r = engines.pram().parse(net);
+      PramResult r = engines.pram().parse(net, cancel);
+      run.cancelled = r.cancelled;
       run.accepted = r.accepted;
       run.stats.consistency_iterations +=
           static_cast<std::uint64_t>(r.consistency_iterations);
@@ -284,7 +288,8 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
       break;
     }
     case Backend::Mesh: {
-      TopoResult r = engines.mesh().parse(net);
+      TopoResult r = engines.mesh().parse(net, cancel);
+      run.cancelled = r.cancelled;
       run.accepted = r.accepted;
       run.stats.consistency_iterations +=
           static_cast<std::uint64_t>(r.consistency_iterations);
@@ -321,6 +326,9 @@ StatsPublisher::StatsPublisher(obs::Registry* registry) {
     p.cancelled = &reg.counter("parsec_requests_total",
                                "Parse requests completed, by outcome.",
                                {{"backend", be}, {"status", "cancelled"}});
+    p.faulted = &reg.counter("parsec_requests_total",
+                             "Parse requests completed, by outcome.",
+                             {{"backend", be}, {"status", "faulted"}});
     p.effective_unary_evals = &reg.counter(
         "parsec_effective_unary_evals_total",
         "Unary constraint tests in plain-sweep units (masked decisions "
@@ -390,11 +398,13 @@ StatsPublisher::StatsPublisher(obs::Registry* registry) {
 void StatsPublisher::publish(Backend b, const BackendStats& delta,
                              double seconds) {
   PerBackend& p = per_backend_[static_cast<std::size_t>(b)];
-  // accepted and cancelled are mutually exclusive (a cancelled run
-  // never reports accepted); whatever remains was parsed to rejection.
-  const std::uint64_t resolved = delta.accepted + delta.cancelled;
+  // accepted, cancelled and faulted are mutually exclusive (a run ends
+  // exactly one way); whatever remains was parsed to rejection.
+  const std::uint64_t resolved =
+      delta.accepted + delta.cancelled + delta.faulted;
   p.accepted->inc(delta.accepted);
   p.cancelled->inc(delta.cancelled);
+  p.faulted->inc(delta.faulted);
   p.rejected->inc(delta.requests > resolved ? delta.requests - resolved : 0);
   p.effective_unary_evals->inc(delta.network.effective_unary_evals());
   p.effective_binary_evals->inc(delta.network.effective_binary_evals());

@@ -43,6 +43,10 @@ struct BackendStats {
   std::uint64_t requests = 0;
   std::uint64_t accepted = 0;
   std::uint64_t cancelled = 0;
+  /// Requests that ended in a thrown fault (injected or genuine); the
+  /// serve layer counts the request here when the worker boundary
+  /// degrades the exception to RequestStatus::Faulted.
+  std::uint64_t faulted = 0;
   /// Host network work (serial / omp / pram run on a cdg::Network).
   cdg::NetworkCounters network;
   std::uint64_t consistency_iterations = 0;
@@ -134,8 +138,8 @@ class EngineSet {
 
 /// Outcome of one sentence on one backend.
 struct BackendRun {
-  bool cancelled = false;  // CancelFn fired (serial polls mid-parse;
-                           // the others only before starting)
+  bool cancelled = false;  // CancelFn fired at an engine checkpoint
+                           // (all five backends poll mid-parse)
   bool accepted = false;
   std::size_t alive_role_values = 0;
   /// FNV-1a over the final domain bitsets; equal across backends at the
@@ -155,9 +159,15 @@ std::uint64_t hash_domains(const cdg::Network& net);
 
 /// Parses `s` on backend `b`.  `scratch` (if non-null) supplies the
 /// reusable network pool (networks + arenas + AC-4 counter storage);
-/// `cancel` (if non-empty) aborts — the serial backend polls it
-/// between constraints, the others check it once before starting.
+/// `cancel` (if non-empty) aborts — every backend polls it at its
+/// engine checkpoints (before each constraint and each filtering
+/// sweep), so a fired deadline stops work within one fixpoint sweep.
 /// `capture_domains` copies the final domains into the result.
+///
+/// Faults (resil::InjectedFault from an armed fault plan, or genuine
+/// grammar/machine exceptions) propagate to the caller; the serve
+/// layer degrades them to RequestStatus::Faulted at its worker
+/// boundary.
 ///
 /// Thread-safety: `engines` is read-only here and may be shared across
 /// concurrent callers; `scratch` is mutated and must NOT be shared —
@@ -200,6 +210,7 @@ class StatsPublisher {
     obs::Counter* accepted;
     obs::Counter* rejected;
     obs::Counter* cancelled;
+    obs::Counter* faulted;
     obs::Counter* effective_unary_evals;
     obs::Counter* effective_binary_evals;
     obs::Counter* masked_binary_pairs;

@@ -7,6 +7,7 @@
 
 #include "cdg/kernels.h"
 #include "obs/trace.h"
+#include "resil/fault_plan.h"
 
 namespace parsec::engine {
 
@@ -325,13 +326,20 @@ bool MasparParse::consistency_iteration() {
   return false;
 }
 
-MasparResult MasparParse::filter_and_finish() {
+MasparResult MasparParse::filter_and_finish(const cdg::CancelFn& cancel,
+                                            bool already_cancelled) {
   MasparResult r;
+  r.cancelled = already_cancelled;
   int iters = 0;
   {
     obs::Span span("maspar.filter");
     const maspar::MachineStats before = machine_.stats();
-    while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+    while (!r.cancelled &&
+           (opt_.filter_iterations < 0 || iters < opt_.filter_iterations)) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       ++iters;
       if (!consistency_iteration()) break;
     }
@@ -344,7 +352,7 @@ MasparResult MasparParse::filter_and_finish() {
     }
   }
   r.consistency_iterations = iters;
-  r.accepted = accepted();
+  r.accepted = !r.cancelled && accepted();
   r.vpes = layout_.vpes();
   r.virt_factor = machine_.virt_factor();
   r.stats = machine_.stats();
@@ -354,36 +362,66 @@ MasparResult MasparParse::filter_and_finish() {
 
 MasparResult MasparParse::run(
     const std::vector<CompiledConstraint>& unary,
-    const std::vector<CompiledConstraint>& binary) {
+    const std::vector<CompiledConstraint>& binary,
+    const cdg::CancelFn& cancel) {
+  bool aborted = false;
   {
     obs::Span span("maspar.unary");
-    for (const auto& c : unary) apply_unary(c);
+    for (const auto& c : unary) {
+      if (resil::checkpoint(cancel)) {
+        aborted = true;
+        break;
+      }
+      apply_unary(c);
+    }
   }
   {
     obs::Span span("maspar.binary");
-    for (const auto& c : binary) apply_binary(c);
+    for (const auto& c : binary) {
+      if (aborted) break;
+      if (resil::checkpoint(cancel)) {
+        aborted = true;
+        break;
+      }
+      apply_binary(c);
+    }
   }
-  return filter_and_finish();
+  return filter_and_finish(cancel, aborted);
 }
 
 MasparResult MasparParse::run(
     const std::vector<FactoredConstraint>& unary,
-    const std::vector<FactoredConstraint>& binary) {
+    const std::vector<FactoredConstraint>& binary,
+    const cdg::CancelFn& cancel) {
+  bool aborted = false;
   {
     obs::Span span("maspar.unary");
     const maspar::MachineStats before = machine_.stats();
-    for (const auto& c : unary) apply_unary(c);
+    for (const auto& c : unary) {
+      if (resil::checkpoint(cancel)) {
+        aborted = true;
+        break;
+      }
+      apply_unary(c);
+    }
     if (span.active())
       span.arg("plural_ops", machine_.stats().plural_ops - before.plural_ops);
   }
   {
     obs::Span span("maspar.binary");
     const maspar::MachineStats before = machine_.stats();
-    for (const auto& c : binary) apply_binary(c);
+    for (const auto& c : binary) {
+      if (aborted) break;
+      if (resil::checkpoint(cancel)) {
+        aborted = true;
+        break;
+      }
+      apply_binary(c);
+    }
     if (span.active())
       span.arg("plural_ops", machine_.stats().plural_ops - before.plural_ops);
   }
-  return filter_and_finish();
+  return filter_and_finish(cancel, aborted);
 }
 
 bool MasparParse::supported(int role, RoleValue rv) const {
@@ -469,9 +507,10 @@ MasparResult MasparParser::parse(const cdg::Sentence& s) const {
 }
 
 MasparResult MasparParser::parse(const cdg::Sentence& s,
-                                 std::unique_ptr<MasparParse>& out) const {
+                                 std::unique_ptr<MasparParse>& out,
+                                 const cdg::CancelFn& cancel) const {
   out = std::make_unique<MasparParse>(*grammar_, s, opt_);
-  return out->run(unary_, binary_);
+  return out->run(unary_, binary_, cancel);
 }
 
 }  // namespace parsec::engine

@@ -30,6 +30,7 @@
 #include "cdg/grammar.h"
 #include "cdg/lexicon.h"
 #include "cdg/network.h"
+#include "cdg/parser.h"
 #include "maspar/cost_model.h"
 #include "maspar/layout.h"
 #include "maspar/machine.h"
@@ -45,6 +46,7 @@ struct MasparOptions {
 
 struct MasparResult {
   bool accepted = false;
+  bool cancelled = false;  // CancelFn fired at an engine checkpoint
   int consistency_iterations = 0;
   int vpes = 0;
   int virt_factor = 1;
@@ -83,11 +85,16 @@ class MasparParse {
   /// global scanOr).
   bool consistency_iteration();
   /// Runs the full pipeline: all unary, all binary, then filtering.
+  /// `cancel` (if non-empty) is polled at every engine checkpoint —
+  /// before each constraint broadcast and each consistency iteration —
+  /// mirroring the ACU's per-phase control flow.
   MasparResult run(const std::vector<cdg::CompiledConstraint>& unary,
-                   const std::vector<cdg::CompiledConstraint>& binary);
+                   const std::vector<cdg::CompiledConstraint>& binary,
+                   const cdg::CancelFn& cancel = {});
   /// Same pipeline through the vectorized kernels.
   MasparResult run(const std::vector<cdg::FactoredConstraint>& unary,
-                   const std::vector<cdg::FactoredConstraint>& binary);
+                   const std::vector<cdg::FactoredConstraint>& binary,
+                   const cdg::CancelFn& cancel = {});
 
   // ---- read-back (host-side measurement; not costed) ------------------
   /// Domains in cdg::Network indexing: alive iff the role value is
@@ -107,7 +114,10 @@ class MasparParse {
 
  private:
   /// Shared tail of run(): filtering iterations + result assembly.
-  MasparResult filter_and_finish();
+  /// `already_cancelled` skips filtering when a constraint phase was
+  /// aborted.
+  MasparResult filter_and_finish(const cdg::CancelFn& cancel,
+                                 bool already_cancelled);
 
   const cdg::Grammar* grammar_;
   cdg::Sentence sentence_;
@@ -140,7 +150,8 @@ class MasparParser {
   /// receives the parse instance for read-back.
   MasparResult parse(const cdg::Sentence& s) const;
   MasparResult parse(const cdg::Sentence& s,
-                     std::unique_ptr<MasparParse>& out) const;
+                     std::unique_ptr<MasparParse>& out,
+                     const cdg::CancelFn& cancel = {}) const;
 
   // Factored (hoisted) forms; each element's `.full` member is the
   // plain compiled program.

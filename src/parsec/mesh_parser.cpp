@@ -5,6 +5,7 @@
 
 #include "cdg/kernels.h"
 #include "obs/trace.h"
+#include "resil/fault_plan.h"
 #include "topo/reduction.h"
 
 namespace parsec::engine {
@@ -68,7 +69,8 @@ std::uint64_t TopologyParser::reduction_cost(std::size_t pes) const {
   return 1;
 }
 
-TopoResult TopologyParser::parse(Network& net) const {
+TopoResult TopologyParser::parse(Network& net,
+                                 const cdg::CancelFn& cancel) const {
   TopoResult r;
   const std::size_t P = pes_for(net.n());
   r.pes = P;
@@ -104,6 +106,10 @@ TopoResult TopologyParser::parse(Network& net) const {
     obs::Span span("mesh.unary");
     const std::uint64_t steps_before = r.time_steps;
     for (const auto& c : unary_) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       charge_elem(R * D);
       charge_elem(arc_elems / std::max<std::size_t>(1, D));  // zeroing rows
       std::fill(flags.begin(), flags.end(), std::uint8_t{0});
@@ -128,8 +134,12 @@ TopoResult TopologyParser::parse(Network& net) const {
   {
     obs::Span span("mesh.binary");
     const std::uint64_t steps_before = r.time_steps;
-    for (std::size_t ci = 0; ci < binary_.size(); ++ci) {
+    for (std::size_t ci = 0; !r.cancelled && ci < binary_.size(); ++ci) {
       const auto& c = binary_[ci];
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       charge_elem(arc_elems);
       net.ensure_masks(c, ci);
       std::size_t zeroed = 0;
@@ -156,7 +166,12 @@ TopoResult TopologyParser::parse(Network& net) const {
     obs::Span span("mesh.filter");
     const std::uint64_t steps_before = r.time_steps;
     const std::uint64_t reductions_before = r.reduction_steps;
-    while (filter_iterations_ < 0 || iters < filter_iterations_) {
+    while (!r.cancelled &&
+           (filter_iterations_ < 0 || iters < filter_iterations_)) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       ++iters;
       charge_elem(arc_elems);
       charge_reduce();
@@ -183,7 +198,7 @@ TopoResult TopologyParser::parse(Network& net) const {
   }
   r.consistency_iterations = iters;
   charge_reduce();  // acceptance AND over roles
-  r.accepted = net.all_roles_nonempty();
+  r.accepted = !r.cancelled && net.all_roles_nonempty();
   return r;
 }
 

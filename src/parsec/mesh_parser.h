@@ -32,6 +32,7 @@ const char* to_string(Topology t);
 
 struct TopoResult {
   bool accepted = false;
+  bool cancelled = false;  // CancelFn fired at an engine checkpoint
   int consistency_iterations = 0;
   std::size_t pes = 0;
   std::uint64_t time_steps = 0;
@@ -47,8 +48,10 @@ class TopologyParser {
   /// Number of PEs the topology provides for an n-word sentence.
   std::size_t pes_for(int n) const;
 
-  /// Parses `net` in place, charging topology time.
-  TopoResult parse(cdg::Network& net) const;
+  /// Parses `net` in place, charging topology time.  `cancel` (if
+  /// non-empty) is polled at every engine checkpoint — before each
+  /// unary/binary constraint and each filtering sweep.
+  TopoResult parse(cdg::Network& net, const cdg::CancelFn& cancel = {}) const;
 
  private:
   std::uint64_t elementwise_cost(std::size_t items, std::size_t pes) const;

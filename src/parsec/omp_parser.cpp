@@ -5,6 +5,7 @@
 
 #include "cdg/kernels.h"
 #include "obs/trace.h"
+#include "resil/fault_plan.h"
 
 #if defined(PARSEC_HAVE_OPENMP)
 #include <omp.h>
@@ -106,33 +107,49 @@ OmpParser::OmpParser(const cdg::Grammar& g, OmpOptions opt)
       unary_(factor_all(g.unary_constraints())),
       binary_(factor_all(g.binary_constraints())) {}
 
-OmpResult OmpParser::parse(Network& net) const {
+OmpResult OmpParser::parse(Network& net, const cdg::CancelFn& cancel) const {
   const auto t0 = std::chrono::steady_clock::now();
 #if defined(PARSEC_HAVE_OPENMP)
   if (opt_.threads > 0) omp_set_num_threads(opt_.threads);
 #endif
+  OmpResult r;
   net.build_arcs();
   {
     obs::Span span("omp.unary");
-    for (const auto& c : unary_) apply_unary(net, c);
+    for (const auto& c : unary_) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
+      apply_unary(net, c);
+    }
   }
   {
     obs::Span span("omp.binary");
-    for (std::size_t i = 0; i < binary_.size(); ++i)
+    for (std::size_t i = 0; !r.cancelled && i < binary_.size(); ++i) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       apply_binary(net, binary_[i], i);
+    }
   }
-  OmpResult r;
   int iters = 0;
   {
     obs::Span span("omp.filter");
-    while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+    while (!r.cancelled &&
+           (opt_.filter_iterations < 0 || iters < opt_.filter_iterations)) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       ++iters;
       if (consistency_sweep(net) == 0) break;
     }
     span.arg("iterations", iters);
   }
   r.consistency_iterations = iters;
-  r.accepted = net.all_roles_nonempty();
+  r.accepted = !r.cancelled && net.all_roles_nonempty();
 #if defined(PARSEC_HAVE_OPENMP)
   r.threads_used = omp_get_max_threads();
 #endif

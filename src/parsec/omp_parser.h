@@ -26,6 +26,7 @@ struct OmpOptions {
 
 struct OmpResult {
   bool accepted = false;
+  bool cancelled = false;  // CancelFn fired at an engine checkpoint
   int consistency_iterations = 0;
   int threads_used = 1;
   double seconds = 0.0;  // host wall-clock
@@ -35,8 +36,10 @@ class OmpParser {
  public:
   explicit OmpParser(const cdg::Grammar& g, OmpOptions opt = {});
 
-  /// Parses `net` in place.
-  OmpResult parse(cdg::Network& net) const;
+  /// Parses `net` in place.  `cancel` (if non-empty) is polled at every
+  /// engine checkpoint — before each unary/binary constraint and each
+  /// filtering sweep — so a fired deadline aborts within one phase.
+  OmpResult parse(cdg::Network& net, const cdg::CancelFn& cancel = {}) const;
 
   /// One parallel consistency sweep (pre-state support flags); returns
   /// role values eliminated.

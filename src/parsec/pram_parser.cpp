@@ -4,6 +4,7 @@
 
 #include "cdg/kernels.h"
 #include "obs/trace.h"
+#include "resil/fault_plan.h"
 
 namespace parsec::engine {
 
@@ -125,7 +126,7 @@ int PramParser::parallel_consistency_step(Network& net,
   return eliminated;
 }
 
-PramResult PramParser::parse(Network& net) const {
+PramResult PramParser::parse(Network& net, const cdg::CancelFn& cancel) const {
   pram::Machine m(opt_.write_mode);
   // Role-value generation: constant steps, O(n^2) processors (§2.1).
   m.for_all(static_cast<std::size_t>(net.num_roles()) *
@@ -133,22 +134,38 @@ PramResult PramParser::parse(Network& net) const {
             [](std::size_t) {});
   net.build_arcs();
 
+  PramResult r;
   {
     obs::Span span("pram.unary");
-    for (const auto& c : unary_) apply_unary_parallel(net, m, c);
+    for (const auto& c : unary_) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
+      apply_unary_parallel(net, m, c);
+    }
   }
   {
     obs::Span span("pram.binary");
-    for (std::size_t i = 0; i < binary_.size(); ++i)
+    for (std::size_t i = 0; !r.cancelled && i < binary_.size(); ++i) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       apply_binary_parallel(net, m, binary_[i], i);
+    }
   }
 
-  PramResult r;
   // Consistency maintenance + filtering.
   int iters = 0;
   {
     obs::Span span("pram.filter");
-    while (opt_.filter_iterations < 0 || iters < opt_.filter_iterations) {
+    while (!r.cancelled &&
+           (opt_.filter_iterations < 0 || iters < opt_.filter_iterations)) {
+      if (resil::checkpoint(cancel)) {
+        r.cancelled = true;
+        break;
+      }
       ++iters;
       if (parallel_consistency_step(net, m) == 0) break;
     }
@@ -157,7 +174,8 @@ PramResult PramParser::parse(Network& net) const {
   }
   r.consistency_iterations = iters;
   // Acceptance test: one CRCW AND over roles.
-  r.accepted = m.global_and(static_cast<std::size_t>(net.num_roles()),
+  r.accepted = !r.cancelled &&
+               m.global_and(static_cast<std::size_t>(net.num_roles()),
                             [&](std::size_t role) {
                               return net.domain(static_cast<int>(role)).any();
                             });

@@ -33,6 +33,7 @@ struct PramOptions {
 
 struct PramResult {
   bool accepted = false;
+  bool cancelled = false;  // CancelFn fired at an engine checkpoint
   int consistency_iterations = 0;  // total parallel sweeps executed
   pram::StepStats stats;
 };
@@ -42,7 +43,9 @@ class PramParser {
   explicit PramParser(const cdg::Grammar& g, PramOptions opt = {});
 
   /// Parses `net` in place (the network must use this grammar).
-  PramResult parse(cdg::Network& net) const;
+  /// `cancel` (if non-empty) is polled at every engine checkpoint —
+  /// before each unary/binary constraint and each filtering sweep.
+  PramResult parse(cdg::Network& net, const cdg::CancelFn& cancel = {}) const;
 
   /// One parallel consistency sweep (pre-state semantics).  Returns the
   /// number of role values eliminated.

@@ -1,0 +1,117 @@
+// Per-backend circuit breaker (the serve layer's trip switch).
+//
+// A backend that faults repeatedly — injected dead PEs, a poisoned
+// scratch pool, a sanitizer-only bug — should stop receiving traffic
+// for a cooldown instead of faulting every request that names it.  The
+// breaker is the classic three-state machine:
+//
+//   Closed    — healthy; requests flow.  `trip_after` *consecutive*
+//               failures moves to Open (any success resets the streak).
+//   Open      — tripped; allow() is false and callers degrade (the
+//               service reroutes to Serial).  After `cooldown` the
+//               next allow() moves to HalfOpen and lets one probe
+//               through.
+//   HalfOpen  — one probe in flight; success closes the breaker,
+//               failure re-opens it and restarts the cooldown.
+//
+// All transitions are lock-free (a single state atomic plus a
+// consecutive-failure counter); allow() on the Closed fast path is one
+// relaxed load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parsec::resil {
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+
+  struct Options {
+    /// Consecutive failures before the breaker trips.
+    int trip_after = 3;
+    /// How long Open lasts before a half-open probe is allowed.
+    std::chrono::steady_clock::duration cooldown = std::chrono::seconds(1);
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options{}) {}
+  explicit CircuitBreaker(Options opts) : opts_(opts) {}
+
+  /// Replaces the options.  Only valid before traffic reaches the
+  /// breaker (not thread-safe against allow()/record_*).
+  void configure(Options opts) { opts_ = opts; }
+
+  /// May a request proceed?  Closed/HalfOpen: yes.  Open: no, unless
+  /// the cooldown elapsed — then this call claims the half-open probe
+  /// slot and returns true (exactly one caller wins per cooldown).
+  bool allow() {
+    State s = state_.load(std::memory_order_acquire);
+    if (s == State::Closed) return true;
+    if (s == State::HalfOpen) return false;  // probe already in flight
+    const std::int64_t now = now_ns();
+    if (now < opened_at_ns_.load(std::memory_order_acquire) + cooldown_ns())
+      return false;
+    // Cooldown elapsed: claim the probe slot.
+    State expected = State::Open;
+    return state_.compare_exchange_strong(expected, State::HalfOpen,
+                                          std::memory_order_acq_rel);
+  }
+
+  /// Report a request outcome for this backend.
+  void record_success() {
+    failures_.store(0, std::memory_order_relaxed);
+    // A success in any state (the half-open probe, or a request that
+    // was already in flight when the breaker tripped) closes it.
+    state_.store(State::Closed, std::memory_order_release);
+  }
+
+  /// Returns true when this failure tripped the breaker (a Closed ->
+  /// Open or HalfOpen -> Open transition happened on this call).
+  bool record_failure() {
+    const State s = state_.load(std::memory_order_acquire);
+    if (s == State::HalfOpen) return reopen();
+    if (s == State::Open) return false;  // already tripped
+    const int streak = failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (streak >= opts_.trip_after) return reopen();
+    return false;
+  }
+
+  State state() const { return state_.load(std::memory_order_acquire); }
+  bool open() const { return state() != State::Closed; }
+  /// Total trips (Closed/HalfOpen -> Open transitions).
+  std::uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool reopen() {
+    opened_at_ns_.store(now_ns(), std::memory_order_release);
+    failures_.store(0, std::memory_order_relaxed);
+    if (state_.exchange(State::Open, std::memory_order_acq_rel) ==
+        State::Open)
+      return false;
+    trips_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  std::int64_t cooldown_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               opts_.cooldown)
+        .count();
+  }
+
+  Options opts_;
+  std::atomic<State> state_{State::Closed};
+  std::atomic<int> failures_{0};
+  std::atomic<std::int64_t> opened_at_ns_{0};
+  std::atomic<std::uint64_t> trips_{0};
+};
+
+}  // namespace parsec::resil

@@ -1,0 +1,217 @@
+#include "resil/fault_plan.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace parsec::resil {
+
+namespace {
+
+/// splitmix64: the statistical-quality seed scrambler (util/rng.h uses
+/// the same construction); one application per (seed, site, query)
+/// keys the probabilistic trigger deterministically.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from a hash.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void FaultPlan::arm(std::string_view site, FaultSpec spec) {
+  auto it = sites_.find(site);
+  if (it == sites_.end())
+    it = sites_.emplace(std::string(site), std::make_unique<Site>()).first;
+  it->second->spec = spec;
+}
+
+bool FaultPlan::armed(std::string_view site) const {
+  return sites_.find(site) != sites_.end();
+}
+
+bool FaultPlan::should_fire(std::string_view site) {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = *it->second;
+  // 1-based query index: every_nth=k fires on queries 1, k+1, 2k+1, ...
+  // (the first query always fires, so "fault the first request" is
+  // every=1 limit=1 rather than an off-by-one puzzle).
+  const std::uint64_t q =
+      s.queries.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  if (s.spec.every_nth > 0 && (q - 1) % s.spec.every_nth == 0) fire = true;
+  if (!fire && s.spec.probability > 0.0) {
+    const std::uint64_t h = splitmix64(seed_ ^ fnv1a(site) ^ (q * 0x9e37ull));
+    fire = to_unit(h) < s.spec.probability;
+  }
+  if (!fire) return false;
+  // Reserve a fire slot under the cap; losers of the race do not fire.
+  std::uint64_t fired = s.fires.load(std::memory_order_relaxed);
+  while (fired < s.spec.max_fires) {
+    if (s.fires.compare_exchange_weak(fired, fired + 1,
+                                      std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+double FaultPlan::param(std::string_view site, double def) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? def : it->second->spec.param;
+}
+
+std::uint64_t FaultPlan::queries(std::string_view site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end()
+             ? 0
+             : it->second->queries.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::fires(std::string_view site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, site] : sites_)
+    total += site->fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::string> FaultPlan::sites() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) out.push_back(name);
+  return out;
+}
+
+FaultPlan FaultPlan::parse(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string head;
+    if (!(is >> head)) continue;  // blank / comment-only line
+    auto fail = [&](const std::string& what) {
+      throw std::invalid_argument("fault plan line " +
+                                  std::to_string(lineno) + ": " + what);
+    };
+    if (head == "seed") {
+      std::uint64_t seed;
+      if (!(is >> seed)) fail("seed needs an integer");
+      plan.seed_ = seed;
+      continue;
+    }
+    FaultSpec spec;
+    std::string kv;
+    while (is >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) fail("expected key=value, got '" + kv + "'");
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      try {
+        if (key == "prob")
+          spec.probability = std::stod(val);
+        else if (key == "every")
+          spec.every_nth = std::stoull(val);
+        else if (key == "limit")
+          spec.max_fires = std::stoull(val);
+        else if (key == "param")
+          spec.param = std::stod(val);
+        else
+          fail("unknown key '" + key + "'");
+      } catch (const std::invalid_argument&) {
+        fail("bad value for '" + key + "'");
+      } catch (const std::out_of_range&) {
+        fail("bad value for '" + key + "'");
+      }
+    }
+    if (spec.probability < 0.0 || spec.probability > 1.0)
+      fail("prob must be in [0, 1]");
+    plan.arm(head, spec);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open fault plan: " + path);
+  return parse(in);
+}
+
+// ---- process-wide installation -------------------------------------------
+
+namespace {
+std::atomic<FaultPlan*> g_plan{nullptr};
+}  // namespace
+
+FaultPlan* installed_plan() { return g_plan.load(std::memory_order_relaxed); }
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan& plan) {
+  FaultPlan* expected = nullptr;
+  if (!g_plan.compare_exchange_strong(expected, &plan,
+                                      std::memory_order_relaxed))
+    throw std::logic_error("a FaultPlan is already installed");
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  g_plan.store(nullptr, std::memory_order_relaxed);
+}
+
+bool should_fire(std::string_view site) {
+  FaultPlan* plan = installed_plan();
+  return plan != nullptr && plan->should_fire(site);
+}
+
+double site_param(std::string_view site, double def) {
+  FaultPlan* plan = installed_plan();
+  return plan == nullptr ? def : plan->param(site, def);
+}
+
+bool checkpoint(const std::function<bool()>& cancel) {
+  FaultPlan* plan = installed_plan();
+  if (plan != nullptr) {
+    if (plan->should_fire("engine.latency")) {
+      const double s = plan->param("engine.latency", 0.0);
+      if (s > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(s));
+    }
+    if (plan->should_fire("engine.hang")) {
+      // Hang until cancelled; the param bounds the hang so a plan
+      // without a watchdog (or deadline) still terminates.
+      const auto bound = std::chrono::duration<double>(
+          plan->param("engine.hang", 5.0));
+      const auto until = std::chrono::steady_clock::now() + bound;
+      while (!(cancel && cancel()) &&
+             std::chrono::steady_clock::now() < until)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return cancel && cancel();
+}
+
+}  // namespace parsec::resil

@@ -1,0 +1,155 @@
+// Deterministic fault injection (the resilience layer's test harness).
+//
+// The MP-1 survived hardware faults by disabling faulty PEs and
+// remapping work around them [MasPar System Overview, 1990]; a service
+// reproduction needs the software analogue — every failure mode the
+// serve layer claims to survive must be *injectable on demand* so the
+// degradation paths are exercised deterministically, not discovered in
+// production.
+//
+// A FaultPlan arms named *sites* (compiled-in injection points: the
+// MasPar machine's PE array and router, the network arena's allocator,
+// the engines' fixpoint checkpoints) with seeded triggers:
+//
+//   * probability  — per-query chance, derived from (seed, site, query
+//                    index) alone, so a plan replays bit-identically on
+//                    every run regardless of thread interleaving *per
+//                    site-query order*;
+//   * every_nth    — fire on query 1, n+1, 2n+1, ... (exact cadence);
+//   * max_fires    — cap on total fires (e.g. fault the first request
+//                    only);
+//   * param        — site-specific magnitude (seconds of injected
+//                    latency, hang bound).
+//
+// Sites consult the *installed* plan through a single relaxed atomic
+// load; with no plan installed an injection point costs one load and a
+// branch.  Installation is scoped (ScopedFaultPlan) and process-wide,
+// mirroring obs::TraceSession.  The site name reference lives in
+// docs/ROBUSTNESS.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parsec::resil {
+
+/// Thrown by injection sites that model hard failures (allocation
+/// failure, an unusable PE array).  Derived from std::runtime_error so
+/// generic catch blocks degrade it like any other fault.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultSpec {
+  /// Per-query fire chance in [0, 1]; 0 disables the probabilistic
+  /// trigger.
+  double probability = 0.0;
+  /// Fire deterministically on queries 1, n+1, 2n+1, ...; 0 disables.
+  std::uint64_t every_nth = 0;
+  /// Total fires allowed before the site goes quiet.
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+  /// Site-specific magnitude (e.g. engine.latency sleep seconds,
+  /// engine.hang bound seconds).
+  double param = 0.0;
+};
+
+/// A seeded set of armed sites plus per-site hit accounting.  Arming is
+/// done once, up front; should_fire() is then safe to call concurrently
+/// from any thread (counters are atomic, the site map is immutable).
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  /// Arms `site`.  Not thread-safe against concurrent should_fire();
+  /// arm everything before installing the plan.
+  void arm(std::string_view site, FaultSpec spec);
+
+  bool armed(std::string_view site) const;
+
+  /// One query at `site`: true when the fault fires.  Deterministic in
+  /// (seed, site, query index); thread-safe after arming.
+  bool should_fire(std::string_view site);
+
+  /// The armed spec's param (`def` when the site is unarmed).
+  double param(std::string_view site, double def = 0.0) const;
+
+  std::uint64_t queries(std::string_view site) const;
+  std::uint64_t fires(std::string_view site) const;
+  std::uint64_t total_fires() const;
+  std::uint64_t seed() const { return seed_; }
+
+  /// Armed site names, sorted (metrics export, reports).
+  std::vector<std::string> sites() const;
+
+  /// Parses the plan text format (docs/ROBUSTNESS.md):
+  ///
+  ///   seed 42
+  ///   # site        key=value ...
+  ///   arena.alloc   prob=0.01 limit=3
+  ///   maspar.router every=100
+  ///   engine.latency prob=0.05 param=0.0005
+  ///
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(std::istream& in);
+  /// parse() over a file; throws std::invalid_argument when unreadable.
+  static FaultPlan load(const std::string& path);
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  std::uint64_t seed_ = 0;
+  // unique_ptr values keep Site addresses stable and the map copyable
+  // enough for parse()'s by-value return (moves only).
+  std::map<std::string, std::unique_ptr<Site>, std::less<>> sites_;
+};
+
+// ---- process-wide installation -------------------------------------------
+
+/// The currently installed plan (nullptr when none).  One relaxed
+/// atomic load; injection sites call this first.
+FaultPlan* installed_plan();
+
+/// Installs `plan` for the current scope.  At most one plan may be
+/// installed at a time (nesting throws std::logic_error); the plan must
+/// outlive the scope.  Installation is process-wide: arm and install
+/// before spawning the traffic that should see the faults.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan& plan);
+  ~ScopedFaultPlan();
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+// ---- injection-site helpers ----------------------------------------------
+
+/// True when an installed plan fires at `site`.  The no-plan fast path
+/// is one relaxed load.
+bool should_fire(std::string_view site);
+
+/// The installed plan's param for `site` (`def` when absent).
+double site_param(std::string_view site, double def = 0.0);
+
+/// Engine checkpoint: applies the `engine.latency` fault (sleep for
+/// `param` seconds) and the `engine.hang` fault (block until `cancel`
+/// fires, bounded by `param` seconds so an unwatched hang still ends),
+/// then polls `cancel`.  Engines call this between constraint
+/// applications and fixpoint sweeps; with no plan installed and an
+/// empty `cancel` it costs one load and a branch.
+bool checkpoint(const std::function<bool()>& cancel);
+
+}  // namespace parsec::resil

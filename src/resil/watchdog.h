@@ -1,0 +1,117 @@
+// Stuck-worker watchdog (the serve layer's deadman timer).
+//
+// A hung backend — an injected engine.hang, a pathological grammar, a
+// deadlocked accelerator shim — would otherwise pin a pool worker
+// forever while its request's future never resolves.  The watchdog
+// gives each worker a heartbeat slot: the worker stamps the slot when a
+// parse starts and clears it when the parse ends; a monitor thread
+// sweeps the slots every `interval` and raises the slot's cancel flag
+// when a parse has been running longer than `stall_after`.  The
+// request's CancelFn ORs that flag with its deadline, so the engines'
+// cooperative checkpoints (resil::checkpoint) abort the sweep and the
+// worker comes back.
+//
+// Detection is cooperative, not preemptive: a worker stuck somewhere
+// that never polls cannot be reclaimed — the watchdog bounds *engine*
+// stalls, which poll every fixpoint sweep.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parsec::resil {
+
+class Watchdog {
+ public:
+  struct Options {
+    /// A parse running longer than this is declared stuck.
+    std::chrono::steady_clock::duration stall_after =
+        std::chrono::milliseconds(500);
+    /// Sweep cadence for the monitor thread.
+    std::chrono::steady_clock::duration interval =
+        std::chrono::milliseconds(20);
+  };
+
+  /// One heartbeat slot per worker.  The worker owns busy_since_ns
+  /// (0 = idle); the monitor owns cancel.
+  struct Slot {
+    std::atomic<std::int64_t> busy_since_ns{0};
+    std::atomic<bool> cancel{false};
+  };
+
+  Watchdog(std::size_t workers, Options opts)
+      : opts_(opts), slots_(workers) {
+    monitor_ = std::thread([this] { run(); });
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+  }
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Worker `w` is starting a parse: stamp the slot and clear any stale
+  /// cancel from a previous (already-reclaimed) stall.
+  Slot& begin(std::size_t w) {
+    Slot& s = slots_[w];
+    s.cancel.store(false, std::memory_order_relaxed);
+    s.busy_since_ns.store(now_ns(), std::memory_order_release);
+    return s;
+  }
+
+  /// Worker `w` finished (however it ended).
+  void end(std::size_t w) {
+    slots_[w].busy_since_ns.store(0, std::memory_order_release);
+  }
+
+  /// Total stalls declared since construction.
+  std::uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, opts_.interval, [this] { return stop_; });
+      if (stop_) return;
+      const std::int64_t now = now_ns();
+      const std::int64_t limit =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              opts_.stall_after)
+              .count();
+      for (Slot& s : slots_) {
+        const std::int64_t since =
+            s.busy_since_ns.load(std::memory_order_acquire);
+        if (since != 0 && now - since > limit &&
+            !s.cancel.exchange(true, std::memory_order_acq_rel))
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  Options opts_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> stalls_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace parsec::resil

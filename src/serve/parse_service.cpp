@@ -1,6 +1,10 @@
 #include "serve/parse_service.h"
 
+#include <exception>
+#include <stdexcept>
 #include <utility>
+
+#include "resil/fault_plan.h"
 
 namespace parsec::serve {
 
@@ -14,6 +18,12 @@ const char* to_string(RequestStatus s) {
       return "timeout";
     case RequestStatus::ShuttingDown:
       return "shutting-down";
+    case RequestStatus::BadRequest:
+      return "bad-request";
+    case RequestStatus::Overloaded:
+      return "overloaded";
+    case RequestStatus::Faulted:
+      return "faulted";
   }
   return "?";
 }
@@ -27,7 +37,8 @@ ParseService::ParseService(const cdg::Grammar& grammar, Options opt)
       publisher_(opt.metrics),
       timeouts_total_(&opt.metrics->counter(
           "parsec_serve_timeouts_total",
-          "Requests answered Timeout (expired queued or mid-parse).")),
+          "Requests answered Timeout (expired at submit, queued, or "
+          "mid-parse).")),
       rejected_at_submit_total_(&opt.metrics->counter(
           "parsec_serve_rejected_at_submit_total",
           "Requests refused because shutdown had begun.")),
@@ -38,9 +49,46 @@ ParseService::ParseService(const cdg::Grammar& grammar, Options opt)
       queue_depth_gauge_(&opt.metrics->gauge(
           "parsec_serve_queue_depth",
           "Requests waiting in the pool queue (sampled at record/stats).")),
+      fallback_retries_total_(&opt.metrics->counter(
+          "parsec_resil_fallback_retries_total",
+          "Faulted/stalled requests retried on the Serial backend.")),
+      fallback_ok_total_(&opt.metrics->counter(
+          "parsec_resil_fallback_ok_total",
+          "Serial fallback retries that completed Ok.")),
+      breaker_trips_total_(&opt.metrics->counter(
+          "parsec_resil_breaker_trips_total",
+          "Circuit-breaker transitions to Open (any backend).")),
+      breaker_rerouted_total_(&opt.metrics->counter(
+          "parsec_resil_breaker_rerouted_total",
+          "Requests rerouted to Serial by an open circuit breaker.")),
+      watchdog_stalls_total_(&opt.metrics->counter(
+          "parsec_resil_watchdog_stalls_total",
+          "Stuck workers cancelled by the watchdog.")),
       start_(clock::now()) {
+  // One disjoint status counter per RequestStatus: every submitted
+  // request lands in exactly one (the exactly-once invariant the chaos
+  // tests assert).
+  static constexpr RequestStatus kStatuses[kNumRequestStatuses] = {
+      RequestStatus::Ok,          RequestStatus::Timeout,
+      RequestStatus::ShuttingDown, RequestStatus::BadRequest,
+      RequestStatus::Overloaded,  RequestStatus::Faulted};
+  for (std::size_t i = 0; i < kNumRequestStatuses; ++i)
+    serve_status_[static_cast<std::size_t>(kStatuses[i])] =
+        &opt.metrics->counter(
+            "parsec_serve_requests_total",
+            "Requests by final status; statuses are disjoint and each "
+            "submitted request is counted exactly once.",
+            {{"status", to_string(kStatuses[i])}});
+  for (auto& b : breakers_) b.configure(opt_.breaker);
   pool_ = std::make_unique<ThreadPool>(opt.threads, opt.queue_capacity);
   scratch_.resize(static_cast<std::size_t>(pool_->num_threads()));
+  if (opt_.watchdog_stall.count() > 0) {
+    resil::Watchdog::Options wopts;
+    wopts.stall_after = opt_.watchdog_stall;
+    wopts.interval = opt_.watchdog_interval;
+    watchdog_ = std::make_unique<resil::Watchdog>(
+        static_cast<std::size_t>(pool_->num_threads()), wopts);
+  }
 }
 
 ParseService::~ParseService() { shutdown(); }
@@ -55,22 +103,31 @@ std::future<ParseResponse> ParseService::submit(ParseRequest req) {
     std::lock_guard lock(stats_mutex_);
     ++submitted_;
   }
-  bool posted =
-      pool_->post([this, req = std::move(req), submitted, promise](
-                      int worker) mutable {
-        run_request(worker, std::move(req), submitted, std::move(*promise),
-                    nullptr);
-      });
-  if (!posted) {
-    // Shutdown raced the submission; the lambda was dropped, but we
-    // still hold the promise — satisfy the future inline.
-    rejected_at_submit_total_->inc();
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++rejected_at_submit_;
-    }
+  if (req.deadline.count() < 0) {
+    // Pre-expired deadline: answer Timeout inline; no worker ever
+    // dequeues it and no backend runs.
     ParseResponse resp;
-    resp.status = RequestStatus::ShuttingDown;
+    resp.status = RequestStatus::Timeout;
+    record_at_submit(resp);
+    promise->set_value(std::move(resp));
+    return future;
+  }
+  auto job = [this, req = std::move(req), submitted, promise](
+                 int worker) mutable {
+    run_request(worker, std::move(req), submitted, std::move(*promise),
+                nullptr);
+  };
+  const bool posted =
+      opt_.shed_load ? pool_->try_post(std::move(job))
+                     : pool_->post(std::move(job));
+  if (!posted) {
+    // Queue full (shedding) or shutdown raced the submission; the
+    // lambda was dropped, but we still hold the promise — satisfy the
+    // future inline.
+    ParseResponse resp;
+    resp.status = pool_->shutting_down() ? RequestStatus::ShuttingDown
+                                         : RequestStatus::Overloaded;
+    record_at_submit(resp);
     promise->set_value(std::move(resp));
   }
   return future;
@@ -82,20 +139,31 @@ void ParseService::submit(ParseRequest req, Callback cb) {
     std::lock_guard lock(stats_mutex_);
     ++submitted_;
   }
-  bool posted = pool_->post([this, req = std::move(req), submitted,
-                             cb = std::move(cb)](int worker) mutable {
+  if (req.deadline.count() < 0) {
+    ParseResponse resp;
+    resp.status = RequestStatus::Timeout;
+    record_at_submit(resp);
+    if (cb) cb(std::move(resp));
+    return;
+  }
+  // The callback is shared with the job rather than moved into it: a
+  // failed post drops the job, and the rejection path below must still
+  // be able to invoke it.
+  auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  auto job = [this, req = std::move(req), submitted,
+              shared_cb](int worker) mutable {
     run_request(worker, std::move(req), submitted,
-                std::promise<ParseResponse>{}, std::move(cb));
-  });
+                std::promise<ParseResponse>{}, std::move(*shared_cb));
+  };
+  const bool posted =
+      opt_.shed_load ? pool_->try_post(std::move(job))
+                     : pool_->post(std::move(job));
   if (!posted) {
     ParseResponse resp;
-    resp.status = RequestStatus::ShuttingDown;
-    rejected_at_submit_total_->inc();
-    {
-      std::lock_guard lock(stats_mutex_);
-      ++rejected_at_submit_;
-    }
-    if (cb) cb(std::move(resp));
+    resp.status = pool_->shutting_down() ? RequestStatus::ShuttingDown
+                                         : RequestStatus::Overloaded;
+    record_at_submit(resp);
+    if (*shared_cb) (*shared_cb)(std::move(resp));
   }
 }
 
@@ -123,57 +191,267 @@ void ParseService::run_request(int worker, ParseRequest req,
   const auto dequeued = clock::now();
   ParseResponse resp;
   resp.worker = worker;
-  resp.queue_seconds = std::chrono::duration<double>(dequeued - submitted).count();
+  resp.queue_seconds =
+      std::chrono::duration<double>(dequeued - submitted).count();
 
   const bool has_deadline = req.deadline.count() > 0;
   const auto deadline_at = submitted + req.deadline;
-  engine::BackendStats delta;
+  std::vector<Attempt> attempts;
 
-  if (has_deadline && dequeued >= deadline_at) {
-    // Expired while queued: answer without parsing.
-    resp.status = RequestStatus::Timeout;
-    delta.requests = 1;
-    delta.cancelled = 1;
-  } else {
+  // One engine attempt; classifies the outcome at the worker boundary
+  // so no exception escapes onto the pool thread.
+  enum class Outcome { kOk, kCancelled, kStall, kFault, kBad };
+  struct Once {
+    Outcome kind = Outcome::kOk;
+    engine::BackendRun run;
+    std::string error;
+  };
+  resil::Watchdog::Slot* slot =
+      watchdog_ ? &watchdog_->begin(static_cast<std::size_t>(worker))
+                : nullptr;
+  auto run_once = [&](engine::Backend backend) -> Once {
+    Once o;
+    if (slot) slot->cancel.store(false, std::memory_order_relaxed);
     cdg::CancelFn cancel;
-    if (has_deadline)
+    if (has_deadline && slot)
+      cancel = [deadline_at, slot] {
+        return slot->cancel.load(std::memory_order_relaxed) ||
+               clock::now() >= deadline_at;
+      };
+    else if (has_deadline)
       cancel = [deadline_at] { return clock::now() >= deadline_at; };
+    else if (slot)
+      cancel = [slot] {
+        return slot->cancel.load(std::memory_order_relaxed);
+      };
     WorkerScratch& scratch = scratch_[static_cast<std::size_t>(worker)];
-    engine::BackendRun run = engine::run_backend(
-        engines_, req.backend, req.sentence, &scratch.networks, cancel,
-        req.capture_domains);
-    resp.status = run.cancelled ? RequestStatus::Timeout : RequestStatus::Ok;
-    resp.accepted = run.accepted;
-    resp.alive_role_values = run.alive_role_values;
-    resp.domains_hash = run.domains_hash;
-    resp.domains = std::move(run.domains);
-    delta = run.stats;
+    try {
+      o.run = engine::run_backend(engines_, backend, req.sentence,
+                                  &scratch.networks, cancel,
+                                  req.capture_domains);
+      if (o.run.cancelled) {
+        // Attribute the abort: watchdog stall vs. deadline expiry.
+        const bool stalled =
+            slot && slot->cancel.load(std::memory_order_relaxed) &&
+            !(has_deadline && clock::now() >= deadline_at);
+        o.kind = stalled ? Outcome::kStall : Outcome::kCancelled;
+      }
+    } catch (const resil::InjectedFault& e) {
+      o.kind = Outcome::kFault;
+      o.error = e.what();
+    } catch (const std::invalid_argument& e) {
+      o.kind = Outcome::kBad;
+      o.error = e.what();
+    } catch (const std::out_of_range& e) {
+      o.kind = Outcome::kBad;
+      o.error = e.what();
+    } catch (const std::exception& e) {
+      o.kind = Outcome::kFault;
+      o.error = e.what();
+    }
+    return o;
+  };
+  // Engine-stats delta for one attempt.  A throwing engine never filled
+  // its counters; charge the request and mark it faulted so the engine
+  // family stays exactly-once too.
+  auto delta_of = [](const Once& o) {
+    engine::BackendStats d = o.run.stats;
+    if (d.requests == 0) d.requests = 1;
+    if (o.kind == Outcome::kFault || o.kind == Outcome::kStall) {
+      d.faulted = 1;
+      d.cancelled = 0;
+      d.accepted = 0;
+    }
+    return d;
+  };
+
+  bool rerouted = false;
+  std::uint64_t local_breaker_trips = 0;
+  std::uint64_t local_fallback_retries = 0;
+  std::uint64_t local_fallback_ok = 0;
+  std::uint64_t local_stalls = 0;
+
+  Once once;
+  if (has_deadline && dequeued >= deadline_at) {
+    // Expired while queued: answer without parsing.  Counted as one
+    // cancelled engine request so the engine family accounts it too.
+    once.kind = Outcome::kCancelled;
+    engine::BackendStats d;
+    d.requests = 1;
+    d.cancelled = 1;
+    attempts.push_back({req.backend, d});
+    resp.served_backend = req.backend;
+  } else {
+    // Raw-word requests are tagged here, inside the worker boundary,
+    // so an unknown word degrades to BadRequest instead of throwing on
+    // a pool thread.
+    bool tagged_ok = true;
+    if (!req.words.empty()) {
+      if (opt_.lexicon == nullptr) {
+        once.kind = Outcome::kBad;
+        once.error = "no lexicon configured for raw-word requests";
+        tagged_ok = false;
+      } else {
+        try {
+          req.sentence = opt_.lexicon->tag(req.words);
+        } catch (const std::out_of_range& e) {
+          once.kind = Outcome::kBad;
+          once.error = e.what();
+          tagged_ok = false;
+        } catch (const std::invalid_argument& e) {
+          once.kind = Outcome::kBad;
+          once.error = e.what();
+          tagged_ok = false;
+        }
+      }
+    }
+    if (tagged_ok) {
+      engine::Backend target = req.backend;
+      // Open breaker: don't even try the sick backend, go straight to
+      // the degradation target.
+      if (opt_.enable_breaker && target != engine::Backend::Serial &&
+          !breakers_[static_cast<std::size_t>(target)].allow()) {
+        target = engine::Backend::Serial;
+        rerouted = true;
+      }
+      once = run_once(target);
+      attempts.push_back({target, delta_of(once)});
+      resp.served_backend = target;
+      // Breaker bookkeeping for the backend that actually ran (only
+      // non-Serial backends are degradable sources).
+      if (opt_.enable_breaker && target != engine::Backend::Serial) {
+        auto& breaker = breakers_[static_cast<std::size_t>(target)];
+        if (once.kind == Outcome::kFault || once.kind == Outcome::kStall) {
+          if (breaker.record_failure()) ++local_breaker_trips;
+        } else if (once.kind == Outcome::kOk) {
+          breaker.record_success();
+        }
+        // kCancelled is the caller's deadline, kBad is the caller's
+        // input: neither says anything about backend health.
+      }
+      // Retry-with-fallback: a faulted or stalled parse on a parallel
+      // backend is re-run once on Serial.  Same constraint network,
+      // same fixpoint — the response is bit-identical, only degraded.
+      if ((once.kind == Outcome::kFault || once.kind == Outcome::kStall) &&
+          target != engine::Backend::Serial && opt_.retry_serial &&
+          !(has_deadline && clock::now() >= deadline_at)) {
+        if (once.kind == Outcome::kStall) ++local_stalls;
+        ++local_fallback_retries;
+        once = run_once(engine::Backend::Serial);
+        attempts.push_back({engine::Backend::Serial, delta_of(once)});
+        resp.served_backend = engine::Backend::Serial;
+        resp.degraded = true;
+        if (once.kind == Outcome::kOk) ++local_fallback_ok;
+      } else if (once.kind == Outcome::kStall) {
+        ++local_stalls;
+      }
+      if (rerouted) resp.degraded = true;
+    }
+  }
+  if (slot) watchdog_->end(static_cast<std::size_t>(worker));
+
+  switch (once.kind) {
+    case Outcome::kOk:
+      resp.status = RequestStatus::Ok;
+      resp.accepted = once.run.accepted;
+      resp.alive_role_values = once.run.alive_role_values;
+      resp.domains_hash = once.run.domains_hash;
+      resp.domains = std::move(once.run.domains);
+      break;
+    case Outcome::kCancelled:
+      resp.status = RequestStatus::Timeout;
+      break;
+    case Outcome::kStall:
+      resp.status = RequestStatus::Faulted;
+      resp.error = once.error.empty() ? "watchdog: stuck worker cancelled"
+                                      : once.error;
+      break;
+    case Outcome::kFault:
+      resp.status = RequestStatus::Faulted;
+      resp.error = once.error;
+      break;
+    case Outcome::kBad:
+      resp.status = RequestStatus::BadRequest;
+      resp.error = once.error;
+      break;
   }
   resp.parse_seconds =
       std::chrono::duration<double>(clock::now() - dequeued).count();
 
-  record(req, resp, delta);
+  // Resilience counters (registry first — lock-free — then the struct
+  // counters under the stats mutex inside record()).
+  if (rerouted) breaker_rerouted_total_->inc();
+  breaker_trips_total_->inc(local_breaker_trips);
+  fallback_retries_total_->inc(local_fallback_retries);
+  fallback_ok_total_->inc(local_fallback_ok);
+  watchdog_stalls_total_->inc(local_stalls);
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (rerouted) ++breaker_rerouted_;
+    fallback_retries_ += local_fallback_retries;
+    fallback_ok_ += local_fallback_ok;
+    watchdog_stalls_ += local_stalls;
+  }
+
+  record(resp, attempts);
   if (cb)
     cb(std::move(resp));
   else
     promise.set_value(std::move(resp));
 }
 
-void ParseService::record(const ParseRequest& req, const ParseResponse& resp,
-                          const engine::BackendStats& delta) {
+void ParseService::record_at_submit(const ParseResponse& resp) {
+  serve_status_[static_cast<std::size_t>(resp.status)]->inc();
+  std::lock_guard lock(stats_mutex_);
+  switch (resp.status) {
+    case RequestStatus::Timeout:
+      ++timeouts_;
+      timeouts_total_->inc();
+      break;
+    case RequestStatus::ShuttingDown:
+      ++rejected_at_submit_;
+      rejected_at_submit_total_->inc();
+      break;
+    case RequestStatus::Overloaded:
+      ++overloaded_;
+      break;
+    default:
+      break;
+  }
+}
+
+void ParseService::record(const ParseResponse& resp,
+                          const std::vector<Attempt>& attempts) {
   const double total_seconds = resp.queue_seconds + resp.parse_seconds;
-  // Registry updates first: lock-free, outside the stats mutex.
-  publisher_.publish(req.backend, delta, total_seconds);
+  // Registry updates first: lock-free, outside the stats mutex.  The
+  // request's wall latency is attributed to the backend that served it.
+  for (const Attempt& a : attempts)
+    publisher_.publish(a.backend, a.delta,
+                       a.backend == resp.served_backend ? total_seconds : 0.0);
+  serve_status_[static_cast<std::size_t>(resp.status)]->inc();
   if (resp.status == RequestStatus::Timeout) timeouts_total_->inc();
   queue_wait_seconds_->observe(resp.queue_seconds);
   queue_depth_gauge_->set(static_cast<double>(pool_->queue_depth()));
   std::lock_guard lock(stats_mutex_);
   ++completed_;
   if (resp.accepted) ++accepted_;
-  if (resp.status == RequestStatus::Timeout) ++timeouts_;
+  switch (resp.status) {
+    case RequestStatus::Timeout:
+      ++timeouts_;
+      break;
+    case RequestStatus::BadRequest:
+      ++bad_requests_;
+      break;
+    case RequestStatus::Faulted:
+      ++faulted_;
+      break;
+    default:
+      break;
+  }
   latency_.add(total_seconds);
   quantiles_.add(total_seconds);
-  backend_stats_[static_cast<std::size_t>(req.backend)] += delta;
+  for (const Attempt& a : attempts)
+    backend_stats_[static_cast<std::size_t>(a.backend)] += a.delta;
 }
 
 std::string ParseService::metrics_text() const {
@@ -188,12 +466,22 @@ ServiceStats ParseService::stats() const {
   s.queue_depth = pool_->queue_depth();
   s.threads = pool_->num_threads();
   s.workers = pool_->worker_stats();
+  std::uint64_t trips = 0;
+  for (const auto& b : breakers_) trips += b.trips();
   std::lock_guard lock(stats_mutex_);
   s.submitted = submitted_;
   s.completed = completed_;
   s.accepted = accepted_;
   s.timeouts = timeouts_;
   s.rejected_at_submit = rejected_at_submit_;
+  s.bad_requests = bad_requests_;
+  s.overloaded = overloaded_;
+  s.faulted = faulted_;
+  s.fallback_retries = fallback_retries_;
+  s.fallback_ok = fallback_ok_;
+  s.breaker_trips = trips;
+  s.breaker_rerouted = breaker_rerouted_;
+  s.watchdog_stalls = watchdog_stalls_;
   s.throughput_sps =
       s.elapsed_seconds > 0
           ? static_cast<double>(completed_) / s.elapsed_seconds

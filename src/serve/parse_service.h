@@ -13,8 +13,14 @@
 //     steady-state parsing of repeating sentence shapes is
 //     allocation-free on the hot path;
 //   * per-request deadlines — an expired request returns a Timeout
-//     response instead of stalling the queue (the serial backend even
-//     aborts mid-parse via cdg::CancelFn);
+//     response instead of stalling the queue (every backend aborts
+//     mid-parse via cdg::CancelFn at its engine checkpoints);
+//   * graceful degradation (PR 5, docs/ROBUSTNESS.md): worker-boundary
+//     exception containment (BadRequest/Faulted instead of process
+//     death), optional load shedding (Overloaded instead of blocking),
+//     retry-with-fallback onto the serial backend (bit-identity
+//     preserved — every backend reaches the same fixpoint), a
+//     per-backend circuit breaker, and a stuck-worker watchdog;
 //   * batched submission returning futures (or invoking callbacks) in
 //     input order, so batch results are trivially ordered;
 //   * aggregate ServiceStats: throughput, p50/p95/p99 latency, queue
@@ -32,10 +38,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "cdg/lexicon.h"
 #include "obs/metrics.h"
 #include "parsec/backend.h"
+#include "resil/circuit_breaker.h"
+#include "resil/watchdog.h"
 #include "serve/thread_pool.h"
 #include "util/stats.h"
 
@@ -43,16 +53,32 @@ namespace parsec::serve {
 
 enum class RequestStatus {
   Ok,            // parsed (accepted or rejected — see `accepted`)
-  Timeout,       // deadline expired while queued or mid-parse
+  Timeout,       // deadline expired at submit, while queued, or mid-parse
   ShuttingDown,  // submitted after shutdown began
+  BadRequest,    // unparseable input (unknown word, empty sentence)
+  Overloaded,    // shed: queue full under Options::shed_load
+  Faulted,       // engine fault (injected or genuine) not recovered by
+                 // the serial fallback; see ParseResponse::error
 };
+
+/// Number of RequestStatus values (the serve metrics family has one
+/// disjoint counter per status; every submitted request lands in
+/// exactly one).
+inline constexpr std::size_t kNumRequestStatuses = 6;
 
 const char* to_string(RequestStatus s);
 
 struct ParseRequest {
   cdg::Sentence sentence;
+  /// Raw, untagged words: when non-empty, the worker tags them with
+  /// Options::lexicon and `sentence` is ignored.  Unknown words (or a
+  /// missing lexicon) degrade to BadRequest instead of throwing out of
+  /// a pool thread.
+  std::vector<std::string> words;
   engine::Backend backend = engine::Backend::Serial;
-  /// Relative deadline measured from submission; zero = none.
+  /// Relative deadline measured from submission; zero = none.  A
+  /// negative deadline is already expired: submit() answers Timeout
+  /// inline without dequeuing onto a worker.
   std::chrono::steady_clock::duration deadline{};
   /// Copy the final domain bitsets into the response (costly; for
   /// equivalence checks and debugging).
@@ -67,6 +93,15 @@ struct ParseResponse {
   /// to a single-threaded parse of the same sentence).
   std::uint64_t domains_hash = 0;
   std::vector<util::DynBitset> domains;  // iff capture_domains
+  /// Backend that produced this response: the requested one, or Serial
+  /// when the service degraded (fallback retry / open circuit breaker).
+  engine::Backend served_backend = engine::Backend::Serial;
+  /// True when the service degraded the request onto Serial.  The
+  /// result is still bit-identical (same fixpoint), only the cost
+  /// model differs — see docs/ROBUSTNESS.md.
+  bool degraded = false;
+  /// Human-readable failure detail for BadRequest/Faulted.
+  std::string error;
   int worker = -1;
   double queue_seconds = 0.0;  // submission -> dequeue
   double parse_seconds = 0.0;  // dequeue -> done
@@ -78,6 +113,14 @@ struct ServiceStats {
   std::uint64_t accepted = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t rejected_at_submit = 0;  // after shutdown began
+  std::uint64_t bad_requests = 0;        // BadRequest responses
+  std::uint64_t overloaded = 0;          // shed at submit (queue full)
+  std::uint64_t faulted = 0;             // Faulted responses
+  std::uint64_t fallback_retries = 0;    // serial retries attempted
+  std::uint64_t fallback_ok = 0;         // serial retries that parsed Ok
+  std::uint64_t breaker_trips = 0;       // circuit-breaker Open transitions
+  std::uint64_t breaker_rerouted = 0;    // requests rerouted by open breaker
+  std::uint64_t watchdog_stalls = 0;     // stuck workers cancelled
   double elapsed_seconds = 0.0;          // since service construction
   double throughput_sps = 0.0;           // completed / elapsed
   double latency_mean_ms = 0.0;
@@ -109,6 +152,25 @@ class ParseService {
     /// process-wide registry; tests inject their own for isolation.
     /// Must outlive the service.
     obs::Registry* metrics = &obs::Registry::global();
+    /// Lexicon for tagging ParseRequest::words.  Null means raw-word
+    /// requests degrade to BadRequest.  Must outlive the service.
+    const cdg::Lexicon* lexicon = nullptr;
+    /// Shed load instead of blocking: submit() answers Overloaded when
+    /// the queue is full rather than exerting back-pressure.
+    bool shed_load = false;
+    /// Retry a faulted/stalled request once on the Serial backend
+    /// (bit-identical result, different cost model).
+    bool retry_serial = true;
+    /// Per-backend circuit breaker: a backend that faults repeatedly
+    /// is bypassed (requests reroute to Serial) for a cooldown.
+    bool enable_breaker = true;
+    resil::CircuitBreaker::Options breaker{};
+    /// Cancel a worker stuck in one parse for longer than this
+    /// (cooperative — engines poll at checkpoints).  Zero disables the
+    /// watchdog.
+    std::chrono::steady_clock::duration watchdog_stall{};
+    std::chrono::steady_clock::duration watchdog_interval =
+        std::chrono::milliseconds(20);
   };
 
   using Callback = std::function<void(ParseResponse)>;
@@ -163,11 +225,22 @@ class ParseService {
     engine::NetworkScratch networks;
   };
 
+  /// One engine attempt (first try or serial fallback) for stats
+  /// roll-up: which backend ran and what it cost.
+  struct Attempt {
+    engine::Backend backend = engine::Backend::Serial;
+    engine::BackendStats delta;
+  };
+
   void run_request(int worker, ParseRequest req,
                    std::chrono::steady_clock::time_point submitted,
                    std::promise<ParseResponse> promise, Callback cb);
-  void record(const ParseRequest& req, const ParseResponse& resp,
-              const engine::BackendStats& delta);
+  void record(const ParseResponse& resp,
+              const std::vector<Attempt>& attempts);
+  /// Accounts a request that never reached a worker (rejected,
+  /// overloaded, or pre-expired at submit) in the serve-level
+  /// exactly-once status family and the service counters.
+  void record_at_submit(const ParseResponse& resp);
 
   engine::EngineSet engines_;
   Options opt_;
@@ -181,7 +254,19 @@ class ParseService {
   obs::Counter* rejected_at_submit_total_;
   obs::Histogram* queue_wait_seconds_;
   obs::Gauge* queue_depth_gauge_;
+  /// parsec_serve_requests_total{status=...}: one disjoint counter per
+  /// RequestStatus; every submitted request is counted exactly once.
+  obs::Counter* serve_status_[kNumRequestStatuses];
+  obs::Counter* fallback_retries_total_;
+  obs::Counter* fallback_ok_total_;
+  obs::Counter* breaker_trips_total_;
+  obs::Counter* breaker_rerouted_total_;
+  obs::Counter* watchdog_stalls_total_;
   std::chrono::steady_clock::time_point start_;
+  /// One breaker per backend (Serial's is never consulted — it is the
+  /// degradation target, not a degradable source).
+  resil::CircuitBreaker breakers_[engine::kNumBackends];
+  std::unique_ptr<resil::Watchdog> watchdog_;  // null when disabled
   std::vector<WorkerScratch> scratch_;
   std::unique_ptr<ThreadPool> pool_;  // last member: dies first
 
@@ -191,6 +276,13 @@ class ParseService {
   std::uint64_t accepted_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t rejected_at_submit_ = 0;
+  std::uint64_t bad_requests_ = 0;
+  std::uint64_t overloaded_ = 0;
+  std::uint64_t faulted_ = 0;
+  std::uint64_t fallback_retries_ = 0;
+  std::uint64_t fallback_ok_ = 0;
+  std::uint64_t breaker_rerouted_ = 0;
+  std::uint64_t watchdog_stalls_ = 0;
   util::Stats latency_;        // seconds, submission -> completion
   util::Quantiles quantiles_;  // same samples, percentile view
   engine::BackendStats backend_stats_[engine::kNumBackends];

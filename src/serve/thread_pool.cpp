@@ -20,6 +20,8 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::post(Job job) { return queue_.push(std::move(job)); }
 
+bool ThreadPool::try_post(Job job) { return queue_.try_push(std::move(job)); }
+
 void ThreadPool::shutdown() {
   queue_.close();
   std::lock_guard lock(join_mutex_);

@@ -42,6 +42,11 @@ class ThreadPool {
   /// Returns false once shutdown has begun.
   bool post(Job job);
 
+  /// Non-blocking flavour: false when the queue is full or shutdown
+  /// has begun — callers that shed load distinguish the two via
+  /// shutting_down().
+  bool try_post(Job job);
+
   /// Closes the queue, lets workers drain every queued job, joins.
   /// Safe to call while jobs are running or queued, and more than once.
   void shutdown();

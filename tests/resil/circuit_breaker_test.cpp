@@ -1,0 +1,79 @@
+// CircuitBreaker: trip threshold, streak reset, cooldown, the single
+// half-open probe, and trip accounting.
+#include "resil/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using parsec::resil::CircuitBreaker;
+using State = CircuitBreaker::State;
+using namespace std::chrono_literals;
+
+CircuitBreaker::Options fast_opts() {
+  CircuitBreaker::Options o;
+  o.trip_after = 3;
+  o.cooldown = 20ms;
+  return o;
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker b(fast_opts());
+  EXPECT_TRUE(b.allow());
+  EXPECT_FALSE(b.record_failure());
+  EXPECT_FALSE(b.record_failure());
+  EXPECT_TRUE(b.record_failure());  // third failure trips
+  EXPECT_EQ(b.state(), State::Open);
+  EXPECT_FALSE(b.allow());
+  EXPECT_EQ(b.trips(), 1u);
+  // Further failures while Open neither re-trip nor re-count.
+  EXPECT_FALSE(b.record_failure());
+  EXPECT_EQ(b.trips(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheStreak) {
+  CircuitBreaker b(fast_opts());
+  b.record_failure();
+  b.record_failure();
+  b.record_success();  // streak back to zero
+  b.record_failure();
+  b.record_failure();
+  EXPECT_EQ(b.state(), State::Closed);
+  EXPECT_TRUE(b.allow());
+}
+
+TEST(CircuitBreaker, CooldownAdmitsExactlyOneProbe) {
+  CircuitBreaker b(fast_opts());
+  for (int i = 0; i < 3; ++i) b.record_failure();
+  EXPECT_FALSE(b.allow());  // still cooling down
+  std::this_thread::sleep_for(30ms);
+  EXPECT_TRUE(b.allow());   // this caller claims the probe
+  EXPECT_EQ(b.state(), State::HalfOpen);
+  EXPECT_FALSE(b.allow());  // probe already in flight
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  CircuitBreaker b(fast_opts());
+  for (int i = 0; i < 3; ++i) b.record_failure();
+  std::this_thread::sleep_for(30ms);
+  ASSERT_TRUE(b.allow());
+  b.record_success();
+  EXPECT_EQ(b.state(), State::Closed);
+  EXPECT_TRUE(b.allow());
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensAndRestartsCooldown) {
+  CircuitBreaker b(fast_opts());
+  for (int i = 0; i < 3; ++i) b.record_failure();
+  std::this_thread::sleep_for(30ms);
+  ASSERT_TRUE(b.allow());
+  EXPECT_TRUE(b.record_failure());  // half-open probe failed: re-trip
+  EXPECT_EQ(b.state(), State::Open);
+  EXPECT_EQ(b.trips(), 2u);
+  EXPECT_FALSE(b.allow());  // cooldown restarted
+}
+
+}  // namespace

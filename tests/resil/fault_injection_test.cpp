@@ -1,0 +1,109 @@
+// End-to-end fault-injection sites: dead PEs remap work around the
+// fault with bit-identical results, router errors are detected and
+// retried, and arena allocation failure surfaces as InjectedFault.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cdg/network.h"
+#include "grammars/toy_grammar.h"
+#include "parsec/backend.h"
+#include "parsec/maspar_parser.h"
+#include "resil/fault_plan.h"
+
+namespace {
+
+using namespace parsec;
+using resil::FaultPlan;
+using resil::FaultSpec;
+using resil::InjectedFault;
+using resil::ScopedFaultPlan;
+
+TEST(FaultInjection, DeadPesRemapWithBitIdenticalResults) {
+  auto bundle = grammars::make_toy_grammar();
+  const cdg::Sentence s = bundle.tag("The program runs");
+  engine::EngineSet engines(bundle.grammar);
+
+  const engine::BackendRun clean =
+      engine::run_backend(engines, engine::Backend::Maspar, s);
+  ASSERT_TRUE(clean.accepted);
+
+  FaultPlan plan(42);
+  FaultSpec dead;
+  dead.probability = 0.25;  // ~quarter of the physical array disabled
+  plan.arm("maspar.dead_pe", dead);
+  ScopedFaultPlan scope(plan);
+  const engine::BackendRun degraded =
+      engine::run_backend(engines, engine::Backend::Maspar, s);
+
+  // The MP-1's fault story: disable the PE, fold its virtual load onto
+  // the survivors, answer identically — only slower.
+  EXPECT_TRUE(degraded.accepted);
+  EXPECT_EQ(degraded.domains_hash, clean.domains_hash);
+  EXPECT_GT(degraded.stats.maspar.dead_pes, 0u);
+  EXPECT_GE(degraded.stats.maspar_simulated_seconds,
+            clean.stats.maspar_simulated_seconds);
+}
+
+TEST(FaultInjection, AllPesDeadIsAHardFault) {
+  auto bundle = grammars::make_toy_grammar();
+  engine::EngineSet engines(bundle.grammar);
+  FaultPlan plan;
+  FaultSpec dead;
+  dead.every_nth = 1;  // every PE fails its power-on check
+  plan.arm("maspar.dead_pe", dead);
+  ScopedFaultPlan scope(plan);
+  EXPECT_THROW(engine::run_backend(engines, engine::Backend::Maspar,
+                                   bundle.tag("The program runs")),
+               InjectedFault);
+}
+
+TEST(FaultInjection, RouterErrorsAreRetriedNotCorrupting) {
+  auto bundle = grammars::make_toy_grammar();
+  const cdg::Sentence s = bundle.tag("The program runs");
+  engine::EngineSet engines(bundle.grammar);
+  const engine::BackendRun clean =
+      engine::run_backend(engines, engine::Backend::Maspar, s);
+
+  FaultPlan plan(7);
+  FaultSpec router;
+  router.every_nth = 10;  // every tenth scan/route op fails once
+  plan.arm("maspar.router", router);
+  ScopedFaultPlan scope(plan);
+  const engine::BackendRun flaky =
+      engine::run_backend(engines, engine::Backend::Maspar, s);
+
+  EXPECT_EQ(flaky.domains_hash, clean.domains_hash);
+  EXPECT_GT(flaky.stats.maspar.router_retries, 0u);
+  // Each retry re-charges the op: the flaky run costs strictly more.
+  EXPECT_GT(flaky.stats.maspar.scan_ops + flaky.stats.maspar.route_ops,
+            clean.stats.maspar.scan_ops + clean.stats.maspar.route_ops);
+}
+
+TEST(FaultInjection, ArenaAllocationFailureThrowsInjectedFault) {
+  auto bundle = grammars::make_toy_grammar();
+  FaultPlan plan;
+  FaultSpec alloc;
+  alloc.every_nth = 1;
+  plan.arm("arena.alloc", alloc);
+  ScopedFaultPlan scope(plan);
+  EXPECT_THROW(cdg::Network(bundle.grammar, bundle.tag("The program runs")),
+               InjectedFault);
+}
+
+TEST(FaultInjection, SameShapeReinitNeverAllocatesSoNeverFaults) {
+  auto bundle = grammars::make_toy_grammar();
+  // Build (and grow) the network with no plan installed...
+  cdg::Network net(bundle.grammar, bundle.tag("The program runs"));
+  // ...then arm allocation failure: a same-shape reinit must survive,
+  // because the hot path is allocation-free.
+  FaultPlan plan;
+  FaultSpec alloc;
+  alloc.every_nth = 1;
+  plan.arm("arena.alloc", alloc);
+  ScopedFaultPlan scope(plan);
+  EXPECT_TRUE(net.reinit(bundle.tag("A dog halts")));
+  EXPECT_EQ(plan.fires("arena.alloc"), 0u);
+}
+
+}  // namespace

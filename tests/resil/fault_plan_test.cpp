@@ -1,0 +1,182 @@
+// FaultPlan: seeded determinism, trigger semantics (probability,
+// every_nth, max_fires), the text format, and scoped installation.
+#include "resil/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using parsec::resil::FaultPlan;
+using parsec::resil::FaultSpec;
+using parsec::resil::ScopedFaultPlan;
+
+std::vector<bool> fire_sequence(FaultPlan& plan, const char* site, int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(plan.should_fire(site));
+  return out;
+}
+
+TEST(FaultPlan, SameSeedReplaysBitIdentically) {
+  FaultSpec spec;
+  spec.probability = 0.3;
+  FaultPlan a(42), b(42);
+  a.arm("site.x", spec);
+  b.arm("site.x", spec);
+  EXPECT_EQ(fire_sequence(a, "site.x", 1000),
+            fire_sequence(b, "site.x", 1000));
+  EXPECT_GT(a.total_fires(), 0u);
+  EXPECT_EQ(a.fires("site.x"), b.fires("site.x"));
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultSpec spec;
+  spec.probability = 0.3;
+  FaultPlan a(1), b(2);
+  a.arm("site.x", spec);
+  b.arm("site.x", spec);
+  EXPECT_NE(fire_sequence(a, "site.x", 1000),
+            fire_sequence(b, "site.x", 1000));
+}
+
+TEST(FaultPlan, SitesAreIndependentStreams) {
+  FaultSpec spec;
+  spec.probability = 0.5;
+  FaultPlan plan(7);
+  plan.arm("site.a", spec);
+  plan.arm("site.b", spec);
+  EXPECT_NE(fire_sequence(plan, "site.a", 256),
+            fire_sequence(plan, "site.b", 256));
+}
+
+TEST(FaultPlan, ProbabilityRoughlyMatchesRate) {
+  FaultSpec spec;
+  spec.probability = 0.1;
+  FaultPlan plan(99);
+  plan.arm("site.x", spec);
+  const int kQueries = 20000;
+  for (int i = 0; i < kQueries; ++i) plan.should_fire("site.x");
+  const double rate =
+      static_cast<double>(plan.fires("site.x")) / kQueries;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+  EXPECT_EQ(plan.queries("site.x"), static_cast<std::uint64_t>(kQueries));
+}
+
+TEST(FaultPlan, EveryNthFiresOnExactCadence) {
+  FaultSpec spec;
+  spec.every_nth = 3;
+  FaultPlan plan;
+  plan.arm("site.x", spec);
+  // Queries are 1-based: fire on 1, 4, 7, ...
+  const auto seq = fire_sequence(plan, "site.x", 9);
+  const std::vector<bool> want = {true, false, false, true, false,
+                                  false, true, false, false};
+  EXPECT_EQ(seq, want);
+}
+
+TEST(FaultPlan, MaxFiresCapsTheSite) {
+  FaultSpec spec;
+  spec.every_nth = 1;  // would otherwise fire on every query
+  spec.max_fires = 2;
+  FaultPlan plan;
+  plan.arm("site.x", spec);
+  const auto seq = fire_sequence(plan, "site.x", 5);
+  const std::vector<bool> want = {true, true, false, false, false};
+  EXPECT_EQ(seq, want);
+  EXPECT_EQ(plan.fires("site.x"), 2u);
+}
+
+TEST(FaultPlan, UnarmedSiteNeverFires) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.armed("site.x"));
+  EXPECT_FALSE(plan.should_fire("site.x"));
+  EXPECT_EQ(plan.queries("site.x"), 0u);
+}
+
+TEST(FaultPlan, ParsesTheTextFormat) {
+  std::istringstream in(
+      "# chaos plan\n"
+      "seed 42\n"
+      "\n"
+      "arena.alloc   prob=0.01 limit=3\n"
+      "maspar.router every=100\n"
+      "engine.latency prob=0.05 param=0.0005\n");
+  FaultPlan plan = FaultPlan::parse(in);
+  EXPECT_EQ(plan.seed(), 42u);
+  EXPECT_TRUE(plan.armed("arena.alloc"));
+  EXPECT_TRUE(plan.armed("maspar.router"));
+  EXPECT_TRUE(plan.armed("engine.latency"));
+  EXPECT_DOUBLE_EQ(plan.param("engine.latency"), 0.0005);
+  const auto sites = plan.sites();
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0], "arena.alloc");
+  // every=100 fires on the first query.
+  EXPECT_TRUE(plan.should_fire("maspar.router"));
+  EXPECT_FALSE(plan.should_fire("maspar.router"));
+}
+
+TEST(FaultPlan, ParseRejectsMalformedInput) {
+  {
+    std::istringstream in("seed notanumber\n");
+    EXPECT_THROW(FaultPlan::parse(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("site.x frequency=3\n");  // unknown key
+    EXPECT_THROW(FaultPlan::parse(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("site.x prob=1.5\n");  // out of range
+    EXPECT_THROW(FaultPlan::parse(in), std::invalid_argument);
+  }
+  EXPECT_THROW(FaultPlan::load("/nonexistent/fault.plan"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, ScopedInstallationIsExclusive) {
+  EXPECT_EQ(parsec::resil::installed_plan(), nullptr);
+  FaultPlan plan;
+  plan.arm("site.x", FaultSpec{});
+  {
+    ScopedFaultPlan scope(plan);
+    EXPECT_EQ(parsec::resil::installed_plan(), &plan);
+    FaultPlan other;
+    EXPECT_THROW(ScopedFaultPlan nested(other), std::logic_error);
+  }
+  EXPECT_EQ(parsec::resil::installed_plan(), nullptr);
+  // Free helpers are no-ops without a plan.
+  EXPECT_FALSE(parsec::resil::should_fire("site.x"));
+  EXPECT_DOUBLE_EQ(parsec::resil::site_param("site.x", 1.25), 1.25);
+}
+
+TEST(FaultPlan, CheckpointPollsCancelAndInjectsLatency) {
+  // No plan: checkpoint just reports the cancel state.
+  EXPECT_FALSE(parsec::resil::checkpoint({}));
+  EXPECT_TRUE(parsec::resil::checkpoint([] { return true; }));
+
+  FaultPlan plan;
+  FaultSpec latency;
+  latency.every_nth = 1;
+  latency.param = 0.0;  // zero-length sleep: just exercise the path
+  plan.arm("engine.latency", latency);
+  FaultSpec hang;
+  hang.every_nth = 1;
+  hang.param = 0.05;  // bound the hang at 50ms even if nobody cancels
+  plan.arm("engine.hang", hang);
+  ScopedFaultPlan scope(plan);
+  // A fired cancel ends the injected hang immediately.
+  EXPECT_TRUE(parsec::resil::checkpoint([] { return true; }));
+  // An unwatched hang ends at the param bound.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(parsec::resil::checkpoint({}));
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(waited, 0.04);
+}
+
+}  // namespace

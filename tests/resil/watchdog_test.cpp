@@ -1,0 +1,60 @@
+// Watchdog: stall detection raises the slot's cancel flag, finished
+// parses are never flagged, and stale flags are cleared on begin().
+#include "resil/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using parsec::resil::Watchdog;
+using namespace std::chrono_literals;
+
+Watchdog::Options fast_opts() {
+  Watchdog::Options o;
+  o.stall_after = 30ms;
+  o.interval = 5ms;
+  return o;
+}
+
+TEST(Watchdog, FlagsAStalledWorker) {
+  Watchdog dog(2, fast_opts());
+  Watchdog::Slot& slot = dog.begin(0);
+  // Simulate a stuck parse: never call end().
+  for (int i = 0; i < 100 && !slot.cancel.load(); ++i)
+    std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(slot.cancel.load());
+  EXPECT_EQ(dog.stalls(), 1u);
+  dog.end(0);
+  // An ended slot is not re-flagged.
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(dog.stalls(), 1u);
+}
+
+TEST(Watchdog, FastParsesAreNeverFlagged) {
+  Watchdog dog(1, fast_opts());
+  for (int i = 0; i < 10; ++i) {
+    Watchdog::Slot& slot = dog.begin(0);
+    std::this_thread::sleep_for(1ms);
+    EXPECT_FALSE(slot.cancel.load());
+    dog.end(0);
+  }
+  EXPECT_EQ(dog.stalls(), 0u);
+}
+
+TEST(Watchdog, BeginClearsAStaleCancelFlag) {
+  Watchdog dog(1, fast_opts());
+  Watchdog::Slot& slot = dog.begin(0);
+  for (int i = 0; i < 100 && !slot.cancel.load(); ++i)
+    std::this_thread::sleep_for(5ms);
+  ASSERT_TRUE(slot.cancel.load());
+  dog.end(0);
+  // The next parse on this worker starts with a clean flag.
+  Watchdog::Slot& again = dog.begin(0);
+  EXPECT_FALSE(again.cancel.load());
+  dog.end(0);
+}
+
+}  // namespace
