@@ -293,12 +293,36 @@ int main(int argc, char** argv) {
     std::cout << "metrics: " << cfg.metrics_path << "\n";
   }
 
-  // One fully traced parse, end to end: factoring (EngineSet
-  // construction), propagation + mask builds + AC-4 fixpoint
-  // (run_backend with the AC-4 serial path), and parse extraction —
-  // the span taxonomy of docs/OBSERVABILITY.md in a single timeline.
+  // Traced section, end to end: first a small batch through a real
+  // ParseService (so the trace carries serve.request -> backend.*
+  // envelope -> engine-phase chains across worker threads — the
+  // request graph parsec_analyze reconstructs), then one fully traced
+  // direct parse: factoring (EngineSet construction), propagation +
+  // mask builds + AC-4 fixpoint (run_backend with the AC-4 serial
+  // path), and parse extraction — the span taxonomy of
+  // docs/OBSERVABILITY.md in a single timeline.
   if (!cfg.trace_path.empty()) {
     obs::TraceSession session;
+    {
+      // Isolated registry: the traced service's counters must not
+      // leak into Registry::global() scrapes.
+      obs::Registry traced_registry;
+      serve::ParseService::Options sopt;
+      sopt.threads = 2;
+      sopt.metrics = &traced_registry;
+      serve::ParseService traced_service(bundle.grammar, sopt);
+      const std::size_t traced_n = std::min<std::size_t>(workload.size(), 8);
+      std::vector<serve::ParseRequest> batch;
+      for (std::size_t i = 0; i < traced_n; ++i) {
+        serve::ParseRequest r;
+        r.sentence = workload[i];
+        r.backend = cfg.backend;
+        batch.push_back(std::move(r));
+      }
+      traced_service.parse_batch(std::move(batch));
+      // The service joins its workers here, quiescing every recording
+      // thread before the session is written.
+    }
     engine::EngineSetOptions eopt;
     eopt.serial_ac4 = true;
     engine::EngineSet traced(bundle.grammar, eopt);

@@ -1,0 +1,161 @@
+#include "analyze/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "analyze/json.h"
+
+namespace parsec::analyze {
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Classifies one scrape sample for make_baseline.
+enum class Class { Skip, GateCounter, AdvisoryTime };
+
+Class classify(const Sample& s, const std::map<std::string, MetricType>& types) {
+  // Histogram series: bucket boundaries move with wall time, but the
+  // _count of a deterministic workload is exact and the _sum is a
+  // useful advisory wall-time aggregate.
+  if (ends_with(s.name, "_bucket")) return Class::Skip;
+  if (ends_with(s.name, "_sum")) return Class::AdvisoryTime;
+  if (ends_with(s.name, "_count")) return Class::GateCounter;
+
+  auto it = types.find(s.name);
+  const MetricType type =
+      it == types.end() ? MetricType::Untyped : it->second;
+  if (type == MetricType::Counter) return Class::GateCounter;
+  if (type == MetricType::Gauge || type == MetricType::Untyped) {
+    // Sampled gauges (queue depth) and calibration constants carry no
+    // regression signal; the simulated-seconds gauge is the cost
+    // model's deterministic output and is worth gating.
+    if (s.name == "parsec_maspar_simulated_seconds") return Class::GateCounter;
+    return Class::Skip;
+  }
+  return Class::Skip;
+}
+
+}  // namespace
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open baseline file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+  if (!doc.is_object())
+    throw std::invalid_argument("baseline: document is not an object");
+  Baseline b;
+  b.workload = doc.string_or("workload", "");
+  b.captured = doc.string_or("captured", "");
+  const JsonValue* counters = doc.find("counters");
+  if (!counters || !counters->is_array())
+    throw std::invalid_argument("baseline: missing counters array");
+  for (const JsonValue& c : counters->as_array()) {
+    BaselineEntry e;
+    e.id = c.string_or("id", "");
+    if (e.id.empty())
+      throw std::invalid_argument("baseline: counter entry without id");
+    e.value = c.number_or("value", 0.0);
+    e.tolerance = c.number_or("tolerance", kCounterTolerance);
+    const JsonValue* gate = c.find("gate");
+    e.gate = gate ? gate->as_bool() : true;
+    b.entries.push_back(std::move(e));
+  }
+  return b;
+}
+
+void save_baseline(const std::string& path, const Baseline& b) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot write baseline file: " + path);
+  // Hand-rendered (not to_json) to keep one entry per line — these
+  // files are committed and reviewed, so diffs should be line-grained.
+  auto escape = [](const std::string& s) {
+    std::string r;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') r.push_back('\\');
+      r.push_back(c);
+    }
+    return r;
+  };
+  out << "{\n";
+  out << "  \"workload\": \"" << escape(b.workload) << "\",\n";
+  out << "  \"captured\": \"" << escape(b.captured) << "\",\n";
+  out << "  \"counters\": [\n";
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    const BaselineEntry& e = b.entries[i];
+    out << "    {\"id\": \"" << escape(e.id) << "\", \"value\": "
+        << to_json(JsonValue::make_number(e.value))
+        << ", \"tolerance\": " << to_json(JsonValue::make_number(e.tolerance))
+        << ", \"gate\": " << (e.gate ? "true" : "false") << "}"
+        << (i + 1 < b.entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+Baseline make_baseline(const Scrape& scrape, const std::string& workload,
+                       const std::string& captured, const Baseline* carry) {
+  Baseline b;
+  b.workload = workload;
+  b.captured = captured;
+  for (const Sample& s : scrape.samples) {
+    const Class cls = classify(s, scrape.types);
+    if (cls == Class::Skip) continue;
+    BaselineEntry e;
+    e.id = s.id();
+    e.value = s.value;
+    e.tolerance =
+        cls == Class::GateCounter ? kCounterTolerance : kTimeTolerance;
+    e.gate = cls == Class::GateCounter;
+    if (carry) {
+      const auto it = std::find_if(
+          carry->entries.begin(), carry->entries.end(),
+          [&](const BaselineEntry& old) { return old.id == e.id; });
+      if (it != carry->entries.end()) {
+        e.tolerance = it->tolerance;
+        e.gate = it->gate;
+      }
+    }
+    b.entries.push_back(std::move(e));
+  }
+  return b;
+}
+
+GateResult diff_scrape(const Baseline& baseline, const Scrape& scrape) {
+  GateResult result;
+  for (const BaselineEntry& e : baseline.entries) {
+    CounterDiff d;
+    d.id = e.id;
+    d.baseline = e.value;
+    d.tolerance = e.tolerance;
+    d.gate = e.gate;
+    const Sample* s = scrape.find(e.id);
+    if (!s) {
+      d.missing = true;
+      d.within = false;
+      d.actual = 0.0;
+      d.rel_delta = 0.0;
+    } else {
+      d.actual = s->value;
+      const double denom = std::max(std::fabs(e.value), 1.0);
+      d.rel_delta = (d.actual - e.value) / denom;
+      d.within = std::fabs(d.actual - e.value) <= e.tolerance * denom;
+    }
+    if (e.gate) {
+      ++result.gated;
+      if (!d.within) ++result.failed;
+    } else if (!d.within) {
+      ++result.advisories;
+    }
+    result.diffs.push_back(std::move(d));
+  }
+  return result;
+}
+
+}  // namespace parsec::analyze

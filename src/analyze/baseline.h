@@ -1,0 +1,95 @@
+// Cost-counter baselines and the perf-regression diff.
+//
+// A baseline file (bench/baselines/*.json) pins the expected value of
+// every gated cost counter for one exact bench invocation — effective
+// unary/binary evals, masked pairs, eliminations, MasPar
+// plural/scan/route ops, consistency iterations — plus advisory
+// wall-time aggregates (queue wait, parse-duration sums) that are
+// reported but never fail the gate.  parsec_analyze diffs a fresh
+// scrape against the baseline with per-counter tolerance bands and
+// exits nonzero when a gated counter leaves its band; this is the
+// paper's own methodology (per-phase machine-op accounting, Fig. 8)
+// turned into a CI gate.
+//
+// File format (JSON):
+//   {
+//     "workload": "<the exact bench command>",
+//     "captured": "<ISO date>",
+//     "counters": [
+//       {"id": "parsec_effective_binary_evals_total{backend=\"serial\"}",
+//        "value": 123456, "tolerance": 0.02, "gate": true},
+//       ...
+//     ]
+//   }
+//
+// `tolerance` is a relative band: actual must lie within
+// value ± tolerance * max(|value|, 1); the max(…, 1) floor makes a
+// zero baseline demand (near-)zero actuals instead of accepting
+// anything.  `gate: false` entries are advisory — diffed and printed,
+// never fatal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/prom_reader.h"
+
+namespace parsec::analyze {
+
+struct BaselineEntry {
+  std::string id;          // canonical series id (Sample::id())
+  double value = 0.0;      // expected value
+  double tolerance = 0.0;  // relative band
+  bool gate = true;        // false = advisory (never fails the run)
+};
+
+struct Baseline {
+  std::string workload;  // exact bench invocation the values pin
+  std::string captured;  // ISO date of capture
+  std::vector<BaselineEntry> entries;
+};
+
+/// Default bands used by make_baseline: op counters are deterministic
+/// for a fixed workload, so their band is tight; time aggregates are
+/// machine-dependent, so they are advisory with a wide band.
+inline constexpr double kCounterTolerance = 0.02;
+inline constexpr double kTimeTolerance = 1.0;
+
+Baseline load_baseline(const std::string& path);
+void save_baseline(const std::string& path, const Baseline& b);
+
+/// Builds a baseline from a scrape: every deterministic parsec cost
+/// counter becomes a gated entry, wall-time sums become advisory
+/// entries, and per-bucket histogram series / sampled gauges are
+/// skipped.  When `carry` is non-null, tolerance and gate flags of
+/// entries whose id already existed are preserved (so hand-tuned
+/// bands survive --update-baseline).
+Baseline make_baseline(const Scrape& scrape, const std::string& workload,
+                       const std::string& captured,
+                       const Baseline* carry = nullptr);
+
+/// One diffed counter.
+struct CounterDiff {
+  std::string id;
+  double baseline = 0.0;
+  double actual = 0.0;
+  double rel_delta = 0.0;  // (actual - baseline) / max(|baseline|, 1)
+  double tolerance = 0.0;
+  bool gate = true;
+  bool missing = false;  // id absent from the scrape
+  bool within = true;    // inside the band (missing => false)
+};
+
+struct GateResult {
+  std::vector<CounterDiff> diffs;  // baseline order
+  std::size_t gated = 0;           // gate entries checked
+  std::size_t failed = 0;          // gate entries out of band
+  std::size_t advisories = 0;      // advisory entries out of band
+  bool regression() const { return failed > 0; }
+};
+
+/// Diffs a scrape against a baseline.  Scrape series missing from the
+/// baseline are ignored (they get pinned at the next --update-baseline).
+GateResult diff_scrape(const Baseline& baseline, const Scrape& scrape);
+
+}  // namespace parsec::analyze

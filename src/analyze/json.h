@@ -1,0 +1,90 @@
+// Minimal recursive-descent JSON reader for the offline analyzer.
+//
+// The analyzer ingests two self-produced formats — Chrome trace-event
+// JSON from obs::TraceSession and the perf-gate baseline files under
+// bench/baselines/ — so this parser covers exactly RFC 8259 value
+// syntax (objects, arrays, strings with escapes, numbers, booleans,
+// null) with no extensions, no streaming, and no external dependency.
+// It is an offline tool: clarity over speed, and every malformed input
+// throws analyze::JsonError with a byte offset instead of returning a
+// half-parsed value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace parsec::analyze {
+
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value.  Object member order is not preserved (the
+/// trace and baseline formats never depend on it).
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  // truncates; throws on non-number
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Convenience: member `key` as number/string with a default when
+  /// absent (still throws if present with the wrong kind).
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> a);
+  static JsonValue make_object(std::map<std::string, JsonValue> o);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::map<std::string, JsonValue> obj_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).  Throws JsonError on malformed input.
+JsonValue parse_json(const std::string& text);
+
+/// Serializes a value back to compact JSON (stable member order: the
+/// map's lexicographic key order).  Numbers that hold an integral value
+/// render without a decimal point so counter baselines diff cleanly.
+std::string to_json(const JsonValue& v);
+
+}  // namespace parsec::analyze

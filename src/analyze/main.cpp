@@ -1,0 +1,182 @@
+// parsec_analyze — offline trace analytics + CI perf-regression gate.
+//
+// Ingests one or more Chrome-trace / Prometheus-scrape pairs produced
+// by the benches (`--trace-out` / `--metrics-out`), reconstructs the
+// per-request span graph, prints critical-path decompositions,
+// per-phase aggregates and straggler flags, and diffs the scrape's
+// cost counters against a committed baseline (bench/baselines/*.json)
+// with per-counter tolerance bands.
+//
+//   parsec_analyze [--trace FILE]... [--metrics FILE]...
+//                  [--baseline FILE]... [--update-baseline]
+//                  [--workload DESC] [--captured DATE] [--report-md FILE]
+//                  [--straggler-factor F] [--phase-skew-factor F]
+//
+// Multiple --metrics files pair positionally with multiple --baseline
+// files (the CI perf-gate job diffs the throughput scrape and the
+// parse-time scrape against their own baselines in one invocation).
+// --update-baseline rewrites each baseline from its scrape instead of
+// diffing, carrying hand-tuned tolerance/gate flags forward.
+//
+// Exit status: 0 = analyzed, all gated counters within bands;
+//              1 = at least one gated counter regressed (or a gated
+//                  series disappeared from the scrape);
+//              2 = usage or input error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/baseline.h"
+#include "analyze/prom_reader.h"
+#include "analyze/report.h"
+#include "analyze/span_graph.h"
+#include "analyze/trace_reader.h"
+
+namespace {
+
+using namespace parsec;
+
+struct Config {
+  std::vector<std::string> traces;
+  std::vector<std::string> metrics;
+  std::vector<std::string> baselines;
+  bool update_baseline = false;
+  std::string workload;   // recorded into updated baselines
+  std::string captured;   // capture date recorded into updated baselines
+  std::string report_md;  // markdown report path (append)
+  analyze::AnalyzeOptions opt;
+};
+
+int usage() {
+  std::cerr
+      << "usage: parsec_analyze [--trace FILE]... [--metrics FILE]...\n"
+         "                      [--baseline FILE]... [--update-baseline]\n"
+         "                      [--workload DESC] [--captured DATE]\n"
+         "                      [--report-md FILE] [--straggler-factor F] "
+         "[--phase-skew-factor F]\n"
+         "\n"
+         "Analyzes obs trace.json / metrics.prom outputs: critical paths,\n"
+         "per-phase aggregates, stragglers, and cost-counter diffs against\n"
+         "committed baselines (see docs/OBSERVABILITY.md).\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--trace")
+        cfg.traces.push_back(next());
+      else if (arg == "--metrics")
+        cfg.metrics.push_back(next());
+      else if (arg == "--baseline")
+        cfg.baselines.push_back(next());
+      else if (arg == "--update-baseline")
+        cfg.update_baseline = true;
+      else if (arg == "--workload")
+        cfg.workload = next();
+      else if (arg == "--captured")
+        cfg.captured = next();
+      else if (arg == "--report-md")
+        cfg.report_md = next();
+      else if (arg == "--straggler-factor")
+        cfg.opt.straggler_factor = std::stod(next());
+      else if (arg == "--phase-skew-factor")
+        cfg.opt.phase_skew_factor = std::stod(next());
+      else
+        return usage();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "parsec_analyze: " << e.what() << "\n";
+    return usage();
+  }
+
+  if (cfg.traces.empty() && cfg.metrics.empty()) return usage();
+  if (!cfg.baselines.empty() && cfg.baselines.size() != cfg.metrics.size()) {
+    std::cerr << "parsec_analyze: " << cfg.baselines.size()
+              << " baseline(s) for " << cfg.metrics.size()
+              << " metrics file(s); they pair positionally\n";
+    return 2;
+  }
+  if (cfg.update_baseline && cfg.baselines.empty()) {
+    std::cerr << "parsec_analyze: --update-baseline needs --baseline\n";
+    return 2;
+  }
+
+  std::ostringstream md;
+  bool regression = false;
+
+  try {
+    for (const std::string& path : cfg.traces) {
+      const analyze::Trace trace = analyze::read_trace_file(path);
+      const analyze::RunAnalysis run = analyze::analyze_trace(trace, cfg.opt);
+      analyze::write_run_text(std::cout, "trace " + path, run);
+      std::cout << "\n";
+      analyze::write_run_markdown(md, "Trace `" + path + "`", run);
+    }
+
+    for (std::size_t i = 0; i < cfg.metrics.size(); ++i) {
+      const analyze::Scrape scrape =
+          analyze::read_prometheus_file(cfg.metrics[i]);
+      if (cfg.baselines.empty()) {
+        std::cout << "scrape " << cfg.metrics[i] << ": "
+                  << scrape.samples.size() << " samples (no baseline)\n\n";
+        continue;
+      }
+      const std::string& bpath = cfg.baselines[i];
+      if (cfg.update_baseline) {
+        const analyze::Baseline* carry = nullptr;
+        analyze::Baseline old;
+        try {
+          old = analyze::load_baseline(bpath);
+          carry = &old;
+        } catch (const std::exception&) {
+          // No previous baseline: start from the default bands.
+        }
+        analyze::Baseline fresh = analyze::make_baseline(
+            scrape, cfg.workload.empty() ? cfg.metrics[i] : cfg.workload,
+            cfg.captured, carry);
+        if (carry && cfg.workload.empty()) fresh.workload = old.workload;
+        if (carry && cfg.captured.empty()) fresh.captured = old.captured;
+        analyze::save_baseline(bpath, fresh);
+        std::cout << "baseline " << bpath << ": pinned "
+                  << fresh.entries.size() << " counter(s) from "
+                  << cfg.metrics[i] << "\n";
+        continue;
+      }
+      const analyze::Baseline baseline = analyze::load_baseline(bpath);
+      const analyze::GateResult gate =
+          analyze::diff_scrape(baseline, scrape);
+      analyze::write_gate_text(
+          std::cout, "perf gate " + cfg.metrics[i] + " vs " + bpath, gate);
+      std::cout << "\n";
+      analyze::write_gate_markdown(
+          md, "Perf gate `" + cfg.metrics[i] + "` vs `" + bpath + "`", gate);
+      regression = regression || gate.regression();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "parsec_analyze: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!cfg.report_md.empty()) {
+    std::ofstream out(cfg.report_md, std::ios::app);
+    if (!out) {
+      std::cerr << "parsec_analyze: cannot write " << cfg.report_md << "\n";
+      return 2;
+    }
+    out << md.str();
+  }
+
+  return regression ? 1 : 0;
+}

@@ -1,0 +1,165 @@
+#include "analyze/prom_reader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace parsec::analyze {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("metrics line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+void skip_spaces(const std::string& s, std::size_t& i) {
+  while (i < s.size() && is_space(s[i])) ++i;
+}
+
+// Parses `name{k="v",...}` starting at i; leaves i after the series.
+void parse_series(const std::string& s, std::size_t& i, std::size_t line_no,
+                  Sample& out) {
+  const std::size_t start = i;
+  while (i < s.size() && !is_space(s[i]) && s[i] != '{') ++i;
+  out.name = s.substr(start, i - start);
+  if (out.name.empty()) fail(line_no, "missing metric name");
+  if (i < s.size() && s[i] == '{') {
+    ++i;
+    while (i < s.size() && s[i] != '}') {
+      const std::size_t kstart = i;
+      while (i < s.size() && s[i] != '=') ++i;
+      if (i >= s.size()) fail(line_no, "unterminated label");
+      std::string key = s.substr(kstart, i - kstart);
+      ++i;  // '='
+      if (i >= s.size() || s[i] != '"') fail(line_no, "label value not quoted");
+      ++i;  // '"'
+      std::string val;
+      while (i < s.size() && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          ++i;
+          if (s[i] == 'n')
+            val.push_back('\n');
+          else
+            val.push_back(s[i]);  // \" and \\ (and the identity escape)
+        } else {
+          val.push_back(s[i]);
+        }
+        ++i;
+      }
+      if (i >= s.size()) fail(line_no, "unterminated label value");
+      ++i;  // closing '"'
+      out.labels.emplace_back(std::move(key), std::move(val));
+      if (i < s.size() && s[i] == ',') ++i;
+    }
+    if (i >= s.size() || s[i] != '}') fail(line_no, "unterminated label set");
+    ++i;  // '}'
+  }
+}
+
+double parse_value(const std::string& tok, std::size_t line_no) {
+  if (tok == "+Inf" || tok == "Inf")
+    return std::numeric_limits<double>::infinity();
+  if (tok == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (tok == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0')
+    fail(line_no, "malformed sample value '" + tok + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string Sample::id() const {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+const Sample* Scrape::find(const std::string& id) const {
+  for (const Sample& s : samples)
+    if (s.id() == id) return &s;
+  return nullptr;
+}
+
+double Scrape::value_or(const std::string& id, double fallback) const {
+  const Sample* s = find(id);
+  return s ? s->value : fallback;
+}
+
+Scrape read_prometheus(std::istream& in) {
+  Scrape scrape;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    skip_spaces(line, i);
+    if (i >= line.size()) continue;  // blank
+    if (line[i] == '#') {
+      // "# HELP name text" / "# TYPE name type"; other comments skipped.
+      std::istringstream is(line.substr(i + 1));
+      std::string kind, name;
+      is >> kind >> name;
+      if (kind == "TYPE") {
+        std::string type;
+        is >> type;
+        MetricType t = MetricType::Untyped;
+        if (type == "counter")
+          t = MetricType::Counter;
+        else if (type == "gauge")
+          t = MetricType::Gauge;
+        else if (type == "histogram")
+          t = MetricType::Histogram;
+        else if (type == "summary")
+          t = MetricType::Summary;
+        scrape.types[name] = t;
+      } else if (kind == "HELP") {
+        std::string rest;
+        std::getline(is, rest);
+        if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+        scrape.help[name] = rest;
+      }
+      continue;
+    }
+    Sample sample;
+    parse_series(line, i, line_no, sample);
+    skip_spaces(line, i);
+    const std::size_t vstart = i;
+    while (i < line.size() && !is_space(line[i])) ++i;
+    if (vstart == i) fail(line_no, "missing sample value");
+    sample.value = parse_value(line.substr(vstart, i - vstart), line_no);
+    // An optional trailing timestamp is allowed by the format; the
+    // writer never emits one and the analyzer ignores it.
+    scrape.samples.push_back(std::move(sample));
+  }
+  return scrape;
+}
+
+Scrape read_prometheus_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_prometheus(is);
+}
+
+Scrape read_prometheus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open metrics file: " + path);
+  return read_prometheus(in);
+}
+
+}  // namespace parsec::analyze

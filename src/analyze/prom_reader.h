@@ -1,0 +1,57 @@
+// Prometheus text-format (0.0.4) reader for the offline analyzer.
+//
+// Parses the scrapes written by obs::Registry::write_prometheus (the
+// `--metrics-out` files and ParseService::metrics_text()) into a flat
+// sample table keyed by the canonical series id
+// `name{key="value",...}` with labels in file order.  The reader
+// understands exactly what the writer emits — HELP/TYPE comments,
+// counter/gauge samples, histogram `_bucket`/`_sum`/`_count` series —
+// and tolerates the standard-format details the writer never produces
+// (escaped label values, +Inf/NaN sample values, blank lines).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parsec::analyze {
+
+/// One time series sample.
+struct Sample {
+  std::string name;  // family name incl. _bucket/_sum/_count suffix
+  std::vector<std::pair<std::string, std::string>> labels;  // file order
+  double value = 0.0;
+
+  /// Canonical id: `name` or `name{k="v",...}` with labels in file
+  /// order (the writer's registration order, which is stable).
+  std::string id() const;
+};
+
+/// Metric family type, from the # TYPE comment.
+enum class MetricType { Untyped, Counter, Gauge, Histogram, Summary };
+
+/// One parsed scrape.
+struct Scrape {
+  std::vector<Sample> samples;               // file order
+  std::map<std::string, MetricType> types;   // family name -> TYPE
+  std::map<std::string, std::string> help;   // family name -> HELP
+
+  /// Sample lookup by canonical id; nullptr when absent.
+  const Sample* find(const std::string& id) const;
+  /// Value lookup with a fallback.
+  double value_or(const std::string& id, double fallback) const;
+};
+
+/// Parses one scrape.  Throws std::invalid_argument with a line number
+/// on malformed input.
+Scrape read_prometheus(std::istream& in);
+Scrape read_prometheus_text(const std::string& text);
+
+/// Loads a scrape from a file; throws std::invalid_argument when the
+/// file cannot be opened.
+Scrape read_prometheus_file(const std::string& path);
+
+}  // namespace parsec::analyze

@@ -1,0 +1,222 @@
+#include "analyze/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace parsec::analyze {
+
+namespace {
+
+std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+std::string percent(double frac) { return fmt("%.1f%%", frac * 100.0); }
+
+std::string path_to_string(const std::vector<PathSegment>& path,
+                           double total_us, std::size_t max_segments = 8) {
+  std::string out;
+  std::size_t shown = 0;
+  for (const PathSegment& seg : path) {
+    if (shown == max_segments) {
+      out += " -> ...";
+      break;
+    }
+    if (!out.empty()) out += " -> ";
+    out += seg.name;
+    if (total_us > 0.0)
+      out += " (" + percent(seg.us / total_us) + ")";
+    ++shown;
+  }
+  return out;
+}
+
+/// The slowest request (straggler exemplar) or -1.
+long slowest_request(const RunAnalysis& run) {
+  long best = -1;
+  double best_dur = -1.0;
+  for (std::size_t i = 0; i < run.requests.size(); ++i) {
+    if (run.requests[i].dur_us > best_dur) {
+      best_dur = run.requests[i].dur_us;
+      best = static_cast<long>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string format_us(double us) {
+  if (us >= 1e6) return fmt("%.2f s", us / 1e6);
+  if (us >= 1e3) return fmt("%.2f ms", us / 1e3);
+  return fmt("%.1f us", us);
+}
+
+void write_run_text(std::ostream& os, const std::string& title,
+                    const RunAnalysis& run) {
+  os << "== " << title << " ==\n";
+  os << run.events << " spans, " << run.threads << " thread(s), wall "
+     << format_us(run.wall_us) << ", " << run.requests.size()
+     << " request(s)\n";
+  if (!run.requests.empty()) {
+    os << "request duration: median " << format_us(run.request_median_us)
+       << ", p99 " << format_us(run.request_p99_us) << "\n";
+  }
+
+  if (!run.profile.empty()) {
+    double total = 0.0;
+    for (const PathSegment& seg : run.profile) total += seg.us;
+    os << "\ncritical-path profile (request wall time by deepest span):\n";
+    util::Table t({"span", "self", "share"});
+    for (const PathSegment& seg : run.profile)
+      t.add_row({seg.name, format_us(seg.us),
+                 total > 0.0 ? percent(seg.us / total) : "-"});
+    t.print(os);
+  }
+
+  if (!run.phases.empty()) {
+    os << "\nper-phase aggregate:\n";
+    util::Table t({"phase", "count", "total", "self", "p50", "p99", "skew"});
+    for (const PhaseStat& p : run.phases)
+      t.add_row({p.name, std::to_string(p.count), format_us(p.total_us),
+                 format_us(p.self_us), format_us(p.p50_us),
+                 format_us(p.p99_us), fmt("%.1fx", p.skew)});
+    t.print(os);
+  }
+
+  const long slowest = slowest_request(run);
+  if (slowest >= 0) {
+    const RequestStat& r =
+        run.requests[static_cast<std::size_t>(slowest)];
+    os << "\nslowest request: " << r.root_name << " backend=" << r.backend;
+    if (r.n >= 0) os << " n=" << r.n;
+    os << " dur=" << format_us(r.dur_us);
+    if (r.queue_us > 0.0) os << " queue=" << format_us(r.queue_us);
+    os << "\n  critical path: " << path_to_string(r.path, r.dur_us) << "\n";
+  }
+
+  if (!run.stragglers.empty()) {
+    os << "\nstragglers (> straggler_factor x median):\n";
+    for (const std::size_t i : run.stragglers) {
+      const RequestStat& r = run.requests[i];
+      os << "  #" << i << " " << r.root_name << " backend=" << r.backend
+         << " dur=" << format_us(r.dur_us) << " ("
+         << fmt("%.1fx", run.request_median_us > 0.0
+                             ? r.dur_us / run.request_median_us
+                             : 0.0)
+         << " median)\n";
+    }
+  }
+  if (!run.skewed_phases.empty()) {
+    os << "\nskewed phases (p99/median above threshold):";
+    for (const std::string& name : run.skewed_phases) os << " " << name;
+    os << "\n";
+  }
+}
+
+void write_gate_text(std::ostream& os, const std::string& title,
+                     const GateResult& gate) {
+  os << "== " << title << " ==\n";
+  util::Table t({"counter", "baseline", "actual", "delta", "band", "verdict"});
+  for (const CounterDiff& d : gate.diffs) {
+    std::string verdict;
+    if (d.missing)
+      verdict = d.gate ? "MISSING" : "missing";
+    else if (d.within)
+      verdict = "ok";
+    else
+      verdict = d.gate ? "FAIL" : "drift";
+    t.add_row({d.id, fmt("%.6g", d.baseline), fmt("%.6g", d.actual),
+               fmt("%+.2f%%", d.rel_delta * 100.0),
+               fmt("±%.0f%%", d.tolerance * 100.0),
+               verdict + (d.gate ? "" : " (advisory)")});
+  }
+  t.print(os);
+  os << gate.gated << " gated counter(s), " << gate.failed
+     << " regression(s), " << gate.advisories << " advisory drift(s)\n";
+  os << "verdict: " << (gate.regression() ? "REGRESSION" : "within bands")
+     << "\n";
+}
+
+void write_run_markdown(std::ostream& os, const std::string& title,
+                        const RunAnalysis& run) {
+  os << "### " << title << "\n\n";
+  os << run.events << " spans · " << run.threads << " thread(s) · wall "
+     << format_us(run.wall_us) << " · " << run.requests.size()
+     << " request(s)";
+  if (!run.requests.empty())
+    os << " · request median " << format_us(run.request_median_us)
+       << " / p99 " << format_us(run.request_p99_us);
+  os << "\n\n";
+
+  if (!run.profile.empty()) {
+    double total = 0.0;
+    for (const PathSegment& seg : run.profile) total += seg.us;
+    os << "**Critical-path profile** (request wall time by deepest "
+          "span):\n\n";
+    os << "| span | self | share |\n|---|---|---|\n";
+    for (const PathSegment& seg : run.profile)
+      os << "| `" << seg.name << "` | " << format_us(seg.us) << " | "
+         << (total > 0.0 ? percent(seg.us / total) : "-") << " |\n";
+    os << "\n";
+  }
+
+  const long slowest = slowest_request(run);
+  if (slowest >= 0) {
+    const RequestStat& r = run.requests[static_cast<std::size_t>(slowest)];
+    os << "**Slowest request:** `" << r.root_name << "` backend=`"
+       << r.backend << "`";
+    if (r.n >= 0) os << " n=" << r.n;
+    os << " dur=" << format_us(r.dur_us) << "  \n";
+    os << "critical path: " << path_to_string(r.path, r.dur_us) << "\n\n";
+  }
+
+  if (!run.stragglers.empty()) {
+    os << "**Stragglers:** " << run.stragglers.size()
+       << " request(s) above the straggler threshold";
+    for (const std::size_t i : run.stragglers) {
+      const RequestStat& r = run.requests[i];
+      os << "; `" << r.backend << "` " << format_us(r.dur_us);
+    }
+    os << "\n\n";
+  }
+  if (!run.skewed_phases.empty()) {
+    os << "**Skewed phases:**";
+    for (const std::string& name : run.skewed_phases)
+      os << " `" << name << "`";
+    os << "\n\n";
+  }
+}
+
+void write_gate_markdown(std::ostream& os, const std::string& title,
+                         const GateResult& gate) {
+  os << "### " << title << "\n\n";
+  os << (gate.regression() ? "❌ **REGRESSION**" : "✅ within bands") << " — "
+     << gate.gated << " gated counter(s), " << gate.failed
+     << " regression(s), " << gate.advisories << " advisory drift(s)\n\n";
+  os << "| counter | baseline | actual | delta | band | verdict |\n"
+     << "|---|---|---|---|---|---|\n";
+  for (const CounterDiff& d : gate.diffs) {
+    std::string verdict;
+    if (d.missing)
+      verdict = d.gate ? "**MISSING**" : "missing";
+    else if (d.within)
+      verdict = "ok";
+    else
+      verdict = d.gate ? "**FAIL**" : "drift";
+    if (!d.gate) verdict += " (advisory)";
+    os << "| `" << d.id << "` | " << fmt("%.6g", d.baseline) << " | "
+       << fmt("%.6g", d.actual) << " | " << fmt("%+.2f%%", d.rel_delta * 100.0)
+       << " | " << fmt("±%.0f%%", d.tolerance * 100.0) << " | " << verdict
+       << " |\n";
+  }
+  os << "\n";
+}
+
+}  // namespace parsec::analyze

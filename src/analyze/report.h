@@ -1,0 +1,36 @@
+// Human-readable rendering of a trace analysis and a counter diff.
+//
+// Two output styles per section: plain text for the terminal / CI log,
+// and GitHub-flavoured markdown for the Actions job summary
+// ($GITHUB_STEP_SUMMARY).  The report answers, in order: where did
+// the wall time go (critical-path profile), which phases and requests
+// misbehave (stragglers, p99/median skew), and which cost counters
+// moved against the committed baseline (the perf gate verdict).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analyze/baseline.h"
+#include "analyze/span_graph.h"
+
+namespace parsec::analyze {
+
+/// Terminal rendering of one analyzed trace.
+void write_run_text(std::ostream& os, const std::string& title,
+                    const RunAnalysis& run);
+
+/// Terminal rendering of one baseline diff.
+void write_gate_text(std::ostream& os, const std::string& title,
+                     const GateResult& gate);
+
+/// Markdown rendering (job-summary tables) of the same two sections.
+void write_run_markdown(std::ostream& os, const std::string& title,
+                        const RunAnalysis& run);
+void write_gate_markdown(std::ostream& os, const std::string& title,
+                         const GateResult& gate);
+
+/// "12.3 ms" / "456 us" style duration formatting (microsecond input).
+std::string format_us(double us);
+
+}  // namespace parsec::analyze

@@ -1,0 +1,264 @@
+#include "analyze/span_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/stats.h"
+
+namespace parsec::analyze {
+
+namespace {
+
+/// Microsecond slack for containment: the writer rounds ts and dur to
+/// nanosecond-precision decimals independently, so a child's end can
+/// overshoot its parent's by a few thousandths.
+constexpr double kNestEpsilonUs = 0.002;
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+double arg_or(const TraceEvent& e, const char* key, double fallback) {
+  auto it = e.args.find(key);
+  return it == e.args.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+SpanForest build_span_forest(const Trace& trace) {
+  SpanForest forest;
+  forest.nodes.resize(trace.events.size());
+
+  // Lane = one (pid, tid) timeline.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<int>> lanes;
+  for (std::size_t i = 0; i < trace.events.size(); ++i)
+    lanes[{trace.events[i].pid, trace.events[i].tid}].push_back(
+        static_cast<int>(i));
+
+  for (auto& [lane, order] : lanes) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const TraceEvent& ea = trace.events[static_cast<std::size_t>(a)];
+      const TraceEvent& eb = trace.events[static_cast<std::size_t>(b)];
+      if (ea.ts_us != eb.ts_us) return ea.ts_us < eb.ts_us;
+      if (ea.dur_us != eb.dur_us) return ea.dur_us > eb.dur_us;
+      return a < b;
+    });
+    std::vector<int> stack;
+    for (const int idx : order) {
+      const TraceEvent& e = trace.events[static_cast<std::size_t>(idx)];
+      while (!stack.empty()) {
+        const TraceEvent& top =
+            trace.events[static_cast<std::size_t>(stack.back())];
+        if (e.ts_us >= top.ts_us - kNestEpsilonUs &&
+            e.end_us() <= top.end_us() + kNestEpsilonUs)
+          break;  // nests inside the stack top
+        stack.pop_back();
+      }
+      SpanNode& node = forest.nodes[static_cast<std::size_t>(idx)];
+      if (stack.empty()) {
+        forest.roots.push_back(idx);
+      } else {
+        node.parent = stack.back();
+        node.depth =
+            forest.nodes[static_cast<std::size_t>(stack.back())].depth + 1;
+        forest.nodes[static_cast<std::size_t>(stack.back())]
+            .children.push_back(idx);
+      }
+      stack.push_back(idx);
+    }
+  }
+
+  for (std::size_t i = 0; i < forest.nodes.size(); ++i) {
+    double covered = 0.0;
+    for (const int c : forest.nodes[i].children)
+      covered += trace.events[static_cast<std::size_t>(c)].dur_us;
+    forest.nodes[i].self_us =
+        std::max(0.0, trace.events[i].dur_us - covered);
+  }
+  return forest;
+}
+
+namespace {
+
+void append_segment(std::vector<PathSegment>& path, const std::string& name,
+                    double us) {
+  if (us <= 0.0) return;
+  if (!path.empty() && path.back().name == name) {
+    path.back().us += us;
+    return;
+  }
+  path.push_back({name, us});
+}
+
+// Walks the subtree in time order, attributing every instant to the
+// deepest active span.  Children are sequential within their parent
+// (one thread), so the gaps between them are the parent's self time.
+void walk_path(const Trace& trace, const SpanForest& forest, int node,
+               std::vector<PathSegment>& path) {
+  const TraceEvent& e = trace.events[static_cast<std::size_t>(node)];
+  const SpanNode& sn = forest.nodes[static_cast<std::size_t>(node)];
+  double cursor = e.ts_us;
+  for (const int c : sn.children) {
+    const TraceEvent& ce = trace.events[static_cast<std::size_t>(c)];
+    append_segment(path, e.name, ce.ts_us - cursor);
+    walk_path(trace, forest, c, path);
+    cursor = ce.end_us();
+  }
+  append_segment(path, e.name, e.end_us() - cursor);
+}
+
+// The request's backend envelope: the node itself when it is one, else
+// the first `backend.*` child (requests run one envelope).
+int find_envelope(const Trace& trace, const SpanForest& forest, int node) {
+  const TraceEvent& e = trace.events[static_cast<std::size_t>(node)];
+  if (starts_with(e.name, "backend.")) return node;
+  for (const int c : forest.nodes[static_cast<std::size_t>(node)].children) {
+    const int found = find_envelope(trace, forest, c);
+    if (found >= 0) return found;
+  }
+  return -1;
+}
+
+void collect_requests(const Trace& trace, const SpanForest& forest, int node,
+                      bool inside_request, std::vector<int>& out) {
+  const TraceEvent& e = trace.events[static_cast<std::size_t>(node)];
+  const bool is_request =
+      !inside_request &&
+      (e.name == "serve.request" || starts_with(e.name, "backend."));
+  if (is_request) {
+    out.push_back(node);
+    inside_request = true;
+  }
+  for (const int c : forest.nodes[static_cast<std::size_t>(node)].children)
+    collect_requests(trace, forest, c, inside_request, out);
+}
+
+}  // namespace
+
+std::vector<PathSegment> critical_path(const Trace& trace,
+                                       const SpanForest& forest, int node) {
+  std::vector<PathSegment> path;
+  walk_path(trace, forest, node, path);
+  return path;
+}
+
+RunAnalysis analyze_trace(const Trace& trace, const AnalyzeOptions& opt) {
+  RunAnalysis run;
+  run.events = trace.events.size();
+  const SpanForest forest = build_span_forest(trace);
+
+  // Wall interval + thread count.
+  std::vector<std::uint32_t> tids;
+  double min_ts = 0.0, max_end = 0.0;
+  bool first = true;
+  for (const TraceEvent& e : trace.events) {
+    if (first) {
+      min_ts = e.ts_us;
+      max_end = e.end_us();
+      first = false;
+    } else {
+      min_ts = std::min(min_ts, e.ts_us);
+      max_end = std::max(max_end, e.end_us());
+    }
+    tids.push_back(e.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  run.threads = static_cast<std::size_t>(
+      std::unique(tids.begin(), tids.end()) - tids.begin());
+  run.wall_us = first ? 0.0 : max_end - min_ts;
+
+  // Per-phase aggregation.
+  struct Acc {
+    std::size_t count = 0;
+    double total = 0.0, self = 0.0, max = 0.0;
+    util::Quantiles q;
+  };
+  std::map<std::string, Acc> by_name;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    Acc& a = by_name[trace.events[i].name];
+    ++a.count;
+    a.total += trace.events[i].dur_us;
+    a.self += forest.nodes[i].self_us;
+    a.max = std::max(a.max, trace.events[i].dur_us);
+    a.q.add(trace.events[i].dur_us);
+  }
+  for (auto& [name, a] : by_name) {
+    PhaseStat p;
+    p.name = name;
+    p.count = a.count;
+    p.total_us = a.total;
+    p.self_us = a.self;
+    p.p50_us = a.q.p50();
+    p.p99_us = a.q.p99();
+    p.max_us = a.max;
+    p.skew = p.p50_us > 0.0 ? p.p99_us / p.p50_us : 0.0;
+    run.phases.push_back(std::move(p));
+    if (a.count >= opt.min_phase_count &&
+        run.phases.back().skew > opt.phase_skew_factor)
+      run.skewed_phases.push_back(name);
+  }
+  std::sort(run.phases.begin(), run.phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+
+  // Requests: serve.request roots plus bare backend.* envelopes.
+  std::vector<int> request_nodes;
+  for (const int root : forest.roots)
+    collect_requests(trace, forest, root, false, request_nodes);
+  std::sort(request_nodes.begin(), request_nodes.end(), [&](int a, int b) {
+    return trace.events[static_cast<std::size_t>(a)].ts_us <
+           trace.events[static_cast<std::size_t>(b)].ts_us;
+  });
+
+  util::Quantiles req_durs;
+  std::map<std::string, double> profile;
+  for (const int node : request_nodes) {
+    const TraceEvent& e = trace.events[static_cast<std::size_t>(node)];
+    RequestStat r;
+    r.root_name = e.name;
+    r.tid = e.tid;
+    r.start_us = e.ts_us;
+    r.dur_us = e.dur_us;
+    r.queue_us = arg_or(e, "queue_us", 0.0);
+    const int env = find_envelope(trace, forest, node);
+    if (env >= 0) {
+      const TraceEvent& env_e = trace.events[static_cast<std::size_t>(env)];
+      r.backend = env_e.name.substr(std::string("backend.").size());
+      r.n = static_cast<long>(arg_or(env_e, "n", -1.0));
+      r.accepted = static_cast<int>(arg_or(env_e, "accepted", -1.0));
+    } else {
+      r.backend = "?";
+    }
+    // serve.request carries n/accepted too (worker-side view) and
+    // wins when the envelope had no args.
+    if (r.n < 0) r.n = static_cast<long>(arg_or(e, "n", -1.0));
+    if (r.accepted < 0)
+      r.accepted = static_cast<int>(arg_or(e, "accepted", -1.0));
+    r.path = critical_path(trace, forest, node);
+    for (const PathSegment& seg : r.path) profile[seg.name] += seg.us;
+    req_durs.add(r.dur_us);
+    run.requests.push_back(std::move(r));
+  }
+  run.request_median_us = req_durs.p50();
+  run.request_p99_us = req_durs.p99();
+  for (std::size_t i = 0; i < run.requests.size(); ++i) {
+    if (run.requests.size() >= 2 && run.request_median_us > 0.0 &&
+        run.requests[i].dur_us >
+            opt.straggler_factor * run.request_median_us) {
+      run.requests[i].straggler = true;
+      run.stragglers.push_back(i);
+    }
+  }
+  for (const auto& [name, us] : profile) run.profile.push_back({name, us});
+  std::sort(run.profile.begin(), run.profile.end(),
+            [](const PathSegment& a, const PathSegment& b) {
+              if (a.us != b.us) return a.us > b.us;
+              return a.name < b.name;
+            });
+  return run;
+}
+
+}  // namespace parsec::analyze

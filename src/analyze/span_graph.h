@@ -1,0 +1,121 @@
+// Span-graph reconstruction and critical-path analytics.
+//
+// The tracer (obs/trace.h) records phase spans flat, one buffer per
+// thread; this module rebuilds the structure an engineer sees in
+// Perfetto — per-thread span trees joined by interval containment —
+// and turns it into numbers a CI gate can act on:
+//
+//   * request reconstruction: every `serve.request` span (and every
+//     `backend.*` envelope that is not inside one) is one request;
+//     the engine phase spans nested under it are its pipeline;
+//   * critical-path decomposition: each request's wall time is
+//     attributed to the deepest span active at each instant (each
+//     parse runs single-threaded, so this decomposition is exact and
+//     sums to the request duration);
+//   * per-phase aggregation: count / total / self time and latency
+//     quantiles per span name across the run;
+//   * straggler detection: requests whose duration exceeds
+//     `straggler_factor` x the median, and phases whose p99/median
+//     skew exceeds `phase_skew_factor`.
+//
+// Everything here is offline and allocation-relaxed: it runs in
+// parsec_analyze and in tests, never on a serving path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/trace_reader.h"
+
+namespace parsec::analyze {
+
+/// One node of the reconstructed span forest; index-aligned with
+/// Trace::events (node i wraps event i).
+struct SpanNode {
+  int parent = -1;            // -1 = root of its thread's forest
+  std::vector<int> children;  // time order
+  double self_us = 0.0;       // duration not covered by children
+  int depth = 0;              // 0 at thread roots
+};
+
+struct SpanForest {
+  std::vector<SpanNode> nodes;  // index-aligned with trace.events
+  std::vector<int> roots;       // thread roots, grouped by tid, time order
+};
+
+/// Rebuilds parent/child structure from interval containment within
+/// each (pid, tid) lane.  Events are sorted by start time (duration
+/// breaking ties, longer first) and nested with a stack; a small
+/// epsilon absorbs the writer's microsecond rounding.
+SpanForest build_span_forest(const Trace& trace);
+
+/// One segment of a request's critical-path decomposition: `us`
+/// microseconds attributed to span `name` (the deepest span active).
+/// Consecutive segments with the same name are merged.
+struct PathSegment {
+  std::string name;
+  double us = 0.0;
+};
+
+/// Critical-path decomposition of the subtree rooted at `node`.
+/// Segment times sum to the root span's duration (up to rounding).
+std::vector<PathSegment> critical_path(const Trace& trace,
+                                       const SpanForest& forest, int node);
+
+/// Per-phase aggregate across the run.
+struct PhaseStat {
+  std::string name;
+  std::size_t count = 0;
+  double total_us = 0.0;  // sum of span durations
+  double self_us = 0.0;   // sum of self times (critical-path share)
+  double p50_us = 0.0;    // median span duration
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double skew = 0.0;  // p99 / median (0 when median is 0)
+};
+
+/// One reconstructed request.
+struct RequestStat {
+  std::string root_name;  // "serve.request" or the bare envelope name
+  std::string backend;    // from the backend.* envelope ("?" if none)
+  std::uint32_t tid = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  double queue_us = 0.0;  // serve.request `queue_us` arg (0 if absent)
+  long n = -1;            // sentence length arg (-1 if absent)
+  int accepted = -1;      // envelope `accepted` arg (-1 if absent)
+  bool straggler = false;
+  std::vector<PathSegment> path;  // critical-path decomposition
+};
+
+struct AnalyzeOptions {
+  /// A request is a straggler when its duration exceeds this factor
+  /// times the median request duration.
+  double straggler_factor = 3.0;
+  /// A phase is skewed when p99/median exceeds this factor (phases
+  /// with fewer than `min_phase_count` spans are never flagged).
+  double phase_skew_factor = 4.0;
+  std::size_t min_phase_count = 8;
+};
+
+struct RunAnalysis {
+  std::size_t events = 0;
+  std::size_t threads = 0;
+  double wall_us = 0.0;  // last span end - first span start
+  std::vector<PhaseStat> phases;      // sorted by self time, descending
+  std::vector<RequestStat> requests;  // time order
+  double request_median_us = 0.0;
+  double request_p99_us = 0.0;
+  std::vector<std::size_t> stragglers;      // indices into `requests`
+  std::vector<std::string> skewed_phases;   // names flagged by skew
+  /// Run-level critical-path profile: the per-phase self-time totals
+  /// restricted to request subtrees, sorted descending — where the
+  /// wall time of the workload's requests actually went.
+  std::vector<PathSegment> profile;
+};
+
+/// Full analysis of one trace.
+RunAnalysis analyze_trace(const Trace& trace, const AnalyzeOptions& opt = {});
+
+}  // namespace parsec::analyze

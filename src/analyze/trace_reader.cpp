@@ -1,0 +1,63 @@
+#include "analyze/trace_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "analyze/json.h"
+
+namespace parsec::analyze {
+
+Trace read_trace_text(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events) {
+    // The array form (a bare [...] of events) is also legal Chrome
+    // trace JSON.
+    if (doc.is_array())
+      events = &doc;
+    else
+      throw std::invalid_argument("trace: no traceEvents array");
+  }
+  if (!events->is_array())
+    throw std::invalid_argument("trace: traceEvents is not an array");
+
+  Trace trace;
+  trace.events.reserve(events->as_array().size());
+  for (const JsonValue& ev : events->as_array()) {
+    if (!ev.is_object()) {
+      ++trace.skipped;
+      continue;
+    }
+    if (ev.string_or("ph", "X") != "X") {
+      ++trace.skipped;  // B/E pairs, counters, metadata: not modelled
+      continue;
+    }
+    TraceEvent e;
+    e.name = ev.string_or("name", "?");
+    e.cat = ev.string_or("cat", "");
+    e.pid = static_cast<std::uint32_t>(ev.number_or("pid", 0));
+    e.tid = static_cast<std::uint32_t>(ev.number_or("tid", 0));
+    e.ts_us = ev.number_or("ts", 0.0);
+    e.dur_us = ev.number_or("dur", 0.0);
+    if (const JsonValue* args = ev.find("args"); args && args->is_object()) {
+      for (const auto& [key, val] : args->as_object())
+        if (val.is_number()) e.args[key] = val.as_number();
+    }
+    trace.events.push_back(std::move(e));
+  }
+  return trace;
+}
+
+Trace read_trace(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_trace_text(buf.str());
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace parsec::analyze

@@ -1,0 +1,48 @@
+// Chrome trace-event JSON reader for the offline analyzer.
+//
+// Ingests the `{"traceEvents":[...]}` documents produced by
+// obs::TraceSession::write_chrome_trace (and by any other tool that
+// emits complete "X" events).  Only complete events are modelled —
+// the tracer never writes B/E pairs, counters or metadata records —
+// but unknown phases are skipped rather than rejected so externally
+// produced traces load too.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parsec::analyze {
+
+/// One complete ("ph":"X") trace event.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;   // start, microseconds since session epoch
+  double dur_us = 0.0;  // duration, microseconds
+  std::map<std::string, double> args;  // numeric args only (the tracer
+                                       // emits nothing else)
+
+  double end_us() const { return ts_us + dur_us; }
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;  // file order
+  /// Number of records skipped because they were not complete events.
+  std::size_t skipped = 0;
+};
+
+/// Parses one trace document.  Throws std::invalid_argument (or
+/// analyze::JsonError) on malformed input.
+Trace read_trace(std::istream& in);
+Trace read_trace_text(const std::string& text);
+
+/// Loads a trace from a file; throws std::invalid_argument when the
+/// file cannot be opened.
+Trace read_trace_file(const std::string& path);
+
+}  // namespace parsec::analyze

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "resil/fault_plan.h"
 
 namespace parsec::serve {
@@ -189,6 +190,14 @@ void ParseService::run_request(int worker, ParseRequest req,
                                std::promise<ParseResponse> promise,
                                Callback cb) {
   const auto dequeued = clock::now();
+  // Request-root span: when a TraceSession is active, every serviced
+  // request contributes one `serve.request` span enclosing its
+  // `backend.*` envelope (and, through it, the engine phase spans), so
+  // the offline analyzer (src/analyze) can reconstruct the
+  // request -> envelope -> phase graph and attribute queue wait vs
+  // parse time per request.  Phase-grained: exactly one span per
+  // request, inactive-session cost one relaxed load.
+  obs::Span request_span("serve.request", "serve");
   ParseResponse resp;
   resp.worker = worker;
   resp.queue_seconds =
@@ -377,6 +386,16 @@ void ParseService::run_request(int worker, ParseRequest req,
   }
   resp.parse_seconds =
       std::chrono::duration<double>(clock::now() - dequeued).count();
+  if (request_span.active()) {
+    request_span.arg("queue_us",
+                     static_cast<std::int64_t>(resp.queue_seconds * 1e6));
+    request_span.arg("n", static_cast<std::int64_t>(req.sentence.size()));
+    request_span.arg("status", static_cast<std::int64_t>(resp.status));
+    request_span.arg("accepted",
+                     static_cast<std::int64_t>(resp.accepted ? 1 : 0));
+    request_span.arg("degraded",
+                     static_cast<std::int64_t>(resp.degraded ? 1 : 0));
+  }
 
   // Resilience counters (registry first — lock-free — then the struct
   // counters under the stats mutex inside record()).

@@ -1,0 +1,170 @@
+// Tests for the perf-gate baseline layer: classification of scrape
+// samples into gated counters vs advisory time aggregates, tolerance
+// bands (including the zero-baseline floor), hand-tuned-band carry
+// across --update-baseline, save/load round-trips, and the gate
+// verdict itself.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analyze/baseline.h"
+#include "analyze/prom_reader.h"
+
+namespace parsec::analyze {
+namespace {
+
+Scrape scrape_of(const std::string& text) {
+  return read_prometheus_text(text);
+}
+
+const std::string kScrapeText =
+    "# TYPE parsec_effective_binary_evals_total counter\n"
+    "parsec_effective_binary_evals_total{backend=\"serial\"} 10000\n"
+    "parsec_effective_binary_evals_total{backend=\"maspar\"} 10000\n"
+    "# TYPE parsec_maspar_plural_ops_total counter\n"
+    "parsec_maspar_plural_ops_total 555\n"
+    "# TYPE parsec_maspar_simulated_seconds gauge\n"
+    "parsec_maspar_simulated_seconds 0.125\n"
+    "# TYPE parsec_queue_depth gauge\n"
+    "parsec_queue_depth 3\n"
+    "# TYPE parsec_parse_seconds histogram\n"
+    "parsec_parse_seconds_bucket{le=\"0.01\"} 7\n"
+    "parsec_parse_seconds_bucket{le=\"+Inf\"} 9\n"
+    "parsec_parse_seconds_sum 0.5\n"
+    "parsec_parse_seconds_count 9\n";
+
+TEST(AnalyzeBaseline, MakeBaselineClassifiesSamples) {
+  const Baseline b =
+      make_baseline(scrape_of(kScrapeText), "bench --flags", "2026-08-07");
+  EXPECT_EQ(b.workload, "bench --flags");
+
+  auto entry = [&](const std::string& id) -> const BaselineEntry* {
+    for (const BaselineEntry& e : b.entries)
+      if (e.id == id) return &e;
+    return nullptr;
+  };
+  // Counters gate with the tight band.
+  const BaselineEntry* evals =
+      entry("parsec_effective_binary_evals_total{backend=\"serial\"}");
+  ASSERT_NE(evals, nullptr);
+  EXPECT_TRUE(evals->gate);
+  EXPECT_DOUBLE_EQ(evals->tolerance, kCounterTolerance);
+  EXPECT_DOUBLE_EQ(evals->value, 10000);
+  // Histogram _count gates; _sum is advisory; _bucket is skipped.
+  const BaselineEntry* count = entry("parsec_parse_seconds_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_TRUE(count->gate);
+  const BaselineEntry* sum = entry("parsec_parse_seconds_sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_FALSE(sum->gate);
+  EXPECT_DOUBLE_EQ(sum->tolerance, kTimeTolerance);
+  EXPECT_EQ(entry("parsec_parse_seconds_bucket{le=\"0.01\"}"), nullptr);
+  // The cost model's output gauge gates; sampled gauges are skipped.
+  const BaselineEntry* sim = entry("parsec_maspar_simulated_seconds");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_TRUE(sim->gate);
+  EXPECT_EQ(entry("parsec_queue_depth"), nullptr);
+}
+
+TEST(AnalyzeBaseline, CarryPreservesHandTunedBands) {
+  Baseline old = make_baseline(scrape_of(kScrapeText), "w", "d1");
+  for (BaselineEntry& e : old.entries) {
+    if (e.id == "parsec_maspar_plural_ops_total") {
+      e.tolerance = 0.5;  // hand-widened
+      e.gate = false;     // hand-demoted to advisory
+    }
+  }
+  const Baseline fresh = make_baseline(scrape_of(kScrapeText), "w", "d2", &old);
+  for (const BaselineEntry& e : fresh.entries) {
+    if (e.id == "parsec_maspar_plural_ops_total") {
+      EXPECT_DOUBLE_EQ(e.tolerance, 0.5);
+      EXPECT_FALSE(e.gate);
+      return;
+    }
+  }
+  FAIL() << "plural_ops entry missing";
+}
+
+TEST(AnalyzeBaseline, SaveLoadRoundTrip) {
+  Baseline b;
+  b.workload = "bench_throughput --sentences 120 --batch \"16\"";
+  b.captured = "2026-08-07";
+  b.entries.push_back(
+      {"parsec_effective_binary_evals_total{backend=\"serial\"}", 123456,
+       0.02, true});
+  b.entries.push_back({"parsec_serve_queue_wait_seconds_sum", 0.75, 1.0,
+                       false});
+  const std::string path = ::testing::TempDir() + "baseline_roundtrip.json";
+  save_baseline(path, b);
+  const Baseline loaded = load_baseline(path);
+  EXPECT_EQ(loaded.workload, b.workload);
+  EXPECT_EQ(loaded.captured, b.captured);
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[0].id, b.entries[0].id);
+  EXPECT_DOUBLE_EQ(loaded.entries[0].value, 123456);
+  EXPECT_DOUBLE_EQ(loaded.entries[0].tolerance, 0.02);
+  EXPECT_TRUE(loaded.entries[0].gate);
+  EXPECT_FALSE(loaded.entries[1].gate);
+  EXPECT_THROW(load_baseline("/nonexistent/baseline.json"),
+               std::invalid_argument);
+}
+
+TEST(AnalyzeBaseline, DiffPassesWithinBandFailsOutside) {
+  Baseline b;
+  b.entries.push_back({"evals_total", 10000, 0.02, true});
+  // Inside the band: +1% on a 2% tolerance.
+  GateResult ok = diff_scrape(
+      b, scrape_of("# TYPE evals_total counter\nevals_total 10100\n"));
+  EXPECT_FALSE(ok.regression());
+  EXPECT_EQ(ok.gated, 1u);
+  EXPECT_EQ(ok.failed, 0u);
+  ASSERT_EQ(ok.diffs.size(), 1u);
+  EXPECT_TRUE(ok.diffs[0].within);
+  EXPECT_NEAR(ok.diffs[0].rel_delta, 0.01, 1e-9);
+  // Outside the band: +3%.
+  GateResult bad = diff_scrape(
+      b, scrape_of("# TYPE evals_total counter\nevals_total 10300\n"));
+  EXPECT_TRUE(bad.regression());
+  EXPECT_EQ(bad.failed, 1u);
+  EXPECT_FALSE(bad.diffs[0].within);
+}
+
+TEST(AnalyzeBaseline, MissingGatedSeriesIsARegression) {
+  Baseline b;
+  b.entries.push_back({"vanished_total", 5, 0.02, true});
+  const GateResult r = diff_scrape(b, scrape_of("other_total 5\n"));
+  EXPECT_TRUE(r.regression());
+  ASSERT_EQ(r.diffs.size(), 1u);
+  EXPECT_TRUE(r.diffs[0].missing);
+}
+
+TEST(AnalyzeBaseline, AdvisoryEntriesNeverFailTheGate) {
+  Baseline b;
+  b.entries.push_back({"wall_seconds_sum", 1.0, 0.5, false});
+  const GateResult r =
+      diff_scrape(b, scrape_of("wall_seconds_sum 100\n"));  // wildly off
+  EXPECT_FALSE(r.regression());
+  EXPECT_EQ(r.advisories, 1u);
+  EXPECT_FALSE(r.diffs[0].within);
+}
+
+TEST(AnalyzeBaseline, ZeroBaselineUsesUnitFloor) {
+  // value ± tol * max(|value|, 1): a zero baseline demands near-zero
+  // actuals instead of accepting any relative delta.
+  Baseline b;
+  b.entries.push_back({"faults_total", 0, 0.02, true});
+  EXPECT_FALSE(diff_scrape(b, scrape_of("faults_total 0\n")).regression());
+  EXPECT_TRUE(diff_scrape(b, scrape_of("faults_total 1\n")).regression());
+}
+
+TEST(AnalyzeBaseline, ScrapeOnlySeriesAreIgnored) {
+  Baseline b;
+  b.entries.push_back({"known_total", 10, 0.02, true});
+  const GateResult r = diff_scrape(
+      b, scrape_of("known_total 10\nnew_metric_total 999\n"));
+  EXPECT_FALSE(r.regression());
+  EXPECT_EQ(r.diffs.size(), 1u);  // the new series waits for an update
+}
+
+}  // namespace
+}  // namespace parsec::analyze

@@ -1,0 +1,170 @@
+// Golden-trace acceptance test for the analyzer (ISSUE 6 acceptance
+// criterion): a committed, hand-written trace with four requests on
+// four threads, whose critical paths, per-phase self/total times,
+// run profile, and straggler verdicts were computed by hand.  If the
+// analyzer's numbers drift from these, the analytics changed meaning.
+//
+// The fixture (tests/analyze/golden/trace_golden.json):
+//   tid 1: serve.request[0,1000] > backend.serial[100,900] >
+//          {serial.unary[150,250], serial.binary[300,700] >
+//           cdg.mask_build[350,650], cdg.ac4_fixpoint[750,850]};
+//          cdg.factoring[1100,1150] outside the request.
+//   tid 2: serve.request[200,4200] > backend.maspar[400,3900] >
+//          {maspar.unary[500,1500], maspar.binary[1600,3600]}  (straggler)
+//   tid 3: serve.request[10,1100] > backend.serial[100,1000]
+//   tid 4: backend.serial[50,950]  (bare envelope, no service wrapper)
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/span_graph.h"
+#include "analyze/trace_reader.h"
+
+namespace parsec::analyze {
+namespace {
+
+Trace load_golden() {
+  return read_trace_file(std::string(PARSEC_SOURCE_DIR) +
+                         "/tests/analyze/golden/trace_golden.json");
+}
+
+TEST(AnalyzeGolden, LoadsAllEvents) {
+  const Trace t = load_golden();
+  EXPECT_EQ(t.events.size(), 14u);
+  EXPECT_EQ(t.skipped, 0u);
+}
+
+TEST(AnalyzeGolden, RunShape) {
+  const RunAnalysis run = analyze_trace(load_golden());
+  EXPECT_EQ(run.events, 14u);
+  EXPECT_EQ(run.threads, 4u);
+  EXPECT_DOUBLE_EQ(run.wall_us, 4200.0);  // [0, 4200]
+}
+
+TEST(AnalyzeGolden, ReconstructsRequests) {
+  const RunAnalysis run = analyze_trace(load_golden());
+  ASSERT_EQ(run.requests.size(), 4u);
+
+  // Time order: tid 1 (ts 0), tid 3 (ts 10), tid 4 (ts 50), tid 2 (200).
+  const RequestStat& a = run.requests[0];
+  EXPECT_EQ(a.root_name, "serve.request");
+  EXPECT_EQ(a.backend, "serial");
+  EXPECT_EQ(a.tid, 1u);
+  EXPECT_DOUBLE_EQ(a.dur_us, 1000.0);
+  EXPECT_DOUBLE_EQ(a.queue_us, 50.0);
+  EXPECT_EQ(a.n, 5);
+  EXPECT_EQ(a.accepted, 1);
+  EXPECT_FALSE(a.straggler);
+
+  const RequestStat& c = run.requests[1];
+  EXPECT_EQ(c.tid, 3u);
+  EXPECT_EQ(c.backend, "serial");
+  EXPECT_EQ(c.n, 4);
+
+  const RequestStat& d = run.requests[2];
+  EXPECT_EQ(d.root_name, "backend.serial");  // bare envelope
+  EXPECT_EQ(d.tid, 4u);
+  EXPECT_EQ(d.backend, "serial");
+  EXPECT_EQ(d.n, 6);
+  EXPECT_DOUBLE_EQ(d.queue_us, 0.0);  // no service wrapper, no queue
+
+  const RequestStat& b = run.requests[3];
+  EXPECT_EQ(b.tid, 2u);
+  EXPECT_EQ(b.backend, "maspar");
+  EXPECT_DOUBLE_EQ(b.dur_us, 4000.0);
+  EXPECT_DOUBLE_EQ(b.queue_us, 500.0);
+  EXPECT_EQ(b.n, 7);
+  EXPECT_EQ(b.accepted, 0);
+}
+
+TEST(AnalyzeGolden, CriticalPathOfRequestA) {
+  const Trace t = load_golden();
+  const RunAnalysis run = analyze_trace(t);
+  const std::vector<PathSegment>& path = run.requests[0].path;
+
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"serve.request", 100},  {"backend.serial", 50}, {"serial.unary", 100},
+      {"backend.serial", 50},  {"serial.binary", 50},  {"cdg.mask_build", 300},
+      {"serial.binary", 50},   {"backend.serial", 50},
+      {"cdg.ac4_fixpoint", 100}, {"backend.serial", 50}, {"serve.request", 100},
+  };
+  ASSERT_EQ(path.size(), expected.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(path[i].name, expected[i].first) << "segment " << i;
+    EXPECT_DOUBLE_EQ(path[i].us, expected[i].second) << "segment " << i;
+    sum += path[i].us;
+  }
+  EXPECT_DOUBLE_EQ(sum, 1000.0);  // exactly the request duration
+}
+
+TEST(AnalyzeGolden, StragglerIsTheMasparRequest) {
+  const RunAnalysis run = analyze_trace(load_golden());
+  // Durations 1000/1090/900/4000: only the 4000us maspar request
+  // exceeds 3x the median.
+  ASSERT_EQ(run.stragglers.size(), 1u);
+  const RequestStat& s = run.requests[run.stragglers[0]];
+  EXPECT_EQ(s.backend, "maspar");
+  EXPECT_DOUBLE_EQ(s.dur_us, 4000.0);
+  // No phase appears >= 8 times, so skew flags must stay quiet.
+  EXPECT_TRUE(run.skewed_phases.empty());
+}
+
+TEST(AnalyzeGolden, PhaseSelfAndTotalTimes) {
+  const RunAnalysis run = analyze_trace(load_golden());
+  std::map<std::string, const PhaseStat*> by_name;
+  for (const PhaseStat& p : run.phases) by_name[p.name] = &p;
+  ASSERT_EQ(by_name.size(), 10u);
+
+  auto expect_phase = [&](const char* name, std::size_t count, double total,
+                          double self) {
+    ASSERT_TRUE(by_name.count(name)) << name;
+    const PhaseStat& p = *by_name[name];
+    EXPECT_EQ(p.count, count) << name;
+    EXPECT_DOUBLE_EQ(p.total_us, total) << name;
+    EXPECT_DOUBLE_EQ(p.self_us, self) << name;
+  };
+  expect_phase("serve.request", 3, 6090, 890);
+  expect_phase("backend.serial", 3, 2600, 2000);
+  expect_phase("backend.maspar", 1, 3500, 500);
+  expect_phase("serial.unary", 1, 100, 100);
+  expect_phase("serial.binary", 1, 400, 100);
+  expect_phase("cdg.mask_build", 1, 300, 300);
+  expect_phase("cdg.ac4_fixpoint", 1, 100, 100);
+  expect_phase("maspar.unary", 1, 1000, 1000);
+  expect_phase("maspar.binary", 1, 2000, 2000);
+  expect_phase("cdg.factoring", 1, 50, 50);
+
+  // Sorted by self time: the two 2000us phases lead (name-tiebroken).
+  EXPECT_EQ(run.phases[0].name, "backend.serial");
+  EXPECT_EQ(run.phases[1].name, "maspar.binary");
+}
+
+TEST(AnalyzeGolden, RunProfileSumsRequestCriticalPaths) {
+  const RunAnalysis run = analyze_trace(load_golden());
+  std::map<std::string, double> profile;
+  double total = 0.0;
+  for (const PathSegment& seg : run.profile) {
+    profile[seg.name] = seg.us;
+    total += seg.us;
+  }
+  EXPECT_DOUBLE_EQ(profile["backend.serial"], 2000.0);
+  EXPECT_DOUBLE_EQ(profile["maspar.binary"], 2000.0);
+  EXPECT_DOUBLE_EQ(profile["maspar.unary"], 1000.0);
+  EXPECT_DOUBLE_EQ(profile["serve.request"], 890.0);
+  EXPECT_DOUBLE_EQ(profile["backend.maspar"], 500.0);
+  EXPECT_DOUBLE_EQ(profile["cdg.mask_build"], 300.0);
+  EXPECT_DOUBLE_EQ(profile["serial.unary"], 100.0);
+  EXPECT_DOUBLE_EQ(profile["serial.binary"], 100.0);
+  EXPECT_DOUBLE_EQ(profile["cdg.ac4_fixpoint"], 100.0);
+  // Factoring runs outside every request: absent from the profile.
+  EXPECT_EQ(profile.count("cdg.factoring"), 0u);
+  // The profile partitions the requests' wall time exactly:
+  // 1000 + 4000 + 1090 + 900.
+  EXPECT_DOUBLE_EQ(total, 6990.0);
+}
+
+}  // namespace
+}  // namespace parsec::analyze

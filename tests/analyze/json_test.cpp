@@ -1,0 +1,96 @@
+// Tests for the analyzer's minimal JSON reader/writer: RFC 8259 value
+// syntax, escape handling, error offsets, and the integral-number
+// rendering the baseline files rely on for clean diffs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/json.h"
+
+namespace parsec::analyze {
+namespace {
+
+TEST(AnalyzeJson, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_json("1.25e2").as_number(), 125.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(AnalyzeJson, ParsesNestedStructure) {
+  const JsonValue v = parse_json(
+      R"({"traceEvents":[{"name":"a","ts":1.5,"args":{"n":3}},{"name":"b"}],)"
+      R"("displayTimeUnit":"ms"})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 2u);
+  const JsonValue& first = events->as_array()[0];
+  EXPECT_EQ(first.string_or("name", ""), "a");
+  EXPECT_DOUBLE_EQ(first.number_or("ts", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(first.find("args")->number_or("n", 0.0), 3.0);
+  EXPECT_EQ(v.string_or("displayTimeUnit", ""), "ms");
+}
+
+TEST(AnalyzeJson, ParsesStringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t\r")").as_string(),
+            "a\"b\\c/d\n\t\r");
+  // \u control escapes are what the tracer's writer emits.
+  EXPECT_EQ(parse_json("\"A\\u000a\"").as_string(), "A\n");
+  // Non-ASCII \u escapes decode to UTF-8.
+  EXPECT_EQ(parse_json("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(AnalyzeJson, WhitespaceAndEmptyContainers) {
+  const JsonValue v = parse_json("  { \"a\" : [ ] , \"b\" : { } }  \n");
+  EXPECT_TRUE(v.find("a")->as_array().empty());
+  EXPECT_TRUE(v.find("b")->as_object().empty());
+}
+
+TEST(AnalyzeJson, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{\"a\":}"), JsonError);
+  EXPECT_THROW(parse_json("[1,2"), JsonError);
+  EXPECT_THROW(parse_json("tru"), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("{} garbage"), JsonError);
+  try {
+    parse_json("[1, x]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.offset(), 4u);  // points at the bad token
+  }
+}
+
+TEST(AnalyzeJson, AccessorKindMismatchThrows) {
+  const JsonValue v = parse_json("{\"n\": 1}");
+  EXPECT_THROW(v.as_array(), std::logic_error);
+  EXPECT_THROW(v.find("n")->as_string(), std::logic_error);
+  EXPECT_THROW(v.string_or("n", "x"), std::logic_error);  // present, wrong kind
+  EXPECT_EQ(v.string_or("absent", "x"), "x");
+}
+
+TEST(AnalyzeJson, IntegralNumbersRenderWithoutDecimalPoint) {
+  // Counter values in baseline files must diff as integers.
+  EXPECT_EQ(to_json(JsonValue::make_number(123456.0)), "123456");
+  EXPECT_EQ(to_json(JsonValue::make_number(-7.0)), "-7");
+  EXPECT_EQ(to_json(JsonValue::make_number(0.02)), "0.02");
+}
+
+TEST(AnalyzeJson, RoundTripPreservesStructure) {
+  const std::string src =
+      R"({"captured":"2026-08-07","counters":[{"gate":true,"id":"x{a=\"b\"}","tolerance":0.02,"value":42}],"ok":null})";
+  const JsonValue v = parse_json(src);
+  // to_json writes members in lexicographic key order, matching src.
+  EXPECT_EQ(to_json(v), src);
+  EXPECT_EQ(to_json(parse_json(to_json(v))), src);
+}
+
+}  // namespace
+}  // namespace parsec::analyze

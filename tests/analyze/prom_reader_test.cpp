@@ -1,0 +1,123 @@
+// Tests for the Prometheus text-exposition reader: the 0.0.4 format
+// obs::Registry::write_prometheus emits (HELP/TYPE comments, labeled
+// series, histogram bucket/sum/count triplets, +Inf), canonical series
+// ids, and malformed-line diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "analyze/prom_reader.h"
+#include "obs/metrics.h"
+
+namespace parsec::analyze {
+namespace {
+
+TEST(AnalyzeProm, ParsesTypedLabeledSeries) {
+  const Scrape s = read_prometheus_text(
+      "# HELP parsec_requests_total Requests by status.\n"
+      "# TYPE parsec_requests_total counter\n"
+      "parsec_requests_total{status=\"ok\"} 12\n"
+      "parsec_requests_total{status=\"timeout\"} 3\n"
+      "\n"
+      "# TYPE parsec_queue_depth gauge\n"
+      "parsec_queue_depth 7\n");
+  ASSERT_EQ(s.samples.size(), 3u);
+  EXPECT_EQ(s.types.at("parsec_requests_total"), MetricType::Counter);
+  EXPECT_EQ(s.types.at("parsec_queue_depth"), MetricType::Gauge);
+  EXPECT_EQ(s.help.at("parsec_requests_total"), "Requests by status.");
+  EXPECT_DOUBLE_EQ(s.value_or("parsec_requests_total{status=\"ok\"}", -1), 12);
+  EXPECT_DOUBLE_EQ(s.value_or("parsec_queue_depth", -1), 7);
+  EXPECT_DOUBLE_EQ(s.value_or("absent_series", -1), -1);
+  const Sample* ok = s.find("parsec_requests_total{status=\"ok\"}");
+  ASSERT_NE(ok, nullptr);
+  ASSERT_EQ(ok->labels.size(), 1u);
+  EXPECT_EQ(ok->labels[0].first, "status");
+  EXPECT_EQ(ok->labels[0].second, "ok");
+}
+
+TEST(AnalyzeProm, ParsesHistogramWithInfBucket) {
+  const Scrape s = read_prometheus_text(
+      "# TYPE parsec_latency_seconds histogram\n"
+      "parsec_latency_seconds_bucket{le=\"0.005\"} 4\n"
+      "parsec_latency_seconds_bucket{le=\"+Inf\"} 9\n"
+      "parsec_latency_seconds_sum 0.0625\n"
+      "parsec_latency_seconds_count 9\n");
+  EXPECT_EQ(s.types.at("parsec_latency_seconds"), MetricType::Histogram);
+  EXPECT_DOUBLE_EQ(
+      s.value_or("parsec_latency_seconds_bucket{le=\"+Inf\"}", -1), 9);
+  EXPECT_DOUBLE_EQ(s.value_or("parsec_latency_seconds_sum", -1), 0.0625);
+}
+
+TEST(AnalyzeProm, ParsesEscapesAndSpecialValues) {
+  const Scrape s = read_prometheus_text(
+      "m{path=\"a\\\\b\",msg=\"say \\\"hi\\\"\\n\"} 1\n"
+      "inf_metric +Inf\n"
+      "neg_inf_metric -Inf\n"
+      "nan_metric NaN\n");
+  ASSERT_EQ(s.samples.size(), 4u);
+  EXPECT_EQ(s.samples[0].labels[0].second, "a\\b");
+  EXPECT_EQ(s.samples[0].labels[1].second, "say \"hi\"\n");
+  EXPECT_TRUE(std::isinf(s.value_or("inf_metric", 0)));
+  EXPECT_DOUBLE_EQ(s.value_or("neg_inf_metric", 0),
+                   -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(s.samples[3].value));
+}
+
+TEST(AnalyzeProm, MalformedLinesThrowWithLineNumber) {
+  try {
+    read_prometheus_text("good_metric 1\nbad_metric\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(read_prometheus_text("m{a=b} 1\n"), std::invalid_argument);
+  EXPECT_THROW(read_prometheus_text("m{a=\"x\" 1\n"), std::invalid_argument);
+  EXPECT_THROW(read_prometheus_text("m not_a_number\n"), std::invalid_argument);
+  EXPECT_THROW(read_prometheus_file("/nonexistent/metrics.prom"),
+               std::invalid_argument);
+}
+
+// Lockstep with the writer: everything obs::Registry::write_prometheus
+// emits must round-trip through the reader — names, labels, help text,
+// types, histogram series, and the exact values.
+TEST(AnalyzeProm, RoundTripsRegistryExposition) {
+  obs::Registry reg;
+  reg.counter("parsec_effective_binary_evals_total",
+              "Effective binary evals.", {{"backend", "serial"}})
+      .inc(123456);
+  reg.counter("parsec_effective_binary_evals_total",
+              "Effective binary evals.", {{"backend", "maspar"}})
+      .inc(99);
+  reg.gauge("parsec_queue_depth", "Queue depth.").set(5);
+  obs::Histogram& lat =
+      reg.histogram("parsec_parse_seconds", "Parse time.", {0.001, 0.01, 0.1});
+  lat.observe(0.0005);
+  lat.observe(0.05);
+
+  const Scrape s = read_prometheus_text(reg.scrape());
+  EXPECT_EQ(s.types.at("parsec_effective_binary_evals_total"),
+            MetricType::Counter);
+  EXPECT_EQ(s.types.at("parsec_queue_depth"), MetricType::Gauge);
+  EXPECT_EQ(s.types.at("parsec_parse_seconds"), MetricType::Histogram);
+  EXPECT_DOUBLE_EQ(
+      s.value_or(
+          "parsec_effective_binary_evals_total{backend=\"serial\"}", -1),
+      123456);
+  EXPECT_DOUBLE_EQ(
+      s.value_or(
+          "parsec_effective_binary_evals_total{backend=\"maspar\"}", -1),
+      99);
+  EXPECT_DOUBLE_EQ(s.value_or("parsec_queue_depth", -1), 5);
+  EXPECT_DOUBLE_EQ(s.value_or("parsec_parse_seconds_count", -1), 2);
+  EXPECT_DOUBLE_EQ(s.value_or("parsec_parse_seconds_sum", -1), 0.0505);
+  EXPECT_DOUBLE_EQ(
+      s.value_or("parsec_parse_seconds_bucket{le=\"0.001\"}", -1), 1);
+  EXPECT_DOUBLE_EQ(
+      s.value_or("parsec_parse_seconds_bucket{le=\"+Inf\"}", -1), 2);
+}
+
+}  // namespace
+}  // namespace parsec::analyze

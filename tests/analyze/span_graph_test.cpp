@@ -1,0 +1,178 @@
+// Unit tests for span-forest reconstruction and the run analytics:
+// interval-containment nesting per (pid, tid) lane, self-time
+// accounting, critical-path decomposition, straggler flagging, and
+// phase-skew detection on synthetic traces with known answers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/span_graph.h"
+#include "analyze/trace_reader.h"
+
+namespace parsec::analyze {
+namespace {
+
+TraceEvent ev(const char* name, std::uint32_t tid, double ts, double dur) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = "parse";
+  e.pid = 1;
+  e.tid = tid;
+  e.ts_us = ts;
+  e.dur_us = dur;
+  return e;
+}
+
+TEST(AnalyzeSpanGraph, NestsByIntervalContainmentPerLane) {
+  Trace t;
+  t.events.push_back(ev("outer", 1, 0, 100));
+  t.events.push_back(ev("mid", 1, 10, 40));
+  t.events.push_back(ev("inner", 1, 20, 20));
+  t.events.push_back(ev("late", 1, 60, 30));
+  // Same interval on another thread must NOT nest under tid 1.
+  t.events.push_back(ev("other", 2, 20, 20));
+
+  const SpanForest f = build_span_forest(t);
+  ASSERT_EQ(f.nodes.size(), 5u);
+  EXPECT_EQ(f.nodes[0].parent, -1);
+  EXPECT_EQ(f.nodes[1].parent, 0);
+  EXPECT_EQ(f.nodes[2].parent, 1);
+  EXPECT_EQ(f.nodes[3].parent, 0);  // sibling of mid, after it ended
+  EXPECT_EQ(f.nodes[4].parent, -1);
+  EXPECT_EQ(f.nodes[2].depth, 2);
+  ASSERT_EQ(f.roots.size(), 2u);
+  // Self time = duration minus direct children.
+  EXPECT_DOUBLE_EQ(f.nodes[0].self_us, 100 - 40 - 30);
+  EXPECT_DOUBLE_EQ(f.nodes[1].self_us, 40 - 20);
+  EXPECT_DOUBLE_EQ(f.nodes[2].self_us, 20);
+}
+
+TEST(AnalyzeSpanGraph, IdenticalStartSortsLongerSpanAsParent) {
+  Trace t;
+  t.events.push_back(ev("child", 1, 0, 50));   // same start, shorter
+  t.events.push_back(ev("parent", 1, 0, 100));
+  const SpanForest f = build_span_forest(t);
+  EXPECT_EQ(f.nodes[0].parent, 1);
+  EXPECT_EQ(f.nodes[1].parent, -1);
+}
+
+TEST(AnalyzeSpanGraph, EpsilonAbsorbsWriterRounding) {
+  // The writer rounds ts and dur independently, so a child can
+  // overshoot its parent's end by a fraction of a nanosecond-decimal.
+  Trace t;
+  t.events.push_back(ev("parent", 1, 0.0, 10.0));
+  t.events.push_back(ev("child", 1, 5.0, 5.001));  // ends at 10.001
+  const SpanForest f = build_span_forest(t);
+  EXPECT_EQ(f.nodes[1].parent, 0);
+}
+
+TEST(AnalyzeSpanGraph, CriticalPathAttributesDeepestSpanAndMerges) {
+  Trace t;
+  t.events.push_back(ev("req", 1, 0, 100));
+  t.events.push_back(ev("a", 1, 10, 30));
+  t.events.push_back(ev("b", 1, 50, 20));
+  const SpanForest f = build_span_forest(t);
+  const std::vector<PathSegment> path = critical_path(t, f, 0);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path[0].name, "req");
+  EXPECT_DOUBLE_EQ(path[0].us, 10);
+  EXPECT_EQ(path[1].name, "a");
+  EXPECT_DOUBLE_EQ(path[1].us, 30);
+  EXPECT_EQ(path[2].name, "req");
+  EXPECT_DOUBLE_EQ(path[2].us, 10);  // gap between a and b
+  EXPECT_EQ(path[3].name, "b");
+  EXPECT_EQ(path[4].name, "req");
+  double sum = 0;
+  for (const PathSegment& seg : path) sum += seg.us;
+  EXPECT_DOUBLE_EQ(sum, 100);  // decomposition is exact
+}
+
+TEST(AnalyzeSpanGraph, EmptyTraceYieldsEmptyAnalysis) {
+  const RunAnalysis run = analyze_trace(Trace{});
+  EXPECT_EQ(run.events, 0u);
+  EXPECT_EQ(run.threads, 0u);
+  EXPECT_DOUBLE_EQ(run.wall_us, 0.0);
+  EXPECT_TRUE(run.requests.empty());
+  EXPECT_TRUE(run.phases.empty());
+}
+
+TEST(AnalyzeSpanGraph, RequestRootsAreServeRequestsAndBareEnvelopes) {
+  Trace t;
+  // serve.request wrapping an envelope: one request, not two.
+  t.events.push_back(ev("serve.request", 1, 0, 100));
+  t.events.push_back(ev("backend.serial", 1, 10, 80));
+  // A bare envelope (tool-driven parse, no service): also a request.
+  t.events.push_back(ev("backend.maspar", 2, 0, 50));
+  // Compile-time work outside any request: not a request.
+  t.events.push_back(ev("cdg.factoring", 3, 0, 40));
+
+  const RunAnalysis run = analyze_trace(t);
+  ASSERT_EQ(run.requests.size(), 2u);
+  EXPECT_EQ(run.requests[0].root_name, "serve.request");
+  EXPECT_EQ(run.requests[0].backend, "serial");
+  EXPECT_EQ(run.requests[1].root_name, "backend.maspar");
+  EXPECT_EQ(run.requests[1].backend, "maspar");
+  // cdg.factoring contributes to phases but not to the request profile.
+  for (const PathSegment& seg : run.profile)
+    EXPECT_NE(seg.name, "cdg.factoring");
+}
+
+TEST(AnalyzeSpanGraph, FlagsStragglersAgainstMedian) {
+  Trace t;
+  // Four requests of 100us and one of 1000us on separate lanes.
+  for (std::uint32_t i = 0; i < 4; ++i)
+    t.events.push_back(ev("backend.serial", i + 1, 10.0 * i, 100));
+  t.events.push_back(ev("backend.serial", 9, 5, 1000));
+  const RunAnalysis run = analyze_trace(t);
+  ASSERT_EQ(run.requests.size(), 5u);
+  ASSERT_EQ(run.stragglers.size(), 1u);
+  EXPECT_DOUBLE_EQ(run.requests[run.stragglers[0]].dur_us, 1000);
+  EXPECT_TRUE(run.requests[run.stragglers[0]].straggler);
+}
+
+TEST(AnalyzeSpanGraph, SingleRequestIsNeverAStraggler) {
+  Trace t;
+  t.events.push_back(ev("backend.serial", 1, 0, 5000));
+  const RunAnalysis run = analyze_trace(t);
+  EXPECT_TRUE(run.stragglers.empty());
+}
+
+TEST(AnalyzeSpanGraph, FlagsSkewedPhases) {
+  Trace t;
+  // 15 quick spans and one 100x outlier of the same phase; a steady
+  // phase with the same count must not be flagged.
+  for (std::uint32_t i = 0; i < 15; ++i)
+    t.events.push_back(ev("spiky.phase", i + 1, 0, 10));
+  t.events.push_back(ev("spiky.phase", 99, 0, 1000));
+  for (std::uint32_t i = 0; i < 16; ++i)
+    t.events.push_back(ev("steady.phase", i + 1, 100, 10));
+  AnalyzeOptions opt;
+  opt.min_phase_count = 8;
+  const RunAnalysis run = analyze_trace(t, opt);
+  ASSERT_EQ(run.skewed_phases.size(), 1u);
+  EXPECT_EQ(run.skewed_phases[0], "spiky.phase");
+}
+
+TEST(AnalyzeSpanGraph, RarePhasesAreExemptFromSkew) {
+  Trace t;
+  t.events.push_back(ev("rare.phase", 1, 0, 1));
+  t.events.push_back(ev("rare.phase", 2, 0, 1000));
+  const RunAnalysis run = analyze_trace(t);  // min_phase_count = 8
+  EXPECT_TRUE(run.skewed_phases.empty());
+}
+
+TEST(AnalyzeSpanGraph, PhasesSortBySelfTimeDescending) {
+  Trace t;
+  t.events.push_back(ev("outer", 1, 0, 100));
+  t.events.push_back(ev("inner", 1, 10, 80));
+  const RunAnalysis run = analyze_trace(t);
+  ASSERT_EQ(run.phases.size(), 2u);
+  EXPECT_EQ(run.phases[0].name, "inner");  // self 80 beats outer's 20
+  EXPECT_DOUBLE_EQ(run.phases[0].self_us, 80);
+  EXPECT_DOUBLE_EQ(run.phases[1].self_us, 20);
+  EXPECT_DOUBLE_EQ(run.phases[1].total_us, 100);
+}
+
+}  // namespace
+}  // namespace parsec::analyze
