@@ -13,8 +13,8 @@
 //                    [--threads T1,T2,...] [--batch B]
 //                    [--backend serial|omp|pram|maspar] [--json PATH]
 //                    [--metrics-out PATH] [--trace-out PATH]
-//                    [--fault-plan PATH] [--shed-load]
-//                    [--resilience-out PATH]
+//                    [--fault-plan PATH] [--shed-load] [--cache]
+//                    [--dup-sweep] [--resilience-out PATH]
 //
 // --metrics-out writes a Prometheus text scrape of everything the
 // services published; --trace-out records one fully traced parse
@@ -25,7 +25,14 @@
 // format) for the whole run: the chaos-smoke CI job replays a seeded
 // plan and asserts zero crashes, structured statuses, and Ok-response
 // bit-identity.  --shed-load turns on ParseService admission control
-// (queue overflow answers Overloaded instead of blocking).
+// (queue overflow answers Overloaded instead of blocking).  --cache
+// enables the parse-result cache on every swept service (hits must
+// stay bit-identical, fault plans included — a failed leader abandons
+// its slot, it never caches a corrupt result).  --dup-sweep replays a
+// 90%-duplicate request stream through a cache-off and a cache-on
+// single-threaded service and reports hit rate + speedup; run at one
+// thread the cache counters it publishes are exact, so the perf-gate
+// CI job pins them in bench/baselines/throughput_counters.json.
 // --resilience-out sweeps injected fault rates (0%, 1%, 5%) across a
 // mixed-backend workload and writes goodput/p99 per rate.
 //
@@ -33,6 +40,7 @@
 // is reported, not asserted, so low-core CI boxes stay green.
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 
 #include <memory>
@@ -63,6 +71,8 @@ struct Config {
   std::string trace_path;       // empty = no trace
   std::string fault_plan_path;  // empty = no injected faults
   bool shed_load = false;
+  bool cache = false;           // result cache on the swept services
+  bool dup_sweep = false;       // duplicated-traffic cache sweep
   std::string resilience_path;  // empty = no fault-rate sweep
 };
 
@@ -111,14 +121,18 @@ int main(int argc, char** argv) {
       cfg.fault_plan_path = next();
     else if (arg == "--shed-load")
       cfg.shed_load = true;
+    else if (arg == "--cache")
+      cfg.cache = true;
+    else if (arg == "--dup-sweep")
+      cfg.dup_sweep = true;
     else if (arg == "--resilience-out")
       cfg.resilience_path = next();
     else {
       std::cerr << "usage: bench_throughput [--sentences N] [--lo L] [--hi H]"
                    " [--threads T1,T2,...] [--batch B] [--backend NAME]"
                    " [--json PATH] [--metrics-out PATH] [--trace-out PATH]"
-                   " [--fault-plan PATH] [--shed-load]"
-                   " [--resilience-out PATH]\n";
+                   " [--fault-plan PATH] [--shed-load] [--cache]"
+                   " [--dup-sweep] [--resilience-out PATH]\n";
       return 2;
     }
   }
@@ -176,6 +190,7 @@ int main(int argc, char** argv) {
     std::cout << "fault plan: " << cfg.fault_plan_path << " (seed "
               << fault_plan->seed() << ")"
               << (cfg.shed_load ? ", shedding load" : "") << "\n";
+  if (cfg.cache) std::cout << "result cache: enabled\n";
   std::cout
       << "=============================================================\n\n";
 
@@ -191,6 +206,7 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.queue_capacity = std::max<std::size_t>(cfg.batch * 2, 64);
     opt.shed_load = cfg.shed_load;
+    opt.enable_result_cache = cfg.cache;
     serve::ParseService service(bundle.grammar, opt);
 
     std::vector<std::uint64_t> hashes(workload.size(), 0);
@@ -267,6 +283,85 @@ int main(int argc, char** argv) {
                           "%.1f")
             << " sent/s\n";
 
+  // Duplicated-traffic sweep: real serving traffic repeats itself, so
+  // replay a stream that cycles 10% of the workload (90% duplicates)
+  // through a cache-off and a cache-on service and compare.  One
+  // thread, one stream: the hit/miss counters are exact — the first
+  // pass over the uniques misses, every later cycle hits — which is
+  // what lets the perf gate pin parsec_serve_cache_* in a baseline.
+  std::optional<serve::DupSweepResult> dup;
+  if (cfg.dup_sweep) {
+    const std::size_t uniques =
+        std::max<std::size_t>(1, workload.size() / 10);
+    const std::size_t total = workload.size();
+    auto replay = [&](bool with_cache, bool& identical) {
+      serve::ParseService::Options opt;
+      opt.threads = 1;
+      opt.queue_capacity = std::max<std::size_t>(cfg.batch * 2, 64);
+      opt.enable_result_cache = with_cache;
+      serve::ParseService service(bundle.grammar, opt);
+      std::vector<serve::ParseResponse> responses;
+      const double wall = bench::time_host([&] {
+        for (std::size_t base = 0; base < total; base += cfg.batch) {
+          const std::size_t end = std::min(base + cfg.batch, total);
+          std::vector<serve::ParseRequest> batch;
+          batch.reserve(end - base);
+          for (std::size_t i = base; i < end; ++i) {
+            serve::ParseRequest r;
+            r.sentence = workload[i % uniques];
+            r.backend = cfg.backend;
+            batch.push_back(std::move(r));
+          }
+          auto got = service.parse_batch(std::move(batch));
+          responses.insert(responses.end(),
+                           std::make_move_iterator(got.begin()),
+                           std::make_move_iterator(got.end()));
+        }
+      });
+      for (std::size_t i = 0; i < responses.size(); ++i)
+        if (responses[i].status != serve::RequestStatus::Ok ||
+            responses[i].domains_hash != reference[i % uniques])
+          identical = false;
+      dup->cache = service.stats().cache;  // cache-off pass: all zeros
+      return wall;
+    };
+
+    dup.emplace();
+    dup->requests = total;
+    dup->unique_sentences = uniques;
+    dup->threads = 1;
+    dup->backend = engine::to_string(cfg.backend);
+    bool identical = true;
+    dup->wall_off_seconds = replay(false, identical);
+    dup->wall_on_seconds = replay(true, identical);
+    all_identical = all_identical && identical;
+    dup->sps_off = static_cast<double>(total) / dup->wall_off_seconds;
+    dup->sps_on = static_cast<double>(total) / dup->wall_on_seconds;
+    dup->speedup = dup->sps_off > 0 ? dup->sps_on / dup->sps_off : 0.0;
+    dup->hit_rate =
+        dup->cache.lookups
+            ? static_cast<double>(dup->cache.hits + dup->cache.coalesced) /
+                  static_cast<double>(dup->cache.lookups)
+            : 0.0;
+
+    std::cout << "\nduplicated-traffic sweep (" << total << " requests over "
+              << uniques << " unique sentences, 1 thread):\n";
+    util::Table dtable({"cache", "wall s", "sent/s", "hit rate", "speedup",
+                        "bit-identical"});
+    dtable.add_row({"off", bench::fmt(dup->wall_off_seconds, "%.3f"),
+                    bench::fmt(dup->sps_off, "%.1f"), "-", "1.00",
+                    identical ? "yes" : "NO"});
+    dtable.add_row({"on", bench::fmt(dup->wall_on_seconds, "%.3f"),
+                    bench::fmt(dup->sps_on, "%.1f"),
+                    bench::fmt(dup->hit_rate * 100.0, "%.1f%%"),
+                    bench::fmt(dup->speedup, "%.2f"),
+                    identical ? "yes" : "NO"});
+    dtable.print(std::cout);
+    std::cout << "cache: " << dup->cache.misses << " misses, "
+              << dup->cache.hits << " hits, " << dup->cache.coalesced
+              << " coalesced, " << dup->cache.evictions << " evicted\n";
+  }
+
   std::ostringstream workload_desc;
   workload_desc << "english n=" << cfg.lo << ".." << cfg.hi << " x"
                 << cfg.sentences << " batch=" << cfg.batch;
@@ -282,7 +377,8 @@ int main(int argc, char** argv) {
                                 cfg.backend == engine::Backend::Serial;
   std::ofstream json(cfg.json_path);
   serve::write_throughput_report(json, workload_desc.str(), rows,
-                                 default_workload ? &baseline : nullptr);
+                                 default_workload ? &baseline : nullptr,
+                                 dup ? &*dup : nullptr);
   std::cout << "report: " << cfg.json_path << "\n";
 
   // Every service above published into the global registry; one scrape

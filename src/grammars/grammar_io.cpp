@@ -14,8 +14,21 @@ namespace {
 using util::Sexpr;
 
 [[noreturn]] void fail(const Sexpr& at, const std::string& msg) {
-  throw GrammarIoError(msg + " at " + std::to_string(at.line) + ":" +
-                       std::to_string(at.col));
+  throw GrammarIoError(msg, at.line, at.col);
+}
+
+/// 0-based byte offset of 1-based (line, col) in `text` (kNoOffset when
+/// the position does not exist in the text).
+std::size_t offset_of(std::string_view text, int line, int col) {
+  if (line <= 0 || col <= 0) return GrammarIoError::kNoOffset;
+  std::size_t pos = 0;
+  for (int l = 1; l < line; ++l) {
+    pos = text.find('\n', pos);
+    if (pos == std::string_view::npos) return GrammarIoError::kNoOffset;
+    ++pos;
+  }
+  const std::size_t offset = pos + static_cast<std::size_t>(col - 1);
+  return offset <= text.size() ? offset : GrammarIoError::kNoOffset;
 }
 
 const std::string& atom_of(const Sexpr& s, const char* what) {
@@ -102,30 +115,43 @@ void load_lexicon_form(cdg::Grammar& g, cdg::Lexicon& lex,
 }  // namespace
 
 CdgBundle load_cdg_bundle(std::string_view text) {
-  std::vector<Sexpr> forms;
   try {
-    forms = util::parse_sexprs(text);
-  } catch (const util::SexprError& e) {
-    throw GrammarIoError(e.what());
-  }
-  CdgBundle bundle;
-  bool saw_grammar = false;
-  for (const Sexpr& form : forms) {
-    if (!form.is_list() || form.items.empty() || !form[0].is_atom())
-      fail(form, "expected (grammar ...) or (lexicon ...)");
-    if (form[0].is("grammar")) {
-      load_grammar_form(bundle.grammar, form);
-      saw_grammar = true;
-    } else if (form[0].is("lexicon")) {
-      if (!saw_grammar)
-        fail(form, "(lexicon ...) must follow (grammar ...)");
-      load_lexicon_form(bundle.grammar, bundle.lexicon, form);
-    } else {
-      fail(form, "unknown top-level form `" + form[0].atom + "`");
+    std::vector<Sexpr> forms;
+    try {
+      forms = util::parse_sexprs(text);
+    } catch (const util::SexprError& e) {
+      // SexprError::what() already reads "<msg> at <line>:<col>";
+      // carry the structured position over instead of discarding it.
+      GrammarIoError io(e.what());
+      io.line = e.line;
+      io.col = e.col;
+      throw io;
     }
+    CdgBundle bundle;
+    bool saw_grammar = false;
+    for (const Sexpr& form : forms) {
+      if (!form.is_list() || form.items.empty() || !form[0].is_atom())
+        fail(form, "expected (grammar ...) or (lexicon ...)");
+      if (form[0].is("grammar")) {
+        load_grammar_form(bundle.grammar, form);
+        saw_grammar = true;
+      } else if (form[0].is("lexicon")) {
+        if (!saw_grammar)
+          fail(form, "(lexicon ...) must follow (grammar ...)");
+        load_lexicon_form(bundle.grammar, bundle.lexicon, form);
+      } else {
+        fail(form, "unknown top-level form `" + form[0].atom + "`");
+      }
+    }
+    if (!saw_grammar) throw GrammarIoError("no (grammar ...) form found");
+    return bundle;
+  } catch (GrammarIoError& e) {
+    // Only here is the source text in scope: resolve line/col to the
+    // byte offset before the error leaves the loader.
+    if (e.byte_offset == GrammarIoError::kNoOffset)
+      e.byte_offset = offset_of(text, e.line, e.col);
+    throw;
   }
-  if (!saw_grammar) throw GrammarIoError("no (grammar ...) form found");
-  return bundle;
 }
 
 CdgBundle load_cdg_bundle_file(const std::string& path) {
@@ -133,7 +159,15 @@ CdgBundle load_cdg_bundle_file(const std::string& path) {
   if (!in) throw GrammarIoError("cannot open grammar file: " + path);
   std::stringstream ss;
   ss << in.rdbuf();
-  return load_cdg_bundle(ss.str());
+  try {
+    return load_cdg_bundle(ss.str());
+  } catch (const GrammarIoError& e) {
+    GrammarIoError io(path + ": " + e.what());
+    io.line = e.line;
+    io.col = e.col;
+    io.byte_offset = e.byte_offset;
+    throw io;
+  }
 }
 
 std::string save_cdg_bundle(const CdgBundle& bundle) {

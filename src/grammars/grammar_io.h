@@ -23,6 +23,7 @@
 // behaviourally identical bundle (round-trip tested).
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -31,15 +32,38 @@
 
 namespace parsec::grammars {
 
+/// Load/validation failure, carrying the source position of the
+/// offending form so hot-reload failures are diagnosable from logs:
+/// 1-based line/col (0 = no location, e.g. a missing file) and the
+/// 0-based byte offset into the grammar text (kNoOffset = unknown).
+/// what() reads "<msg> at <line>:<col>" when a location is known.
 struct GrammarIoError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  /// Location-less error (missing file, no grammar form).
+  explicit GrammarIoError(const std::string& msg) : std::runtime_error(msg) {}
+
+  /// Error anchored at a source position; the location is appended to
+  /// the message.
+  GrammarIoError(const std::string& msg, int line_in, int col_in,
+                 std::size_t byte_offset_in = kNoOffset)
+      : std::runtime_error(msg + " at " + std::to_string(line_in) + ":" +
+                           std::to_string(col_in)),
+        line(line_in),
+        col(col_in),
+        byte_offset(byte_offset_in) {}
+
+  int line = 0;
+  int col = 0;
+  std::size_t byte_offset = kNoOffset;
 };
 
 /// Parses a bundle from grammar-file text.  Throws GrammarIoError with
-/// source positions on malformed input.
+/// source positions (line/col and byte offset) on malformed input.
 CdgBundle load_cdg_bundle(std::string_view text);
 
-/// Loads from a file path.
+/// Loads from a file path.  Load errors are rethrown with the path
+/// prepended to the message (positions preserved).
 CdgBundle load_cdg_bundle_file(const std::string& path);
 
 /// Serializes grammar + lexicon to the textual format.

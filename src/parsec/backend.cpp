@@ -56,33 +56,42 @@ BackendStats& BackendStats::operator+=(const BackendStats& o) {
 cdg::Network& NetworkScratch::acquire(const cdg::Grammar& g,
                                       const cdg::Sentence& s,
                                       cdg::NetworkOptions opt) {
-  auto it = by_length_.find(s.size());
-  if (it != by_length_.end() && &it->second.grammar() == &g &&
-      it->second.reinit(s)) {
+  const ShapeKey key{&g, s.size()};
+  auto it = by_shape_.find(key);
+  if (it != by_shape_.end() && it->second.reinit(s)) {
     ++reuses_;
     return it->second;
   }
-  if (it != by_length_.end()) by_length_.erase(it);
-  auto [pos, inserted] = by_length_.emplace(s.size(), cdg::Network(g, s, opt));
+  if (it != by_shape_.end()) by_shape_.erase(it);
+  auto [pos, inserted] = by_shape_.emplace(key, cdg::Network(g, s, opt));
   (void)inserted;
   return pos->second;
 }
 
+void NetworkScratch::purge(const cdg::Grammar* g) {
+  for (auto it = by_shape_.begin(); it != by_shape_.end();) {
+    if (it->first.grammar == g)
+      it = by_shape_.erase(it);
+    else
+      ++it;
+  }
+}
+
 std::size_t NetworkScratch::arena_bytes() const {
   std::size_t total = 0;
-  for (const auto& [len, net] : by_length_) total += net.arena().bytes();
+  for (const auto& [key, net] : by_shape_) total += net.arena().bytes();
   return total;
 }
 
 std::uint64_t NetworkScratch::arena_allocations() const {
   std::uint64_t total = 0;
-  for (const auto& [len, net] : by_length_) total += net.arena().allocations();
+  for (const auto& [key, net] : by_shape_) total += net.arena().allocations();
   return total;
 }
 
 std::uint64_t NetworkScratch::arena_reinits() const {
   std::uint64_t total = 0;
-  for (const auto& [len, net] : by_length_) total += net.arena().reinits();
+  for (const auto& [key, net] : by_shape_) total += net.arena().reinits();
   return total;
 }
 
@@ -122,6 +131,21 @@ std::uint64_t hash_domains(const cdg::Network& net) {
     mix(d.size());
     for (std::size_t wi = 0; wi < d.word_count(); ++wi) mix(d.word_at(wi));
   }
+  return h;
+}
+
+std::uint64_t hash_sentence(const cdg::Sentence& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  mix(static_cast<std::uint64_t>(s.size()));
+  for (const auto& w : s.words) {
+    mix(w.size());
+    for (unsigned char c : w) mix(c);
+  }
+  for (cdg::CatId c : s.cats) mix(static_cast<std::uint64_t>(c));
   return h;
 }
 

@@ -63,17 +63,25 @@ struct BackendStats {
   BackendStats& operator+=(const BackendStats& o);
 };
 
-/// Pool of constraint networks keyed by sentence length: `acquire`
-/// reuses (via Network::reinit) the network — and with it the whole
-/// backing arena — built for the last same-length sentence, so
+/// Pool of constraint networks keyed by (grammar, sentence length):
+/// `acquire` reuses (via Network::reinit) the network — and with it the
+/// whole backing arena — built for the last same-shape sentence, so
 /// steady-state parsing of a workload with repeating lengths allocates
-/// nothing.
+/// nothing.  Keying by grammar identity (not just length) lets one
+/// worker serve many tenants without thrashing the pool when requests
+/// alternate between grammars; `purge(&grammar)` releases the networks
+/// of a retired grammar snapshot after a hot reload.
 class NetworkScratch {
  public:
   cdg::Network& acquire(const cdg::Grammar& g, const cdg::Sentence& s,
                         cdg::NetworkOptions opt = {});
 
-  std::size_t pooled_shapes() const { return by_length_.size(); }
+  /// Drops every pooled network built against `g` (call after the
+  /// grammar snapshot is retired; pooled networks hold references into
+  /// their grammar, so they must not outlive it).
+  void purge(const cdg::Grammar* g);
+
+  std::size_t pooled_shapes() const { return by_shape_.size(); }
   std::uint64_t reuses() const { return reuses_; }
 
   /// Total bytes of the pooled arena allocations (bench_memory reports
@@ -85,7 +93,19 @@ class NetworkScratch {
   std::uint64_t arena_reinits() const;
 
  private:
-  std::unordered_map<int, cdg::Network> by_length_;
+  /// One pooled network per (grammar instance, sentence length).
+  struct ShapeKey {
+    const cdg::Grammar* grammar = nullptr;
+    int length = 0;
+    bool operator==(const ShapeKey&) const = default;
+  };
+  struct ShapeKeyHash {
+    std::size_t operator()(const ShapeKey& k) const {
+      return std::hash<const void*>()(k.grammar) ^
+             (std::hash<int>()(k.length) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  std::unordered_map<ShapeKey, cdg::Network, ShapeKeyHash> by_shape_;
   std::uint64_t reuses_ = 0;
 };
 
@@ -156,6 +176,12 @@ std::uint64_t hash_domains(const std::vector<util::DynBitset>& domains);
 /// Same hash computed directly over a network's arena-backed domain
 /// spans — no per-request domain copies on the serve hot path.
 std::uint64_t hash_domains(const cdg::Network& net);
+
+/// FNV-1a over a tagged sentence (words + chosen categories).  The
+/// serve layer's parse-result cache keys on this: two requests with the
+/// same hash under the same grammar epoch reach the same fixpoint, so
+/// the cached response is bit-identical to a fresh parse.
+std::uint64_t hash_sentence(const cdg::Sentence& s);
 
 /// Parses `s` on backend `b`.  `scratch` (if non-null) supplies the
 /// reusable network pool (networks + arenas + AC-4 counter storage);

@@ -1,0 +1,132 @@
+#include "serve/grammar_registry.h"
+
+#include <utility>
+
+#include "grammars/grammar_io.h"
+
+namespace parsec::serve {
+
+GrammarBundle::GrammarBundle(std::string name, int tenant_id,
+                             std::uint64_t epoch,
+                             std::shared_ptr<const grammars::CdgBundle> owned,
+                             engine::EngineSetOptions eopt,
+                             std::size_t max_inflight)
+    : name_(std::move(name)),
+      tenant_id_(tenant_id),
+      epoch_(epoch),
+      owned_(std::move(owned)),
+      grammar_(&owned_->grammar),
+      lexicon_(&owned_->lexicon),
+      engines_(*grammar_, eopt),
+      max_inflight_(max_inflight) {}
+
+GrammarBundle::GrammarBundle(std::string name, int tenant_id,
+                             std::uint64_t epoch, const cdg::Grammar* grammar,
+                             const cdg::Lexicon* lexicon,
+                             engine::EngineSetOptions eopt,
+                             std::size_t max_inflight)
+    : name_(std::move(name)),
+      tenant_id_(tenant_id),
+      epoch_(epoch),
+      grammar_(grammar),
+      lexicon_(lexicon),
+      engines_(*grammar_, eopt),
+      max_inflight_(max_inflight) {}
+
+GrammarSnapshot GrammarRegistry::publish(const std::string& name,
+                                         grammars::CdgBundle bundle,
+                                         PublishOptions opt) {
+  auto owned =
+      std::make_shared<const grammars::CdgBundle>(std::move(bundle));
+  return publish_snapshot(name, std::move(owned), nullptr, nullptr,
+                          std::move(opt));
+}
+
+GrammarSnapshot GrammarRegistry::publish_borrowed(const std::string& name,
+                                                  const cdg::Grammar& grammar,
+                                                  const cdg::Lexicon* lexicon,
+                                                  PublishOptions opt) {
+  return publish_snapshot(name, nullptr, &grammar, lexicon, std::move(opt));
+}
+
+GrammarSnapshot GrammarRegistry::load_file(const std::string& name,
+                                           const std::string& path,
+                                           PublishOptions opt) {
+  // Parse (and thereby validate the file) before touching any registry
+  // state: a malformed file throws GrammarIoError here and the current
+  // snapshot keeps serving.
+  return publish(name, grammars::load_cdg_bundle_file(path), std::move(opt));
+}
+
+GrammarSnapshot GrammarRegistry::publish_snapshot(
+    const std::string& name, std::shared_ptr<const grammars::CdgBundle> owned,
+    const cdg::Grammar* grammar, const cdg::Lexicon* lexicon,
+    PublishOptions opt) {
+  std::lock_guard publish_lock(publish_mutex_);
+
+  // Epoch and tenant id carry over from the entry being replaced.
+  std::uint64_t epoch = 1;
+  int tenant_id = 0;
+  {
+    std::lock_guard state_lock(state_mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      epoch = it->second->epoch() + 1;
+      tenant_id = it->second->tenant_id();
+    } else {
+      tenant_id = next_tenant_id_++;
+    }
+  }
+
+  // Compile outside state_mutex_ (this is the expensive validation
+  // step); a compile failure throws and nothing was swapped.
+  GrammarSnapshot fresh =
+      owned ? std::make_shared<const GrammarBundle>(
+                  name, tenant_id, epoch, std::move(owned), opt.engines,
+                  opt.max_inflight)
+            : std::make_shared<const GrammarBundle>(name, tenant_id, epoch,
+                                                    grammar, lexicon,
+                                                    opt.engines,
+                                                    opt.max_inflight);
+
+  {
+    std::lock_guard state_lock(state_mutex_);
+    entries_[name] = fresh;
+  }
+  // Hooks run outside state_mutex_ so a hook may call back into the
+  // registry; publish_mutex_ keeps them ordered with the swap.
+  for (const auto& hook : hooks_) hook(*fresh);
+  return fresh;
+}
+
+GrammarSnapshot GrammarRegistry::snapshot(std::string_view name) const {
+  std::lock_guard lock(state_mutex_);
+  auto it = entries_.find(std::string(name));
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::uint64_t GrammarRegistry::epoch(std::string_view name) const {
+  auto snap = snapshot(name);
+  return snap ? snap->epoch() : 0;
+}
+
+std::vector<std::string> GrammarRegistry::names() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, snap] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t GrammarRegistry::size() const {
+  std::lock_guard lock(state_mutex_);
+  return entries_.size();
+}
+
+void GrammarRegistry::add_publish_hook(
+    std::function<void(const GrammarBundle&)> hook) {
+  std::lock_guard lock(publish_mutex_);
+  hooks_.push_back(std::move(hook));
+}
+
+}  // namespace parsec::serve

@@ -1,0 +1,148 @@
+// Multi-tenant grammar registry with epoch-versioned hot reload.
+//
+// A GrammarBundle is one immutable, precompiled snapshot of a tenant's
+// grammar: the grammar + lexicon, the factored constraint sets (one
+// EngineSet, compiled once at publish time), a monotonic epoch, and the
+// tenant's admission quota.  The registry maps tenant names to the
+// current snapshot; `publish` (or `load_file`, which parses a .cdg
+// file) validates by compiling the engines first and only then swaps
+// the map entry, so a broken reload leaves the old snapshot serving.
+//
+// Epoch protocol (documented in docs/OBSERVABILITY.md):
+//   - every publish of a name bumps that entry's epoch by one;
+//   - the tenant id is stable across reloads of the same name;
+//   - requests pin the snapshot (a shared_ptr) at submit time, so a
+//     reload mid-batch never swaps a grammar under an in-flight parse —
+//     the old epoch stays alive until its last request drains;
+//   - the serve layer's result cache keys on (tenant, epoch, sentence
+//     hash), so entries cached under a retired epoch can never be
+//     served to requests admitted under the new one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "grammars/toy_grammar.h"
+#include "parsec/backend.h"
+
+namespace parsec::serve {
+
+/// One immutable grammar snapshot.  Construction compiles every engine
+/// (the validation step of a reload); afterwards the bundle is
+/// read-only and safe to share across any number of worker threads.
+class GrammarBundle {
+ public:
+  /// Owning snapshot: the registry keeps the CdgBundle alive via
+  /// shared_ptr so the compiled engines' grammar reference stays valid
+  /// for as long as any request holds the snapshot.
+  GrammarBundle(std::string name, int tenant_id, std::uint64_t epoch,
+                std::shared_ptr<const grammars::CdgBundle> owned,
+                engine::EngineSetOptions eopt, std::size_t max_inflight);
+
+  /// Borrowed snapshot (compat path for callers that own their grammar
+  /// statically, e.g. ParseService's single-grammar constructors).  The
+  /// caller guarantees `grammar` (and `lexicon`, if non-null) outlive
+  /// the registry entry.
+  GrammarBundle(std::string name, int tenant_id, std::uint64_t epoch,
+                const cdg::Grammar* grammar, const cdg::Lexicon* lexicon,
+                engine::EngineSetOptions eopt, std::size_t max_inflight);
+
+  GrammarBundle(const GrammarBundle&) = delete;
+  GrammarBundle& operator=(const GrammarBundle&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Small dense id, stable across reloads of the same name (span args
+  /// are numeric, so traces carry this instead of the name).
+  int tenant_id() const { return tenant_id_; }
+  std::uint64_t epoch() const { return epoch_; }
+  const cdg::Grammar& grammar() const { return *grammar_; }
+  /// May be null on the borrowed path when the caller tags externally.
+  const cdg::Lexicon* lexicon() const { return lexicon_; }
+  const engine::EngineSet& engines() const { return engines_; }
+  /// Admission quota: max concurrently admitted requests for this
+  /// tenant (0 = unlimited).  Enforced by ParseService as Overloaded.
+  std::size_t max_inflight() const { return max_inflight_; }
+
+ private:
+  std::string name_;
+  int tenant_id_;
+  std::uint64_t epoch_;
+  std::shared_ptr<const grammars::CdgBundle> owned_;
+  const cdg::Grammar* grammar_;
+  const cdg::Lexicon* lexicon_;
+  engine::EngineSet engines_;
+  std::size_t max_inflight_;
+};
+
+using GrammarSnapshot = std::shared_ptr<const GrammarBundle>;
+
+/// Per-publish knobs (namespace scope so it can serve as a default
+/// argument inside GrammarRegistry).
+struct GrammarPublishOptions {
+  engine::EngineSetOptions engines;
+  /// Per-tenant admission quota (0 = unlimited).
+  std::size_t max_inflight = 0;
+};
+
+class GrammarRegistry {
+ public:
+  using PublishOptions = GrammarPublishOptions;
+
+  /// Publishes `bundle` as the new snapshot for `name` (epoch =
+  /// previous epoch + 1, or 1 for a new name).  Compiles the engines
+  /// before swapping; throws (and leaves the old snapshot serving) if
+  /// compilation fails.  Returns the published snapshot.
+  GrammarSnapshot publish(const std::string& name, grammars::CdgBundle bundle,
+                          PublishOptions opt = PublishOptions());
+
+  /// Publishes a snapshot that borrows `grammar`/`lexicon` from the
+  /// caller (compat path; the caller guarantees their lifetime).
+  GrammarSnapshot publish_borrowed(const std::string& name,
+                                   const cdg::Grammar& grammar,
+                                   const cdg::Lexicon* lexicon,
+                                   PublishOptions opt = PublishOptions());
+
+  /// Loads a .cdg file via grammar_io and publishes it.  Parse or
+  /// validation errors throw grammars::GrammarIoError with source
+  /// positions; the old snapshot (if any) keeps serving.
+  GrammarSnapshot load_file(const std::string& name, const std::string& path,
+                            PublishOptions opt = PublishOptions());
+
+  /// Current snapshot for `name`, or nullptr if unknown.
+  GrammarSnapshot snapshot(std::string_view name) const;
+
+  /// Current epoch for `name` (0 if unknown).
+  std::uint64_t epoch(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// Registers a hook run after every successful publish (outside the
+  /// registry's internal mutex, serialized with other publishes).  The
+  /// result cache registers one to drop entries from retired epochs.
+  void add_publish_hook(std::function<void(const GrammarBundle&)> hook);
+
+ private:
+  GrammarSnapshot publish_snapshot(const std::string& name,
+                                   std::shared_ptr<const grammars::CdgBundle> owned,
+                                   const cdg::Grammar* grammar,
+                                   const cdg::Lexicon* lexicon,
+                                   PublishOptions opt);
+
+  /// Serializes publishers: epoch reads + engine compilation + swap are
+  /// atomic with respect to other publishes, while `state_mutex_` keeps
+  /// reader critical sections (snapshot lookups) pointer-swap short.
+  std::mutex publish_mutex_;
+  mutable std::mutex state_mutex_;
+  std::unordered_map<std::string, GrammarSnapshot> entries_;
+  int next_tenant_id_ = 1;
+  std::vector<std::function<void(const GrammarBundle&)>> hooks_;
+};
+
+}  // namespace parsec::serve

@@ -33,39 +33,60 @@ ParseService::ParseService(const cdg::Grammar& grammar)
     : ParseService(grammar, Options()) {}
 
 ParseService::ParseService(const cdg::Grammar& grammar, Options opt)
-    : engines_(grammar, opt.engines),
-      opt_(opt),
-      publisher_(opt.metrics),
-      timeouts_total_(&opt.metrics->counter(
+    : ParseService(&grammar, nullptr, std::move(opt)) {}
+
+ParseService::ParseService(GrammarRegistry& registry, Options opt)
+    : ParseService(nullptr, &registry, std::move(opt)) {}
+
+ParseService::ParseService(const cdg::Grammar* compat_grammar,
+                           GrammarRegistry* external, Options opt)
+    : registry_(external),
+      opt_(std::move(opt)),
+      cache_(opt_.enable_result_cache
+                 ? std::make_unique<ResultCache>(opt_.result_cache_capacity,
+                                                 opt_.metrics)
+                 : nullptr),
+      publisher_(opt_.metrics),
+      timeouts_total_(&opt_.metrics->counter(
           "parsec_serve_timeouts_total",
           "Requests answered Timeout (expired at submit, queued, or "
           "mid-parse).")),
-      rejected_at_submit_total_(&opt.metrics->counter(
+      rejected_at_submit_total_(&opt_.metrics->counter(
           "parsec_serve_rejected_at_submit_total",
           "Requests refused because shutdown had begun.")),
-      queue_wait_seconds_(&opt.metrics->histogram(
+      queue_wait_seconds_(&opt_.metrics->histogram(
           "parsec_serve_queue_wait_seconds",
           "Time a request spent queued before a worker dequeued it.",
           obs::default_latency_buckets_seconds())),
-      queue_depth_gauge_(&opt.metrics->gauge(
+      queue_depth_gauge_(&opt_.metrics->gauge(
           "parsec_serve_queue_depth",
           "Requests waiting in the pool queue (sampled at record/stats).")),
-      fallback_retries_total_(&opt.metrics->counter(
+      fallback_retries_total_(&opt_.metrics->counter(
           "parsec_resil_fallback_retries_total",
           "Faulted/stalled requests retried on the Serial backend.")),
-      fallback_ok_total_(&opt.metrics->counter(
+      fallback_ok_total_(&opt_.metrics->counter(
           "parsec_resil_fallback_ok_total",
           "Serial fallback retries that completed Ok.")),
-      breaker_trips_total_(&opt.metrics->counter(
+      breaker_trips_total_(&opt_.metrics->counter(
           "parsec_resil_breaker_trips_total",
           "Circuit-breaker transitions to Open (any backend).")),
-      breaker_rerouted_total_(&opt.metrics->counter(
+      breaker_rerouted_total_(&opt_.metrics->counter(
           "parsec_resil_breaker_rerouted_total",
           "Requests rerouted to Serial by an open circuit breaker.")),
-      watchdog_stalls_total_(&opt.metrics->counter(
+      watchdog_stalls_total_(&opt_.metrics->counter(
           "parsec_resil_watchdog_stalls_total",
           "Stuck workers cancelled by the watchdog.")),
       start_(clock::now()) {
+  if (compat_grammar) {
+    // Single-grammar compat: publish the borrowed grammar into an
+    // owned registry under the default name (epoch 1).
+    owned_registry_ = std::make_unique<GrammarRegistry>();
+    GrammarRegistry::PublishOptions popt;
+    popt.engines = opt_.engines;
+    owned_registry_->publish_borrowed(opt_.default_grammar, *compat_grammar,
+                                      opt_.lexicon, popt);
+    registry_ = owned_registry_.get();
+  }
   // One disjoint status counter per RequestStatus: every submitted
   // request lands in exactly one (the exactly-once invariant the chaos
   // tests assert).
@@ -75,13 +96,13 @@ ParseService::ParseService(const cdg::Grammar& grammar, Options opt)
       RequestStatus::Overloaded,  RequestStatus::Faulted};
   for (std::size_t i = 0; i < kNumRequestStatuses; ++i)
     serve_status_[static_cast<std::size_t>(kStatuses[i])] =
-        &opt.metrics->counter(
+        &opt_.metrics->counter(
             "parsec_serve_requests_total",
             "Requests by final status; statuses are disjoint and each "
             "submitted request is counted exactly once.",
             {{"status", to_string(kStatuses[i])}});
   for (auto& b : breakers_) b.configure(opt_.breaker);
-  pool_ = std::make_unique<ThreadPool>(opt.threads, opt.queue_capacity);
+  pool_ = std::make_unique<ThreadPool>(opt_.threads, opt_.queue_capacity);
   scratch_.resize(static_cast<std::size_t>(pool_->num_threads()));
   if (opt_.watchdog_stall.count() > 0) {
     resil::Watchdog::Options wopts;
@@ -96,6 +117,66 @@ ParseService::~ParseService() { shutdown(); }
 
 void ParseService::shutdown() { pool_->shutdown(); }
 
+const cdg::Grammar& ParseService::grammar() const {
+  GrammarSnapshot snap = registry_->snapshot(opt_.default_grammar);
+  if (!snap)
+    throw std::logic_error("ParseService::grammar(): default grammar '" +
+                           opt_.default_grammar + "' is not published");
+  // The registry keeps the bundle alive (entries hold shared_ptrs);
+  // the reference is valid until that entry is republished.
+  return snap->grammar();
+}
+
+bool ParseService::admit(const ParseRequest& req, GrammarSnapshot& snap,
+                         std::shared_ptr<TenantState>& tenant,
+                         ParseResponse& resp) {
+  const std::string& name =
+      req.grammar.empty() ? opt_.default_grammar : req.grammar;
+  snap = registry_->snapshot(name);
+  if (!snap) {
+    resp.status = RequestStatus::BadRequest;
+    resp.error = "unknown grammar: " + name;
+    return false;
+  }
+  resp.grammar_epoch = snap->epoch();
+  {
+    std::lock_guard lock(tenants_mutex_);
+    auto& slot = tenants_[snap->tenant_id()];
+    if (!slot) {
+      slot = std::make_shared<TenantState>();
+      slot->requests = &opt_.metrics->counter(
+          "parsec_serve_tenant_requests_total",
+          "Requests per grammar (tenant), counted at admission.",
+          {{"tenant", snap->name()}});
+    }
+    tenant = slot;
+  }
+  tenant->requests->inc();
+  // Epoch-bump invalidation: the first request admitted under a new
+  // epoch drops the tenant's retired cache entries.  (The epoch in the
+  // cache key already makes them unreachable; this frees the memory.)
+  if (cache_) {
+    std::uint64_t prev = tenant->last_epoch.load(std::memory_order_relaxed);
+    if (snap->epoch() > prev &&
+        tenant->last_epoch.compare_exchange_strong(
+            prev, snap->epoch(), std::memory_order_relaxed)) {
+      cache_->invalidate_tenant(snap->tenant_id(), snap->epoch());
+    }
+  }
+  // Admission quota: hold an inflight slot from here until the request
+  // completes (run_request) or is rejected (submit's failure paths).
+  const std::size_t quota = snap->max_inflight();
+  const std::int64_t in =
+      tenant->inflight.fetch_add(1, std::memory_order_acq_rel);
+  if (quota > 0 && static_cast<std::size_t>(in) >= quota) {
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    resp.status = RequestStatus::Overloaded;
+    resp.error = "tenant quota exhausted: " + name;
+    return false;
+  }
+  return true;
+}
+
 std::future<ParseResponse> ParseService::submit(ParseRequest req) {
   auto promise = std::make_shared<std::promise<ParseResponse>>();
   std::future<ParseResponse> future = promise->get_future();
@@ -104,19 +185,27 @@ std::future<ParseResponse> ParseService::submit(ParseRequest req) {
     std::lock_guard lock(stats_mutex_);
     ++submitted_;
   }
+  GrammarSnapshot snap;
+  std::shared_ptr<TenantState> tenant;
+  ParseResponse resp;
+  if (!admit(req, snap, tenant, resp)) {
+    record_at_submit(resp);
+    promise->set_value(std::move(resp));
+    return future;
+  }
   if (req.deadline.count() < 0) {
     // Pre-expired deadline: answer Timeout inline; no worker ever
     // dequeues it and no backend runs.
-    ParseResponse resp;
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
     resp.status = RequestStatus::Timeout;
     record_at_submit(resp);
     promise->set_value(std::move(resp));
     return future;
   }
-  auto job = [this, req = std::move(req), submitted, promise](
-                 int worker) mutable {
-    run_request(worker, std::move(req), submitted, std::move(*promise),
-                nullptr);
+  auto job = [this, req = std::move(req), snap = std::move(snap), tenant,
+              submitted, promise](int worker) mutable {
+    run_request(worker, std::move(req), std::move(snap), std::move(tenant),
+                submitted, std::move(*promise), nullptr);
   };
   const bool posted =
       opt_.shed_load ? pool_->try_post(std::move(job))
@@ -125,7 +214,7 @@ std::future<ParseResponse> ParseService::submit(ParseRequest req) {
     // Queue full (shedding) or shutdown raced the submission; the
     // lambda was dropped, but we still hold the promise — satisfy the
     // future inline.
-    ParseResponse resp;
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
     resp.status = pool_->shutting_down() ? RequestStatus::ShuttingDown
                                          : RequestStatus::Overloaded;
     record_at_submit(resp);
@@ -140,8 +229,16 @@ void ParseService::submit(ParseRequest req, Callback cb) {
     std::lock_guard lock(stats_mutex_);
     ++submitted_;
   }
+  GrammarSnapshot snap;
+  std::shared_ptr<TenantState> tenant;
+  ParseResponse resp;
+  if (!admit(req, snap, tenant, resp)) {
+    record_at_submit(resp);
+    if (cb) cb(std::move(resp));
+    return;
+  }
   if (req.deadline.count() < 0) {
-    ParseResponse resp;
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
     resp.status = RequestStatus::Timeout;
     record_at_submit(resp);
     if (cb) cb(std::move(resp));
@@ -151,16 +248,17 @@ void ParseService::submit(ParseRequest req, Callback cb) {
   // failed post drops the job, and the rejection path below must still
   // be able to invoke it.
   auto shared_cb = std::make_shared<Callback>(std::move(cb));
-  auto job = [this, req = std::move(req), submitted,
-              shared_cb](int worker) mutable {
-    run_request(worker, std::move(req), submitted,
-                std::promise<ParseResponse>{}, std::move(*shared_cb));
+  auto job = [this, req = std::move(req), snap = std::move(snap), tenant,
+              submitted, shared_cb](int worker) mutable {
+    run_request(worker, std::move(req), std::move(snap), std::move(tenant),
+                submitted, std::promise<ParseResponse>{},
+                std::move(*shared_cb));
   };
   const bool posted =
       opt_.shed_load ? pool_->try_post(std::move(job))
                      : pool_->post(std::move(job));
   if (!posted) {
-    ParseResponse resp;
+    tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
     resp.status = pool_->shutting_down() ? RequestStatus::ShuttingDown
                                          : RequestStatus::Overloaded;
     record_at_submit(resp);
@@ -186,6 +284,8 @@ std::vector<ParseResponse> ParseService::parse_batch(
 }
 
 void ParseService::run_request(int worker, ParseRequest req,
+                               GrammarSnapshot snap,
+                               std::shared_ptr<TenantState> tenant,
                                clock::time_point submitted,
                                std::promise<ParseResponse> promise,
                                Callback cb) {
@@ -202,6 +302,7 @@ void ParseService::run_request(int worker, ParseRequest req,
   resp.worker = worker;
   resp.queue_seconds =
       std::chrono::duration<double>(dequeued - submitted).count();
+  resp.grammar_epoch = snap->epoch();
 
   const bool has_deadline = req.deadline.count() > 0;
   const auto deadline_at = submitted + req.deadline;
@@ -235,7 +336,7 @@ void ParseService::run_request(int worker, ParseRequest req,
       };
     WorkerScratch& scratch = scratch_[static_cast<std::size_t>(worker)];
     try {
-      o.run = engine::run_backend(engines_, backend, req.sentence,
+      o.run = engine::run_backend(snap->engines(), backend, req.sentence,
                                   &scratch.networks, cancel,
                                   req.capture_domains);
       if (o.run.cancelled) {
@@ -280,6 +381,16 @@ void ParseService::run_request(int worker, ParseRequest req,
   std::uint64_t local_fallback_ok = 0;
   std::uint64_t local_stalls = 0;
 
+  // Span arg: which cache path served the request.
+  // 0 = cache disabled/not consulted, 1 = miss (single-flight leader),
+  // 2 = hit, 3 = coalesced, 4 = domain-upgrade bypass, 5 = coalesced
+  // wait expired.
+  std::int64_t cache_code = 0;
+  bool served_from_cache = false;
+  ResultCache::Ticket ticket;  // abandons on scope exit unless filled
+  bool bypass_upgrade = false;
+  ResultCache::Key ckey;
+
   Once once;
   if (has_deadline && dequeued >= deadline_at) {
     // Expired while queued: answer without parsing.  Counted as one
@@ -293,16 +404,19 @@ void ParseService::run_request(int worker, ParseRequest req,
   } else {
     // Raw-word requests are tagged here, inside the worker boundary,
     // so an unknown word degrades to BadRequest instead of throwing on
-    // a pool thread.
+    // a pool thread.  The resolved bundle's lexicon wins; the service
+    // fallback covers borrowed bundles published without one.
     bool tagged_ok = true;
     if (!req.words.empty()) {
-      if (opt_.lexicon == nullptr) {
+      const cdg::Lexicon* lexicon =
+          snap->lexicon() ? snap->lexicon() : opt_.lexicon;
+      if (lexicon == nullptr) {
         once.kind = Outcome::kBad;
         once.error = "no lexicon configured for raw-word requests";
         tagged_ok = false;
       } else {
         try {
-          req.sentence = opt_.lexicon->tag(req.words);
+          req.sentence = lexicon->tag(req.words);
         } catch (const std::out_of_range& e) {
           once.kind = Outcome::kBad;
           once.error = e.what();
@@ -314,7 +428,74 @@ void ParseService::run_request(int worker, ParseRequest req,
         }
       }
     }
-    if (tagged_ok) {
+    bool run_engine = tagged_ok;
+    if (tagged_ok && cache_) {
+      // Cache transaction.  The key pins (tenant, epoch, tagged
+      // sentence); by the engines' determinism contract the payload is
+      // bit-identical to the parse this request would have run.
+      ckey = {snap->tenant_id(), snap->epoch(),
+              engine::hash_sentence(req.sentence)};
+      ResultCache::LookupResult lookup = cache_->acquire(
+          ckey, req.capture_domains,
+          has_deadline ? deadline_at : clock::time_point::max());
+      switch (lookup.outcome) {
+        case ResultCache::Outcome::Hit:
+        case ResultCache::Outcome::Coalesced:
+          resp.status = RequestStatus::Ok;
+          resp.accepted = lookup.payload->accepted;
+          resp.alive_role_values = lookup.payload->alive_role_values;
+          resp.domains_hash = lookup.payload->domains_hash;
+          if (req.capture_domains && lookup.payload->has_domains)
+            resp.domains = lookup.payload->domains;
+          resp.served_backend = lookup.payload->parsed_on;
+          resp.cached = true;
+          resp.coalesced =
+              lookup.outcome == ResultCache::Outcome::Coalesced;
+          served_from_cache = true;
+          run_engine = false;
+          cache_code = resp.coalesced ? 3 : 2;
+          break;
+        case ResultCache::Outcome::WaitExpired:
+          // Deadline expired while coalesced on the leader's parse:
+          // same accounting as a queue-expired request.
+          once.kind = Outcome::kCancelled;
+          {
+            engine::BackendStats d;
+            d.requests = 1;
+            d.cancelled = 1;
+            attempts.push_back({req.backend, d});
+          }
+          resp.served_backend = req.backend;
+          run_engine = false;
+          cache_code = 5;
+          break;
+        case ResultCache::Outcome::MissLeader:
+          ticket = std::move(lookup.ticket);
+          cache_code = 1;
+          break;
+        case ResultCache::Outcome::Bypass:
+          bypass_upgrade = true;
+          cache_code = 4;
+          break;
+      }
+    }
+    if (run_engine) {
+      // Pin the snapshot in this worker's scratch: pooled networks
+      // reference their grammar, so the bundle must stay alive while
+      // they do.  A newer epoch of the same tenant retires the old
+      // epoch's networks (and releases its pin).
+      WorkerScratch& ws = scratch_[static_cast<std::size_t>(worker)];
+      for (auto it = ws.pinned.begin(); it != ws.pinned.end();) {
+        if (it->second->tenant_id() == snap->tenant_id() &&
+            it->second->epoch() < snap->epoch()) {
+          ws.networks.purge(it->first);
+          it = ws.pinned.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      ws.pinned[&snap->grammar()] = snap;
+
       engine::Backend target = req.backend;
       // Open breaker: don't even try the sick backend, go straight to
       // the degradation target.
@@ -355,34 +536,57 @@ void ParseService::run_request(int worker, ParseRequest req,
         ++local_stalls;
       }
       if (rerouted) resp.degraded = true;
+
+      // Publish into the cache: only Ok results are memoizable (a
+      // timeout or fault is a property of this execution, not of the
+      // (grammar, sentence) function).  A leader that failed abandons
+      // its ticket, waking coalesced waiters to retry.
+      if (once.kind == Outcome::kOk && (ticket || bypass_upgrade)) {
+        ResultCache::Payload payload;
+        payload.accepted = once.run.accepted;
+        payload.alive_role_values = once.run.alive_role_values;
+        payload.domains_hash = once.run.domains_hash;
+        payload.has_domains = req.capture_domains;
+        if (req.capture_domains) payload.domains = once.run.domains;
+        payload.parsed_on = resp.served_backend;
+        if (ticket)
+          ticket.fill(std::move(payload));
+        else
+          cache_->put(ckey, std::move(payload));
+      } else if (ticket) {
+        ticket.abandon();
+      }
     }
   }
   if (slot) watchdog_->end(static_cast<std::size_t>(worker));
+  tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
 
-  switch (once.kind) {
-    case Outcome::kOk:
-      resp.status = RequestStatus::Ok;
-      resp.accepted = once.run.accepted;
-      resp.alive_role_values = once.run.alive_role_values;
-      resp.domains_hash = once.run.domains_hash;
-      resp.domains = std::move(once.run.domains);
-      break;
-    case Outcome::kCancelled:
-      resp.status = RequestStatus::Timeout;
-      break;
-    case Outcome::kStall:
-      resp.status = RequestStatus::Faulted;
-      resp.error = once.error.empty() ? "watchdog: stuck worker cancelled"
-                                      : once.error;
-      break;
-    case Outcome::kFault:
-      resp.status = RequestStatus::Faulted;
-      resp.error = once.error;
-      break;
-    case Outcome::kBad:
-      resp.status = RequestStatus::BadRequest;
-      resp.error = once.error;
-      break;
+  if (!served_from_cache) {
+    switch (once.kind) {
+      case Outcome::kOk:
+        resp.status = RequestStatus::Ok;
+        resp.accepted = once.run.accepted;
+        resp.alive_role_values = once.run.alive_role_values;
+        resp.domains_hash = once.run.domains_hash;
+        resp.domains = std::move(once.run.domains);
+        break;
+      case Outcome::kCancelled:
+        resp.status = RequestStatus::Timeout;
+        break;
+      case Outcome::kStall:
+        resp.status = RequestStatus::Faulted;
+        resp.error = once.error.empty() ? "watchdog: stuck worker cancelled"
+                                        : once.error;
+        break;
+      case Outcome::kFault:
+        resp.status = RequestStatus::Faulted;
+        resp.error = once.error;
+        break;
+      case Outcome::kBad:
+        resp.status = RequestStatus::BadRequest;
+        resp.error = once.error;
+        break;
+    }
   }
   resp.parse_seconds =
       std::chrono::duration<double>(clock::now() - dequeued).count();
@@ -395,6 +599,11 @@ void ParseService::run_request(int worker, ParseRequest req,
                      static_cast<std::int64_t>(resp.accepted ? 1 : 0));
     request_span.arg("degraded",
                      static_cast<std::int64_t>(resp.degraded ? 1 : 0));
+    request_span.arg("tenant",
+                     static_cast<std::int64_t>(snap->tenant_id()));
+    request_span.arg("epoch",
+                     static_cast<std::int64_t>(resp.grammar_epoch));
+    request_span.arg("cache", cache_code);
   }
 
   // Resilience counters (registry first — lock-free — then the struct
@@ -430,6 +639,9 @@ void ParseService::record_at_submit(const ParseResponse& resp) {
     case RequestStatus::ShuttingDown:
       ++rejected_at_submit_;
       rejected_at_submit_total_->inc();
+      break;
+    case RequestStatus::BadRequest:
+      ++bad_requests_;
       break;
     case RequestStatus::Overloaded:
       ++overloaded_;
@@ -485,6 +697,7 @@ ServiceStats ParseService::stats() const {
   s.queue_depth = pool_->queue_depth();
   s.threads = pool_->num_threads();
   s.workers = pool_->worker_stats();
+  if (cache_) s.cache = cache_->stats();
   std::uint64_t trips = 0;
   for (const auto& b : breakers_) trips += b.trips();
   std::lock_guard lock(stats_mutex_);

@@ -6,7 +6,18 @@
 // independent parse requests through the existing engines on a
 // fixed-size thread pool:
 //
+//   * multi-tenant grammars: requests name a grammar; a GrammarRegistry
+//     resolves the name to an immutable precompiled snapshot *at
+//     submit*, so a hot reload mid-batch never swaps a grammar under an
+//     in-flight parse (the old epoch drains, new requests see the new
+//     one) — see serve/grammar_registry.h;
 //   * per-request backend selection (serial / omp / pram / maspar);
+//   * optional parse-result cache keyed by (tenant, epoch, sentence
+//     hash) with single-flight coalescing of duplicate in-flight
+//     requests — bit-identical by the engines' determinism contract
+//     (serve/result_cache.h);
+//   * per-tenant admission quotas (GrammarBundle::max_inflight) mapped
+//     onto the Overloaded status;
 //   * per-worker reusable scratch (arena-backed constraint-network
 //     pools via Network::reinit; the arena carries domains, arcs, AC-4
 //     counters and elimination staging in one allocation) so
@@ -29,9 +40,11 @@
 //
 // Every parse is single-threaded and deterministic, so batched results
 // are bit-identical to a single-threaded run of the same requests
-// (ParseResponse::domains_hash; tests/serve verifies byte equality).
+// (ParseResponse::domains_hash; tests/serve verifies byte equality) —
+// and, by the same contract, to a cache hit.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -39,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cdg/lexicon.h"
@@ -46,6 +60,8 @@
 #include "parsec/backend.h"
 #include "resil/circuit_breaker.h"
 #include "resil/watchdog.h"
+#include "serve/grammar_registry.h"
+#include "serve/result_cache.h"
 #include "serve/thread_pool.h"
 #include "util/stats.h"
 
@@ -55,8 +71,10 @@ enum class RequestStatus {
   Ok,            // parsed (accepted or rejected — see `accepted`)
   Timeout,       // deadline expired at submit, while queued, or mid-parse
   ShuttingDown,  // submitted after shutdown began
-  BadRequest,    // unparseable input (unknown word, empty sentence)
-  Overloaded,    // shed: queue full under Options::shed_load
+  BadRequest,    // unparseable input (unknown word, empty sentence,
+                 // unknown grammar name)
+  Overloaded,    // shed: queue full under Options::shed_load, or the
+                 // tenant's admission quota exhausted
   Faulted,       // engine fault (injected or genuine) not recovered by
                  // the serial fallback; see ParseResponse::error
 };
@@ -70,11 +88,15 @@ const char* to_string(RequestStatus s);
 
 struct ParseRequest {
   cdg::Sentence sentence;
-  /// Raw, untagged words: when non-empty, the worker tags them with
-  /// Options::lexicon and `sentence` is ignored.  Unknown words (or a
-  /// missing lexicon) degrade to BadRequest instead of throwing out of
-  /// a pool thread.
+  /// Raw, untagged words: when non-empty, the worker tags them with the
+  /// resolved grammar's lexicon (or Options::lexicon) and `sentence` is
+  /// ignored.  Unknown words (or a missing lexicon) degrade to
+  /// BadRequest instead of throwing out of a pool thread.
   std::vector<std::string> words;
+  /// Grammar (tenant) name resolved against the registry at submit;
+  /// empty uses Options::default_grammar.  Unknown names answer
+  /// BadRequest inline.
+  std::string grammar;
   engine::Backend backend = engine::Backend::Serial;
   /// Relative deadline measured from submission; zero = none.  A
   /// negative deadline is already expired: submit() answers Timeout
@@ -93,13 +115,23 @@ struct ParseResponse {
   /// to a single-threaded parse of the same sentence).
   std::uint64_t domains_hash = 0;
   std::vector<util::DynBitset> domains;  // iff capture_domains
-  /// Backend that produced this response: the requested one, or Serial
-  /// when the service degraded (fallback retry / open circuit breaker).
+  /// Backend that produced this response: the requested one, Serial
+  /// when the service degraded (fallback retry / open circuit breaker),
+  /// or — on a cache hit — whichever backend populated the entry (the
+  /// result is bit-identical either way).
   engine::Backend served_backend = engine::Backend::Serial;
   /// True when the service degraded the request onto Serial.  The
   /// result is still bit-identical (same fixpoint), only the cost
   /// model differs — see docs/ROBUSTNESS.md.
   bool degraded = false;
+  /// Served from the result cache without running an engine.
+  bool cached = false;
+  /// Waited on a concurrent duplicate's in-flight parse (single
+  /// flight); implies `cached`.
+  bool coalesced = false;
+  /// Epoch of the grammar snapshot this request was pinned to at
+  /// submit (0 when the request never resolved a grammar).
+  std::uint64_t grammar_epoch = 0;
   /// Human-readable failure detail for BadRequest/Faulted.
   std::string error;
   int worker = -1;
@@ -114,13 +146,16 @@ struct ServiceStats {
   std::uint64_t timeouts = 0;
   std::uint64_t rejected_at_submit = 0;  // after shutdown began
   std::uint64_t bad_requests = 0;        // BadRequest responses
-  std::uint64_t overloaded = 0;          // shed at submit (queue full)
+  std::uint64_t overloaded = 0;          // shed at submit (queue full
+                                         // or tenant quota)
   std::uint64_t faulted = 0;             // Faulted responses
   std::uint64_t fallback_retries = 0;    // serial retries attempted
   std::uint64_t fallback_ok = 0;         // serial retries that parsed Ok
   std::uint64_t breaker_trips = 0;       // circuit-breaker Open transitions
   std::uint64_t breaker_rerouted = 0;    // requests rerouted by open breaker
   std::uint64_t watchdog_stalls = 0;     // stuck workers cancelled
+  /// Result-cache counters (all zero when the cache is disabled).
+  ResultCache::Stats cache;
   double elapsed_seconds = 0.0;          // since service construction
   double throughput_sps = 0.0;           // completed / elapsed
   double latency_mean_ms = 0.0;
@@ -142,9 +177,12 @@ class ParseService {
     int threads = 0;
     /// Bounded queue capacity (back-pressure on submitters).
     std::size_t queue_capacity = 256;
-    /// Engine configuration shared by all workers.  Defaults keep the
-    /// OpenMP engine at one thread per request (no nested teams) and
-    /// the MasPar engine at fixpoint filtering (bit-identical results).
+    /// Engine configuration for the single-grammar compat constructors
+    /// (which publish the grammar into an owned registry).  Services
+    /// built over an external registry take each bundle's options
+    /// instead.  Defaults keep the OpenMP engine at one thread per
+    /// request (no nested teams) and the MasPar engine at fixpoint
+    /// filtering (bit-identical results).
     engine::EngineSetOptions engines;
     /// Metrics registry the service publishes into (request counters,
     /// latency histograms, per-backend cost counters — the name/label
@@ -152,9 +190,20 @@ class ParseService {
     /// process-wide registry; tests inject their own for isolation.
     /// Must outlive the service.
     obs::Registry* metrics = &obs::Registry::global();
-    /// Lexicon for tagging ParseRequest::words.  Null means raw-word
-    /// requests degrade to BadRequest.  Must outlive the service.
+    /// Fallback lexicon for tagging ParseRequest::words when the
+    /// resolved grammar bundle carries none.  Null means raw-word
+    /// requests against lexicon-less bundles degrade to BadRequest.
+    /// Must outlive the service.
     const cdg::Lexicon* lexicon = nullptr;
+    /// Name the single-grammar compat constructors publish under, and
+    /// the grammar used when ParseRequest::grammar is empty.
+    std::string default_grammar = "default";
+    /// Parse-result cache with single-flight coalescing (off by
+    /// default: single-shot workloads pay the bookkeeping without the
+    /// hits).  See serve/result_cache.h for semantics.
+    bool enable_result_cache = false;
+    /// Max ready entries held by the cache (LRU eviction beyond this).
+    std::size_t result_cache_capacity = 1024;
     /// Shed load instead of blocking: submit() answers Overloaded when
     /// the queue is full rather than exerting back-pressure.
     bool shed_load = false;
@@ -175,8 +224,16 @@ class ParseService {
 
   using Callback = std::function<void(ParseResponse)>;
 
+  /// Single-grammar compat constructors: publish `grammar` (borrowed;
+  /// must outlive the service) into an owned registry under
+  /// Options::default_grammar.
   explicit ParseService(const cdg::Grammar& grammar);
   ParseService(const cdg::Grammar& grammar, Options opt);
+
+  /// Multi-tenant constructor: serve every grammar in `registry`
+  /// (which must outlive the service).  Grammars published after
+  /// construction are served too — resolution happens per request.
+  ParseService(GrammarRegistry& registry, Options opt);
 
   /// Drains outstanding requests, then joins the pool.
   ~ParseService();
@@ -213,16 +270,40 @@ class ParseService {
   /// observations is possible, torn values are not).
   std::string metrics_text() const;
 
-  const cdg::Grammar& grammar() const { return engines_.grammar(); }
+  /// The registry requests resolve against (owned on the compat path).
+  GrammarRegistry& registry() { return *registry_; }
+  const GrammarRegistry& registry() const { return *registry_; }
+
+  /// The result cache, or null when disabled.
+  const ResultCache* result_cache() const { return cache_.get(); }
+
+  /// Default grammar's current snapshot (compat accessor; requires the
+  /// default grammar to be published).
+  const cdg::Grammar& grammar() const;
+
   int threads() const { return pool_->num_threads(); }
 
  private:
   /// Per-worker mutable state; only worker i touches scratch_[i].  The
   /// pooled networks carry their whole arenas (domains, arc matrices,
   /// AC-4 counters, elimination staging) — one allocation per shape,
-  /// reused across requests.
+  /// reused across requests.  `pinned` keeps every snapshot with live
+  /// pooled networks alive (a pooled network references its grammar);
+  /// when a request arrives under a newer epoch of a tenant, the
+  /// worker purges that tenant's retired networks and drops the pin.
   struct WorkerScratch {
     engine::NetworkScratch networks;
+    std::unordered_map<const cdg::Grammar*, GrammarSnapshot> pinned;
+  };
+
+  /// Per-tenant admission + accounting state, created on first sight
+  /// of the tenant at submit.
+  struct TenantState {
+    std::atomic<std::int64_t> inflight{0};
+    /// Highest epoch seen at admission; a bump triggers cache
+    /// invalidation of the tenant's retired entries.
+    std::atomic<std::uint64_t> last_epoch{0};
+    obs::Counter* requests = nullptr;  // parsec_serve_tenant_requests_total
   };
 
   /// One engine attempt (first try or serial fallback) for stats
@@ -232,18 +313,34 @@ class ParseService {
     engine::BackendStats delta;
   };
 
-  void run_request(int worker, ParseRequest req,
+  /// Shared delegate: `compat_grammar` (single-grammar compat path,
+  /// published into an owned registry) or `external` registry.
+  ParseService(const cdg::Grammar* compat_grammar, GrammarRegistry* external,
+               Options opt);
+
+  /// Resolves the request's grammar and enforces the tenant quota.
+  /// Returns false after filling `resp` for an inline answer
+  /// (BadRequest / Overloaded).
+  bool admit(const ParseRequest& req, GrammarSnapshot& snap,
+             std::shared_ptr<TenantState>& tenant, ParseResponse& resp);
+
+  void run_request(int worker, ParseRequest req, GrammarSnapshot snap,
+                   std::shared_ptr<TenantState> tenant,
                    std::chrono::steady_clock::time_point submitted,
                    std::promise<ParseResponse> promise, Callback cb);
   void record(const ParseResponse& resp,
               const std::vector<Attempt>& attempts);
   /// Accounts a request that never reached a worker (rejected,
-  /// overloaded, or pre-expired at submit) in the serve-level
-  /// exactly-once status family and the service counters.
+  /// overloaded, pre-expired, or unknown grammar at submit) in the
+  /// serve-level exactly-once status family and the service counters.
   void record_at_submit(const ParseResponse& resp);
 
-  engine::EngineSet engines_;
+  /// Owned registry for the single-grammar compat constructors; null
+  /// when the service serves an external registry.
+  std::unique_ptr<GrammarRegistry> owned_registry_;
+  GrammarRegistry* registry_ = nullptr;
   Options opt_;
+  std::unique_ptr<ResultCache> cache_;  // null when disabled
   /// Handles into opt_.metrics, resolved once at construction; updates
   /// in record() are lock-free (see obs/metrics.h).  The queue-depth
   /// gauge is refreshed on record()/stats() rather than registered as a
@@ -268,6 +365,8 @@ class ParseService {
   resil::CircuitBreaker breakers_[engine::kNumBackends];
   std::unique_ptr<resil::Watchdog> watchdog_;  // null when disabled
   std::vector<WorkerScratch> scratch_;
+  mutable std::mutex tenants_mutex_;
+  std::unordered_map<int, std::shared_ptr<TenantState>> tenants_;
   std::unique_ptr<ThreadPool> pool_;  // last member: dies first
 
   mutable std::mutex stats_mutex_;

@@ -35,13 +35,30 @@ void json_backend(std::ostream& os, const engine::BackendStats& b) {
 
 void write_throughput_report(std::ostream& os, const std::string& workload,
                              const std::vector<ThroughputRow>& rows,
-                             const ThroughputBaseline* baseline) {
+                             const ThroughputBaseline* baseline,
+                             const DupSweepResult* dup) {
   os << "{\n  \"workload\": \"" << workload << "\",\n";
   if (baseline) {
     os << "  \"baseline\": {\"captured\": \"" << baseline->captured
        << "\", \"commit\": \"" << baseline->commit
        << "\", \"single_thread_sps\": " << baseline->single_thread_sps
        << "},\n";
+  }
+  if (dup) {
+    os << "  \"dup_sweep\": {\"requests\": " << dup->requests
+       << ", \"unique_sentences\": " << dup->unique_sentences
+       << ", \"threads\": " << dup->threads << ", \"backend\": \""
+       << dup->backend << "\", \"wall_off_seconds\": " << dup->wall_off_seconds
+       << ", \"wall_on_seconds\": " << dup->wall_on_seconds
+       << ", \"sps_off\": " << dup->sps_off << ", \"sps_on\": " << dup->sps_on
+       << ", \"speedup\": " << dup->speedup
+       << ", \"hit_rate\": " << dup->hit_rate
+       << ", \"cache\": {\"lookups\": " << dup->cache.lookups
+       << ", \"hits\": " << dup->cache.hits
+       << ", \"misses\": " << dup->cache.misses
+       << ", \"coalesced\": " << dup->cache.coalesced
+       << ", \"evictions\": " << dup->cache.evictions
+       << ", \"invalidated\": " << dup->cache.invalidated << "}},\n";
   }
   os << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -79,6 +96,11 @@ std::string render_service_stats(const ServiceStats& s) {
      << s.latency_p50_ms << ", p95 " << s.latency_p95_ms << ", p99 "
      << s.latency_p99_ms << ", max " << s.latency_max_ms << "\n"
      << "queue depth: " << s.queue_depth << "\n";
+  if (s.cache.lookups)
+    os << "cache: " << s.cache.hits << " hits, " << s.cache.misses
+       << " misses, " << s.cache.coalesced << " coalesced, "
+       << s.cache.evictions << " evicted, " << s.cache.invalidated
+       << " invalidated\n";
   for (std::size_t i = 0; i < s.workers.size(); ++i)
     os << "worker " << i << ": " << s.workers[i].jobs << " jobs, "
        << s.workers[i].busy_seconds << " s busy\n";

@@ -34,12 +34,35 @@ struct ThroughputBaseline {
   double single_thread_sps = 0.0;
 };
 
-/// Writes `{"workload": ..., "baseline": ..., "rows": [...]}` to `os`.
-/// `baseline` (if non-null) embeds the pre-change reference throughput;
-/// each row then also reports `vs_baseline` for the matching config.
+/// Duplicated-traffic sweep: the same request stream replayed through a
+/// cache-off and a cache-on service (bench_throughput --dup-sweep).
+/// The stream cycles `unique_sentences` distinct inputs over `requests`
+/// total, so a 10%-unique stream measures the cache at a 90% duplicate
+/// rate.  Runs single-threaded so the hit/miss counters are exact
+/// (gateable), not a racy split.
+struct DupSweepResult {
+  std::uint64_t requests = 0;
+  std::uint64_t unique_sentences = 0;
+  int threads = 1;
+  std::string backend;
+  double wall_off_seconds = 0.0;
+  double wall_on_seconds = 0.0;
+  double sps_off = 0.0;       // cache-off sentences / second
+  double sps_on = 0.0;        // cache-on sentences / second
+  double speedup = 0.0;       // sps_on / sps_off
+  double hit_rate = 0.0;      // (hits + coalesced) / lookups
+  ResultCache::Stats cache;   // cache-on run's counters
+};
+
+/// Writes `{"workload": ..., "baseline": ..., "dup_sweep": ...,
+/// "rows": [...]}` to `os`.  `baseline` (if non-null) embeds the
+/// pre-change reference throughput; each row then also reports
+/// `vs_baseline` for the matching config.  `dup` (if non-null) embeds
+/// the duplicated-traffic cache sweep.
 void write_throughput_report(std::ostream& os, const std::string& workload,
                              const std::vector<ThroughputRow>& rows,
-                             const ThroughputBaseline* baseline = nullptr);
+                             const ThroughputBaseline* baseline = nullptr,
+                             const DupSweepResult* dup = nullptr);
 
 /// Convenience: render ServiceStats as a human-readable multi-line
 /// summary (demo CLI and smoke logs).

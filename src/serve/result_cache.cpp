@@ -1,0 +1,205 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace parsec::serve {
+
+ResultCache::Ticket& ResultCache::Ticket::operator=(Ticket&& o) noexcept {
+  if (this != &o) {
+    abandon();
+    cache_ = o.cache_;
+    key_ = o.key_;
+    o.cache_ = nullptr;
+  }
+  return *this;
+}
+
+void ResultCache::Ticket::fill(Payload p) {
+  if (!cache_) return;
+  ResultCache* cache = cache_;
+  cache_ = nullptr;
+  std::unique_lock lock(cache->mutex_);
+  cache->fill_locked(key_, std::move(p), lock);
+}
+
+void ResultCache::Ticket::abandon() {
+  if (!cache_) return;
+  ResultCache* cache = cache_;
+  cache_ = nullptr;
+  cache->abandon_slot(key_);
+}
+
+ResultCache::ResultCache(std::size_t capacity, obs::Registry* metrics)
+    : capacity_(capacity) {
+  if (!metrics) return;
+  m_lookups_ = &metrics->counter("parsec_serve_cache_lookups_total",
+                                 "Cache transactions (one per cache-enabled "
+                                 "request reaching the cache)");
+  m_hits_ = &metrics->counter("parsec_serve_cache_hits_total",
+                              "Requests served from a ready cache entry");
+  m_misses_ = &metrics->counter(
+      "parsec_serve_cache_misses_total",
+      "Requests that parsed (single-flight leaders and domain-upgrade "
+      "bypasses)");
+  m_coalesced_ = &metrics->counter(
+      "parsec_serve_cache_coalesced_total",
+      "Duplicate requests that waited on an in-flight leader's parse");
+  m_evictions_ = &metrics->counter("parsec_serve_cache_evictions_total",
+                                   "Ready entries dropped by LRU eviction");
+  m_invalidated_ = &metrics->counter(
+      "parsec_serve_cache_invalidated_total",
+      "Ready entries dropped because their grammar epoch was retired");
+  m_hit_age_ = &metrics->histogram(
+      "parsec_serve_cache_hit_age_seconds",
+      "Age of the cache entry at hit time",
+      {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0});
+}
+
+ResultCache::LookupResult ResultCache::acquire(
+    const Key& key, bool need_domains,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(mutex_);
+  stats_.lookups++;
+  if (m_lookups_) m_lookups_->inc();
+  bool waited = false;
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // No entry and no leader: this caller parses.  (A waiter lands
+      // here when the leader abandoned — it becomes the new leader.)
+      entries_.emplace(key, Slot{});
+      stats_.misses++;
+      if (m_misses_) m_misses_->inc();
+      LookupResult r;
+      r.outcome = Outcome::MissLeader;
+      r.ticket = Ticket(this, key);
+      return r;
+    }
+    Slot& slot = it->second;
+    if (slot.state == Slot::State::Ready) {
+      if (need_domains && !slot.payload->has_domains) {
+        // Entry lacks the domains this request asked for: parse fresh
+        // and upgrade via put().  Counted as a miss (it costs a parse).
+        stats_.misses++;
+        if (m_misses_) m_misses_->inc();
+        LookupResult r;
+        r.outcome = Outcome::Bypass;
+        return r;
+      }
+      lru_.splice(lru_.end(), lru_, slot.lru_pos);
+      if (waited) {
+        stats_.coalesced++;
+        if (m_coalesced_) m_coalesced_->inc();
+      } else {
+        stats_.hits++;
+        if (m_hits_) m_hits_->inc();
+        if (m_hit_age_) {
+          const auto age = std::chrono::steady_clock::now() - slot.inserted;
+          m_hit_age_->observe(std::chrono::duration<double>(age).count());
+        }
+      }
+      LookupResult r;
+      r.outcome = waited ? Outcome::Coalesced : Outcome::Hit;
+      r.payload = slot.payload;
+      return r;
+    }
+    // In-flight leader: coalesce.
+    waited = true;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look — the leader may have filled right at the
+      // deadline — then give up; the service maps this to Timeout.
+      auto again = entries_.find(key);
+      if (again != entries_.end() &&
+          again->second.state == Slot::State::Ready &&
+          !(need_domains && !again->second.payload->has_domains)) {
+        lru_.splice(lru_.end(), lru_, again->second.lru_pos);
+        stats_.coalesced++;
+        if (m_coalesced_) m_coalesced_->inc();
+        LookupResult r;
+        r.outcome = Outcome::Coalesced;
+        r.payload = again->second.payload;
+        return r;
+      }
+      LookupResult r;
+      r.outcome = Outcome::WaitExpired;
+      return r;
+    }
+  }
+}
+
+void ResultCache::put(const Key& key, Payload p) {
+  std::unique_lock lock(mutex_);
+  fill_locked(key, std::move(p), lock);
+}
+
+void ResultCache::fill_locked(const Key& key, Payload p,
+                              std::unique_lock<std::mutex>& lock) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    it = entries_.emplace(key, Slot{}).first;
+  Slot& slot = it->second;
+  if (slot.state == Slot::State::Ready) {
+    // Overwrite (Bypass upgrade): position in the LRU is refreshed.
+    lru_.splice(lru_.end(), lru_, slot.lru_pos);
+  } else {
+    slot.state = Slot::State::Ready;
+    slot.lru_pos = lru_.insert(lru_.end(), key);
+    ready_count_++;
+  }
+  slot.payload = std::make_shared<const Payload>(std::move(p));
+  slot.inserted = std::chrono::steady_clock::now();
+  evict_excess_locked();
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void ResultCache::abandon_slot(const Key& key) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.state == Slot::State::Pending)
+      entries_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void ResultCache::evict_excess_locked() {
+  while (ready_count_ > capacity_ && !lru_.empty()) {
+    const Key victim = lru_.front();
+    lru_.pop_front();
+    entries_.erase(victim);
+    ready_count_--;
+    stats_.evictions++;
+    if (m_evictions_) m_evictions_->inc();
+  }
+}
+
+void ResultCache::invalidate_tenant(int tenant, std::uint64_t before_epoch) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool retired = it->second.state == Slot::State::Ready &&
+                         it->first.tenant == tenant &&
+                         it->first.epoch < before_epoch;
+    if (retired) {
+      lru_.erase(it->second.lru_pos);
+      ready_count_--;
+      stats_.invalidated++;
+      if (m_invalidated_) m_invalidated_->inc();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return ready_count_;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace parsec::serve

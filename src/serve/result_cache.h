@@ -1,0 +1,191 @@
+// Parse-result cache with single-flight in-flight coalescing.
+//
+// Keyed by (tenant id, grammar epoch, sentence hash): two requests with
+// the same key parse the same tagged sentence under the same immutable
+// grammar snapshot, and every engine reaches the same fixpoint
+// (bit-determinism), so a cached response is byte-identical to a fresh
+// parse — including across backends.  The epoch in the key makes
+// invalidation structural: requests admitted after a hot reload carry
+// the new epoch and can never match entries cached under the old one
+// (`invalidate_tenant` additionally frees the retired entries).
+//
+// Single flight: the first request for an uncached key becomes the
+// *leader* (Outcome::MissLeader) and holds a Ticket; concurrent
+// duplicates (Outcome::Coalesced) block on the one live parse instead
+// of re-parsing.  A leader that fails (fault, cancel, shed) abandons
+// its ticket, which wakes the waiters — one of them becomes the new
+// leader, the rest re-coalesce — so a crash never wedges a key.
+// Waiters honour their request deadline (Outcome::WaitExpired maps to
+// the service's Timeout status).
+//
+// Capacity is bounded; completed entries are evicted LRU.  Only Ok
+// responses are cached — timeouts, faults and sheds are not outcomes
+// of the (grammar, sentence) function, just of that execution.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "parsec/backend.h"
+#include "util/bitset.h"
+
+namespace parsec::serve {
+
+class ResultCache {
+ public:
+  struct Key {
+    int tenant = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t sentence_hash = 0;
+    bool operator==(const Key&) const = default;
+  };
+
+  /// The memoized slice of a ParseResponse: exactly the fields that are
+  /// a pure function of (grammar snapshot, tagged sentence).
+  struct Payload {
+    bool accepted = false;
+    std::size_t alive_role_values = 0;
+    std::uint64_t domains_hash = 0;
+    /// Domains are O(n^2) bits and only captured on request, so a
+    /// payload may be cached without them; a later capture_domains
+    /// request bypasses and upgrades the entry (see Outcome::Bypass).
+    bool has_domains = false;
+    std::vector<util::DynBitset> domains;
+    /// Backend that ran the memoized parse (responses report it so
+    /// operators can see which engine populated the entry).
+    engine::Backend parsed_on = engine::Backend::Serial;
+  };
+
+  enum class Outcome {
+    Hit,          // ready entry returned
+    MissLeader,   // caller must parse and fill/abandon the ticket
+    Coalesced,    // waited on the in-flight leader, got its payload
+    WaitExpired,  // deadline passed while coalesced (service: Timeout)
+    Bypass,       // entry exists but lacks domains the caller needs;
+                  // parse fresh, then upgrade via put()
+  };
+
+  /// Leader's obligation.  Destroying an unfilled ticket abandons the
+  /// slot (wakes waiters; one retries as the new leader).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept : cache_(o.cache_), key_(o.key_) {
+      o.cache_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& o) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { abandon(); }
+
+    explicit operator bool() const { return cache_ != nullptr; }
+
+    /// Publishes the payload and wakes coalesced waiters.
+    void fill(Payload p);
+    /// Releases the slot without a payload (failed parse); waiters wake
+    /// and retry.
+    void abandon();
+
+   private:
+    friend class ResultCache;
+    Ticket(ResultCache* cache, Key key) : cache_(cache), key_(key) {}
+    ResultCache* cache_ = nullptr;
+    Key key_;
+  };
+
+  struct LookupResult {
+    Outcome outcome = Outcome::MissLeader;
+    /// Set on Hit and Coalesced.
+    std::shared_ptr<const Payload> payload;
+    /// Engaged on MissLeader only.
+    Ticket ticket;
+  };
+
+  /// `capacity` bounds the number of *ready* entries (in-flight slots
+  /// are bounded by the service's worker count).  `metrics` (optional)
+  /// receives the parsec_serve_cache_* families.
+  explicit ResultCache(std::size_t capacity,
+                       obs::Registry* metrics = nullptr);
+
+  /// One cache transaction.  `need_domains` forces Bypass on entries
+  /// cached without domains.  `deadline` bounds coalesced waiting
+  /// (time_point::max() = wait for the leader indefinitely).
+  LookupResult acquire(
+      const Key& key, bool need_domains,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
+
+  /// Inserts/overwrites a ready entry (the Bypass upgrade path).
+  void put(const Key& key, Payload p);
+
+  /// Drops every ready entry for `tenant` with epoch < `before_epoch`
+  /// (registry publish hook).  In-flight slots are left alone: their
+  /// leaders parse under the pinned old snapshot and their key's old
+  /// epoch already makes them unreachable from new requests.
+  void invalidate_tenant(int tenant, std::uint64_t before_epoch);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidated = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.sentence_hash;
+      h ^= (static_cast<std::uint64_t>(k.tenant) + 0x9e3779b97f4a7c15ull +
+            (h << 6) + (h >> 2));
+      h ^= (k.epoch + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Slot {
+    enum class State { Pending, Ready };
+    State state = State::Pending;
+    std::shared_ptr<const Payload> payload;  // set when Ready
+    std::chrono::steady_clock::time_point inserted{};
+    /// Position in lru_ (valid when Ready).
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void fill_locked(const Key& key, Payload p,
+                   std::unique_lock<std::mutex>& lock);
+  void abandon_slot(const Key& key);
+  void evict_excess_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<Key, Slot, KeyHash> entries_;
+  /// Ready keys, least-recently-used first.
+  std::list<Key> lru_;
+  std::size_t ready_count_ = 0;
+  Stats stats_;
+
+  // Optional metric handles (resolved once; null when no registry).
+  obs::Counter* m_lookups_ = nullptr;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_invalidated_ = nullptr;
+  obs::Histogram* m_hit_age_ = nullptr;
+};
+
+}  // namespace parsec::serve

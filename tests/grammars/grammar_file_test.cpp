@@ -1,9 +1,10 @@
-// Tests against the shipped grammar file (grammars/toy.cdg): the file
-// must stay loadable and behaviourally identical to the built-in toy
-// grammar.
+// Tests against the shipped grammar files (grammars/toy.cdg,
+// grammars/english.cdg): each file must stay loadable and behaviourally
+// identical to its built-in grammar.
 #include <gtest/gtest.h>
 
 #include "cdg/parser.h"
+#include "grammars/english_grammar.h"
 #include "grammars/grammar_io.h"
 #include "grammars/toy_grammar.h"
 
@@ -45,6 +46,49 @@ TEST(GrammarFile, MatchesBuiltinToyGrammarBehaviour) {
     EXPECT_EQ(rf.accepted, rb.accepted) << text;
     EXPECT_EQ(rf.alive_role_values, rb.alive_role_values) << text;
   }
+}
+
+TEST(GrammarFile, ShippedEnglishGrammarLoads) {
+  auto bundle = grammars::load_cdg_bundle_file(
+      std::string(PARSEC_SOURCE_DIR) + "/grammars/english.cdg");
+  auto builtin = grammars::make_english_grammar();
+  EXPECT_EQ(bundle.grammar.num_labels(), builtin.grammar.num_labels());
+  EXPECT_EQ(bundle.grammar.num_roles(), builtin.grammar.num_roles());
+  EXPECT_EQ(bundle.grammar.num_constraints(),
+            builtin.grammar.num_constraints());
+  EXPECT_TRUE(bundle.lexicon.contains("telescope"));
+}
+
+TEST(GrammarFile, ShippedEnglishMatchesBuiltinBehaviour) {
+  auto file = grammars::load_cdg_bundle_file(
+      std::string(PARSEC_SOURCE_DIR) + "/grammars/english.cdg");
+  auto builtin = grammars::make_english_grammar();
+  cdg::SequentialParser pf(file.grammar), pb(builtin.grammar);
+  for (const char* text :
+       {"the dog runs", "the dog sees the cat",
+        "a student with a telescope reads", "dog the runs",
+        "the big dog runs quickly", "runs"}) {
+    bool known = true;
+    for (const auto& w : grammars::split_words(text))
+      if (!file.lexicon.contains(w) || !builtin.lexicon.contains(w))
+        known = false;
+    if (!known) continue;
+    cdg::Network nf = pf.make_network(file.tag(text));
+    cdg::Network nb = pb.make_network(builtin.tag(text));
+    auto rf = pf.parse(nf);
+    auto rb = pb.parse(nb);
+    EXPECT_EQ(rf.accepted, rb.accepted) << text;
+    EXPECT_EQ(rf.alive_role_values, rb.alive_role_values) << text;
+  }
+}
+
+TEST(GrammarFile, ShippedEnglishSaveIsAFixpoint) {
+  const std::string path =
+      std::string(PARSEC_SOURCE_DIR) + "/grammars/english.cdg";
+  auto bundle = grammars::load_cdg_bundle_file(path);
+  const std::string saved = grammars::save_cdg_bundle(bundle);
+  auto reloaded = grammars::load_cdg_bundle(saved);
+  EXPECT_EQ(grammars::save_cdg_bundle(reloaded), saved);
 }
 
 }  // namespace

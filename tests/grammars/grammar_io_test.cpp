@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "cdg/extract.h"
 #include "cdg/parser.h"
 #include "grammars/anbncn_grammar.h"
@@ -134,6 +136,63 @@ TEST(GrammarIo, RejectsMalformedInput) {
 TEST(GrammarIo, FileNotFound) {
   EXPECT_THROW(grammars::load_cdg_bundle_file("/nonexistent/grammar.cdg"),
                GrammarIoError);
+}
+
+TEST(GrammarIo, ErrorsCarrySourcePositions) {
+  // Semantic error: the bad clause starts on line 3, column 3; the
+  // byte offset points at the same character in the text.
+  const std::string text =
+      "(grammar\n"
+      "  (categories c)\n"
+      "  (bogus-clause 1))\n";
+  try {
+    load_cdg_bundle(text);
+    FAIL() << "expected GrammarIoError";
+  } catch (const GrammarIoError& e) {
+    EXPECT_EQ(e.line, 3);
+    EXPECT_EQ(e.col, 3);
+    ASSERT_NE(e.byte_offset, GrammarIoError::kNoOffset);
+    EXPECT_EQ(e.byte_offset, text.find("(bogus-clause"));
+    EXPECT_NE(std::string(e.what()).find("3:3"), std::string::npos);
+  }
+
+  // Lexer error (unterminated list): SexprError's position survives
+  // the wrap into GrammarIoError.
+  try {
+    load_cdg_bundle("(grammar\n  (categories c)\n");
+    FAIL() << "expected GrammarIoError";
+  } catch (const GrammarIoError& e) {
+    EXPECT_GT(e.line, 0);
+    EXPECT_GT(e.col, 0);
+  }
+
+  // Location-less errors keep the 0/kNoOffset sentinels.
+  try {
+    load_cdg_bundle("");
+    FAIL() << "expected GrammarIoError";
+  } catch (const GrammarIoError& e) {
+    EXPECT_EQ(e.line, 0);
+    EXPECT_EQ(e.byte_offset, GrammarIoError::kNoOffset);
+  }
+}
+
+TEST(GrammarIo, FileErrorsNameThePath) {
+  // Hot-reload diagnosability: a broken file reports its path and the
+  // position of the offending form.
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/broken.cdg";
+  {
+    std::ofstream out(path);
+    out << "(grammar\n  (bogus-clause 1))\n";
+  }
+  try {
+    grammars::load_cdg_bundle_file(path);
+    FAIL() << "expected GrammarIoError";
+  } catch (const GrammarIoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_EQ(e.line, 2);
+    EXPECT_EQ(e.col, 3);
+  }
 }
 
 TEST(GrammarIo, CommentsAllowed) {

@@ -1,0 +1,257 @@
+// GrammarRegistry: epoch-versioned hot reload.  Covers the epoch /
+// tenant-id protocol, validate-before-publish (a broken reload leaves
+// the old snapshot serving), per-request resolution, epoch pinning of
+// in-flight parses during a reload, the structural cache invalidation
+// that the epoch key provides, and per-tenant admission quotas.  The
+// threaded tests run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "grammars/grammar_io.h"
+#include "grammars/toy_grammar.h"
+#include "serve/grammar_registry.h"
+#include "serve/parse_service.h"
+
+namespace {
+
+using namespace parsec;
+using namespace std::chrono_literals;
+using serve::GrammarRegistry;
+using serve::ParseRequest;
+using serve::ParseResponse;
+using serve::ParseService;
+using serve::RequestStatus;
+
+// The toy grammar with one extra constraint that contradicts
+// verbs-are-ungoverned-roots: every ROOT must be governed, so any
+// sentence containing a verb — "The program runs" included — is now
+// rejected.  A behavioural change that is trivially observable.
+grammars::CdgBundle make_strict_toy() {
+  std::string text = save_cdg_bundle(grammars::make_toy_grammar());
+  const std::string extra =
+      "  (constraint no-ungoverned-roots\n"
+      "    (if (eq (lab x) ROOT) (not (eq (mod x) nil))))\n";
+  const auto at = text.find(")\n(lexicon");
+  EXPECT_NE(at, std::string::npos);
+  text.insert(at, extra);
+  return grammars::load_cdg_bundle(text);
+}
+
+TEST(GrammarRegistry, PublishBumpsEpochAndKeepsTenantId) {
+  GrammarRegistry reg;
+  auto v1 = reg.publish("toy", grammars::make_toy_grammar());
+  EXPECT_EQ(v1->epoch(), 1u);
+  EXPECT_EQ(reg.epoch("toy"), 1u);
+
+  auto v2 = reg.publish("toy", make_strict_toy());
+  EXPECT_EQ(v2->epoch(), 2u);
+  EXPECT_EQ(v2->tenant_id(), v1->tenant_id());
+  EXPECT_EQ(reg.epoch("toy"), 2u);
+
+  // A different name is a different tenant with its own epoch line.
+  auto other = reg.publish("other", grammars::make_toy_grammar());
+  EXPECT_EQ(other->epoch(), 1u);
+  EXPECT_NE(other->tenant_id(), v1->tenant_id());
+  EXPECT_EQ(reg.size(), 2u);
+
+  // The old snapshot object is immutable; holders still see epoch 1.
+  EXPECT_EQ(v1->epoch(), 1u);
+  EXPECT_EQ(reg.snapshot("toy")->epoch(), 2u);
+  EXPECT_EQ(reg.snapshot("nope"), nullptr);
+  EXPECT_EQ(reg.epoch("nope"), 0u);
+}
+
+TEST(GrammarRegistry, FailedReloadLeavesOldSnapshotServing) {
+  GrammarRegistry reg;
+  reg.publish("toy", grammars::make_toy_grammar());
+
+  const std::string path = ::testing::TempDir() + "/bad_reload.cdg";
+  {
+    std::ofstream out(path);
+    out << "(grammar\n  (categories det)\n  (bogus-clause 1))\n";
+  }
+  EXPECT_THROW(reg.load_file("toy", path), grammars::GrammarIoError);
+
+  // Old snapshot intact and functional.
+  auto snap = reg.snapshot("toy");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch(), 1u);
+  ParseService service(reg, {});
+  ParseRequest req;
+  req.words = {"The", "program", "runs"};
+  req.grammar = "toy";
+  auto resp = service.submit(std::move(req)).get();
+  EXPECT_EQ(resp.status, RequestStatus::Ok);
+  EXPECT_TRUE(resp.accepted);
+  EXPECT_EQ(resp.grammar_epoch, 1u);
+}
+
+TEST(GrammarRegistry, PublishHooksRunAfterSwap) {
+  GrammarRegistry reg;
+  std::vector<std::pair<std::string, std::uint64_t>> seen;
+  reg.add_publish_hook([&](const serve::GrammarBundle& b) {
+    seen.emplace_back(b.name(), b.epoch());
+  });
+  reg.publish("a", grammars::make_toy_grammar());
+  reg.publish("a", grammars::make_toy_grammar());
+  reg.publish("b", grammars::make_toy_grammar());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::uint64_t>{"a", 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::uint64_t>{"a", 2}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, std::uint64_t>{"b", 1}));
+}
+
+TEST(GrammarRegistry, ServiceResolvesGrammarsPerRequest) {
+  GrammarRegistry reg;
+  reg.publish("permissive", grammars::make_toy_grammar());
+  ParseService::Options opt;
+  opt.threads = 2;
+  ParseService service(reg, opt);
+
+  // Published AFTER service construction: resolution is per request.
+  reg.publish("strict", make_strict_toy());
+
+  auto ask = [&](const std::string& grammar) {
+    ParseRequest req;
+    req.words = {"The", "program", "runs"};
+    req.grammar = grammar;
+    return service.submit(std::move(req)).get();
+  };
+  auto ok = ask("permissive");
+  EXPECT_EQ(ok.status, RequestStatus::Ok);
+  EXPECT_TRUE(ok.accepted);
+  auto strict = ask("strict");
+  EXPECT_EQ(strict.status, RequestStatus::Ok);
+  EXPECT_FALSE(strict.accepted);
+  auto unknown = ask("nope");
+  EXPECT_EQ(unknown.status, RequestStatus::BadRequest);
+  EXPECT_NE(unknown.error.find("unknown grammar"), std::string::npos);
+}
+
+// Hot reload during a live batch: requests admitted before the publish
+// pin the epoch-1 snapshot and parse under it even when they execute
+// after the swap; requests admitted after see epoch 2.  No torn state,
+// no mixed results — TSan-clean.
+TEST(GrammarRegistryReload, InFlightParsesKeepTheirPinnedEpoch) {
+  GrammarRegistry reg;
+  reg.publish("toy", grammars::make_toy_grammar());
+  ParseService::Options opt;
+  opt.threads = 2;
+  opt.queue_capacity = 64;
+  ParseService service(reg, opt);
+
+  // Queue a burst, then reload while it is (likely still) in flight.
+  std::vector<std::future<ParseResponse>> inflight;
+  for (int i = 0; i < 16; ++i) {
+    ParseRequest req;
+    req.words = {"The", "program", "runs"};
+    req.grammar = "toy";
+    inflight.push_back(service.submit(std::move(req)));
+  }
+  reg.publish("toy", make_strict_toy());
+
+  for (auto& f : inflight) {
+    auto r = f.get();
+    EXPECT_EQ(r.status, RequestStatus::Ok);
+    EXPECT_TRUE(r.accepted) << "epoch-1 request saw the new grammar";
+    EXPECT_EQ(r.grammar_epoch, 1u);
+  }
+
+  ParseRequest after;
+  after.words = {"The", "program", "runs"};
+  after.grammar = "toy";
+  auto r2 = service.submit(std::move(after)).get();
+  EXPECT_EQ(r2.status, RequestStatus::Ok);
+  EXPECT_FALSE(r2.accepted) << "post-reload request must see epoch 2";
+  EXPECT_EQ(r2.grammar_epoch, 2u);
+}
+
+// The cache epoch key makes invalidation structural: entries cached
+// under epoch 1 are unreachable from epoch-2 requests, so a reload can
+// never serve a stale (pre-reload) result.
+TEST(GrammarRegistryReload, StaleCacheEntriesAreNeverServed) {
+  GrammarRegistry reg;
+  reg.publish("toy", grammars::make_toy_grammar());
+  ParseService::Options opt;
+  opt.threads = 2;
+  opt.enable_result_cache = true;
+  ParseService service(reg, opt);
+
+  auto ask = [&] {
+    ParseRequest req;
+    req.words = {"The", "program", "runs"};
+    req.grammar = "toy";
+    return service.submit(std::move(req)).get();
+  };
+  auto miss = ask();
+  EXPECT_TRUE(miss.accepted);
+  EXPECT_FALSE(miss.cached);
+  auto hit = ask();
+  EXPECT_TRUE(hit.accepted);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.grammar_epoch, 1u);
+
+  reg.publish("toy", make_strict_toy());
+
+  // Same sentence, new epoch: the cached acceptance MUST NOT be served.
+  auto fresh = ask();
+  EXPECT_EQ(fresh.status, RequestStatus::Ok);
+  EXPECT_FALSE(fresh.cached);
+  EXPECT_FALSE(fresh.accepted);
+  EXPECT_EQ(fresh.grammar_epoch, 2u);
+
+  const auto s = service.stats();
+  EXPECT_GE(s.cache.invalidated, 1u)
+      << "epoch bump should have dropped the retired entries";
+}
+
+// GrammarBundle::max_inflight maps to Overloaded.  Deterministic
+// set-up: one worker, blocked inside a callback after its request
+// released its quota slot; further admitted requests hold slots while
+// queued, so the (quota+1)-th submit is rejected inline.
+TEST(GrammarRegistryQuota, TenantQuotaMapsToOverloaded) {
+  GrammarRegistry reg;
+  GrammarRegistry::PublishOptions popt;
+  popt.max_inflight = 2;
+  reg.publish("toy", grammars::make_toy_grammar(), popt);
+
+  ParseService::Options opt;
+  opt.threads = 1;
+  opt.queue_capacity = 16;
+  ParseService service(reg, opt);
+
+  auto make = [] {
+    ParseRequest req;
+    req.words = {"The", "program", "runs"};
+    req.grammar = "toy";
+    return req;
+  };
+
+  // Block the only worker (after request 0 released its slot).
+  std::promise<void> entered, release;
+  service.submit(make(), [&](ParseResponse) {
+    entered.set_value();
+    release.get_future().wait();
+  });
+  entered.get_future().wait();
+
+  // Two queued requests hold both quota slots...
+  auto f1 = service.submit(make());
+  auto f2 = service.submit(make());
+  // ...so the third is shed inline.
+  auto over = service.submit(make()).get();
+  EXPECT_EQ(over.status, RequestStatus::Overloaded);
+  EXPECT_NE(over.error.find("quota"), std::string::npos);
+
+  release.set_value();
+  EXPECT_EQ(f1.get().status, RequestStatus::Ok);
+  EXPECT_EQ(f2.get().status, RequestStatus::Ok);
+  EXPECT_EQ(service.stats().overloaded, 1u);
+}
+
+}  // namespace
