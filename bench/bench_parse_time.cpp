@@ -19,6 +19,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "cdg/batch.h"
 #include "obs/metrics.h"
 #include "parsec/backend.h"
 #include "parsec/maspar_parser.h"
@@ -43,6 +44,7 @@ struct HostRow {
   int n;
   double ms;
   double baseline_ms;
+  double batched_ms;  // SoA 8-lane batch, per sentence
   std::uint64_t hash;
 };
 
@@ -124,10 +126,13 @@ int main(int argc, char** argv) {
 
   engine::EngineSet engines(bundle.grammar);
   engine::NetworkScratch scratch;
+  cdg::BatchParser batcher(bundle.grammar);
   constexpr int kSentencesPerN = 8;
   std::vector<HostRow> host_rows;
-  util::Table th({"n", "ms/sentence", "baseline ms", "speedup"});
-  double geo = 0.0, geo_base = 0.0;
+  bool batched_identical = true;
+  util::Table th({"n", "ms/sentence", "baseline ms", "speedup",
+                  "batched ms", "batch speedup"});
+  double geo = 0.0, geo_base = 0.0, geo_batched = 0.0;
   for (const HostBaseline& base : kHostBaseline) {
     const int n = base.n;
     grammars::SentenceGenerator hgen(bundle,
@@ -138,9 +143,11 @@ int main(int argc, char** argv) {
     // Warm the pool so timing excludes the arena cold allocation; the
     // warm pass also feeds the metrics scrape (identical counter
     // profile per repetition, so one pass per sentence suffices).
+    std::uint64_t seq_h = 0;
     for (const auto& s : ss) {
       auto run =
           engine::run_backend(engines, engine::Backend::Serial, s, &scratch);
+      seq_h ^= run.domains_hash;
       publisher.publish(engine::Backend::Serial, run.stats);
     }
     const int reps = n <= 8 ? 40 : (n <= 12 ? 12 : 4);
@@ -153,21 +160,47 @@ int main(int argc, char** argv) {
                    .domains_hash;
     });
     const double ms = secs * 1e3 / (reps * kSentencesPerN);
-    host_rows.push_back({n, ms, base.ms, h});
+
+    // SoA batch: the same 8 sentences in one full lane group (warm pass
+    // checks bit-identity against the sequential fixpoints).
+    {
+      std::uint64_t bat_h = 0;
+      for (const auto& run : engine::run_backend_batch(batcher, ss))
+        bat_h ^= run.domains_hash;
+      if (bat_h != seq_h) batched_identical = false;
+    }
+    std::uint64_t bh = 0;
+    const double bsecs = bench::time_host([&] {
+      for (int r = 0; r < reps; ++r)
+        for (const auto& run : engine::run_backend_batch(batcher, ss))
+          bh ^= run.domains_hash;
+    });
+    const double bms = bsecs * 1e3 / (reps * kSentencesPerN);
+
+    host_rows.push_back({n, ms, base.ms, bms, h});
     geo += std::log(ms);
     geo_base += std::log(base.ms);
+    geo_batched += std::log(bms);
     th.add_row({std::to_string(n), bench::fmt(ms, "%.4f"),
                 bench::fmt(base.ms, "%.3f"),
-                bench::fmt(base.ms / ms, "%.2f") + "x"});
+                bench::fmt(base.ms / ms, "%.2f") + "x",
+                bench::fmt(bms, "%.4f"),
+                bench::fmt(ms / bms, "%.2f") + "x"});
   }
   const double geomean_ms = std::exp(geo / static_cast<double>(host_rows.size()));
   const double geomean_base =
       std::exp(geo_base / static_cast<double>(host_rows.size()));
+  const double geomean_batched =
+      std::exp(geo_batched / static_cast<double>(host_rows.size()));
   th.print(std::cout);
   std::cout << "\ngeomean " << bench::fmt(geomean_ms, "%.4f") << " ms vs "
             << bench::fmt(geomean_base, "%.3f")
             << " ms baseline: " << bench::fmt(geomean_base / geomean_ms, "%.2f")
-            << "x\n";
+            << "x\n"
+            << "geomean batched " << bench::fmt(geomean_batched, "%.4f")
+            << " ms: " << bench::fmt(geomean_ms / geomean_batched, "%.2f")
+            << "x vs sequential, lanes "
+            << (batched_identical ? "bit-identical" : "DIVERGED") << "\n";
 
   // ---- BENCH_parse_time.json -----------------------------------------
   std::ofstream json(json_path);
@@ -196,6 +229,8 @@ int main(int argc, char** argv) {
          << bench::fmt(r.ms, "%.4f")
          << ", \"baseline_ms\": " << bench::fmt(r.baseline_ms, "%.3f")
          << ", \"speedup\": " << bench::fmt(r.baseline_ms / r.ms, "%.3f")
+         << ", \"batched_ms_per_sentence\": " << bench::fmt(r.batched_ms, "%.4f")
+         << ", \"batched_speedup\": " << bench::fmt(r.ms / r.batched_ms, "%.3f")
          << "}" << (i + 1 < host_rows.size() ? "," : "") << "\n";
   }
   json << "    ],\n"
@@ -203,7 +238,13 @@ int main(int argc, char** argv) {
        << ",\n    \"baseline_geomean_ms\": "
        << bench::fmt(kHostBaselineGeomeanMs, "%.3f")
        << ",\n    \"geomean_speedup\": "
-       << bench::fmt(geomean_base / geomean_ms, "%.3f") << "\n  }\n}\n";
+       << bench::fmt(geomean_base / geomean_ms, "%.3f")
+       << ",\n    \"batched_geomean_ms\": "
+       << bench::fmt(geomean_batched, "%.4f")
+       << ",\n    \"batched_geomean_speedup\": "
+       << bench::fmt(geomean_ms / geomean_batched, "%.3f")
+       << ",\n    \"batched_bit_identical\": "
+       << (batched_identical ? "true" : "false") << "\n  }\n}\n";
   std::cout << "report: " << json_path << "\n";
 
   if (!metrics_path.empty()) {
@@ -212,5 +253,9 @@ int main(int argc, char** argv) {
     std::cout << "metrics: " << metrics_path << "\n";
   }
 
+  if (!batched_identical) {
+    std::cout << "verdict: BATCH LANES DIVERGED FROM SEQUENTIAL FIXPOINT\n";
+    return 1;
+  }
   return shape_ok ? 0 : 1;
 }

@@ -194,7 +194,7 @@ int main(int argc, char** argv) {
   std::cout
       << "=============================================================\n\n";
 
-  util::Table table({"threads", "wall s", "sent/s", "ok/s", "speedup",
+  util::Table table({"threads", "wall s", "sent/s", "ok/s", "speedup", "eff",
                      "p50 ms", "p95 ms", "p99 ms", "bit-identical"});
   std::vector<serve::ThroughputRow> rows;
   bool all_identical = true;
@@ -264,6 +264,7 @@ int main(int argc, char** argv) {
     row.speedup = single_thread_sps > 0
                       ? row.throughput_sps / single_thread_sps
                       : 0.0;
+    row.efficiency = threads > 0 ? row.speedup / threads : 0.0;
     row.stats = service.stats();
     rows.push_back(row);
 
@@ -271,6 +272,7 @@ int main(int argc, char** argv) {
                    bench::fmt(row.throughput_sps, "%.1f"),
                    bench::fmt(goodput, "%.1f"),
                    bench::fmt(row.speedup, "%.2f"),
+                   bench::fmt(row.efficiency, "%.2f"),
                    bench::fmt(row.stats.latency_p50_ms, "%.2f"),
                    bench::fmt(row.stats.latency_p95_ms, "%.2f"),
                    bench::fmt(row.stats.latency_p99_ms, "%.2f"),
@@ -362,6 +364,91 @@ int main(int argc, char** argv) {
               << " coalesced, " << dup->cache.evictions << " evicted\n";
   }
 
+  // SoA lane-batching sweep (serial backend only — the interleaved
+  // batcher is a host-fixpoint kernel).  The whole workload goes to the
+  // service in one parse_batch call so same-length requests can fill
+  // 8-wide lane groups; off vs on isolates the SoA kernel win at the
+  // service level.  One thread keeps the occupancy counters exact, so
+  // the perf gate pins parsec_serve_batches_total /
+  // parsec_serve_batched_requests_total in the throughput baseline.
+  std::optional<serve::BatchSweepResult> soa;
+  if (cfg.backend == engine::Backend::Serial && !fault_plan &&
+      !cfg.shed_load) {
+    auto replay = [&](bool batching, bool& identical,
+                      serve::ServiceStats& out_stats) {
+      serve::ParseService::Options opt;
+      opt.threads = 1;
+      opt.queue_capacity = std::max(workload.size() * 2, std::size_t{64});
+      opt.enable_batching = batching;
+      serve::ParseService service(bundle.grammar, opt);
+      auto submit_all = [&] {
+        std::vector<serve::ParseRequest> batch;
+        batch.reserve(workload.size());
+        for (const auto& s : workload) {
+          serve::ParseRequest r;
+          r.sentence = s;
+          batch.push_back(std::move(r));
+        }
+        return service.parse_batch(std::move(batch));
+      };
+      // One untimed warm replay first: both paths pool per-shape state
+      // (NetworkScratch / the worker's BatchParser), and a server at
+      // steady state runs warm — timing the cold construction would
+      // charge the batched path 8x the network builds per shape.
+      submit_all();
+      const serve::ServiceStats warm_stats = service.stats();
+      std::vector<serve::ParseResponse> responses;
+      const double wall = bench::time_host([&] {
+        responses = submit_all();
+      });
+      for (std::size_t i = 0; i < responses.size(); ++i)
+        if (responses[i].status != serve::RequestStatus::Ok ||
+            responses[i].domains_hash != reference[i])
+          identical = false;
+      out_stats = service.stats();
+      // Occupancy accounting for the timed replay only.
+      out_stats.batches -= warm_stats.batches;
+      out_stats.batched_requests -= warm_stats.batched_requests;
+      return wall;
+    };
+
+    soa.emplace();
+    soa->requests = workload.size();
+    soa->threads = 1;
+    bool identical = true;
+    serve::ServiceStats off_stats, on_stats;
+    soa->wall_off_seconds = replay(false, identical, off_stats);
+    soa->wall_on_seconds = replay(true, identical, on_stats);
+    all_identical = all_identical && identical;
+    soa->sps_off =
+        static_cast<double>(soa->requests) / soa->wall_off_seconds;
+    soa->sps_on = static_cast<double>(soa->requests) / soa->wall_on_seconds;
+    soa->speedup = soa->sps_off > 0 ? soa->sps_on / soa->sps_off : 0.0;
+    soa->batches = on_stats.batches;
+    soa->batched_requests = on_stats.batched_requests;
+    soa->occupancy =
+        soa->batches
+            ? static_cast<double>(soa->batched_requests) /
+                  (static_cast<double>(soa->batches) *
+                   static_cast<double>(cdg::BatchParser::kLanes))
+            : 0.0;
+
+    std::cout << "\nSoA lane-batching sweep (" << soa->requests
+              << " requests, 1 thread, whole workload per submit):\n";
+    util::Table btable({"batching", "wall s", "sent/s", "speedup",
+                        "batches", "occupancy", "bit-identical"});
+    btable.add_row({"off", bench::fmt(soa->wall_off_seconds, "%.3f"),
+                    bench::fmt(soa->sps_off, "%.1f"), "1.00", "-", "-",
+                    identical ? "yes" : "NO"});
+    btable.add_row({"on", bench::fmt(soa->wall_on_seconds, "%.3f"),
+                    bench::fmt(soa->sps_on, "%.1f"),
+                    bench::fmt(soa->speedup, "%.2f"),
+                    std::to_string(soa->batches),
+                    bench::fmt(soa->occupancy * 100.0, "%.1f%%"),
+                    identical ? "yes" : "NO"});
+    btable.print(std::cout);
+  }
+
   std::ostringstream workload_desc;
   workload_desc << "english n=" << cfg.lo << ".." << cfg.hi << " x"
                 << cfg.sentences << " batch=" << cfg.batch;
@@ -378,7 +465,7 @@ int main(int argc, char** argv) {
   std::ofstream json(cfg.json_path);
   serve::write_throughput_report(json, workload_desc.str(), rows,
                                  default_workload ? &baseline : nullptr,
-                                 dup ? &*dup : nullptr);
+                                 dup ? &*dup : nullptr, soa ? &*soa : nullptr);
   std::cout << "report: " << cfg.json_path << "\n";
 
   // Every service above published into the global registry; one scrape

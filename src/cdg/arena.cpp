@@ -10,6 +10,10 @@ constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
   return (a + b - 1) / b;
 }
 
+constexpr std::size_t round_up(std::size_t a, std::size_t b) {
+  return ceil_div(a, b) * b;
+}
+
 }  // namespace
 
 void NetworkArena::reshape(int roles, int domain_size,
@@ -21,11 +25,17 @@ void NetworkArena::reshape(int roles, int domain_size,
   const std::size_t R = static_cast<std::size_t>(R_);
   const std::size_t D = static_cast<std::size_t>(D_);
   stride_ = ceil_div(D, kWordBits);
+  // Domain/mask/scratch rows are padded to whole cache lines so the
+  // SIMD tile loads never split one (the pad words stay zero: spans are
+  // sized by D and never write past word_count()).  Arc rows keep the
+  // natural stride — the arc region dominates the allocation and its
+  // rows are consumed by unaligned-tolerant kernels.
+  dstride_ = round_up(stride_, kAlignWords);
 
   // Region sizes in words.  The int32/uint8 regions are carved out of
   // the same uint64 buffer; word alignment of each region start keeps
   // the reinterpret_casts valid.
-  const std::size_t domains_w = R * stride_;
+  const std::size_t domains_w = R * dstride_;
   const std::size_t arcs_w = num_arcs() * D * stride_;
   const std::size_t counts_w = ceil_div(R * D * R * sizeof(std::int32_t),
                                         sizeof(Word));
@@ -33,29 +43,37 @@ void NetworkArena::reshape(int roles, int domain_size,
                                        sizeof(Word));
   const std::size_t queue_w = ceil_div(2 * R * D * sizeof(std::int32_t),
                                        sizeof(Word));
-  const std::size_t masks_w = mask_slots_ * R * stride_;
-  const std::size_t support_w = R * stride_;
+  const std::size_t masks_w = mask_slots_ * R * dstride_;
+  const std::size_t support_w = R * dstride_;
 
+  // Every aligned-row region starts on a cache-line boundary relative
+  // to the (aligned) base.
   domains_off_ = 0;
   arcs_off_ = domains_off_ + domains_w;
   counts_off_ = arcs_off_ + arcs_w;
   flags_off_ = counts_off_ + counts_w;
   queue_off_ = flags_off_ + flags_w;
-  masks_off_ = queue_off_ + queue_w;
+  masks_off_ = round_up(queue_off_ + queue_w, kAlignWords);
   support_off_ = masks_off_ + masks_w;
   const std::size_t total = support_off_ + support_w;
 
-  if (total > buf_.capacity()) {
+  // Slack so base() can be bumped to the next 64-byte boundary
+  // (std::vector only guarantees alignof(Word) = 8).
+  const std::size_t need = total + kAlignWords - 1;
+  if (need > buf_.capacity()) {
     // `arena.alloc` fault site: models the backing allocation failing
     // (the serve layer degrades it to RequestStatus::Faulted).  Only
     // genuine growth consults the site — same-shape reinits never
     // allocate and so can never fault here.
     if (resil::should_fire("arena.alloc"))
       throw resil::InjectedFault("arena: injected allocation failure");
-    buf_.reserve(total);
+    buf_.reserve(need);
     ++allocations_;
   }
-  buf_.assign(total, Word{0});
+  buf_.assign(need, Word{0});
+  const auto addr = reinterpret_cast<std::uintptr_t>(buf_.data());
+  base_pad_ =
+      (round_up(addr, kRowAlignBytes) - addr) / sizeof(Word);
 
   arc_pairs_.clear();
   arc_pairs_.reserve(num_arcs());

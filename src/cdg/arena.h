@@ -52,6 +52,13 @@ class NetworkArena {
  public:
   using Word = util::DynBitset::Word;
   static constexpr std::size_t kWordBits = util::DynBitset::kWordBits;
+  /// Domain, mask and support-scratch rows start on cache-line
+  /// boundaries: the buffer base is padded to 64 bytes and those rows
+  /// use a stride rounded up to 8 words, so SIMD tile loads never split
+  /// a line.  Arc-matrix rows keep the natural stride (the arc region
+  /// dominates the allocation; the sweep kernels take unaligned rows).
+  static constexpr std::size_t kRowAlignBytes = 64;
+  static constexpr std::size_t kAlignWords = kRowAlignBytes / sizeof(Word);
 
   NetworkArena() = default;
   NetworkArena(int roles, int domain_size, std::size_t mask_slots = 0) {
@@ -79,8 +86,11 @@ class NetworkArena {
   // ---- shape ----------------------------------------------------------
   int roles() const { return R_; }
   int domain_size() const { return D_; }
-  /// Words per domain / arc-matrix row (fixed stride).
+  /// Words per arc-matrix row (natural stride).
   std::size_t row_words() const { return stride_; }
+  /// Words per domain / mask / support-scratch row (padded to a
+  /// multiple of kAlignWords; the pad words stay zero).
+  std::size_t aligned_row_words() const { return dstride_; }
   std::size_t num_arcs() const {
     const std::size_t R = static_cast<std::size_t>(R_);
     return R * (R - 1) / 2;
@@ -102,22 +112,22 @@ class NetworkArena {
 
   // ---- domains --------------------------------------------------------
   util::BitSpan domain(int role) {
-    return util::BitSpan(buf_.data() + domain_off(role),
+    return util::BitSpan(base() + domain_off(role),
                          static_cast<std::size_t>(D_));
   }
   util::ConstBitSpan domain(int role) const {
-    return util::ConstBitSpan(buf_.data() + domain_off(role),
+    return util::ConstBitSpan(base() + domain_off(role),
                               static_cast<std::size_t>(D_));
   }
 
   // ---- arc matrices ---------------------------------------------------
   util::BitMatrixView arc(std::size_t idx) {
-    return util::BitMatrixView(buf_.data() + arc_off(idx),
+    return util::BitMatrixView(base() + arc_off(idx),
                                static_cast<std::size_t>(D_),
                                static_cast<std::size_t>(D_), stride_);
   }
   util::ConstBitMatrixView arc(std::size_t idx) const {
-    return util::ConstBitMatrixView(buf_.data() + arc_off(idx),
+    return util::ConstBitMatrixView(base() + arc_off(idx),
                                     static_cast<std::size_t>(D_),
                                     static_cast<std::size_t>(D_), stride_);
   }
@@ -130,11 +140,11 @@ class NetworkArena {
   /// counts[(role * D + rv) * R + other]: supporting 1-bits of (role,
   /// rv) on the arc to `other` (meaningless for other == role).
   std::span<std::int32_t> support_counts() {
-    return {reinterpret_cast<std::int32_t*>(buf_.data() + counts_off_),
+    return {reinterpret_cast<std::int32_t*>(base() + counts_off_),
             static_cast<std::size_t>(R_) * D_ * R_};
   }
   std::span<const std::int32_t> support_counts() const {
-    return {reinterpret_cast<const std::int32_t*>(buf_.data() + counts_off_),
+    return {reinterpret_cast<const std::int32_t*>(base() + counts_off_),
             static_cast<std::size_t>(R_) * D_ * R_};
   }
   std::int32_t& support_count(int role, int rv, int other) {
@@ -151,14 +161,14 @@ class NetworkArena {
   /// One byte per (role, rv): AC-4 "already queued" flags, or parallel
   /// engines' victim marks.  Zero before use.
   std::span<std::uint8_t> rv_flags() {
-    return {reinterpret_cast<std::uint8_t*>(buf_.data() + flags_off_),
+    return {reinterpret_cast<std::uint8_t*>(base() + flags_off_),
             static_cast<std::size_t>(R_) * D_};
   }
 
   /// FIFO ring storage for (role, rv) elimination pairs; capacity R*D
   /// entries (each value is enqueued at most once).
   std::span<std::int32_t> queue_storage() {
-    return {reinterpret_cast<std::int32_t*>(buf_.data() + queue_off_),
+    return {reinterpret_cast<std::int32_t*>(base() + queue_off_),
             2 * static_cast<std::size_t>(R_) * D_};
   }
 
@@ -169,11 +179,11 @@ class NetworkArena {
   /// reinits(); reinit invalidates without touching the words).
   std::size_t mask_slots() const { return mask_slots_; }
   util::BitSpan mask(std::size_t slot, int role) {
-    return util::BitSpan(buf_.data() + mask_off(slot, role),
+    return util::BitSpan(base() + mask_off(slot, role),
                          static_cast<std::size_t>(D_));
   }
   util::ConstBitSpan mask(std::size_t slot, int role) const {
-    return util::ConstBitSpan(buf_.data() + mask_off(slot, role),
+    return util::ConstBitSpan(base() + mask_off(slot, role),
                               static_cast<std::size_t>(D_));
   }
 
@@ -183,12 +193,12 @@ class NetworkArena {
   /// engines can fill them concurrently.
   util::BitSpan support_scratch(int role) {
     return util::BitSpan(
-        buf_.data() + support_off_ + static_cast<std::size_t>(role) * stride_,
+        base() + support_off_ + static_cast<std::size_t>(role) * dstride_,
         static_cast<std::size_t>(D_));
   }
   util::ConstBitSpan support_scratch(int role) const {
     return util::ConstBitSpan(
-        buf_.data() + support_off_ + static_cast<std::size_t>(role) * stride_,
+        base() + support_off_ + static_cast<std::size_t>(role) * dstride_,
         static_cast<std::size_t>(D_));
   }
 
@@ -201,7 +211,7 @@ class NetworkArena {
   std::uint64_t reinits() const { return reinits_; }
 
   std::size_t domains_bytes() const {
-    return static_cast<std::size_t>(R_) * stride_ * sizeof(Word);
+    return static_cast<std::size_t>(R_) * dstride_ * sizeof(Word);
   }
   std::size_t arcs_bytes() const {
     return num_arcs() * static_cast<std::size_t>(D_) * stride_ * sizeof(Word);
@@ -210,12 +220,14 @@ class NetworkArena {
     return static_cast<std::size_t>(R_) * D_ * R_ * sizeof(std::int32_t);
   }
   std::size_t masks_bytes() const {
-    return mask_slots_ * static_cast<std::size_t>(R_) * stride_ * sizeof(Word);
+    return mask_slots_ * static_cast<std::size_t>(R_) * dstride_ * sizeof(Word);
   }
 
  private:
+  Word* base() { return buf_.data() + base_pad_; }
+  const Word* base() const { return buf_.data() + base_pad_; }
   std::size_t domain_off(int role) const {
-    return domains_off_ + static_cast<std::size_t>(role) * stride_;
+    return domains_off_ + static_cast<std::size_t>(role) * dstride_;
   }
   std::size_t arc_off(std::size_t idx) const {
     return arcs_off_ + idx * static_cast<std::size_t>(D_) * stride_;
@@ -225,14 +237,16 @@ class NetworkArena {
     return masks_off_ +
            (slot * static_cast<std::size_t>(R_) +
             static_cast<std::size_t>(role)) *
-               stride_;
+               dstride_;
   }
 
   int R_ = 0;
   int D_ = 0;
-  std::size_t stride_ = 0;  // words per row
+  std::size_t stride_ = 0;   // words per arc row
+  std::size_t dstride_ = 0;  // words per domain/mask/scratch row (padded)
+  std::size_t base_pad_ = 0;  // words from buf_.data() to the aligned base
   std::size_t mask_slots_ = 0;
-  // Region offsets, in words from buf_.data().
+  // Region offsets, in words from base() (the 64-byte-aligned start).
   std::size_t domains_off_ = 0;
   std::size_t arcs_off_ = 0;
   std::size_t counts_off_ = 0;

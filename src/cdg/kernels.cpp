@@ -50,11 +50,8 @@ void zero_rows_cols(NetworkArena& a, int role, std::span<const int> rvs,
       util::BitMatrixView m = a.arc(other, role);
       const util::ConstBitSpan dom =
           static_cast<const NetworkArena&>(a).domain(other);
-      dom.for_each([&](std::size_t r) {
-        Word* rw = m.row_words(r);
-        PARSEC_SIMD
-        for (std::size_t w = 0; w < W; ++w) rw[w] &= ~vm[w];
-      });
+      const auto andn = simd::ops().andn;
+      dom.for_each([&](std::size_t r) { andn(m.row_words(r), vm, W); });
     }
   }
 }
@@ -264,6 +261,45 @@ std::size_t MaskCache::ensure(NetworkArena& a, const FactoredConstraint& c,
   return evals;
 }
 
+namespace {
+
+SweepTiling g_tiling{};
+
+/// Fills the 8 broadcast constant words (each all-ones or all-zero) of
+/// one a-side row from its hoisted-mask bits, in simd::SweepConsts
+/// member order.  Folding the row booleans into constants here is what
+/// makes the word kernel a fixed 8-term expression — the same
+/// instruction stream for every row, the ACU-broadcast shape.
+inline void sweep_row_consts(const FactoredConstraint& c,
+                             const FactoredMasks& ma, std::size_t i,
+                             NetworkArena::Word* k) {
+  using Word = NetworkArena::Word;
+  const bool ax = ma.ante_x.test(i), ay = ma.ante_y.test(i);
+  const bool cx = ma.cons_x.test(i), cy = ma.cons_y.test(i);
+  const bool f1_on = ax && !c.ante_residual;
+  const bool f2_on = ay && !c.ante_residual;
+  const bool t1c = cx && !c.cons_residual;
+  const bool t2c = cy && !c.cons_residual;
+  k[0] = ax ? Word{0} : ~Word{0};    // nax
+  k[1] = t1c ? ~Word{0} : Word{0};   // t1c
+  k[2] = f1_on ? ~Word{0} : Word{0}; // f1
+  k[3] = cx ? Word{0} : ~Word{0};    // ncx
+  k[4] = ay ? Word{0} : ~Word{0};    // nay
+  k[5] = t2c ? ~Word{0} : Word{0};   // t2c
+  k[6] = f2_on ? ~Word{0} : Word{0}; // f2
+  k[7] = cy ? Word{0} : ~Word{0};    // ncy
+}
+
+}  // namespace
+
+void set_sweep_tiling(const SweepTiling& t) {
+  g_tiling.rows = t.rows < 1 ? 1
+                  : t.rows > kMaxSweepTileRows ? kMaxSweepTileRows
+                                               : t.rows;
+}
+
+SweepTiling sweep_tiling() { return g_tiling; }
+
 int sweep_binary_masked(const FactoredConstraint& c, const Sentence& sent,
                         util::BitMatrixView m, util::ConstBitSpan dom_a,
                         const FactoredMasks& ma, RoleId rid_a, WordPos wa,
@@ -277,71 +313,135 @@ int sweep_binary_masked(const FactoredConstraint& c, const Sentence& sent,
   const Word* AY = mb.ante_y.words();
   const Word* CX = mb.cons_x.words();
   const Word* CY = mb.cons_y.words();
+  const simd::Ops& ops = simd::ops();
   EvalContext ctx;
   ctx.sentence = &sent;
-  std::size_t vm = 0, masked = 0;
+  std::size_t vm = 0, masked = 0, tiles = 0, lane_words = 0;
   int zeroed = 0;
-  dom_a.for_each([&](std::size_t i) {
-    // This row's own hoisted-part bits (value a_i, the x slot in
-    // direction 1 and the y slot in direction 2).
-    const bool ax = ma.ante_x.test(i), ay = ma.ante_y.test(i);
-    const bool cx = ma.cons_x.test(i), cy = ma.cons_y.test(i);
-    const bool f1_on = ax && !c.ante_residual;
-    const bool f2_on = ay && !c.ante_residual;
-    const bool t1c = cx && !c.cons_residual;
-    const bool t2c = cy && !c.cons_residual;
-    Word* row = m.row_words(i);
-    const Binding bind_a{ix.decode(static_cast<int>(i)), rid_a, wa};
-    for (std::size_t wi = 0; wi < W; ++wi) {
-      const Word r = row[wi];
-      if (!r) continue;
-      const Word axw = AX[wi], ayw = AY[wi];
-      const Word cxw = CX[wi], cyw = CY[wi];
-      // Direction 1 (x = a_i, y = b_j): known satisfied iff the
-      // antecedent is falsified by a hoisted part, or the consequent is
-      // proven by both hoisted parts with no residual; known violated
-      // iff the antecedent is proven and a consequent part fails.
-      const Word t1 = (ax ? ~ayw : ~Word{0}) | (t1c ? cyw : Word{0});
-      const Word f1 = f1_on ? (ayw & (cx ? ~cyw : ~Word{0})) : Word{0};
-      // Direction 2 (x = b_j, y = a_i), same shape with sides swapped.
-      const Word t2 = (ay ? ~axw : ~Word{0}) | (t2c ? cxw : Word{0});
-      const Word f2 = f2_on ? (axw & (cy ? ~cxw : ~Word{0})) : Word{0};
-      // A pair dies if either direction is known violated; it survives
-      // mask-only if both are known satisfied.  f and t are mutually
-      // exclusive within a direction, so kill & keep == 0.
-      const Word kill = f1 | f2;
-      const Word keep = t1 & t2;
-      const Word dead = r & kill;
-      Word undecided = r & ~kill & ~keep;
-      masked += static_cast<std::size_t>(std::popcount(r)) -
-                static_cast<std::size_t>(std::popcount(undecided));
-      if (dead) {
-        row[wi] = r & ~kill;
-        zeroed += std::popcount(dead);
-      }
-      if (!apply_residual) continue;
-      while (undecided) {
-        const std::size_t bit =
-            static_cast<std::size_t>(std::countr_zero(undecided));
-        undecided &= undecided - 1;
-        const std::size_t j = wi * NetworkArena::kWordBits + bit;
-        vm += 2;
-        ctx.x = bind_a;
-        ctx.y = Binding{ix.decode(static_cast<int>(j)), rid_b, wb};
-        bool ok = eval_compiled(c.full, ctx);
-        if (ok) {
-          std::swap(ctx.x, ctx.y);
-          ok = eval_compiled(c.full, ctx);
+
+  // Tile staging, all on the stack: the vector phase writes each row's
+  // undecided word image here, the residual phase drains it.  Wide rows
+  // shrink the block height so a tile never overflows the budget (the
+  // degenerate W > kStageWords case would need D > 128k bits; the
+  // invariant checker's shapes are far below that, but clamp anyway).
+  constexpr std::size_t kStageWords = 2048;
+  static_assert(kStageWords >= kMaxSweepTileRows);
+  Word stage[kStageWords];
+  Word consts[kMaxSweepTileRows][8];
+  std::size_t rows_idx[kMaxSweepTileRows];
+  bool rows_und[kMaxSweepTileRows];
+  const std::size_t Wc = W > kStageWords ? kStageWords : W;
+  const std::size_t row_cap =
+      Wc ? std::min(kMaxSweepTileRows, kStageWords / Wc) : std::size_t{1};
+  const std::size_t tile_cap =
+      std::max<std::size_t>(1, std::min(g_tiling.rows, row_cap));
+
+  const std::size_t Dn = dom_a.size();
+  std::size_t i = dom_a.find_first();
+  while (i < Dn) {
+    // Gather the tile: up to tile_cap alive rows and their constants.
+    std::size_t nrows = 0;
+    while (i < Dn && nrows < tile_cap) {
+      rows_idx[nrows] = i;
+      sweep_row_consts(c, ma, i, consts[nrows]);
+      ++nrows;
+      i = dom_a.find_next_from(i + 1);
+    }
+    // Vector phase: one uninterrupted dispatched pass per row, kills
+    // applied in place, undecided words staged.
+    bool tile_und = false;
+    for (std::size_t r = 0; r < nrows; ++r) {
+      const Word* k = consts[r];
+      const simd::SweepConsts kc{k + 0, k + 1, k + 2, k + 3,
+                                 k + 4, k + 5, k + 6, k + 7};
+      simd::SweepStats st;
+      ops.sweep_row(m.row_words(rows_idx[r]), AX, AY, CX, CY, kc, 1, Wc,
+                    stage + r * Wc, &st);
+      // Clamped-width leftover (W > kStageWords only): finish the row
+      // scalar-chunked with immediate residual semantics via a second
+      // dispatched pass per chunk.
+      for (std::size_t w0 = Wc; w0 < W; w0 += Wc) {
+        const std::size_t nw = std::min(Wc, W - w0);
+        simd::SweepStats st2;
+        ops.sweep_row(m.row_words(rows_idx[r]) + w0, AX + w0, AY + w0,
+                      CX + w0, CY + w0, kc, 1, nw, stage + r * Wc, &st2);
+        masked += st2.masked[0];
+        zeroed += static_cast<int>(st2.dead[0]);
+        lane_words += nw;
+        if (apply_residual && st2.any_undecided) {
+          Word* row = m.row_words(rows_idx[r]);
+          const Binding bind_a{
+              ix.decode(static_cast<int>(rows_idx[r])), rid_a, wa};
+          for (std::size_t wi = 0; wi < nw; ++wi) {
+            Word u = stage[r * Wc + wi];
+            while (u) {
+              const std::size_t bit =
+                  static_cast<std::size_t>(std::countr_zero(u));
+              u &= u - 1;
+              const std::size_t j =
+                  (w0 + wi) * NetworkArena::kWordBits + bit;
+              vm += 2;
+              ctx.x = bind_a;
+              ctx.y = Binding{ix.decode(static_cast<int>(j)), rid_b, wb};
+              bool ok = eval_compiled(c.full, ctx);
+              if (ok) {
+                std::swap(ctx.x, ctx.y);
+                ok = eval_compiled(c.full, ctx);
+              }
+              if (!ok) {
+                row[w0 + wi] &= ~(Word{1} << bit);
+                ++zeroed;
+              }
+            }
+          }
         }
-        if (!ok) {
-          row[wi] &= ~(Word{1} << bit);
-          ++zeroed;
+      }
+      masked += st.masked[0];
+      zeroed += static_cast<int>(st.dead[0]);
+      lane_words += Wc;
+      rows_und[r] = st.any_undecided;
+      tile_und |= st.any_undecided;
+    }
+    ++tiles;
+    // Residual phase: the bytecode VM drains the staged undecided
+    // bits, rows ascending, bits ascending within each row.  A pair's
+    // verdict depends only on (sentence, i, j) — no matrix state — so
+    // the phase split cannot change the final bits or the counters.
+    if (apply_residual && tile_und) {
+      for (std::size_t r = 0; r < nrows; ++r) {
+        if (!rows_und[r]) continue;
+        const std::size_t ri = rows_idx[r];
+        Word* row = m.row_words(ri);
+        const Binding bind_a{ix.decode(static_cast<int>(ri)), rid_a, wa};
+        const Word* und = stage + r * Wc;
+        for (std::size_t wi = 0; wi < Wc; ++wi) {
+          Word u = und[wi];
+          while (u) {
+            const std::size_t bit =
+                static_cast<std::size_t>(std::countr_zero(u));
+            u &= u - 1;
+            const std::size_t j = wi * NetworkArena::kWordBits + bit;
+            vm += 2;
+            ctx.x = bind_a;
+            ctx.y = Binding{ix.decode(static_cast<int>(j)), rid_b, wb};
+            bool ok = eval_compiled(c.full, ctx);
+            if (ok) {
+              std::swap(ctx.x, ctx.y);
+              ok = eval_compiled(c.full, ctx);
+            }
+            if (!ok) {
+              row[wi] &= ~(Word{1} << bit);
+              ++zeroed;
+            }
+          }
         }
       }
     }
-  });
+  }
   if (counters.vm_evals) *counters.vm_evals += vm;
   if (counters.masked) *counters.masked += masked;
+  if (counters.tile_sweeps) *counters.tile_sweeps += tiles;
+  if (counters.lane_words) *counters.lane_words += lane_words;
   return zeroed;
 }
 
@@ -410,18 +510,15 @@ void support_mask(const NetworkArena& a, int role, util::BitSpan out) {
       // stack for any domain size.
       const auto m = a.arc(other, role);
       const util::ConstBitSpan dom_b = a.domain(other);
+      const simd::Ops& ops = simd::ops();
       constexpr std::size_t kBlock = 64;
       Word acc[kBlock];
       for (std::size_t w0 = 0; w0 < W; w0 += kBlock) {
         const std::size_t nb = std::min(kBlock, W - w0);
         for (std::size_t b = 0; b < nb; ++b) acc[b] = 0;
-        dom_b.for_each([&](std::size_t r) {
-          const Word* rw = m.row_words(r) + w0;
-          PARSEC_SIMD
-          for (std::size_t b = 0; b < nb; ++b) acc[b] |= rw[b];
-        });
-        PARSEC_SIMD
-        for (std::size_t b = 0; b < nb; ++b) ow[w0 + b] &= acc[b];
+        dom_b.for_each(
+            [&](std::size_t r) { ops.or_into(acc, m.row_words(r) + w0, nb); });
+        ops.and_into(ow + w0, acc, nb);
       }
     }
   }

@@ -42,19 +42,21 @@
 #include "cdg/arena.h"
 #include "cdg/constraint_eval.h"
 #include "cdg/role_value.h"
+#include "cdg/simd.h"
 #include "util/bitmatrix.h"
 #include "util/bitset.h"
 
-// Portable inner-loop vectorization hint: the word loops below are
-// plain 64-bit AND/ANDN/OR chains with no loop-carried dependence, so
+// Portable inner-loop vectorization hint for the few word loops that
+// do NOT route through the runtime dispatch table in cdg/simd.h:
 // `omp simd` (compiled with any OpenMP-capable compiler, no runtime
 // needed) lets the auto-vectorizer commit to SIMD code without a
 // legality analysis.  Compiles to nothing when OpenMP is off (e.g. the
-// TSan CI leg).
+// TSan CI leg).  Not to be confused with the PARSEC_SIMD *environment
+// variable*, which caps the dispatch tier at runtime (cdg/simd.h).
 #if defined(_OPENMP)
-#define PARSEC_SIMD _Pragma("omp simd")
+#define PARSEC_OMP_SIMD _Pragma("omp simd")
 #else
-#define PARSEC_SIMD
+#define PARSEC_OMP_SIMD
 #endif
 
 namespace parsec::cdg::kernels {
@@ -193,13 +195,47 @@ struct MaskedCounters {
   std::size_t* vm_evals = nullptr;       // actual bytecode dispatches
   std::size_t* masked = nullptr;         // pairs/values decided mask-only
   std::size_t* build_evals = nullptr;    // hoisted evals spent on masks
+  // Tiled-sweep bookkeeping: row tiles processed and 64-bit words put
+  // through the dispatched row kernel.  Both are pure functions of the
+  // network state (tier-independent — the scalar, AVX2 and AVX-512
+  // paths process identical words), so the perf gate can pin them.
+  std::size_t* tile_sweeps = nullptr;
+  std::size_t* lane_words = nullptr;
 };
+
+/// Tiling of the masked binary sweep: alive rows are processed in
+/// blocks of up to `rows` rows — one uninterrupted dispatched-kernel
+/// pass over the block staging every undecided word, then one residual
+/// bytecode-VM pass over the staged bits (cache-blocked BMM shape: the
+/// vector phase never alternates with VM dispatches).  Results and
+/// counter totals are identical for every tile size, because a pair's
+/// residual verdict depends only on (sentence, i, j), never on sweep
+/// order; the tile-size axis of bench_ablation_masks measures the cost
+/// difference.  `rows` is clamped to [1, kMaxSweepTileRows], and a
+/// tile never stages more words than the kernel's stack budget allows
+/// (wide rows shrink the effective block height).
+struct SweepTiling {
+  std::size_t rows = 64;
+};
+
+inline constexpr std::size_t kMaxSweepTileRows = 64;
+
+/// Process-wide tiling override (ablation/bench knob).  Not a
+/// synchronization point: set before parsing starts, like
+/// simd::force_tier.
+void set_sweep_tiling(const SweepTiling& t);
+SweepTiling sweep_tiling();
 
 /// Masked sweep of one binary constraint over one arc matrix: the
 /// separable part of the constraint is applied as bitwise AND/ANDN over
 /// each surviving row, deciding most pairs without a VM dispatch; only
 /// pairs the masks leave undecided fall back to the full bytecode
 /// program (both variable assignments, exactly like sweep_binary).
+/// The row pass runs through the runtime-dispatched SIMD kernel
+/// (cdg/simd.h — scalar / AVX2 / AVX-512, all bit-identical) in
+/// cache-blocked row tiles (SweepTiling above): per tile, one vector
+/// phase stages the undecided words, then one residual-VM phase
+/// resolves them.
 /// `dom_a` enumerates the row side's alive values; (rid, w) pairs give
 /// the roles' binding coordinates for the fallback.  When
 /// `apply_residual` is false undecided pairs are left untouched (the

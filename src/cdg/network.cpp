@@ -33,10 +33,13 @@ void Network::init_domains() {
     const CatId cat = sentence_.cat_at(w);
     for (LabelId l = 0; l < g.num_labels(); ++l) {
       if (!g.label_allowed(rid, cat, l)) continue;
-      for (WordPos m = 0; m <= n(); ++m) {
-        if (m == w) continue;  // no word ever modifies itself
-        d.set(static_cast<std::size_t>(indexer_.encode(RoleValue{l, m})));
-      }
+      // Label-major rv axis: label l's modifiees are one contiguous
+      // run.  Set the whole run word-wise, then carve out m == w (no
+      // word ever modifies itself).
+      const auto lo =
+          static_cast<std::size_t>(indexer_.encode(RoleValue{l, 0}));
+      d.set_run(lo, lo + static_cast<std::size_t>(n()) + 1);
+      d.reset(lo + static_cast<std::size_t>(w));
     }
   }
 }
@@ -213,6 +216,8 @@ int Network::apply_binary(const FactoredConstraint& c, std::size_t slot,
   kernels::MaskedCounters mc;
   mc.vm_evals = &counters_.binary_evals;
   mc.masked = &counters_.masked_binary_pairs;
+  mc.tile_sweeps = &counters_.tile_sweeps;
+  mc.lane_words = &counters_.simd_lane_words;
   int zeroed = 0;
   const int R = num_roles();
   for (int ra = 0; ra < R; ++ra) {
@@ -330,6 +335,19 @@ bool Network::all_roles_nonempty() const {
 bool Network::check_invariants() const {
   const int R = num_roles();
   const std::size_t D = static_cast<std::size_t>(domain_size());
+  // Layout invariant for the SIMD tile loads: domain, mask and
+  // support-scratch rows start on cache-line boundaries.
+  auto aligned = [](const NetworkArena::Word* p) {
+    return reinterpret_cast<std::uintptr_t>(p) %
+               NetworkArena::kRowAlignBytes ==
+           0;
+  };
+  for (int r = 0; r < R; ++r) {
+    if (!aligned(domain(r).words())) return false;
+    if (!aligned(arena_.support_scratch(r).words())) return false;
+    for (std::size_t s = 0; s < arena_.mask_slots(); ++s)
+      if (!aligned(arena_.mask(s, r).words())) return false;
+  }
   if (!arcs_built_) return true;
   for (int ra = 0; ra < R; ++ra) {
     const util::ConstBitSpan da = domain(ra);

@@ -58,6 +58,13 @@ struct NetworkCounters {
   std::size_t masked_binary_pairs = 0;
   std::size_t masked_unary_decided = 0;
   std::size_t mask_build_evals = 0;
+  /// Tiled-sweep bookkeeping: row tiles dispatched through the SIMD
+  /// kernel layer and 64-bit lane-words it processed.  Both are
+  /// functions of the network shape and sweep schedule only — the same
+  /// on every dispatch tier (scalar/AVX2/AVX-512), so the perf gate can
+  /// pin them on any machine.
+  std::size_t tile_sweeps = 0;
+  std::size_t simd_lane_words = 0;
 
   /// Constraint tests performed, in plain-sweep units: what unary_evals
   /// would read had every value been dispatched individually.  Equal to
@@ -81,6 +88,8 @@ struct NetworkCounters {
     masked_binary_pairs += o.masked_binary_pairs;
     masked_unary_decided += o.masked_unary_decided;
     mask_build_evals += o.mask_build_evals;
+    tile_sweeps += o.tile_sweeps;
+    simd_lane_words += o.simd_lane_words;
     return *this;
   }
 };

@@ -244,6 +244,8 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
         static_cast<std::uint64_t>(r.consistency_iterations);
     run.stats.maspar += r.stats;
     run.stats.maspar_simulated_seconds += r.simulated_seconds;
+    run.stats.network.tile_sweeps += r.tile_sweeps;
+    run.stats.network.simd_lane_words += r.lane_words;
     auto domains = parse->domains();
     run.alive_role_values = 0;
     for (const auto& d : domains) run.alive_role_values += d.count();
@@ -334,6 +336,41 @@ BackendRun run_backend_impl(const EngineSet& engines, Backend b,
 
 }  // namespace
 
+std::vector<BackendRun> run_backend_batch(
+    cdg::BatchParser& parser, std::span<const cdg::Sentence> sentences,
+    bool capture_domains) {
+  obs::Span span("backend.batch", "parse");
+  std::vector<cdg::BatchLaneResult> lanes = parser.parse(sentences);
+  std::vector<BackendRun> runs;
+  runs.reserve(lanes.size());
+  std::uint64_t tile_sweeps = 0;
+  std::uint64_t lane_words = 0;
+  for (cdg::BatchLaneResult& lane : lanes) {
+    BackendRun run;
+    run.stats.requests = 1;
+    run.accepted = lane.accepted;
+    run.stats.accepted = lane.accepted ? 1 : 0;
+    run.alive_role_values = lane.alive_role_values;
+    run.domains_hash = hash_domains(lane.domains);
+    run.stats.network += lane.counters;
+    run.stats.consistency_iterations =
+        static_cast<std::uint64_t>(lane.consistency_iterations);
+    tile_sweeps += lane.counters.tile_sweeps;
+    lane_words += lane.counters.simd_lane_words;
+    if (capture_domains) run.domains = std::move(lane.domains);
+    runs.push_back(std::move(run));
+  }
+  if (span.active()) {
+    span.arg("lanes", static_cast<std::int64_t>(sentences.size()));
+    span.arg("n", sentences.empty()
+                      ? std::int64_t{0}
+                      : static_cast<std::int64_t>(sentences[0].size()));
+    span.arg("tile_sweeps", tile_sweeps);
+    span.arg("simd_lane_words", lane_words);
+  }
+  return runs;
+}
+
 StatsPublisher::StatsPublisher(obs::Registry* registry) {
   obs::Registry& reg = *registry;
   for (std::size_t i = 0; i < kNumBackends; ++i) {
@@ -384,6 +421,16 @@ StatsPublisher::StatsPublisher(obs::Registry* registry) {
         "parsec_consistency_iterations_total",
         "Filtering sweeps/iterations run to the fixpoint.",
         {{"backend", be}});
+    p.simd_tile_sweeps = &reg.counter(
+        "parsec_simd_tile_sweeps_total",
+        "Cache-blocked sweep tiles executed by the SIMD kernels "
+        "(tier-independent).",
+        {{"backend", be}});
+    p.simd_lane_words = &reg.counter(
+        "parsec_simd_lane_words_total",
+        "64-bit words pushed through the vector phase of the sweep "
+        "kernels (tier-independent).",
+        {{"backend", be}});
     p.latency = &reg.histogram("parsec_parse_duration_seconds",
                                "Wall-clock latency of one parse request.",
                                obs::default_latency_buckets_seconds(),
@@ -417,6 +464,18 @@ StatsPublisher::StatsPublisher(obs::Registry* registry) {
   reg.gauge("parsec_maspar_cost_t_route_seconds",
             "Calibrated seconds per router stage of a log-time scan (MP-1).")
       .set(cm.t_route);
+  // ISA dispatch tiers, exposed so a scrape records which kernels the
+  // cost counters were produced under (0 = scalar, 1 = AVX2,
+  // 2 = AVX-512; see cdg/simd.h).  Detected is the CPU's ceiling;
+  // active folds in the PARSEC_SIMD env cap and any forced tier.
+  reg.gauge("parsec_simd_detected_tier",
+            "Widest SIMD tier the host CPU supports (0=scalar, 1=avx2, "
+            "2=avx512).")
+      .set(static_cast<double>(cdg::simd::detected_tier()));
+  reg.gauge("parsec_simd_active_tier",
+            "SIMD tier the sweep kernels dispatch to (0=scalar, 1=avx2, "
+            "2=avx512; detected tier capped by PARSEC_SIMD / forced tier).")
+      .set(static_cast<double>(cdg::simd::active_tier()));
 }
 
 void StatsPublisher::publish(Backend b, const BackendStats& delta,
@@ -438,6 +497,8 @@ void StatsPublisher::publish(Backend b, const BackendStats& delta,
   p.arc_zeroings->inc(delta.network.arc_zeroings);
   p.support_checks->inc(delta.network.support_checks);
   p.consistency_iterations->inc(delta.consistency_iterations);
+  p.simd_tile_sweeps->inc(delta.network.tile_sweeps);
+  p.simd_lane_words->inc(delta.network.simd_lane_words);
   if (seconds >= 0.0) p.latency->observe(seconds);
   if (b == Backend::Maspar) {
     maspar_plural_ops_->inc(delta.maspar.plural_ops);

@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "cdg/ac4.h"
+#include "cdg/batch.h"
 #include "cdg/network.h"
 #include "cdg/parser.h"
 #include "obs/metrics.h"
@@ -208,6 +210,19 @@ BackendRun run_backend(const EngineSet& engines, Backend b,
                        const cdg::CancelFn& cancel = {},
                        bool capture_domains = false);
 
+/// Parses up to cdg::BatchParser::kLanes same-length sentences in one
+/// SoA lane batch (see cdg/batch.h) and splits the outcome back into
+/// one BackendRun per sentence, in input order.  Each run's
+/// `domains_hash` is bit-identical to a Serial `run_backend` of that
+/// sentence alone (confluence); its cost counters reflect the lockstep
+/// batch schedule, so they are >= the sequential counters.  Wrapped in
+/// a `backend.batch` span carrying lane count and per-batch tile/lane
+/// totals.  `parser` is mutated (its interleaved buffers are the batch
+/// arena) and must not be shared across threads.
+std::vector<BackendRun> run_backend_batch(
+    cdg::BatchParser& parser, std::span<const cdg::Sentence> sentences,
+    bool capture_domains = false);
+
 /// Publishes per-run BackendStats deltas into an obs::Registry as the
 /// Prometheus metrics documented in docs/OBSERVABILITY.md
 /// (`parsec_requests_total{backend,status}`, the cost-counter
@@ -245,6 +260,10 @@ class StatsPublisher {
     obs::Counter* arc_zeroings;
     obs::Counter* support_checks;
     obs::Counter* consistency_iterations;
+    // SIMD kernel activity (tier-independent work counters; see
+    // cdg/kernels.h).
+    obs::Counter* simd_tile_sweeps;
+    obs::Counter* simd_lane_words;
     obs::Histogram* latency;
   };
   PerBackend per_backend_[kNumBackends];

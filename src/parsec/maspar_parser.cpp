@@ -237,6 +237,11 @@ void MasparParse::apply_binary(const FactoredConstraint& c) {
   machine_.simd(2 * l_ * l_, [&](int pe) {
     std::uint64_t w = bits_[pe];
     if (!w) return;
+    // One live PE submatrix word = one packed tile sweep, the l*l
+    // counterpart of the host kernels' row tiles (folded into
+    // NetworkCounters by run_backend).
+    ++tile_sweeps_;
+    ++lane_words_;
     const auto& co = coords_[pe];
     const std::size_t sr = static_cast<std::size_t>(co.a) * M + co.mx;
     const std::size_t sc = static_cast<std::size_t>(co.b) * M + co.my;
@@ -356,6 +361,8 @@ MasparResult MasparParse::filter_and_finish(const cdg::CancelFn& cancel,
   r.vpes = layout_.vpes();
   r.virt_factor = machine_.virt_factor();
   r.stats = machine_.stats();
+  r.tile_sweeps = tile_sweeps_;
+  r.lane_words = lane_words_;
   r.simulated_seconds = maspar::CostModel::mp1().seconds(machine_);
   return r;
 }

@@ -52,6 +52,12 @@ struct MasparResult {
   int virt_factor = 1;
   maspar::MachineStats stats;
   double simulated_seconds = 0.0;  // under CostModel::mp1()
+  /// Host-side SIMD-layer accounting for the packed l*l sweeps (the
+  /// per-PE submatrix word IS the tile here): folded into
+  /// NetworkCounters::tile_sweeps / simd_lane_words by run_backend so
+  /// the maspar backend rows stay comparable to the host engines'.
+  std::uint64_t tile_sweeps = 0;
+  std::uint64_t lane_words = 0;
 };
 
 /// One parse instance: machine + PE-resident arc state for a sentence.
@@ -139,6 +145,9 @@ class MasparParse {
   // Bindings of the row role values of slot (role a, mod slot mx),
   // indexed [a * M + mx][label slot].
   std::vector<std::vector<cdg::Binding>> slot_bindings_;
+  // Packed-sweep accounting (see MasparResult::tile_sweeps).
+  std::uint64_t tile_sweeps_ = 0;
+  std::uint64_t lane_words_ = 0;
 };
 
 /// Grammar-level wrapper mirroring the other engines.

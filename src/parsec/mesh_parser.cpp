@@ -142,6 +142,11 @@ TopoResult TopologyParser::parse(Network& net,
       }
       charge_elem(arc_elems);
       net.ensure_masks(c, ci);
+      // Tile accounting only: mesh cost stays with charge_elem, but the
+      // host-side SIMD tile sweeps are pinned per backend by the gate.
+      cdg::kernels::MaskedCounters mc;
+      mc.tile_sweeps = &net.counters().tile_sweeps;
+      mc.lane_words = &net.counters().simd_lane_words;
       std::size_t zeroed = 0;
       for (int a = 0; a < net.num_roles(); ++a) {
         const cdg::kernels::FactoredMasks ma = net.masks(ci, a);
@@ -149,8 +154,7 @@ TopoResult TopologyParser::parse(Network& net,
           zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
               c, net.sentence(), net.arena().arc(a, b), net.domain(a), ma,
               net.role_id_of(a), net.word_of_role(a), net.masks(ci, b),
-              net.role_id_of(b), net.word_of_role(b), net.indexer(),
-              cdg::kernels::MaskedCounters{}));
+              net.role_id_of(b), net.word_of_role(b), net.indexer(), mc));
         }
       }
       net.counters().arc_zeroings += zeroed;

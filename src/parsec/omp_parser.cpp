@@ -56,17 +56,30 @@ void OmpParser::apply_binary(Network& net, const FactoredConstraint& c,
   // race.
   const std::size_t A = arena.num_arcs();
   std::size_t zeroed_total = 0;
+  // Tile accounting rides the existing reduction (this engine otherwise
+  // reports work through wall-clock, not eval counts): each worker
+  // charges thread-local tile/lane-word accumulators, summed after the
+  // barrier so the totals match the serial schedule bit-for-bit.
+  std::size_t tiles_total = 0, lanes_total = 0;
 #if defined(PARSEC_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic) reduction(+ : zeroed_total)
+#pragma omp parallel for schedule(dynamic) \
+    reduction(+ : zeroed_total, tiles_total, lanes_total)
 #endif
   for (std::size_t t = 0; t < A; ++t) {
     const auto [a, b] = arena.arc_pair(t);
+    cdg::kernels::MaskedCounters mc;
+    std::size_t tiles = 0, lanes = 0;
+    mc.tile_sweeps = &tiles;
+    mc.lane_words = &lanes;
     zeroed_total += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
         c, net.sentence(), arena.arc(t), net.domain(a), net.masks(slot, a),
         net.role_id_of(a), net.word_of_role(a), net.masks(slot, b),
-        net.role_id_of(b), net.word_of_role(b), net.indexer(),
-        cdg::kernels::MaskedCounters{}));
+        net.role_id_of(b), net.word_of_role(b), net.indexer(), mc));
+    tiles_total += tiles;
+    lanes_total += lanes;
   }
+  net.counters().tile_sweeps += tiles_total;
+  net.counters().simd_lane_words += lanes_total;
   net.counters().arc_zeroings += zeroed_total;
   if (zeroed_total) arena.set_counts_valid(false);
 }

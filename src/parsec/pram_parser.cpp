@@ -74,6 +74,13 @@ void PramParser::apply_binary_parallel(Network& net, pram::Machine& m,
   // models).
   net.ensure_masks(c, slot);
   cdg::NetworkArena& arena = net.arena();
+  // Tile accounting only: the VM/masked-pair charges stay with the step
+  // model's processor counts (the PRAM cost story), but the host-side
+  // tile sweeps are real work the SIMD layer performed and the perf
+  // gate pins them per backend.
+  cdg::kernels::MaskedCounters mc;
+  mc.tile_sweeps = &net.counters().tile_sweeps;
+  mc.lane_words = &net.counters().simd_lane_words;
   std::size_t zeroed = 0;
   for (int a = 0; a < R; ++a) {
     const cdg::kernels::FactoredMasks ma = net.masks(slot, a);
@@ -81,8 +88,7 @@ void PramParser::apply_binary_parallel(Network& net, pram::Machine& m,
       zeroed += static_cast<std::size_t>(cdg::kernels::sweep_binary_masked(
           c, net.sentence(), arena.arc(a, b), net.domain(a), ma,
           net.role_id_of(a), net.word_of_role(a), net.masks(slot, b),
-          net.role_id_of(b), net.word_of_role(b), net.indexer(),
-          cdg::kernels::MaskedCounters{}));
+          net.role_id_of(b), net.word_of_role(b), net.indexer(), mc));
     }
   }
   net.counters().arc_zeroings += zeroed;

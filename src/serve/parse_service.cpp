@@ -76,6 +76,14 @@ ParseService::ParseService(const cdg::Grammar* compat_grammar,
       watchdog_stalls_total_(&opt_.metrics->counter(
           "parsec_resil_watchdog_stalls_total",
           "Stuck workers cancelled by the watchdog.")),
+      batches_total_(&opt_.metrics->counter(
+          "parsec_serve_batches_total",
+          "SoA lane batches executed (same-shape Serial requests grouped "
+          "by submit_batch under enable_batching).")),
+      batched_requests_total_(&opt_.metrics->counter(
+          "parsec_serve_batched_requests_total",
+          "Requests served through an SoA lane batch; mean occupancy is "
+          "this over batches * lanes.")),
       start_(clock::now()) {
   if (compat_grammar) {
     // Single-grammar compat: publish the borrowed grammar into an
@@ -268,10 +276,228 @@ void ParseService::submit(ParseRequest req, Callback cb) {
 
 std::vector<std::future<ParseResponse>> ParseService::submit_batch(
     std::vector<ParseRequest> reqs) {
-  std::vector<std::future<ParseResponse>> futures;
-  futures.reserve(reqs.size());
-  for (auto& r : reqs) futures.push_back(submit(std::move(r)));
+  if (!opt_.enable_batching) {
+    std::vector<std::future<ParseResponse>> futures;
+    futures.reserve(reqs.size());
+    for (auto& r : reqs) futures.push_back(submit(std::move(r)));
+    return futures;
+  }
+
+  // SoA grouping: walk the batch in input order; an eligible request
+  // joins the group of its resolved (grammar snapshot, length), groups
+  // dispatch in first-appearance order sliced into kLanes-sized
+  // chunks.  Deterministic by construction — no timing enters the
+  // grouping decision.  Ineligible requests (non-Serial backend, raw
+  // words needing a lexicon, a deadline, an empty sentence) take the
+  // ordinary per-request path; the future at their input index is
+  // satisfied the same way either way.
+  const auto submitted = clock::now();
+  std::vector<std::future<ParseResponse>> futures(reqs.size());
+  struct Group {
+    const cdg::Grammar* grammar;
+    std::size_t length;
+    std::vector<BatchItem> items;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ParseRequest& r = reqs[i];
+    const bool eligible = r.backend == engine::Backend::Serial &&
+                          r.words.empty() && r.deadline.count() == 0 &&
+                          r.sentence.size() > 0;
+    if (!eligible) {
+      futures[i] = submit(std::move(r));
+      continue;
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++submitted_;
+    }
+    std::promise<ParseResponse> promise;
+    futures[i] = promise.get_future();
+    GrammarSnapshot snap;
+    std::shared_ptr<TenantState> tenant;
+    ParseResponse resp;
+    if (!admit(r, snap, tenant, resp)) {
+      record_at_submit(resp);
+      promise.set_value(std::move(resp));
+      continue;
+    }
+    const cdg::Grammar* g = &snap->grammar();
+    const std::size_t len = r.sentence.size();
+    Group* grp = nullptr;
+    for (Group& cand : groups)
+      if (cand.grammar == g && cand.length == len) {
+        grp = &cand;
+        break;
+      }
+    if (!grp) {
+      groups.push_back({g, len, {}});
+      grp = &groups.back();
+    }
+    grp->items.push_back(
+        {std::move(r), std::move(snap), std::move(tenant), std::move(promise)});
+  }
+
+  const std::size_t min_lanes =
+      std::max<std::size_t>(1, opt_.min_batch_lanes);
+  for (Group& grp : groups) {
+    for (std::size_t off = 0; off < grp.items.size();
+         off += cdg::BatchParser::kLanes) {
+      const std::size_t end =
+          std::min(off + cdg::BatchParser::kLanes, grp.items.size());
+      if (end - off < min_lanes) {
+        // Thin tail chunk: a lockstep sweep costs nearly the same at
+        // any fill, so below the threshold the per-request path wins.
+        for (std::size_t k = off; k < end; ++k) {
+          BatchItem& it = grp.items[k];
+          const std::uint64_t epoch = it.snap->epoch();
+          auto promise =
+              std::make_shared<std::promise<ParseResponse>>(
+                  std::move(it.promise));
+          auto job = [this, req = std::move(it.req),
+                      snap = std::move(it.snap), tenant = it.tenant,
+                      submitted, promise](int worker) mutable {
+            run_request(worker, std::move(req), std::move(snap),
+                        std::move(tenant), submitted, std::move(*promise),
+                        nullptr);
+          };
+          const bool posted = opt_.shed_load
+                                  ? pool_->try_post(std::move(job))
+                                  : pool_->post(std::move(job));
+          if (!posted) {
+            it.tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+            ParseResponse resp;
+            resp.grammar_epoch = epoch;
+            resp.status = pool_->shutting_down()
+                              ? RequestStatus::ShuttingDown
+                              : RequestStatus::Overloaded;
+            record_at_submit(resp);
+            promise->set_value(std::move(resp));
+          }
+        }
+        continue;
+      }
+      // The chunk rides in a shared_ptr: the pool's job type requires a
+      // copyable callable, and promises are move-only.
+      auto chunk = std::make_shared<std::vector<BatchItem>>(
+          std::make_move_iterator(grp.items.begin() +
+                                  static_cast<std::ptrdiff_t>(off)),
+          std::make_move_iterator(grp.items.begin() +
+                                  static_cast<std::ptrdiff_t>(end)));
+      auto job = [this, chunk, submitted](int worker) mutable {
+        run_batch(worker, std::move(*chunk), submitted);
+      };
+      const bool posted = opt_.shed_load ? pool_->try_post(std::move(job))
+                                         : pool_->post(std::move(job));
+      if (!posted) {
+        for (BatchItem& it : *chunk) {
+          it.tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+          ParseResponse resp;
+          resp.grammar_epoch = it.snap->epoch();
+          resp.status = pool_->shutting_down() ? RequestStatus::ShuttingDown
+                                               : RequestStatus::Overloaded;
+          record_at_submit(resp);
+          it.promise.set_value(std::move(resp));
+        }
+      }
+    }
+  }
   return futures;
+}
+
+void ParseService::run_batch(int worker, std::vector<BatchItem> items,
+                             clock::time_point submitted) {
+  const auto dequeued = clock::now();
+  // One batch-root span per executed batch (the lane count is the
+  // occupancy a trace analysis reads off).
+  obs::Span batch_span("serve.batch", "serve");
+  GrammarSnapshot& snap = items.front().snap;
+  WorkerScratch& ws = scratch_[static_cast<std::size_t>(worker)];
+  // Pin the snapshot and retire older epochs of the tenant — same
+  // contract as run_request; the pooled BatchParser references the
+  // grammar too.
+  for (auto it = ws.pinned.begin(); it != ws.pinned.end();) {
+    if (it->second->tenant_id() == snap->tenant_id() &&
+        it->second->epoch() < snap->epoch()) {
+      ws.networks.purge(it->first);
+      ws.batchers.erase(it->first);
+      it = ws.pinned.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ws.pinned[&snap->grammar()] = snap;
+  cdg::BatchParser& parser =
+      ws.batchers.try_emplace(&snap->grammar(), snap->grammar())
+          .first->second;
+
+  std::vector<cdg::Sentence> sentences;
+  sentences.reserve(items.size());
+  bool capture_any = false;
+  for (const BatchItem& it : items) {
+    sentences.push_back(it.req.sentence);
+    capture_any |= it.req.capture_domains;
+  }
+
+  // A throwing batch faults every lane: the interleaved arena is one
+  // shared execution, so per-lane recovery would re-run sequentially —
+  // callers that need fault isolation submit without batching.
+  std::vector<engine::BackendRun> runs;
+  std::string error;
+  try {
+    runs = engine::run_backend_batch(parser, sentences, capture_any);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  batches_total_->inc();
+  batched_requests_total_->inc(static_cast<std::uint64_t>(items.size()));
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++batches_;
+    batched_requests_ += items.size();
+  }
+
+  const double queue_seconds =
+      std::chrono::duration<double>(dequeued - submitted).count();
+  const double parse_seconds =
+      std::chrono::duration<double>(clock::now() - dequeued).count();
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    BatchItem& it = items[k];
+    it.tenant->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    ParseResponse resp;
+    resp.worker = worker;
+    resp.grammar_epoch = it.snap->epoch();
+    resp.served_backend = engine::Backend::Serial;
+    resp.queue_seconds = queue_seconds;
+    resp.parse_seconds = parse_seconds;
+    std::vector<Attempt> attempts;
+    if (!error.empty()) {
+      resp.status = RequestStatus::Faulted;
+      resp.error = error;
+      engine::BackendStats d;
+      d.requests = 1;
+      d.faulted = 1;
+      attempts.push_back({engine::Backend::Serial, d});
+    } else {
+      engine::BackendRun& run = runs[k];
+      resp.status = RequestStatus::Ok;
+      resp.accepted = run.accepted;
+      resp.alive_role_values = run.alive_role_values;
+      resp.domains_hash = run.domains_hash;
+      if (it.req.capture_domains) resp.domains = std::move(run.domains);
+      attempts.push_back({engine::Backend::Serial, run.stats});
+    }
+    record(resp, attempts);
+    it.promise.set_value(std::move(resp));
+  }
+  if (batch_span.active()) {
+    batch_span.arg("lanes", static_cast<std::int64_t>(items.size()));
+    batch_span.arg("n", static_cast<std::int64_t>(sentences[0].size()));
+    batch_span.arg("tenant", static_cast<std::int64_t>(snap->tenant_id()));
+    batch_span.arg("faulted",
+                   static_cast<std::int64_t>(error.empty() ? 0 : 1));
+  }
 }
 
 std::vector<ParseResponse> ParseService::parse_batch(
@@ -489,6 +715,7 @@ void ParseService::run_request(int worker, ParseRequest req,
         if (it->second->tenant_id() == snap->tenant_id() &&
             it->second->epoch() < snap->epoch()) {
           ws.networks.purge(it->first);
+          ws.batchers.erase(it->first);
           it = ws.pinned.erase(it);
         } else {
           ++it;
@@ -714,6 +941,8 @@ ServiceStats ParseService::stats() const {
   s.breaker_trips = trips;
   s.breaker_rerouted = breaker_rerouted_;
   s.watchdog_stalls = watchdog_stalls_;
+  s.batches = batches_;
+  s.batched_requests = batched_requests_;
   s.throughput_sps =
       s.elapsed_seconds > 0
           ? static_cast<double>(completed_) / s.elapsed_seconds

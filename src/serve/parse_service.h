@@ -55,6 +55,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cdg/batch.h"
 #include "cdg/lexicon.h"
 #include "obs/metrics.h"
 #include "parsec/backend.h"
@@ -154,6 +155,11 @@ struct ServiceStats {
   std::uint64_t breaker_trips = 0;       // circuit-breaker Open transitions
   std::uint64_t breaker_rerouted = 0;    // requests rerouted by open breaker
   std::uint64_t watchdog_stalls = 0;     // stuck workers cancelled
+  /// SoA lane batching (Options::enable_batching): batches executed and
+  /// requests served through them.  Mean occupancy is
+  /// batched_requests / (batches * cdg::BatchParser::kLanes).
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
   /// Result-cache counters (all zero when the cache is disabled).
   ResultCache::Stats cache;
   double elapsed_seconds = 0.0;          // since service construction
@@ -214,6 +220,23 @@ class ParseService {
     /// is bypassed (requests reroute to Serial) for a cooldown.
     bool enable_breaker = true;
     resil::CircuitBreaker::Options breaker{};
+    /// SoA sentence batching for submit_batch / parse_batch (off by
+    /// default): same-(grammar, length) groups of eligible requests are
+    /// parsed together, up to cdg::BatchParser::kLanes sentences per
+    /// SIMD tile sweep (see cdg/batch.h).  Eligible = Serial backend,
+    /// pre-tagged sentence (no raw words), no deadline; everything else
+    /// falls back to per-request submission.  Grouping is deterministic
+    /// (input order; groups dispatch in first-appearance order) and
+    /// results stay bit-identical to sequential parses (confluence) —
+    /// only the cost counters reflect the lockstep schedule.  Batched
+    /// groups bypass the result cache and the watchdog.
+    bool enable_batching = false;
+    /// Minimum lanes for a batch chunk to run through the BatchParser.
+    /// A lockstep sweep costs nearly the same at any fill, so thin
+    /// chunks (a group's tail after slicing into kLanes-sized pieces)
+    /// are cheaper on the ordinary per-request path.  Chunks below the
+    /// threshold fall back per-request; 1 batches everything eligible.
+    std::size_t min_batch_lanes = 4;
     /// Cancel a worker stuck in one parse for longer than this
     /// (cooperative — engines poll at checkpoints).  Zero disables the
     /// watchdog.
@@ -294,6 +317,10 @@ class ParseService {
   struct WorkerScratch {
     engine::NetworkScratch networks;
     std::unordered_map<const cdg::Grammar*, GrammarSnapshot> pinned;
+    /// One reusable SoA batch parser per pinned grammar (its
+    /// interleaved buffers persist across same-shape batches); purged
+    /// together with the pooled networks on an epoch bump.
+    std::unordered_map<const cdg::Grammar*, cdg::BatchParser> batchers;
   };
 
   /// Per-tenant admission + accounting state, created on first sight
@@ -328,6 +355,18 @@ class ParseService {
                    std::shared_ptr<TenantState> tenant,
                    std::chrono::steady_clock::time_point submitted,
                    std::promise<ParseResponse> promise, Callback cb);
+
+  /// One admitted member of an SoA batch group (Options::enable_batching).
+  struct BatchItem {
+    ParseRequest req;
+    GrammarSnapshot snap;
+    std::shared_ptr<TenantState> tenant;
+    std::promise<ParseResponse> promise;
+  };
+  /// Parses one same-(grammar, length) group on a pool worker via the
+  /// worker's pooled BatchParser and answers every member's promise.
+  void run_batch(int worker, std::vector<BatchItem> items,
+                 std::chrono::steady_clock::time_point submitted);
   void record(const ParseResponse& resp,
               const std::vector<Attempt>& attempts);
   /// Accounts a request that never reached a worker (rejected,
@@ -359,6 +398,8 @@ class ParseService {
   obs::Counter* breaker_trips_total_;
   obs::Counter* breaker_rerouted_total_;
   obs::Counter* watchdog_stalls_total_;
+  obs::Counter* batches_total_;
+  obs::Counter* batched_requests_total_;
   std::chrono::steady_clock::time_point start_;
   /// One breaker per backend (Serial's is never consulted — it is the
   /// degradation target, not a degradable source).
@@ -382,6 +423,8 @@ class ParseService {
   std::uint64_t fallback_ok_ = 0;
   std::uint64_t breaker_rerouted_ = 0;
   std::uint64_t watchdog_stalls_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
   util::Stats latency_;        // seconds, submission -> completion
   util::Quantiles quantiles_;  // same samples, percentile view
   engine::BackendStats backend_stats_[engine::kNumBackends];

@@ -18,6 +18,8 @@ void json_backend(std::ostream& os, const engine::BackendStats& b) {
      << ", \"mask_build_evals\": " << b.network.mask_build_evals
      << ", \"effective_unary_evals\": " << b.network.effective_unary_evals()
      << ", \"effective_binary_evals\": " << b.network.effective_binary_evals()
+     << ", \"tile_sweeps\": " << b.network.tile_sweeps
+     << ", \"simd_lane_words\": " << b.network.simd_lane_words
      << ", \"eliminations\": " << b.network.eliminations
      << ", \"arc_zeroings\": " << b.network.arc_zeroings
      << ", \"support_checks\": " << b.network.support_checks
@@ -36,7 +38,8 @@ void json_backend(std::ostream& os, const engine::BackendStats& b) {
 void write_throughput_report(std::ostream& os, const std::string& workload,
                              const std::vector<ThroughputRow>& rows,
                              const ThroughputBaseline* baseline,
-                             const DupSweepResult* dup) {
+                             const DupSweepResult* dup,
+                             const BatchSweepResult* soa) {
   os << "{\n  \"workload\": \"" << workload << "\",\n";
   if (baseline) {
     os << "  \"baseline\": {\"captured\": \"" << baseline->captured
@@ -60,6 +63,17 @@ void write_throughput_report(std::ostream& os, const std::string& workload,
        << ", \"evictions\": " << dup->cache.evictions
        << ", \"invalidated\": " << dup->cache.invalidated << "}},\n";
   }
+  if (soa) {
+    os << "  \"batch_sweep\": {\"requests\": " << soa->requests
+       << ", \"threads\": " << soa->threads
+       << ", \"wall_off_seconds\": " << soa->wall_off_seconds
+       << ", \"wall_on_seconds\": " << soa->wall_on_seconds
+       << ", \"sps_off\": " << soa->sps_off << ", \"sps_on\": " << soa->sps_on
+       << ", \"speedup\": " << soa->speedup
+       << ", \"batches\": " << soa->batches
+       << ", \"batched_requests\": " << soa->batched_requests
+       << ", \"occupancy\": " << soa->occupancy << "},\n";
+  }
   os << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ThroughputRow& r = rows[i];
@@ -69,7 +83,7 @@ void write_throughput_report(std::ostream& os, const std::string& workload,
        << r.backend << "\", \"sentences\": " << r.sentences
        << ", \"wall_seconds\": " << r.wall_seconds
        << ", \"throughput_sps\": " << r.throughput_sps
-       << ", \"speedup\": " << r.speedup;
+       << ", \"speedup\": " << r.speedup << ", \"efficiency\": " << r.efficiency;
     if (baseline && r.threads == 1 && baseline->single_thread_sps > 0)
       os << ", \"vs_baseline\": "
          << r.throughput_sps / baseline->single_thread_sps;
@@ -77,7 +91,14 @@ void write_throughput_report(std::ostream& os, const std::string& workload,
        << ", \"p50\": " << s.latency_p50_ms << ", \"p95\": " << s.latency_p95_ms
        << ", \"p99\": " << s.latency_p99_ms << ", \"max\": " << s.latency_max_ms
        << "}, \"completed\": " << s.completed << ", \"timeouts\": "
-       << s.timeouts << ", \"backend_stats\": ";
+       << s.timeouts << ", \"batches\": " << s.batches
+       << ", \"batched_requests\": " << s.batched_requests
+       << ", \"batch_occupancy\": "
+       << (s.batches ? static_cast<double>(s.batched_requests) /
+                           (static_cast<double>(s.batches) *
+                            static_cast<double>(cdg::BatchParser::kLanes))
+                     : 0.0)
+       << ", \"backend_stats\": ";
     json_backend(os, s.backends[static_cast<std::size_t>(
                      *engine::backend_from_name(r.backend))]);
     os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -101,6 +122,13 @@ std::string render_service_stats(const ServiceStats& s) {
        << " misses, " << s.cache.coalesced << " coalesced, "
        << s.cache.evictions << " evicted, " << s.cache.invalidated
        << " invalidated\n";
+  if (s.batches)
+    os << "batching: " << s.batched_requests << " requests in " << s.batches
+       << " lane batches (occupancy "
+       << static_cast<double>(s.batched_requests) /
+              (static_cast<double>(s.batches) *
+               static_cast<double>(cdg::BatchParser::kLanes))
+       << ")\n";
   for (std::size_t i = 0; i < s.workers.size(); ++i)
     os << "worker " << i << ": " << s.workers[i].jobs << " jobs, "
        << s.workers[i].busy_seconds << " s busy\n";

@@ -22,6 +22,7 @@ struct ThroughputRow {
   double wall_seconds = 0.0;
   double throughput_sps = 0.0;  // sentences / wall second
   double speedup = 0.0;         // vs the single-thread row
+  double efficiency = 0.0;      // speedup / threads (1.0 = perfect scaling)
   ServiceStats stats;
 };
 
@@ -54,15 +55,36 @@ struct DupSweepResult {
   ResultCache::Stats cache;   // cache-on run's counters
 };
 
+/// SoA lane-batching sweep: the same workload replayed through an
+/// ordinary service and one with Options::enable_batching, both
+/// single-threaded (bench_throughput, serial backend only).  The
+/// batched service groups same-(grammar, length) requests into
+/// interleaved lane batches, so `speedup` is the service-level win of
+/// the SoA sweep kernels and `occupancy` is the mean lane fill.
+struct BatchSweepResult {
+  std::uint64_t requests = 0;
+  int threads = 1;
+  double wall_off_seconds = 0.0;  // enable_batching = false
+  double wall_on_seconds = 0.0;   // enable_batching = true
+  double sps_off = 0.0;
+  double sps_on = 0.0;
+  double speedup = 0.0;              // sps_on / sps_off
+  std::uint64_t batches = 0;         // lane batches dispatched
+  std::uint64_t batched_requests = 0;
+  double occupancy = 0.0;  // batched_requests / (batches * kLanes)
+};
+
 /// Writes `{"workload": ..., "baseline": ..., "dup_sweep": ...,
-/// "rows": [...]}` to `os`.  `baseline` (if non-null) embeds the
-/// pre-change reference throughput; each row then also reports
-/// `vs_baseline` for the matching config.  `dup` (if non-null) embeds
-/// the duplicated-traffic cache sweep.
+/// "batch_sweep": ..., "rows": [...]}` to `os`.  `baseline` (if
+/// non-null) embeds the pre-change reference throughput; each row then
+/// also reports `vs_baseline` for the matching config.  `dup` (if
+/// non-null) embeds the duplicated-traffic cache sweep; `soa` (if
+/// non-null) embeds the SoA lane-batching sweep.
 void write_throughput_report(std::ostream& os, const std::string& workload,
                              const std::vector<ThroughputRow>& rows,
                              const ThroughputBaseline* baseline = nullptr,
-                             const DupSweepResult* dup = nullptr);
+                             const DupSweepResult* dup = nullptr,
+                             const BatchSweepResult* soa = nullptr);
 
 /// Convenience: render ServiceStats as a human-readable multi-line
 /// summary (demo CLI and smoke logs).

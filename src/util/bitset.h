@@ -288,6 +288,24 @@ class BitSpan : public ConstBitSpan {
     for (std::size_t wi = 0; wi < W; ++wi) mut_[wi] = 0;
   }
 
+  /// Sets bits [lo, hi) word-wise (whole interior words in one store).
+  void set_run(std::size_t lo, std::size_t hi) {
+    assert(lo <= hi && hi <= nbits_);
+    if (lo >= hi) return;
+    const std::size_t wl = lo / kWordBits;
+    const std::size_t wh = (hi - 1) / kWordBits;
+    const Word first = ~Word{0} << (lo % kWordBits);
+    const Word last =
+        ~Word{0} >> (kWordBits - 1 - ((hi - 1) % kWordBits));
+    if (wl == wh) {
+      mut_[wl] |= first & last;
+      return;
+    }
+    mut_[wl] |= first;
+    for (std::size_t wi = wl + 1; wi < wh; ++wi) mut_[wi] = ~Word{0};
+    mut_[wh] |= last;
+  }
+
   /// Word-wise copy from an equal-sized source.
   void copy_from(ConstBitSpan src) {
     assert(src.size() == nbits_);

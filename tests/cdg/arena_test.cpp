@@ -21,13 +21,32 @@ TEST(NetworkArena, ShapeAndRegionSizes) {
   EXPECT_EQ(a.roles(), 6);
   EXPECT_EQ(a.domain_size(), 70);
   EXPECT_EQ(a.row_words(), 2u);
+  // Domain rows pad to a whole cache line; arc rows keep the natural
+  // stride.
+  EXPECT_EQ(a.aligned_row_words(), NetworkArena::kAlignWords);
   EXPECT_EQ(a.num_arcs(), 15u);  // 6*5/2
-  EXPECT_EQ(a.domains_bytes(), 6u * 2 * sizeof(NetworkArena::Word));
+  EXPECT_EQ(a.domains_bytes(),
+            6u * NetworkArena::kAlignWords * sizeof(NetworkArena::Word));
   EXPECT_EQ(a.arcs_bytes(), 15u * 70 * 2 * sizeof(NetworkArena::Word));
   EXPECT_EQ(a.counts_bytes(), 6u * 70 * 6 * sizeof(std::int32_t));
   EXPECT_GE(a.bytes(), a.domains_bytes() + a.arcs_bytes() + a.counts_bytes());
   EXPECT_EQ(a.allocations(), 1u);
   EXPECT_EQ(a.reinits(), 0u);
+}
+
+TEST(NetworkArena, AlignedRowsStartOnCacheLines) {
+  NetworkArena a(5, 70, /*mask_slots=*/3);
+  auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) %
+               NetworkArena::kRowAlignBytes ==
+           0;
+  };
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_TRUE(aligned(a.domain(r).words())) << "domain " << r;
+    EXPECT_TRUE(aligned(a.support_scratch(r).words())) << "scratch " << r;
+    for (std::size_t s = 0; s < a.mask_slots(); ++s)
+      EXPECT_TRUE(aligned(a.mask(s, r).words())) << "mask " << s << "," << r;
+  }
 }
 
 TEST(NetworkArena, ArcIndexIsRowMajorUpperTriangleBijection) {
