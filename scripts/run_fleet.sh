@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Bring up a local parse fleet, drive it with loadgen, drain it, and
+# analyze the per-shard observability artifacts.
+#
+#   scripts/run_fleet.sh [--shards N] [--requests R] [--qps Q]
+#                        [--backend NAME] [--build-dir DIR] [--out DIR]
+#
+# Topology: N parse_serverd shards on ephemeral loopback ports, one
+# parse_router hashing requests across them, one loadgen replaying the
+# deterministic corpus open-loop at Q qps with --ref-check (every Ok
+# response must be bit-identical to the in-process serial reference).
+# SIGTERM drains the fleet; each process flushes trace.json +
+# metrics.prom on the way down, and parsec_analyze ingests the whole
+# fleet's artifacts into one report.
+#
+# This script IS the walkthrough in docs/SERVING.md and the CI
+# fleet-smoke job — keep the three in lockstep.  Exit status is
+# loadgen's (nonzero on any failed request or bit-identity mismatch).
+set -euo pipefail
+
+SHARDS=4
+REQUESTS=200
+QPS=100
+BACKEND=maspar
+BUILD_DIR=build
+OUT=fleet-out
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --shards) SHARDS=$2; shift 2 ;;
+    --requests) REQUESTS=$2; shift 2 ;;
+    --qps) QPS=$2; shift 2 ;;
+    --backend) BACKEND=$2; shift 2 ;;
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    *) echo "usage: $0 [--shards N] [--requests R] [--qps Q]" \
+            "[--backend NAME] [--build-dir DIR] [--out DIR]" >&2; exit 2 ;;
+  esac
+done
+
+BIN="$BUILD_DIR/src"
+mkdir -p "$OUT"
+PIDS=()
+
+cleanup() {
+  # Drain everything still running (TERM = graceful: finish in-flight,
+  # flush artifacts), then wait so the artifacts are complete.
+  for pid in "${PIDS[@]:-}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_for_port() {  # $1 = logfile; echoes the bound port
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$1")
+    if [[ -n "$port" ]]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "timed out waiting for $1" >&2
+  return 1
+}
+
+# 1. Shards: one parse_serverd per shard, ephemeral ports, per-shard
+#    trace/metrics artifacts.
+SHARD_ARGS=()
+ANALYZE_ARGS=()
+for i in $(seq 0 $((SHARDS - 1))); do
+  "$BIN/parse_serverd" --shard-id "$i" \
+    --trace-out "$OUT/shard_${i}_trace.json" \
+    --metrics-out "$OUT/shard_${i}_metrics.prom" \
+    > "$OUT/shard_${i}.log" 2>&1 &
+  PIDS+=($!)
+done
+for i in $(seq 0 $((SHARDS - 1))); do
+  port=$(wait_for_port "$OUT/shard_${i}.log")
+  SHARD_ARGS+=(--shard "127.0.0.1:$port")
+  ANALYZE_ARGS+=(--trace "$OUT/shard_${i}_trace.json"
+                 --metrics "$OUT/shard_${i}_metrics.prom")
+  echo "shard $i: 127.0.0.1:$port"
+done
+
+# 2. Router in front of them.
+"$BIN/parse_router" "${SHARD_ARGS[@]}" \
+  --trace-out "$OUT/router_trace.json" \
+  --metrics-out "$OUT/router_metrics.prom" \
+  > "$OUT/router.log" 2>&1 &
+PIDS+=($!)
+ROUTER_PORT=$(wait_for_port "$OUT/router.log")
+echo "router: 127.0.0.1:$ROUTER_PORT"
+
+# 3. Load: open-loop replay with the fleet bit-identity gate.
+rc=0
+"$BIN/loadgen" --connect "127.0.0.1:$ROUTER_PORT" \
+  --requests "$REQUESTS" --qps "$QPS" --backend "$BACKEND" \
+  --ref-check --json "$OUT/BENCH_fleet.json" || rc=$?
+
+# 4. Graceful drain (flushes every artifact), then analyze the fleet.
+cleanup
+trap - EXIT
+PIDS=()
+
+"$BIN/parsec_analyze" "${ANALYZE_ARGS[@]}" \
+  --trace "$OUT/router_trace.json" --metrics "$OUT/router_metrics.prom" \
+  --report-md "$OUT/FLEET_report.md"
+
+echo
+echo "fleet artifacts in $OUT/ (BENCH_fleet.json, FLEET_report.md," \
+     "per-shard trace/metrics)"
+exit "$rc"

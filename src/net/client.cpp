@@ -1,0 +1,66 @@
+#include "net/client.h"
+
+namespace parsec::net {
+
+std::optional<Client> Client::connect(const std::string& host,
+                                      std::uint16_t port, std::string* err) {
+  Socket s = tcp_connect(host, port, err);
+  if (!s.valid()) return std::nullopt;
+  return Client(std::move(s));
+}
+
+bool Client::request(const WireRequest& req, WireResponse& resp,
+                     std::string* err) {
+  buf_.clear();
+  encode_request(req, buf_);
+  if (!write_frame(sock_, buf_, err)) return false;
+  Frame frame;
+  DecodeStatus status;
+  if (!read_frame(sock_, frame, &status, err)) return false;
+  if (frame.header.type != FrameType::ParseResponse) {
+    if (err) *err = "unexpected frame type";
+    return false;
+  }
+  const DecodeStatus ds =
+      decode_response(frame.payload.data(), frame.payload.size(), resp);
+  if (ds != DecodeStatus::Ok) {
+    if (err) *err = std::string("response ") + to_string(ds);
+    return false;
+  }
+  return true;
+}
+
+bool Client::ping(int timeout_ms, std::string* err) {
+  buf_.clear();
+  encode_control(FrameType::Ping, buf_);
+  if (!write_frame(sock_, buf_, err)) return false;
+  if (!poll_readable(sock_, timeout_ms)) {
+    if (err) *err = "ping timeout";
+    return false;
+  }
+  Frame frame;
+  DecodeStatus status;
+  if (!read_frame(sock_, frame, &status, err)) return false;
+  if (frame.header.type != FrameType::Pong) {
+    if (err) *err = "expected pong";
+    return false;
+  }
+  return true;
+}
+
+bool parse_addr(const std::string& s, std::string& host, std::uint16_t& port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size())
+    return false;
+  host = s.substr(0, colon);
+  try {
+    const int p = std::stoi(s.substr(colon + 1));
+    if (p <= 0 || p > 0xffff) return false;
+    port = static_cast<std::uint16_t>(p);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace parsec::net

@@ -1,0 +1,44 @@
+// Blocking wire-protocol client (one request in flight per connection).
+//
+// Used by parsec_loadgen, the router's shard legs, the health prober,
+// and the loopback tests.  The protocol is strictly request/response
+// per connection — no pipelining — so a Client is just a Socket plus
+// the encode/decode plumbing.  Not thread-safe; one Client per thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace parsec::net {
+
+class Client {
+ public:
+  /// Connects to `host`:`port`.  nullopt + `err` on failure.
+  static std::optional<Client> connect(const std::string& host,
+                                       std::uint16_t port, std::string* err);
+
+  /// Sends `req` and blocks for the response.  False on any transport
+  /// or protocol failure (the connection is unusable afterwards —
+  /// reconnect).
+  bool request(const WireRequest& req, WireResponse& resp, std::string* err);
+
+  /// Health probe: Ping, expect Pong within `timeout_ms`.
+  bool ping(int timeout_ms, std::string* err);
+
+  bool valid() const { return sock_.valid(); }
+
+ private:
+  explicit Client(Socket s) : sock_(std::move(s)) {}
+
+  Socket sock_;
+  std::vector<std::uint8_t> buf_;  // reused encode buffer
+};
+
+/// Parses "host:port" (numeric IPv4).  False on malformed input.
+bool parse_addr(const std::string& s, std::string& host, std::uint16_t& port);
+
+}  // namespace parsec::net

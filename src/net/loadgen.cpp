@@ -1,0 +1,343 @@
+// loadgen: open-loop wire-protocol load generator (docs/SERVING.md).
+//
+//   loadgen --connect HOST:PORT [--requests N] [--qps Q]
+//           [--connections C] [--lo L] [--hi H] [--seed S]
+//           [--grammar NAME] [--backend NAME] [--deadline-ms D]
+//           [--domains] [--ref-check] [--allow-errors] [--json PATH]
+//
+// Replays a deterministic English corpus (SentenceGenerator, lengths
+// cycling L..H) against a server or router.  With --qps the schedule is
+// OPEN-LOOP: request i's send time is start + i/qps regardless of how
+// fast responses come back, and latency is measured from the
+// *scheduled* send time — a stalled server surfaces as queueing delay
+// instead of silently slowing the offered load (coordinated-omission
+// correction).  --qps 0 (default) is closed-loop: each connection sends
+// as fast as responses return.
+//
+// --ref-check parses the same corpus in-process with the serial
+// reference parser and requires every Ok response's domains_hash to
+// match — the fleet-level bit-identity gate.  Exit status: 0 when every
+// request succeeded (and every hash matched), 1 otherwise;
+// --allow-errors downgrades transport/status failures (but never hash
+// mismatches) to reporting.
+//
+// --json writes BENCH_fleet.json: goodput, latency percentiles, error
+// mix, per-shard request counts and skew (max/mean over shards seen).
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdg/parser.h"
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+#include "net/client.h"
+#include "parsec/backend.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace parsec;
+
+struct Config {
+  std::string host;
+  std::uint16_t port = 0;
+  int requests = 200;
+  double qps = 0.0;  // 0 = closed loop
+  int connections = 4;
+  int lo = 6, hi = 14;
+  std::uint64_t seed = 19920801;
+  std::string grammar = "english";
+  engine::Backend backend = engine::Backend::Maspar;
+  std::uint32_t deadline_ms = 0;
+  bool domains = false;
+  bool ref_check = false;
+  bool allow_errors = false;
+  std::string json_path;
+};
+
+struct Outcome {
+  double latency_ms = 0.0;
+  int shard = -1;              // response shard byte (-1 = unset)
+  std::string status;          // RequestStatus name or "transport"
+  bool ok = false;
+  bool hash_mismatch = false;
+};
+
+int usage() {
+  std::cerr << "usage: loadgen --connect HOST:PORT [--requests N]"
+               " [--qps Q] [--connections C] [--lo L] [--hi H]"
+               " [--seed S] [--grammar NAME] [--backend NAME]"
+               " [--deadline-ms D] [--domains] [--ref-check]"
+               " [--allow-errors] [--json PATH]\n";
+  return 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  bool have_target = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value");
+        return argv[++i];
+      };
+      if (arg == "--connect") {
+        if (!net::parse_addr(next(), cfg.host, cfg.port)) {
+          std::cerr << "loadgen: bad --connect address\n";
+          return 2;
+        }
+        have_target = true;
+      } else if (arg == "--requests")
+        cfg.requests = std::stoi(next());
+      else if (arg == "--qps")
+        cfg.qps = std::stod(next());
+      else if (arg == "--connections")
+        cfg.connections = std::stoi(next());
+      else if (arg == "--lo")
+        cfg.lo = std::stoi(next());
+      else if (arg == "--hi")
+        cfg.hi = std::stoi(next());
+      else if (arg == "--seed")
+        cfg.seed = std::stoull(next());
+      else if (arg == "--grammar")
+        cfg.grammar = next();
+      else if (arg == "--backend") {
+        auto b = engine::backend_from_name(next());
+        if (!b) {
+          std::cerr << "loadgen: unknown backend\n";
+          return 2;
+        }
+        cfg.backend = *b;
+      } else if (arg == "--deadline-ms")
+        cfg.deadline_ms = static_cast<std::uint32_t>(std::stoul(next()));
+      else if (arg == "--domains")
+        cfg.domains = true;
+      else if (arg == "--ref-check")
+        cfg.ref_check = true;
+      else if (arg == "--allow-errors")
+        cfg.allow_errors = true;
+      else if (arg == "--json")
+        cfg.json_path = next();
+      else
+        return usage();
+    }
+  } catch (const std::exception&) {
+    return usage();
+  }
+  if (!have_target || cfg.requests <= 0 || cfg.connections <= 0 ||
+      cfg.lo < 2 || cfg.hi < cfg.lo)
+    return usage();
+
+  // Deterministic corpus: the same (--seed, --lo, --hi, --requests)
+  // always replays the same sentences, so runs are comparable and the
+  // ref-check is exact.
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, cfg.seed);
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(static_cast<std::size_t>(cfg.requests));
+  for (int i = 0; i < cfg.requests; ++i)
+    corpus.push_back(gen.generate(cfg.lo + i % (cfg.hi - cfg.lo + 1)));
+
+  std::vector<std::uint64_t> reference;
+  if (cfg.ref_check) {
+    cdg::SequentialParser seq(bundle.grammar);
+    reference.reserve(corpus.size());
+    for (const auto& words : corpus) {
+      cdg::Network net = seq.make_network(bundle.lexicon.tag(words));
+      seq.parse(net);
+      std::vector<util::DynBitset> domains;
+      for (int r = 0; r < net.num_roles(); ++r)
+        domains.emplace_back(net.domain(r));
+      reference.push_back(engine::hash_domains(domains));
+    }
+  }
+
+  const int nconn = std::min(cfg.connections, cfg.requests);
+  std::vector<std::vector<Outcome>> per_worker(
+      static_cast<std::size_t>(nconn));
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (int w = 0; w < nconn; ++w) {
+    workers.emplace_back([&, w] {
+      auto& out = per_worker[static_cast<std::size_t>(w)];
+      std::string err;
+      std::optional<net::Client> client =
+          net::Client::connect(cfg.host, cfg.port, &err);
+      // Requests are striped round-robin so every worker's schedule
+      // interleaves across the whole run.
+      for (int i = w; i < cfg.requests; i += nconn) {
+        if (cfg.qps > 0.0) {
+          const auto sched =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(i) / cfg.qps));
+          std::this_thread::sleep_until(sched);
+        }
+        // Latency clock starts at the scheduled time: if the previous
+        // request overran its slot, the overrun is charged here.
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto sched_t0 =
+            cfg.qps > 0.0
+                ? start + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  static_cast<double>(i) / cfg.qps))
+                : t0;
+
+        Outcome o;
+        if (!client || !client->valid()) {
+          client = net::Client::connect(cfg.host, cfg.port, &err);
+          if (!client) {
+            o.status = "transport";
+            out.push_back(o);
+            continue;
+          }
+        }
+        net::WireRequest req;
+        req.grammar = cfg.grammar;
+        req.backend = cfg.backend;
+        req.deadline_ms = cfg.deadline_ms;
+        req.flags = cfg.domains ? net::kFlagCaptureDomains : 0;
+        req.words = corpus[static_cast<std::size_t>(i)];
+
+        net::WireResponse resp;
+        if (!client->request(req, resp, &err)) {
+          o.status = "transport";
+          client.reset();  // reconnect on the next request
+          out.push_back(o);
+          continue;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        o.latency_ms =
+            std::chrono::duration<double, std::milli>(t1 - sched_t0).count();
+        o.status = serve::to_string(resp.status);
+        o.ok = resp.status == serve::RequestStatus::Ok;
+        o.shard =
+            resp.shard == net::kShardUnset ? -1 : static_cast<int>(resp.shard);
+        if (o.ok && cfg.ref_check &&
+            resp.domains_hash != reference[static_cast<std::size_t>(i)])
+          o.hash_mismatch = true;
+        out.push_back(o);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Aggregate.
+  util::Quantiles lat;
+  std::map<std::string, std::uint64_t> error_mix;
+  std::map<int, std::uint64_t> per_shard;
+  std::uint64_t ok = 0, transport = 0, mismatches = 0;
+  for (const auto& outs : per_worker) {
+    for (const auto& o : outs) {
+      if (o.ok) {
+        ++ok;
+        lat.add(o.latency_ms);
+      } else if (o.status == "transport") {
+        ++transport;
+        ++error_mix[o.status];
+      } else {
+        ++error_mix[o.status];
+      }
+      if (o.shard >= 0) ++per_shard[o.shard];
+      if (o.hash_mismatch) ++mismatches;
+    }
+  }
+  const std::uint64_t failed =
+      static_cast<std::uint64_t>(cfg.requests) - ok;
+
+  // Per-shard skew: max/mean of request counts over the shards seen.
+  double skew = 0.0;
+  if (!per_shard.empty()) {
+    std::uint64_t total = 0, mx = 0;
+    for (const auto& [shard, n] : per_shard) {
+      total += n;
+      mx = std::max(mx, n);
+    }
+    skew = static_cast<double>(mx) * static_cast<double>(per_shard.size()) /
+           static_cast<double>(total);
+  }
+
+  std::cout << "loadgen: " << ok << "/" << cfg.requests << " ok in " << wall
+            << "s (goodput " << (wall > 0 ? static_cast<double>(ok) / wall : 0)
+            << " req/s); p50 " << lat.p50() << " ms, p95 " << lat.p95()
+            << " ms, p99 " << lat.p99() << " ms\n";
+  for (const auto& [status, n] : error_mix)
+    std::cout << "  " << status << ": " << n << "\n";
+  if (!per_shard.empty()) {
+    std::cout << "  per-shard:";
+    for (const auto& [shard, n] : per_shard)
+      std::cout << " s" << shard << "=" << n;
+    std::cout << " (skew " << skew << ")\n";
+  }
+  if (cfg.ref_check)
+    std::cout << "  ref-check: " << mismatches << " mismatches\n";
+
+  if (!cfg.json_path.empty()) {
+    std::ofstream j(cfg.json_path);
+    j << "{\n"
+      << "  \"bench\": \"fleet\",\n"
+      << "  \"target\": \"" << json_escape(cfg.host) << ":" << cfg.port
+      << "\",\n"
+      << "  \"requests\": " << cfg.requests << ",\n"
+      << "  \"connections\": " << nconn << ",\n"
+      << "  \"qps_target\": " << cfg.qps << ",\n"
+      << "  \"open_loop\": " << (cfg.qps > 0.0 ? "true" : "false") << ",\n"
+      << "  \"wall_seconds\": " << wall << ",\n"
+      << "  \"ok\": " << ok << ",\n"
+      << "  \"failed\": " << failed << ",\n"
+      << "  \"goodput_rps\": "
+      << (wall > 0 ? static_cast<double>(ok) / wall : 0) << ",\n"
+      << "  \"latency_ms\": {\"p50\": " << lat.p50()
+      << ", \"p95\": " << lat.p95() << ", \"p99\": " << lat.p99()
+      << ", \"count\": " << lat.count() << "},\n";
+    j << "  \"error_mix\": {";
+    bool first = true;
+    for (const auto& [status, n] : error_mix) {
+      j << (first ? "" : ", ") << "\"" << json_escape(status) << "\": " << n;
+      first = false;
+    }
+    j << "},\n";
+    j << "  \"per_shard\": {";
+    first = true;
+    for (const auto& [shard, n] : per_shard) {
+      j << (first ? "" : ", ") << "\"" << shard << "\": " << n;
+      first = false;
+    }
+    j << "},\n";
+    j << "  \"shard_skew\": " << skew << ",\n"
+      << "  \"ref_check\": " << (cfg.ref_check ? "true" : "false") << ",\n"
+      << "  \"ref_mismatches\": " << mismatches << "\n"
+      << "}\n";
+  }
+
+  if (mismatches > 0) return 1;  // bit-identity failures are never ok
+  if (failed > 0 && !cfg.allow_errors) return 1;
+  return 0;
+}

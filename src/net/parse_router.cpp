@@ -1,0 +1,124 @@
+// parse_router: fleet front door — hashes wire requests across N
+// parse_serverd shards with health probes and failover
+// (docs/SERVING.md).
+//
+//   parse_router --shard HOST:PORT [--shard HOST:PORT]... [--port P]
+//                [--route-by tenant|sentence] [--probe-interval-ms N]
+//                [--trace-out PATH] [--metrics-out PATH]
+//
+// Prints "listening on 127.0.0.1:<port>" once ready (parsed by
+// scripts/run_fleet.sh).  SIGTERM/SIGINT drain: stop accepting, finish
+// in-flight forwards, flush artifacts, exit 0.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::cerr << "usage: parse_router --shard HOST:PORT [--shard HOST:PORT]..."
+               " [--port P] [--route-by tenant|sentence]"
+               " [--probe-interval-ms N] [--trace-out PATH]"
+               " [--metrics-out PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parsec;
+
+  std::vector<net::ShardAddr> shards;
+  net::ParseRouter::Options opt;
+  std::string trace_path, metrics_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value");
+        return argv[++i];
+      };
+      if (arg == "--shard") {
+        net::ShardAddr addr;
+        if (!net::parse_addr(next(), addr.host, addr.port)) {
+          std::cerr << "parse_router: bad --shard address\n";
+          return 2;
+        }
+        shards.push_back(std::move(addr));
+      } else if (arg == "--port")
+        opt.port = static_cast<std::uint16_t>(std::stoi(next()));
+      else if (arg == "--route-by") {
+        const std::string by = next();
+        if (by == "tenant")
+          opt.route_by = net::RouteBy::Tenant;
+        else if (by == "sentence")
+          opt.route_by = net::RouteBy::Sentence;
+        else
+          return usage();
+      } else if (arg == "--probe-interval-ms")
+        opt.probe_interval = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--trace-out")
+        trace_path = next();
+      else if (arg == "--metrics-out")
+        metrics_path = next();
+      else
+        return usage();
+    }
+  } catch (const std::exception&) {
+    return usage();
+  }
+  if (shards.empty()) return usage();
+
+  std::optional<obs::TraceSession> session;
+  if (!trace_path.empty()) session.emplace();
+
+  std::unique_ptr<net::ParseRouter> router;
+  try {
+    router = std::make_unique<net::ParseRouter>(std::move(shards), opt);
+  } catch (const std::exception& e) {
+    std::cerr << "parse_router: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::cout << "listening on 127.0.0.1:" << router->port() << std::endl;
+
+  while (!g_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::cout << "draining" << std::endl;
+  router->drain();
+  const auto stats = router->stats();
+
+  if (!metrics_path.empty()) {
+    std::ofstream m(metrics_path);
+    m << obs::Registry::global().scrape();
+  }
+  if (session) {
+    std::ofstream t(trace_path);
+    session->write_chrome_trace(t);
+  }
+
+  std::cout << "routed " << stats.forwarded << "/" << stats.requests
+            << " requests (" << stats.failovers << " failovers, "
+            << stats.unroutable << " unroutable); per-shard:";
+  for (std::size_t i = 0; i < stats.per_shard.size(); ++i)
+    std::cout << " " << stats.per_shard[i];
+  std::cout << std::endl;
+  return 0;
+}

@@ -1,0 +1,178 @@
+// parse_serverd: one fleet shard — a ParseService behind the wire
+// protocol (docs/SERVING.md).
+//
+//   parse_serverd [--port P] [--shard-id N] [--threads T]
+//                 [--grammar NAME=PATH]... [--max-connections N]
+//                 [--cache] [--shed-load] [--fault-plan PATH]
+//                 [--trace-out PATH] [--metrics-out PATH]
+//
+// Binds 127.0.0.1:P (P=0 → ephemeral) and prints exactly one line
+//
+//     listening on 127.0.0.1:<port>
+//
+// to stdout once ready — scripts/run_fleet.sh parses it.  The built-in
+// "english" grammar is always published; --grammar adds .cdg files on
+// top.  SIGTERM/SIGINT trigger the drain contract: stop accepting,
+// finish in-flight requests, then flush trace.json / metrics.prom and
+// exit 0.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "grammars/english_grammar.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "resil/fault_plan.h"
+#include "serve/grammar_registry.h"
+#include "serve/parse_service.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::cerr << "usage: parse_serverd [--port P] [--shard-id N]"
+               " [--threads T] [--grammar NAME=PATH]..."
+               " [--max-connections N] [--cache] [--shed-load]"
+               " [--fault-plan PATH] [--trace-out PATH]"
+               " [--metrics-out PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parsec;
+
+  std::uint16_t port = 0;
+  int shard_id = -1;
+  int threads = 0;
+  std::size_t max_connections = 64;
+  bool cache = false;
+  bool shed_load = false;
+  std::vector<std::pair<std::string, std::string>> grammar_files;
+  std::string fault_plan_path, trace_path, metrics_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value");
+        return argv[++i];
+      };
+      if (arg == "--port")
+        port = static_cast<std::uint16_t>(std::stoi(next()));
+      else if (arg == "--shard-id")
+        shard_id = std::stoi(next());
+      else if (arg == "--threads")
+        threads = std::stoi(next());
+      else if (arg == "--max-connections")
+        max_connections = std::stoul(next());
+      else if (arg == "--cache")
+        cache = true;
+      else if (arg == "--shed-load")
+        shed_load = true;
+      else if (arg == "--grammar") {
+        const std::string spec = next();
+        const std::size_t eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size())
+          return usage();
+        grammar_files.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+      } else if (arg == "--fault-plan")
+        fault_plan_path = next();
+      else if (arg == "--trace-out")
+        trace_path = next();
+      else if (arg == "--metrics-out")
+        metrics_path = next();
+      else
+        return usage();
+    }
+  } catch (const std::exception&) {
+    return usage();
+  }
+
+  // Seeded chaos (docs/ROBUSTNESS.md): arms serve.* and net.* sites for
+  // the whole process lifetime.
+  std::optional<resil::FaultPlan> fault_plan;
+  std::unique_ptr<resil::ScopedFaultPlan> fault_scope;
+  if (!fault_plan_path.empty()) {
+    try {
+      fault_plan = resil::FaultPlan::load(fault_plan_path);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "parse_serverd: " << e.what() << "\n";
+      return 2;
+    }
+    fault_scope = std::make_unique<resil::ScopedFaultPlan>(*fault_plan);
+  }
+
+  // The session must outlive every span, and every span must finish
+  // before write_chrome_trace — drain() guarantees the latter.
+  std::optional<obs::TraceSession> session;
+  if (!trace_path.empty()) session.emplace();
+
+  serve::GrammarRegistry registry;
+  registry.publish("english", grammars::make_english_grammar());
+  for (const auto& [name, path] : grammar_files) {
+    try {
+      registry.load_file(name, path);
+    } catch (const std::exception& e) {
+      std::cerr << "parse_serverd: --grammar " << name << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+  }
+
+  serve::ParseService::Options sopt;
+  sopt.threads = threads;
+  sopt.default_grammar = "english";
+  sopt.enable_result_cache = cache;
+  sopt.shed_load = shed_load;
+  serve::ParseService service(registry, sopt);
+
+  net::ParseServer::Options nopt;
+  nopt.port = port;
+  nopt.shard_id = shard_id;
+  nopt.max_connections = max_connections;
+  std::unique_ptr<net::ParseServer> server;
+  try {
+    server = std::make_unique<net::ParseServer>(service, nopt);
+  } catch (const std::exception& e) {
+    std::cerr << "parse_serverd: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::cout << "listening on 127.0.0.1:" << server->port() << std::endl;
+
+  while (!g_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::cout << "draining" << std::endl;
+  server->drain();
+  const auto stats = server->stats();
+  service.shutdown();
+
+  if (!metrics_path.empty()) {
+    std::ofstream m(metrics_path);
+    m << obs::Registry::global().scrape();
+  }
+  if (session) {
+    std::ofstream t(trace_path);
+    session->write_chrome_trace(t);
+  }
+
+  std::cout << "served " << stats.requests << " requests (" << stats.ok
+            << " ok, " << stats.frame_errors << " frame errors, "
+            << stats.injected_faults << " injected faults) over "
+            << stats.connections << " connections; drain took "
+            << stats.drain_seconds << "s" << std::endl;
+  return 0;
+}

@@ -1,0 +1,258 @@
+#include "net/router.h"
+
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace parsec::net {
+
+ParseRouter::ParseRouter(std::vector<ShardAddr> shards, Options opt)
+    : opt_(opt) {
+  if (shards.empty())
+    throw std::runtime_error("ParseRouter: no shards configured");
+  obs::Registry& reg = *opt_.metrics;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->addr = std::move(shards[i]);
+    sh->m_forwards =
+        &reg.counter("parsec_net_router_requests_total",
+                     "Requests forwarded, by shard index",
+                     {{"shard", std::to_string(i)}});
+    sh->m_up = &reg.gauge("parsec_net_shard_up",
+                          "1 when the shard answers probes, else 0",
+                          {{"shard", std::to_string(i)}});
+    sh->m_up->set(1.0);
+    shards_.push_back(std::move(sh));
+  }
+  m_requests_ = &reg.counter("parsec_net_router_clients_total",
+                             "Client requests read by the router");
+  m_failovers_ =
+      &reg.counter("parsec_net_router_failovers_total",
+                   "Requests rerouted after a shard failure");
+  m_unroutable_ =
+      &reg.counter("parsec_net_router_unroutable_total",
+                   "Requests refused because no shard was healthy");
+
+  std::string err;
+  listener_ = tcp_listen(opt_.port, /*backlog=*/64, &err);
+  if (!listener_.valid()) throw std::runtime_error("ParseRouter: " + err);
+  port_ = local_port(listener_);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  probe_thread_ = std::thread([this] { probe_loop(); });
+}
+
+ParseRouter::~ParseRouter() { drain(); }
+
+void ParseRouter::drain() {
+  std::call_once(drain_once_, [this] {
+    drain_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (probe_thread_.joinable()) probe_thread_.join();
+    listener_.close();
+    reap_finished(/*join_all=*/true);
+  });
+}
+
+ParseRouter::Stats ParseRouter::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.forwarded = forwarded_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.unroutable = unroutable_.load(std::memory_order_relaxed);
+  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  for (const auto& sh : shards_) {
+    s.per_shard.push_back(sh->forwards.load(std::memory_order_relaxed));
+    s.shard_up.push_back(sh->up.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+int ParseRouter::route(const WireRequest& req) const {
+  const std::uint64_t key =
+      route_hash(req, opt_.route_by == RouteBy::Sentence);
+  const std::size_t n = shards_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (key + step) % n;
+    if (shards_[idx]->up.load(std::memory_order_acquire))
+      return static_cast<int>(idx);
+  }
+  return -1;
+}
+
+void ParseRouter::reap_finished(bool join_all) {
+  std::list<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : finished)
+    if (c->thread.joinable()) c->thread.join();
+}
+
+void ParseRouter::accept_loop() {
+  while (!drain_.load(std::memory_order_acquire)) {
+    reap_finished(/*join_all=*/false);
+    if (!poll_readable(listener_, opt_.poll_interval_ms)) continue;
+    std::string err;
+    Socket sock = tcp_accept(listener_, &err);
+    if (!sock.valid()) continue;
+    if (active_conns_.load(std::memory_order_relaxed) >=
+        opt_.max_connections)
+      continue;  // refuse: Socket closes on scope exit
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void ParseRouter::probe_loop() {
+  // Persistent probe legs, one per shard, reconnected lazily after a
+  // failure.  A down shard is promoted the moment it answers a Ping —
+  // no cooldown: the prober *is* the half-open probe.
+  std::vector<std::optional<Client>> legs(shards_.size());
+  while (!drain_.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& sh = *shards_[i];
+      std::string err;
+      if (!legs[i] || !legs[i]->valid())
+        legs[i] = Client::connect(sh.addr.host, sh.addr.port, &err);
+      bool up = false;
+      if (legs[i] && legs[i]->valid()) {
+        up = legs[i]->ping(opt_.probe_timeout_ms, &err);
+        if (!up) legs[i].reset();  // reconnect next round
+      }
+      sh.up.store(up, std::memory_order_release);
+      sh.m_up->set(up ? 1.0 : 0.0);
+    }
+    // Interruptible interval sleep (drain must not wait a full period).
+    auto remaining = opt_.probe_interval;
+    while (remaining.count() > 0 &&
+           !drain_.load(std::memory_order_acquire)) {
+      const auto chunk = std::min<std::chrono::milliseconds>(
+          remaining, std::chrono::milliseconds(50));
+      std::this_thread::sleep_for(chunk);
+      remaining -= chunk;
+    }
+  }
+}
+
+void ParseRouter::handle_connection(Conn* conn) {
+  Socket& sock = conn->sock;
+  // Per-connection shard legs: lazily connected, reused across
+  // requests, reconnected after a failure.
+  std::vector<std::optional<Client>> legs(shards_.size());
+  while (!drain_.load(std::memory_order_acquire)) {
+    if (!poll_readable(sock, opt_.poll_interval_ms)) continue;
+    Frame frame;
+    DecodeStatus status;
+    std::string err;
+    if (!read_frame(sock, frame, &status, &err)) {
+      if (err != "eof")
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (frame.header.type == FrameType::Ping) {
+      std::vector<std::uint8_t> pong;
+      encode_control(FrameType::Pong, pong);
+      if (!write_frame(sock, pong, &err)) break;
+      continue;
+    }
+    if (frame.header.type != FrameType::ParseRequest) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    m_requests_->inc();
+
+    WireRequest req;
+    const DecodeStatus ds =
+        decode_request(frame.payload.data(), frame.payload.size(), req);
+    std::vector<std::uint8_t> reply;
+    if (ds != DecodeStatus::Ok) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      WireResponse bad;
+      bad.status = serve::RequestStatus::BadRequest;
+      bad.error = std::string("malformed request frame: ") + to_string(ds);
+      encode_response(bad, reply);
+      write_frame(sock, reply, &err);
+      break;
+    }
+
+    {
+      obs::Span span("router.route", "net");
+      const int shard = forward(req, legs, reply);
+      span.arg("shard", static_cast<std::int64_t>(shard));
+      span.arg("n", static_cast<std::int64_t>(req.words.size()));
+    }
+    if (!write_frame(sock, reply, &err)) break;
+  }
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+int ParseRouter::forward(const WireRequest& req,
+                         std::vector<std::optional<Client>>& legs,
+                         std::vector<std::uint8_t>& reply) {
+  reply.clear();
+  const std::uint64_t key =
+      route_hash(req, opt_.route_by == RouteBy::Sentence);
+  const std::size_t n = shards_.size();
+  bool rerouted = false;
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (key + step) % n;
+    Shard& sh = *shards_[idx];
+    if (!sh.up.load(std::memory_order_acquire)) continue;
+    // One reconnect attempt per shard: a stale leg (shard restarted,
+    // idle timeout) should not trigger failover by itself.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      std::string err;
+      if (!legs[idx] || !legs[idx]->valid()) {
+        legs[idx] = Client::connect(sh.addr.host, sh.addr.port, &err);
+        if (!legs[idx]) break;  // connect refused: shard is down
+      }
+      WireResponse wresp;
+      if (legs[idx]->request(req, wresp, &err)) {
+        sh.forwards.fetch_add(1, std::memory_order_relaxed);
+        sh.m_forwards->inc();
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        if (rerouted) {
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          m_failovers_->inc();
+        }
+        encode_response(wresp, reply);
+        return static_cast<int>(idx);
+      }
+      legs[idx].reset();  // dead leg; maybe reconnect (attempt 2)
+    }
+    // Both attempts failed: demote the shard inline (the prober will
+    // promote it back when it answers pings again) and fail over.
+    sh.up.store(false, std::memory_order_release);
+    sh.m_up->set(0.0);
+    rerouted = true;
+  }
+  unroutable_.fetch_add(1, std::memory_order_relaxed);
+  m_unroutable_->inc();
+  WireResponse none;
+  none.status = serve::RequestStatus::Faulted;
+  none.error = "router: no healthy shard";
+  encode_response(none, reply);
+  return -1;
+}
+
+}  // namespace parsec::net

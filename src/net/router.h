@@ -1,0 +1,150 @@
+// Fleet router: hashes requests across N shard servers with health
+// probes and failover.
+//
+// The MasPar ACU/PE split, process-ified: the router owns request
+// distribution (the broadcast role), the shards own the parsing.
+// Routing is a pure hash of the request's identity —
+//
+//   RouteBy::Tenant    hash(tenant)            every tenant sticks to
+//                                              one shard (cache and
+//                                              scratch-pool affinity);
+//   RouteBy::Sentence  hash(tenant, words)     a single hot tenant
+//                                              spreads across the
+//                                              fleet (the default:
+//                                              this repo serves few
+//                                              grammars to many users)
+//
+// — mapped onto the first *healthy* shard by linear probing from
+// hash % N.  Health is a background prober (Ping/Pong per shard every
+// probe_interval) plus inline demotion: a shard that fails a forward
+// is marked down immediately and the request retries on the next
+// healthy shard.  Because every shard serves the same grammars and
+// every backend reaches the same fixpoint, failover changes *where* a
+// request parses, never *what* it answers — the same bit-identity
+// argument as the serve layer's Serial fallback (docs/ROBUSTNESS.md),
+// one level up.
+//
+// Requests that exhaust every shard answer Faulted with a router error
+// ("no healthy shard"), keeping the failure taxonomy closed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace parsec::net {
+
+struct ShardAddr {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+enum class RouteBy : std::uint8_t { Tenant, Sentence };
+
+class ParseRouter {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0 = ephemeral
+    RouteBy route_by = RouteBy::Sentence;
+    std::chrono::milliseconds probe_interval{200};
+    /// Ping reply budget before a probe counts as failed.
+    int probe_timeout_ms = 1000;
+    std::size_t max_connections = 64;
+    int poll_interval_ms = 100;
+    obs::Registry* metrics = &obs::Registry::global();
+  };
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t forwarded = 0;   // reached some shard
+    std::uint64_t failovers = 0;   // rerouted after a shard failure
+    std::uint64_t unroutable = 0;  // no healthy shard left
+    std::uint64_t frame_errors = 0;
+    std::vector<std::uint64_t> per_shard;  // forwards per shard index
+    std::vector<bool> shard_up;
+  };
+
+  /// Binds and starts accepting + probing.  Throws std::runtime_error
+  /// when the port cannot be bound.  Needs at least one shard.
+  ParseRouter(std::vector<ShardAddr> shards, Options opt);
+  ~ParseRouter();
+
+  ParseRouter(const ParseRouter&) = delete;
+  ParseRouter& operator=(const ParseRouter&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, finish in-flight forwards, join all threads.
+  void drain();
+
+  Stats stats() const;
+
+  /// Shard the router would pick for `req` right now (test hook;
+  /// considers current health).  -1 when no shard is healthy.
+  int route(const WireRequest& req) const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  struct Shard {
+    ShardAddr addr;
+    std::atomic<bool> up{true};  // optimistic until a probe says no
+    std::atomic<std::uint64_t> forwards{0};
+    obs::Counter* m_forwards = nullptr;
+    obs::Gauge* m_up = nullptr;
+  };
+
+  void accept_loop();
+  void probe_loop();
+  void handle_connection(Conn* conn);
+  /// Forwards one decoded request over this connection's shard legs;
+  /// fills `reply` with the response frame to relay.  Returns the
+  /// shard index used, or -1 (reply then holds a synthesized
+  /// router-error response).
+  int forward(const WireRequest& req,
+              std::vector<std::optional<Client>>& legs,
+              std::vector<std::uint8_t>& reply);
+  void reap_finished(bool join_all);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Options opt_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> drain_{false};
+  std::once_flag drain_once_;
+  std::thread accept_thread_;
+  std::thread probe_thread_;
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  std::atomic<std::size_t> active_conns_{0};
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> unroutable_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+
+  obs::Counter* m_requests_;
+  obs::Counter* m_failovers_;
+  obs::Counter* m_unroutable_;
+};
+
+}  // namespace parsec::net

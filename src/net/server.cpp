@@ -1,0 +1,283 @@
+#include "net/server.h"
+
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace parsec::net {
+
+namespace {
+
+/// Latency buckets for parsec_net_request_seconds (sub-ms parses up to
+/// multi-second deadline-bound requests).
+std::vector<double> request_bounds() {
+  return {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+          0.025,  0.05,    0.1,    0.25,  0.5,    1.0,   2.5};
+}
+
+}  // namespace
+
+ParseServer::ParseServer(serve::ParseService& service, Options opt)
+    : service_(service), opt_(opt) {
+  std::string err;
+  listener_ = tcp_listen(opt_.port, /*backlog=*/64, &err);
+  if (!listener_.valid())
+    throw std::runtime_error("ParseServer: " + err);
+  port_ = local_port(listener_);
+
+  obs::Registry& reg = *opt_.metrics;
+  m_connections_ = &reg.counter("parsec_net_connections_total",
+                                "Accepted wire-protocol connections");
+  m_connections_rejected_ =
+      &reg.counter("parsec_net_connections_rejected_total",
+                   "Connections closed at accept (max_connections)");
+  for (std::size_t s = 0; s < serve::kNumRequestStatuses; ++s)
+    m_requests_[s] = &reg.counter(
+        "parsec_net_requests_total",
+        "Wire requests answered, by final status",
+        {{"status",
+          serve::to_string(static_cast<serve::RequestStatus>(s))}});
+  m_pings_ = &reg.counter("parsec_net_pings_total",
+                          "Health-probe pings answered");
+  m_bytes_read_ = &reg.counter("parsec_net_bytes_read_total",
+                               "Frame bytes read off connections");
+  m_bytes_written_ = &reg.counter("parsec_net_bytes_written_total",
+                                  "Frame bytes written to connections");
+  m_active_ = &reg.gauge("parsec_net_connections_active",
+                         "Currently open connections");
+  m_drain_seconds_ =
+      &reg.gauge("parsec_net_drain_seconds",
+                 "Wall seconds the last drain took (0 = not drained)");
+  m_request_seconds_ =
+      &reg.histogram("parsec_net_request_seconds",
+                     "Wire request latency, frame decoded to response "
+                     "written (server side)",
+                     request_bounds());
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ParseServer::~ParseServer() { drain(); }
+
+void ParseServer::drain() {
+  std::call_once(drain_once_, [this] {
+    const auto t0 = std::chrono::steady_clock::now();
+    drain_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listener_.close();
+    reap_finished(/*join_all=*/true);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    drain_seconds_.store(secs, std::memory_order_relaxed);
+    m_drain_seconds_->set(secs);
+  });
+}
+
+ParseServer::Stats ParseServer::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.pings = pings_.load(std::memory_order_relaxed);
+  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  s.injected_faults = injected_faults_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.drain_seconds = drain_seconds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ParseServer::reap_finished(bool join_all) {
+  std::list<std::unique_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : finished)
+    if (c->thread.joinable()) c->thread.join();
+}
+
+void ParseServer::accept_loop() {
+  while (!drain_.load(std::memory_order_acquire)) {
+    reap_finished(/*join_all=*/false);
+    if (!poll_readable(listener_, opt_.poll_interval_ms)) continue;
+    std::string err;
+    Socket sock = tcp_accept(listener_, &err);
+    if (!sock.valid()) {
+      if (err == "injected")
+        injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (active_conns_.load(std::memory_order_relaxed) >=
+        opt_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_connections_rejected_->inc();
+      continue;  // Socket closes on scope exit: immediate refusal
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    m_connections_->inc();
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    m_active_->set(
+        static_cast<double>(active_conns_.load(std::memory_order_relaxed)));
+
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void ParseServer::handle_connection(Conn* conn) {
+  Socket& sock = conn->sock;
+  while (!drain_.load(std::memory_order_acquire)) {
+    if (!poll_readable(sock, opt_.poll_interval_ms)) continue;
+
+    Frame frame;
+    DecodeStatus status;
+    std::string err;
+    bool read_ok;
+    {
+      // The span opens only once bytes are ready, so it measures frame
+      // assembly, not connection idle time.
+      obs::Span read_span("net.read", "net");
+      read_ok = read_frame(sock, frame, &status, &err);
+      if (read_ok)
+        read_span.arg("bytes", static_cast<std::int64_t>(
+                                   kHeaderSize + frame.payload.size()));
+    }
+    if (!read_ok) {
+      if (err.rfind("injected", 0) == 0)
+        injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      else if (err != "eof")
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (err != "eof")
+        opt_.metrics->counter("parsec_net_frame_errors_total",
+                              "Connections dropped for malformed or "
+                              "interrupted frames, by reason",
+                              {{"reason", err.rfind("injected", 0) == 0
+                                              ? "injected"
+                                              : to_string(status)}})
+            .inc();
+      break;  // stream position unrecoverable (or orderly close)
+    }
+    bytes_read_.fetch_add(kHeaderSize + frame.payload.size(),
+                          std::memory_order_relaxed);
+    m_bytes_read_->inc(kHeaderSize + frame.payload.size());
+
+    if (frame.header.type == FrameType::Ping) {
+      pings_.fetch_add(1, std::memory_order_relaxed);
+      m_pings_->inc();
+      std::vector<std::uint8_t> pong;
+      encode_control(FrameType::Pong, pong);
+      if (!write_frame(sock, pong, &err)) break;
+      bytes_written_.fetch_add(pong.size(), std::memory_order_relaxed);
+      m_bytes_written_->inc(pong.size());
+      continue;
+    }
+    if (frame.header.type != FrameType::ParseRequest) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      opt_.metrics->counter("parsec_net_frame_errors_total",
+                            "Connections dropped for malformed or "
+                            "interrupted frames, by reason",
+                            {{"reason", "unexpected_type"}})
+          .inc();
+      break;
+    }
+    if (!handle_request(sock, frame.payload)) break;
+  }
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  m_active_->set(
+      static_cast<double>(active_conns_.load(std::memory_order_relaxed)));
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool ParseServer::handle_request(Socket& sock,
+                                 std::vector<std::uint8_t>& payload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span("net.request", "net");
+
+  WireRequest wreq;
+  const DecodeStatus ds =
+      decode_request(payload.data(), payload.size(), wreq);
+  WireResponse wresp;
+  if (ds != DecodeStatus::Ok) {
+    // Structured refusal, then close: the framing was intact (header
+    // decoded) but the payload lies about itself, so the stream can't
+    // be trusted past this frame.
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+    opt_.metrics->counter("parsec_net_frame_errors_total",
+                          "Connections dropped for malformed or "
+                          "interrupted frames, by reason",
+                          {{"reason", to_string(ds)}})
+        .inc();
+    wresp.status = serve::RequestStatus::BadRequest;
+    wresp.shard = (opt_.shard_id >= 0 && opt_.shard_id < 0xff)
+                      ? static_cast<std::uint8_t>(opt_.shard_id)
+                      : kShardUnset;
+    wresp.error = std::string("malformed request frame: ") + to_string(ds);
+    std::vector<std::uint8_t> out;
+    encode_response(wresp, out);
+    std::string err;
+    write_frame(sock, out, &err);
+    return false;
+  }
+
+  serve::ParseRequest req;
+  req.words = std::move(wreq.words);
+  req.grammar = std::move(wreq.grammar);
+  req.backend = wreq.backend;
+  req.capture_domains = wreq.flags & kFlagCaptureDomains;
+  if (wreq.deadline_ms > 0)
+    req.deadline = std::chrono::milliseconds(wreq.deadline_ms);
+  const std::size_t n_words = req.words.size();
+
+  // The service is the admission-control and degradation layer: shed
+  // load, tenant quotas, breaker reroutes and watchdog stalls all
+  // resolve to a RequestStatus here, which crosses the wire verbatim.
+  serve::ParseResponse presp = service_.submit(std::move(req)).get();
+  wresp = to_wire(presp, opt_.shard_id);
+
+  std::vector<std::uint8_t> out;
+  std::string err;
+  bool write_ok;
+  {
+    obs::Span write_span("net.write", "net");
+    encode_response(wresp, out);
+    write_ok = write_frame(sock, out, &err);
+    if (write_ok)
+      write_span.arg("bytes", static_cast<std::int64_t>(out.size()));
+  }
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (presp.status == serve::RequestStatus::Ok)
+    ok_.fetch_add(1, std::memory_order_relaxed);
+  m_requests_[static_cast<std::size_t>(presp.status)]->inc();
+  m_request_seconds_->observe(secs);
+  if (write_ok) {
+    bytes_written_.fetch_add(out.size(), std::memory_order_relaxed);
+    m_bytes_written_->inc(out.size());
+  }
+  span.arg("n", static_cast<std::int64_t>(n_words));
+  span.arg("status", static_cast<std::int64_t>(presp.status));
+  span.arg("latency_us", static_cast<std::int64_t>(secs * 1e6));
+  return write_ok;
+}
+
+}  // namespace parsec::net

@@ -1,0 +1,151 @@
+// Wire-protocol front end for one ParseService (a fleet shard).
+//
+// Blocking-socket design, deliberately: one accept loop, one reader
+// thread per connection, one request in flight per connection.  The
+// concurrency knob of the system is the ParseService's worker pool —
+// the socket layer only needs enough threads to keep the pool's queue
+// fed, and a reader thread that is blocked in recv() costs nothing.
+// Admission control is therefore *not* re-implemented here: a request
+// that reaches the server flows into the exact shed / tenant-quota /
+// breaker / watchdog paths the in-process service already has
+// (docs/ROBUSTNESS.md), and the wire response carries the resulting
+// status verbatim.  The only server-level limit is max_connections
+// (excess connections are accepted and immediately closed, so a
+// misbehaving client cannot exhaust reader threads).
+//
+// Drain contract (SIGTERM in parse_serverd, drain() here):
+//   1. stop accepting — the listener closes, new connects are refused;
+//   2. finish in-flight — every request already read off a connection
+//      is parsed and its response written;
+//   3. quiesce — reader threads join; afterwards the caller can write
+//      trace.json / metrics.prom knowing no span is still recording.
+//
+// Observability: spans `net.read` (frame arrival -> decoded),
+// `net.request` (decoded -> response written) and `net.write`
+// (response serialization + send), and the `parsec_net_*` metric
+// family (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "serve/parse_service.h"
+
+namespace parsec::net {
+
+class ParseServer {
+ public:
+  struct Options {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral; read back via port()).
+    std::uint16_t port = 0;
+    /// Stamped into every response's shard byte (-1 = unset); loadgen's
+    /// per-shard skew accounting keys on it.
+    int shard_id = -1;
+    /// Reader threads are per-connection; beyond this, connections are
+    /// accepted and immediately closed (counted as rejected).
+    std::size_t max_connections = 64;
+    /// Drain-flag poll granularity for idle accept/read loops.
+    int poll_interval_ms = 100;
+    /// Registry for the parsec_net_* family.  Must outlive the server.
+    obs::Registry* metrics = &obs::Registry::global();
+  };
+
+  /// Aggregate socket-layer counters (the metric family, struct-shaped;
+  /// service-level request accounting lives in ServiceStats).
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t connections_rejected = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t pings = 0;
+    std::uint64_t frame_errors = 0;   // bad magic/version/oversized/...
+    std::uint64_t injected_faults = 0;  // net.accept / net.read fires
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    double drain_seconds = 0.0;  // 0 until drain() completes
+  };
+
+  /// Binds and starts accepting.  Throws std::runtime_error when the
+  /// port cannot be bound.  `service` must outlive the server.
+  ParseServer(serve::ParseService& service, Options opt);
+
+  /// Drains (idempotent) and joins everything.
+  ~ParseServer();
+
+  ParseServer(const ParseServer&) = delete;
+  ParseServer& operator=(const ParseServer&) = delete;
+
+  /// The bound port (resolves Options::port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, finish in-flight requests, join reader threads.
+  /// Safe to call from a signal-watcher thread; idempotent.
+  void drain();
+
+  bool draining() const {
+    return drain_.load(std::memory_order_acquire);
+  }
+
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Conn* conn);
+  /// One ParseRequest frame: submit, wait, reply.  False ends the
+  /// connection (write failure).
+  bool handle_request(Socket& sock, std::vector<std::uint8_t>& payload);
+  void reap_finished(bool join_all);
+
+  serve::ParseService& service_;
+  Options opt_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> drain_{false};
+  std::once_flag drain_once_;
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  std::atomic<std::size_t> active_conns_{0};
+
+  // Struct-shaped mirrors of the metric family (tests read these
+  // without a registry scrape).
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<std::uint64_t> injected_faults_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<double> drain_seconds_{0.0};
+
+  // Metric handles (resolved once; updates are lock-free).
+  obs::Counter* m_connections_;
+  obs::Counter* m_connections_rejected_;
+  obs::Counter* m_requests_[serve::kNumRequestStatuses];
+  obs::Counter* m_pings_;
+  obs::Counter* m_bytes_read_;
+  obs::Counter* m_bytes_written_;
+  obs::Gauge* m_active_;
+  obs::Gauge* m_drain_seconds_;
+  obs::Histogram* m_request_seconds_;
+};
+
+}  // namespace parsec::net

@@ -1,0 +1,202 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "resil/fault_plan.h"
+
+namespace parsec::net {
+
+namespace {
+
+std::string errno_str(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(std::uint16_t port, int backlog, std::string* err) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    if (err) *err = errno_str("socket");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err) *err = errno_str("bind");
+    return {};
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    if (err) *err = errno_str("listen");
+    return {};
+  }
+  return s;
+}
+
+std::uint16_t local_port(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   std::string* err) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    if (err) *err = errno_str("socket");
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad host '" + host + "'";
+    return {};
+  }
+  if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (err) *err = errno_str("connect");
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+bool poll_readable(const Socket& s, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = s.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+Socket tcp_accept(const Socket& listener, std::string* err) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      if (resil::should_fire("net.accept")) {
+        // Injected accept-time failure: the connection is dropped on
+        // the floor, as if the peer (or a dying NIC) vanished between
+        // SYN and first byte.  The peer sees an immediate close.
+        if (err) *err = "injected";
+        return {};
+      }
+      const int one = 1;
+      ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return s;
+    }
+    if (errno == EINTR) continue;
+    if (err) *err = errno_str("accept");
+    return {};
+  }
+}
+
+bool read_full(Socket& s, std::uint8_t* buf, std::size_t n, std::string* err) {
+  if (resil::should_fire("net.read")) {
+    // Injected mid-frame death: the connection is torn down before the
+    // bytes arrive.  Closing (instead of merely failing) makes the
+    // failure symmetric — the peer's next write fails too.
+    s.close();
+    if (err) *err = "injected short read";
+    return false;
+  }
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(s.fd(), buf + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (err) *err = got == 0 ? "eof" : "eof mid-frame";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (err) *err = errno_str("recv");
+    return false;
+  }
+  return true;
+}
+
+bool write_full(Socket& s, const std::uint8_t* buf, std::size_t n,
+                std::string* err) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(s.fd(), buf + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (err) *err = errno_str("send");
+    return false;
+  }
+  return true;
+}
+
+bool read_frame(Socket& s, Frame& out, DecodeStatus* status,
+                std::string* err) {
+  std::uint8_t header[kHeaderSize];
+  if (!read_full(s, header, kHeaderSize, err)) {
+    if (status) *status = DecodeStatus::Truncated;
+    return false;
+  }
+  const DecodeStatus hs = decode_header(header, kHeaderSize, out.header);
+  if (hs != DecodeStatus::Ok) {
+    if (status) *status = hs;
+    if (err) *err = to_string(hs);
+    return false;
+  }
+  out.payload.resize(out.header.payload_len);
+  if (out.header.payload_len > 0 &&
+      !read_full(s, out.payload.data(), out.payload.size(), err)) {
+    if (status) *status = DecodeStatus::Truncated;
+    return false;
+  }
+  if (status) *status = DecodeStatus::Ok;
+  return true;
+}
+
+bool write_frame(Socket& s, const std::vector<std::uint8_t>& bytes,
+                 std::string* err) {
+  return write_full(s, bytes.data(), bytes.size(), err);
+}
+
+}  // namespace parsec::net

@@ -1,0 +1,103 @@
+// Thin blocking-socket layer for the parse fleet (loopback TCP).
+//
+// Everything above this header (server, router, client) speaks frames;
+// everything below it is POSIX.  Three properties matter:
+//
+//   * RAII ownership — a Socket closes its fd on destruction, so
+//     error paths can simply return;
+//   * exact-length I/O — read_full / write_full loop over partial
+//     transfers and EINTR, so the frame layer never sees a short read
+//     that the kernel caused (only ones a *fault plan* caused, below);
+//   * injectable failure — the resil sites `net.accept` (accepted
+//     connection dropped on the floor) and `net.read` (connection dies
+//     mid-read, modelling a peer vanishing inside a frame) live here,
+//     so chaos plans exercise the socket path the same way they
+//     exercise the engines (docs/ROBUSTNESS.md site reference).
+//
+// Servers bind 127.0.0.1 only: the fleet is a co-located
+// router-plus-shards topology, not an internet-facing endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace parsec::net {
+
+/// Owning socket fd.  Movable, not copyable; invalid() after a move.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on 127.0.0.1:`port` (port 0 picks an ephemeral port).
+/// Returns an invalid Socket and fills `err` on failure.
+Socket tcp_listen(std::uint16_t port, int backlog, std::string* err);
+
+/// The port a listener actually bound (resolves port 0).
+std::uint16_t local_port(const Socket& listener);
+
+/// Blocking connect to `host`:`port` (numeric IPv4 host, e.g.
+/// "127.0.0.1").  Invalid Socket + `err` on failure.
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   std::string* err);
+
+/// Polls `s` readable for up to `timeout_ms`.  Lets accept loops and
+/// connection readers wake periodically to check a drain flag instead
+/// of blocking forever in accept()/recv().
+bool poll_readable(const Socket& s, int timeout_ms);
+
+/// Accepts one connection (call after poll_readable on the listener).
+/// Consults the `net.accept` fault site: when it fires, the accepted
+/// connection is closed immediately and an invalid Socket is returned
+/// with err = "injected".
+Socket tcp_accept(const Socket& listener, std::string* err);
+
+/// Reads exactly `n` bytes.  False on EOF/error (err filled; "eof" for
+/// an orderly close before any byte of this read).  Consults the
+/// `net.read` fault site once per call: a fire closes the socket and
+/// fails the read, modelling a peer vanishing mid-frame.
+bool read_full(Socket& s, std::uint8_t* buf, std::size_t n, std::string* err);
+
+/// Writes exactly `n` bytes (MSG_NOSIGNAL; a dead peer fails the write
+/// instead of raising SIGPIPE).
+bool write_full(Socket& s, const std::uint8_t* buf, std::size_t n,
+                std::string* err);
+
+// ---- framed I/O ----------------------------------------------------------
+
+/// One decoded inbound frame: the header plus its raw payload bytes
+/// (request/response payloads are decoded by the caller, which knows
+/// which one it expects).
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads one frame.  Returns false with `status` = the decode failure
+/// (Truncated covers transport errors mid-frame; `err` carries the
+/// transport detail) — the caller should close the connection on any
+/// failure, since the stream position is unrecoverable.
+bool read_frame(Socket& s, Frame& out, DecodeStatus* status,
+                std::string* err);
+
+/// Writes pre-encoded frame bytes (the encode_* output).
+bool write_frame(Socket& s, const std::vector<std::uint8_t>& bytes,
+                 std::string* err);
+
+}  // namespace parsec::net

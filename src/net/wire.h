@@ -1,0 +1,154 @@
+// Length-prefixed binary wire protocol for the parse fleet.
+//
+// The MasPar split its work between an ACU that broadcasts one
+// instruction stream and a PE array that executes it; the fleet keeps
+// the same shape across processes — a router (ACU analogue) frames
+// requests onto N shard servers (PE analogue), each fronting a
+// ParseService.  This header is the contract both sides speak: a tiny,
+// dependency-free, explicitly-versioned binary framing that a client in
+// any language could implement from docs/SERVING.md alone.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic  "PARC" (0x50 0x41 0x52 0x43 on the wire)
+//   4       1     version (kWireVersion = 1)
+//   5       1     frame type (FrameType)
+//   6       4     payload length in bytes (<= kMaxPayload)
+//   10      ...   payload
+//
+// Decoding NEVER throws and never reads past the supplied buffer: every
+// malformed input maps to a DecodeStatus, so a byte-flipping peer can
+// at worst get its connection closed (tests/net/wire_test.cpp fuzzes
+// truncations and corruptions against that contract).  Encoding is
+// deterministic — the same message always produces the same bytes —
+// which is what lets docs/SERVING.md carry a worked hexdump that a
+// golden test pins byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parsec/backend.h"
+#include "serve/parse_service.h"
+#include "util/bitset.h"
+
+namespace parsec::net {
+
+/// "PARC" on the wire, in transmission order.
+inline constexpr std::uint8_t kMagic[4] = {0x50, 0x41, 0x52, 0x43};
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 10;
+/// Upper bound on one frame's payload; anything larger is rejected
+/// before allocation (a 1 MiB frame already fits ~100k-word requests).
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  ParseRequest = 1,   // client -> server
+  ParseResponse = 2,  // server -> client
+  Ping = 3,           // health probe (empty payload)
+  Pong = 4,           // health reply (empty payload)
+};
+
+/// Request flags (bitfield).
+inline constexpr std::uint8_t kFlagCaptureDomains = 0x01;
+
+/// Response bits (bitfield).
+inline constexpr std::uint8_t kBitAccepted = 0x01;
+inline constexpr std::uint8_t kBitCached = 0x02;
+inline constexpr std::uint8_t kBitCoalesced = 0x04;
+inline constexpr std::uint8_t kBitDegraded = 0x08;
+
+/// Shard byte value meaning "no shard id stamped".
+inline constexpr std::uint8_t kShardUnset = 0xff;
+
+/// One parse request as it crosses the wire.  Words travel raw (the
+/// server tags them with the resolved grammar's lexicon, exactly like
+/// an in-process ParseRequest::words submission), so wire results are
+/// bit-identical to in-process ones by construction.
+struct WireRequest {
+  std::string grammar;  // tenant name; empty = server default
+  engine::Backend backend = engine::Backend::Serial;
+  std::uint32_t deadline_ms = 0;  // 0 = none
+  std::uint8_t flags = 0;         // kFlagCaptureDomains
+  std::vector<std::string> words;
+};
+
+/// One parse response as it crosses the wire (the wire projection of
+/// serve::ParseResponse plus the answering shard's id).
+struct WireResponse {
+  serve::RequestStatus status = serve::RequestStatus::Ok;
+  engine::Backend served_backend = engine::Backend::Serial;
+  bool accepted = false;
+  bool cached = false;
+  bool coalesced = false;
+  bool degraded = false;
+  /// Shard that parsed the request (kShardUnset when the server was
+  /// started without --shard-id); loadgen's per-shard skew comes from
+  /// this byte surviving the trip through the router untouched.
+  std::uint8_t shard = kShardUnset;
+  std::uint64_t grammar_epoch = 0;
+  std::uint64_t domains_hash = 0;
+  std::uint32_t alive_role_values = 0;
+  std::uint32_t latency_us = 0;  // server-side queue + parse
+  std::string error;
+  std::vector<util::DynBitset> domains;  // iff kFlagCaptureDomains
+};
+
+/// Why a decode failed.  Ok means the bytes parsed completely.
+enum class DecodeStatus : std::uint8_t {
+  Ok,
+  BadMagic,    // header does not start with "PARC"
+  BadVersion,  // version byte != kWireVersion
+  BadType,     // unknown FrameType
+  Oversized,   // payload length > kMaxPayload
+  Truncated,   // fewer bytes than the header/payload promises
+  Malformed,   // payload structure inconsistent (length fields lie,
+               // enum values out of range, trailing garbage)
+};
+
+const char* to_string(DecodeStatus s);
+
+/// Parsed frame header.
+struct FrameHeader {
+  FrameType type = FrameType::ParseRequest;
+  std::uint32_t payload_len = 0;
+};
+
+// ---- encoding ------------------------------------------------------------
+
+/// Appends a complete frame (header + payload) for `req` to `out`.
+void encode_request(const WireRequest& req, std::vector<std::uint8_t>& out);
+
+/// Appends a complete frame (header + payload) for `resp` to `out`.
+void encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out);
+
+/// Appends an empty-payload control frame (Ping / Pong) to `out`.
+void encode_control(FrameType type, std::vector<std::uint8_t>& out);
+
+// ---- decoding ------------------------------------------------------------
+
+/// Decodes the 10-byte header at `buf` (`n` bytes available).
+DecodeStatus decode_header(const std::uint8_t* buf, std::size_t n,
+                           FrameHeader& out);
+
+/// Decodes a ParseRequest payload (exactly `n` bytes; trailing bytes
+/// are Malformed).
+DecodeStatus decode_request(const std::uint8_t* buf, std::size_t n,
+                            WireRequest& out);
+
+/// Decodes a ParseResponse payload.
+DecodeStatus decode_response(const std::uint8_t* buf, std::size_t n,
+                             WireResponse& out);
+
+/// Projects a serve::ParseResponse onto the wire shape.  `shard` is the
+/// serving process's --shard-id (-1 = unset).
+WireResponse to_wire(const serve::ParseResponse& resp, int shard);
+
+/// FNV-1a over the request's routing identity: the tenant name alone
+/// (RouteBy::Tenant) or tenant + words (RouteBy::Sentence).  The router
+/// and the tests share this so routing is reproducible.
+std::uint64_t route_hash(const WireRequest& req, bool include_words);
+
+}  // namespace parsec::net

@@ -1,0 +1,229 @@
+// ParseRouter: hash routing, per-shard spread, failover when a shard
+// dies mid-run (rerouted requests succeed, bit-identically), recovery
+// via probes, and the no-healthy-shard refusal.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdg/parser.h"
+#include "grammars/english_grammar.h"
+#include "grammars/sentence_gen.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "parsec/backend.h"
+#include "serve/grammar_registry.h"
+#include "serve/parse_service.h"
+
+namespace {
+
+using namespace parsec;
+using namespace std::chrono_literals;
+
+// One in-process shard: registry + service + wire server.
+struct Shard {
+  obs::Registry metrics;
+  serve::GrammarRegistry registry;
+  std::optional<serve::ParseService> service;
+  std::optional<net::ParseServer> server;
+
+  explicit Shard(int shard_id) {
+    registry.publish("english", grammars::make_english_grammar());
+    serve::ParseService::Options sopt;
+    sopt.threads = 2;
+    sopt.default_grammar = "english";
+    sopt.metrics = &metrics;
+    service.emplace(registry, sopt);
+    net::ParseServer::Options nopt;
+    nopt.shard_id = shard_id;
+    nopt.metrics = &metrics;
+    server.emplace(*service, nopt);
+  }
+};
+
+struct Fleet {
+  std::vector<std::unique_ptr<Shard>> shards;
+  obs::Registry router_metrics;
+  std::optional<net::ParseRouter> router;
+
+  explicit Fleet(int n, net::ParseRouter::Options opt = {}) {
+    std::vector<net::ShardAddr> addrs;
+    for (int i = 0; i < n; ++i) {
+      shards.push_back(std::make_unique<Shard>(i));
+      addrs.push_back({"127.0.0.1", shards.back()->server->port()});
+    }
+    opt.metrics = &router_metrics;
+    opt.probe_interval = 50ms;
+    router.emplace(std::move(addrs), opt);
+  }
+
+  net::Client connect() {
+    std::string err;
+    auto c = net::Client::connect("127.0.0.1", router->port(), &err);
+    EXPECT_TRUE(c.has_value()) << err;
+    return std::move(*c);
+  }
+};
+
+net::WireRequest wire_request(const std::vector<std::string>& words) {
+  net::WireRequest req;
+  req.grammar = "english";
+  req.backend = engine::Backend::Serial;
+  req.words = words;
+  return req;
+}
+
+TEST(ParseRouter, AnswersPingItself) {
+  Fleet fleet(2);
+  net::Client client = fleet.connect();
+  std::string err;
+  EXPECT_TRUE(client.ping(2000, &err)) << err;
+}
+
+TEST(ParseRouter, SentenceRoutingSpreadsOneTenantAcrossShards) {
+  Fleet fleet(4);
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, 42);
+  net::Client client = fleet.connect();
+  for (int i = 0; i < 40; ++i) {
+    net::WireResponse resp;
+    std::string err;
+    ASSERT_TRUE(client.request(wire_request(gen.generate(4 + i % 8)), resp,
+                               &err))
+        << err;
+    ASSERT_EQ(resp.status, serve::RequestStatus::Ok);
+  }
+  const auto stats = fleet.router->stats();
+  int shards_hit = 0;
+  for (std::uint64_t n : stats.per_shard) shards_hit += n > 0;
+  EXPECT_GE(shards_hit, 2) << "one tenant stuck to one shard";
+  EXPECT_EQ(stats.forwarded, 40u);
+}
+
+TEST(ParseRouter, TenantRoutingPinsATenantToOneShard) {
+  net::ParseRouter::Options opt;
+  opt.route_by = net::RouteBy::Tenant;
+  Fleet fleet(4, opt);
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, 42);
+  net::Client client = fleet.connect();
+  for (int i = 0; i < 20; ++i) {
+    net::WireResponse resp;
+    std::string err;
+    ASSERT_TRUE(client.request(wire_request(gen.generate(4 + i % 8)), resp,
+                               &err));
+    ASSERT_EQ(resp.status, serve::RequestStatus::Ok);
+  }
+  const auto stats = fleet.router->stats();
+  int shards_hit = 0;
+  for (std::uint64_t n : stats.per_shard) shards_hit += n > 0;
+  EXPECT_EQ(shards_hit, 1) << "tenant affinity broken";
+}
+
+// The headline failover property: kill a shard mid-run; every request
+// still answers Ok, rerouted requests are bit-identical to the serial
+// reference, and the router accounts the failovers.
+TEST(ParseRouter, FailoverMidRunIsBitIdentical) {
+  Fleet fleet(2);
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, 1992);
+  cdg::SequentialParser seq(bundle.grammar);
+  net::Client client = fleet.connect();
+
+  std::vector<std::vector<std::string>> corpus;
+  std::vector<std::uint64_t> reference;
+  for (int i = 0; i < 30; ++i) {
+    corpus.push_back(gen.generate(4 + i % 8));
+    cdg::Network net = seq.make_network(bundle.lexicon.tag(corpus.back()));
+    seq.parse(net);
+    std::vector<util::DynBitset> domains;
+    for (int r = 0; r < net.num_roles(); ++r)
+      domains.emplace_back(net.domain(r));
+    reference.push_back(engine::hash_domains(domains));
+  }
+
+  for (int i = 0; i < 30; ++i) {
+    if (i == 10) {
+      // Shard 0 dies mid-run (drain closes its listener and
+      // connections; the in-flight request finishes first).
+      fleet.shards[0]->server->drain();
+    }
+    net::WireResponse resp;
+    std::string err;
+    ASSERT_TRUE(client.request(wire_request(corpus[i]), resp, &err))
+        << "request " << i << ": " << err;
+    ASSERT_EQ(resp.status, serve::RequestStatus::Ok) << "request " << i;
+    EXPECT_EQ(resp.domains_hash, reference[i]) << "request " << i;
+    if (i >= 10) {
+      EXPECT_EQ(resp.shard, 1) << "request " << i;
+    }
+  }
+
+  const auto stats = fleet.router->stats();
+  EXPECT_EQ(stats.forwarded, 30u);
+  EXPECT_EQ(stats.unroutable, 0u);
+  EXPECT_FALSE(stats.shard_up[0]);
+  EXPECT_TRUE(stats.shard_up[1]);
+}
+
+TEST(ParseRouter, ProbePromotesARecoveredShard) {
+  Fleet fleet(2);
+  // Kill shard 1 and let the prober notice.
+  fleet.shards[1]->server->drain();
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (fleet.router->stats().shard_up[1] &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(10ms);
+  ASSERT_FALSE(fleet.router->stats().shard_up[1]);
+
+  // Resurrect shard 1 on the SAME port (the router's configured
+  // address) and wait for the prober to promote it.
+  const std::uint16_t port = fleet.shards[1]->server->port();
+  fleet.shards[1]->server.reset();
+  net::ParseServer::Options nopt;
+  nopt.port = port;
+  nopt.shard_id = 1;
+  nopt.metrics = &fleet.shards[1]->metrics;
+  fleet.shards[1]->server.emplace(*fleet.shards[1]->service, nopt);
+  while (!fleet.router->stats().shard_up[1] &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(10ms);
+  EXPECT_TRUE(fleet.router->stats().shard_up[1]);
+}
+
+TEST(ParseRouter, NoHealthyShardAnswersFaultedNotSilence) {
+  Fleet fleet(2);
+  fleet.shards[0]->server->drain();
+  fleet.shards[1]->server->drain();
+  net::Client client = fleet.connect();
+  net::WireResponse resp;
+  std::string err;
+  // Some requests may still ride cached legs; eventually every shard is
+  // demoted and the router refuses with Faulted.
+  bool saw_refusal = false;
+  for (int i = 0; i < 10 && !saw_refusal; ++i) {
+    ASSERT_TRUE(client.request(wire_request({"the", "dog", "runs"}), resp,
+                               &err))
+        << err;
+    saw_refusal = resp.status == serve::RequestStatus::Faulted &&
+                  resp.error == "router: no healthy shard";
+  }
+  EXPECT_TRUE(saw_refusal);
+  EXPECT_GE(fleet.router->stats().unroutable, 1u);
+}
+
+TEST(ParseRouter, RouteHookIsDeterministic) {
+  Fleet fleet(4);
+  net::WireRequest req = wire_request({"the", "dog", "runs"});
+  const int first = fleet.router->route(req);
+  ASSERT_GE(first, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(fleet.router->route(req), first);
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// Wire protocol: round-trips, the golden hexdump pinned in
+// docs/SERVING.md, and rejection of every malformed-frame class
+// (truncated, oversized, bad magic/version/type, lying payloads)
+// without crashing — the decoder is the trust boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "net/wire.h"
+#include "parsec/backend.h"
+#include "util/bitset.h"
+
+namespace {
+
+using namespace parsec;
+using namespace parsec::net;
+
+WireRequest sample_request() {
+  WireRequest req;
+  req.grammar = "english";
+  req.backend = engine::Backend::Maspar;
+  req.deadline_ms = 250;
+  req.flags = kFlagCaptureDomains;
+  req.words = {"the", "quick", "dog", "runs"};
+  return req;
+}
+
+TEST(WireProtocol, RequestRoundTrips) {
+  const WireRequest req = sample_request();
+  std::vector<std::uint8_t> frame;
+  encode_request(req, frame);
+
+  FrameHeader header;
+  ASSERT_EQ(decode_header(frame.data(), frame.size(), header),
+            DecodeStatus::Ok);
+  EXPECT_EQ(header.type, FrameType::ParseRequest);
+  ASSERT_EQ(frame.size(), kHeaderSize + header.payload_len);
+
+  WireRequest back;
+  ASSERT_EQ(decode_request(frame.data() + kHeaderSize, header.payload_len,
+                           back),
+            DecodeStatus::Ok);
+  EXPECT_EQ(back.grammar, req.grammar);
+  EXPECT_EQ(back.backend, req.backend);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.flags, req.flags);
+  EXPECT_EQ(back.words, req.words);
+}
+
+TEST(WireProtocol, ResponseRoundTripsWithDomains) {
+  WireResponse resp;
+  resp.status = serve::RequestStatus::Ok;
+  resp.served_backend = engine::Backend::Serial;
+  resp.accepted = true;
+  resp.cached = true;
+  resp.degraded = true;
+  resp.shard = 3;
+  resp.grammar_epoch = 7;
+  resp.domains_hash = 0x0123456789abcdefull;
+  resp.alive_role_values = 42;
+  resp.latency_us = 1234;
+  resp.error = "soft: rerouted";
+  util::DynBitset d(13);
+  d.set(0);
+  d.set(5);
+  d.set(12);
+  resp.domains.push_back(d);
+
+  std::vector<std::uint8_t> frame;
+  encode_response(resp, frame);
+  FrameHeader header;
+  ASSERT_EQ(decode_header(frame.data(), frame.size(), header),
+            DecodeStatus::Ok);
+  EXPECT_EQ(header.type, FrameType::ParseResponse);
+
+  WireResponse back;
+  ASSERT_EQ(decode_response(frame.data() + kHeaderSize, header.payload_len,
+                            back),
+            DecodeStatus::Ok);
+  EXPECT_EQ(back.status, resp.status);
+  EXPECT_EQ(back.served_backend, resp.served_backend);
+  EXPECT_TRUE(back.accepted);
+  EXPECT_TRUE(back.cached);
+  EXPECT_FALSE(back.coalesced);
+  EXPECT_TRUE(back.degraded);
+  EXPECT_EQ(back.shard, 3);
+  EXPECT_EQ(back.grammar_epoch, 7u);
+  EXPECT_EQ(back.domains_hash, resp.domains_hash);
+  EXPECT_EQ(back.alive_role_values, 42u);
+  EXPECT_EQ(back.latency_us, 1234u);
+  EXPECT_EQ(back.error, "soft: rerouted");
+  ASSERT_EQ(back.domains.size(), 1u);
+  EXPECT_EQ(back.domains[0].size(), 13u);
+  for (std::size_t i = 0; i < 13; ++i)
+    EXPECT_EQ(back.domains[0].test(i), d.test(i)) << i;
+}
+
+// The worked example in docs/SERVING.md ("Anatomy of a request"), byte
+// for byte.  If this test moves, the manual moves with it.
+TEST(WireProtocol, GoldenHexdumpMatchesTheManual) {
+  WireRequest req;
+  req.grammar = "english";
+  req.backend = engine::Backend::Serial;
+  req.deadline_ms = 0;
+  req.flags = 0;
+  req.words = {"the", "dog", "runs"};
+  std::vector<std::uint8_t> frame;
+  encode_request(req, frame);
+
+  const std::uint8_t golden[] = {
+      // header: magic "PARC", version 1, type 1, payload length 33
+      0x50, 0x41, 0x52, 0x43, 0x01, 0x01, 0x21, 0x00, 0x00, 0x00,
+      // backend=serial(0), flags=0, deadline_ms=0
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // grammar: len 7, "english"
+      0x07, 0x00, 'e', 'n', 'g', 'l', 'i', 's', 'h',
+      // word count 3; "the", "dog", "runs"
+      0x03, 0x00, 0x03, 0x00, 't', 'h', 'e', 0x03, 0x00, 'd', 'o', 'g',
+      0x04, 0x00, 'r', 'u', 'n', 's'};
+  ASSERT_EQ(frame.size(), sizeof golden);
+  for (std::size_t i = 0; i < sizeof golden; ++i)
+    EXPECT_EQ(frame[i], golden[i]) << "byte " << i;
+}
+
+TEST(WireProtocol, RejectsBadMagicVersionTypeAndOversize) {
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  FrameHeader header;
+
+  auto mutated = frame;
+  mutated[0] = 'X';
+  EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
+            DecodeStatus::BadMagic);
+
+  mutated = frame;
+  mutated[4] = 99;  // version
+  EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
+            DecodeStatus::BadVersion);
+
+  mutated = frame;
+  mutated[5] = 0;  // type below the enum range
+  EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
+            DecodeStatus::BadType);
+  mutated[5] = 200;
+  EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
+            DecodeStatus::BadType);
+
+  mutated = frame;
+  // payload_len = kMaxPayload + 1 (little-endian at offset 6)
+  const std::uint32_t big = kMaxPayload + 1;
+  mutated[6] = static_cast<std::uint8_t>(big);
+  mutated[7] = static_cast<std::uint8_t>(big >> 8);
+  mutated[8] = static_cast<std::uint8_t>(big >> 16);
+  mutated[9] = static_cast<std::uint8_t>(big >> 24);
+  EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
+            DecodeStatus::Oversized);
+}
+
+TEST(WireProtocol, EveryTruncationIsRejectedNotCrashed) {
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  FrameHeader header;
+  ASSERT_EQ(decode_header(frame.data(), frame.size(), header),
+            DecodeStatus::Ok);
+
+  for (std::size_t n = 0; n < kHeaderSize; ++n)
+    EXPECT_EQ(decode_header(frame.data(), n, header),
+              DecodeStatus::Truncated)
+        << n;
+  // Every payload prefix shorter than the real payload must decode to
+  // Truncated (a string length that lies lands in the same bucket).
+  WireRequest req;
+  for (std::size_t n = 0; n < header.payload_len; ++n)
+    EXPECT_EQ(decode_request(frame.data() + kHeaderSize, n, req),
+              DecodeStatus::Truncated)
+        << n;
+  // Trailing garbage is Malformed, not silently ignored.
+  std::vector<std::uint8_t> longer(frame.begin() + kHeaderSize, frame.end());
+  longer.push_back(0xee);
+  EXPECT_EQ(decode_request(longer.data(), longer.size(), req),
+            DecodeStatus::Malformed);
+}
+
+TEST(WireProtocol, PayloadLyingAboutItselfIsRejected) {
+  // backend byte out of range
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  auto payload = std::vector<std::uint8_t>(frame.begin() + kHeaderSize,
+                                           frame.end());
+  payload[0] = 200;
+  WireRequest req;
+  EXPECT_EQ(decode_request(payload.data(), payload.size(), req),
+            DecodeStatus::Malformed);
+
+  // response status byte out of range
+  WireResponse resp;
+  std::vector<std::uint8_t> rframe;
+  encode_response(resp, rframe);
+  auto rpayload = std::vector<std::uint8_t>(rframe.begin() + kHeaderSize,
+                                            rframe.end());
+  rpayload[0] = 77;
+  WireResponse back;
+  EXPECT_EQ(decode_response(rpayload.data(), rpayload.size(), back),
+            DecodeStatus::Malformed);
+}
+
+// Deterministic mutation fuzz: single-byte corruptions of a valid
+// frame must decode to Ok or a clean DecodeStatus — never crash, hang,
+// or read out of bounds (ASan/UBSan run this in CI).
+TEST(WireProtocol, MutationFuzzNeverCrashes) {
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  std::mt19937 rng(0x5eed);
+  std::uniform_int_distribution<std::size_t> pos(0, frame.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+
+  for (int iter = 0; iter < 20000; ++iter) {
+    auto mutated = frame;
+    const int flips = 1 + iter % 4;
+    for (int f = 0; f < flips; ++f)
+      mutated[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    FrameHeader header;
+    const DecodeStatus hs =
+        decode_header(mutated.data(), mutated.size(), header);
+    if (hs != DecodeStatus::Ok) continue;
+    WireRequest req;
+    const std::size_t avail = mutated.size() - kHeaderSize;
+    (void)decode_request(mutated.data() + kHeaderSize,
+                         std::min<std::size_t>(avail, header.payload_len),
+                         req);
+  }
+  SUCCEED();
+}
+
+TEST(WireProtocol, RouteHashSeparatesTenantsAndSentences) {
+  WireRequest a = sample_request();
+  WireRequest b = sample_request();
+  EXPECT_EQ(route_hash(a, false), route_hash(b, false));
+  EXPECT_EQ(route_hash(a, true), route_hash(b, true));
+  b.words.back() = "sleeps";
+  EXPECT_EQ(route_hash(a, false), route_hash(b, false));  // same tenant
+  EXPECT_NE(route_hash(a, true), route_hash(b, true));
+  b = sample_request();
+  b.grammar = "toy";
+  EXPECT_NE(route_hash(a, false), route_hash(b, false));
+  // Word-boundary separator: {"ab","c"} must not collide with {"a","bc"}.
+  WireRequest c = sample_request(), d = sample_request();
+  c.words = {"ab", "c"};
+  d.words = {"a", "bc"};
+  EXPECT_NE(route_hash(c, true), route_hash(d, true));
+}
+
+}  // namespace
