@@ -12,7 +12,10 @@ std::optional<Client> Client::connect(const std::string& host,
 bool Client::request(const WireRequest& req, WireResponse& resp,
                      std::string* err) {
   buf_.clear();
-  encode_request(req, buf_);
+  if (!encode_request(req, buf_)) {
+    if (err) *err = "request exceeds wire limits";
+    return false;
+  }
   if (!write_frame(sock_, buf_, err)) return false;
   Frame frame;
   DecodeStatus status;

@@ -189,8 +189,7 @@ void ParseRouter::handle_connection(Conn* conn) {
       WireResponse bad;
       bad.status = serve::RequestStatus::BadRequest;
       bad.error = std::string("malformed request frame: ") + to_string(ds);
-      encode_response(bad, reply);
-      write_frame(sock, reply, &err);
+      if (encode_response(bad, reply)) write_frame(sock, reply, &err);
       break;
     }
 
@@ -235,7 +234,14 @@ int ParseRouter::forward(const WireRequest& req,
           failovers_.fetch_add(1, std::memory_order_relaxed);
           m_failovers_->inc();
         }
-        encode_response(wresp, reply);
+        // A decoded response always re-encodes (every field arrived
+        // within wire limits), but degrade rather than assume.
+        if (!encode_response(wresp, reply)) {
+          wresp.domains.clear();
+          wresp.degraded = true;
+          wresp.error = "router: response exceeded wire limits";
+          encode_response(wresp, reply);
+        }
         return static_cast<int>(idx);
       }
       legs[idx].reset();  // dead leg; maybe reconnect (attempt 2)
@@ -251,7 +257,7 @@ int ParseRouter::forward(const WireRequest& req,
   WireResponse none;
   none.status = serve::RequestStatus::Faulted;
   none.error = "router: no healthy shard";
-  encode_response(none, reply);
+  encode_response(none, reply);  // minimal reply always fits
   return -1;
 }
 

@@ -230,9 +230,8 @@ bool ParseServer::handle_request(Socket& sock,
                       : kShardUnset;
     wresp.error = std::string("malformed request frame: ") + to_string(ds);
     std::vector<std::uint8_t> out;
-    encode_response(wresp, out);
     std::string err;
-    write_frame(sock, out, &err);
+    if (encode_response(wresp, out)) write_frame(sock, out, &err);
     return false;
   }
 
@@ -256,7 +255,15 @@ bool ParseServer::handle_request(Socket& sock,
   bool write_ok;
   {
     obs::Span write_span("net.write", "net");
-    encode_response(wresp, out);
+    if (!encode_response(wresp, out)) {
+      // Response too big for one frame (a domains payload past
+      // kMaxPayload): degrade to a domain-free reply so the client
+      // still gets the verdict instead of a dropped connection.
+      wresp.domains.clear();
+      wresp.degraded = true;
+      wresp.error = "response exceeded wire limits; domains dropped";
+      encode_response(wresp, out);  // minimal reply always fits
+    }
     write_ok = write_frame(sock, out, &err);
     if (write_ok)
       write_span.arg("bytes", static_cast<std::int64_t>(out.size()));

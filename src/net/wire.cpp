@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace parsec::net {
@@ -28,9 +29,13 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
-void put_str16(std::vector<std::uint8_t>& out, const std::string& s) {
+/// Fails (returns false, appends nothing) when `s` exceeds the u16
+/// length field instead of emitting a self-inconsistent frame.
+bool put_str16(std::vector<std::uint8_t>& out, const std::string& s) {
+  if (s.size() > 0xffff) return false;
   put_u16(out, static_cast<std::uint16_t>(s.size()));
   out.insert(out.end(), s.begin(), s.end());
+  return true;
 }
 
 /// Bounds-checked little-endian reader over a payload.  Every get_*
@@ -84,12 +89,16 @@ void put_header(std::vector<std::uint8_t>& out, FrameType type,
 }
 
 /// Patches the payload-length field of the header that starts at
-/// `header_at`, once the payload has been appended after it.
-void patch_len(std::vector<std::uint8_t>& out, std::size_t header_at) {
+/// `header_at`, once the payload has been appended after it.  Fails
+/// when the payload outgrew kMaxPayload — the peer would reject the
+/// frame as Oversized, so refusing to emit it is strictly better.
+bool patch_len(std::vector<std::uint8_t>& out, std::size_t header_at) {
   const std::size_t payload_len = out.size() - header_at - kHeaderSize;
+  if (payload_len > kMaxPayload) return false;
   for (int i = 0; i < 4; ++i)
     out[header_at + 6 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(payload_len >> (8 * i));
+  return true;
 }
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
@@ -126,19 +135,30 @@ const char* to_string(DecodeStatus s) {
   return "unknown";
 }
 
-void encode_request(const WireRequest& req, std::vector<std::uint8_t>& out) {
+// Both encoders fail fast — `out` is rolled back to its original size
+// and false returned — rather than emit a frame whose length fields
+// disagree with its contents (which the peer would reject and answer
+// by dropping the connection).
+bool encode_request(const WireRequest& req, std::vector<std::uint8_t>& out) {
   const std::size_t header_at = out.size();
   put_header(out, FrameType::ParseRequest, 0);
   put_u8(out, static_cast<std::uint8_t>(req.backend));
   put_u8(out, req.flags);
   put_u32(out, req.deadline_ms);
-  put_str16(out, req.grammar);
-  put_u16(out, static_cast<std::uint16_t>(req.words.size()));
-  for (const std::string& w : req.words) put_str16(out, w);
-  patch_len(out, header_at);
+  bool ok = put_str16(out, req.grammar) && req.words.size() <= 0xffff;
+  if (ok) {
+    put_u16(out, static_cast<std::uint16_t>(req.words.size()));
+    for (const std::string& w : req.words)
+      if (!(ok = put_str16(out, w))) break;
+  }
+  if (!ok || !patch_len(out, header_at)) {
+    out.resize(header_at);
+    return false;
+  }
+  return true;
 }
 
-void encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out) {
+bool encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out) {
   const std::size_t header_at = out.size();
   put_header(out, FrameType::ParseResponse, 0);
   put_u8(out, static_cast<std::uint8_t>(resp.status));
@@ -154,22 +174,32 @@ void encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out) {
   put_u64(out, resp.domains_hash);
   put_u32(out, resp.alive_role_values);
   put_u32(out, resp.latency_us);
-  put_str16(out, resp.error);
-  put_u16(out, static_cast<std::uint16_t>(resp.domains.size()));
-  for (const util::DynBitset& d : resp.domains) {
-    put_u32(out, static_cast<std::uint32_t>(d.size()));
-    // Bit i travels as bit (i % 8) of byte (i / 8).
-    std::uint8_t acc = 0;
-    for (std::size_t i = 0; i < d.size(); ++i) {
-      if (d.test(i)) acc |= static_cast<std::uint8_t>(1u << (i % 8));
-      if (i % 8 == 7) {
-        put_u8(out, acc);
-        acc = 0;
+  bool ok = put_str16(out, resp.error) && resp.domains.size() <= 0xffff;
+  if (ok) {
+    put_u16(out, static_cast<std::uint16_t>(resp.domains.size()));
+    for (const util::DynBitset& d : resp.domains) {
+      if (d.size() > 0xffffffffull) {
+        ok = false;
+        break;
       }
+      put_u32(out, static_cast<std::uint32_t>(d.size()));
+      // Bit i travels as bit (i % 8) of byte (i / 8).
+      std::uint8_t acc = 0;
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        if (d.test(i)) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+        if (i % 8 == 7) {
+          put_u8(out, acc);
+          acc = 0;
+        }
+      }
+      if (d.size() % 8 != 0) put_u8(out, acc);
     }
-    if (d.size() % 8 != 0) put_u8(out, acc);
   }
-  patch_len(out, header_at);
+  if (!ok || !patch_len(out, header_at)) {
+    out.resize(header_at);
+    return false;
+  }
+  return true;
 }
 
 void encode_control(FrameType type, std::vector<std::uint8_t>& out) {
@@ -246,7 +276,9 @@ DecodeStatus decode_response(const std::uint8_t* buf, std::size_t n,
   for (std::uint16_t d = 0; d < ndomains; ++d) {
     std::uint32_t nbits = 0;
     if (!r.get_u32(nbits)) return DecodeStatus::Truncated;
-    const std::size_t nbytes = (nbits + 7) / 8;
+    // 64-bit arithmetic: nbits near UINT32_MAX must not wrap nbytes to
+    // 0 and sail past the bounds check into an out-of-bounds bit copy.
+    const std::size_t nbytes = (static_cast<std::size_t>(nbits) + 7) / 8;
     if (r.remaining() < nbytes) return DecodeStatus::Truncated;
     util::DynBitset bs(nbits);
     for (std::uint32_t i = 0; i < nbits; ++i)
@@ -270,8 +302,11 @@ WireResponse to_wire(const serve::ParseResponse& resp, int shard) {
   w.grammar_epoch = resp.grammar_epoch;
   w.domains_hash = resp.domains_hash;
   w.alive_role_values = static_cast<std::uint32_t>(resp.alive_role_values);
+  // Clamp before the double->u32 cast: an out-of-range conversion
+  // (latency beyond ~71 minutes, e.g. a stuck watchdog) is UB.
   const double us = (resp.queue_seconds + resp.parse_seconds) * 1e6;
-  w.latency_us = us > 0 ? static_cast<std::uint32_t>(us) : 0;
+  w.latency_us =
+      us > 0 ? static_cast<std::uint32_t>(std::min(us, 4294967295.0)) : 0;
   w.error = resp.error;
   w.domains = resp.domains;
   return w;

@@ -41,7 +41,9 @@ inline constexpr std::uint8_t kMagic[4] = {0x50, 0x41, 0x52, 0x43};
 inline constexpr std::uint8_t kWireVersion = 1;
 inline constexpr std::size_t kHeaderSize = 10;
 /// Upper bound on one frame's payload; anything larger is rejected
-/// before allocation (a 1 MiB frame already fits ~100k-word requests).
+/// before allocation.  The u16 word-count field caps a request at
+/// 65535 words, which fits comfortably: 65535 five-letter words frame
+/// in under 460 KiB of this 1 MiB budget.
 inline constexpr std::uint32_t kMaxPayload = 1u << 20;
 
 enum class FrameType : std::uint8_t {
@@ -117,12 +119,22 @@ struct FrameHeader {
 };
 
 // ---- encoding ------------------------------------------------------------
+//
+// Encoders fail fast instead of silently truncating: a message that
+// cannot be framed honestly (a string over 65535 bytes, more than
+// 65535 words/domains, or a payload past kMaxPayload) returns false
+// with `out` rolled back to its original size, and no bytes reach the
+// wire.  Emitting a frame whose length fields disagree with its
+// contents would only move the failure to the peer, which rejects the
+// frame and drops the connection.
 
 /// Appends a complete frame (header + payload) for `req` to `out`.
-void encode_request(const WireRequest& req, std::vector<std::uint8_t>& out);
+/// False (and `out` unchanged) when `req` exceeds the wire limits.
+bool encode_request(const WireRequest& req, std::vector<std::uint8_t>& out);
 
 /// Appends a complete frame (header + payload) for `resp` to `out`.
-void encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out);
+/// False (and `out` unchanged) when `resp` exceeds the wire limits.
+bool encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out);
 
 /// Appends an empty-payload control frame (Ping / Pong) to `out`.
 void encode_control(FrameType type, std::vector<std::uint8_t>& out);

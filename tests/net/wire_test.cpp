@@ -30,7 +30,7 @@ WireRequest sample_request() {
 TEST(WireProtocol, RequestRoundTrips) {
   const WireRequest req = sample_request();
   std::vector<std::uint8_t> frame;
-  encode_request(req, frame);
+  ASSERT_TRUE(encode_request(req, frame));
 
   FrameHeader header;
   ASSERT_EQ(decode_header(frame.data(), frame.size(), header),
@@ -69,7 +69,7 @@ TEST(WireProtocol, ResponseRoundTripsWithDomains) {
   resp.domains.push_back(d);
 
   std::vector<std::uint8_t> frame;
-  encode_response(resp, frame);
+  ASSERT_TRUE(encode_response(resp, frame));
   FrameHeader header;
   ASSERT_EQ(decode_header(frame.data(), frame.size(), header),
             DecodeStatus::Ok);
@@ -107,7 +107,7 @@ TEST(WireProtocol, GoldenHexdumpMatchesTheManual) {
   req.flags = 0;
   req.words = {"the", "dog", "runs"};
   std::vector<std::uint8_t> frame;
-  encode_request(req, frame);
+  ASSERT_TRUE(encode_request(req, frame));
 
   const std::uint8_t golden[] = {
       // header: magic "PARC", version 1, type 1, payload length 33
@@ -232,6 +232,148 @@ TEST(WireProtocol, MutationFuzzNeverCrashes) {
                          req);
   }
   SUCCEED();
+}
+
+WireResponse sample_response() {
+  WireResponse resp;
+  resp.status = serve::RequestStatus::Ok;
+  resp.served_backend = engine::Backend::Maspar;
+  resp.accepted = true;
+  resp.shard = 1;
+  resp.grammar_epoch = 3;
+  resp.domains_hash = 0xfeedfacecafebeefull;
+  resp.latency_us = 512;
+  resp.error = "x";
+  util::DynBitset d(21);
+  d.set(2);
+  d.set(20);
+  resp.domains.push_back(d);
+  resp.domains.push_back(util::DynBitset(8));
+  return resp;
+}
+
+// Regression for the decode_response overflow: a domain bit-count near
+// UINT32_MAX used to wrap (nbits + 7) / 8 to a tiny nbytes in 32-bit
+// arithmetic, pass the bounds check, and read ~512 MiB past the
+// payload.  Every hostile count must land in Truncated instead.
+TEST(WireProtocol, HostileDomainBitCountIsRejected) {
+  WireResponse resp;  // no domains
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(encode_response(resp, frame));
+  auto payload = std::vector<std::uint8_t>(frame.begin() + kHeaderSize,
+                                           frame.end());
+  // Patch the trailing domain count to 1 and append a lying bit-count
+  // plus a few real bytes for a broken decoder to march past.
+  payload[payload.size() - 2] = 1;
+  payload[payload.size() - 1] = 0;
+  for (std::uint64_t nbits = 0xFFFFFFF9ull; nbits <= 0xFFFFFFFFull; ++nbits) {
+    auto evil = payload;
+    for (int i = 0; i < 4; ++i)
+      evil.push_back(static_cast<std::uint8_t>(nbits >> (8 * i)));
+    evil.insert(evil.end(), 8, 0xab);
+    WireResponse back;
+    EXPECT_EQ(decode_response(evil.data(), evil.size(), back),
+              DecodeStatus::Truncated)
+        << nbits;
+  }
+}
+
+// The response decoder gets the same hostility sweep as the request
+// decoder: every truncation rejected cleanly, trailing garbage is
+// Malformed, and random corruption never crashes (ASan/UBSan in CI).
+TEST(WireProtocol, ResponseTruncationsAndMutationsNeverCrash) {
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(encode_response(sample_response(), frame));
+  FrameHeader header;
+  ASSERT_EQ(decode_header(frame.data(), frame.size(), header),
+            DecodeStatus::Ok);
+
+  WireResponse back;
+  for (std::size_t n = 0; n < header.payload_len; ++n)
+    EXPECT_EQ(decode_response(frame.data() + kHeaderSize, n, back),
+              DecodeStatus::Truncated)
+        << n;
+  std::vector<std::uint8_t> longer(frame.begin() + kHeaderSize, frame.end());
+  longer.push_back(0xee);
+  EXPECT_EQ(decode_response(longer.data(), longer.size(), back),
+            DecodeStatus::Malformed);
+
+  std::mt19937 rng(0xd0d0);
+  std::uniform_int_distribution<std::size_t> pos(0, frame.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int iter = 0; iter < 20000; ++iter) {
+    auto mutated = frame;
+    const int flips = 1 + iter % 4;
+    for (int f = 0; f < flips; ++f)
+      mutated[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    const DecodeStatus hs =
+        decode_header(mutated.data(), mutated.size(), header);
+    if (hs != DecodeStatus::Ok) continue;
+    const std::size_t avail = mutated.size() - kHeaderSize;
+    (void)decode_response(mutated.data() + kHeaderSize,
+                          std::min<std::size_t>(avail, header.payload_len),
+                          back);
+  }
+  SUCCEED();
+}
+
+// Encoders refuse messages the frame format cannot represent instead
+// of emitting self-inconsistent bytes, and roll `out` back so nothing
+// half-framed reaches the wire.
+TEST(WireProtocol, EncodeRefusesUnframeableMessages) {
+  const std::vector<std::uint8_t> sentinel = {0xaa, 0xbb};
+
+  WireRequest req = sample_request();
+  req.words.push_back(std::string(70000, 'w'));  // word > u16 length field
+  auto out = sentinel;
+  EXPECT_FALSE(encode_request(req, out));
+  EXPECT_EQ(out, sentinel);
+
+  req = sample_request();
+  req.grammar.assign(70000, 'g');
+  out = sentinel;
+  EXPECT_FALSE(encode_request(req, out));
+  EXPECT_EQ(out, sentinel);
+
+  req = sample_request();
+  req.words.assign(65536, "w");  // word count > u16
+  out = sentinel;
+  EXPECT_FALSE(encode_request(req, out));
+  EXPECT_EQ(out, sentinel);
+
+  req = sample_request();
+  req.words.assign(20, std::string(60000, 'w'));  // payload > kMaxPayload
+  out = sentinel;
+  EXPECT_FALSE(encode_request(req, out));
+  EXPECT_EQ(out, sentinel);
+
+  WireResponse resp;
+  resp.error.assign(70000, 'e');
+  out = sentinel;
+  EXPECT_FALSE(encode_response(resp, out));
+  EXPECT_EQ(out, sentinel);
+
+  resp = WireResponse{};
+  resp.domains.assign(65536, util::DynBitset(1));  // domain count > u16
+  out = sentinel;
+  EXPECT_FALSE(encode_response(resp, out));
+  EXPECT_EQ(out, sentinel);
+
+  // The limits are exact, not fuzzy: 65535 one-byte words still frame.
+  req = sample_request();
+  req.words.assign(65535, "w");
+  out.clear();
+  EXPECT_TRUE(encode_request(req, out));
+}
+
+TEST(WireProtocol, ToWireClampsAbsurdLatencies) {
+  serve::ParseResponse resp;
+  resp.queue_seconds = 5000.0;  // ~83 min in micros overflows u32
+  resp.parse_seconds = 1.0;
+  EXPECT_EQ(to_wire(resp, 0).latency_us, 0xFFFFFFFFu);
+  resp.queue_seconds = 0.0;
+  resp.parse_seconds = 0.5;
+  EXPECT_EQ(to_wire(resp, 0).latency_us, 500000u);
 }
 
 TEST(WireProtocol, RouteHashSeparatesTenantsAndSentences) {
