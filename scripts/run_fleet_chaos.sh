@@ -1,0 +1,239 @@
+#!/usr/bin/env bash
+# Chaos-test a supervised parse fleet, then A/B the straggler hedge.
+#
+#   scripts/run_fleet_chaos.sh [--requests R] [--qps Q] [--backend NAME]
+#                              [--port-base P] [--build-dir DIR] [--out DIR]
+#
+# Two scenarios, both gated (nonzero exit on any violation):
+#
+#   1. kill -9 / hang chaos under fleet_supervisord.  Two supervised
+#      shards behind a parse_router (budgeted retries + auto hedging),
+#      loadgen replaying the deterministic corpus open-loop with
+#      --ref-check.  Mid-run, shard 0 is SIGKILLed and shard 1 is
+#      SIGSTOPped (the supervisor detects the hang via failed pings,
+#      SIGKILLs it, and restarts both).  Gate: zero failed requests,
+#      zero duplicated executions (idempotency-key echo mismatches),
+#      zero bit-identity mismatches, and the supervisor actually
+#      restarted >= 2 shards — i.e. the chaos fired.
+#
+#   2. Straggler hedge A/B.  Two unsupervised shards, one poisoned
+#      with bench/plans/straggler.plan (injected engine latency makes
+#      it answer correctly but slowly).  The same load runs once with
+#      hedging off and once with a fixed hedge delay; the hedged run's
+#      p99 must beat the unhedged run's.
+#
+# Artifacts land in --out: CHAOS_fleet.json (loadgen --chaos-out
+# before/during/after phase split), BENCH_resilience.json (the
+# repo-root resilience bench merged with both scenarios' numbers),
+# fleet/router/shard logs and metrics.  This script IS the CI
+# fleet-chaos-smoke job and the docs/ROBUSTNESS.md fleet walkthrough —
+# keep the three in lockstep.
+set -euo pipefail
+
+REQUESTS=180
+QPS=12
+BACKEND=maspar
+PORT_BASE=9600
+BUILD_DIR=build
+OUT=chaos-out
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --requests) REQUESTS=$2; shift 2 ;;
+    --qps) QPS=$2; shift 2 ;;
+    --backend) BACKEND=$2; shift 2 ;;
+    --port-base) PORT_BASE=$2; shift 2 ;;
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    *) echo "usage: $0 [--requests R] [--qps Q] [--backend NAME]" \
+            "[--port-base P] [--build-dir DIR] [--out DIR]" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="$BUILD_DIR/src"
+mkdir -p "$OUT"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_for_line() {  # $1 = logfile, $2 = grep pattern
+  for _ in $(seq 1 150); do
+    if grep -q "$2" "$1" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "timed out waiting for '$2' in $1" >&2
+  cat "$1" >&2 || true
+  return 1
+}
+
+router_port() {  # $1 = router logfile
+  sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$1"
+}
+
+shard_pid() {  # $1 = fleet logfile, $2 = shard index; latest generation wins
+  grep -oP "shard $2: up \(pid \K[0-9]+" "$1" | tail -1
+}
+
+# ---------------------------------------------------------------- 1 --
+echo "== scenario 1: kill -9 + hang under the supervisor =="
+
+"$BIN/fleet_supervisord" --shards 2 --port-base "$PORT_BASE" \
+  --ping-interval-ms 100 --ping-timeout-ms 300 --hang-pings 2 \
+  --backoff-base-ms 50 --backoff-max-ms 500 \
+  --metrics-out "$OUT/fleet_metrics.prom" \
+  > "$OUT/fleet.log" 2>&1 &
+SUP_PID=$!
+PIDS+=($SUP_PID)
+wait_for_line "$OUT/fleet.log" "^supervising 2 shards"
+
+"$BIN/parse_router" \
+  --shard "127.0.0.1:$PORT_BASE" --shard "127.0.0.1:$((PORT_BASE + 1))" \
+  --hedge-ms 0 --attempt-timeout-ms 2000 --backoff-base-ms 10 \
+  --metrics-out "$OUT/router_metrics.prom" \
+  > "$OUT/router.log" 2>&1 &
+ROUTER_PID=$!
+PIDS+=($ROUTER_PID)
+wait_for_line "$OUT/router.log" "^listening on "
+ROUTER_PORT=$(router_port "$OUT/router.log")
+echo "router: 127.0.0.1:$ROUTER_PORT"
+
+# Open-loop load in the background; the chaos lands mid-run so the
+# --chaos-out before/during/after phases mean what they say.
+rc=0
+"$BIN/loadgen" --connect "127.0.0.1:$ROUTER_PORT" \
+  --requests "$REQUESTS" --qps "$QPS" --backend "$BACKEND" \
+  --ref-check --timeout-ms 15000 \
+  --chaos-out "$OUT/CHAOS_fleet.json" --json "$OUT/BENCH_fleet_chaos.json" \
+  > "$OUT/loadgen.log" 2>&1 &
+LOAD_PID=$!
+
+DURATION=$((REQUESTS / QPS))
+sleep "$((DURATION / 4))"
+PID0=$(shard_pid "$OUT/fleet.log" 0)
+echo "chaos: kill -9 shard 0 (pid $PID0)"
+kill -9 "$PID0"
+
+sleep "$((DURATION / 4))"
+PID1=$(shard_pid "$OUT/fleet.log" 1)
+echo "chaos: SIGSTOP shard 1 (pid $PID1) — supervisor must hang-kill it"
+kill -STOP "$PID1"
+
+wait "$LOAD_PID" || rc=$?
+cat "$OUT/loadgen.log"
+
+# Drain the fleet so the supervisor prints its final restart tally.
+kill -TERM "$ROUTER_PID" "$SUP_PID" 2>/dev/null || true
+wait "$ROUTER_PID" 2>/dev/null || true
+wait "$SUP_PID" 2>/dev/null || true
+PIDS=()
+
+if [[ "$rc" -ne 0 ]]; then
+  echo "FAIL: loadgen exited $rc under chaos" >&2
+  exit 1
+fi
+
+python3 - "$OUT/CHAOS_fleet.json" "$OUT/fleet.log" <<'EOF'
+import json, re, sys
+d = json.load(open(sys.argv[1]))
+assert d['failed'] == 0, f"lost requests under chaos: {d['failed']}"
+assert d['duplicates'] == 0, \
+    f"duplicated executions (key-echo mismatch): {d['duplicates']}"
+assert d['ref_mismatches'] == 0, 'bit-identity broken across restarts'
+assert d['ok'] == d['requests'], (d['ok'], d['requests'])
+tally = re.search(r'supervised 2 shards: (\d+) restarts, (\d+) hang kills',
+                  open(sys.argv[2]).read())
+assert tally, 'supervisor never printed its final tally'
+restarts, hang_kills = int(tally.group(1)), int(tally.group(2))
+assert restarts >= 2, f'chaos did not fire: only {restarts} restarts'
+assert hang_kills >= 1, 'SIGSTOPped shard was never hang-killed'
+p = d['phases']
+print(f"chaos gate ok: {d['ok']}/{d['requests']} requests, "
+      f"{restarts} restarts ({hang_kills} hang kills); goodput "
+      f"before/during/after = {p['before']['goodput_rps']:.1f}/"
+      f"{p['during']['goodput_rps']:.1f}/{p['after']['goodput_rps']:.1f} rps")
+EOF
+
+# ---------------------------------------------------------------- 2 --
+echo
+echo "== scenario 2: straggler hedge A/B =="
+
+"$BIN/parse_serverd" --port "$((PORT_BASE + 10))" \
+  > "$OUT/shard_clean.log" 2>&1 &
+PIDS+=($!)
+"$BIN/parse_serverd" --port "$((PORT_BASE + 11))" \
+  --fault-plan "$ROOT/bench/plans/straggler.plan" \
+  > "$OUT/shard_straggler.log" 2>&1 &
+PIDS+=($!)
+wait_for_line "$OUT/shard_clean.log" "^listening on "
+wait_for_line "$OUT/shard_straggler.log" "^listening on "
+
+SHARDS=(--shard "127.0.0.1:$((PORT_BASE + 10))"
+        --shard "127.0.0.1:$((PORT_BASE + 11))")
+
+run_ab() {  # $1 = hedge-ms, $2 = loadgen seed, $3 = json out
+  "$BIN/parse_router" "${SHARDS[@]}" --route-by sentence --hedge-ms "$1" \
+    > "$OUT/router_ab.log" 2>&1 &
+  local router=$!
+  wait_for_line "$OUT/router_ab.log" "^listening on "
+  local port
+  port=$(router_port "$OUT/router_ab.log")
+  # Distinct seeds per leg: same seed would replay the same
+  # idempotency keys and the second leg would be answered from the
+  # shards' single-flight caches instead of being parsed.
+  "$BIN/loadgen" --connect "127.0.0.1:$port" --requests 60 --qps 10 \
+    --seed "$2" --backend "$BACKEND" --json "$3"
+  kill -TERM "$router" 2>/dev/null || true
+  wait "$router" 2>/dev/null || true
+}
+
+run_ab -1 11 "$OUT/BENCH_hedge_off.json"
+run_ab 60 22 "$OUT/BENCH_hedge_on.json"
+
+cleanup
+trap - EXIT
+PIDS=()
+
+# Gate the A/B and merge everything into the resilience bench file.
+python3 - "$OUT" "$ROOT" <<'EOF'
+import json, os, sys
+out, root = sys.argv[1], sys.argv[2]
+off = json.load(open(os.path.join(out, 'BENCH_hedge_off.json')))
+on = json.load(open(os.path.join(out, 'BENCH_hedge_on.json')))
+p99_off, p99_on = off['latency_ms']['p99'], on['latency_ms']['p99']
+assert on['failed'] == 0 and off['failed'] == 0
+assert on['hedges']['fired'] > 0, 'hedge never fired against the straggler'
+assert p99_on < p99_off, \
+    f'hedging did not cut p99: {p99_on:.1f}ms vs {p99_off:.1f}ms'
+print(f"hedge gate ok: p99 {p99_off:.1f}ms -> {p99_on:.1f}ms "
+      f"({100 * (1 - p99_on / p99_off):.0f}% cut), "
+      f"{on['hedges']['fired']} hedges fired, {on['hedges']['won']} won")
+
+merged = {}
+committed = os.path.join(root, 'BENCH_resilience.json')
+if os.path.exists(committed):
+    merged = json.load(open(committed))
+merged['fleet'] = json.load(open(os.path.join(out, 'CHAOS_fleet.json')))
+merged['hedge'] = {
+    'straggler_plan': 'bench/plans/straggler.plan',
+    'off': {'p50_ms': off['latency_ms']['p50'], 'p99_ms': p99_off},
+    'on': {'p50_ms': on['latency_ms']['p50'], 'p99_ms': p99_on,
+           'hedges': on['hedges']},
+    'p99_cut': round(1 - p99_on / p99_off, 4),
+}
+with open(os.path.join(out, 'BENCH_resilience.json'), 'w') as f:
+    json.dump(merged, f, indent=1)
+    f.write('\n')
+EOF
+
+echo
+echo "chaos artifacts in $OUT/ (CHAOS_fleet.json, BENCH_resilience.json," \
+     "fleet/router/shard logs + metrics)"

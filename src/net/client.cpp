@@ -10,22 +10,30 @@ std::optional<Client> Client::connect(const std::string& host,
 }
 
 bool Client::request(const WireRequest& req, WireResponse& resp,
-                     std::string* err) {
+                     std::string* err, int timeout_ms) {
+  return send_request(req, err) && recv_response(resp, err, timeout_ms);
+}
+
+bool Client::send_request(const WireRequest& req, std::string* err) {
   buf_.clear();
   if (!encode_request(req, buf_)) {
     if (err) *err = "request exceeds wire limits";
     return false;
   }
-  if (!write_frame(sock_, buf_, err)) return false;
+  return write_frame(sock_, buf_, err);
+}
+
+bool Client::recv_response(WireResponse& resp, std::string* err,
+                           int timeout_ms) {
   Frame frame;
   DecodeStatus status;
-  if (!read_frame(sock_, frame, &status, err)) return false;
+  if (!read_frame(sock_, frame, &status, err, timeout_ms)) return false;
   if (frame.header.type != FrameType::ParseResponse) {
     if (err) *err = "unexpected frame type";
     return false;
   }
-  const DecodeStatus ds =
-      decode_response(frame.payload.data(), frame.payload.size(), resp);
+  const DecodeStatus ds = decode_response(
+      frame.payload.data(), frame.payload.size(), resp, frame.header.version);
   if (ds != DecodeStatus::Ok) {
     if (err) *err = std::string("response ") + to_string(ds);
     return false;

@@ -21,15 +21,36 @@ class Client {
   static std::optional<Client> connect(const std::string& host,
                                        std::uint16_t port, std::string* err);
 
-  /// Sends `req` and blocks for the response.  False on any transport
-  /// or protocol failure (the connection is unusable afterwards —
-  /// reconnect).
-  bool request(const WireRequest& req, WireResponse& resp, std::string* err);
+  /// Sends `req` and blocks for the response, for at most `timeout_ms`
+  /// (-1 = wait forever).  False on any transport or protocol failure
+  /// (the connection is unusable afterwards — reconnect); err is
+  /// exactly "timeout" when the peer accepted the request but never
+  /// answered within the budget, which is the failover signal for a
+  /// shard hung mid-frame.
+  bool request(const WireRequest& req, WireResponse& resp, std::string* err,
+               int timeout_ms = -1);
+
+  // Split-phase API for the router's straggler hedging: fire the
+  // request (send_request), poll socket().fd() while deciding whether
+  // to hedge, then collect with recv_response.  A request() is exactly
+  // send_request + recv_response.
+
+  /// Writes the request frame without waiting for the response.
+  bool send_request(const WireRequest& req, std::string* err);
+
+  /// Reads one response frame (pairs with the last send_request).  On
+  /// timeout the socket is closed — the pending reply can never be
+  /// collected, so the leg must reconnect.
+  bool recv_response(WireResponse& resp, std::string* err,
+                     int timeout_ms = -1);
 
   /// Health probe: Ping, expect Pong within `timeout_ms`.
   bool ping(int timeout_ms, std::string* err);
 
   bool valid() const { return sock_.valid(); }
+
+  /// Underlying socket (for poll()ing several legs at once).
+  const Socket& socket() const { return sock_; }
 
  private:
   explicit Client(Socket s) : sock_(std::move(s)) {}

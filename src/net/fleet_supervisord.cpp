@@ -1,0 +1,150 @@
+// fleet_supervisord: keeps a parse_serverd fleet alive
+// (docs/SERVING.md §fleet, docs/ROBUSTNESS.md fleet taxonomy).
+//
+//   fleet_supervisord [--shards N] [--port-base P] [--serverd PATH]
+//                     [--restart-budget N] [--backoff-base-ms MS]
+//                     [--backoff-max-ms MS] [--ping-interval-ms MS]
+//                     [--ping-timeout-ms MS] [--hang-pings N]
+//                     [--startup-grace-ms MS] [--metrics-out PATH]
+//                     [-- <args passed to every parse_serverd>]
+//
+// Spawns N shards on ports P..P+N-1 (shard i inherits this process's
+// stdout, so each shard's own "listening on 127.0.0.1:<port>" line
+// appears here too), restarts crashed or hung shards under a budgeted
+// backoff, and prints one "[fleet] ..." line per lifecycle event —
+// scripts/run_fleet_chaos.sh greps them.  Prints exactly one
+//
+//     supervising <N> shards on 127.0.0.1:<P>..<P+N-1>
+//
+// line once every shard answers pings.  --serverd defaults to a
+// parse_serverd binary next to this executable.  SIGTERM/SIGINT drain
+// the fleet (SIGTERM to every shard, bounded grace, then SIGKILL) and
+// exit 0.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/supervisor.h"
+#include "obs/metrics.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::cerr << "usage: fleet_supervisord [--shards N] [--port-base P]"
+               " [--serverd PATH] [--restart-budget N]"
+               " [--backoff-base-ms MS] [--backoff-max-ms MS]"
+               " [--ping-interval-ms MS] [--ping-timeout-ms MS]"
+               " [--hang-pings N] [--startup-grace-ms MS]"
+               " [--metrics-out PATH] [-- serverd args...]\n";
+  return 2;
+}
+
+std::string sibling_serverd(const char* argv0) {
+  std::string self(argv0);
+  const std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "parse_serverd";
+  return self.substr(0, slash + 1) + "parse_serverd";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parsec;
+
+  net::Supervisor::Options opt;
+  opt.shards = 2;
+  opt.port_base = 9300;
+  opt.serverd_path = sibling_serverd(argv[0]);
+  std::string metrics_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument("missing value");
+        return argv[++i];
+      };
+      if (arg == "--shards")
+        opt.shards = std::stoi(next());
+      else if (arg == "--port-base")
+        opt.port_base = static_cast<std::uint16_t>(std::stoi(next()));
+      else if (arg == "--serverd")
+        opt.serverd_path = next();
+      else if (arg == "--restart-budget")
+        opt.restart_budget = std::stoi(next());
+      else if (arg == "--backoff-base-ms")
+        opt.backoff_base = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--backoff-max-ms")
+        opt.backoff_max = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--ping-interval-ms")
+        opt.ping_interval = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--ping-timeout-ms")
+        opt.ping_timeout_ms = std::stoi(next());
+      else if (arg == "--hang-pings")
+        opt.hang_pings = std::stoi(next());
+      else if (arg == "--startup-grace-ms")
+        opt.startup_grace_ms = std::stoi(next());
+      else if (arg == "--metrics-out")
+        metrics_path = next();
+      else if (arg == "--") {
+        for (int j = i + 1; j < argc; ++j)
+          opt.shard_args.emplace_back(argv[j]);
+        break;
+      } else
+        return usage();
+    }
+  } catch (const std::exception&) {
+    return usage();
+  }
+
+  opt.log = [](const std::string& line) {
+    std::cout << "[fleet] " << line << std::endl;
+  };
+
+  std::unique_ptr<net::Supervisor> sup;
+  try {
+    sup = std::make_unique<net::Supervisor>(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_supervisord: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  if (sup->wait_all_up(/*timeout_ms=*/30000)) {
+    std::cout << "supervising " << opt.shards << " shards on "
+              << opt.host << ":" << opt.port_base << ".."
+              << (opt.port_base + opt.shards - 1) << std::endl;
+  } else {
+    std::cerr << "fleet_supervisord: fleet failed to come up within 30s"
+              << std::endl;
+    sup->stop();
+    return 1;
+  }
+
+  while (!g_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::cout << "[fleet] draining" << std::endl;
+  sup->stop();
+  const auto stats = sup->stats();
+
+  if (!metrics_path.empty()) {
+    std::ofstream m(metrics_path);
+    m << obs::Registry::global().scrape();
+  }
+
+  std::cout << "[fleet] supervised " << stats.shards.size()
+            << " shards: " << stats.restarts << " restarts, "
+            << stats.hang_kills << " hang kills, "
+            << stats.permanently_down << " permanently down"
+            << std::endl;
+  return 0;
+}

@@ -3,7 +3,8 @@
 //   loadgen --connect HOST:PORT [--requests N] [--qps Q]
 //           [--connections C] [--lo L] [--hi H] [--seed S]
 //           [--grammar NAME] [--backend NAME] [--deadline-ms D]
-//           [--domains] [--ref-check] [--allow-errors] [--json PATH]
+//           [--timeout-ms T] [--domains] [--ref-check]
+//           [--allow-errors] [--json PATH] [--chaos-out PATH]
 //
 // Replays a deterministic English corpus (SentenceGenerator, lengths
 // cycling L..H) against a server or router.  With --qps the schedule is
@@ -23,6 +24,19 @@
 //
 // --json writes BENCH_fleet.json: goodput, latency percentiles, error
 // mix, per-shard request counts and skew (max/mean over shards seen).
+//
+// Fault-tolerance accounting (docs/ROBUSTNESS.md): every request is
+// stamped with a deterministic idempotency key and the response's key
+// echo is verified — an echo mismatch means the reply stream desynced
+// (a duplicated or crossed response) and is counted as a duplicate.
+// --timeout-ms bounds each request so a killed/hung shard surfaces as
+// a "timeout" outcome instead of wedging a worker forever.  Responses
+// answered by a hedge (router-stamped hedged/hedge_won bits) are
+// tallied.  --chaos-out writes a fleet-resilience JSON section that
+// splits the run into three equal windows by request index
+// (before/during/after the injected fault) with goodput and latency
+// percentiles per window — scripts/run_fleet_chaos.sh merges it into
+// BENCH_resilience.json and gates on failed/duplicates/mismatches.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -57,26 +71,43 @@ struct Config {
   std::string grammar = "english";
   engine::Backend backend = engine::Backend::Maspar;
   std::uint32_t deadline_ms = 0;
+  int timeout_ms = 0;  // 0 = wait forever
   bool domains = false;
   bool ref_check = false;
   bool allow_errors = false;
   std::string json_path;
+  std::string chaos_path;
 };
 
 struct Outcome {
+  int idx = 0;                 // request index (phase bucketing)
   double latency_ms = 0.0;
+  double done_s = 0.0;         // completion offset from run start
   int shard = -1;              // response shard byte (-1 = unset)
   std::string status;          // RequestStatus name or "transport"
   bool ok = false;
   bool hash_mismatch = false;
+  bool duplicate = false;      // idempotency-key echo mismatch
+  bool hedged = false;
+  bool hedge_won = false;
 };
+
+/// splitmix64: deterministic per-request idempotency keys (seeded, so
+/// reruns stamp identical keys and chaos runs replay).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 int usage() {
   std::cerr << "usage: loadgen --connect HOST:PORT [--requests N]"
                " [--qps Q] [--connections C] [--lo L] [--hi H]"
                " [--seed S] [--grammar NAME] [--backend NAME]"
-               " [--deadline-ms D] [--domains] [--ref-check]"
-               " [--allow-errors] [--json PATH]\n";
+               " [--deadline-ms D] [--timeout-ms T] [--domains]"
+               " [--ref-check] [--allow-errors] [--json PATH]"
+               " [--chaos-out PATH]\n";
   return 2;
 }
 
@@ -131,6 +162,8 @@ int main(int argc, char** argv) {
         cfg.backend = *b;
       } else if (arg == "--deadline-ms")
         cfg.deadline_ms = static_cast<std::uint32_t>(std::stoul(next()));
+      else if (arg == "--timeout-ms")
+        cfg.timeout_ms = std::stoi(next());
       else if (arg == "--domains")
         cfg.domains = true;
       else if (arg == "--ref-check")
@@ -139,6 +172,8 @@ int main(int argc, char** argv) {
         cfg.allow_errors = true;
       else if (arg == "--json")
         cfg.json_path = next();
+      else if (arg == "--chaos-out")
+        cfg.chaos_path = next();
       else
         return usage();
     }
@@ -208,10 +243,14 @@ int main(int argc, char** argv) {
                 : t0;
 
         Outcome o;
+        o.idx = i;
         if (!client || !client->valid()) {
           client = net::Client::connect(cfg.host, cfg.port, &err);
           if (!client) {
             o.status = "transport";
+            o.done_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
             out.push_back(o);
             continue;
           }
@@ -222,10 +261,19 @@ int main(int argc, char** argv) {
         req.deadline_ms = cfg.deadline_ms;
         req.flags = cfg.domains ? net::kFlagCaptureDomains : 0;
         req.words = corpus[static_cast<std::size_t>(i)];
+        // Deterministic, never-zero key: retries (ours or the
+        // router's) of request i always present the same identity.
+        req.idempotency_key =
+            splitmix64(cfg.seed ^ static_cast<std::uint64_t>(i) ^
+                       0x1d0a1d0aull) | 1;
 
         net::WireResponse resp;
-        if (!client->request(req, resp, &err)) {
-          o.status = "transport";
+        if (!client->request(req, resp, &err,
+                             cfg.timeout_ms > 0 ? cfg.timeout_ms : -1)) {
+          o.status = err == "timeout" ? "timeout" : "transport";
+          o.done_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
           client.reset();  // reconnect on the next request
           out.push_back(o);
           continue;
@@ -233,10 +281,19 @@ int main(int argc, char** argv) {
         const auto t1 = std::chrono::steady_clock::now();
         o.latency_ms =
             std::chrono::duration<double, std::milli>(t1 - sched_t0).count();
+        o.done_s = std::chrono::duration<double>(t1 - start).count();
         o.status = serve::to_string(resp.status);
         o.ok = resp.status == serve::RequestStatus::Ok;
         o.shard =
             resp.shard == net::kShardUnset ? -1 : static_cast<int>(resp.shard);
+        o.hedged = resp.hedged;
+        o.hedge_won = resp.hedge_won;
+        // A v2 responder echoes the key; 0 means a v1 peer (no echo).
+        // Any OTHER value is a crossed or duplicated reply — the
+        // response stream desynced from the request stream.
+        if (resp.idempotency_key != 0 &&
+            resp.idempotency_key != req.idempotency_key)
+          o.duplicate = true;
         if (o.ok && cfg.ref_check &&
             resp.domains_hash != reference[static_cast<std::size_t>(i)])
           o.hash_mismatch = true;
@@ -254,6 +311,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> error_mix;
   std::map<int, std::uint64_t> per_shard;
   std::uint64_t ok = 0, transport = 0, mismatches = 0;
+  std::uint64_t duplicates = 0, hedges = 0, hedge_wins = 0;
   for (const auto& outs : per_worker) {
     for (const auto& o : outs) {
       if (o.ok) {
@@ -267,6 +325,9 @@ int main(int argc, char** argv) {
       }
       if (o.shard >= 0) ++per_shard[o.shard];
       if (o.hash_mismatch) ++mismatches;
+      if (o.duplicate) ++duplicates;
+      if (o.hedged) ++hedges;
+      if (o.hedge_won) ++hedge_wins;
     }
   }
   const std::uint64_t failed =
@@ -296,6 +357,12 @@ int main(int argc, char** argv) {
       std::cout << " s" << shard << "=" << n;
     std::cout << " (skew " << skew << ")\n";
   }
+  if (hedges > 0)
+    std::cout << "  hedges: " << hedges << " fired, " << hedge_wins
+              << " won\n";
+  if (duplicates > 0)
+    std::cout << "  DUPLICATES (key-echo mismatches): " << duplicates
+              << "\n";
   if (cfg.ref_check)
     std::cout << "  ref-check: " << mismatches << " mismatches\n";
 
@@ -332,9 +399,71 @@ int main(int argc, char** argv) {
     }
     j << "},\n";
     j << "  \"shard_skew\": " << skew << ",\n"
+      << "  \"duplicates\": " << duplicates << ",\n"
+      << "  \"hedges\": {\"fired\": " << hedges << ", \"won\": "
+      << hedge_wins << "},\n"
       << "  \"ref_check\": " << (cfg.ref_check ? "true" : "false") << ",\n"
       << "  \"ref_mismatches\": " << mismatches << "\n"
       << "}\n";
+  }
+
+  // Fleet-resilience section: three equal windows by request index.
+  // Under an open-loop schedule the middle window is where the chaos
+  // script injects its fault, so before/during/after goodput and tail
+  // latency read straight off the windows.
+  if (!cfg.chaos_path.empty()) {
+    struct Phase {
+      util::Quantiles lat;
+      std::uint64_t ok = 0, total = 0;
+      double first_s = 1e300, last_s = 0.0;
+    };
+    std::array<Phase, 3> phases;
+    const int third = std::max(1, cfg.requests / 3);
+    for (const auto& outs : per_worker) {
+      for (const auto& o : outs) {
+        const int p = std::min(o.idx / third, 2);
+        Phase& ph = phases[static_cast<std::size_t>(p)];
+        ++ph.total;
+        if (o.ok) {
+          ++ph.ok;
+          ph.lat.add(o.latency_ms);
+        }
+        ph.first_s = std::min(ph.first_s, o.done_s);
+        ph.last_s = std::max(ph.last_s, o.done_s);
+      }
+    }
+    std::ofstream c(cfg.chaos_path);
+    c << "{\n"
+      << "  \"bench\": \"fleet_resilience\",\n"
+      << "  \"target\": \"" << json_escape(cfg.host) << ":" << cfg.port
+      << "\",\n"
+      << "  \"requests\": " << cfg.requests << ",\n"
+      << "  \"qps_target\": " << cfg.qps << ",\n"
+      << "  \"ok\": " << ok << ",\n"
+      << "  \"failed\": " << failed << ",\n"
+      << "  \"duplicates\": " << duplicates << ",\n"
+      << "  \"ref_mismatches\": " << mismatches << ",\n"
+      << "  \"hedges\": {\"fired\": " << hedges << ", \"won\": "
+      << hedge_wins << ", \"win_rate\": "
+      << (hedges > 0 ? static_cast<double>(hedge_wins) /
+                           static_cast<double>(hedges)
+                     : 0.0)
+      << "},\n"
+      << "  \"phases\": {\n";
+    const char* names[3] = {"before", "during", "after"};
+    for (int p = 0; p < 3; ++p) {
+      const Phase& ph = phases[static_cast<std::size_t>(p)];
+      const double span = ph.total > 0 && ph.last_s > ph.first_s
+                              ? ph.last_s - ph.first_s
+                              : 0.0;
+      c << "    \"" << names[p] << "\": {\"total\": " << ph.total
+        << ", \"ok\": " << ph.ok << ", \"failed\": "
+        << (ph.total - ph.ok) << ", \"goodput_rps\": "
+        << (span > 0 ? static_cast<double>(ph.ok) / span : 0.0)
+        << ", \"p50_ms\": " << ph.lat.p50() << ", \"p99_ms\": "
+        << ph.lat.p99() << "}" << (p < 2 ? "," : "") << "\n";
+    }
+    c << "  }\n}\n";
   }
 
   if (mismatches > 0) return 1;  // bit-identity failures are never ok

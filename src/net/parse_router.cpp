@@ -4,7 +4,15 @@
 //
 //   parse_router --shard HOST:PORT [--shard HOST:PORT]... [--port P]
 //                [--route-by tenant|sentence] [--probe-interval-ms N]
+//                [--max-attempts N] [--attempt-timeout-ms N]
+//                [--backoff-base-ms N] [--backoff-max-ms N]
+//                [--hedge-ms N] [--hedge-min-ms N]
 //                [--trace-out PATH] [--metrics-out PATH]
+//
+// Retry knobs map onto ParseRouter::Options (net/router.h):
+// --max-attempts bounds forwards per request, --hedge-ms < 0 disables
+// hedging, 0 derives the hedge delay from the p99 of recent forwards,
+// > 0 fixes it in milliseconds.
 //
 // Prints "listening on 127.0.0.1:<port>" once ready (parsed by
 // scripts/run_fleet.sh).  SIGTERM/SIGINT drain: stop accepting, finish
@@ -31,8 +39,10 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::cerr << "usage: parse_router --shard HOST:PORT [--shard HOST:PORT]..."
                " [--port P] [--route-by tenant|sentence]"
-               " [--probe-interval-ms N] [--trace-out PATH]"
-               " [--metrics-out PATH]\n";
+               " [--probe-interval-ms N] [--max-attempts N]"
+               " [--attempt-timeout-ms N] [--backoff-base-ms N]"
+               " [--backoff-max-ms N] [--hedge-ms N] [--hedge-min-ms N]"
+               " [--trace-out PATH] [--metrics-out PATH]\n";
   return 2;
 }
 
@@ -71,6 +81,18 @@ int main(int argc, char** argv) {
           return usage();
       } else if (arg == "--probe-interval-ms")
         opt.probe_interval = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--max-attempts")
+        opt.max_attempts = std::stoi(next());
+      else if (arg == "--attempt-timeout-ms")
+        opt.attempt_timeout_ms = std::stoi(next());
+      else if (arg == "--backoff-base-ms")
+        opt.retry_backoff_base = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--backoff-max-ms")
+        opt.retry_backoff_max = std::chrono::milliseconds(std::stoi(next()));
+      else if (arg == "--hedge-ms")
+        opt.hedge_delay_ms = std::stoi(next());
+      else if (arg == "--hedge-min-ms")
+        opt.hedge_min_delay_ms = std::stoi(next());
       else if (arg == "--trace-out")
         trace_path = next();
       else if (arg == "--metrics-out")
@@ -116,7 +138,10 @@ int main(int argc, char** argv) {
 
   std::cout << "routed " << stats.forwarded << "/" << stats.requests
             << " requests (" << stats.failovers << " failovers, "
-            << stats.unroutable << " unroutable); per-shard:";
+            << stats.retries << " retries, " << stats.hedges << " hedges ("
+            << stats.hedge_wins << " won), " << stats.unroutable
+            << " unroutable, " << stats.deadline_exhausted
+            << " deadline-exhausted); per-shard:";
   for (std::size_t i = 0; i < stats.per_shard.size(); ++i)
     std::cout << " " << stats.per_shard[i];
   std::cout << std::endl;

@@ -3,8 +3,13 @@
 //
 //   parse_serverd [--port P] [--shard-id N] [--threads T]
 //                 [--grammar NAME=PATH]... [--max-connections N]
-//                 [--cache] [--shed-load] [--fault-plan PATH]
-//                 [--trace-out PATH] [--metrics-out PATH]
+//                 [--idle-timeout-ms N] [--cache] [--shed-load]
+//                 [--fault-plan PATH] [--trace-out PATH]
+//                 [--metrics-out PATH]
+//
+// --idle-timeout-ms N reaps connections silent for N ms (0 = never):
+// a half-dead client (or a router leg abandoned after a hedge loss)
+// stops pinning a connection slot.
 //
 // Binds 127.0.0.1:P (P=0 → ephemeral) and prints exactly one line
 //
@@ -40,7 +45,8 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::cerr << "usage: parse_serverd [--port P] [--shard-id N]"
                " [--threads T] [--grammar NAME=PATH]..."
-               " [--max-connections N] [--cache] [--shed-load]"
+               " [--max-connections N] [--idle-timeout-ms N]"
+               " [--cache] [--shed-load]"
                " [--fault-plan PATH] [--trace-out PATH]"
                " [--metrics-out PATH]\n";
   return 2;
@@ -55,6 +61,7 @@ int main(int argc, char** argv) {
   int shard_id = -1;
   int threads = 0;
   std::size_t max_connections = 64;
+  int idle_timeout_ms = 0;
   bool cache = false;
   bool shed_load = false;
   std::vector<std::pair<std::string, std::string>> grammar_files;
@@ -75,6 +82,8 @@ int main(int argc, char** argv) {
         threads = std::stoi(next());
       else if (arg == "--max-connections")
         max_connections = std::stoul(next());
+      else if (arg == "--idle-timeout-ms")
+        idle_timeout_ms = std::stoi(next());
       else if (arg == "--cache")
         cache = true;
       else if (arg == "--shed-load")
@@ -140,6 +149,7 @@ int main(int argc, char** argv) {
   nopt.port = port;
   nopt.shard_id = shard_id;
   nopt.max_connections = max_connections;
+  nopt.idle_timeout_ms = idle_timeout_ms;
   std::unique_ptr<net::ParseServer> server;
   try {
     server = std::make_unique<net::ParseServer>(service, nopt);

@@ -1,10 +1,27 @@
 #include "net/router.h"
 
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <stdexcept>
 
 #include "obs/trace.h"
 
 namespace parsec::net {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed 64-bit hash for deterministic jitter
+/// and router-stamped idempotency keys.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 ParseRouter::ParseRouter(std::vector<ShardAddr> shards, Options opt)
     : opt_(opt) {
@@ -29,9 +46,24 @@ ParseRouter::ParseRouter(std::vector<ShardAddr> shards, Options opt)
   m_failovers_ =
       &reg.counter("parsec_net_router_failovers_total",
                    "Requests rerouted after a shard failure");
+  m_retries_ =
+      &reg.counter("parsec_net_router_retries_total",
+                   "Forward attempts beyond each request's first");
   m_unroutable_ =
       &reg.counter("parsec_net_router_unroutable_total",
                    "Requests refused because no shard was healthy");
+  m_hedges_won_[0] =
+      &reg.counter("parsec_net_hedges_total",
+                   "Hedged requests by which leg answered first",
+                   {{"won", "primary"}});
+  m_hedges_won_[1] =
+      &reg.counter("parsec_net_hedges_total",
+                   "Hedged requests by which leg answered first",
+                   {{"won", "hedge"}});
+  latency_ring_.assign(kLatencyRing, 0.0);
+  hedge_auto_ms_.store(std::max(50, opt_.hedge_min_delay_ms),
+                       std::memory_order_relaxed);
+  if (opt_.max_attempts < 1) opt_.max_attempts = 1;
 
   std::string err;
   listener_ = tcp_listen(opt_.port, /*backlog=*/64, &err);
@@ -60,7 +92,11 @@ ParseRouter::Stats ParseRouter::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.forwarded = forwarded_.load(std::memory_order_relaxed);
   s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   s.unroutable = unroutable_.load(std::memory_order_relaxed);
+  s.deadline_exhausted = deadline_exhausted_.load(std::memory_order_relaxed);
+  s.hedges = hedges_.load(std::memory_order_relaxed);
+  s.hedge_wins = hedge_wins_.load(std::memory_order_relaxed);
   s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
   for (const auto& sh : shards_) {
     s.per_shard.push_back(sh->forwards.load(std::memory_order_relaxed));
@@ -182,7 +218,8 @@ void ParseRouter::handle_connection(Conn* conn) {
 
     WireRequest req;
     const DecodeStatus ds =
-        decode_request(frame.payload.data(), frame.payload.size(), req);
+        decode_request(frame.payload.data(), frame.payload.size(), req,
+                       frame.header.version);
     std::vector<std::uint8_t> reply;
     if (ds != DecodeStatus::Ok) {
       frame_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -205,60 +242,322 @@ void ParseRouter::handle_connection(Conn* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-int ParseRouter::forward(const WireRequest& req,
+void ParseRouter::demote(std::size_t idx) {
+  Shard& sh = *shards_[idx];
+  sh.up.store(false, std::memory_order_release);
+  sh.m_up->set(0.0);
+}
+
+int ParseRouter::pick_shard(std::uint64_t key, std::size_t from,
+                            int skip) const {
+  const std::size_t n = shards_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (key + from + step) % n;
+    if (skip >= 0 && idx == static_cast<std::size_t>(skip)) continue;
+    if (shards_[idx]->up.load(std::memory_order_acquire))
+      return static_cast<int>(idx);
+  }
+  return -1;
+}
+
+std::uint64_t ParseRouter::next_key() {
+  // Never 0: 0 means "no key" on the wire.
+  const std::uint64_t k = splitmix64(
+      opt_.retry_seed ^
+      key_counter_.fetch_add(1, std::memory_order_relaxed));
+  return k == 0 ? 1 : k;
+}
+
+int ParseRouter::hedge_delay_now() const {
+  if (opt_.hedge_delay_ms > 0) return opt_.hedge_delay_ms;
+  return hedge_auto_ms_.load(std::memory_order_relaxed);
+}
+
+void ParseRouter::note_latency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % kLatencyRing;
+  ++latency_count_;
+  if (latency_count_ % 32 != 0) return;
+  // Refresh the auto hedge delay: p99 of the filled portion of the
+  // ring, floored at hedge_min_delay_ms and capped so a hedge can
+  // still fire inside the attempt budget.
+  const std::size_t have = static_cast<std::size_t>(
+      std::min<std::uint64_t>(latency_count_, kLatencyRing));
+  std::vector<double> sorted(
+      latency_ring_.begin(),
+      latency_ring_.begin() + static_cast<std::ptrdiff_t>(have));
+  const std::size_t k = std::min(
+      have - 1,
+      static_cast<std::size_t>(static_cast<double>(have) * 0.99));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                   sorted.end());
+  int p99 = static_cast<int>(sorted[k]) + 1;
+  p99 = std::max(p99, opt_.hedge_min_delay_ms);
+  if (opt_.attempt_timeout_ms > 0)
+    p99 = std::min(p99, std::max(1, opt_.attempt_timeout_ms / 2));
+  hedge_auto_ms_.store(p99, std::memory_order_relaxed);
+}
+
+int ParseRouter::attempt_once(const WireRequest& req,
+                              std::vector<std::optional<Client>>& legs,
+                              std::size_t idx, int budget_ms,
+                              WireResponse& wresp, std::string* err) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto left = [&](int total) {
+    if (total < 0) return -1;
+    return std::max(0, total - static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            clock::now() - t0).count()));
+  };
+  if (!legs[idx]->send_request(req, err)) {
+    legs[idx].reset();
+    return -1;
+  }
+  const bool hedge_enabled =
+      opt_.hedge_delay_ms >= 0 && shards_.size() > 1;
+  const int hedge_delay = hedge_delay_now();
+  // Hedge only when enabled AND the budget leaves room for the hedge
+  // to actually fire before the attempt expires.
+  if (!hedge_enabled || (budget_ms >= 0 && hedge_delay >= budget_ms)) {
+    if (!legs[idx]->recv_response(wresp, err, budget_ms)) {
+      legs[idx].reset();
+      return -1;
+    }
+    return static_cast<int>(idx);
+  }
+
+  if (poll_readable(legs[idx]->socket(), hedge_delay)) {
+    // Primary answered within the hedge delay: the common case.
+    if (!legs[idx]->recv_response(wresp, err, left(budget_ms))) {
+      legs[idx].reset();
+      return -1;
+    }
+    return static_cast<int>(idx);
+  }
+
+  // Primary is straggling.  Fire the hedge at a second healthy shard;
+  // when none is available (or its connect/send fails), fall back to
+  // waiting out the primary alone.
+  const std::uint64_t key =
+      route_hash(req, opt_.route_by == RouteBy::Sentence);
+  const int hidx = pick_shard(key, 0, static_cast<int>(idx));
+  bool hedge_sent = false;
+  if (hidx >= 0) {
+    const std::size_t h = static_cast<std::size_t>(hidx);
+    std::string herr;
+    if (!legs[h] || !legs[h]->valid())
+      legs[h] = Client::connect(shards_[h]->addr.host,
+                                shards_[h]->addr.port, &herr);
+    if (legs[h] && legs[h]->send_request(req, &herr)) {
+      hedge_sent = true;
+      hedges_.fetch_add(1, std::memory_order_relaxed);
+    } else if (legs[h]) {
+      legs[h].reset();
+    }
+  }
+  if (!hedge_sent) {
+    if (!legs[idx]->recv_response(wresp, err, left(budget_ms))) {
+      legs[idx].reset();
+      return -1;
+    }
+    return static_cast<int>(idx);
+  }
+
+  // Race the two legs; the first readable socket wins the decode.
+  // The loser's leg is reset — a late reply on a reused leg would
+  // pair with the wrong future request.  Duplicate execution is
+  // harmless: both shards reach the same fixpoint, and the
+  // idempotency key makes the duplicate visible to the service layer.
+  const std::size_t h = static_cast<std::size_t>(hidx);
+  for (;;) {
+    const int rem = left(budget_ms);
+    if (budget_ms >= 0 && rem <= 0) {
+      legs[idx].reset();
+      legs[h].reset();
+      if (err) *err = "timeout";
+      return -1;
+    }
+    pollfd pfds[2];
+    pfds[0] = {legs[idx]->socket().fd(), POLLIN, 0};
+    pfds[1] = {legs[h]->socket().fd(), POLLIN, 0};
+    const int rc = ::poll(pfds, 2, rem);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      legs[idx].reset();
+      legs[h].reset();
+      if (err) *err = "poll failed";
+      return -1;
+    }
+    if (rc == 0) continue;  // loops back into the budget check
+    const bool primary_ready = pfds[0].revents != 0;
+    const std::size_t winner = primary_ready ? idx : h;
+    const std::size_t loser = primary_ready ? h : idx;
+    const bool got =
+        legs[winner]->recv_response(wresp, err, left(budget_ms));
+    legs[loser].reset();
+    if (!got) {
+      legs[winner].reset();
+      return -1;
+    }
+    wresp.hedged = true;
+    wresp.hedge_won = !primary_ready;
+    if (!primary_ready)
+      hedge_wins_.fetch_add(1, std::memory_order_relaxed);
+    m_hedges_won_[primary_ready ? 0 : 1]->inc();
+    return static_cast<int>(winner);
+  }
+}
+
+int ParseRouter::forward(const WireRequest& req0,
                          std::vector<std::optional<Client>>& legs,
                          std::vector<std::uint8_t>& reply) {
+  using clock = std::chrono::steady_clock;
   reply.clear();
+  WireRequest req = req0;
+  // Stamp a retry identity onto keyless requests: with it, a retry
+  // after a lost response coalesces on (or replays from) the shard
+  // that already executed instead of parsing a second time.
+  if (req.idempotency_key == 0) req.idempotency_key = next_key();
   const std::uint64_t key =
       route_hash(req, opt_.route_by == RouteBy::Sentence);
   const std::size_t n = shards_.size();
+  const bool has_deadline = req0.deadline_ms > 0;
+  const auto t_start = clock::now();
+  const auto elapsed_ms = [&t_start] {
+    return static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            clock::now() - t_start).count());
+  };
+  const auto synthesize = [&](serve::RequestStatus st,
+                              const std::string& msg) {
+    WireResponse none;
+    none.status = st;
+    none.idempotency_key = req.idempotency_key;
+    none.error = msg;
+    encode_response(none, reply);  // minimal reply always fits
+    return -1;
+  };
+
   bool rerouted = false;
-  for (std::size_t step = 0; step < n; ++step) {
-    const std::size_t idx = (key + step) % n;
+  bool saw_healthy = false;
+  int attempts = 0;
+  std::size_t probe_from = 0;
+  std::string last_err;
+
+  while (attempts < opt_.max_attempts) {
+    const int idx_pick = pick_shard(key, probe_from, /*skip=*/-1);
+    if (idx_pick < 0) break;  // no healthy shard left
+    const std::size_t idx = static_cast<std::size_t>(idx_pick);
     Shard& sh = *shards_[idx];
-    if (!sh.up.load(std::memory_order_acquire)) continue;
-    // One reconnect attempt per shard: a stale leg (shard restarted,
-    // idle timeout) should not trigger failover by itself.
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      std::string err;
+    saw_healthy = true;
+    ++attempts;
+    if (attempts > 1) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      m_retries_->inc();
+    }
+
+    // Decrement the remaining-deadline field on the outgoing frame:
+    // the shard sees only what is left of the original budget.
+    int remaining = -1;
+    if (has_deadline) {
+      remaining = static_cast<int>(req0.deadline_ms) - elapsed_ms();
+      if (remaining <= 0) break;  // Timeout below
+      req.deadline_ms = static_cast<std::uint32_t>(remaining);
+    }
+    int budget =
+        opt_.attempt_timeout_ms > 0 ? opt_.attempt_timeout_ms : -1;
+    if (remaining >= 0)
+      budget = budget < 0 ? remaining : std::min(budget, remaining);
+
+    std::string err;
+    // One reconnect per attempt: a stale leg (shard restarted, idle
+    // timeout reaped the connection) should not burn a whole retry.
+    for (int leg_try = 0; leg_try < 2; ++leg_try) {
       if (!legs[idx] || !legs[idx]->valid()) {
         legs[idx] = Client::connect(sh.addr.host, sh.addr.port, &err);
         if (!legs[idx]) break;  // connect refused: shard is down
       }
+      const auto a0 = clock::now();
       WireResponse wresp;
-      if (legs[idx]->request(req, wresp, &err)) {
-        sh.forwards.fetch_add(1, std::memory_order_relaxed);
-        sh.m_forwards->inc();
+      const int got = attempt_once(req, legs, idx, budget, wresp, &err);
+      if (got >= 0) {
+        const std::size_t gidx = static_cast<std::size_t>(got);
+        shards_[gidx]->forwards.fetch_add(1, std::memory_order_relaxed);
+        shards_[gidx]->m_forwards->inc();
         forwarded_.fetch_add(1, std::memory_order_relaxed);
         if (rerouted) {
           failovers_.fetch_add(1, std::memory_order_relaxed);
           m_failovers_->inc();
         }
-        // A decoded response always re-encodes (every field arrived
-        // within wire limits), but degrade rather than assume.
+        note_latency(std::chrono::duration<double, std::milli>(
+                         clock::now() - a0).count());
+        // The router is authoritative for the key echo (a v1 shard
+        // echoes nothing) — hedge bits were stamped in attempt_once.
+        wresp.idempotency_key = req.idempotency_key;
         if (!encode_response(wresp, reply)) {
           wresp.domains.clear();
           wresp.degraded = true;
           wresp.error = "router: response exceeded wire limits";
           encode_response(wresp, reply);
         }
-        return static_cast<int>(idx);
+        return got;
       }
-      legs[idx].reset();  // dead leg; maybe reconnect (attempt 2)
+      // "timeout" means the shard HAS the frame and is hung — a
+      // same-leg resend would just queue behind the hang.  Fail over.
+      if (err == "timeout") break;
     }
-    // Both attempts failed: demote the shard inline (the prober will
-    // promote it back when it answers pings again) and fail over.
-    sh.up.store(false, std::memory_order_release);
-    sh.m_up->set(0.0);
+    last_err = err;
+    // Attempt failed: demote (the prober re-promotes on the next
+    // answered ping), advance the probe origin past this shard, and
+    // back off before the next attempt.
+    demote(idx);
     rerouted = true;
+    probe_from = (idx + 1 + n - key % n) % n;
+    if (attempts < opt_.max_attempts) {
+      std::chrono::milliseconds backoff =
+          opt_.retry_backoff_base * (1 << std::min(attempts - 1, 10));
+      backoff = std::min(backoff, opt_.retry_backoff_max);
+      // Deterministic jitter in [0.5, 1.5): seeded, so chaos runs
+      // replay identically.
+      const double jitter =
+          0.5 + static_cast<double>(
+                    splitmix64(opt_.retry_seed ^ req.idempotency_key ^
+                               static_cast<std::uint64_t>(attempts)) %
+                    1024) /
+                    1024.0;
+      auto sleep_ms = std::chrono::milliseconds(static_cast<long long>(
+          static_cast<double>(backoff.count()) * jitter));
+      if (has_deadline) {
+        const int budget_left =
+            static_cast<int>(req0.deadline_ms) - elapsed_ms();
+        if (budget_left <= 0) break;
+        sleep_ms =
+            std::min(sleep_ms, std::chrono::milliseconds(budget_left));
+      }
+      std::this_thread::sleep_for(sleep_ms);
+    }
+  }
+
+  if (has_deadline &&
+      static_cast<int>(req0.deadline_ms) - elapsed_ms() <= 0) {
+    deadline_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    return synthesize(serve::RequestStatus::Timeout,
+                      "router: deadline exhausted after " +
+                          std::to_string(attempts) + " attempts");
   }
   unroutable_.fetch_add(1, std::memory_order_relaxed);
   m_unroutable_->inc();
-  WireResponse none;
-  none.status = serve::RequestStatus::Faulted;
-  none.error = "router: no healthy shard";
-  encode_response(none, reply);  // minimal reply always fits
-  return -1;
+  if (saw_healthy && attempts >= opt_.max_attempts)
+    return synthesize(
+        serve::RequestStatus::Faulted,
+        "router: retries exhausted after " + std::to_string(attempts) +
+            " attempts" +
+            (last_err.empty() ? "" : " (last: " + last_err + ")"));
+  return synthesize(serve::RequestStatus::Faulted,
+                    "router: no healthy shard");
 }
 
 }  // namespace parsec::net

@@ -24,8 +24,28 @@
 // argument as the serve layer's Serial fallback (docs/ROBUSTNESS.md),
 // one level up.
 //
+// Fault tolerance (docs/ROBUSTNESS.md fleet taxonomy):
+//
+//   * budgeted retries — up to Options::max_attempts forwards per
+//     request with capped exponential backoff + deterministic jitter
+//     between them; each attempt is bounded by attempt_timeout_ms and
+//     by the request's remaining deadline, which the router DECREMENTS
+//     on the outgoing frame so a bounced request cannot outlive its
+//     original budget.  Keyless requests get a router-stamped
+//     idempotency key, so a retry after a lost response never
+//     double-executes on the shard that already ran it;
+//   * straggler hedging — when a primary shard stays silent past the
+//     hedge delay (fixed, or auto-derived from the p99 of recent
+//     forwards), the request is fired at a second healthy shard and
+//     the first response wins; the loser's leg is reset (its late
+//     reply would desync the stream).  Bit-identical results make the
+//     duplicate execution harmless; parsec_net_hedges_total{won}
+//     counts who won.
+//
 // Requests that exhaust every shard answer Faulted with a router error
-// ("no healthy shard"), keeping the failure taxonomy closed.
+// ("no healthy shard" / "retries exhausted"), and ones whose deadline
+// ran out mid-retry answer Timeout — the failure taxonomy stays
+// closed.
 #pragma once
 
 #include <atomic>
@@ -63,6 +83,36 @@ class ParseRouter {
     int probe_timeout_ms = 1000;
     std::size_t max_connections = 64;
     int poll_interval_ms = 100;
+
+    // ---- budgeted retry policy ----
+    /// Total forward attempts per request (>= 1).  Replaces the old
+    /// hardcoded one-pass-over-shards loop: each attempt targets the
+    /// next healthy shard (linear probe order) with backoff between.
+    int max_attempts = 4;
+    /// Response budget per attempt in ms when the request carries no
+    /// deadline (0 = wait forever; a hung shard then wedges the
+    /// connection, so only tests use 0).  Requests WITH a deadline are
+    /// bounded by min(attempt_timeout_ms, remaining deadline).
+    int attempt_timeout_ms = 2000;
+    /// Capped exponential backoff between attempts: attempt k sleeps
+    /// base * 2^(k-1) (at most `max`), scaled by a deterministic
+    /// jitter in [0.5, 1.5) seeded from retry_seed and the request key.
+    std::chrono::milliseconds retry_backoff_base{5};
+    std::chrono::milliseconds retry_backoff_max{100};
+    /// Seed for backoff jitter and for stamping idempotency keys onto
+    /// keyless requests (deterministic: same seed, same sequence).
+    std::uint64_t retry_seed = 0x9e3779b97f4a7c15ull;
+
+    // ---- straggler hedging ----
+    /// Hedge delay in ms: after this long without a first byte from
+    /// the primary shard, fire the request at a second healthy shard
+    /// and take whichever responds first.  <0 disables hedging, 0
+    /// derives the delay from the p99 of recent forward latencies
+    /// (clamped to >= hedge_min_delay_ms), >0 is a fixed delay.
+    int hedge_delay_ms = -1;
+    /// Floor (and warm-up value) for the auto-derived hedge delay.
+    int hedge_min_delay_ms = 5;
+
     obs::Registry* metrics = &obs::Registry::global();
   };
 
@@ -71,7 +121,11 @@ class ParseRouter {
     std::uint64_t requests = 0;
     std::uint64_t forwarded = 0;   // reached some shard
     std::uint64_t failovers = 0;   // rerouted after a shard failure
+    std::uint64_t retries = 0;     // extra attempts beyond the first
     std::uint64_t unroutable = 0;  // no healthy shard left
+    std::uint64_t deadline_exhausted = 0;  // budget ran out mid-retry
+    std::uint64_t hedges = 0;      // hedge requests fired
+    std::uint64_t hedge_wins = 0;  // hedge leg answered first
     std::uint64_t frame_errors = 0;
     std::vector<std::uint64_t> per_shard;  // forwards per shard index
     std::vector<bool> shard_up;
@@ -113,13 +167,32 @@ class ParseRouter {
   void accept_loop();
   void probe_loop();
   void handle_connection(Conn* conn);
-  /// Forwards one decoded request over this connection's shard legs;
-  /// fills `reply` with the response frame to relay.  Returns the
-  /// shard index used, or -1 (reply then holds a synthesized
-  /// router-error response).
+  /// Forwards one decoded request over this connection's shard legs
+  /// under the retry budget and hedge policy; fills `reply` with the
+  /// response frame to relay.  Returns the shard index that answered,
+  /// or -1 (reply then holds a synthesized router-error response).
   int forward(const WireRequest& req,
               std::vector<std::optional<Client>>& legs,
               std::vector<std::uint8_t>& reply);
+  /// One send+receive on shard `idx`'s leg, hedging onto a second
+  /// shard after `hedge_delay_ms` of silence (when enabled).  On
+  /// success fills `wresp` (hedged/hedge_won stamped) and returns the
+  /// answering shard; on failure returns -1 with `err` set ("timeout"
+  /// means the budget expired — do not resend on the same leg).
+  int attempt_once(const WireRequest& req,
+                   std::vector<std::optional<Client>>& legs,
+                   std::size_t idx, int budget_ms, WireResponse& wresp,
+                   std::string* err);
+  void demote(std::size_t idx);
+  /// Picks the first healthy shard at or after probe offset `from` in
+  /// linear-probe order from the hash; -1 when none is up.  `skip`
+  /// (>= 0) excludes one index (the hedge must target a second shard).
+  int pick_shard(std::uint64_t key, std::size_t from, int skip) const;
+  /// Records a successful forward's latency and refreshes the
+  /// auto-derived hedge delay.
+  void note_latency(double ms);
+  int hedge_delay_now() const;
+  std::uint64_t next_key();
   void reap_finished(bool join_all);
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -139,12 +212,32 @@ class ParseRouter {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> unroutable_{0};
+  std::atomic<std::uint64_t> deadline_exhausted_{0};
+  std::atomic<std::uint64_t> hedges_{0};
+  std::atomic<std::uint64_t> hedge_wins_{0};
   std::atomic<std::uint64_t> frame_errors_{0};
+
+  /// Router-stamped idempotency keys for keyless requests (mixed with
+  /// retry_seed so two routers don't collide on low counters).
+  std::atomic<std::uint64_t> key_counter_{0};
+
+  /// Recent forward latencies (ms) for the auto hedge delay: bounded
+  /// ring under a mutex, p99 recomputed every 32 samples into
+  /// hedge_auto_ms_ (read lock-free on the forward path).
+  static constexpr std::size_t kLatencyRing = 512;
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+  std::uint64_t latency_count_ = 0;
+  std::atomic<int> hedge_auto_ms_{50};
 
   obs::Counter* m_requests_;
   obs::Counter* m_failovers_;
+  obs::Counter* m_retries_;
   obs::Counter* m_unroutable_;
+  obs::Counter* m_hedges_won_[2];  // {won="primary"}, {won="hedge"}
 };
 
 }  // namespace parsec::net

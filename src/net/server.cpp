@@ -1,8 +1,10 @@
 #include "net/server.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/trace.h"
+#include "resil/fault_plan.h"
 
 namespace parsec::net {
 
@@ -39,6 +41,9 @@ ParseServer::ParseServer(serve::ParseService& service, Options opt)
           serve::to_string(static_cast<serve::RequestStatus>(s))}});
   m_pings_ = &reg.counter("parsec_net_pings_total",
                           "Health-probe pings answered");
+  m_idle_closed_ =
+      &reg.counter("parsec_net_idle_closed_total",
+                   "Connections reaped by the idle timeout");
   m_bytes_read_ = &reg.counter("parsec_net_bytes_read_total",
                                "Frame bytes read off connections");
   m_bytes_written_ = &reg.counter("parsec_net_bytes_written_total",
@@ -84,6 +89,7 @@ ParseServer::Stats ParseServer::stats() const {
   s.pings = pings_.load(std::memory_order_relaxed);
   s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
   s.injected_faults = injected_faults_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   s.drain_seconds = drain_seconds_.load(std::memory_order_relaxed);
@@ -143,8 +149,23 @@ void ParseServer::accept_loop() {
 
 void ParseServer::handle_connection(Conn* conn) {
   Socket& sock = conn->sock;
+  int idle_ms = 0;
   while (!drain_.load(std::memory_order_acquire)) {
-    if (!poll_readable(sock, opt_.poll_interval_ms)) continue;
+    if (!poll_readable(sock, opt_.poll_interval_ms)) {
+      if (opt_.idle_timeout_ms > 0) {
+        idle_ms += opt_.poll_interval_ms;
+        if (idle_ms >= opt_.idle_timeout_ms) {
+          // Reap a half-dead peer (e.g. a SIGKILLed client whose TCP
+          // endpoint lingers): without this the reader thread and its
+          // parsec_net_active slot leak until process exit.
+          idle_closed_.fetch_add(1, std::memory_order_relaxed);
+          m_idle_closed_->inc();
+          break;
+        }
+      }
+      continue;
+    }
+    idle_ms = 0;
 
     Frame frame;
     DecodeStatus status;
@@ -197,7 +218,7 @@ void ParseServer::handle_connection(Conn* conn) {
           .inc();
       break;
     }
-    if (!handle_request(sock, frame.payload)) break;
+    if (!handle_request(sock, frame.payload, frame.header.version)) break;
   }
   active_conns_.fetch_sub(1, std::memory_order_relaxed);
   m_active_->set(
@@ -206,13 +227,14 @@ void ParseServer::handle_connection(Conn* conn) {
 }
 
 bool ParseServer::handle_request(Socket& sock,
-                                 std::vector<std::uint8_t>& payload) {
+                                 std::vector<std::uint8_t>& payload,
+                                 std::uint8_t version) {
   const auto t0 = std::chrono::steady_clock::now();
   obs::Span span("net.request", "net");
 
   WireRequest wreq;
   const DecodeStatus ds =
-      decode_request(payload.data(), payload.size(), wreq);
+      decode_request(payload.data(), payload.size(), wreq, version);
   WireResponse wresp;
   if (ds != DecodeStatus::Ok) {
     // Structured refusal, then close: the framing was intact (header
@@ -225,6 +247,7 @@ bool ParseServer::handle_request(Socket& sock,
                           {{"reason", to_string(ds)}})
         .inc();
     wresp.status = serve::RequestStatus::BadRequest;
+    wresp.idempotency_key = wreq.idempotency_key;
     wresp.shard = (opt_.shard_id >= 0 && opt_.shard_id < 0xff)
                       ? static_cast<std::uint8_t>(opt_.shard_id)
                       : kShardUnset;
@@ -235,11 +258,17 @@ bool ParseServer::handle_request(Socket& sock,
     return false;
   }
 
+  // Injected process death: a shard that takes a frame and then dies
+  // with it, the harshest client-visible failure mode.  Only armed in
+  // spawned daemons (run_fleet_chaos.sh), never in-process tests.
+  if (resil::should_fire("proc.abort")) std::abort();
+
   serve::ParseRequest req;
   req.words = std::move(wreq.words);
   req.grammar = std::move(wreq.grammar);
   req.backend = wreq.backend;
   req.capture_domains = wreq.flags & kFlagCaptureDomains;
+  req.idempotency_key = wreq.idempotency_key;
   if (wreq.deadline_ms > 0)
     req.deadline = std::chrono::milliseconds(wreq.deadline_ms);
   const std::size_t n_words = req.words.size();
@@ -249,6 +278,7 @@ bool ParseServer::handle_request(Socket& sock,
   // resolve to a RequestStatus here, which crosses the wire verbatim.
   serve::ParseResponse presp = service_.submit(std::move(req)).get();
   wresp = to_wire(presp, opt_.shard_id);
+  wresp.idempotency_key = req.idempotency_key;  // v2 echo
 
   std::vector<std::uint8_t> out;
   std::string err;
@@ -264,7 +294,22 @@ bool ParseServer::handle_request(Socket& sock,
       wresp.error = "response exceeded wire limits; domains dropped";
       encode_response(wresp, out);  // minimal reply always fits
     }
-    write_ok = write_frame(sock, out, &err);
+    if (resil::should_fire("net.frame_stall")) {
+      // Injected straggler: half the frame leaves, then the shard sits
+      // on the rest for `param` seconds.  The client's read deadline —
+      // not patience — is what ends the wait.
+      injected_faults_.fetch_add(1, std::memory_order_relaxed);
+      const double stall = resil::site_param("net.frame_stall", 0.5);
+      const std::size_t half = out.size() / 2;
+      write_ok = write_full(sock, out.data(), half, &err);
+      if (write_ok) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+        write_ok = write_full(sock, out.data() + half, out.size() - half,
+                              &err);
+      }
+    } else {
+      write_ok = write_frame(sock, out, &err);
+    }
     if (write_ok)
       write_span.arg("bytes", static_cast<std::int64_t>(out.size()));
   }

@@ -55,6 +55,11 @@ class ParseServer {
     std::size_t max_connections = 64;
     /// Drain-flag poll granularity for idle accept/read loops.
     int poll_interval_ms = 100;
+    /// Close a connection after this many ms without a frame (0 =
+    /// never).  A SIGKILLed client leaves a half-dead TCP peer that
+    /// would otherwise pin a reader thread and a parsec_net_active
+    /// slot until process exit.
+    int idle_timeout_ms = 0;
     /// Registry for the parsec_net_* family.  Must outlive the server.
     obs::Registry* metrics = &obs::Registry::global();
   };
@@ -69,6 +74,7 @@ class ParseServer {
     std::uint64_t pings = 0;
     std::uint64_t frame_errors = 0;   // bad magic/version/oversized/...
     std::uint64_t injected_faults = 0;  // net.accept / net.read fires
+    std::uint64_t idle_closed = 0;    // connections reaped by idle timeout
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     double drain_seconds = 0.0;  // 0 until drain() completes
@@ -107,8 +113,10 @@ class ParseServer {
   void accept_loop();
   void handle_connection(Conn* conn);
   /// One ParseRequest frame: submit, wait, reply.  False ends the
-  /// connection (write failure).
-  bool handle_request(Socket& sock, std::vector<std::uint8_t>& payload);
+  /// connection (write failure).  `version` is the frame header's wire
+  /// version (v1 payloads lack the idempotency key).
+  bool handle_request(Socket& sock, std::vector<std::uint8_t>& payload,
+                      std::uint8_t version);
   void reap_finished(bool join_all);
 
   serve::ParseService& service_;
@@ -132,6 +140,7 @@ class ParseServer {
   std::atomic<std::uint64_t> pings_{0};
   std::atomic<std::uint64_t> frame_errors_{0};
   std::atomic<std::uint64_t> injected_faults_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<double> drain_seconds_{0.0};
@@ -141,6 +150,7 @@ class ParseServer {
   obs::Counter* m_connections_rejected_;
   obs::Counter* m_requests_[serve::kNumRequestStatuses];
   obs::Counter* m_pings_;
+  obs::Counter* m_idle_closed_;
   obs::Counter* m_bytes_read_;
   obs::Counter* m_bytes_written_;
   obs::Gauge* m_active_;

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "resil/fault_plan.h"
@@ -155,6 +157,45 @@ bool read_full(Socket& s, std::uint8_t* buf, std::size_t n, std::string* err) {
   return true;
 }
 
+bool read_full_deadline(Socket& s, std::uint8_t* buf, std::size_t n,
+                        int timeout_ms, std::string* err) {
+  if (timeout_ms < 0) return read_full(s, buf, n, err);
+  if (resil::should_fire("net.read")) {
+    s.close();
+    if (err) *err = "injected short read";
+    return false;
+  }
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t got = 0;
+  while (got < n) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - clock::now());
+    if (remaining.count() <= 0 ||
+        !poll_readable(s, static_cast<int>(remaining.count()))) {
+      // Expired: close rather than leave a half-read frame in the
+      // stream — a reply arriving after we give up would pair with the
+      // WRONG future request.
+      s.close();
+      if (err) *err = "timeout";
+      return false;
+    }
+    const ssize_t rc = ::recv(s.fd(), buf + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (err) *err = got == 0 ? "eof" : "eof mid-frame";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (err) *err = errno_str("recv");
+    return false;
+  }
+  return true;
+}
+
 bool write_full(Socket& s, const std::uint8_t* buf, std::size_t n,
                 std::string* err) {
   std::size_t sent = 0;
@@ -172,9 +213,11 @@ bool write_full(Socket& s, const std::uint8_t* buf, std::size_t n,
 }
 
 bool read_frame(Socket& s, Frame& out, DecodeStatus* status,
-                std::string* err) {
+                std::string* err, int timeout_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   std::uint8_t header[kHeaderSize];
-  if (!read_full(s, header, kHeaderSize, err)) {
+  if (!read_full_deadline(s, header, kHeaderSize, timeout_ms, err)) {
     if (status) *status = DecodeStatus::Truncated;
     return false;
   }
@@ -184,9 +227,20 @@ bool read_frame(Socket& s, Frame& out, DecodeStatus* status,
     if (err) *err = to_string(hs);
     return false;
   }
+  // The deadline covers the whole frame: the payload gets whatever the
+  // header read left of the budget (clamped at 0 so a slow header still
+  // yields "timeout", not a forever-block).
+  int payload_budget = timeout_ms;
+  if (timeout_ms >= 0) {
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+        clock::now() - t0);
+    payload_budget = static_cast<int>(
+        std::max<long long>(0, timeout_ms - spent.count()));
+  }
   out.payload.resize(out.header.payload_len);
   if (out.header.payload_len > 0 &&
-      !read_full(s, out.payload.data(), out.payload.size(), err)) {
+      !read_full_deadline(s, out.payload.data(), out.payload.size(),
+                          payload_budget, err)) {
     if (status) *status = DecodeStatus::Truncated;
     return false;
   }

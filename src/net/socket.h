@@ -74,6 +74,15 @@ Socket tcp_accept(const Socket& listener, std::string* err);
 /// fails the read, modelling a peer vanishing mid-frame.
 bool read_full(Socket& s, std::uint8_t* buf, std::size_t n, std::string* err);
 
+/// read_full with a total deadline: the bytes must all arrive within
+/// `timeout_ms` (-1 = no deadline, identical to read_full).  On expiry
+/// the socket is CLOSED (a late reply would desync the stream) and err
+/// is exactly "timeout", which callers use to tell a hung peer apart
+/// from a dead one.  This is what lets a client fail over from a shard
+/// that accepted a frame header and then stalled forever.
+bool read_full_deadline(Socket& s, std::uint8_t* buf, std::size_t n,
+                        int timeout_ms, std::string* err);
+
 /// Writes exactly `n` bytes (MSG_NOSIGNAL; a dead peer fails the write
 /// instead of raising SIGPIPE).
 bool write_full(Socket& s, const std::uint8_t* buf, std::size_t n,
@@ -92,9 +101,11 @@ struct Frame {
 /// Reads one frame.  Returns false with `status` = the decode failure
 /// (Truncated covers transport errors mid-frame; `err` carries the
 /// transport detail) — the caller should close the connection on any
-/// failure, since the stream position is unrecoverable.
+/// failure, since the stream position is unrecoverable.  `timeout_ms`
+/// bounds the WHOLE frame (header + payload; -1 = wait forever); on
+/// expiry the socket is closed and err = "timeout".
 bool read_frame(Socket& s, Frame& out, DecodeStatus* status,
-                std::string* err);
+                std::string* err, int timeout_ms = -1);
 
 /// Writes pre-encoded frame bytes (the encode_* output).
 bool write_frame(Socket& s, const std::vector<std::uint8_t>& bytes,

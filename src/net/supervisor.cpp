@@ -1,0 +1,347 @@
+#include "net/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/client.h"
+#include "obs/trace.h"
+
+namespace parsec::net {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string describe_exit(int wstatus) {
+  if (WIFEXITED(wstatus))
+    return "exited with status " + std::to_string(WEXITSTATUS(wstatus));
+  if (WIFSIGNALED(wstatus))
+    return "killed by signal " + std::to_string(WTERMSIG(wstatus));
+  return "stopped with wstatus " + std::to_string(wstatus);
+}
+
+}  // namespace
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::Starting: return "starting";
+    case ShardState::Up: return "up";
+    case ShardState::Backoff: return "backoff";
+    case ShardState::Down: return "down";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(Options opt) : opt_(std::move(opt)) {
+  if (opt_.serverd_path.empty())
+    throw std::runtime_error("Supervisor: serverd_path is required");
+  if (opt_.shards < 1)
+    throw std::runtime_error("Supervisor: need at least one shard");
+  if (opt_.restart_budget < 0) opt_.restart_budget = 0;
+  if (opt_.hang_pings < 1) opt_.hang_pings = 1;
+
+  obs::Registry& reg = *opt_.metrics;
+  m_hang_kills_ =
+      &reg.counter("parsec_fleet_hang_kills_total",
+                   "Shards SIGKILLed after consecutive failed pings");
+  shards_.resize(static_cast<std::size_t>(opt_.shards));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& sh = shards_[i];
+      sh.port = port_for(static_cast<int>(i));
+      const std::string label = std::to_string(i);
+      sh.m_restarts = &reg.counter(
+          "parsec_fleet_restarts_total",
+          "Shard respawns after a crash or hang, by shard index",
+          {{"shard", label}});
+      sh.m_up = &reg.gauge("parsec_fleet_shard_up",
+                           "1 when the shard answers pings, else 0",
+                           {{"shard", label}});
+      sh.m_generation = &reg.gauge(
+          "parsec_fleet_shard_generation",
+          "Spawn generation (1 = initial start; bumps on restart)",
+          {{"shard", label}});
+      sh.m_uptime = &reg.gauge(
+          "parsec_fleet_shard_uptime_seconds",
+          "Seconds since the shard's last successful spawn",
+          {{"shard", label}});
+      if (!spawn(i)) {
+        // fork failed at startup: schedule a retry like any crash.
+        sh.state = ShardState::Backoff;
+        sh.next_start =
+            std::chrono::steady_clock::now() + backoff_for(sh);
+      }
+    }
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::logline(const std::string& line) const {
+  if (opt_.log) opt_.log(line);
+}
+
+bool Supervisor::spawn(std::size_t i) {
+  Shard& sh = shards_[i];
+  std::vector<std::string> args;
+  args.push_back(opt_.serverd_path);
+  args.push_back("--port");
+  args.push_back(std::to_string(sh.port));
+  args.push_back("--shard-id");
+  args.push_back(std::to_string(i));
+  for (const auto& a : opt_.shard_args) args.push_back(a);
+
+  const bool is_restart = sh.generation > 0;
+  obs::Span span("supervisor.restart", "net");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    logline("shard " + std::to_string(i) + ": fork failed");
+    return false;
+  }
+  if (pid == 0) {
+    // Child: exec the shard.  argv pointers into `args` are fine —
+    // execv either replaces the image or we _exit immediately.
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(opt_.serverd_path.c_str(), argv.data());
+    _exit(127);  // exec failed; parent reaps status 127
+  }
+  sh.pid = pid;
+  sh.state = ShardState::Starting;
+  sh.generation += 1;
+  sh.ping_fails = 0;
+  sh.started_at = std::chrono::steady_clock::now();
+  sh.last_ping = sh.started_at;
+  sh.m_generation->set(static_cast<double>(sh.generation));
+  sh.m_up->set(0.0);
+  span.arg("shard", static_cast<std::int64_t>(i));
+  span.arg("generation", static_cast<std::int64_t>(sh.generation));
+  span.arg("restart", static_cast<std::int64_t>(is_restart ? 1 : 0));
+  logline("shard " + std::to_string(i) + ": spawned pid " +
+          std::to_string(pid) + " on port " + std::to_string(sh.port) +
+          " (generation " + std::to_string(sh.generation) + ")");
+  return true;
+}
+
+std::chrono::milliseconds Supervisor::backoff_for(const Shard& sh) const {
+  const int k = static_cast<int>(std::min<std::uint64_t>(
+      sh.restarts, 10));  // cap the shift, the max cap does the rest
+  std::chrono::milliseconds b = opt_.backoff_base * (1 << k);
+  b = std::min(b, opt_.backoff_max);
+  const double jitter =
+      0.5 + static_cast<double>(
+                splitmix64(opt_.backoff_seed ^
+                           (static_cast<std::uint64_t>(sh.port) << 20) ^
+                           sh.restarts) %
+                1024) /
+                1024.0;
+  return std::chrono::milliseconds(static_cast<long long>(
+      static_cast<double>(b.count()) * jitter));
+}
+
+void Supervisor::handle_exit(std::size_t i, int wstatus) {
+  Shard& sh = shards_[i];
+  sh.pid = -1;
+  sh.m_up->set(0.0);
+  if (static_cast<int>(sh.restarts) >= opt_.restart_budget) {
+    sh.state = ShardState::Down;
+    sh.perm_down = true;
+    logline("shard " + std::to_string(i) + ": " +
+            describe_exit(wstatus) + "; restart budget (" +
+            std::to_string(opt_.restart_budget) +
+            ") exhausted -- permanently down");
+    return;
+  }
+  sh.state = ShardState::Backoff;
+  const auto delay = backoff_for(sh);
+  sh.next_start = std::chrono::steady_clock::now() + delay;
+  logline("shard " + std::to_string(i) + ": " + describe_exit(wstatus) +
+          "; restart " + std::to_string(sh.restarts + 1) + "/" +
+          std::to_string(opt_.restart_budget) + " in " +
+          std::to_string(delay.count()) + "ms");
+}
+
+void Supervisor::monitor_loop() {
+  struct Probe {
+    std::size_t i;
+    pid_t pid;
+    std::uint16_t port;
+  };
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Probe> probes;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < shards_.size(); ++i) {
+        Shard& sh = shards_[i];
+        switch (sh.state) {
+          case ShardState::Down:
+            break;
+          case ShardState::Backoff:
+            if (now >= sh.next_start) {
+              sh.restarts += 1;
+              sh.m_restarts->inc();
+              restarts_total_.fetch_add(1, std::memory_order_relaxed);
+              if (!spawn(i)) {
+                sh.state = ShardState::Backoff;
+                sh.next_start = now + backoff_for(sh);
+              }
+            }
+            break;
+          case ShardState::Starting:
+          case ShardState::Up: {
+            int wstatus = 0;
+            const pid_t r = ::waitpid(sh.pid, &wstatus, WNOHANG);
+            if (r == sh.pid) {
+              handle_exit(i, wstatus);
+              break;
+            }
+            sh.m_uptime->set(
+                std::chrono::duration<double>(now - sh.started_at)
+                    .count());
+            if (now - sh.last_ping >= opt_.ping_interval) {
+              sh.last_ping = now;
+              probes.push_back({i, sh.pid, sh.port});
+            }
+            break;
+          }
+        }
+      }
+    }
+    // Probe outside the lock: a hung shard costs ping_timeout_ms per
+    // probe and must not stall stats() or the other shards' reaping.
+    for (const Probe& p : probes) {
+      std::string err;
+      bool ok = false;
+      auto leg = Client::connect(opt_.host, p.port, &err);
+      if (leg) ok = leg->ping(opt_.ping_timeout_ms, &err);
+      std::lock_guard<std::mutex> lock(mutex_);
+      Shard& sh = shards_[p.i];
+      // The shard may have exited or been respawned while we probed.
+      if (sh.pid != p.pid ||
+          (sh.state != ShardState::Starting && sh.state != ShardState::Up))
+        continue;
+      if (ok) {
+        if (sh.state == ShardState::Starting)
+          logline("shard " + std::to_string(p.i) + ": up (pid " +
+                  std::to_string(sh.pid) + ", generation " +
+                  std::to_string(sh.generation) + ")");
+        sh.state = ShardState::Up;
+        sh.ping_fails = 0;
+        sh.m_up->set(1.0);
+        continue;
+      }
+      const auto since_start =
+          std::chrono::steady_clock::now() - sh.started_at;
+      if (sh.state == ShardState::Starting &&
+          since_start < std::chrono::milliseconds(opt_.startup_grace_ms))
+        continue;  // still booting; failures don't count yet
+      sh.ping_fails += 1;
+      if (sh.ping_fails >= opt_.hang_pings) {
+        logline("shard " + std::to_string(p.i) + ": hung (" +
+                std::to_string(sh.ping_fails) +
+                " failed pings); killing pid " + std::to_string(sh.pid));
+        hang_kills_.fetch_add(1, std::memory_order_relaxed);
+        m_hang_kills_->inc();
+        ::kill(sh.pid, SIGKILL);
+        sh.ping_fails = 0;
+        // waitpid reaps the kill next tick and routes it through the
+        // normal crash-restart path.
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opt_.poll_interval_ms));
+  }
+}
+
+void Supervisor::stop() {
+  std::call_once(stop_once_, [this] {
+    stop_.store(true, std::memory_order_release);
+    if (monitor_.joinable()) monitor_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Shard& sh : shards_)
+      if (sh.pid > 0) ::kill(sh.pid, SIGTERM);
+    // Drain grace: parse_serverd finishes in-flight requests on
+    // SIGTERM; give the fleet a bounded window before escalating.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    for (Shard& sh : shards_) {
+      while (sh.pid > 0) {
+        int wstatus = 0;
+        const pid_t r = ::waitpid(sh.pid, &wstatus, WNOHANG);
+        if (r == sh.pid) {
+          sh.pid = -1;
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          ::kill(sh.pid, SIGKILL);
+          ::waitpid(sh.pid, &wstatus, 0);
+          sh.pid = -1;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      sh.state = ShardState::Down;
+      sh.m_up->set(0.0);
+    }
+  });
+}
+
+Supervisor::Stats Supervisor::stats() const {
+  Stats s;
+  s.restarts = restarts_total_.load(std::memory_order_relaxed);
+  s.hang_kills = hang_kills_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  for (const Shard& sh : shards_) {
+    ShardStats ss;
+    ss.state = sh.state;
+    ss.pid = sh.pid;
+    ss.port = sh.port;
+    ss.generation = sh.generation;
+    ss.restarts = sh.restarts;
+    ss.uptime_seconds =
+        sh.pid > 0
+            ? std::chrono::duration<double>(now - sh.started_at).count()
+            : 0.0;
+    if (sh.perm_down) s.permanently_down += 1;
+    s.shards.push_back(ss);
+  }
+  return s;
+}
+
+pid_t Supervisor::pid_of(int i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[static_cast<std::size_t>(i)].pid;
+}
+
+bool Supervisor::wait_all_up(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all_up = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const Shard& sh : shards_)
+        if (sh.state != ShardState::Up) all_up = false;
+    }
+    if (all_up) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace parsec::net

@@ -1,0 +1,181 @@
+// Fleet supervisor: spawns N parse_serverd shards and keeps them
+// alive (docs/ROBUSTNESS.md fleet taxonomy, docs/SERVING.md §fleet).
+//
+// The MasPar array controller owned PE liveness the same way the host
+// owned the ACU: a dead PE was masked out and its work redistributed,
+// not debugged in place.  Process-ified, that is a supervisor: each
+// shard is a child parse_serverd pinned to port_base+i, and the
+// supervisor's only job is to notice death and restore the fleet
+// shape.  Detection is two-pronged because crash and hang look
+// nothing alike from the outside:
+//
+//   * crash  — waitpid(WNOHANG) reaps the exit (SIGKILL, abort, OOM,
+//              clean exit alike) the next monitor tick;
+//   * hang   — a fresh-connection Ping per liveness interval; after
+//              Options::hang_pings consecutive failures the shard is
+//              SIGKILLed, which converts the hang into a crash and
+//              funnels both failure modes through one restart path.
+//
+// Restarts are budgeted: capped exponential backoff with seeded
+// jitter between attempts (a crash-looping shard must not spin), and
+// after Options::restart_budget restarts the shard is marked Down
+// permanently — the router routes around it, and a human looks at the
+// logs.  Shard lifecycle:
+//
+//     Starting --ping ok--> Up --exit/hang--> Backoff --spawn--> Starting
+//                                 \--budget exhausted--> Down (terminal)
+//
+// Every transition is logged through Options::log (one line each, the
+// chaos harness greps them) and mirrored into parsec_fleet_* metrics;
+// each restart opens a "supervisor.restart" span.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace parsec::net {
+
+enum class ShardState : std::uint8_t { Starting, Up, Backoff, Down };
+
+const char* to_string(ShardState s);
+
+class Supervisor {
+ public:
+  struct Options {
+    /// Path to the parse_serverd binary to spawn.
+    std::string serverd_path;
+    /// Extra argv appended to every shard's command line (grammar
+    /// flags, --cache, --fault-plan ... — anything parse_serverd
+    /// accepts).  The supervisor itself supplies --port and
+    /// --shard-id.
+    std::vector<std::string> shard_args;
+    std::string host = "127.0.0.1";
+    /// Shard i listens on port_base + i.  Fixed ports (not ephemeral)
+    /// so a restarted shard comes back at the SAME address and the
+    /// router's probe leg re-promotes it without reconfiguration.
+    std::uint16_t port_base = 9300;
+    int shards = 2;
+
+    // ---- liveness ----
+    /// Interval between fresh-connection Ping probes per shard.
+    std::chrono::milliseconds ping_interval{250};
+    /// Reply budget per probe before it counts as failed.
+    int ping_timeout_ms = 500;
+    /// Consecutive probe failures before a shard is declared hung and
+    /// SIGKILLed (converting the hang into a restartable crash).
+    int hang_pings = 3;
+    /// A Starting shard gets this long to bind + publish grammars
+    /// before probe failures count against it.
+    int startup_grace_ms = 5000;
+
+    // ---- restart policy ----
+    /// Restarts per shard before it is marked Down permanently.
+    int restart_budget = 8;
+    /// Capped exponential backoff before restart k: base * 2^(k-1)
+    /// (at most `max`), scaled by deterministic jitter in [0.5, 1.5).
+    std::chrono::milliseconds backoff_base{100};
+    std::chrono::milliseconds backoff_max{2000};
+    std::uint64_t backoff_seed = 0x5eed5eed5eed5eedull;
+
+    int poll_interval_ms = 50;
+    obs::Registry* metrics = &obs::Registry::global();
+    /// One line per lifecycle event (spawn, up, exit, hang-kill,
+    /// backoff, permanent down).  Null = silent.
+    std::function<void(const std::string&)> log;
+  };
+
+  struct ShardStats {
+    ShardState state = ShardState::Starting;
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+    /// Bumped on every (re)spawn; generation 1 is the initial start.
+    std::uint64_t generation = 0;
+    std::uint64_t restarts = 0;  // respawns after a failure
+    double uptime_seconds = 0.0;  // since last successful spawn
+  };
+
+  struct Stats {
+    std::uint64_t restarts = 0;
+    std::uint64_t hang_kills = 0;
+    std::uint64_t permanently_down = 0;
+    std::vector<ShardStats> shards;
+  };
+
+  /// Spawns all shards and starts the monitor thread.  Throws
+  /// std::runtime_error when Options are unusable (no serverd_path,
+  /// shards < 1).
+  explicit Supervisor(Options opt);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// SIGTERM every live shard, give it a grace period to drain, then
+  /// SIGKILL stragglers; joins the monitor thread.  Idempotent.
+  void stop();
+
+  Stats stats() const;
+
+  std::uint16_t port_for(int i) const {
+    return static_cast<std::uint16_t>(opt_.port_base + i);
+  }
+  /// Current pid of shard i (-1 when not running).  Test hook: chaos
+  /// tests kill -9 / SIGSTOP this pid and watch the state machine.
+  pid_t pid_of(int i) const;
+
+  /// Blocks until every non-Down shard answers a Ping (or the timeout
+  /// expires).  Returns true when the whole fleet is Up.
+  bool wait_all_up(int timeout_ms);
+
+ private:
+  struct Shard {
+    pid_t pid = -1;
+    std::uint16_t port = 0;
+    ShardState state = ShardState::Starting;
+    std::uint64_t generation = 0;
+    std::uint64_t restarts = 0;
+    /// Budget exhausted (terminal Down) — distinct from the Down state
+    /// stop() applies to cleanly drained shards.
+    bool perm_down = false;
+    int ping_fails = 0;
+    std::chrono::steady_clock::time_point started_at{};
+    std::chrono::steady_clock::time_point last_ping{};
+    std::chrono::steady_clock::time_point next_start{};
+    obs::Counter* m_restarts = nullptr;
+    obs::Gauge* m_up = nullptr;
+    obs::Gauge* m_generation = nullptr;
+    obs::Gauge* m_uptime = nullptr;
+  };
+
+  void monitor_loop();
+  /// fork/exec one shard (lock held).  Returns false when the fork
+  /// itself fails (the shard goes to Backoff and retries).
+  bool spawn(std::size_t i);
+  void handle_exit(std::size_t i, int wstatus);
+  std::chrono::milliseconds backoff_for(const Shard& sh) const;
+  void logline(const std::string& line) const;
+
+  Options opt_;
+  mutable std::mutex mutex_;  // guards shards_
+  std::vector<Shard> shards_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> restarts_total_{0};
+  std::atomic<std::uint64_t> hang_kills_{0};
+  std::thread monitor_;
+  std::once_flag stop_once_;
+
+  obs::Counter* m_hang_kills_ = nullptr;
+};
+
+}  // namespace parsec::net

@@ -145,6 +145,7 @@ bool encode_request(const WireRequest& req, std::vector<std::uint8_t>& out) {
   put_u8(out, static_cast<std::uint8_t>(req.backend));
   put_u8(out, req.flags);
   put_u32(out, req.deadline_ms);
+  put_u64(out, req.idempotency_key);  // v2
   bool ok = put_str16(out, req.grammar) && req.words.size() <= 0xffff;
   if (ok) {
     put_u16(out, static_cast<std::uint16_t>(req.words.size()));
@@ -168,8 +169,11 @@ bool encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out) {
   if (resp.cached) bits |= kBitCached;
   if (resp.coalesced) bits |= kBitCoalesced;
   if (resp.degraded) bits |= kBitDegraded;
+  if (resp.hedged) bits |= kBitHedged;
+  if (resp.hedge_won) bits |= kBitHedgeWon;
   put_u8(out, bits);
   put_u8(out, resp.shard);
+  put_u64(out, resp.idempotency_key);  // v2
   put_u64(out, resp.grammar_epoch);
   put_u64(out, resp.domains_hash);
   put_u32(out, resp.alive_role_values);
@@ -210,7 +214,8 @@ DecodeStatus decode_header(const std::uint8_t* buf, std::size_t n,
                            FrameHeader& out) {
   if (n < kHeaderSize) return DecodeStatus::Truncated;
   if (std::memcmp(buf, kMagic, 4) != 0) return DecodeStatus::BadMagic;
-  if (buf[4] != kWireVersion) return DecodeStatus::BadVersion;
+  if (buf[4] < kMinWireVersion || buf[4] > kWireVersion)
+    return DecodeStatus::BadVersion;
   const std::uint8_t type = buf[5];
   if (type < static_cast<std::uint8_t>(FrameType::ParseRequest) ||
       type > static_cast<std::uint8_t>(FrameType::Pong))
@@ -220,6 +225,7 @@ DecodeStatus decode_header(const std::uint8_t* buf, std::size_t n,
     len |= static_cast<std::uint32_t>(buf[6 + i]) << (8 * i);
   if (len > kMaxPayload) return DecodeStatus::Oversized;
   out.type = static_cast<FrameType>(type);
+  out.version = buf[4];
   out.payload_len = len;
   return DecodeStatus::Ok;
 }
@@ -229,12 +235,16 @@ DecodeStatus decode_header(const std::uint8_t* buf, std::size_t n,
 // Malformed is reserved for payloads whose bytes are all present but
 // lie (enum out of range, trailing garbage).
 DecodeStatus decode_request(const std::uint8_t* buf, std::size_t n,
-                            WireRequest& out) {
+                            WireRequest& out, std::uint8_t version) {
   Reader r{buf, buf + n};
   std::uint8_t backend = 0;
   if (!r.get_u8(backend) || !r.get_u8(out.flags) ||
-      !r.get_u32(out.deadline_ms) || !r.get_str16(out.grammar))
+      !r.get_u32(out.deadline_ms))
     return DecodeStatus::Truncated;
+  out.idempotency_key = 0;  // v1 has no key field
+  if (version >= 2 && !r.get_u64(out.idempotency_key))
+    return DecodeStatus::Truncated;
+  if (!r.get_str16(out.grammar)) return DecodeStatus::Truncated;
   if (backend >= engine::kNumBackends) return DecodeStatus::Malformed;
   out.backend = static_cast<engine::Backend>(backend);
   std::uint16_t words = 0;
@@ -250,7 +260,7 @@ DecodeStatus decode_request(const std::uint8_t* buf, std::size_t n,
 }
 
 DecodeStatus decode_response(const std::uint8_t* buf, std::size_t n,
-                             WireResponse& out) {
+                             WireResponse& out, std::uint8_t version) {
   Reader r{buf, buf + n};
   std::uint8_t status = 0, backend = 0, bits = 0;
   if (!r.get_u8(status) || !r.get_u8(backend) || !r.get_u8(bits) ||
@@ -265,6 +275,11 @@ DecodeStatus decode_response(const std::uint8_t* buf, std::size_t n,
   out.cached = bits & kBitCached;
   out.coalesced = bits & kBitCoalesced;
   out.degraded = bits & kBitDegraded;
+  out.hedged = bits & kBitHedged;
+  out.hedge_won = bits & kBitHedgeWon;
+  out.idempotency_key = 0;  // v1 has no key echo
+  if (version >= 2 && !r.get_u64(out.idempotency_key))
+    return DecodeStatus::Truncated;
   if (!r.get_u64(out.grammar_epoch) || !r.get_u64(out.domains_hash) ||
       !r.get_u32(out.alive_role_values) || !r.get_u32(out.latency_us) ||
       !r.get_str16(out.error))

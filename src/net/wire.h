@@ -12,7 +12,7 @@
 //
 //   offset  size  field
 //   0       4     magic  "PARC" (0x50 0x41 0x52 0x43 on the wire)
-//   4       1     version (kWireVersion = 1)
+//   4       1     version (kWireVersion = 2; v1 still decodes)
 //   5       1     frame type (FrameType)
 //   6       4     payload length in bytes (<= kMaxPayload)
 //   10      ...   payload
@@ -38,7 +38,13 @@ namespace parsec::net {
 
 /// "PARC" on the wire, in transmission order.
 inline constexpr std::uint8_t kMagic[4] = {0x50, 0x41, 0x52, 0x43};
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Current wire version.  v2 added the 64-bit idempotency key to both
+/// payloads (and redefined deadline_ms as the *remaining* budget, which
+/// the router decrements across retry attempts).  Decoders accept
+/// kMinWireVersion..kWireVersion; v1 payloads simply lack the key
+/// fields and decode with key 0.  Encoders always emit kWireVersion.
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kMinWireVersion = 1;
 inline constexpr std::size_t kHeaderSize = 10;
 /// Upper bound on one frame's payload; anything larger is rejected
 /// before allocation.  The u16 word-count field caps a request at
@@ -61,6 +67,10 @@ inline constexpr std::uint8_t kBitAccepted = 0x01;
 inline constexpr std::uint8_t kBitCached = 0x02;
 inline constexpr std::uint8_t kBitCoalesced = 0x04;
 inline constexpr std::uint8_t kBitDegraded = 0x08;
+/// v2: the router fired a hedge for this request (straggler suspicion).
+inline constexpr std::uint8_t kBitHedged = 0x10;
+/// v2: the hedge leg (not the primary) produced this response.
+inline constexpr std::uint8_t kBitHedgeWon = 0x20;
 
 /// Shard byte value meaning "no shard id stamped".
 inline constexpr std::uint8_t kShardUnset = 0xff;
@@ -72,8 +82,18 @@ inline constexpr std::uint8_t kShardUnset = 0xff;
 struct WireRequest {
   std::string grammar;  // tenant name; empty = server default
   engine::Backend backend = engine::Backend::Serial;
-  std::uint32_t deadline_ms = 0;  // 0 = none
-  std::uint8_t flags = 0;         // kFlagCaptureDomains
+  /// Remaining deadline budget in ms (0 = none).  v2 semantics: each
+  /// hop that retries decrements this by the time the failed attempt
+  /// consumed, so a request cannot outlive its original budget by
+  /// being bounced between shards.
+  std::uint32_t deadline_ms = 0;
+  /// v2: client-chosen retry identity (0 = none).  A shard treats the
+  /// key as a single-flight handle in its result cache: a retransmit
+  /// of an already-answered (or still-executing) request is served
+  /// from — or coalesced onto — the original execution instead of
+  /// parsing twice.
+  std::uint64_t idempotency_key = 0;
+  std::uint8_t flags = 0;  // kFlagCaptureDomains
   std::vector<std::string> words;
 };
 
@@ -90,6 +110,13 @@ struct WireResponse {
   /// started without --shard-id); loadgen's per-shard skew comes from
   /// this byte surviving the trip through the router untouched.
   std::uint8_t shard = kShardUnset;
+  /// v2: echo of the request's idempotency key (0 when the request
+  /// carried none).  Clients detect stream desync / duplicated replies
+  /// by matching this against the key they sent.
+  std::uint64_t idempotency_key = 0;
+  /// v2: router hedging verdict for this request (never set by shards).
+  bool hedged = false;
+  bool hedge_won = false;
   std::uint64_t grammar_epoch = 0;
   std::uint64_t domains_hash = 0;
   std::uint32_t alive_role_values = 0;
@@ -102,7 +129,7 @@ struct WireResponse {
 enum class DecodeStatus : std::uint8_t {
   Ok,
   BadMagic,    // header does not start with "PARC"
-  BadVersion,  // version byte != kWireVersion
+  BadVersion,  // version byte outside [kMinWireVersion, kWireVersion]
   BadType,     // unknown FrameType
   Oversized,   // payload length > kMaxPayload
   Truncated,   // fewer bytes than the header/payload promises
@@ -115,6 +142,9 @@ const char* to_string(DecodeStatus s);
 /// Parsed frame header.
 struct FrameHeader {
   FrameType type = FrameType::ParseRequest;
+  /// Negotiated frame version; payload decoders need it to know which
+  /// fields the peer actually sent.
+  std::uint8_t version = kWireVersion;
   std::uint32_t payload_len = 0;
 };
 
@@ -146,13 +176,17 @@ DecodeStatus decode_header(const std::uint8_t* buf, std::size_t n,
                            FrameHeader& out);
 
 /// Decodes a ParseRequest payload (exactly `n` bytes; trailing bytes
-/// are Malformed).
+/// are Malformed).  `version` is the frame header's version byte; v1
+/// payloads lack the idempotency key (decoded as 0).
 DecodeStatus decode_request(const std::uint8_t* buf, std::size_t n,
-                            WireRequest& out);
+                            WireRequest& out,
+                            std::uint8_t version = kWireVersion);
 
-/// Decodes a ParseResponse payload.
+/// Decodes a ParseResponse payload.  v1 payloads lack the idempotency
+/// key echo (decoded as 0).
 DecodeStatus decode_response(const std::uint8_t* buf, std::size_t n,
-                             WireResponse& out);
+                             WireResponse& out,
+                             std::uint8_t version = kWireVersion);
 
 /// Projects a serve::ParseResponse onto the wire shape.  `shard` is the
 /// serving process's --shard-id (-1 = unset).

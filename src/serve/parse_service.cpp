@@ -46,6 +46,10 @@ ParseService::ParseService(const cdg::Grammar* compat_grammar,
                  ? std::make_unique<ResultCache>(opt_.result_cache_capacity,
                                                  opt_.metrics)
                  : nullptr),
+      idem_cache_(opt_.idempotency_capacity > 0
+                      ? std::make_unique<ResultCache>(
+                            opt_.idempotency_capacity, nullptr)
+                      : nullptr),
       publisher_(opt_.metrics),
       timeouts_total_(&opt_.metrics->counter(
           "parsec_serve_timeouts_total",
@@ -610,12 +614,22 @@ void ParseService::run_request(int worker, ParseRequest req,
   // Span arg: which cache path served the request.
   // 0 = cache disabled/not consulted, 1 = miss (single-flight leader),
   // 2 = hit, 3 = coalesced, 4 = domain-upgrade bypass, 5 = coalesced
-  // wait expired.
+  // wait expired; 6/7/8 = the same hit/coalesced/wait-expired outcomes
+  // on the idempotency key instead of the sentence hash.
   std::int64_t cache_code = 0;
   bool served_from_cache = false;
   ResultCache::Ticket ticket;  // abandons on scope exit unless filled
   bool bypass_upgrade = false;
   ResultCache::Key ckey;
+  // Idempotency single flight: a retransmit of the same logical
+  // request (same non-zero key) must not double-execute.  Held and
+  // filled like the content-cache ticket, but keyed on request
+  // identity, so it dedups retries whose responses were lost in
+  // flight — something the sentence-hash cache can't promise when
+  // caching is disabled or the entry was evicted.
+  ResultCache::Ticket iticket;
+  bool idem_bypass = false;
+  ResultCache::Key ikey;
 
   Once once;
   if (has_deadline && dequeued >= deadline_at) {
@@ -655,7 +669,51 @@ void ParseService::run_request(int worker, ParseRequest req,
       }
     }
     bool run_engine = tagged_ok;
-    if (tagged_ok && cache_) {
+    if (tagged_ok && idem_cache_ && req.idempotency_key != 0) {
+      ikey = {snap->tenant_id(), snap->epoch(), req.idempotency_key};
+      ResultCache::LookupResult lookup = idem_cache_->acquire(
+          ikey, req.capture_domains,
+          has_deadline ? deadline_at : clock::time_point::max());
+      switch (lookup.outcome) {
+        case ResultCache::Outcome::Hit:
+        case ResultCache::Outcome::Coalesced:
+          // A retry of an already-executed request: replay the
+          // memoized response instead of parsing again.
+          resp.status = RequestStatus::Ok;
+          resp.accepted = lookup.payload->accepted;
+          resp.alive_role_values = lookup.payload->alive_role_values;
+          resp.domains_hash = lookup.payload->domains_hash;
+          if (req.capture_domains && lookup.payload->has_domains)
+            resp.domains = lookup.payload->domains;
+          resp.served_backend = lookup.payload->parsed_on;
+          resp.cached = true;
+          resp.coalesced =
+              lookup.outcome == ResultCache::Outcome::Coalesced;
+          served_from_cache = true;
+          run_engine = false;
+          cache_code = resp.coalesced ? 7 : 6;
+          break;
+        case ResultCache::Outcome::WaitExpired:
+          once.kind = Outcome::kCancelled;
+          {
+            engine::BackendStats d;
+            d.requests = 1;
+            d.cancelled = 1;
+            attempts.push_back({req.backend, d});
+          }
+          resp.served_backend = req.backend;
+          run_engine = false;
+          cache_code = 8;
+          break;
+        case ResultCache::Outcome::MissLeader:
+          iticket = std::move(lookup.ticket);
+          break;
+        case ResultCache::Outcome::Bypass:
+          idem_bypass = true;
+          break;
+      }
+    }
+    if (run_engine && cache_) {
       // Cache transaction.  The key pins (tenant, epoch, tagged
       // sentence); by the engines' determinism contract the payload is
       // bit-identical to the parse this request would have run.
@@ -815,6 +873,27 @@ void ParseService::run_request(int worker, ParseRequest req,
         break;
     }
   }
+  // Publish under the idempotency key: only Ok results are memoized (a
+  // retry of a failed execution should re-execute), whether the answer
+  // came from the engine or the content cache.  An abandoned ticket
+  // wakes coalesced retries to elect a new leader.
+  if (iticket || idem_bypass) {
+    if (resp.status == RequestStatus::Ok) {
+      ResultCache::Payload p;
+      p.accepted = resp.accepted;
+      p.alive_role_values = resp.alive_role_values;
+      p.domains_hash = resp.domains_hash;
+      p.has_domains = req.capture_domains;
+      if (req.capture_domains) p.domains = resp.domains;
+      p.parsed_on = resp.served_backend;
+      if (iticket)
+        iticket.fill(std::move(p));
+      else
+        idem_cache_->put(ikey, std::move(p));
+    } else if (iticket) {
+      iticket.abandon();
+    }
+  }
   resp.parse_seconds =
       std::chrono::duration<double>(clock::now() - dequeued).count();
   if (request_span.active()) {
@@ -925,6 +1004,7 @@ ServiceStats ParseService::stats() const {
   s.threads = pool_->num_threads();
   s.workers = pool_->worker_stats();
   if (cache_) s.cache = cache_->stats();
+  if (idem_cache_) s.idempotency = idem_cache_->stats();
   std::uint64_t trips = 0;
   for (const auto& b : breakers_) trips += b.trips();
   std::lock_guard lock(stats_mutex_);

@@ -106,6 +106,15 @@ struct ParseRequest {
   /// Copy the final domain bitsets into the response (costly; for
   /// equivalence checks and debugging).
   bool capture_domains = false;
+  /// Retry identity (0 = none).  Requests sharing a non-zero key are
+  /// the *same logical request* retransmitted: the service treats the
+  /// key as a single-flight handle — a duplicate arriving while the
+  /// original is still parsing coalesces onto that execution, and one
+  /// arriving after it completed Ok is served from the memoized result
+  /// (`cached` set on the response either way).  Failed executions are
+  /// not memoized, so retrying a failure re-executes.  Keys are scoped
+  /// to (tenant, grammar epoch) like cache keys.
+  std::uint64_t idempotency_key = 0;
 };
 
 struct ParseResponse {
@@ -162,6 +171,11 @@ struct ServiceStats {
   std::uint64_t batched_requests = 0;
   /// Result-cache counters (all zero when the cache is disabled).
   ResultCache::Stats cache;
+  /// Idempotency-key single-flight counters (zero when disabled or no
+  /// request carried a key).  `hits` = retries served from a completed
+  /// execution; `coalesced` = retries that waited on the in-flight
+  /// original instead of double-executing.
+  ResultCache::Stats idempotency;
   double elapsed_seconds = 0.0;          // since service construction
   double throughput_sps = 0.0;           // completed / elapsed
   double latency_mean_ms = 0.0;
@@ -210,6 +224,12 @@ class ParseService {
     bool enable_result_cache = false;
     /// Max ready entries held by the cache (LRU eviction beyond this).
     std::size_t result_cache_capacity = 1024;
+    /// Idempotency-key single-flight window: completed results are held
+    /// under their request key (LRU, this many entries) so a retried
+    /// request never double-executes.  Independent of the result cache
+    /// (which keys on content, not request identity) and always on by
+    /// default — requests without a key pay nothing.  0 disables.
+    std::size_t idempotency_capacity = 4096;
     /// Shed load instead of blocking: submit() answers Overloaded when
     /// the queue is full rather than exerting back-pressure.
     bool shed_load = false;
@@ -300,6 +320,9 @@ class ParseService {
   /// The result cache, or null when disabled.
   const ResultCache* result_cache() const { return cache_.get(); }
 
+  /// The idempotency-key single-flight cache, or null when disabled.
+  const ResultCache* idempotency_cache() const { return idem_cache_.get(); }
+
   /// Default grammar's current snapshot (compat accessor; requires the
   /// default grammar to be published).
   const cdg::Grammar& grammar() const;
@@ -380,6 +403,11 @@ class ParseService {
   GrammarRegistry* registry_ = nullptr;
   Options opt_;
   std::unique_ptr<ResultCache> cache_;  // null when disabled
+  /// Single-flight dedup of retried requests, keyed on the request's
+  /// idempotency key instead of the sentence hash.  A separate
+  /// ResultCache instance so the two key spaces cannot collide (no
+  /// metrics registry: its counters surface via ServiceStats).
+  std::unique_ptr<ResultCache> idem_cache_;  // null when disabled
   /// Handles into opt_.metrics, resolved once at construction; updates
   /// in record() are lock-free (see obs/metrics.h).  The queue-depth
   /// gauge is refreshed on record()/stats() rather than registered as a

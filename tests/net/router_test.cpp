@@ -3,6 +3,7 @@
 // via probes, and the no-healthy-shard refusal.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -224,6 +225,228 @@ TEST(ParseRouter, RouteHookIsDeterministic) {
   const int first = fleet.router->route(req);
   ASSERT_GE(first, 0);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(fleet.router->route(req), first);
+}
+
+// A scriptable fake shard: answers Pings (so the prober keeps it
+// healthy) and either stalls forever on ParseRequests (a straggler /
+// hung shard) or drops the connection (a flaky shard).  This is the
+// failure mode drain() can't model: the listener stays up and
+// accepting, the worker never answers.
+class StubShard {
+ public:
+  enum class Mode { StallRequests, CloseOnRequest };
+
+  explicit StubShard(Mode mode) : mode_(mode) {
+    std::string err;
+    listener_ = net::tcp_listen(0, 16, &err);
+    EXPECT_TRUE(listener_.valid()) << err;
+    port_ = net::local_port(listener_);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~StubShard() {
+    stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : conn_threads_)
+      if (t.joinable()) t.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+  int requests_seen() const { return requests_seen_.load(); }
+
+ private:
+  void accept_loop() {
+    while (!stop_.load()) {
+      if (!net::poll_readable(listener_, 20)) continue;
+      std::string err;
+      net::Socket sock = net::tcp_accept(listener_, &err);
+      if (!sock.valid()) continue;
+      conn_threads_.emplace_back(
+          [this, s = std::move(sock)]() mutable { serve(s); });
+    }
+  }
+
+  void serve(net::Socket& sock) {
+    while (!stop_.load()) {
+      if (!net::poll_readable(sock, 20)) continue;
+      net::Frame frame;
+      net::DecodeStatus status;
+      std::string err;
+      if (!net::read_frame(sock, frame, &status, &err)) return;
+      if (frame.header.type == net::FrameType::Ping) {
+        std::vector<std::uint8_t> pong;
+        net::encode_control(net::FrameType::Pong, pong);
+        if (!net::write_frame(sock, pong, &err)) return;
+        continue;
+      }
+      requests_seen_.fetch_add(1);
+      if (mode_ == Mode::CloseOnRequest) return;  // drop the conn
+      // StallRequests: swallow the frame and go silent (still drains
+      // later pings on OTHER connections; this one just hangs).
+      while (!stop_.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return;
+    }
+  }
+
+  Mode mode_;
+  net::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> requests_seen_{0};
+};
+
+// satellite (a): a hung shard must not wedge Client::request forever —
+// the recv deadline expires, errs "timeout", and closes the socket so
+// a late reply can never desync the stream.
+TEST(ParseRouter, ClientRecvTimeoutUnhooksFromAHungShard) {
+  StubShard stub(StubShard::Mode::StallRequests);
+  std::string err;
+  auto client = net::Client::connect("127.0.0.1", stub.port(), &err);
+  ASSERT_TRUE(client.has_value()) << err;
+
+  net::WireResponse resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client->request(wire_request({"the", "dog", "runs"}), resp,
+                               &err, /*timeout_ms=*/150));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(err, "timeout");
+  EXPECT_FALSE(client->valid()) << "socket must close on timeout";
+  EXPECT_LT(waited, 2s) << "timeout did not bound the wait";
+  EXPECT_GE(waited, 100ms) << "gave up before the deadline";
+}
+
+// Budgeted retries: two flaky shards that accept and then drop every
+// request exhaust max_attempts and answer Faulted with the retry
+// taxonomy error — not silence, not a hang.
+TEST(ParseRouter, RetriesExhaustedAnswersFaulted) {
+  StubShard a(StubShard::Mode::CloseOnRequest);
+  StubShard b(StubShard::Mode::CloseOnRequest);
+  obs::Registry metrics;
+  net::ParseRouter::Options opt;
+  opt.metrics = &metrics;
+  opt.probe_interval = 50ms;
+  opt.max_attempts = 2;
+  opt.attempt_timeout_ms = 1000;
+  opt.retry_backoff_base = 1ms;
+  opt.retry_backoff_max = 5ms;
+  opt.hedge_delay_ms = -1;
+  net::ParseRouter router(
+      {{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}}, opt);
+
+  std::string err;
+  auto client = net::Client::connect("127.0.0.1", router.port(), &err);
+  ASSERT_TRUE(client.has_value()) << err;
+  net::WireResponse resp;
+  ASSERT_TRUE(client->request(wire_request({"the", "dog", "runs"}), resp,
+                              &err))
+      << err;
+  EXPECT_EQ(resp.status, serve::RequestStatus::Faulted);
+  EXPECT_NE(resp.error.find("retries exhausted"), std::string::npos)
+      << resp.error;
+  const auto stats = router.stats();
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(stats.unroutable, 1u);
+  EXPECT_GE(a.requests_seen() + b.requests_seen(), 2);
+}
+
+// The router DECREMENTS the request deadline across attempts: against
+// a hung fleet, a 150ms-deadline request answers Timeout in ~150ms
+// (not max_attempts * attempt_timeout) and counts deadline_exhausted.
+TEST(ParseRouter, DeadlineIsDecrementedAcrossAttempts) {
+  StubShard a(StubShard::Mode::StallRequests);
+  StubShard b(StubShard::Mode::StallRequests);
+  obs::Registry metrics;
+  net::ParseRouter::Options opt;
+  opt.metrics = &metrics;
+  opt.probe_interval = 50ms;
+  opt.max_attempts = 8;
+  opt.attempt_timeout_ms = 5000;
+  opt.retry_backoff_base = 1ms;
+  opt.retry_backoff_max = 5ms;
+  opt.hedge_delay_ms = -1;
+  net::ParseRouter router(
+      {{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}}, opt);
+
+  std::string err;
+  auto client = net::Client::connect("127.0.0.1", router.port(), &err);
+  ASSERT_TRUE(client.has_value()) << err;
+  net::WireRequest req = wire_request({"the", "dog", "runs"});
+  req.deadline_ms = 150;
+  net::WireResponse resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client->request(req, resp, &err)) << err;
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(resp.status, serve::RequestStatus::Timeout);
+  EXPECT_NE(resp.error.find("deadline exhausted"), std::string::npos)
+      << resp.error;
+  EXPECT_LT(waited, 3s) << "deadline did not bound the total wait";
+  EXPECT_GE(router.stats().deadline_exhausted, 1u);
+}
+
+// Straggler hedging: when the primary shard stalls past the hedge
+// delay, the request fires at the second (real) shard, the hedge wins,
+// the response is stamped hedged/hedge_won, and the result is still
+// bit-identical Ok.
+TEST(ParseRouter, HedgeWinsAgainstAStragglerShard) {
+  StubShard straggler(StubShard::Mode::StallRequests);
+  Shard real(1);
+  obs::Registry metrics;
+  net::ParseRouter::Options opt;
+  opt.metrics = &metrics;
+  opt.probe_interval = 50ms;
+  opt.max_attempts = 2;
+  opt.attempt_timeout_ms = 10000;
+  opt.hedge_delay_ms = 25;  // fixed: fire fast in tests
+  net::ParseRouter router({{"127.0.0.1", straggler.port()},
+                           {"127.0.0.1", real.server->port()}},
+                          opt);
+
+  std::string err;
+  auto client = net::Client::connect("127.0.0.1", router.port(), &err);
+  ASSERT_TRUE(client.has_value()) << err;
+
+  // Find a sentence that routes to the straggler (index 0) so the
+  // hedge targets the real shard.
+  auto bundle = grammars::make_english_grammar();
+  grammars::SentenceGenerator gen(bundle, 7);
+  net::WireRequest req;
+  bool found = false;
+  for (int i = 0; i < 64 && !found; ++i) {
+    req = wire_request(gen.generate(4 + i % 6));
+    found = router.route(req) == 0;
+  }
+  ASSERT_TRUE(found) << "no sentence hashed to the straggler";
+
+  req.idempotency_key = 0x5afe5afeull;
+  net::WireResponse resp;
+  ASSERT_TRUE(client->request(req, resp, &err)) << err;
+  EXPECT_EQ(resp.status, serve::RequestStatus::Ok);
+  EXPECT_TRUE(resp.hedged);
+  EXPECT_TRUE(resp.hedge_won);
+  EXPECT_EQ(resp.idempotency_key, 0x5afe5afeull) << "key echo lost";
+  EXPECT_EQ(resp.shard, 1) << "hedge answer must come from the real shard";
+  const auto stats = router.stats();
+  EXPECT_GE(stats.hedges, 1u);
+  EXPECT_GE(stats.hedge_wins, 1u);
+  EXPECT_EQ(stats.unroutable, 0u);
+}
+
+// Keyless requests get a router-stamped idempotency key, so the shard
+// sees a stable retry identity even from v1-era clients.
+TEST(ParseRouter, RouterStampsKeysOntoKeylessRequests) {
+  Fleet fleet(2);
+  net::Client client = fleet.connect();
+  net::WireRequest req = wire_request({"the", "dog", "runs"});
+  ASSERT_EQ(req.idempotency_key, 0u);
+  net::WireResponse resp;
+  std::string err;
+  ASSERT_TRUE(client.request(req, resp, &err)) << err;
+  ASSERT_EQ(resp.status, serve::RequestStatus::Ok);
+  EXPECT_NE(resp.idempotency_key, 0u)
+      << "router must stamp a key so shard-side dedup can engage";
 }
 
 }  // namespace

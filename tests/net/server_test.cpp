@@ -275,6 +275,68 @@ TEST(ParseServer, InjectedReadFaultDropsConnectionNotServer) {
   EXPECT_EQ(loop.server->stats().injected_faults, 1u);
 }
 
+// satellite (b): a half-dead client (connected, silent) is reaped
+// after idle_timeout_ms instead of pinning a connection slot forever;
+// an ACTIVE connection is never reaped.
+TEST(ParseServer, IdleConnectionsAreReaped) {
+  net::ParseServer::Options nopt;
+  nopt.idle_timeout_ms = 150;
+  nopt.poll_interval_ms = 20;
+  Loopback loop(nopt);
+
+  // Active connection: keep pinging past several idle windows.
+  net::Client active = loop.connect();
+  // Idle connection: connect and go silent.
+  net::Client idle = loop.connect();
+
+  std::string err;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (loop.server->stats().idle_closed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    EXPECT_TRUE(active.ping(2000, &err)) << err;
+    std::this_thread::sleep_for(30ms);
+  }
+  EXPECT_EQ(loop.server->stats().idle_closed, 1u);
+
+  // The active connection survived the reaper...
+  EXPECT_TRUE(active.ping(2000, &err)) << err;
+  // ...and the idle one is actually dead: its next request fails.
+  net::WireResponse resp;
+  EXPECT_FALSE(idle.request(
+      wire_request({"the", "dog", "runs"}, engine::Backend::Serial), resp,
+      &err));
+}
+
+// Tentpole part 2 over the wire: two requests with the same
+// idempotency key execute the parse ONCE — the retry replays from the
+// shard's idempotency window, flagged cached, bit-identical.
+TEST(ParseServer, SameIdempotencyKeyNeverDoubleExecutes) {
+  Loopback loop;
+  net::Client client = loop.connect();
+
+  net::WireRequest req =
+      wire_request({"the", "dog", "runs"}, engine::Backend::Serial);
+  req.idempotency_key = 0xabcdef01ull;
+  net::WireResponse first, second;
+  std::string err;
+  ASSERT_TRUE(client.request(req, first, &err)) << err;
+  ASSERT_EQ(first.status, serve::RequestStatus::Ok);
+  EXPECT_EQ(first.idempotency_key, 0xabcdef01ull) << "key echo missing";
+  EXPECT_FALSE(first.cached);
+
+  ASSERT_TRUE(client.request(req, second, &err)) << err;
+  ASSERT_EQ(second.status, serve::RequestStatus::Ok);
+  EXPECT_TRUE(second.cached) << "retry re-executed the parse";
+  EXPECT_EQ(second.domains_hash, first.domains_hash);
+  EXPECT_EQ(second.alive_role_values, first.alive_role_values);
+
+  // One MissLeader (the execution) + one Hit (the replay): the engine
+  // ran exactly once for this key.
+  const auto sstats = loop.service->stats();
+  EXPECT_EQ(sstats.idempotency.hits, 1u);
+  EXPECT_EQ(sstats.idempotency.misses, 1u);
+}
+
 TEST(ParseServer, InjectedAcceptFaultDropsOneConnection) {
   resil::FaultPlan plan(7);
   resil::FaultSpec spec;

@@ -1,0 +1,147 @@
+// Supervisor: crash detection via waitpid, hang detection via Ping,
+// budgeted restarts with backoff, and the terminal Down state.  These
+// tests drive REAL parse_serverd children (PARSEC_SERVERD_PATH is
+// injected by CMake) — kill -9 and SIGSTOP are the fault injectors,
+// exactly what scripts/run_fleet_chaos.sh does at fleet scale.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "net/supervisor.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace parsec;
+using namespace std::chrono_literals;
+using net::ShardState;
+using net::Supervisor;
+
+// Each test uses its own port range so a slow teardown in one test
+// cannot make the next one's bind fail with EADDRINUSE.
+Supervisor::Options base_options(std::uint16_t port_base, int shards) {
+  Supervisor::Options opt;
+  opt.serverd_path = PARSEC_SERVERD_PATH;
+  opt.port_base = port_base;
+  opt.shards = shards;
+  opt.ping_interval = 100ms;
+  opt.ping_timeout_ms = 400;
+  opt.startup_grace_ms = 10000;
+  opt.backoff_base = std::chrono::milliseconds(20);
+  opt.backoff_max = std::chrono::milliseconds(100);
+  opt.poll_interval_ms = 20;
+  return opt;
+}
+
+// Polls `pred` until it holds or `timeout` expires.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(20ms);
+  }
+  return pred();
+}
+
+TEST(Supervisor, Kill9RestartsTheShardAtTheSamePort) {
+  obs::Registry reg;
+  auto opt = base_options(9410, 2);
+  opt.metrics = &reg;
+  Supervisor sup(opt);
+  ASSERT_TRUE(sup.wait_all_up(15000));
+
+  const pid_t victim = sup.pid_of(0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  // waitpid reaps the corpse, backoff elapses, a new generation comes
+  // up — at the SAME port, so routers re-promote without reconfig.
+  EXPECT_TRUE(eventually(
+      [&] {
+        const auto st = sup.stats();
+        return st.shards[0].generation >= 2 &&
+               st.shards[0].state == ShardState::Up;
+      },
+      15000ms));
+
+  const auto st = sup.stats();
+  EXPECT_GE(st.restarts, 1u);
+  EXPECT_EQ(st.permanently_down, 0u);
+  EXPECT_NE(sup.pid_of(0), victim);
+  // The reborn shard answers on port_base+0 again.
+  std::string err;
+  auto c = net::Client::connect("127.0.0.1", sup.port_for(0), &err);
+  ASSERT_TRUE(c.has_value()) << err;
+  EXPECT_TRUE(c->ping(1000, &err)) << err;
+  // The untouched shard never restarted.
+  EXPECT_EQ(sup.stats().shards[1].generation, 1u);
+  sup.stop();
+}
+
+TEST(Supervisor, RestartBudgetExhaustionIsTerminalDown) {
+  obs::Registry reg;
+  auto opt = base_options(9420, 1);
+  opt.metrics = &reg;
+  opt.restart_budget = 1;  // one free respawn, then give up
+  Supervisor sup(opt);
+  ASSERT_TRUE(sup.wait_all_up(15000));
+
+  // First kill: consumes the whole budget (restart 1/1).
+  ASSERT_EQ(::kill(sup.pid_of(0), SIGKILL), 0);
+  ASSERT_TRUE(eventually(
+      [&] { return sup.stats().shards[0].generation >= 2 &&
+                   sup.stats().shards[0].state == ShardState::Up; },
+      15000ms));
+
+  // Second kill: budget exhausted → permanent Down, no more respawns.
+  ASSERT_EQ(::kill(sup.pid_of(0), SIGKILL), 0);
+  EXPECT_TRUE(eventually(
+      [&] { return sup.stats().permanently_down == 1u; }, 15000ms));
+  const auto st = sup.stats();
+  EXPECT_EQ(st.shards[0].state, ShardState::Down);
+  EXPECT_EQ(sup.pid_of(0), -1);
+
+  // Down is terminal: nothing comes back even after the backoff would
+  // have elapsed several times over.
+  std::this_thread::sleep_for(300ms);
+  EXPECT_EQ(sup.stats().shards[0].generation, 2u);
+  sup.stop();
+}
+
+TEST(Supervisor, HungShardIsKilledAndRestarted) {
+  obs::Registry reg;
+  auto opt = base_options(9430, 1);
+  opt.metrics = &reg;
+  opt.ping_interval = 50ms;
+  opt.ping_timeout_ms = 200;
+  opt.hang_pings = 2;
+  Supervisor sup(opt);
+  ASSERT_TRUE(sup.wait_all_up(15000));
+
+  // SIGSTOP freezes the process without killing it: the pid stays
+  // alive (waitpid sees nothing) but Pings go unanswered.  The
+  // supervisor must escalate to SIGKILL and restart.
+  const pid_t frozen = sup.pid_of(0);
+  ASSERT_EQ(::kill(frozen, SIGSTOP), 0);
+
+  EXPECT_TRUE(eventually(
+      [&] {
+        const auto st = sup.stats();
+        return st.hang_kills >= 1 && st.shards[0].generation >= 2 &&
+               st.shards[0].state == ShardState::Up;
+      },
+      20000ms));
+  EXPECT_NE(sup.pid_of(0), frozen);
+  sup.stop();
+
+  const auto st = sup.stats();
+  EXPECT_GE(st.hang_kills, 1u);
+  EXPECT_GE(st.restarts, 1u);
+}
+
+}  // namespace

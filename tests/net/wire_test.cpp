@@ -23,6 +23,7 @@ WireRequest sample_request() {
   req.backend = engine::Backend::Maspar;
   req.deadline_ms = 250;
   req.flags = kFlagCaptureDomains;
+  req.idempotency_key = 0xdeadbeefcafe1234ull;
   req.words = {"the", "quick", "dog", "runs"};
   return req;
 }
@@ -46,6 +47,7 @@ TEST(WireProtocol, RequestRoundTrips) {
   EXPECT_EQ(back.backend, req.backend);
   EXPECT_EQ(back.deadline_ms, req.deadline_ms);
   EXPECT_EQ(back.flags, req.flags);
+  EXPECT_EQ(back.idempotency_key, req.idempotency_key);
   EXPECT_EQ(back.words, req.words);
 }
 
@@ -57,6 +59,9 @@ TEST(WireProtocol, ResponseRoundTripsWithDomains) {
   resp.cached = true;
   resp.degraded = true;
   resp.shard = 3;
+  resp.idempotency_key = 0x1122334455667788ull;
+  resp.hedged = true;
+  resp.hedge_won = true;
   resp.grammar_epoch = 7;
   resp.domains_hash = 0x0123456789abcdefull;
   resp.alive_role_values = 42;
@@ -86,6 +91,9 @@ TEST(WireProtocol, ResponseRoundTripsWithDomains) {
   EXPECT_FALSE(back.coalesced);
   EXPECT_TRUE(back.degraded);
   EXPECT_EQ(back.shard, 3);
+  EXPECT_EQ(back.idempotency_key, 0x1122334455667788ull);
+  EXPECT_TRUE(back.hedged);
+  EXPECT_TRUE(back.hedge_won);
   EXPECT_EQ(back.grammar_epoch, 7u);
   EXPECT_EQ(back.domains_hash, resp.domains_hash);
   EXPECT_EQ(back.alive_role_values, 42u);
@@ -110,10 +118,12 @@ TEST(WireProtocol, GoldenHexdumpMatchesTheManual) {
   ASSERT_TRUE(encode_request(req, frame));
 
   const std::uint8_t golden[] = {
-      // header: magic "PARC", version 1, type 1, payload length 33
-      0x50, 0x41, 0x52, 0x43, 0x01, 0x01, 0x21, 0x00, 0x00, 0x00,
+      // header: magic "PARC", version 2, type 1, payload length 41
+      0x50, 0x41, 0x52, 0x43, 0x02, 0x01, 0x29, 0x00, 0x00, 0x00,
       // backend=serial(0), flags=0, deadline_ms=0
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // idempotency_key=0 (v2)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
       // grammar: len 7, "english"
       0x07, 0x00, 'e', 'n', 'g', 'l', 'i', 's', 'h',
       // word count 3; "the", "dog", "runs"
@@ -122,6 +132,78 @@ TEST(WireProtocol, GoldenHexdumpMatchesTheManual) {
   ASSERT_EQ(frame.size(), sizeof golden);
   for (std::size_t i = 0; i < sizeof golden; ++i)
     EXPECT_EQ(frame[i], golden[i]) << "byte " << i;
+}
+
+// A v1 peer (previous release) must keep working against a v2
+// decoder: the header accepts version 1, and version-aware payload
+// decoding skips the fields v1 never sent (idempotency key / echo).
+TEST(WireProtocol, V1RequestFramesStillDecode) {
+  // The PR 9 golden frame, byte for byte — version 1, no key field.
+  const std::uint8_t v1_frame[] = {
+      0x50, 0x41, 0x52, 0x43, 0x01, 0x01, 0x21, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x07, 0x00, 'e', 'n', 'g', 'l', 'i', 's', 'h',
+      0x03, 0x00, 0x03, 0x00, 't', 'h', 'e', 0x03, 0x00, 'd', 'o', 'g',
+      0x04, 0x00, 'r', 'u', 'n', 's'};
+  FrameHeader header;
+  ASSERT_EQ(decode_header(v1_frame, sizeof v1_frame, header),
+            DecodeStatus::Ok);
+  EXPECT_EQ(header.version, 1);
+  ASSERT_EQ(sizeof v1_frame, kHeaderSize + header.payload_len);
+  WireRequest req;
+  ASSERT_EQ(decode_request(v1_frame + kHeaderSize, header.payload_len,
+                           req, header.version),
+            DecodeStatus::Ok);
+  EXPECT_EQ(req.grammar, "english");
+  EXPECT_EQ(req.backend, engine::Backend::Serial);
+  EXPECT_EQ(req.idempotency_key, 0u);  // v1 never carries one
+  EXPECT_EQ(req.words,
+            (std::vector<std::string>{"the", "dog", "runs"}));
+  // The same payload under v2 rules must NOT decode cleanly — the
+  // eight key bytes it lacks shift every later field.
+  WireRequest wrong;
+  EXPECT_NE(decode_request(v1_frame + kHeaderSize, header.payload_len,
+                           wrong, /*version=*/2),
+            DecodeStatus::Ok);
+}
+
+TEST(WireProtocol, V1ResponseFramesStillDecode) {
+  // Hand-built v1 response payload: status/backend/bits/shard, then
+  // straight to grammar_epoch (no key echo), epoch=7, hash, counters,
+  // error "x", zero domains.
+  std::vector<std::uint8_t> payload = {0x00, 0x02, 0x01, 0x02};
+  auto put64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      payload.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto put32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      payload.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put64(7);                        // grammar_epoch
+  put64(0xfeedfacecafebeefull);    // domains_hash
+  put32(42);                       // alive_role_values
+  put32(1234);                     // latency_us
+  payload.push_back(0x01);         // error len 1
+  payload.push_back(0x00);
+  payload.push_back('x');
+  payload.push_back(0x00);         // ndomains = 0
+  payload.push_back(0x00);
+
+  WireResponse back;
+  ASSERT_EQ(decode_response(payload.data(), payload.size(), back,
+                            /*version=*/1),
+            DecodeStatus::Ok);
+  EXPECT_EQ(back.status, serve::RequestStatus::Ok);
+  EXPECT_EQ(back.served_backend, engine::Backend::Pram);
+  EXPECT_TRUE(back.accepted);
+  EXPECT_EQ(back.shard, 2);
+  EXPECT_EQ(back.idempotency_key, 0u);
+  EXPECT_EQ(back.grammar_epoch, 7u);
+  EXPECT_EQ(back.domains_hash, 0xfeedfacecafebeefull);
+  EXPECT_EQ(back.alive_role_values, 42u);
+  EXPECT_EQ(back.latency_us, 1234u);
+  EXPECT_EQ(back.error, "x");
 }
 
 TEST(WireProtocol, RejectsBadMagicVersionTypeAndOversize) {
@@ -135,7 +217,10 @@ TEST(WireProtocol, RejectsBadMagicVersionTypeAndOversize) {
             DecodeStatus::BadMagic);
 
   mutated = frame;
-  mutated[4] = 99;  // version
+  mutated[4] = 99;  // version above kWireVersion
+  EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
+            DecodeStatus::BadVersion);
+  mutated[4] = 0;  // below kMinWireVersion
   EXPECT_EQ(decode_header(mutated.data(), mutated.size(), header),
             DecodeStatus::BadVersion);
 
